@@ -1,0 +1,80 @@
+//! Figure 5 — throughput vs. latency, 3 replicas.
+//!
+//! (a) read-only: CR saturates at one server (~0.92 MRPS); Harmonia reaches
+//!     ~3× that, both with a few-hundred-µs latency floor at low load.
+//! (b) write-only: CR and Harmonia are identical (writes take the normal
+//!     protocol either way).
+
+use harmonia_bench::{mrps, print_table, run_open_loop, us, Keys, RunSpec};
+use harmonia_core::cluster::ClusterConfig;
+use harmonia_replication::ProtocolKind;
+
+fn cluster(harmonia: bool) -> ClusterConfig {
+    ClusterConfig {
+        protocol: ProtocolKind::Chain,
+        harmonia,
+        replicas: 3,
+        ..ClusterConfig::default()
+    }
+}
+
+fn sweep_reads(harmonia: bool, rates_mrps: &[f64]) -> Vec<Vec<String>> {
+    rates_mrps
+        .iter()
+        .map(|&rate| {
+            let mut spec = RunSpec::new(cluster(harmonia), rate * 1e6, 0.0);
+            spec.keys = Keys::Uniform(100_000);
+            let r = run_open_loop(&spec);
+            vec![
+                if harmonia { "Harmonia" } else { "CR" }.to_string(),
+                mrps(rate),
+                mrps(r.reads_mrps),
+                us(r.read_mean_us),
+                us(r.read_p99_us),
+            ]
+        })
+        .collect()
+}
+
+fn sweep_writes(harmonia: bool, rates_mrps: &[f64]) -> Vec<Vec<String>> {
+    rates_mrps
+        .iter()
+        .map(|&rate| {
+            let mut spec = RunSpec::new(cluster(harmonia), 0.0, rate * 1e6);
+            spec.keys = Keys::Uniform(100_000);
+            let r = run_open_loop(&spec);
+            vec![
+                if harmonia { "Harmonia" } else { "CR" }.to_string(),
+                mrps(rate),
+                mrps(r.writes_mrps),
+                us(r.write_mean_us),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    // (a) Read-only.
+    let read_rates = [0.2, 0.5, 0.8, 0.9, 1.2, 1.6, 2.0, 2.4, 2.7, 3.0];
+    let mut rows = sweep_reads(false, &read_rates);
+    rows.extend(sweep_reads(true, &read_rates));
+    print_table(
+        "Figure 5a: read-only throughput vs latency (3 replicas)",
+        "CR flattens at ~0.92 MRPS (one server); Harmonia sustains ~3x; \
+         latency low until each system's knee, then queueing explodes",
+        &["system", "offered_mrps", "achieved_mrps", "mean_us", "p99_us"],
+        &rows,
+    );
+
+    // (b) Write-only.
+    let write_rates = [0.1, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9];
+    let mut rows = sweep_writes(false, &write_rates);
+    rows.extend(sweep_writes(true, &write_rates));
+    print_table(
+        "Figure 5b: write-only throughput vs latency (3 replicas)",
+        "CR and Harmonia identical: both saturate at ~0.8 MRPS (writes \
+         traverse the whole chain either way)",
+        &["system", "offered_mrps", "achieved_mrps", "mean_us"],
+        &rows,
+    );
+}

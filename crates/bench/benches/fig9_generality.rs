@@ -1,0 +1,74 @@
+//! Figure 9 — generality across replication protocols (3 replicas).
+//!
+//! (a) primary-backup family: PB, CR, CRAQ, Harmonia(PB), Harmonia(CR) —
+//!     read throughput as the write rate grows. PB/CR are capped at one
+//!     server; CRAQ scales reads but its write curve is much steeper (the
+//!     extra clean/dirty phase); Harmonia scales reads with NO write
+//!     penalty.
+//! (b) quorum family: VR, NOPaxos, Harmonia(VR), Harmonia(NOPaxos) — same
+//!     sweep. NOPaxos sustains more writes than VR (no PREPARE round);
+//!     Harmonia triples both systems' reads.
+
+use harmonia_bench::{max_read_at_fixed_write, mrps, print_table, Keys};
+use harmonia_core::cluster::ClusterConfig;
+use harmonia_replication::ProtocolKind;
+
+fn run(protocol: ProtocolKind, harmonia: bool, write_mrps: f64) -> (f64, f64) {
+    let cluster = ClusterConfig {
+        protocol,
+        harmonia,
+        replicas: 3,
+        ..ClusterConfig::default()
+    };
+    let r = max_read_at_fixed_write(&cluster, write_mrps * 1e6, &Keys::Uniform(100_000));
+    (r.writes_mrps, r.reads_mrps)
+}
+
+fn sweep(
+    rows: &mut Vec<Vec<String>>,
+    label: &str,
+    protocol: ProtocolKind,
+    harmonia: bool,
+    write_rates: &[f64],
+) {
+    for &w in write_rates {
+        let (aw, ar) = run(protocol, harmonia, w);
+        rows.push(vec![label.to_string(), mrps(w), mrps(aw), mrps(ar)]);
+    }
+}
+
+fn main() {
+    // (a) Primary-backup family.
+    let writes = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+    let mut rows = Vec::new();
+    sweep(&mut rows, "PB", ProtocolKind::PrimaryBackup, false, &writes);
+    sweep(&mut rows, "CR", ProtocolKind::Chain, false, &writes);
+    sweep(&mut rows, "CRAQ", ProtocolKind::Craq, false, &writes);
+    sweep(&mut rows, "Harmonia(PB)", ProtocolKind::PrimaryBackup, true, &writes);
+    sweep(&mut rows, "Harmonia(CR)", ProtocolKind::Chain, true, &writes);
+    print_table(
+        "Figure 9a: read throughput vs write rate — primary-backup protocols",
+        "PB/CR capped at one server; CRAQ scales reads but its write \
+         throughput collapses sooner (steeper curve, extra write phase); \
+         Harmonia(PB/CR) match CRAQ's reads with CR-level writes",
+        &["system", "offered_write_mrps", "achieved_write_mrps", "read_mrps"],
+        &rows,
+    );
+
+    // (b) Quorum family. VR's leader saturates on ack processing well
+    // before the chain protocols do, so sweep a lower write range.
+    let writes = [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4];
+    let mut rows = Vec::new();
+    sweep(&mut rows, "VR", ProtocolKind::Vr, false, &writes);
+    sweep(&mut rows, "NOPaxos", ProtocolKind::Nopaxos, false, &writes);
+    sweep(&mut rows, "Harmonia(VR)", ProtocolKind::Vr, true, &writes);
+    sweep(&mut rows, "Harmonia(NOPaxos)", ProtocolKind::Nopaxos, true, &writes);
+    print_table(
+        "Figure 9b: read throughput vs write rate — quorum protocols",
+        "VR and NOPaxos capped at the leader; NOPaxos sustains higher write \
+         rates (single-phase, sequencer-ordered); Harmonia triples reads \
+         for both",
+        &["system", "offered_write_mrps", "achieved_write_mrps", "read_mrps"],
+        &rows,
+    );
+}

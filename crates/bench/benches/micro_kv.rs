@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the KV engine (the Redis substitute).
+//!
+//! Single-node GET/SET costs here are what justify the calibrated service
+//! times in `CostModel` — the engine itself is far faster than the
+//! ~1.1/1.25 µs budgets, leaving headroom that real Redis spends on
+//! protocol parsing and syscalls.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmonia_kv::{Batch, Store, VersionChain, VersionedValue};
+use harmonia_types::{SwitchId, SwitchSeq};
+
+fn seq(n: u64) -> SwitchSeq {
+    SwitchSeq::new(SwitchId(1), n)
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    g.bench_function("put", |b| {
+        let store: Store<VersionedValue> = Store::new();
+        let keys: Vec<Bytes> = (0..10_000).map(|i| Bytes::from(format!("key-{i}"))).collect();
+        let value = Bytes::from_static(b"value-payload-128-bytes-0123456789");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = keys[(i % 10_000) as usize].clone();
+            store.put(key, VersionedValue::new(value.clone(), seq(i)));
+        });
+    });
+    g.bench_function("get_hit", |b| {
+        let store: Store<VersionedValue> = Store::new();
+        let keys: Vec<Bytes> = (0..10_000).map(|i| Bytes::from(format!("key-{i}"))).collect();
+        for (i, k) in keys.iter().enumerate() {
+            store.put(k.clone(), VersionedValue::new(Bytes::from_static(b"v"), seq(i as u64 + 1)));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.get(&keys[(i % 10_000) as usize])
+        });
+    });
+    g.bench_function("batch_pipeline_16", |b| {
+        let store: Store<VersionedValue> = Store::new();
+        let keys: Vec<Bytes> = (0..10_000).map(|i| Bytes::from(format!("key-{i}"))).collect();
+        let value = Bytes::from_static(b"v");
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut batch = Batch::new();
+            for _ in 0..8 {
+                i += 1;
+                batch.put(keys[(i % 10_000) as usize].clone(), value.clone(), seq(i));
+                batch.get(keys[((i * 7) % 10_000) as usize].clone());
+            }
+            batch.execute(&store)
+        });
+    });
+    g.finish();
+}
+
+fn bench_version_chain(c: &mut Criterion) {
+    c.bench_function("version_chain_stage_commit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut chain = VersionChain::empty();
+            chain.stage(VersionedValue::new(Bytes::from_static(b"a"), seq(i * 3 + 1)));
+            chain.stage(VersionedValue::new(Bytes::from_static(b"b"), seq(i * 3 + 2)));
+            chain.commit_up_to(seq(i * 3 + 2));
+            chain
+        });
+    });
+}
+
+criterion_group!(benches, bench_store, bench_version_chain);
+criterion_main!(benches);

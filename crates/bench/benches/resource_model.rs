@@ -1,0 +1,111 @@
+//! §6.2 / §9.4 — switch resource usage.
+//!
+//! Prints the paper's analytic capacity model (`u·n·m / (w·t)`) for several
+//! configurations, including the §6.2 worked example, then measures the
+//! *actual* dirty-set occupancy and memory footprint of a loaded run —
+//! demonstrating that a few thousand slots (a few KB of SRAM) suffice,
+//! which is the §9.4 claim.
+
+use harmonia_bench::{mrps, print_table, run_open_loop, Keys, RunSpec};
+use harmonia_core::cluster::ClusterConfig;
+use harmonia_replication::ProtocolKind;
+use harmonia_switch::{ResourceModel, TableConfig};
+
+fn main() {
+    // Analytic model.
+    let configs = [
+        ("paper §6.2 example", ResourceModel::paper_example()),
+        (
+            "measured knee (§9.4)",
+            ResourceModel {
+                stages: 3,
+                slots_per_stage: 667,
+                utilization: 0.5,
+                write_duration_s: 1e-3,
+                write_ratio: 0.05,
+                entry_bytes: 8,
+            },
+        ),
+        (
+            "full prototype table (§8)",
+            ResourceModel {
+                stages: 3,
+                slots_per_stage: 64 * 1024,
+                utilization: 0.5,
+                write_duration_s: 1e-3,
+                write_ratio: 0.05,
+                entry_bytes: 8,
+            },
+        ),
+    ];
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|(name, m)| {
+            vec![
+                name.to_string(),
+                format!("{}x{}", m.stages, m.slots_per_stage),
+                format!("{:.0}", m.max_pending_writes()),
+                format!("{:.1}", m.write_throughput() / 1e6),
+                format!("{:.2}", m.total_throughput() / 1e9),
+                format!("{:.1}", m.memory_bytes() as f64 / 1024.0),
+                format!("{:.2}%", m.memory_fraction_of(10 * 1000 * 1000) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "§6.2 analytic capacity model",
+        "the worked example supports 96 MRPS of writes / 1.92 BRPS total in \
+         1.5 MB; the measured configuration needs only ~16 KB",
+        &[
+            "configuration",
+            "stages x slots",
+            "max_pending",
+            "write_MRPS",
+            "total_BRPS",
+            "sram_KiB",
+            "of_10MB_switch",
+        ],
+        &rows,
+    );
+
+    // Measured occupancy under load, across table sizes.
+    let mut rows = Vec::new();
+    for (stages, per_stage) in [(3usize, 32usize), (3, 256), (3, 2048), (3, 65536)] {
+        let cluster = ClusterConfig {
+            protocol: ProtocolKind::Chain,
+            harmonia: true,
+            replicas: 3,
+            table: TableConfig {
+                stages,
+                slots_per_stage: per_stage,
+                entry_bytes: 8,
+            },
+            ..ClusterConfig::default()
+        };
+        let mut spec = RunSpec::new(cluster, 2_700_000.0, 140_000.0);
+        spec.keys = Keys::Uniform(100_000);
+        let r = run_open_loop(&spec);
+        rows.push(vec![
+            format!("{stages}x{per_stage}"),
+            (stages * per_stage).to_string(),
+            format!("{}", (stages * per_stage * 8) / 1024),
+            r.dirty_len.to_string(),
+            r.switch.writes_dropped.to_string(),
+            mrps(r.total_mrps()),
+        ]);
+    }
+    print_table(
+        "Measured dirty-set occupancy (5% writes at saturation)",
+        "outstanding writes occupy a handful of slots; write drops appear \
+         only when the table is smaller than the pending-write population",
+        &[
+            "table",
+            "total_slots",
+            "sram_KiB",
+            "dirty_entries_at_end",
+            "writes_dropped",
+            "total_mrps",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,373 @@
+//! Shared harness for the figure-reproduction benchmarks.
+//!
+//! Every figure benchmark follows the same pattern as the paper's
+//! methodology (§9.1): build a cluster, attach independent open-loop read
+//! and write generators (the DPDK-generator substitute), warm up, measure a
+//! window, and report completed-operation rates and latency statistics.
+//! Saturated points use a timeout longer than the run so the reported
+//! throughput is the sustained completion rate (the servers are
+//! work-conserving single-server queues).
+//!
+//! Figure 8 additionally needs a *closed-loop* client fleet, because its
+//! effect — switch-dropped writes throttling the workload — only shows up
+//! when dropped writes stall their issuer.
+
+use bytes::Bytes;
+use harmonia_core::client::{metrics, ClosedLoopClient, OpSpec, SourceFn};
+use harmonia_core::cluster::{add_open_loop_client, build_world, ClusterConfig};
+use harmonia_core::msg::Msg;
+use harmonia_core::switch_actor::SwitchActor;
+use harmonia_sim::World;
+use harmonia_switch::SwitchStats;
+use harmonia_types::{ClientId, Duration, Instant, NodeId};
+use harmonia_workload::KeySpace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Key distribution selector.
+#[derive(Clone, Debug)]
+pub enum Keys {
+    /// Uniform over `n` keys (the paper's default: 1M; benches scale down
+    /// to keep table construction fast, which does not change any shape).
+    Uniform(usize),
+    /// Zipf(θ) over `n` keys.
+    Zipf(usize, f64),
+}
+
+impl Keys {
+    fn build(&self) -> KeySpace {
+        match *self {
+            Keys::Uniform(n) => KeySpace::uniform(n),
+            Keys::Zipf(n, theta) => KeySpace::zipf(n, theta),
+        }
+    }
+}
+
+/// One open-loop measurement.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Cluster under test.
+    pub cluster: ClusterConfig,
+    /// Offered read load (requests/second).
+    pub read_rate: f64,
+    /// Offered write load (requests/second).
+    pub write_rate: f64,
+    /// Key population.
+    pub keys: Keys,
+    /// Warmup (discarded).
+    pub warmup: Duration,
+    /// Measurement window.
+    pub measure: Duration,
+}
+
+impl RunSpec {
+    /// A spec with the paper's defaults and the given rates.
+    pub fn new(cluster: ClusterConfig, read_rate: f64, write_rate: f64) -> Self {
+        RunSpec {
+            cluster,
+            read_rate,
+            write_rate,
+            keys: Keys::Uniform(100_000),
+            warmup: Duration::from_millis(10),
+            measure: measure_window(),
+        }
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunResult {
+    /// Completed reads, MRPS.
+    pub reads_mrps: f64,
+    /// Completed writes, MRPS.
+    pub writes_mrps: f64,
+    /// Mean read latency, µs.
+    pub read_mean_us: f64,
+    /// 99th-percentile read latency, µs.
+    pub read_p99_us: f64,
+    /// Mean write latency, µs.
+    pub write_mean_us: f64,
+    /// Writes rejected (out-of-order) during the window.
+    pub writes_rejected: u64,
+    /// Switch data-plane counters at the end of the run.
+    pub switch: SwitchStats,
+    /// Dirty-set occupancy at the end of the run.
+    pub dirty_len: usize,
+}
+
+impl RunResult {
+    /// Total completed throughput, MRPS.
+    pub fn total_mrps(&self) -> f64 {
+        self.reads_mrps + self.writes_mrps
+    }
+}
+
+/// Measurement window length (override with `HARMONIA_BENCH_MS`).
+pub fn measure_window() -> Duration {
+    let ms = std::env::var("HARMONIA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(30);
+    Duration::from_millis(ms)
+}
+
+fn reader_source(keys: KeySpace) -> SourceFn {
+    Box::new(move |rng: &mut SmallRng| OpSpec::read(keys.sample(rng)))
+}
+
+fn writer_source(keys: KeySpace, value_len: usize) -> SourceFn {
+    let value = Bytes::from(vec![0x5au8; value_len]);
+    Box::new(move |rng: &mut SmallRng| OpSpec::write(keys.sample(rng), value.clone()))
+}
+
+/// Execute one open-loop measurement.
+pub fn run_open_loop(spec: &RunSpec) -> RunResult {
+    let mut world = build_world(&spec.cluster);
+    let keys = spec.keys.build();
+    // Bootstrap write: the switch enables single-replica reads only after
+    // the first WRITE-COMPLETION with its own id (§5.3), so a deployment
+    // primes the fast path with one write — as would any real bring-up.
+    // Completes within microseconds; the warmup discards its effects.
+    if spec.cluster.harmonia {
+        let id = ClientId(99);
+        let plan = vec![OpSpec::write(
+            Bytes::from_static(b"__bootstrap__"),
+            Bytes::from_static(b"1"),
+        )];
+        world.add_node(
+            NodeId::Client(id),
+            Box::new(
+                ClosedLoopClient::new(id, spec.cluster.switch_addr(), plan)
+                    .with_write_replies(spec.cluster.write_replies()),
+            ),
+        );
+    }
+    // Timeout past the end of the run: never cull, always count.
+    let timeout = spec.warmup + spec.measure + Duration::from_secs(1);
+    if spec.read_rate > 0.0 {
+        add_open_loop_client(
+            &mut world,
+            &spec.cluster,
+            ClientId(1),
+            spec.read_rate,
+            timeout,
+            reader_source(keys.clone()),
+        );
+    }
+    if spec.write_rate > 0.0 {
+        add_open_loop_client(
+            &mut world,
+            &spec.cluster,
+            ClientId(2),
+            spec.write_rate,
+            timeout,
+            writer_source(keys, 128),
+        );
+    }
+    world.run_until(Instant::ZERO + spec.warmup);
+    world.metrics_mut().reset();
+    world.run_until(Instant::ZERO + spec.warmup + spec.measure);
+
+    let secs = spec.measure.as_secs_f64();
+    let m = world.metrics();
+    let hist_us = |name: &'static str, p: f64| {
+        m.histogram(name)
+            .map(|h| {
+                if p < 0.0 {
+                    h.mean().as_micros_f64()
+                } else {
+                    h.percentile(p).as_micros_f64()
+                }
+            })
+            .unwrap_or(0.0)
+    };
+    let mut result = RunResult {
+        reads_mrps: m.counter(metrics::READ_DONE) as f64 / secs / 1e6,
+        writes_mrps: m.counter(metrics::WRITE_DONE) as f64 / secs / 1e6,
+        read_mean_us: hist_us(metrics::READ_LATENCY, -1.0),
+        read_p99_us: hist_us(metrics::READ_LATENCY, 0.99),
+        write_mean_us: hist_us(metrics::WRITE_LATENCY, -1.0),
+        writes_rejected: m.counter(metrics::WRITE_REJECTED),
+        ..RunResult::default()
+    };
+    if let Some(sw) = switch_of(&world, &spec.cluster) {
+        result.switch = sw.stats();
+        result.dirty_len = sw.detector().dirty_len();
+    }
+    result
+}
+
+/// The paper's Figure 6a/9 methodology: "the client fixes its rate of
+/// generating write requests, and measures the maximum read throughput that
+/// can be handled by the replicas". Binary-search the offered read rate for
+/// the largest value at which the system still sustains ≥ 95 % of the fixed
+/// write rate, then measure that operating point with the full window.
+pub fn max_read_at_fixed_write(
+    cluster: &ClusterConfig,
+    write_rate: f64,
+    keys: &Keys,
+) -> RunResult {
+    let probe = |read_rate: f64, measure: Duration| -> RunResult {
+        let mut spec = RunSpec::new(cluster.clone(), read_rate, write_rate);
+        spec.keys = keys.clone();
+        spec.warmup = Duration::from_millis(8);
+        spec.measure = measure;
+        run_open_loop(&spec)
+    };
+    let short = Duration::from_millis(12);
+    let writes_ok =
+        |r: &RunResult| write_rate == 0.0 || r.writes_mrps * 1e6 >= 0.95 * write_rate;
+    // Establish bounds: if even read-free operation cannot sustain the write
+    // rate, the operating point is "no reads".
+    if !writes_ok(&probe(0.0, short)) {
+        return probe(0.0, measure_window());
+    }
+    let (mut lo, mut hi) = (0.0f64, 12.0e6f64);
+    for _ in 0..7 {
+        let mid = 0.5 * (lo + hi);
+        if writes_ok(&probe(mid, short)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    probe(lo, measure_window())
+}
+
+/// Execute a closed-loop measurement: `clients` logical connections issuing
+/// back-to-back operations (reads + `write_ratio` writes); a write dropped
+/// by the switch stalls its connection for the retry timeout, which is the
+/// Figure 8 mechanism. Returns completed MRPS within the window.
+pub fn run_closed_loop(
+    cluster: &ClusterConfig,
+    clients: usize,
+    write_ratio: f64,
+    keys: &Keys,
+    warmup: Duration,
+    measure: Duration,
+    op_timeout: Duration,
+) -> f64 {
+    let mut world = build_world(cluster);
+    let keyspace = keys.build();
+    let value = Bytes::from(vec![0x5au8; 128]);
+    // Enough planned ops that no client finishes early: triple the fleet's
+    // fair share of an optimistic 4 MRPS aggregate.
+    let horizon = warmup + measure;
+    let ops_per_client =
+        ((horizon.as_secs_f64() * 4.0e6 / clients as f64) * 3.0).max(64.0) as usize;
+    for c in 0..clients {
+        let mut rng = SmallRng::seed_from_u64(0xF168 + c as u64);
+        let plan: Vec<OpSpec> = (0..ops_per_client)
+            .map(|_| {
+                let key = keyspace.sample(&mut rng);
+                if rng.gen_bool(write_ratio) {
+                    OpSpec::write(key, value.clone())
+                } else {
+                    OpSpec::read(key)
+                }
+            })
+            .collect();
+        let id = ClientId(100 + c as u32);
+        let client = ClosedLoopClient::new(id, cluster.switch_addr(), plan)
+            .with_write_replies(cluster.write_replies())
+            .with_timeout(op_timeout);
+        world.add_node(NodeId::Client(id), Box::new(client));
+    }
+    world.run_until(Instant::ZERO + horizon);
+
+    // Count ops completed inside the measurement window.
+    let mut done = 0u64;
+    for c in 0..clients {
+        let node = NodeId::Client(ClientId(100 + c as u32));
+        if let Some(cl) = world.actor::<ClosedLoopClient>(node) {
+            done += cl
+                .records
+                .iter()
+                .filter(|r| r.ok && r.completed >= Instant::ZERO + warmup)
+                .count() as u64;
+        }
+    }
+    done as f64 / measure.as_secs_f64() / 1e6
+}
+
+/// Print a TSV table with a title and the paper's expected shape.
+pub fn print_table(title: &str, expectation: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    println!("# paper expectation: {expectation}");
+    println!("{}", headers.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Format MRPS with 3 decimals.
+pub fn mrps(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format µs with 1 decimal.
+pub fn us(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Access a world's switch actor (post-run inspection).
+pub fn switch_of<'w>(world: &'w World<Msg>, cluster: &ClusterConfig) -> Option<&'w SwitchActor> {
+    world.actor::<SwitchActor>(cluster.switch_addr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_replication::ProtocolKind;
+
+    fn quick(cluster: ClusterConfig, read: f64, write: f64) -> RunResult {
+        let mut spec = RunSpec::new(cluster, read, write);
+        spec.warmup = Duration::from_millis(5);
+        spec.measure = Duration::from_millis(10);
+        spec.keys = Keys::Uniform(10_000);
+        run_open_loop(&spec)
+    }
+
+    #[test]
+    fn open_loop_reports_plausible_numbers() {
+        let r = quick(ClusterConfig::default(), 200_000.0, 10_000.0);
+        assert!((0.15..0.25).contains(&r.reads_mrps), "{:?}", r.reads_mrps);
+        assert!((0.005..0.015).contains(&r.writes_mrps));
+        assert!(r.read_mean_us > 10.0 && r.read_mean_us < 1000.0);
+        assert!(r.switch.reads_fast_path > 0);
+    }
+
+    #[test]
+    fn saturation_measurement_matches_capacity() {
+        // Baseline chain read-only at overload: the tail's 0.92 MQPS.
+        let cluster = ClusterConfig {
+            harmonia: false,
+            ..ClusterConfig::default()
+        };
+        let r = quick(cluster, 2_000_000.0, 0.0);
+        assert!(
+            (0.85..0.98).contains(&r.reads_mrps),
+            "tail capacity: {}",
+            r.reads_mrps
+        );
+    }
+
+    #[test]
+    fn closed_loop_throughput_is_positive_and_bounded() {
+        let cluster = ClusterConfig {
+            protocol: ProtocolKind::Chain,
+            ..ClusterConfig::default()
+        };
+        let tput = run_closed_loop(
+            &cluster,
+            16,
+            0.05,
+            &Keys::Uniform(1_000),
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+            Duration::from_millis(5),
+        );
+        assert!(tput > 0.1, "tput={tput}");
+        assert!(tput < 5.0);
+    }
+}

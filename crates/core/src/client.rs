@@ -1,0 +1,689 @@
+//! Client library: an open-loop load generator (the paper's DPDK generator
+//! substitute) and a closed-loop client for correctness tests.
+//!
+//! Both clients speak the Harmonia packet format and address the switch;
+//! they never know which replica serves them — that is the whole point of
+//! the architecture (§4).
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use harmonia_sim::{Actor, Context, TimerToken};
+use harmonia_types::{
+    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, RequestId,
+    WriteOutcome,
+};
+use rand::rngs::SmallRng;
+
+use crate::msg::Msg;
+
+/// One operation to issue.
+#[derive(Clone, Debug)]
+pub struct OpSpec {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Application key.
+    pub key: Bytes,
+    /// Value for writes.
+    pub value: Option<Bytes>,
+}
+
+impl OpSpec {
+    /// A read of `key`.
+    pub fn read(key: impl Into<Bytes>) -> Self {
+        OpSpec {
+            kind: OpKind::Read,
+            key: key.into(),
+            value: None,
+        }
+    }
+
+    /// A write of `key := value`.
+    pub fn write(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
+        OpSpec {
+            kind: OpKind::Write,
+            key: key.into(),
+            value: Some(value.into()),
+        }
+    }
+}
+
+/// Pull-based request source for the open-loop generator.
+pub type SourceFn = Box<dyn FnMut(&mut SmallRng) -> OpSpec + Send>;
+
+/// Open-loop generator configuration.
+pub struct OpenLoopConfig {
+    /// Where to send requests (the switch).
+    pub switch: NodeId,
+    /// Offered load in requests per second.
+    pub rate_rps: f64,
+    /// Replies needed to count a write complete (1 for most protocols;
+    /// a majority for NOPaxos, whose replicas acknowledge the client
+    /// directly).
+    pub write_replies: usize,
+    /// Forget a request after this long (counts as `client.timeout.*`).
+    pub timeout: Duration,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            switch: NodeId::Switch(harmonia_types::SwitchId(1)),
+            rate_rps: 10_000.0,
+            write_replies: 1,
+            timeout: Duration::from_millis(20),
+        }
+    }
+}
+
+struct PendingReq {
+    sent: Instant,
+    kind: OpKind,
+    replies: usize,
+}
+
+/// Fire-and-record load generator. Requests are emitted at a fixed rate
+/// regardless of completions (open loop), so saturation shows up as rising
+/// latency and timeouts — exactly how the paper's throughput/latency curves
+/// are measured (§9.2).
+pub struct OpenLoopClient {
+    id: ClientId,
+    cfg: OpenLoopConfig,
+    source: SourceFn,
+    next_request: u64,
+    pending: HashMap<u64, PendingReq>,
+    interval_ns: f64,
+    ideal_next: f64,
+    arrival_token: Option<TimerToken>,
+    gc_token: Option<TimerToken>,
+}
+
+/// Metric names recorded by [`OpenLoopClient`].
+pub mod metrics {
+    /// Reads issued.
+    pub const READ_SENT: &str = "client.read.sent";
+    /// Writes issued.
+    pub const WRITE_SENT: &str = "client.write.sent";
+    /// Reads completed.
+    pub const READ_DONE: &str = "client.read.done";
+    /// Writes completed.
+    pub const WRITE_DONE: &str = "client.write.done";
+    /// Writes rejected by the protocol (out-of-order sequence).
+    pub const WRITE_REJECTED: &str = "client.write.rejected";
+    /// Reads abandoned after the timeout.
+    pub const READ_TIMEOUT: &str = "client.read.timeout";
+    /// Writes abandoned after the timeout (includes switch-dropped writes).
+    pub const WRITE_TIMEOUT: &str = "client.write.timeout";
+    /// Read replies that arrived after their request was abandoned. For
+    /// saturation measurements, prefer a timeout longer than the run so
+    /// these stay zero.
+    pub const READ_DONE_LATE: &str = "client.read.done_late";
+    /// Write replies that arrived after their request was abandoned.
+    pub const WRITE_DONE_LATE: &str = "client.write.done_late";
+    /// Read latency histogram.
+    pub const READ_LATENCY: &str = "client.read.latency";
+    /// Write latency histogram.
+    pub const WRITE_LATENCY: &str = "client.write.latency";
+}
+
+impl OpenLoopClient {
+    /// Build a generator with the given source of operations.
+    pub fn new(id: ClientId, cfg: OpenLoopConfig, source: SourceFn) -> Self {
+        let interval_ns = 1e9 / cfg.rate_rps.max(1e-9);
+        OpenLoopClient {
+            id,
+            cfg,
+            source,
+            next_request: 0,
+            pending: HashMap::new(),
+            interval_ns,
+            ideal_next: 0.0,
+            arrival_token: None,
+            gc_token: None,
+        }
+    }
+
+    /// Redirect traffic (switch replacement, §5.3).
+    pub fn set_switch(&mut self, switch: NodeId) {
+        self.cfg.switch = switch;
+    }
+
+    /// Requests currently awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn send_one(&mut self, ctx: &mut Context<'_, Msg>) {
+        let spec = (self.source)(ctx.rng());
+        let rid = self.next_request;
+        self.next_request += 1;
+        let req = match spec.kind {
+            OpKind::Read => ClientRequest::read(self.id, RequestId(rid), spec.key),
+            OpKind::Write => ClientRequest::write(
+                self.id,
+                RequestId(rid),
+                spec.key,
+                spec.value.unwrap_or_default(),
+            ),
+        };
+        ctx.metrics().incr(match spec.kind {
+            OpKind::Read => metrics::READ_SENT,
+            OpKind::Write => metrics::WRITE_SENT,
+        });
+        self.pending.insert(
+            rid,
+            PendingReq {
+                sent: ctx.now(),
+                kind: spec.kind,
+                replies: 0,
+            },
+        );
+        let dst = self.cfg.switch;
+        ctx.send(
+            dst,
+            Msg::new(NodeId::Client(self.id), dst, PacketBody::Request(req)),
+        );
+    }
+
+    /// Emit every arrival whose ideal time has passed, then re-arm.
+    fn emit_due(&mut self, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now().nanos() as f64;
+        while self.ideal_next <= now {
+            self.send_one(ctx);
+            self.ideal_next += self.interval_ns;
+        }
+        let delay = (self.ideal_next - now).max(1.0) as u64;
+        self.arrival_token = Some(ctx.set_timer(Duration::from_nanos(delay)));
+    }
+
+    fn gc(&mut self, ctx: &mut Context<'_, Msg>) {
+        let deadline = self.cfg.timeout;
+        let now = ctx.now();
+        let mut read_timeouts = 0;
+        let mut write_timeouts = 0;
+        self.pending.retain(|_, p| {
+            if now.since(p.sent) > deadline {
+                match p.kind {
+                    OpKind::Read => read_timeouts += 1,
+                    OpKind::Write => write_timeouts += 1,
+                }
+                false
+            } else {
+                true
+            }
+        });
+        ctx.metrics().add(metrics::READ_TIMEOUT, read_timeouts);
+        ctx.metrics().add(metrics::WRITE_TIMEOUT, write_timeouts);
+        self.gc_token = Some(ctx.set_timer(self.cfg.timeout));
+    }
+}
+
+impl Actor<Msg> for OpenLoopClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.ideal_next = ctx.now().nanos() as f64 + self.interval_ns;
+        self.arrival_token = Some(ctx.set_timer(Duration::from_nanos(self.interval_ns as u64)));
+        self.gc_token = Some(ctx.set_timer(self.cfg.timeout));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        let PacketBody::Reply(reply) = msg.body else {
+            return;
+        };
+        let rid = reply.request.0;
+        let Some(p) = self.pending.get_mut(&rid) else {
+            // Reply to an abandoned (timed-out) request: the work was still
+            // done by the system; track it separately.
+            ctx.metrics().incr(if reply.write_outcome.is_some() {
+                metrics::WRITE_DONE_LATE
+            } else {
+                metrics::READ_DONE_LATE
+            });
+            return;
+        };
+        if reply.write_outcome == Some(WriteOutcome::Rejected)
+            || reply.write_outcome == Some(WriteOutcome::DroppedBySwitch)
+        {
+            ctx.metrics().incr(metrics::WRITE_REJECTED);
+            self.pending.remove(&rid);
+            return;
+        }
+        p.replies += 1;
+        let needed = match p.kind {
+            OpKind::Read => 1,
+            OpKind::Write => self.cfg.write_replies,
+        };
+        if p.replies >= needed {
+            let latency = ctx.now().since(p.sent);
+            let (done, hist) = match p.kind {
+                OpKind::Read => (metrics::READ_DONE, metrics::READ_LATENCY),
+                OpKind::Write => (metrics::WRITE_DONE, metrics::WRITE_LATENCY),
+            };
+            ctx.metrics().incr(done);
+            ctx.metrics().observe(hist, latency);
+            self.pending.remove(&rid);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        if Some(token) == self.arrival_token {
+            self.emit_due(ctx);
+        } else if Some(token) == self.gc_token {
+            self.gc(ctx);
+        }
+    }
+}
+
+/// Result of one closed-loop operation, for history checking.
+#[derive(Clone, Debug)]
+pub struct RecordedOp {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Key.
+    pub key: Bytes,
+    /// Written value (writes only).
+    pub value: Option<Bytes>,
+    /// Invocation time (first attempt).
+    pub invoked: Instant,
+    /// Completion time.
+    pub completed: Instant,
+    /// Observed value (reads only; `None` for key-absent).
+    pub result: Option<Bytes>,
+    /// False if the op was abandoned (all attempts failed).
+    pub ok: bool,
+}
+
+enum Phase {
+    Inflight(Current),
+    Idle,
+    Done,
+}
+
+struct Current {
+    spec: OpSpec,
+    rid: u64,
+    attempt: u32,
+    invoked: Instant,
+    replies: usize,
+    timer: TimerToken,
+}
+
+/// Issues a fixed plan of operations one at a time, retrying on rejection
+/// and timeout, and records a history for the linearizability checker.
+pub struct ClosedLoopClient {
+    id: ClientId,
+    switch: NodeId,
+    write_replies: usize,
+    timeout: Duration,
+    max_attempts: u32,
+    plan: VecDeque<OpSpec>,
+    phase: Phase,
+    /// Completed operations in invocation order.
+    pub records: Vec<RecordedOp>,
+    next_request: u64,
+}
+
+impl ClosedLoopClient {
+    /// Build a client that will execute `plan` then stop.
+    pub fn new(id: ClientId, switch: NodeId, plan: Vec<OpSpec>) -> Self {
+        ClosedLoopClient {
+            id,
+            switch,
+            write_replies: 1,
+            timeout: Duration::from_millis(5),
+            max_attempts: 10,
+            plan: plan.into(),
+            phase: Phase::Idle,
+            records: Vec::new(),
+            next_request: 0,
+        }
+    }
+
+    /// Quorum size for write completion (NOPaxos).
+    pub fn with_write_replies(mut self, n: usize) -> Self {
+        self.write_replies = n;
+        self
+    }
+
+    /// Per-attempt timeout.
+    pub fn with_timeout(mut self, t: Duration) -> Self {
+        self.timeout = t;
+        self
+    }
+
+    /// True once the whole plan has run.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Redirect traffic (switch replacement, §5.3).
+    pub fn set_switch(&mut self, switch: NodeId) {
+        self.switch = switch;
+    }
+
+    fn send_current(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        spec: OpSpec,
+        rid: u64,
+        attempt: u32,
+        invoked: Instant,
+    ) {
+        let req = match spec.kind {
+            OpKind::Read => ClientRequest::read(self.id, RequestId(rid), spec.key.clone()),
+            OpKind::Write => ClientRequest::write(
+                self.id,
+                RequestId(rid),
+                spec.key.clone(),
+                spec.value.clone().unwrap_or_default(),
+            ),
+        };
+        let dst = self.switch;
+        ctx.send(
+            dst,
+            Msg::new(NodeId::Client(self.id), dst, PacketBody::Request(req)),
+        );
+        let timer = ctx.set_timer(self.timeout);
+        self.phase = Phase::Inflight(Current {
+            spec,
+            rid,
+            attempt,
+            invoked,
+            replies: 0,
+            timer,
+        });
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, Msg>) {
+        match self.plan.pop_front() {
+            Some(spec) => {
+                let now = ctx.now();
+                // One request id per logical operation: retries REUSE it so
+                // the exactly-once session layer can deduplicate
+                // re-executions and re-send cached replies.
+                let rid = self.next_request;
+                self.next_request += 1;
+                self.send_current(ctx, spec, rid, 1, now);
+            }
+            None => self.phase = Phase::Done,
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Context<'_, Msg>, result: Option<Bytes>, ok: bool) {
+        let Phase::Inflight(cur) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+            return;
+        };
+        self.records.push(RecordedOp {
+            kind: cur.spec.kind,
+            key: cur.spec.key.clone(),
+            value: cur.spec.value.clone(),
+            invoked: cur.invoked,
+            completed: ctx.now(),
+            result,
+            ok,
+        });
+        self.issue_next(ctx);
+    }
+
+    fn retry(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Phase::Inflight(cur) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+            return;
+        };
+        if cur.attempt >= self.max_attempts {
+            self.phase = Phase::Inflight(cur);
+            self.complete(ctx, None, false);
+        } else {
+            self.send_current(ctx, cur.spec, cur.rid, cur.attempt + 1, cur.invoked);
+        }
+    }
+}
+
+impl Actor<Msg> for ClosedLoopClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.issue_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        let PacketBody::Reply(reply) = msg.body else {
+            return;
+        };
+        let Phase::Inflight(cur) = &mut self.phase else {
+            return;
+        };
+        if reply.request.0 != cur.rid {
+            return; // reply to an abandoned attempt
+        }
+        if reply.write_outcome == Some(WriteOutcome::Rejected)
+            || reply.write_outcome == Some(WriteOutcome::DroppedBySwitch)
+        {
+            self.retry(ctx);
+            return;
+        }
+        cur.replies += 1;
+        let needed = match cur.spec.kind {
+            OpKind::Read => 1,
+            OpKind::Write => self.write_replies,
+        };
+        if cur.replies >= needed {
+            self.complete(ctx, reply.value, true);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        if let Phase::Inflight(cur) = &self.phase {
+            if cur.timer == token {
+                self.retry(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_sim::{LinkConfig, NetworkModel, Service, World, WorldConfig};
+    use harmonia_types::{ClientReply, ObjectId, SwitchId};
+
+    const SWITCH: NodeId = NodeId::Switch(SwitchId(1));
+    const CLIENT: NodeId = NodeId::Client(ClientId(7));
+
+    /// A fake "rack" that answers every request after a service delay.
+    struct FakeRack {
+        reject_writes: bool,
+        served: u64,
+    }
+    impl Actor<Msg> for FakeRack {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            let PacketBody::Request(req) = msg.body else {
+                return;
+            };
+            self.served += 1;
+            let outcome = match req.op {
+                OpKind::Read => None,
+                OpKind::Write if self.reject_writes => Some(WriteOutcome::Rejected),
+                OpKind::Write => Some(WriteOutcome::Committed),
+            };
+            let reply = ClientReply {
+                client: req.client,
+                request: req.request,
+                obj: ObjectId::from_key(&req.key),
+                value: match req.op {
+                    OpKind::Read => Some(Bytes::from_static(b"stored")),
+                    OpKind::Write => None,
+                },
+                write_outcome: outcome,
+                completion: None,
+            };
+            let dst = NodeId::Client(req.client);
+            ctx.send(dst, Msg::new(ctx.node(), dst, PacketBody::Reply(reply)));
+        }
+        fn service(&self, _msg: &Msg) -> Service {
+            Service::Queued(Duration::from_micros(1))
+        }
+    }
+
+    fn world() -> World<Msg> {
+        World::new(WorldConfig {
+            seed: 5,
+            network: NetworkModel::uniform(LinkConfig::ideal(Duration::from_micros(5))),
+        })
+    }
+
+    #[test]
+    fn open_loop_emits_at_configured_rate() {
+        let mut w = world();
+        w.add_node(
+            SWITCH,
+            Box::new(FakeRack {
+                reject_writes: false,
+                served: 0,
+            }),
+        );
+        let cfg = OpenLoopConfig {
+            switch: SWITCH,
+            rate_rps: 100_000.0,
+            ..OpenLoopConfig::default()
+        };
+        let source: SourceFn = Box::new(|_| OpSpec::read(Bytes::from_static(b"k")));
+        w.add_node(CLIENT, Box::new(OpenLoopClient::new(ClientId(7), cfg, source)));
+        // 10 ms at 100 kRPS = 1000 requests.
+        w.run_until(Instant::ZERO + Duration::from_millis(10));
+        let sent = w.metrics().counter(metrics::READ_SENT);
+        assert!((990..=1010).contains(&sent), "sent={sent}");
+        let done = w.metrics().counter(metrics::READ_DONE);
+        assert!(done > 900, "done={done}");
+        let lat = w.metrics().histogram(metrics::READ_LATENCY).unwrap();
+        // 2 × 5 µs links + 1 µs service ≈ 11 µs.
+        assert!(lat.mean() >= Duration::from_micros(11));
+        assert!(lat.mean() < Duration::from_micros(20));
+    }
+
+    #[test]
+    fn open_loop_counts_rejections_and_timeouts() {
+        let mut w = world();
+        w.add_node(
+            SWITCH,
+            Box::new(FakeRack {
+                reject_writes: true,
+                served: 0,
+            }),
+        );
+        let cfg = OpenLoopConfig {
+            switch: SWITCH,
+            rate_rps: 10_000.0,
+            timeout: Duration::from_millis(2),
+            ..OpenLoopConfig::default()
+        };
+        let source: SourceFn = Box::new(|_| OpSpec::write(Bytes::from_static(b"k"), Bytes::from_static(b"v")));
+        w.add_node(CLIENT, Box::new(OpenLoopClient::new(ClientId(7), cfg, source)));
+        w.run_until(Instant::ZERO + Duration::from_millis(5));
+        assert!(w.metrics().counter(metrics::WRITE_REJECTED) > 0);
+        assert_eq!(w.metrics().counter(metrics::WRITE_DONE), 0);
+    }
+
+    #[test]
+    fn open_loop_timeout_gc_purges_lost_requests() {
+        let mut w = world();
+        // No rack at all: every request vanishes ("net.dead_dst").
+        let cfg = OpenLoopConfig {
+            switch: SWITCH,
+            rate_rps: 10_000.0,
+            timeout: Duration::from_millis(1),
+            ..OpenLoopConfig::default()
+        };
+        let source: SourceFn = Box::new(|_| OpSpec::read(Bytes::from_static(b"k")));
+        w.add_node(CLIENT, Box::new(OpenLoopClient::new(ClientId(7), cfg, source)));
+        w.run_until(Instant::ZERO + Duration::from_millis(10));
+        assert!(w.metrics().counter(metrics::READ_TIMEOUT) > 50);
+        let client: &OpenLoopClient = w.actor(CLIENT).unwrap();
+        assert!(client.in_flight() < 30, "gc keeps the table bounded");
+    }
+
+    #[test]
+    fn closed_loop_runs_plan_in_order_and_records() {
+        let mut w = world();
+        w.add_node(
+            SWITCH,
+            Box::new(FakeRack {
+                reject_writes: false,
+                served: 0,
+            }),
+        );
+        let plan = vec![
+            OpSpec::write(Bytes::from_static(b"a"), Bytes::from_static(b"1")),
+            OpSpec::read(Bytes::from_static(b"a")),
+            OpSpec::write(Bytes::from_static(b"b"), Bytes::from_static(b"2")),
+        ];
+        w.add_node(CLIENT, Box::new(ClosedLoopClient::new(ClientId(7), SWITCH, plan)));
+        w.run_until_idle(10_000);
+        let c: &ClosedLoopClient = w.actor(CLIENT).unwrap();
+        assert!(c.is_done());
+        assert_eq!(c.records.len(), 3);
+        assert!(c.records.iter().all(|r| r.ok));
+        assert_eq!(c.records[1].result, Some(Bytes::from_static(b"stored")));
+        assert!(c.records[0].completed <= c.records[1].invoked);
+    }
+
+    #[test]
+    fn closed_loop_retries_until_giving_up() {
+        let mut w = world();
+        w.add_node(
+            SWITCH,
+            Box::new(FakeRack {
+                reject_writes: true,
+                served: 0,
+            }),
+        );
+        let plan = vec![OpSpec::write(Bytes::from_static(b"a"), Bytes::from_static(b"1"))];
+        w.add_node(
+            CLIENT,
+            Box::new(ClosedLoopClient::new(ClientId(7), SWITCH, plan).with_timeout(Duration::from_millis(1))),
+        );
+        w.run_until_idle(10_000);
+        let c: &ClosedLoopClient = w.actor(CLIENT).unwrap();
+        assert!(c.is_done());
+        assert_eq!(c.records.len(), 1);
+        assert!(!c.records[0].ok, "all attempts rejected");
+        let rack: &FakeRack = w.actor(SWITCH).unwrap();
+        assert_eq!(rack.served, 10, "max_attempts bounded the retries");
+    }
+
+    #[test]
+    fn closed_loop_recovers_from_lost_replies() {
+        // Rack that drops the first request silently, then behaves.
+        struct Flaky {
+            dropped: bool,
+        }
+        impl Actor<Msg> for Flaky {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+                let PacketBody::Request(req) = msg.body else {
+                    return;
+                };
+                if !self.dropped {
+                    self.dropped = true;
+                    return;
+                }
+                let reply = ClientReply {
+                    client: req.client,
+                    request: req.request,
+                    obj: ObjectId::from_key(&req.key),
+                    value: None,
+                    write_outcome: Some(WriteOutcome::Committed),
+                    completion: None,
+                };
+                let dst = NodeId::Client(req.client);
+                ctx.send(dst, Msg::new(ctx.node(), dst, PacketBody::Reply(reply)));
+            }
+        }
+        let mut w = world();
+        w.add_node(SWITCH, Box::new(Flaky { dropped: false }));
+        let plan = vec![OpSpec::write(Bytes::from_static(b"a"), Bytes::from_static(b"1"))];
+        w.add_node(
+            CLIENT,
+            Box::new(ClosedLoopClient::new(ClientId(7), SWITCH, plan).with_timeout(Duration::from_millis(1))),
+        );
+        w.run_until_idle(10_000);
+        let c: &ClosedLoopClient = w.actor(CLIENT).unwrap();
+        assert!(c.is_done());
+        assert!(c.records[0].ok, "second attempt succeeded");
+    }
+}

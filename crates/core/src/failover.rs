@@ -1,0 +1,199 @@
+//! Failure orchestration — the §5.3 sequences, scripted onto a simulation.
+//!
+//! Switch replacement follows the paper exactly:
+//!
+//! 1. the failed switch stops forwarding (throughput collapses — Figure 10);
+//! 2. the operator activates a replacement with a **fresh, larger switch
+//!    id** and no soft state;
+//! 3. the configuration service tells every replica to honour fast-path
+//!    reads only from the new incarnation (the lease moves, monotonically);
+//! 4. the new switch forwards everything through the normal protocol until
+//!    the first WRITE-COMPLETION bearing its own id proves its dirty set and
+//!    last-committed point current — then single-replica reads resume.
+//!
+//! Steps 1–2 are world mutations; 3 is control traffic; 4 is the
+//! [`ConflictDetector`]'s gating, no orchestration needed.
+//!
+//! [`ConflictDetector`]: harmonia_switch::ConflictDetector
+
+use harmonia_replication::{messages::ReplicaControlMsg, ProtocolMsg};
+use harmonia_sim::World;
+use harmonia_types::{ControlMsg, Instant, NodeId, PacketBody, ReplicaId, SwitchId};
+
+use crate::client::{ClosedLoopClient, OpenLoopClient};
+use crate::cluster::ClusterConfig;
+use crate::msg::Msg;
+
+/// Stop a switch at `at`: it retains no state and forwards nothing.
+pub fn schedule_switch_failure(world: &mut World<Msg>, at: Instant, switch: NodeId) {
+    world.schedule_control(at, move |w| {
+        w.set_down(switch);
+    });
+}
+
+/// Activate a replacement switch at `at` with incarnation `new_id`,
+/// re-point every replica's lease and every listed client at it.
+pub fn schedule_switch_replacement(
+    world: &mut World<Msg>,
+    at: Instant,
+    cluster: &ClusterConfig,
+    new_id: SwitchId,
+    clients: Vec<NodeId>,
+) {
+    let cluster = cluster.clone();
+    world.schedule_control(at, move |w| {
+        let new_addr = NodeId::Switch(new_id);
+        w.add_node(new_addr, Box::new(cluster.make_switch(new_id)));
+        // Configuration service: move the lease (replicas reject fast-path
+        // reads from older incarnations from now on) and retarget replies.
+        for i in 0..cluster.replicas as u32 {
+            let dst = NodeId::Replica(ReplicaId(i));
+            w.inject(
+                NodeId::Controller,
+                dst,
+                Msg::new(
+                    NodeId::Controller,
+                    dst,
+                    PacketBody::Protocol(ProtocolMsg::Control(
+                        ReplicaControlMsg::SetActiveSwitch(new_id),
+                    )),
+                ),
+            );
+        }
+        // Clients learn the replacement out of band (harness affordance —
+        // in a deployment this is the same L2 address).
+        for c in clients {
+            if let Some(cl) = w.actor_mut::<OpenLoopClient>(c) {
+                cl.set_switch(new_addr);
+            } else if let Some(cl) = w.actor_mut::<ClosedLoopClient>(c) {
+                cl.set_switch(new_addr);
+            }
+        }
+    });
+}
+
+/// Remove a failed replica at `at`: take it offline, drop it from the
+/// switch's forwarding table, and shrink the group's membership (§5.3,
+/// "handling server failures").
+pub fn schedule_replica_removal(
+    world: &mut World<Msg>,
+    at: Instant,
+    cluster: &ClusterConfig,
+    switch: NodeId,
+    failed: ReplicaId,
+) {
+    let n = cluster.replicas as u32;
+    world.schedule_control(at, move |w| {
+        w.set_down(NodeId::Replica(failed));
+        w.inject(
+            NodeId::Controller,
+            switch,
+            Msg::new(
+                NodeId::Controller,
+                switch,
+                PacketBody::Control(ControlMsg::RemoveReplica(failed)),
+            ),
+        );
+        let survivors: Vec<ReplicaId> = (0..n).map(ReplicaId).filter(|&r| r != failed).collect();
+        for &r in &survivors {
+            let dst = NodeId::Replica(r);
+            w.inject(
+                NodeId::Controller,
+                dst,
+                Msg::new(
+                    NodeId::Controller,
+                    dst,
+                    PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetMembers(
+                        survivors.clone(),
+                    ))),
+                ),
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{metrics, OpSpec, SourceFn};
+    use crate::cluster::{add_open_loop_client, build_world};
+    use crate::switch_actor::SwitchActor;
+    use bytes::Bytes;
+    use harmonia_types::{ClientId, Duration};
+    use rand::Rng;
+
+    fn mixed_source() -> SourceFn {
+        Box::new(|rng| {
+            let key = Bytes::from(format!("key-{}", rng.gen_range(0..500u32)));
+            if rng.gen_bool(0.05) {
+                OpSpec::write(key, Bytes::from_static(b"v"))
+            } else {
+                OpSpec::read(key)
+            }
+        })
+    }
+
+    #[test]
+    fn switch_failover_restores_fast_path_after_first_completion() {
+        let cfg = ClusterConfig::default();
+        let mut w = build_world(&cfg);
+        let client = add_open_loop_client(
+            &mut w,
+            &cfg,
+            ClientId(1),
+            100_000.0,
+            Duration::from_millis(5),
+            mixed_source(),
+        );
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        schedule_switch_failure(&mut w, t(10), cfg.switch_addr());
+        schedule_switch_replacement(&mut w, t(15), &cfg, SwitchId(2), vec![client]);
+
+        // Phase 1: normal operation.
+        w.run_until(t(10));
+        let before = w.metrics().counter(metrics::READ_DONE);
+        assert!(before > 500);
+
+        // Phase 2: outage — nothing completes (allow 1 ms for replies that
+        // were already in flight toward clients when the switch died).
+        w.run_until(t(11));
+        w.metrics_mut().reset();
+        w.run_until(t(15));
+        assert_eq!(w.metrics().counter(metrics::READ_DONE), 0);
+
+        // Phase 3: replacement active; traffic flows again and the new
+        // incarnation's fast path turns on after the first completion.
+        w.metrics_mut().reset();
+        w.run_until(t(40));
+        let after = w.metrics().counter(metrics::READ_DONE);
+        assert!(after > 1000, "after={after}");
+        let sw: &SwitchActor = w.actor(NodeId::Switch(SwitchId(2))).unwrap();
+        assert!(sw.detector().fast_path_enabled());
+        assert!(sw.stats().reads_fast_path > 0);
+        assert_eq!(sw.incarnation(), SwitchId(2));
+    }
+
+    #[test]
+    fn replica_removal_keeps_chain_serving() {
+        let cfg = ClusterConfig::default();
+        let mut w = build_world(&cfg);
+        add_open_loop_client(
+            &mut w,
+            &cfg,
+            ClientId(1),
+            50_000.0,
+            Duration::from_millis(5),
+            mixed_source(),
+        );
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        // Kill the tail (replica 2) at 10 ms.
+        schedule_replica_removal(&mut w, t(10), &cfg, cfg.switch_addr(), ReplicaId(2));
+        w.run_until(t(12));
+        w.metrics_mut().reset();
+        w.run_until(t(30));
+        let reads = w.metrics().counter(metrics::READ_DONE);
+        let writes = w.metrics().counter(metrics::WRITE_DONE);
+        assert!(reads > 400, "reads={reads}");
+        assert!(writes > 20, "writes={writes}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Harmonia cluster assembly: the switch actor, replica actors, client
+//! library, failure orchestration, and the two drivers.
+//!
+//! The pieces from the other crates meet here:
+//!
+//! * [`switch_actor::SwitchActor`] wires the conflict detector, forwarding
+//!   table, and NOPaxos sequencer from `harmonia-switch` into a node that
+//!   processes every packet of the rack (Figure 1 of the paper).
+//! * [`replica_actor::ReplicaActor`] runs any `harmonia-replication` state
+//!   machine behind the calibrated service-cost model ([`msg::CostModel`]).
+//! * [`client`] provides an open-loop load generator (the DPDK-generator
+//!   substitute) and a closed-loop client that records histories for
+//!   linearizability checking.
+//! * [`cluster`] builds a full simulated deployment in one call;
+//!   [`failover`] scripts the §5.3 switch failure/replacement sequence and
+//!   server removal.
+//! * [`live`] runs the very same state machines on OS threads connected by
+//!   channels — the "it's a real system, not only a simulator" driver.
+
+pub mod client;
+pub mod cluster;
+pub mod failover;
+pub mod live;
+pub mod msg;
+pub mod replica_actor;
+pub mod switch_actor;
+
+pub use client::{ClosedLoopClient, OpSpec, OpenLoopClient, OpenLoopConfig, RecordedOp};
+pub use cluster::{add_open_loop_client, build_world, ClusterConfig};
+pub use msg::{CostModel, Msg};
+pub use replica_actor::ReplicaActor;
+pub use switch_actor::{SwitchActor, SwitchMode};

@@ -1,0 +1,416 @@
+//! The live driver: the same state machines on OS threads.
+//!
+//! Every node — the switch and each replica — runs on its own thread,
+//! connected by crossbeam channels (the "links"). Nothing in the protocol
+//! or switch logic changes relative to the simulation; only the driver
+//! differs. This is the deployment mode the examples use, demonstrating the
+//! library runs as a real in-process storage service, not only under
+//! virtual time.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use harmonia_replication::{build_replica, Effects, GroupConfig, Replica};
+use harmonia_types::{
+    ClientId, ClientRequest, NodeId, OpKind, PacketBody, ReplicaId, RequestId, SwitchId,
+    WriteOutcome,
+};
+
+use crate::cluster::ClusterConfig;
+use crate::msg::Msg;
+use crate::switch_actor::SwitchCore;
+
+enum Envelope {
+    Packet(Msg),
+    Stop,
+}
+
+#[derive(Default)]
+struct Router {
+    routes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+}
+
+impl Router {
+    fn register(&self, node: NodeId, tx: Sender<Envelope>) {
+        self.routes.write().insert(node, tx);
+    }
+
+    fn send(&self, to: NodeId, msg: Msg) {
+        if let Some(tx) = self.routes.read().get(&to) {
+            let _ = tx.send(Envelope::Packet(msg));
+        }
+    }
+}
+
+/// Errors a live client can observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveError {
+    /// No (complete) reply within the deadline, after all retries.
+    TimedOut,
+    /// The cluster is shutting down.
+    Disconnected,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::TimedOut => write!(f, "request timed out"),
+            LiveError::Disconnected => write!(f, "cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+/// A synchronous client handle onto a [`LiveCluster`].
+pub struct LiveClient {
+    id: ClientId,
+    router: Arc<Router>,
+    rx: Receiver<Envelope>,
+    switch: NodeId,
+    write_replies: usize,
+    timeout: StdDuration,
+    retries: u32,
+    next_request: u64,
+}
+
+impl LiveClient {
+    /// Read `key`, blocking until the reply (with retry).
+    pub fn get(&mut self, key: impl Into<Bytes>) -> Result<Option<Bytes>, LiveError> {
+        let key = key.into();
+        self.run_op(OpKind::Read, key, None)
+    }
+
+    /// Write `key := value`, blocking until committed (with retry).
+    pub fn set(
+        &mut self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Result<(), LiveError> {
+        let (key, value) = (key.into(), value.into());
+        self.run_op(OpKind::Write, key, Some(value)).map(|_| ())
+    }
+
+    fn run_op(
+        &mut self,
+        kind: OpKind,
+        key: Bytes,
+        value: Option<Bytes>,
+    ) -> Result<Option<Bytes>, LiveError> {
+        for _attempt in 0..=self.retries {
+            let rid = RequestId(self.next_request);
+            self.next_request += 1;
+            let req = match kind {
+                OpKind::Read => ClientRequest::read(self.id, rid, key.clone()),
+                OpKind::Write => ClientRequest::write(
+                    self.id,
+                    rid,
+                    key.clone(),
+                    value.clone().unwrap_or_default(),
+                ),
+            };
+            self.router.send(
+                self.switch,
+                Msg::new(NodeId::Client(self.id), self.switch, PacketBody::Request(req)),
+            );
+            match self.await_replies(kind, rid)? {
+                Some(result) => return Ok(result),
+                None => continue, // timed out or rejected: retry
+            }
+        }
+        Err(LiveError::TimedOut)
+    }
+
+    /// Wait for enough replies to `rid`. `Ok(Some(v))` = completed,
+    /// `Ok(None)` = retry-worthy failure.
+    #[allow(clippy::type_complexity)]
+    fn await_replies(
+        &mut self,
+        kind: OpKind,
+        rid: RequestId,
+    ) -> Result<Option<Option<Bytes>>, LiveError> {
+        let needed = match kind {
+            OpKind::Read => 1,
+            OpKind::Write => self.write_replies,
+        };
+        let deadline = StdInstant::now() + self.timeout;
+        let mut got = 0;
+        let mut result = None;
+        loop {
+            let now = StdInstant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(Envelope::Packet(msg)) => {
+                    let PacketBody::Reply(reply) = msg.body else {
+                        continue;
+                    };
+                    if reply.request != rid {
+                        continue; // stale reply from an earlier attempt
+                    }
+                    match reply.write_outcome {
+                        Some(WriteOutcome::Rejected) | Some(WriteOutcome::DroppedBySwitch) => {
+                            return Ok(None);
+                        }
+                        _ => {}
+                    }
+                    got += 1;
+                    if reply.value.is_some() {
+                        result = reply.value;
+                    }
+                    if got >= needed {
+                        return Ok(Some(result));
+                    }
+                }
+                Ok(Envelope::Stop) => return Err(LiveError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(LiveError::Disconnected),
+            }
+        }
+    }
+}
+
+/// An in-process cluster on OS threads.
+pub struct LiveCluster {
+    router: Arc<Router>,
+    switch: NodeId,
+    write_replies: usize,
+    threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
+    next_client: AtomicU32,
+}
+
+impl LiveCluster {
+    /// Spawn the switch and replica threads for `cfg`.
+    pub fn spawn(cfg: &ClusterConfig) -> Self {
+        let router = Arc::new(Router::default());
+        let mut threads = Vec::new();
+
+        // Switch thread.
+        let switch_addr = cfg.switch_addr();
+        let (sw_tx, sw_rx) = unbounded::<Envelope>();
+        router.register(switch_addr, sw_tx.clone());
+        {
+            let router = Arc::clone(&router);
+            let mut core = SwitchCore::new_for(cfg, SwitchId(1));
+            let sweep = cfg
+                .sweep_interval
+                .map(|d| d.to_std())
+                .unwrap_or(StdDuration::from_millis(10));
+            let handle = std::thread::Builder::new()
+                .name("harmonia-switch".into())
+                .spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x5717c4);
+                    let mut out = Vec::new();
+                    loop {
+                        match sw_rx.recv_timeout(sweep) {
+                            Ok(Envelope::Packet(msg)) => {
+                                core.handle(switch_addr, msg, &mut rng, &mut out);
+                                for (dst, m) in out.drain(..) {
+                                    router.send(dst, m);
+                                }
+                            }
+                            Ok(Envelope::Stop) => break,
+                            Err(RecvTimeoutError::Timeout) => {
+                                core.sweep();
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                })
+                .expect("spawn switch thread");
+            threads.push((sw_tx, handle));
+        }
+
+        // Replica threads.
+        for i in 0..cfg.replicas as u32 {
+            let me = NodeId::Replica(ReplicaId(i));
+            let (tx, rx) = unbounded::<Envelope>();
+            router.register(me, tx.clone());
+            let router2 = Arc::clone(&router);
+            let group = GroupConfig {
+                protocol: cfg.protocol,
+                me: ReplicaId(i),
+                members: (0..cfg.replicas as u32).map(ReplicaId).collect(),
+                harmonia: cfg.harmonia,
+                active_switch: SwitchId(1),
+                sync_interval: cfg.sync_interval,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("harmonia-replica-{i}"))
+                .spawn(move || replica_main(me, build_replica(group), rx, router2))
+                .expect("spawn replica thread");
+            threads.push((tx, handle));
+        }
+
+        LiveCluster {
+            router,
+            switch: switch_addr,
+            write_replies: cfg.write_replies(),
+            threads,
+            next_client: AtomicU32::new(1),
+        }
+    }
+
+    /// Create a synchronous client handle.
+    pub fn client(&self) -> LiveClient {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = bounded::<Envelope>(1024);
+        self.router.register(NodeId::Client(id), tx);
+        LiveClient {
+            id,
+            router: Arc::clone(&self.router),
+            rx,
+            switch: self.switch,
+            write_replies: self.write_replies,
+            timeout: StdDuration::from_millis(200),
+            retries: 5,
+            next_request: 0,
+        }
+    }
+
+    /// Stop every thread and wait for them.
+    pub fn shutdown(self) {
+        for (tx, _) in &self.threads {
+            let _ = tx.send(Envelope::Stop);
+        }
+        for (_, handle) in self.threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn replica_main(
+    me: NodeId,
+    mut replica: Box<dyn Replica>,
+    rx: Receiver<Envelope>,
+    router: Arc<Router>,
+) {
+    let tick = replica.tick_interval().map(|d| d.to_std());
+    let mut next_tick = tick.map(|t| StdInstant::now() + t);
+    loop {
+        let wait = match next_tick {
+            Some(at) => at.saturating_duration_since(StdInstant::now()),
+            None => StdDuration::from_millis(50),
+        };
+        match rx.recv_timeout(wait) {
+            Ok(Envelope::Packet(msg)) => {
+                let mut fx = Effects::new();
+                match msg.body {
+                    PacketBody::Request(req) => replica.on_request(msg.src, req, &mut fx),
+                    PacketBody::Protocol(p) => replica.on_protocol(msg.src, p, &mut fx),
+                    _ => {}
+                }
+                for (dst, body) in fx.out {
+                    router.send(dst, Msg::new(me, dst, body));
+                }
+            }
+            Ok(Envelope::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if let (Some(at), Some(iv)) = (next_tick, tick) {
+            if StdInstant::now() >= at {
+                let mut fx = Effects::new();
+                replica.on_tick(&mut fx);
+                for (dst, body) in fx.out {
+                    router.send(dst, Msg::new(me, dst, body));
+                }
+                next_tick = Some(StdInstant::now() + iv);
+            }
+        }
+    }
+}
+
+impl SwitchCore {
+    /// Build a core straight from a cluster config (live driver).
+    pub fn new_for(cfg: &ClusterConfig, incarnation: SwitchId) -> Self {
+        SwitchCore::new(crate::switch_actor::SwitchActorConfig {
+            incarnation,
+            mode: if cfg.harmonia {
+                crate::switch_actor::SwitchMode::Harmonia
+            } else {
+                crate::switch_actor::SwitchMode::Baseline
+            },
+            protocol: cfg.protocol,
+            replicas: cfg.replicas,
+            table: cfg.table,
+            sweep_interval: cfg.sweep_interval,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_replication::ProtocolKind;
+
+    fn roundtrip(protocol: ProtocolKind, harmonia: bool) {
+        let cfg = ClusterConfig {
+            protocol,
+            harmonia,
+            ..ClusterConfig::default()
+        };
+        let cluster = LiveCluster::spawn(&cfg);
+        let mut client = cluster.client();
+        assert_eq!(client.get("missing").unwrap(), None);
+        client.set("alpha", "1").unwrap();
+        client.set("beta", "2").unwrap();
+        client.set("alpha", "3").unwrap();
+        assert_eq!(client.get("alpha").unwrap(), Some(Bytes::from_static(b"3")));
+        assert_eq!(client.get("beta").unwrap(), Some(Bytes::from_static(b"2")));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_chain_harmonia_roundtrip() {
+        roundtrip(ProtocolKind::Chain, true);
+    }
+
+    #[test]
+    fn live_chain_baseline_roundtrip() {
+        roundtrip(ProtocolKind::Chain, false);
+    }
+
+    #[test]
+    fn live_pb_roundtrip() {
+        roundtrip(ProtocolKind::PrimaryBackup, true);
+    }
+
+    #[test]
+    fn live_craq_roundtrip() {
+        roundtrip(ProtocolKind::Craq, false);
+    }
+
+    #[test]
+    fn live_vr_roundtrip() {
+        roundtrip(ProtocolKind::Vr, true);
+    }
+
+    #[test]
+    fn live_nopaxos_roundtrip() {
+        roundtrip(ProtocolKind::Nopaxos, true);
+    }
+
+    #[test]
+    fn two_clients_see_each_others_writes() {
+        let cfg = ClusterConfig::default();
+        let cluster = LiveCluster::spawn(&cfg);
+        let mut a = cluster.client();
+        let mut b = cluster.client();
+        a.set("shared", "from-a").unwrap();
+        assert_eq!(b.get("shared").unwrap(), Some(Bytes::from_static(b"from-a")));
+        b.set("shared", "from-b").unwrap();
+        assert_eq!(a.get("shared").unwrap(), Some(Bytes::from_static(b"from-b")));
+        cluster.shutdown();
+    }
+}

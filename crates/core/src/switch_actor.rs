@@ -1,0 +1,588 @@
+//! The switch as a simulated node.
+//!
+//! Every packet of the rack traverses this actor (Figure 1): client requests
+//! are run through Algorithm 1 (Harmonia mode) or plain entry-point routing
+//! (baseline mode); replies flowing back to clients are snooped for
+//! piggybacked WRITE-COMPLETIONs; standalone completions update the conflict
+//! detector; protocol traffic would be forwarded by L2/L3 (the simulation
+//! sends replica↔replica messages directly, so none arrives here).
+//!
+//! The actor's service model is [`Service::Immediate`]: a Tofino processes
+//! packets at line rate, so the switch is pure delay, never a queue — the
+//! property that lets Harmonia claim zero overhead (§6).
+
+use harmonia_replication::messages::{NopaxosMsg, ProtocolMsg, WriteOp};
+use harmonia_sim::{Actor, Context, Service, TimerToken};
+use harmonia_switch::{
+    ConflictConfig, ConflictDetector, ForwardingTable, ReadDecision, ReadEntry, Sequencer,
+    SwitchStats, TableConfig, WriteDecision, WriteEntry,
+};
+use harmonia_types::{
+    ClientRequest, ControlMsg, Duration, NodeId, OpKind, PacketBody, ReadMode, SwitchId,
+    SwitchSeq,
+};
+use harmonia_replication::ProtocolKind;
+
+use crate::msg::Msg;
+
+/// Is the conflict-detection module loaded on this switch?
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SwitchMode {
+    /// Plain L2/L3 + protocol entry-point routing (the "without Harmonia"
+    /// baselines of §9). CRAQ additionally gets anycast reads — its protocol
+    /// handles per-object cleanliness itself.
+    Baseline,
+    /// In-network conflict detection per Algorithm 1.
+    Harmonia,
+}
+
+/// Switch actor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchActorConfig {
+    /// This incarnation's id (bump on every replacement, §5.3).
+    pub incarnation: SwitchId,
+    /// Baseline or Harmonia.
+    pub mode: SwitchMode,
+    /// The protocol the replica group runs (decides entry points).
+    pub protocol: ProtocolKind,
+    /// Number of replicas initially registered.
+    pub replicas: usize,
+    /// Dirty-set geometry.
+    pub table: TableConfig,
+    /// Cadence of the control-plane stale-entry sweep (§5.2); `None`
+    /// disables it (lazy read-time scrubbing still runs).
+    pub sweep_interval: Option<Duration>,
+}
+
+/// Transport-agnostic switch logic, shared by the simulated actor and the
+/// live threaded driver.
+pub struct SwitchCore {
+    cfg: SwitchActorConfig,
+    detector: ConflictDetector,
+    fwd: ForwardingTable,
+    sequencer: Sequencer,
+    stats: SwitchStats,
+}
+
+impl SwitchCore {
+    /// Build the data-plane state for `cfg`.
+    pub fn new(cfg: SwitchActorConfig) -> Self {
+        let (write_entry, read_entry) = match cfg.protocol {
+            ProtocolKind::PrimaryBackup => (WriteEntry::Primary, ReadEntry::Primary),
+            ProtocolKind::Chain | ProtocolKind::Craq => {
+                (WriteEntry::ChainHead, ReadEntry::ChainTail)
+            }
+            ProtocolKind::Vr => (WriteEntry::Leader, ReadEntry::Leader),
+            ProtocolKind::Nopaxos => (WriteEntry::Multicast, ReadEntry::Leader),
+        };
+        SwitchCore {
+            cfg,
+            detector: ConflictDetector::new(ConflictConfig {
+                switch_id: cfg.incarnation,
+                table: cfg.table,
+            }),
+            fwd: ForwardingTable::new(cfg.replicas, write_entry, read_entry),
+            sequencer: Sequencer::new(u64::from(cfg.incarnation.0)),
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Data-plane counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// The conflict-detection module (inspection).
+    pub fn detector(&self) -> &ConflictDetector {
+        &self.detector
+    }
+
+    /// This incarnation's id.
+    pub fn incarnation(&self) -> SwitchId {
+        self.cfg.incarnation
+    }
+
+    fn handle_write(
+        &mut self,
+        me: NodeId,
+        mut req: ClientRequest,
+        out: &mut Vec<(NodeId, Msg)>,
+    ) {
+        // Harmonia: Algorithm 1 lines 1–4.
+        if self.cfg.mode == SwitchMode::Harmonia {
+            match self.detector.process_write(req.obj) {
+                WriteDecision::Stamped(seq) => req.seq = Some(seq),
+                WriteDecision::Dropped => {
+                    // §6.1: no dirty-set slot — the write is dropped in the
+                    // data plane; the client will time out and retry.
+                    self.stats.writes_dropped += 1;
+                    return;
+                }
+            }
+        }
+        self.stats.writes_forwarded += 1;
+        if self.cfg.protocol == ProtocolKind::Nopaxos {
+            // Ordered unreliable multicast: stamp and fan out (§7.3).
+            let stamp = self.sequencer.stamp();
+            let seq = req
+                .seq
+                .unwrap_or(SwitchSeq::new(self.cfg.incarnation, stamp.seq));
+            let op = WriteOp {
+                seq,
+                obj: req.obj,
+                key: req.key.clone(),
+                value: req.value.clone().unwrap_or_default(),
+                client: req.client,
+                request: req.request,
+            };
+            for &r in self.fwd.replicas() {
+                let dst = NodeId::Replica(r);
+                out.push((
+                    dst,
+                    Msg::new(
+                        me,
+                        dst,
+                        PacketBody::Protocol(ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced {
+                            session: stamp.session,
+                            oum_seq: stamp.seq,
+                            op: op.clone(),
+                        })),
+                    ),
+                ));
+            }
+        } else if let Some(&dst) = self.fwd.write_destinations().first() {
+            out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
+        }
+    }
+
+    fn handle_read(
+        &mut self,
+        me: NodeId,
+        mut req: ClientRequest,
+        rng: &mut rand::rngs::SmallRng,
+        out: &mut Vec<(NodeId, Msg)>,
+    ) {
+        let dst = match self.cfg.mode {
+            SwitchMode::Harmonia => match self.detector.process_read(req.obj) {
+                ReadDecision::FastPath { last_committed } => {
+                    // Algorithm 1 lines 10–12.
+                    req.last_committed = Some(last_committed);
+                    req.read_mode = ReadMode::FastPath {
+                        switch: self.cfg.incarnation,
+                    };
+                    self.stats.reads_fast_path += 1;
+                    self.fwd.random_replica(rng)
+                }
+                ReadDecision::Normal => {
+                    self.stats.reads_normal += 1;
+                    self.fwd.normal_read_destination()
+                }
+            },
+            SwitchMode::Baseline => {
+                self.stats.reads_normal += 1;
+                if self.cfg.protocol == ProtocolKind::Craq {
+                    // CRAQ serves reads at any replica natively.
+                    self.fwd.random_replica(rng)
+                } else {
+                    self.fwd.normal_read_destination()
+                }
+            }
+        };
+        if let Some(dst) = dst {
+            out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
+        }
+    }
+
+    /// Process one packet, pushing forwarded packets onto `out`.
+    pub fn handle(
+        &mut self,
+        me: NodeId,
+        msg: Msg,
+        rng: &mut rand::rngs::SmallRng,
+        out: &mut Vec<(NodeId, Msg)>,
+    ) {
+        match msg.body {
+            PacketBody::Request(req) => match req.op {
+                OpKind::Write => self.handle_write(me, req, out),
+                OpKind::Read => self.handle_read(me, req, rng, out),
+            },
+            PacketBody::Reply(reply) => {
+                // Snoop the piggybacked completion (Figure 2b), then forward
+                // the reply to its client.
+                if self.cfg.mode == SwitchMode::Harmonia {
+                    if let Some(c) = reply.completion {
+                        self.detector.process_completion(c);
+                        self.stats.completions += 1;
+                    }
+                }
+                let dst = NodeId::Client(reply.client);
+                out.push((dst, Msg::new(me, dst, PacketBody::Reply(reply))));
+            }
+            PacketBody::Completion(c) => {
+                if self.cfg.mode == SwitchMode::Harmonia {
+                    self.detector.process_completion(c);
+                    self.stats.completions += 1;
+                }
+            }
+            PacketBody::Control(ctl) => match ctl {
+                ControlMsg::AddReplica(r) => self.fwd.add_replica(r),
+                ControlMsg::RemoveReplica(r) => self.fwd.remove_replica(r),
+                ControlMsg::SetReplicas(rs) => self.fwd.set_replicas(rs),
+            },
+            PacketBody::Protocol(p) => {
+                // L2/L3 forwarding of protocol traffic routed through the
+                // switch (the sim normally sends these direct).
+                self.stats.forwarded_other += 1;
+                let dst = msg.dst;
+                out.push((dst, Msg::new(msg.src, dst, PacketBody::Protocol(p))));
+            }
+        }
+    }
+
+    /// Control-plane sweep of stale dirty entries (§5.2).
+    pub fn sweep(&mut self) -> usize {
+        self.detector.sweep()
+    }
+}
+
+/// The switch as a simulated node: [`SwitchCore`] plus timers and the
+/// line-rate service model.
+pub struct SwitchActor {
+    core: SwitchCore,
+    out: Vec<(NodeId, Msg)>,
+}
+
+impl SwitchActor {
+    /// Build a switch for `cfg`.
+    pub fn new(cfg: SwitchActorConfig) -> Self {
+        SwitchActor {
+            core: SwitchCore::new(cfg),
+            out: Vec::new(),
+        }
+    }
+
+    /// Data-plane counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.core.stats()
+    }
+
+    /// The conflict-detection module (inspection).
+    pub fn detector(&self) -> &ConflictDetector {
+        self.core.detector()
+    }
+
+    /// This incarnation's id.
+    pub fn incarnation(&self) -> SwitchId {
+        self.core.incarnation()
+    }
+}
+
+impl Actor<Msg> for SwitchActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(iv) = self.core.cfg.sweep_interval {
+            ctx.set_timer(iv);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        let was_drops = self.core.stats().writes_dropped;
+        let mut out = std::mem::take(&mut self.out);
+        self.core.handle(ctx.node(), msg, ctx.rng(), &mut out);
+        if self.core.stats().writes_dropped > was_drops {
+            ctx.metrics().incr("switch.write_dropped");
+        }
+        for (dst, m) in out.drain(..) {
+            ctx.send(dst, m);
+        }
+        self.out = out;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _token: TimerToken) {
+        let swept = self.core.sweep();
+        if swept > 0 {
+            ctx.metrics().add("switch.swept", swept as u64);
+        }
+        if let Some(iv) = self.core.cfg.sweep_interval {
+            ctx.set_timer(iv);
+        }
+    }
+
+    fn service(&self, _msg: &Msg) -> Service {
+        // Line rate: pure delay, never a queue (§6).
+        Service::Immediate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};
+    use harmonia_types::{ClientId, RequestId, WriteCompletion};
+
+    const SWITCH: NodeId = NodeId::Switch(SwitchId(1));
+
+    fn cfg(mode: SwitchMode, protocol: ProtocolKind) -> SwitchActorConfig {
+        SwitchActorConfig {
+            incarnation: SwitchId(1),
+            mode,
+            protocol,
+            replicas: 3,
+            table: TableConfig {
+                stages: 2,
+                slots_per_stage: 64,
+                entry_bytes: 8,
+            },
+            sweep_interval: None,
+        }
+    }
+
+    /// Collects everything addressed to it.
+    struct Sink {
+        got: Vec<Msg>,
+    }
+    impl Actor<Msg> for Sink {
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            self.got.push(msg);
+        }
+    }
+
+    fn world_with_switch(mode: SwitchMode, protocol: ProtocolKind) -> World<Msg> {
+        let mut w = World::new(WorldConfig {
+            seed: 1,
+            network: NetworkModel::uniform(LinkConfig::ideal(harmonia_types::Duration::from_micros(1))),
+        });
+        w.add_node(SWITCH, Box::new(SwitchActor::new(cfg(mode, protocol))));
+        for r in 0..3 {
+            w.add_node(
+                NodeId::Replica(harmonia_types::ReplicaId(r)),
+                Box::new(Sink { got: vec![] }),
+            );
+        }
+        w.add_node(NodeId::Client(ClientId(1)), Box::new(Sink { got: vec![] }));
+        w
+    }
+
+    fn send_req(w: &mut World<Msg>, req: ClientRequest) {
+        let from = NodeId::Client(req.client);
+        w.inject(from, SWITCH, Msg::new(from, SWITCH, PacketBody::Request(req)));
+        w.run_until_idle(1000);
+    }
+
+    fn replica_msgs(w: &World<Msg>, r: u32) -> &Vec<Msg> {
+        &w.actor::<Sink>(NodeId::Replica(harmonia_types::ReplicaId(r)))
+            .unwrap()
+            .got
+    }
+
+    #[test]
+    fn harmonia_write_is_stamped_and_sent_to_entry_point() {
+        let mut w = world_with_switch(SwitchMode::Harmonia, ProtocolKind::Chain);
+        send_req(
+            &mut w,
+            ClientRequest::write(ClientId(1), RequestId(1), &b"k"[..], &b"v"[..]),
+        );
+        let head = replica_msgs(&w, 0);
+        assert_eq!(head.len(), 1);
+        let PacketBody::Request(req) = &head[0].body else {
+            panic!()
+        };
+        assert_eq!(req.seq, Some(SwitchSeq::new(SwitchId(1), 1)));
+        let sw: &SwitchActor = w.actor(SWITCH).unwrap();
+        assert_eq!(sw.detector().dirty_len(), 1);
+    }
+
+    #[test]
+    fn reads_use_normal_path_until_first_completion_then_fast_path() {
+        let mut w = world_with_switch(SwitchMode::Harmonia, ProtocolKind::Chain);
+        send_req(
+            &mut w,
+            ClientRequest::read(ClientId(1), RequestId(1), &b"a"[..]),
+        );
+        // Normal path -> tail (replica 2).
+        assert_eq!(replica_msgs(&w, 2).len(), 1);
+        // Write commits: completion arrives.
+        send_req(
+            &mut w,
+            ClientRequest::write(ClientId(1), RequestId(2), &b"k"[..], &b"v"[..]),
+        );
+        w.inject(
+            NodeId::Replica(harmonia_types::ReplicaId(2)),
+            SWITCH,
+            Msg::new(
+                NodeId::Replica(harmonia_types::ReplicaId(2)),
+                SWITCH,
+                PacketBody::Completion(WriteCompletion {
+                    obj: harmonia_types::ObjectId::from_key(b"k"),
+                    seq: SwitchSeq::new(SwitchId(1), 1),
+                }),
+            ),
+        );
+        w.run_until_idle(100);
+        // Fast path now on: an uncontended read is stamped and randomized.
+        send_req(
+            &mut w,
+            ClientRequest::read(ClientId(1), RequestId(3), &b"a"[..]),
+        );
+        let sw: &SwitchActor = w.actor(SWITCH).unwrap();
+        assert_eq!(sw.stats().reads_fast_path, 1);
+        assert_eq!(sw.stats().reads_normal, 1);
+        let fast: Vec<_> = (0..3)
+            .flat_map(|r| replica_msgs(&w, r).iter())
+            .filter_map(|m| match &m.body {
+                PacketBody::Request(r) if r.read_mode.is_fast_path() => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast[0].last_committed, Some(SwitchSeq::new(SwitchId(1), 1)));
+    }
+
+    #[test]
+    fn contended_read_takes_normal_path() {
+        let mut w = world_with_switch(SwitchMode::Harmonia, ProtocolKind::Chain);
+        // Prime fast path.
+        send_req(
+            &mut w,
+            ClientRequest::write(ClientId(1), RequestId(1), &b"k"[..], &b"v"[..]),
+        );
+        w.inject(
+            NodeId::Replica(harmonia_types::ReplicaId(2)),
+            SWITCH,
+            Msg::new(
+                NodeId::Replica(harmonia_types::ReplicaId(2)),
+                SWITCH,
+                PacketBody::Completion(WriteCompletion {
+                    obj: harmonia_types::ObjectId::from_key(b"k"),
+                    seq: SwitchSeq::new(SwitchId(1), 1),
+                }),
+            ),
+        );
+        w.run_until_idle(100);
+        // A pending write to "hot" makes reads of it contended.
+        send_req(
+            &mut w,
+            ClientRequest::write(ClientId(1), RequestId(2), &b"hot"[..], &b"v"[..]),
+        );
+        send_req(
+            &mut w,
+            ClientRequest::read(ClientId(1), RequestId(3), &b"hot"[..]),
+        );
+        let sw: &SwitchActor = w.actor(SWITCH).unwrap();
+        assert_eq!(sw.stats().reads_normal, 1);
+        assert_eq!(sw.stats().reads_fast_path, 0);
+    }
+
+    #[test]
+    fn baseline_routes_reads_to_entry_point_only() {
+        let mut w = world_with_switch(SwitchMode::Baseline, ProtocolKind::Chain);
+        for i in 0..5 {
+            send_req(
+                &mut w,
+                ClientRequest::read(ClientId(1), RequestId(i), &b"k"[..]),
+            );
+        }
+        assert_eq!(replica_msgs(&w, 2).len(), 5, "all reads at the tail");
+        assert_eq!(replica_msgs(&w, 0).len(), 0);
+        let sw: &SwitchActor = w.actor(SWITCH).unwrap();
+        assert_eq!(sw.detector().dirty_len(), 0, "baseline tracks nothing");
+    }
+
+    #[test]
+    fn craq_baseline_anycasts_reads() {
+        let mut w = world_with_switch(SwitchMode::Baseline, ProtocolKind::Craq);
+        for i in 0..30 {
+            send_req(
+                &mut w,
+                ClientRequest::read(ClientId(1), RequestId(i), &b"k"[..]),
+            );
+        }
+        let counts: Vec<usize> = (0..3).map(|r| replica_msgs(&w, r).len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 30);
+        assert!(counts.iter().all(|&c| c > 0), "spread across replicas: {counts:?}");
+    }
+
+    #[test]
+    fn nopaxos_write_is_sequenced_and_multicast() {
+        let mut w = world_with_switch(SwitchMode::Harmonia, ProtocolKind::Nopaxos);
+        send_req(
+            &mut w,
+            ClientRequest::write(ClientId(1), RequestId(1), &b"k"[..], &b"v"[..]),
+        );
+        for r in 0..3 {
+            let msgs = replica_msgs(&w, r);
+            assert_eq!(msgs.len(), 1, "replica {r}");
+            let PacketBody::Protocol(ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced {
+                session,
+                oum_seq,
+                op,
+            })) = &msgs[0].body
+            else {
+                panic!("expected sequenced multicast")
+            };
+            assert_eq!(*session, 1);
+            assert_eq!(*oum_seq, 1);
+            assert_eq!(op.seq, SwitchSeq::new(SwitchId(1), 1));
+        }
+    }
+
+    #[test]
+    fn reply_snooping_processes_piggybacked_completion() {
+        let mut w = world_with_switch(SwitchMode::Harmonia, ProtocolKind::Chain);
+        send_req(
+            &mut w,
+            ClientRequest::write(ClientId(1), RequestId(1), &b"k"[..], &b"v"[..]),
+        );
+        let sw: &SwitchActor = w.actor(SWITCH).unwrap();
+        assert_eq!(sw.detector().dirty_len(), 1);
+        // Tail's reply with the piggybacked completion passes the switch.
+        let reply = harmonia_types::ClientReply {
+            client: ClientId(1),
+            request: RequestId(1),
+            obj: harmonia_types::ObjectId::from_key(b"k"),
+            value: None,
+            write_outcome: Some(harmonia_types::WriteOutcome::Committed),
+            completion: Some(WriteCompletion {
+                obj: harmonia_types::ObjectId::from_key(b"k"),
+                seq: SwitchSeq::new(SwitchId(1), 1),
+            }),
+        };
+        w.inject(
+            NodeId::Replica(harmonia_types::ReplicaId(2)),
+            SWITCH,
+            Msg::new(
+                NodeId::Replica(harmonia_types::ReplicaId(2)),
+                SWITCH,
+                PacketBody::Reply(reply),
+            ),
+        );
+        w.run_until_idle(100);
+        let sw: &SwitchActor = w.actor(SWITCH).unwrap();
+        assert_eq!(sw.detector().dirty_len(), 0, "completion cleared the entry");
+        assert!(sw.detector().fast_path_enabled());
+        // And the client received the forwarded reply.
+        let client_msgs = &w.actor::<Sink>(NodeId::Client(ClientId(1))).unwrap().got;
+        assert_eq!(client_msgs.len(), 1);
+    }
+
+    #[test]
+    fn control_messages_update_forwarding() {
+        let mut w = world_with_switch(SwitchMode::Harmonia, ProtocolKind::Chain);
+        w.inject(
+            NodeId::Controller,
+            SWITCH,
+            Msg::new(
+                NodeId::Controller,
+                SWITCH,
+                PacketBody::Control(ControlMsg::RemoveReplica(harmonia_types::ReplicaId(2))),
+            ),
+        );
+        w.run_until_idle(10);
+        // Normal reads now land on replica 1 (new tail).
+        send_req(
+            &mut w,
+            ClientRequest::read(ClientId(1), RequestId(1), &b"k"[..]),
+        );
+        assert_eq!(replica_msgs(&w, 1).len(), 1);
+        assert_eq!(replica_msgs(&w, 2).len(), 0);
+    }
+}

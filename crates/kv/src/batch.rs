@@ -1,0 +1,155 @@
+//! Batched operations — the analogue of Redis pipelining.
+//!
+//! The paper's shim layer batches requests to Redis to amortize per-request
+//! overhead (§8). Our engine is in-process, so batching amortizes shard-lock
+//! acquisition instead; the interface shape is the same and the live driver
+//! uses it on its hot path.
+
+use bytes::Bytes;
+
+use crate::store::Store;
+use crate::versioned::VersionedValue;
+use harmonia_types::SwitchSeq;
+
+/// One operation in a batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BatchOp {
+    /// Read a key.
+    Get {
+        /// Key to read.
+        key: Bytes,
+    },
+    /// Write a key with a version tag.
+    Put {
+        /// Key to write.
+        key: Bytes,
+        /// New value.
+        value: Bytes,
+        /// Sequence number of the installing write.
+        seq: SwitchSeq,
+    },
+    /// Delete a key.
+    Delete {
+        /// Key to delete.
+        key: Bytes,
+    },
+}
+
+/// Result of one [`BatchOp`], in submission order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BatchResult {
+    /// Result of a `Get`.
+    Value(Option<VersionedValue>),
+    /// A `Put` completed.
+    Stored,
+    /// Result of a `Delete`: whether the key existed.
+    Deleted(bool),
+}
+
+/// An ordered group of operations executed back-to-back.
+#[derive(Clone, Default, Debug)]
+pub struct Batch {
+    ops: Vec<BatchOp>,
+}
+
+impl Batch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Queue a get.
+    pub fn get(&mut self, key: impl Into<Bytes>) -> &mut Self {
+        self.ops.push(BatchOp::Get { key: key.into() });
+        self
+    }
+
+    /// Queue a versioned put.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>, seq: SwitchSeq) -> &mut Self {
+        self.ops.push(BatchOp::Put {
+            key: key.into(),
+            value: value.into(),
+            seq,
+        });
+        self
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, key: impl Into<Bytes>) -> &mut Self {
+        self.ops.push(BatchOp::Delete { key: key.into() });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Execute against a store; results are positionally aligned with the
+    /// queued operations.
+    pub fn execute(self, store: &Store<VersionedValue>) -> Vec<BatchResult> {
+        self.ops
+            .into_iter()
+            .map(|op| match op {
+                BatchOp::Get { key } => BatchResult::Value(store.get(&key)),
+                BatchOp::Put { key, value, seq } => {
+                    store.put(key, VersionedValue::new(value, seq));
+                    BatchResult::Stored
+                }
+                BatchOp::Delete { key } => BatchResult::Deleted(store.delete(&key).is_some()),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::SwitchId;
+
+    fn seq(n: u64) -> SwitchSeq {
+        SwitchSeq::new(SwitchId(1), n)
+    }
+
+    #[test]
+    fn batch_executes_in_order() {
+        let store: Store<VersionedValue> = Store::new();
+        let mut b = Batch::new();
+        b.put("k", "v1", seq(1)).get("k").put("k", "v2", seq(2)).get("k").delete("k").get("k");
+        assert_eq!(b.len(), 6);
+        let results = b.execute(&store);
+        assert_eq!(results[0], BatchResult::Stored);
+        assert_eq!(
+            results[1],
+            BatchResult::Value(Some(VersionedValue::new(Bytes::from_static(b"v1"), seq(1))))
+        );
+        assert_eq!(results[2], BatchResult::Stored);
+        assert_eq!(
+            results[3],
+            BatchResult::Value(Some(VersionedValue::new(Bytes::from_static(b"v2"), seq(2))))
+        );
+        assert_eq!(results[4], BatchResult::Deleted(true));
+        assert_eq!(results[5], BatchResult::Value(None));
+    }
+
+    #[test]
+    fn empty_batch_returns_nothing() {
+        let store: Store<VersionedValue> = Store::new();
+        let b = Batch::new();
+        assert!(b.is_empty());
+        assert!(b.execute(&store).is_empty());
+    }
+
+    #[test]
+    fn delete_missing_reports_false() {
+        let store: Store<VersionedValue> = Store::new();
+        let mut b = Batch::new();
+        b.delete("ghost");
+        assert_eq!(b.execute(&store), vec![BatchResult::Deleted(false)]);
+    }
+}

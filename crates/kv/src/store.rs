@@ -1,0 +1,300 @@
+//! Sharded in-memory store.
+//!
+//! A fixed number of shards, each a `HashMap` behind a `parking_lot::RwLock`.
+//! Sharding keeps lock contention negligible when the live driver's replica
+//! thread and observers touch the store concurrently; under the simulator the
+//! locks are uncontended and effectively free.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Aggregate statistics for a [`Store`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of live keys.
+    pub keys: u64,
+    /// Total key bytes resident.
+    pub key_bytes: u64,
+    /// Completed get operations.
+    pub gets: u64,
+    /// Completed put/update operations.
+    pub puts: u64,
+    /// Completed deletes.
+    pub deletes: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<Bytes, V>,
+}
+
+/// A sharded key-value store with closure-based updates.
+pub struct Store<V> {
+    shards: Vec<RwLock<Shard<V>>>,
+    stats: RwLock<StoreStats>,
+}
+
+impl<V: Clone> Store<V> {
+    /// Create a store with the default shard count (16).
+    pub fn new() -> Self {
+        Store::with_shards(16)
+    }
+
+    /// Create a store with an explicit power-of-two shard count.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.next_power_of_two().max(1);
+        Store {
+            shards: (0..n)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            stats: RwLock::new(StoreStats::default()),
+        }
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &RwLock<Shard<V>> {
+        // FNV-1a over the key; shard count is a power of two.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Fetch a clone of the value for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        let out = self.shard_for(key).read().map.get(key).cloned();
+        self.stats.write().gets += 1;
+        out
+    }
+
+    /// Insert or replace the value for `key`.
+    pub fn put(&self, key: Bytes, value: V) {
+        let shard = self.shard_for(&key);
+        let mut guard = shard.write();
+        let prev = guard.map.insert(key.clone(), value);
+        let mut stats = self.stats.write();
+        stats.puts += 1;
+        if prev.is_none() {
+            stats.keys += 1;
+            stats.key_bytes += key.len() as u64;
+        }
+    }
+
+    /// Update the value for `key` in place, inserting `default()` first if
+    /// the key is absent. Returns whatever the closure returns.
+    pub fn update<R>(&self, key: &Bytes, default: impl FnOnce() -> V, f: impl FnOnce(&mut V) -> R) -> R {
+        let shard = self.shard_for(key);
+        let mut guard = shard.write();
+        let mut inserted = false;
+        let entry = guard.map.entry(key.clone()).or_insert_with(|| {
+            inserted = true;
+            default()
+        });
+        let out = f(entry);
+        let mut stats = self.stats.write();
+        stats.puts += 1;
+        if inserted {
+            stats.keys += 1;
+            stats.key_bytes += key.len() as u64;
+        }
+        out
+    }
+
+    /// Read-only access to the value for `key` through a closure (no clone).
+    pub fn with<R>(&self, key: &[u8], f: impl FnOnce(Option<&V>) -> R) -> R {
+        let shard = self.shard_for(key);
+        let guard = shard.read();
+        let out = f(guard.map.get(key));
+        drop(guard);
+        self.stats.write().gets += 1;
+        out
+    }
+
+    /// Remove `key`. Returns the removed value if present.
+    pub fn delete(&self, key: &[u8]) -> Option<V> {
+        let shard = self.shard_for(key);
+        let mut guard = shard.write();
+        let prev = guard.map.remove(key);
+        let mut stats = self.stats.write();
+        stats.deletes += 1;
+        if prev.is_some() {
+            stats.keys -= 1;
+            stats.key_bytes -= key.len() as u64;
+        }
+        prev
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the statistics counters.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.read()
+    }
+
+    /// Remove every key.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().map.clear();
+        }
+        let mut stats = self.stats.write();
+        stats.keys = 0;
+        stats.key_bytes = 0;
+    }
+
+    /// Visit every `(key, value)` pair (snapshot per shard; order is
+    /// unspecified). Intended for tests and consistency audits.
+    pub fn for_each(&self, mut f: impl FnMut(&Bytes, &V)) {
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (k, v) in &guard.map {
+                f(k, v);
+            }
+        }
+    }
+}
+
+impl<V: Clone> Default for Store<V> {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let s: Store<u32> = Store::new();
+        assert!(s.is_empty());
+        s.put(b("a"), 1);
+        s.put(b("b"), 2);
+        assert_eq!(s.get(b"a"), Some(1));
+        assert_eq!(s.get(b"b"), Some(2));
+        assert_eq!(s.get(b"c"), None);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.delete(b"a"), Some(1));
+        assert_eq!(s.delete(b"a"), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn put_replaces_without_growing() {
+        let s: Store<u32> = Store::new();
+        s.put(b("k"), 1);
+        s.put(b("k"), 2);
+        assert_eq!(s.get(b"k"), Some(2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stats().keys, 1);
+    }
+
+    #[test]
+    fn update_inserts_default_then_mutates() {
+        let s: Store<Vec<u32>> = Store::new();
+        let key = b("list");
+        let len = s.update(&key, Vec::new, |v| {
+            v.push(7);
+            v.len()
+        });
+        assert_eq!(len, 1);
+        let len = s.update(&key, Vec::new, |v| {
+            v.push(8);
+            v.len()
+        });
+        assert_eq!(len, 2);
+        assert_eq!(s.get(b"list"), Some(vec![7, 8]));
+    }
+
+    #[test]
+    fn with_avoids_clone_and_sees_absent() {
+        let s: Store<u32> = Store::new();
+        s.put(b("k"), 5);
+        assert_eq!(s.with(b"k", |v| v.copied()), Some(5));
+        assert!(s.with(b"missing", |v| v.is_none()));
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let s: Store<u32> = Store::new();
+        s.put(b("a"), 1);
+        s.get(b"a");
+        s.get(b"b");
+        s.delete(b"a");
+        let st = s.stats();
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.gets, 2);
+        assert_eq!(st.deletes, 1);
+        assert_eq!(st.keys, 0);
+        assert_eq!(st.key_bytes, 0);
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let s: Store<u32> = Store::with_shards(4);
+        for i in 0..100u32 {
+            s.put(b(&format!("k{i}")), i);
+        }
+        assert_eq!(s.len(), 100);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.stats().keys, 0);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let s: Store<u32> = Store::with_shards(8);
+        for i in 0..50u32 {
+            s.put(b(&format!("k{i}")), i);
+        }
+        let mut sum = 0;
+        s.for_each(|_, v| sum += v);
+        assert_eq!(sum, (0..50).sum::<u32>());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let s: Store<u32> = Store::with_shards(3);
+        assert_eq!(s.shards.len(), 4);
+        let s: Store<u32> = Store::with_shards(0);
+        assert_eq!(s.shards.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let s: Arc<Store<u64>> = Arc::new(Store::new());
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let key = Bytes::from(format!("t{t}-k{i}"));
+                    s.put(key.clone(), i);
+                    assert_eq!(s.get(&key), Some(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 4000);
+    }
+}

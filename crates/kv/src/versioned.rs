@@ -1,0 +1,187 @@
+//! Versioned values.
+//!
+//! Replicas tag each stored value with the [`SwitchSeq`] of the write that
+//! produced it. The tag is what the last-committed guard compares against
+//! (§5.2 / §7 of the paper, and `R.obj.seq` in Appendix A's proof).
+//!
+//! CRAQ additionally keeps *dirty* (not yet committed) versions beside the
+//! latest clean one — [`VersionChain`] models that.
+
+use bytes::Bytes;
+use harmonia_types::SwitchSeq;
+
+/// A single value plus the sequence number of the write that installed it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VersionedValue {
+    /// The stored bytes.
+    pub value: Bytes,
+    /// Sequence number of the installing write (`R.obj.seq`).
+    pub seq: SwitchSeq,
+}
+
+impl VersionedValue {
+    /// Build a versioned value.
+    pub fn new(value: impl Into<Bytes>, seq: SwitchSeq) -> Self {
+        VersionedValue {
+            value: value.into(),
+            seq,
+        }
+    }
+}
+
+/// CRAQ-style multi-version entry: one clean (committed) version and any
+/// number of pending dirty versions in sequence order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VersionChain {
+    clean: Option<VersionedValue>,
+    dirty: Vec<VersionedValue>,
+}
+
+impl VersionChain {
+    /// A chain with no versions at all.
+    pub fn empty() -> Self {
+        VersionChain::default()
+    }
+
+    /// True if there is at least one uncommitted version (the object is
+    /// *dirty* in CRAQ's sense).
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// The latest committed version, if any.
+    pub fn clean(&self) -> Option<&VersionedValue> {
+        self.clean.as_ref()
+    }
+
+    /// The newest version, dirty or clean (what a chain head/middle node
+    /// would propagate next).
+    pub fn latest(&self) -> Option<&VersionedValue> {
+        self.dirty.last().or(self.clean.as_ref())
+    }
+
+    /// Number of dirty versions currently held.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Stage an uncommitted write. Versions must arrive in increasing
+    /// sequence order (the replication protocol enforces this); offenders
+    /// are rejected with `false`.
+    pub fn stage(&mut self, v: VersionedValue) -> bool {
+        let newest = self.latest().map(|x| x.seq).unwrap_or(SwitchSeq::ZERO);
+        if v.seq <= newest {
+            return false;
+        }
+        self.dirty.push(v);
+        true
+    }
+
+    /// Commit every staged version with `seq <= up_to`; the newest such
+    /// version becomes the clean one. Returns how many versions committed.
+    pub fn commit_up_to(&mut self, up_to: SwitchSeq) -> usize {
+        let n = self.dirty.iter().take_while(|v| v.seq <= up_to).count();
+        if n == 0 {
+            return 0;
+        }
+        let mut committed: Vec<_> = self.dirty.drain(..n).collect();
+        self.clean = committed.pop();
+        n
+    }
+
+    /// Install a committed version directly (read-behind replicas apply only
+    /// committed writes). Rejects out-of-order installs with `false`.
+    pub fn install_clean(&mut self, v: VersionedValue) -> bool {
+        let cur = self.clean.as_ref().map(|x| x.seq).unwrap_or(SwitchSeq::ZERO);
+        if v.seq <= cur {
+            return false;
+        }
+        // Any staged versions at or below this point are now superseded.
+        let seq = v.seq;
+        self.dirty.retain(|d| d.seq > seq);
+        self.clean = Some(v);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::SwitchId;
+
+    fn seq(n: u64) -> SwitchSeq {
+        SwitchSeq::new(SwitchId(1), n)
+    }
+
+    fn vv(s: u64, v: &str) -> VersionedValue {
+        VersionedValue::new(Bytes::copy_from_slice(v.as_bytes()), seq(s))
+    }
+
+    #[test]
+    fn empty_chain_has_nothing() {
+        let c = VersionChain::empty();
+        assert!(!c.is_dirty());
+        assert!(c.clean().is_none());
+        assert!(c.latest().is_none());
+    }
+
+    #[test]
+    fn stage_then_commit_promotes_newest() {
+        let mut c = VersionChain::empty();
+        assert!(c.stage(vv(1, "a")));
+        assert!(c.stage(vv(2, "b")));
+        assert!(c.is_dirty());
+        assert_eq!(c.dirty_len(), 2);
+        assert_eq!(c.latest().unwrap().seq, seq(2));
+        assert!(c.clean().is_none());
+
+        assert_eq!(c.commit_up_to(seq(2)), 2);
+        assert!(!c.is_dirty());
+        assert_eq!(c.clean().unwrap().value, Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn partial_commit_keeps_newer_dirty() {
+        let mut c = VersionChain::empty();
+        c.stage(vv(1, "a"));
+        c.stage(vv(2, "b"));
+        c.stage(vv(3, "c"));
+        assert_eq!(c.commit_up_to(seq(2)), 2);
+        assert!(c.is_dirty());
+        assert_eq!(c.clean().unwrap().seq, seq(2));
+        assert_eq!(c.latest().unwrap().seq, seq(3));
+    }
+
+    #[test]
+    fn stage_rejects_out_of_order() {
+        let mut c = VersionChain::empty();
+        assert!(c.stage(vv(5, "x")));
+        assert!(!c.stage(vv(5, "dup")));
+        assert!(!c.stage(vv(4, "older")));
+        assert_eq!(c.dirty_len(), 1);
+    }
+
+    #[test]
+    fn install_clean_supersedes_staged() {
+        let mut c = VersionChain::empty();
+        c.stage(vv(1, "a"));
+        c.stage(vv(3, "c"));
+        assert!(c.install_clean(vv(2, "b")));
+        // seq 1 superseded, seq 3 survives as dirty.
+        assert_eq!(c.clean().unwrap().seq, seq(2));
+        assert_eq!(c.dirty_len(), 1);
+        assert_eq!(c.latest().unwrap().seq, seq(3));
+        // Out-of-order clean install is rejected.
+        assert!(!c.install_clean(vv(2, "again")));
+        assert!(!c.install_clean(vv(1, "ancient")));
+    }
+
+    #[test]
+    fn commit_with_no_matching_versions_is_a_noop() {
+        let mut c = VersionChain::empty();
+        c.stage(vv(5, "x"));
+        assert_eq!(c.commit_up_to(seq(4)), 0);
+        assert!(c.is_dirty());
+        assert!(c.clean().is_none());
+    }
+}

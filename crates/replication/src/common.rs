@@ -1,0 +1,459 @@
+//! Shared protocol plumbing: the replica trait, effects, configuration, and
+//! the three Harmonia responsibilities from §7 of the paper.
+
+use bytes::Bytes;
+use harmonia_types::{
+    ClientReply, ClientRequest, Duration, NodeId, PacketBody, ReplicaId, SwitchId, SwitchSeq,
+    WriteCompletion, WriteOutcome,
+};
+
+use crate::messages::{ProtocolMsg, ReplicaControlMsg};
+
+/// Which replication protocol a group runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// Primary-backup (§2).
+    PrimaryBackup,
+    /// Chain replication.
+    Chain,
+    /// CRAQ (baseline comparison only; no Harmonia adaptation exists —
+    /// CRAQ *is* the protocol-level alternative).
+    Craq,
+    /// Viewstamped Replication / Multi-Paxos.
+    Vr,
+    /// NOPaxos.
+    Nopaxos,
+}
+
+impl ProtocolKind {
+    /// Read-ahead protocols can expose uncommitted state at replicas;
+    /// read-behind protocols can lag the commit point (§3).
+    pub fn is_read_ahead(self) -> bool {
+        matches!(self, ProtocolKind::PrimaryBackup | ProtocolKind::Chain)
+    }
+
+    /// Writes entering a quorum protocol need a majority; primary-backup
+    /// protocols need every replica.
+    pub fn quorum(self, n: usize) -> usize {
+        match self {
+            ProtocolKind::PrimaryBackup | ProtocolKind::Chain | ProtocolKind::Craq => n,
+            ProtocolKind::Vr | ProtocolKind::Nopaxos => n / 2 + 1,
+        }
+    }
+}
+
+/// Per-replica configuration.
+#[derive(Clone, Debug)]
+pub struct GroupConfig {
+    /// The protocol this group runs.
+    pub protocol: ProtocolKind,
+    /// This replica's id.
+    pub me: ReplicaId,
+    /// Ordered membership: index 0 is primary/head/leader; the last element
+    /// is the chain tail.
+    pub members: Vec<ReplicaId>,
+    /// Whether the Harmonia adaptation is active (switch-stamped sequence
+    /// numbers, write completions, fast-path read guards).
+    pub harmonia: bool,
+    /// The currently active switch (lease, §5.3).
+    pub active_switch: SwitchId,
+    /// VR commit-broadcast / NOPaxos synchronization cadence.
+    pub sync_interval: Duration,
+}
+
+impl GroupConfig {
+    /// A default-configured group of `n` replicas for `protocol`, as seen by
+    /// replica `me`.
+    pub fn new(protocol: ProtocolKind, n: usize, me: u32, harmonia: bool) -> Self {
+        GroupConfig {
+            protocol,
+            me: ReplicaId(me),
+            members: (0..n as u32).map(ReplicaId).collect(),
+            harmonia,
+            active_switch: SwitchId(1),
+            sync_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Messages a replica wants delivered, produced by one handler invocation.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// `(destination, payload)` pairs, in send order.
+    pub out: Vec<(NodeId, PacketBody<ProtocolMsg>)>,
+}
+
+impl Effects {
+    /// Fresh, empty effect set.
+    pub fn new() -> Self {
+        Effects::default()
+    }
+
+    /// Send a protocol-internal message to a replica (direct rack hop).
+    pub fn protocol(&mut self, to: ReplicaId, msg: ProtocolMsg) {
+        self.out
+            .push((NodeId::Replica(to), PacketBody::Protocol(msg)));
+    }
+
+    /// Send a client reply; replies travel back through the switch so the
+    /// data plane can snoop piggybacked completions (Figure 2b).
+    pub fn reply(&mut self, via_switch: SwitchId, reply: ClientReply) {
+        self.out
+            .push((NodeId::Switch(via_switch), PacketBody::Reply(reply)));
+    }
+
+    /// Send a standalone WRITE-COMPLETION to the switch (read-behind
+    /// protocols, §7.3).
+    pub fn completion(&mut self, to_switch: SwitchId, wc: WriteCompletion) {
+        self.out
+            .push((NodeId::Switch(to_switch), PacketBody::Completion(wc)));
+    }
+
+    /// Hand a client request to another replica (fast-path reads failing the
+    /// guard are forwarded to the primary/tail/leader, §7.2).
+    pub fn forward_request(&mut self, to: ReplicaId, req: ClientRequest) {
+        self.out
+            .push((NodeId::Replica(to), PacketBody::Request(req)));
+    }
+
+    /// Number of buffered sends.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if no sends were produced.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// §7 responsibility 1: process writes only in sequence-number order.
+/// Out-of-order arrivals are rejected (the paper drops them; we surface the
+/// rejection so clients can retry immediately).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InOrder {
+    last: SwitchSeq,
+}
+
+impl InOrder {
+    /// Fresh tracker accepting any first sequence number.
+    pub fn new() -> Self {
+        InOrder::default()
+    }
+
+    /// Accept `seq` iff it is strictly newer than everything seen; gaps are
+    /// fine (dropped writes consume numbers).
+    pub fn accept(&mut self, seq: SwitchSeq) -> bool {
+        if seq > self.last {
+            self.last = seq;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Largest accepted sequence number.
+    pub fn last(&self) -> SwitchSeq {
+        self.last
+    }
+}
+
+/// Verdict on an incoming write's `(client, request)` pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// First sighting: execute it.
+    Fresh,
+    /// Retransmission of the most recent admitted request: do not
+    /// re-execute; re-send the cached reply if the original already
+    /// completed (otherwise the original's in-flight reply will serve).
+    Duplicate,
+    /// Older than the last admitted request: drop silently.
+    Stale,
+}
+
+/// Exactly-once write sessions (standard replication hygiene — the original
+/// NOPaxos replicas keep the same table): each client's writes carry
+/// monotonically increasing request ids; retries reuse the id. The protocol
+/// entry point executes each id at most once, and the *replying* node caches
+/// the last reply per client so a retransmission whose original reply was
+/// lost can be answered without re-execution. Without this, a duplicated or
+/// retried write would be sequenced twice, and the second application could
+/// land after the client's operation completed — breaking linearizability
+/// for blind writes. Reads are idempotent and bypass all of it.
+#[derive(Clone, Debug, Default)]
+pub struct ClientTable {
+    last: std::collections::HashMap<harmonia_types::ClientId, harmonia_types::RequestId>,
+    replies: std::collections::HashMap<harmonia_types::ClientId, ClientReply>,
+}
+
+impl ClientTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        ClientTable::default()
+    }
+
+    /// Classify `(client, request)`; `Fresh` admissions update the table.
+    pub fn admit(
+        &mut self,
+        client: harmonia_types::ClientId,
+        request: harmonia_types::RequestId,
+    ) -> Admission {
+        match self.last.get_mut(&client) {
+            Some(seen) if request == *seen => Admission::Duplicate,
+            Some(seen) if request < *seen => Admission::Stale,
+            Some(seen) => {
+                *seen = request;
+                Admission::Fresh
+            }
+            None => {
+                self.last.insert(client, request);
+                Admission::Fresh
+            }
+        }
+    }
+
+    /// Cache the reply sent for a client's most recent request.
+    pub fn record_reply(&mut self, reply: ClientReply) {
+        self.replies.insert(reply.client, reply);
+    }
+
+    /// The cached reply for `(client, request)`, if the original completed.
+    pub fn cached_reply(
+        &self,
+        client: harmonia_types::ClientId,
+        request: harmonia_types::RequestId,
+    ) -> Option<ClientReply> {
+        self.replies
+            .get(&client)
+            .filter(|r| r.request == request)
+            .cloned()
+    }
+}
+
+/// §7 responsibility 2: honour single-replica reads only from the one active
+/// switch. The configuration service moves the lease; replicas reject
+/// fast-path reads flagged by any other incarnation.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseState {
+    active: SwitchId,
+}
+
+impl LeaseState {
+    /// Lease initially held by `active`.
+    pub fn new(active: SwitchId) -> Self {
+        LeaseState { active }
+    }
+
+    /// The switch currently allowed to issue fast-path reads.
+    pub fn active(&self) -> SwitchId {
+        self.active
+    }
+
+    /// Move the lease (monotone: an older incarnation can never regain it).
+    pub fn set_active(&mut self, s: SwitchId) {
+        if s > self.active {
+            self.active = s;
+        }
+    }
+
+    /// May a fast-path read flagged by `from` be honoured?
+    pub fn allows(&self, from: SwitchId) -> bool {
+        from == self.active
+    }
+}
+
+/// §7 responsibility 3a — read-ahead guard (PB, chain): a replica may answer
+/// a fast-path read iff the stamped last-committed point covers the latest
+/// write it has *applied* to the object; otherwise the applied value might
+/// be uncommitted (P2 would break).
+pub fn read_ahead_ok(applied_seq: SwitchSeq, stamped_last_committed: SwitchSeq) -> bool {
+    stamped_last_committed >= applied_seq
+}
+
+/// §7 responsibility 3b — read-behind guard (VR, NOPaxos): a replica may
+/// answer a fast-path read iff it has *executed* at least up to the stamped
+/// last-committed point; otherwise it might miss a committed write (P1
+/// would break).
+pub fn read_behind_ok(executed_seq: SwitchSeq, stamped_last_committed: SwitchSeq) -> bool {
+    executed_seq >= stamped_last_committed
+}
+
+/// Build a read reply.
+pub fn read_reply(req: &ClientRequest, value: Option<Bytes>) -> ClientReply {
+    ClientReply {
+        client: req.client,
+        request: req.request,
+        obj: req.obj,
+        value,
+        write_outcome: None,
+        completion: None,
+    }
+}
+
+/// Build a write reply, optionally piggybacking a completion (read-ahead
+/// protocols complete writes at reply time, Figure 2b).
+pub fn write_reply(
+    req_client: harmonia_types::ClientId,
+    req_id: harmonia_types::RequestId,
+    obj: harmonia_types::ObjectId,
+    outcome: WriteOutcome,
+    completion: Option<WriteCompletion>,
+) -> ClientReply {
+    ClientReply {
+        client: req_client,
+        request: req_id,
+        obj,
+        value: None,
+        write_outcome: Some(outcome),
+        completion,
+    }
+}
+
+/// A replica state machine. One instance runs per storage server; the
+/// drivers in `harmonia-core` deliver packets and ticks.
+pub trait Replica: Send {
+    /// Handle a client request (write, normal read, or fast-path read).
+    fn on_request(&mut self, src: NodeId, req: ClientRequest, out: &mut Effects);
+
+    /// Handle a protocol-internal message.
+    fn on_protocol(&mut self, src: NodeId, msg: ProtocolMsg, out: &mut Effects);
+
+    /// Periodic tick (commit broadcasts, synchronization); driven at
+    /// [`Replica::tick_interval`].
+    fn on_tick(&mut self, _out: &mut Effects) {}
+
+    /// How often `on_tick` should run, if at all.
+    fn tick_interval(&self) -> Option<Duration> {
+        None
+    }
+
+    /// This replica's current best-known value for `key` (its applied state;
+    /// equal to the committed value once the system quiesces). For audits
+    /// and tests.
+    fn local_value(&self, key: &[u8]) -> Option<Bytes>;
+
+    /// The largest write sequence number this replica has applied/executed.
+    fn applied_seq(&self) -> SwitchSeq;
+}
+
+/// Shared handling of configuration-service control messages. Returns true
+/// if the message was a control message (and `lease`/`members` were
+/// updated).
+pub fn handle_control(
+    msg: &ProtocolMsg,
+    lease: &mut LeaseState,
+    members: &mut Vec<ReplicaId>,
+) -> bool {
+    match msg {
+        ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(s)) => {
+            lease.set_active(*s);
+            true
+        }
+        ProtocolMsg::Control(ReplicaControlMsg::SetMembers(m)) => {
+            *members = m.clone();
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::{ClientId, ObjectId, RequestId};
+
+    fn seq(sw: u32, n: u64) -> SwitchSeq {
+        SwitchSeq::new(SwitchId(sw), n)
+    }
+
+    #[test]
+    fn in_order_accepts_monotone_with_gaps() {
+        let mut io = InOrder::new();
+        assert!(io.accept(seq(1, 1)));
+        assert!(io.accept(seq(1, 5)), "gaps are fine");
+        assert!(!io.accept(seq(1, 5)), "duplicates rejected");
+        assert!(!io.accept(seq(1, 3)), "regressions rejected");
+        assert!(io.accept(seq(2, 1)), "new switch outranks old");
+        assert!(!io.accept(seq(1, 100)), "old switch can never re-enter");
+        assert_eq!(io.last(), seq(2, 1));
+    }
+
+    #[test]
+    fn lease_is_monotone() {
+        let mut l = LeaseState::new(SwitchId(1));
+        assert!(l.allows(SwitchId(1)));
+        assert!(!l.allows(SwitchId(2)));
+        l.set_active(SwitchId(2));
+        assert!(l.allows(SwitchId(2)));
+        assert!(!l.allows(SwitchId(1)));
+        // A stale control message cannot resurrect the old switch.
+        l.set_active(SwitchId(1));
+        assert!(l.allows(SwitchId(2)));
+    }
+
+    #[test]
+    fn guards_match_the_paper() {
+        // Read-ahead (Appendix A): serve iff Q.commit >= R.obj.seq.
+        assert!(read_ahead_ok(seq(1, 5), seq(1, 5)));
+        assert!(read_ahead_ok(seq(1, 5), seq(1, 9)));
+        assert!(!read_ahead_ok(seq(1, 5), seq(1, 4)));
+        // Read-behind: serve iff Q.commit <= R.seq.
+        assert!(read_behind_ok(seq(1, 5), seq(1, 5)));
+        assert!(read_behind_ok(seq(1, 9), seq(1, 5)));
+        assert!(!read_behind_ok(seq(1, 4), seq(1, 5)));
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        assert_eq!(ProtocolKind::PrimaryBackup.quorum(3), 3);
+        assert_eq!(ProtocolKind::Chain.quorum(5), 5);
+        assert_eq!(ProtocolKind::Vr.quorum(3), 2);
+        assert_eq!(ProtocolKind::Vr.quorum(5), 3);
+        assert_eq!(ProtocolKind::Nopaxos.quorum(4), 3);
+    }
+
+    #[test]
+    fn control_messages_update_shared_state() {
+        let mut lease = LeaseState::new(SwitchId(1));
+        let mut members = vec![ReplicaId(0), ReplicaId(1)];
+        assert!(handle_control(
+            &ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(SwitchId(3))),
+            &mut lease,
+            &mut members
+        ));
+        assert_eq!(lease.active(), SwitchId(3));
+        assert!(handle_control(
+            &ProtocolMsg::Control(ReplicaControlMsg::SetMembers(vec![ReplicaId(1)])),
+            &mut lease,
+            &mut members
+        ));
+        assert_eq!(members, vec![ReplicaId(1)]);
+        assert!(!handle_control(
+            &ProtocolMsg::Vr(crate::messages::VrMsg::Commit { view: 0, commit: 0 }),
+            &mut lease,
+            &mut members
+        ));
+    }
+
+    #[test]
+    fn effects_address_the_right_nodes() {
+        let mut fx = Effects::new();
+        assert!(fx.is_empty());
+        fx.protocol(ReplicaId(2), ProtocolMsg::Control(ReplicaControlMsg::SetMembers(vec![])));
+        fx.completion(
+            SwitchId(1),
+            WriteCompletion {
+                obj: ObjectId(1),
+                seq: seq(1, 1),
+            },
+        );
+        let req = ClientRequest::read(ClientId(1), RequestId(1), &b"k"[..]);
+        fx.reply(SwitchId(1), read_reply(&req, None));
+        fx.forward_request(ReplicaId(0), req);
+        assert_eq!(fx.len(), 4);
+        assert!(matches!(fx.out[0].0, NodeId::Replica(ReplicaId(2))));
+        assert!(matches!(fx.out[1].0, NodeId::Switch(SwitchId(1))));
+        assert!(matches!(fx.out[2].0, NodeId::Switch(SwitchId(1))));
+        assert!(matches!(fx.out[3].0, NodeId::Replica(ReplicaId(0))));
+    }
+}

@@ -1,0 +1,387 @@
+//! CRAQ — Chain Replication with Apportioned Queries (Terrace & Freedman,
+//! USENIX ATC '09).
+//!
+//! CRAQ is the protocol-level alternative that Harmonia is compared against
+//! (§3.1, §9.5 / Figure 9a of the Harmonia paper). Every replica may answer
+//! reads for *clean* objects; reads of *dirty* objects are forwarded to the
+//! tail. The price is an extra write phase: a write first propagates down
+//! the chain as a dirty version, and after the tail commits it a CLEAN
+//! acknowledgement travels back up, node by node. That second phase is why
+//! CRAQ's write throughput falls below plain chain replication — the effect
+//! Figure 9a shows and Harmonia avoids by moving conflict tracking into the
+//! switch.
+//!
+//! CRAQ has no Harmonia adaptation: it *is* the baseline.
+
+use bytes::Bytes;
+use harmonia_types::{ClientRequest, NodeId, OpKind, ReplicaId, SwitchSeq, WriteOutcome};
+use harmonia_kv::{Store, VersionChain, VersionedValue};
+
+use crate::common::{
+    handle_control, read_reply, write_reply, Admission, ClientTable, Effects, GroupConfig,
+    InOrder, LeaseState, Replica,
+};
+use crate::messages::{CraqMsg, ProtocolMsg, WriteOp};
+
+/// One CRAQ node.
+pub struct CraqReplica {
+    me: ReplicaId,
+    members: Vec<ReplicaId>,
+    lease: LeaseState,
+    store: Store<VersionChain>,
+    in_order: InOrder,
+    local_seq: u64,
+    /// Head only: at-most-once admission (drops network duplicates).
+    clients: ClientTable,
+    applied: SwitchSeq,
+}
+
+impl CraqReplica {
+    /// Build the replica for `config`.
+    pub fn new(config: GroupConfig) -> Self {
+        CraqReplica {
+            me: config.me,
+            members: config.members,
+            lease: LeaseState::new(config.active_switch),
+            store: Store::new(),
+            in_order: InOrder::new(),
+            local_seq: 0,
+            clients: ClientTable::new(),
+            applied: SwitchSeq::ZERO,
+        }
+    }
+
+    fn head(&self) -> ReplicaId {
+        self.members[0]
+    }
+
+    fn tail(&self) -> ReplicaId {
+        *self.members.last().expect("non-empty chain")
+    }
+
+    fn is_tail(&self) -> bool {
+        self.me == self.tail()
+    }
+
+    fn successor(&self) -> Option<ReplicaId> {
+        let idx = self.members.iter().position(|&r| r == self.me)?;
+        self.members.get(idx + 1).copied()
+    }
+
+    fn predecessor(&self) -> Option<ReplicaId> {
+        let idx = self.members.iter().position(|&r| r == self.me)?;
+        idx.checked_sub(1).map(|i| self.members[i])
+    }
+
+    /// Stage/commit a write at this node and keep it moving down the chain;
+    /// at the tail, commit, reply, and start the CLEAN back-propagation.
+    fn propagate(&mut self, op: WriteOp, out: &mut Effects) {
+        self.applied = self.applied.max(op.seq);
+        if self.is_tail() {
+            // Tail commits immediately: its clean version is the committed
+            // version by definition.
+            self.store.update(&op.key.clone(), VersionChain::empty, |chain| {
+                chain.install_clean(VersionedValue::new(op.value.clone(), op.seq))
+            });
+            let reply = write_reply(op.client, op.request, op.obj, WriteOutcome::Committed, None);
+            self.clients.record_reply(reply.clone());
+            out.reply(self.lease.active(), reply);
+            // Second phase: mark clean back up the chain.
+            if let Some(prev) = self.predecessor() {
+                out.protocol(
+                    prev,
+                    ProtocolMsg::Craq(CraqMsg::Clean {
+                        obj: op.obj,
+                        key: op.key,
+                        seq: op.seq,
+                    }),
+                );
+            }
+        } else {
+            self.store.update(&op.key.clone(), VersionChain::empty, |chain| {
+                chain.stage(VersionedValue::new(op.value.clone(), op.seq))
+            });
+            let next = self.successor().expect("non-tail has a successor");
+            out.protocol(next, ProtocolMsg::Craq(CraqMsg::Down(op)));
+        }
+    }
+
+    fn handle_write(&mut self, mut req: ClientRequest, out: &mut Effects) {
+        if self.me != self.head() {
+            out.forward_request(self.head(), req);
+            return;
+        }
+        match self.clients.admit(req.client, req.request) {
+            Admission::Fresh => {}
+            Admission::Duplicate => {
+                if self.is_tail() {
+                    if let Some(r) = self.clients.cached_reply(req.client, req.request) {
+                        out.reply(self.lease.active(), r);
+                    }
+                } else {
+                    out.protocol(
+                        self.tail(),
+                        ProtocolMsg::Craq(CraqMsg::ReReply {
+                            client: req.client,
+                            request: req.request,
+                        }),
+                    );
+                }
+                return;
+            }
+            Admission::Stale => return,
+        }
+        // CRAQ runs without switch stamping; the head versions writes.
+        self.local_seq += 1;
+        let seq = SwitchSeq::new(self.lease.active(), self.local_seq);
+        req.seq = Some(seq);
+        if !self.in_order.accept(seq) {
+            out.reply(
+                self.lease.active(),
+                write_reply(req.client, req.request, req.obj, WriteOutcome::Rejected, None),
+            );
+            return;
+        }
+        let op = WriteOp {
+            seq,
+            obj: req.obj,
+            key: req.key.clone(),
+            value: req.value.clone().unwrap_or_default(),
+            client: req.client,
+            request: req.request,
+        };
+        self.propagate(op, out);
+    }
+
+    fn handle_read(&mut self, req: ClientRequest, out: &mut Effects) {
+        // Any replica takes reads (that is CRAQ's point); `read_mode` is
+        // irrelevant here.
+        enum Verdict {
+            Clean(Option<Bytes>),
+            Dirty,
+        }
+        let verdict = self.store.with(&req.key, |chain| match chain {
+            None => Verdict::Clean(None),
+            Some(c) if c.is_dirty() && !self.is_tail() => Verdict::Dirty,
+            Some(c) => Verdict::Clean(c.clean().map(|v| v.value.clone())),
+        });
+        match verdict {
+            Verdict::Clean(value) => {
+                out.reply(self.lease.active(), read_reply(&req, value));
+            }
+            Verdict::Dirty => {
+                // Dirty object: ask the tail, which always has the committed
+                // truth.
+                out.forward_request(self.tail(), req);
+            }
+        }
+    }
+}
+
+impl Replica for CraqReplica {
+    fn on_request(&mut self, _src: NodeId, req: ClientRequest, out: &mut Effects) {
+        match req.op {
+            OpKind::Write => self.handle_write(req, out),
+            OpKind::Read => self.handle_read(req, out),
+        }
+    }
+
+    fn on_protocol(&mut self, _src: NodeId, msg: ProtocolMsg, out: &mut Effects) {
+        if handle_control(&msg, &mut self.lease, &mut self.members) {
+            return;
+        }
+        match msg {
+            ProtocolMsg::Craq(CraqMsg::Down(op)) => {
+                if self.in_order.accept(op.seq) {
+                    self.propagate(op, out);
+                }
+            }
+            ProtocolMsg::Craq(CraqMsg::Clean { obj, key, seq }) => {
+                self.store.update(&key.clone(), VersionChain::empty, |chain| {
+                    chain.commit_up_to(seq)
+                });
+                // Keep the acknowledgement flowing toward the head.
+                if let Some(prev) = self.predecessor() {
+                    out.protocol(prev, ProtocolMsg::Craq(CraqMsg::Clean { obj, key, seq }));
+                }
+            }
+            ProtocolMsg::Craq(CraqMsg::ReReply { client, request }) => {
+                if let Some(r) = self.clients.cached_reply(client, request) {
+                    out.reply(self.lease.active(), r);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn local_value(&self, key: &[u8]) -> Option<Bytes> {
+        self.store
+            .with(key, |c| c.and_then(|c| c.latest().map(|v| v.value.clone())))
+    }
+
+    fn applied_seq(&self) -> SwitchSeq {
+        self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::{ClientId, PacketBody, RequestId};
+
+    fn group(n: usize) -> Vec<CraqReplica> {
+        (0..n)
+            .map(|i| {
+                CraqReplica::new(GroupConfig::new(
+                    crate::common::ProtocolKind::Craq,
+                    n,
+                    i as u32,
+                    false,
+                ))
+            })
+            .collect()
+    }
+
+    fn write_req(n: u64, key: &str, val: &str) -> ClientRequest {
+        ClientRequest::write(
+            ClientId(1),
+            RequestId(n),
+            Bytes::copy_from_slice(key.as_bytes()),
+            Bytes::copy_from_slice(val.as_bytes()),
+        )
+    }
+
+    fn pump(replicas: &mut [CraqReplica], mut fx: Effects) -> Vec<PacketBody<ProtocolMsg>> {
+        let mut replies = vec![];
+        while !fx.out.is_empty() {
+            let mut next = Effects::new();
+            for (dst, body) in fx.out.drain(..) {
+                match (dst, body) {
+                    (NodeId::Replica(r), PacketBody::Protocol(m)) => {
+                        replicas[r.index()].on_protocol(NodeId::Replica(r), m, &mut next);
+                    }
+                    (NodeId::Replica(r), PacketBody::Request(req)) => {
+                        replicas[r.index()].on_request(NodeId::Replica(r), req, &mut next);
+                    }
+                    (NodeId::Switch(_), b) => replies.push(b),
+                    other => panic!("unexpected effect {other:?}"),
+                }
+            }
+            fx = next;
+        }
+        replies
+    }
+
+    fn dirty_at(g: &CraqReplica, key: &[u8]) -> bool {
+        g.store.with(key, |c| c.map(|c| c.is_dirty()).unwrap_or(false))
+    }
+
+    #[test]
+    fn write_has_two_phases_and_all_nodes_end_clean() {
+        let mut g = group(3);
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v"), &mut fx);
+        // Phase 1 in flight: head has a dirty version.
+        assert!(dirty_at(&g[0], b"k"));
+        let replies = pump(&mut g, fx);
+        assert_eq!(replies.len(), 1);
+        // Phase 2 done: everyone is clean with the committed value.
+        for (i, rep) in g.iter().enumerate() {
+            assert!(!dirty_at(rep, b"k"), "node {i} still dirty");
+            assert_eq!(rep.local_value(b"k"), Some(Bytes::from_static(b"v")));
+        }
+    }
+
+    #[test]
+    fn any_replica_serves_clean_reads_locally() {
+        let mut g = group(3);
+        let fx = {
+            let mut fx = Effects::new();
+            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v"), &mut fx);
+            fx
+        };
+        pump(&mut g, fx);
+        for idx in 0..3 {
+            let read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
+            let mut fx = Effects::new();
+            g[idx].on_request(NodeId::Client(ClientId(2)), read, &mut fx);
+            let PacketBody::Reply(r) = &fx.out[0].1 else {
+                panic!("node {idx} forwarded a clean read")
+            };
+            assert_eq!(r.value, Some(Bytes::from_static(b"v")));
+        }
+    }
+
+    #[test]
+    fn dirty_read_goes_to_the_tail() {
+        let mut g = group(3);
+        // Start a write but stop after the head stages it.
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1"), &mut fx);
+        // Head is dirty: a read there must be forwarded to the tail.
+        let read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
+        let mut fx2 = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(2)), read, &mut fx2);
+        assert!(matches!(
+            fx2.out[0],
+            (NodeId::Replica(ReplicaId(2)), PacketBody::Request(_))
+        ));
+        // The tail hasn't seen the write; it serves the old (absent) value —
+        // correct, the write hasn't committed.
+        let replies = pump(&mut g, fx2);
+        let PacketBody::Reply(r) = &replies[0] else {
+            panic!()
+        };
+        assert_eq!(r.value, None);
+    }
+
+    #[test]
+    fn overlapping_writes_keep_monotone_versions() {
+        let mut g = group(3);
+        // Two writes to the same key, fully processed.
+        for (n, v) in [(1, "v1"), (2, "v2")] {
+            let fx = {
+                let mut fx = Effects::new();
+                g[0].on_request(NodeId::Client(ClientId(1)), write_req(n, "k", v), &mut fx);
+                fx
+            };
+            pump(&mut g, fx);
+        }
+        for rep in &g {
+            assert_eq!(rep.local_value(b"k"), Some(Bytes::from_static(b"v2")));
+        }
+    }
+
+    #[test]
+    fn reads_of_other_keys_unaffected_by_dirty_key() {
+        let mut g = group(3);
+        // Commit "a", then leave "b" dirty at the head.
+        let fx = {
+            let mut fx = Effects::new();
+            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "a", "va"), &mut fx);
+            fx
+        };
+        pump(&mut g, fx);
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(2, "b", "vb"), &mut fx);
+        // "a" still serves locally at the head.
+        let read = ClientRequest::read(ClientId(2), RequestId(9), &b"a"[..]);
+        let mut fx2 = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(2)), read, &mut fx2);
+        let PacketBody::Reply(r) = &fx2.out[0].1 else {
+            panic!()
+        };
+        assert_eq!(r.value, Some(Bytes::from_static(b"va")));
+    }
+
+    #[test]
+    fn misrouted_write_forwards_to_head() {
+        let mut g = group(3);
+        let mut fx = Effects::new();
+        g[1].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v"), &mut fx);
+        assert!(matches!(
+            fx.out[0],
+            (NodeId::Replica(ReplicaId(0)), PacketBody::Request(_))
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! Replication protocols, with and without Harmonia.
+//!
+//! Every protocol from the paper's evaluation (§9.5) is implemented here as a
+//! transport-agnostic (sans-IO) state machine:
+//!
+//! | module | protocol | class | Harmonia adaptation (§7) |
+//! |---|---|---|---|
+//! | [`pb`] | primary-backup | read-ahead | last-committed ≥ object seq guard; completion piggybacked on reply |
+//! | [`chain`] | chain replication | read-ahead | same guard; completion piggybacked on the tail's reply |
+//! | [`craq`] | CRAQ | baseline only | — (the protocol-level alternative Harmonia is compared against) |
+//! | [`vr`] | Viewstamped Replication | read-behind | extra COMMIT-ACK phase; completion after quorum executes |
+//! | [`nopaxos`] | NOPaxos | read-behind | completions batched out of the periodic synchronization |
+//!
+//! A state machine consumes packets/ticks and emits [`Effects`] — messages to
+//! send. The simulation driver and the live threaded driver (both in
+//! `harmonia-core`) execute the same machines.
+//!
+//! The three protocol responsibilities Harmonia imposes (§7) are visible in
+//! the code: writes are processed in sequence-number order ([`common::InOrder`]),
+//! fast-path reads are honoured only from the active switch
+//! ([`common::LeaseState`]), and each replica applies the class-appropriate
+//! guard before answering a single-replica read ([`common::read_ahead_ok`],
+//! [`common::read_behind_ok`]).
+
+pub mod chain;
+pub mod common;
+pub mod craq;
+pub mod messages;
+pub mod nopaxos;
+pub mod pb;
+pub mod vr;
+
+pub use common::{
+    read_ahead_ok, read_behind_ok, Effects, GroupConfig, InOrder, LeaseState, ProtocolKind,
+    Replica,
+};
+pub use messages::{ProtocolMsg, ReplicaControlMsg};
+
+/// Construct the replica state machine for `config`.
+pub fn build_replica(config: GroupConfig) -> Box<dyn Replica> {
+    match config.protocol {
+        ProtocolKind::PrimaryBackup => Box::new(pb::PbReplica::new(config)),
+        ProtocolKind::Chain => Box::new(chain::ChainReplica::new(config)),
+        ProtocolKind::Craq => Box::new(craq::CraqReplica::new(config)),
+        ProtocolKind::Vr => Box::new(vr::VrReplica::new(config)),
+        ProtocolKind::Nopaxos => Box::new(nopaxos::NopaxosReplica::new(config)),
+    }
+}

@@ -1,0 +1,215 @@
+//! Protocol-internal messages.
+//!
+//! These ride in [`PacketBody::Protocol`] and are forwarded by the switch as
+//! ordinary L2/L3 traffic — the conflict-detection pipeline never inspects
+//! them.
+//!
+//! [`PacketBody::Protocol`]: harmonia_types::PacketBody::Protocol
+
+use bytes::Bytes;
+use harmonia_types::{ClientId, ObjectId, ReplicaId, RequestId, SwitchId, SwitchSeq};
+
+/// A write as it travels inside a replica group.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WriteOp {
+    /// Sequence number (switch-assigned under Harmonia, entry-node-assigned
+    /// otherwise).
+    pub seq: SwitchSeq,
+    /// Fixed-width object id (what the dirty set tracks).
+    pub obj: ObjectId,
+    /// Full application key.
+    pub key: Bytes,
+    /// New value.
+    pub value: Bytes,
+    /// Issuing client (for the final reply).
+    pub client: ClientId,
+    /// Client request number (for the final reply).
+    pub request: RequestId,
+}
+
+/// Primary-backup messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PbMsg {
+    /// Primary → backup: apply this state update.
+    Update(WriteOp),
+    /// Backup → primary: update applied.
+    Ack {
+        /// Acknowledged sequence number.
+        seq: SwitchSeq,
+        /// Acknowledging backup.
+        from: ReplicaId,
+    },
+}
+
+/// Chain replication messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChainMsg {
+    /// Predecessor → successor: propagate the write down the chain.
+    Down(WriteOp),
+    /// Head → tail: a client retransmitted `(client, request)`; if the tail
+    /// already replied for it, re-send the cached reply (exactly-once
+    /// sessions — the tail is the replying node in chain replication).
+    ReReply {
+        /// Retransmitting client.
+        client: ClientId,
+        /// The retransmitted request id.
+        request: RequestId,
+    },
+}
+
+/// CRAQ messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CraqMsg {
+    /// Propagate a dirty version down the chain.
+    Down(WriteOp),
+    /// Tail → everyone upstream: version `seq` of `obj` is committed; mark
+    /// it clean (CRAQ's extra write phase).
+    Clean {
+        /// Object whose version committed.
+        obj: ObjectId,
+        /// Key (chains are keyed by full key).
+        key: Bytes,
+        /// Committed version.
+        seq: SwitchSeq,
+    },
+    /// Head → tail: re-send the cached reply for a retransmitted request.
+    ReReply {
+        /// Retransmitting client.
+        client: ClientId,
+        /// The retransmitted request id.
+        request: RequestId,
+    },
+}
+
+/// Viewstamped Replication messages (normal case + the Harmonia
+/// COMMIT-ACK phase of §7.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VrMsg {
+    /// Leader → replica: log this operation at position `op_num`.
+    Prepare {
+        /// Current view.
+        view: u64,
+        /// Log position.
+        op_num: u64,
+        /// The operation.
+        op: WriteOp,
+        /// Leader's commit point, piggybacked.
+        commit: u64,
+    },
+    /// Replica → leader: operation logged.
+    PrepareOk {
+        /// View of the prepare.
+        view: u64,
+        /// Log position acknowledged.
+        op_num: u64,
+        /// Acknowledging replica.
+        from: ReplicaId,
+    },
+    /// Leader → replica: commit point advanced (async notification).
+    Commit {
+        /// Current view.
+        view: u64,
+        /// Commit point.
+        commit: u64,
+    },
+    /// Replica → leader: executed through `op_num` (the Harmonia-added
+    /// COMMIT-ACK; §7.3).
+    CommitAck {
+        /// View.
+        view: u64,
+        /// Executed-through position.
+        op_num: u64,
+        /// Acknowledging replica.
+        from: ReplicaId,
+    },
+}
+
+/// NOPaxos messages (normal case + periodic synchronization).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NopaxosMsg {
+    /// Sequencer-stamped write, multicast by the switch to every replica.
+    Sequenced {
+        /// OUM session (switch incarnation).
+        session: u64,
+        /// Dense per-session sequence number.
+        oum_seq: u64,
+        /// The operation.
+        op: WriteOp,
+    },
+    /// Replica → client-side quorum aggregation happens at the client; each
+    /// replica acknowledges the slot to the *leader*, which tracks quorum
+    /// for the synchronization protocol.
+    SlotAck {
+        /// Session.
+        session: u64,
+        /// Slot acknowledged.
+        oum_seq: u64,
+        /// Acknowledging replica.
+        from: ReplicaId,
+    },
+    /// Replica → leader: a gap was detected at `oum_seq`; ask for the entry.
+    GapRequest {
+        /// Session.
+        session: u64,
+        /// Missing slot.
+        oum_seq: u64,
+        /// Requesting replica.
+        from: ReplicaId,
+    },
+    /// Leader → replica: fill for a gap request (`None` = commit a no-op).
+    GapReply {
+        /// Session.
+        session: u64,
+        /// Slot being filled.
+        oum_seq: u64,
+        /// The operation, if the leader has it.
+        op: Option<WriteOp>,
+    },
+    /// Leader → replicas: synchronization round `upto` (§7.3: the periodic
+    /// sync NOPaxos already runs; Harmonia hooks completions onto it).
+    Sync {
+        /// Session.
+        session: u64,
+        /// Leader's log length (all slots ≤ upto are stable at the leader).
+        upto: u64,
+    },
+    /// Replica → leader: executed through `upto`.
+    SyncAck {
+        /// Session.
+        session: u64,
+        /// Executed-through slot.
+        upto: u64,
+        /// Acknowledging replica.
+        from: ReplicaId,
+    },
+}
+
+/// Control commands delivered to replicas by the configuration service
+/// (leases and membership, §5.3 / §7 responsibility 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplicaControlMsg {
+    /// Henceforth honour single-replica reads only from this switch; reject
+    /// (route through the normal protocol) reads flagged by any other
+    /// incarnation.
+    SetActiveSwitch(SwitchId),
+    /// Membership change: the ordered live replica list (chain order / role
+    /// order).
+    SetMembers(Vec<ReplicaId>),
+}
+
+/// Union of all protocol-internal traffic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolMsg {
+    /// Primary-backup.
+    Pb(PbMsg),
+    /// Chain replication.
+    Chain(ChainMsg),
+    /// CRAQ.
+    Craq(CraqMsg),
+    /// Viewstamped Replication.
+    Vr(VrMsg),
+    /// NOPaxos.
+    Nopaxos(NopaxosMsg),
+    /// Configuration-service control traffic.
+    Control(ReplicaControlMsg),
+}

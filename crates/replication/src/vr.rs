@@ -1,0 +1,687 @@
+//! Viewstamped Replication (Oki & Liskov; Liskov & Cowling's VR-Revisited),
+//! normal-case protocol, with the Harmonia read-behind adaptation (§7.3).
+//!
+//! The leader orders writes into a log and runs the PREPARE / PREPARE-OK
+//! phase; an operation commits once a majority has logged it, at which point
+//! the leader executes it and replies to the client. Backups execute only
+//! once they learn the commit point — they can therefore *lag* the committed
+//! state (read-behind).
+//!
+//! Harmonia adds one phase (§7.3): concurrently with replying, the leader
+//! broadcasts COMMIT; replicas execute and answer COMMIT-ACK; only when a
+//! majority has *executed* operation `n` does the leader emit the
+//! WRITE-COMPLETION for it. This delay is what makes the switch's
+//! last-committed point a safe lower bound for the fast-path read guard:
+//! a replica may answer a single-replica read iff it has executed at least
+//! up to the stamped last-committed point.
+//!
+//! View changes are out of scope (the paper's evaluation exercises the
+//! normal case and switch failover; the leader is fixed at member 0). The
+//! view number is carried in every message so the structure matches VR.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use bytes::Bytes;
+use harmonia_types::{
+    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
+};
+use harmonia_kv::{Store, VersionedValue};
+
+use crate::common::{
+    handle_control, read_behind_ok, read_reply, write_reply, Admission, ClientTable, Effects,
+    GroupConfig, InOrder, LeaseState, ProtocolKind, Replica,
+};
+use crate::messages::{ProtocolMsg, VrMsg, WriteOp};
+
+/// One VR replica.
+pub struct VrReplica {
+    me: ReplicaId,
+    members: Vec<ReplicaId>,
+    harmonia: bool,
+    lease: LeaseState,
+    sync_interval: harmonia_types::Duration,
+
+    view: u64,
+    /// The replicated log; position `i + 1` is op-number `i + 1`.
+    log: Vec<WriteOp>,
+    /// Highest committed op-number.
+    commit_num: u64,
+    /// Highest executed op-number (applied to `store`).
+    executed: u64,
+    /// Out-of-order PREPAREs buffered until the log catches up.
+    pending_prepares: BTreeMap<u64, WriteOp>,
+    /// Leader: PREPARE-OK collection per op-number.
+    prepare_acks: HashMap<u64, HashSet<ReplicaId>>,
+    /// Leader: executed-through points learned from COMMIT-ACKs.
+    exec_points: HashMap<ReplicaId, u64>,
+    /// Leader: completions emitted through this op-number.
+    completed: u64,
+
+    store: Store<VersionedValue>,
+    in_order: InOrder,
+    local_seq: u64,
+    /// Leader only: at-most-once admission (drops network duplicates).
+    clients: ClientTable,
+    /// Largest switch sequence number among executed writes (`R.seq` in the
+    /// Appendix A proof) — the read-behind guard input.
+    exec_seq: SwitchSeq,
+}
+
+impl VrReplica {
+    /// Build the replica for `config`.
+    pub fn new(config: GroupConfig) -> Self {
+        VrReplica {
+            me: config.me,
+            members: config.members,
+            harmonia: config.harmonia,
+            lease: LeaseState::new(config.active_switch),
+            sync_interval: config.sync_interval,
+            view: 0,
+            log: Vec::new(),
+            commit_num: 0,
+            executed: 0,
+            pending_prepares: BTreeMap::new(),
+            prepare_acks: HashMap::new(),
+            exec_points: HashMap::new(),
+            completed: 0,
+            store: Store::new(),
+            in_order: InOrder::new(),
+            local_seq: 0,
+            clients: ClientTable::new(),
+            exec_seq: SwitchSeq::ZERO,
+        }
+    }
+
+    fn leader(&self) -> ReplicaId {
+        self.members[self.view as usize % self.members.len()]
+    }
+
+    fn is_leader(&self) -> bool {
+        self.me == self.leader()
+    }
+
+    fn quorum(&self) -> usize {
+        ProtocolKind::Vr.quorum(self.members.len())
+    }
+
+    fn others(&self) -> Vec<ReplicaId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&r| r != self.me)
+            .collect()
+    }
+
+    fn execute_up_to(&mut self, n: u64) {
+        let n = n.min(self.log.len() as u64);
+        while self.executed < n {
+            let op = &self.log[self.executed as usize];
+            self.store
+                .put(op.key.clone(), VersionedValue::new(op.value.clone(), op.seq));
+            self.exec_seq = self.exec_seq.max(op.seq);
+            self.executed += 1;
+        }
+    }
+
+    fn handle_write(&mut self, mut req: ClientRequest, out: &mut Effects) {
+        if !self.is_leader() {
+            out.forward_request(self.leader(), req);
+            return;
+        }
+        match self.clients.admit(req.client, req.request) {
+            Admission::Fresh => {}
+            Admission::Duplicate => {
+                if let Some(r) = self.clients.cached_reply(req.client, req.request) {
+                    out.reply(self.lease.active(), r);
+                }
+                return;
+            }
+            Admission::Stale => return,
+        }
+        let seq = match req.seq {
+            Some(s) if self.harmonia => s,
+            _ => {
+                self.local_seq += 1;
+                SwitchSeq::new(self.lease.active(), self.local_seq)
+            }
+        };
+        req.seq = Some(seq);
+        if !self.in_order.accept(seq) {
+            out.reply(
+                self.lease.active(),
+                write_reply(req.client, req.request, req.obj, WriteOutcome::Rejected, None),
+            );
+            return;
+        }
+        let op = WriteOp {
+            seq,
+            obj: req.obj,
+            key: req.key.clone(),
+            value: req.value.clone().unwrap_or_default(),
+            client: req.client,
+            request: req.request,
+        };
+        self.log.push(op.clone());
+        let op_num = self.log.len() as u64;
+        for r in self.others() {
+            out.protocol(
+                r,
+                ProtocolMsg::Vr(VrMsg::Prepare {
+                    view: self.view,
+                    op_num,
+                    op: op.clone(),
+                    commit: self.commit_num,
+                }),
+            );
+        }
+        // Single-replica group commits immediately.
+        self.advance_commit(out);
+    }
+
+    /// Leader: advance the commit point over consecutively-quorumed ops,
+    /// executing and replying as each commits.
+    fn advance_commit(&mut self, out: &mut Effects) {
+        let quorum = self.quorum();
+        let mut advanced = false;
+        while self.commit_num < self.log.len() as u64 {
+            let next = self.commit_num + 1;
+            let acks = self.prepare_acks.get(&next).map(|s| s.len()).unwrap_or(0);
+            // +1 for the leader's own log entry.
+            if acks + 1 < quorum {
+                break;
+            }
+            self.commit_num = next;
+            self.prepare_acks.remove(&next);
+            self.execute_up_to(next);
+            let op = &self.log[(next - 1) as usize];
+            let reply = write_reply(op.client, op.request, op.obj, WriteOutcome::Committed, None);
+            self.clients.record_reply(reply.clone());
+            out.reply(self.lease.active(), reply);
+            advanced = true;
+        }
+        if advanced {
+            // §7.3: concurrently with replying, tell the replicas to commit;
+            // they answer COMMIT-ACK (the Harmonia-added phase). The
+            // baseline also broadcasts commits (VR does this lazily; the
+            // periodic tick covers quiescence either way).
+            let msg = VrMsg::Commit {
+                view: self.view,
+                commit: self.commit_num,
+            };
+            for r in self.others() {
+                out.protocol(r, ProtocolMsg::Vr(msg.clone()));
+            }
+            self.maybe_emit_completions(out);
+        }
+    }
+
+    /// Leader: the completion point is the largest op-number that a majority
+    /// (counting the leader) has *executed*; emit WRITE-COMPLETIONs up to it.
+    fn maybe_emit_completions(&mut self, out: &mut Effects) {
+        if !self.harmonia {
+            return;
+        }
+        let mut points: Vec<u64> = self
+            .members
+            .iter()
+            .map(|r| {
+                if *r == self.me {
+                    self.executed
+                } else {
+                    self.exec_points.get(r).copied().unwrap_or(0)
+                }
+            })
+            .collect();
+        points.sort_unstable_by(|a, b| b.cmp(a));
+        let point = points[self.quorum() - 1];
+        while self.completed < point {
+            self.completed += 1;
+            let op = &self.log[(self.completed - 1) as usize];
+            out.completion(
+                self.lease.active(),
+                WriteCompletion {
+                    obj: op.obj,
+                    seq: op.seq,
+                },
+            );
+        }
+    }
+
+    fn handle_read(&mut self, req: ClientRequest, out: &mut Effects) {
+        match req.read_mode {
+            ReadMode::FastPath { switch } => {
+                let allowed = self.lease.allows(switch);
+                let stamped = req.last_committed.unwrap_or(SwitchSeq::ZERO);
+                if allowed && read_behind_ok(self.exec_seq, stamped) {
+                    let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
+                    out.reply(self.lease.active(), read_reply(&req, value));
+                } else {
+                    let mut fwd = req;
+                    fwd.read_mode = ReadMode::Normal;
+                    if self.is_leader() {
+                        self.handle_read(fwd, out);
+                    } else {
+                        out.forward_request(self.leader(), fwd);
+                    }
+                }
+            }
+            ReadMode::Normal => {
+                if self.is_leader() {
+                    let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
+                    out.reply(self.lease.active(), read_reply(&req, value));
+                } else {
+                    out.forward_request(self.leader(), req);
+                }
+            }
+        }
+    }
+
+    /// Backup: drain consecutively-numbered buffered prepares into the log,
+    /// acknowledging each.
+    fn drain_prepares(&mut self, out: &mut Effects) {
+        while let Some(op) = self
+            .pending_prepares
+            .remove(&(self.log.len() as u64 + 1))
+        {
+            self.log.push(op);
+            out.protocol(
+                self.leader(),
+                ProtocolMsg::Vr(VrMsg::PrepareOk {
+                    view: self.view,
+                    op_num: self.log.len() as u64,
+                    from: self.me,
+                }),
+            );
+        }
+    }
+
+    /// Backup: execute through the learned commit point and (under
+    /// Harmonia) answer COMMIT-ACK with the executed-through position.
+    fn learn_commit(&mut self, commit: u64, out: &mut Effects) {
+        self.commit_num = self.commit_num.max(commit.min(self.log.len() as u64));
+        let before = self.executed;
+        self.execute_up_to(self.commit_num);
+        if self.harmonia && self.executed > before {
+            out.protocol(
+                self.leader(),
+                ProtocolMsg::Vr(VrMsg::CommitAck {
+                    view: self.view,
+                    op_num: self.executed,
+                    from: self.me,
+                }),
+            );
+        }
+    }
+}
+
+impl Replica for VrReplica {
+    fn on_request(&mut self, _src: NodeId, req: ClientRequest, out: &mut Effects) {
+        match req.op {
+            OpKind::Write => self.handle_write(req, out),
+            OpKind::Read => self.handle_read(req, out),
+        }
+    }
+
+    fn on_protocol(&mut self, _src: NodeId, msg: ProtocolMsg, out: &mut Effects) {
+        if handle_control(&msg, &mut self.lease, &mut self.members) {
+            return;
+        }
+        let ProtocolMsg::Vr(msg) = msg else { return };
+        match msg {
+            VrMsg::Prepare {
+                view,
+                op_num,
+                op,
+                commit,
+            } => {
+                if view != self.view || self.is_leader() {
+                    return;
+                }
+                if op_num == self.log.len() as u64 + 1 {
+                    self.log.push(op);
+                    out.protocol(
+                        self.leader(),
+                        ProtocolMsg::Vr(VrMsg::PrepareOk {
+                            view: self.view,
+                            op_num,
+                            from: self.me,
+                        }),
+                    );
+                    self.drain_prepares(out);
+                } else if op_num > self.log.len() as u64 {
+                    self.pending_prepares.insert(op_num, op);
+                } else {
+                    // Duplicate of something already logged: re-ack.
+                    out.protocol(
+                        self.leader(),
+                        ProtocolMsg::Vr(VrMsg::PrepareOk {
+                            view: self.view,
+                            op_num,
+                            from: self.me,
+                        }),
+                    );
+                }
+                self.learn_commit(commit, out);
+            }
+            VrMsg::PrepareOk { view, op_num, from } => {
+                if view != self.view || !self.is_leader() {
+                    return;
+                }
+                if op_num > self.commit_num {
+                    self.prepare_acks.entry(op_num).or_default().insert(from);
+                    self.advance_commit(out);
+                }
+            }
+            VrMsg::Commit { view, commit } => {
+                if view != self.view || self.is_leader() {
+                    return;
+                }
+                self.learn_commit(commit, out);
+            }
+            VrMsg::CommitAck { view, op_num, from } => {
+                if view != self.view || !self.is_leader() {
+                    return;
+                }
+                let p = self.exec_points.entry(from).or_insert(0);
+                *p = (*p).max(op_num);
+                self.maybe_emit_completions(out);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, out: &mut Effects) {
+        // Periodic commit broadcast: keeps backups executing under
+        // quiescence and re-drives lost COMMIT/COMMIT-ACK exchanges.
+        if self.is_leader() && self.commit_num > 0 {
+            let msg = VrMsg::Commit {
+                view: self.view,
+                commit: self.commit_num,
+            };
+            for r in self.others() {
+                out.protocol(r, ProtocolMsg::Vr(msg.clone()));
+            }
+        }
+    }
+
+    fn tick_interval(&self) -> Option<harmonia_types::Duration> {
+        Some(self.sync_interval)
+    }
+
+    fn local_value(&self, key: &[u8]) -> Option<Bytes> {
+        self.store.with(key, |v| v.map(|vv| vv.value.clone()))
+    }
+
+    fn applied_seq(&self) -> SwitchSeq {
+        self.exec_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::{ClientId, PacketBody, RequestId, SwitchId};
+
+    fn seq(n: u64) -> SwitchSeq {
+        SwitchSeq::new(SwitchId(1), n)
+    }
+
+    fn group(n: usize, harmonia: bool) -> Vec<VrReplica> {
+        (0..n)
+            .map(|i| VrReplica::new(GroupConfig::new(ProtocolKind::Vr, n, i as u32, harmonia)))
+            .collect()
+    }
+
+    fn write_req(n: u64, key: &str, val: &str, harmonia: bool) -> ClientRequest {
+        let mut r = ClientRequest::write(
+            ClientId(1),
+            RequestId(n),
+            Bytes::copy_from_slice(key.as_bytes()),
+            Bytes::copy_from_slice(val.as_bytes()),
+        );
+        if harmonia {
+            r.seq = Some(seq(n));
+        }
+        r
+    }
+
+    /// Deliver effects until quiescent; returns switch-bound bodies.
+    fn pump(replicas: &mut [VrReplica], mut fx: Effects) -> Vec<PacketBody<ProtocolMsg>> {
+        let mut to_switch = vec![];
+        while !fx.out.is_empty() {
+            let mut next = Effects::new();
+            for (dst, body) in fx.out.drain(..) {
+                match (dst, body) {
+                    (NodeId::Replica(r), PacketBody::Protocol(m)) => {
+                        replicas[r.index()].on_protocol(NodeId::Replica(r), m, &mut next);
+                    }
+                    (NodeId::Replica(r), PacketBody::Request(req)) => {
+                        replicas[r.index()].on_request(NodeId::Replica(r), req, &mut next);
+                    }
+                    (NodeId::Switch(_), b) => to_switch.push(b),
+                    other => panic!("unexpected effect {other:?}"),
+                }
+            }
+            fx = next;
+        }
+        to_switch
+    }
+
+    fn replies(bodies: &[PacketBody<ProtocolMsg>]) -> Vec<&harmonia_types::ClientReply> {
+        bodies
+            .iter()
+            .filter_map(|b| match b {
+                PacketBody::Reply(r) => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn completions(bodies: &[PacketBody<ProtocolMsg>]) -> Vec<WriteCompletion> {
+        bodies
+            .iter()
+            .filter_map(|b| match b {
+                PacketBody::Completion(c) => Some(*c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_commits_at_majority_and_completion_follows_commit_acks() {
+        let mut g = group(3, true);
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        assert_eq!(fx.len(), 2, "prepare to both backups");
+        let bodies = pump(&mut g, fx);
+        let rs = replies(&bodies);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].write_outcome, Some(WriteOutcome::Committed));
+        assert_eq!(rs[0].completion, None, "read-behind: no piggyback");
+        // The COMMIT-ACK phase produced exactly one completion.
+        let cs = completions(&bodies);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].seq, seq(1));
+        // All replicas executed.
+        for rep in &g {
+            assert_eq!(rep.local_value(b"k"), Some(Bytes::from_static(b"v")));
+        }
+    }
+
+    #[test]
+    fn baseline_emits_no_completions() {
+        let mut g = group(3, false);
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", false), &mut fx);
+        let bodies = pump(&mut g, fx);
+        assert_eq!(replies(&bodies).len(), 1);
+        assert!(completions(&bodies).is_empty());
+    }
+
+    #[test]
+    fn commit_point_needs_majority_not_all() {
+        let mut g = group(5, true);
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        // Deliver prepares to backups 1 and 2 only (leader + 2 = majority of 5).
+        let mut acks = Effects::new();
+        for (dst, body) in fx.out.drain(..) {
+            if let (NodeId::Replica(r), PacketBody::Protocol(m)) = (dst, body) {
+                if r.index() <= 2 {
+                    g[r.index()].on_protocol(NodeId::Replica(r), m, &mut acks);
+                }
+            }
+        }
+        let bodies = pump(&mut g, acks);
+        assert_eq!(replies(&bodies).len(), 1, "commit at majority");
+    }
+
+    #[test]
+    fn backup_lags_until_commit_message() {
+        let mut g = group(3, true);
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        // Deliver only the prepares (not the resulting acks/commits).
+        for (dst, body) in fx.out.drain(..) {
+            if let (NodeId::Replica(r), PacketBody::Protocol(m)) = (dst, body) {
+                let mut sink = Effects::new();
+                g[r.index()].on_protocol(NodeId::Replica(r), m, &mut sink);
+                // Swallow the PrepareOks.
+            }
+        }
+        // Backups logged but did not execute: read-behind.
+        assert_eq!(g[1].local_value(b"k"), None);
+        assert_eq!(g[1].executed, 0);
+        assert_eq!(g[1].log.len(), 1);
+    }
+
+    #[test]
+    fn fast_path_guard_rejects_lagging_replica() {
+        let mut g = group(3, true);
+        let fx = {
+            let mut fx = Effects::new();
+            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            fx
+        };
+        pump(&mut g, fx);
+        // Forge a lagging backup: fresh replica that executed nothing.
+        let mut lagger = VrReplica::new(GroupConfig::new(ProtocolKind::Vr, 3, 1, true));
+        let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
+        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.last_committed = Some(seq(1));
+        let mut fx = Effects::new();
+        lagger.on_request(NodeId::Client(ClientId(2)), read, &mut fx);
+        // Guard fails (executed 0 < stamped 1): forwarded to leader.
+        assert!(matches!(
+            fx.out[0],
+            (NodeId::Replica(ReplicaId(0)), PacketBody::Request(_))
+        ));
+    }
+
+    #[test]
+    fn fast_path_serves_when_replica_is_current() {
+        let mut g = group(3, true);
+        let fx = {
+            let mut fx = Effects::new();
+            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            fx
+        };
+        pump(&mut g, fx);
+        let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
+        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.last_committed = Some(seq(1));
+        let mut fx = Effects::new();
+        g[2].on_request(NodeId::Client(ClientId(2)), read, &mut fx);
+        let PacketBody::Reply(r) = &fx.out[0].1 else {
+            panic!("expected local reply: {:?}", fx.out)
+        };
+        assert_eq!(r.value, Some(Bytes::from_static(b"v")));
+    }
+
+    #[test]
+    fn out_of_order_prepares_are_buffered_and_drained() {
+        let mut g = group(3, true);
+        let mk_prepare = |n: u64| {
+            ProtocolMsg::Vr(VrMsg::Prepare {
+                view: 0,
+                op_num: n,
+                op: WriteOp {
+                    seq: seq(n),
+                    obj: harmonia_types::ObjectId::from_key(b"k"),
+                    key: Bytes::from_static(b"k"),
+                    value: Bytes::copy_from_slice(format!("v{n}").as_bytes()),
+                    client: ClientId(1),
+                    request: RequestId(n),
+                },
+                commit: 0,
+            })
+        };
+        let mut fx = Effects::new();
+        g[1].on_protocol(NodeId::Replica(ReplicaId(0)), mk_prepare(2), &mut fx);
+        assert!(fx.is_empty(), "op 2 buffered until op 1 arrives");
+        g[1].on_protocol(NodeId::Replica(ReplicaId(0)), mk_prepare(1), &mut fx);
+        // Both acks now flow (op 1 then op 2).
+        let ack_nums: Vec<u64> = fx
+            .out
+            .iter()
+            .filter_map(|(_, b)| match b {
+                PacketBody::Protocol(ProtocolMsg::Vr(VrMsg::PrepareOk { op_num, .. })) => {
+                    Some(*op_num)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ack_nums, vec![1, 2]);
+        assert_eq!(g[1].log.len(), 2);
+    }
+
+    #[test]
+    fn periodic_tick_rebroadcasts_commit() {
+        let mut g = group(3, true);
+        let fx = {
+            let mut fx = Effects::new();
+            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            fx
+        };
+        pump(&mut g, fx);
+        let mut fx = Effects::new();
+        g[0].on_tick(&mut fx);
+        assert_eq!(fx.len(), 2, "commit re-broadcast to both backups");
+        let mut fx2 = Effects::new();
+        g[1].on_tick(&mut fx2);
+        assert!(fx2.is_empty(), "backups do not broadcast");
+    }
+
+    #[test]
+    fn five_node_completion_needs_execution_majority() {
+        let mut g = group(5, true);
+        let mut fx = Effects::new();
+        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        // Full prepare round, but suppress COMMIT delivery to backups 3 & 4.
+        // FIFO delivery: links in one rack preserve order.
+        let mut commit_acks_seen = 0;
+        let mut queue: std::collections::VecDeque<_> = fx.out.drain(..).collect();
+        let mut bodies = vec![];
+        while let Some((dst, body)) = queue.pop_front() {
+            match (dst, body) {
+                (NodeId::Replica(r), PacketBody::Protocol(m)) => {
+                    // Drop COMMITs to replicas 3 and 4.
+                    if matches!(m, ProtocolMsg::Vr(VrMsg::Commit { .. })) && r.index() >= 3 {
+                        continue;
+                    }
+                    if matches!(m, ProtocolMsg::Vr(VrMsg::CommitAck { .. })) {
+                        commit_acks_seen += 1;
+                    }
+                    let mut next = Effects::new();
+                    g[r.index()].on_protocol(NodeId::Replica(r), m, &mut next);
+                    queue.extend(next.out);
+                }
+                (NodeId::Switch(_), b) => bodies.push(b),
+                (NodeId::Replica(_), PacketBody::Request(_)) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(commit_acks_seen, 2, "only replicas 1,2 commit-acked");
+        // Quorum = 3 (leader + 2 backups executed): completion emitted.
+        assert_eq!(completions(&bodies).len(), 1);
+    }
+}

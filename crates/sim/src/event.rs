@@ -1,0 +1,156 @@
+//! The event queue.
+//!
+//! Events are totally ordered by `(time, sequence)` where `sequence` is a
+//! monotone insertion counter: two events scheduled for the same instant fire
+//! in scheduling order. This makes runs bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use harmonia_types::{Instant, NodeId};
+
+/// Token identifying a timer registration; delivered back to the actor when
+/// the timer fires so it can distinguish (and ignore stale) timers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerToken(pub u64);
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// A message arrives at `to`'s input (it then enters the service queue).
+    Arrive {
+        /// Receiving node.
+        to: NodeId,
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// A node finishes servicing the message at the head of its queue.
+    ServiceDone {
+        /// The node completing service.
+        node: NodeId,
+    },
+    /// A timer registered by `node` fires.
+    Timer {
+        /// The owning node.
+        node: NodeId,
+        /// The registration token.
+        token: TimerToken,
+    },
+    /// An external control action (test / benchmark harness intervention,
+    /// e.g. "stop the switch at t = 20 s").
+    Control(u64),
+}
+
+pub(crate) struct ScheduledEvent<M> {
+    pub at: Instant,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for ScheduledEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for ScheduledEvent<M> {}
+impl<M> PartialOrd for ScheduledEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for ScheduledEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Min-heap of scheduled events with deterministic tie-breaking.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<ScheduledEvent<M>>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: Instant, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(ScheduledEvent { at, seq, kind }));
+    }
+
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::Duration;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        q.push(t(5), EventKind::Control(5));
+        q.push(t(1), EventKind::Control(1));
+        q.push(t(3), EventKind::Control(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Control(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_scheduling_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = Instant::ZERO + Duration::from_millis(1);
+        for v in 0..10 {
+            q.push(t, EventKind::Control(v));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Control(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        q.push(t(9), EventKind::Control(0));
+        q.push(t(2), EventKind::Control(1));
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulator.
+//!
+//! This crate is the testbed substitute (DESIGN.md §1): a virtual-time world
+//! in which every Harmonia component — clients, the switch, storage replicas —
+//! runs as an [`Actor`]. The simulator provides:
+//!
+//! * a virtual-time event scheduler with a deterministic tie-break order;
+//! * a configurable network model (per-link latency, jitter, drop, reorder,
+//!   duplication) driven by a seeded RNG, so every run is reproducible;
+//! * a per-node *service model*: replicas are single-server queues with
+//!   calibrated service times (saturation and latency curves emerge from
+//!   queueing, exactly like the paper's testbed saturates its tail node),
+//!   while the switch is a pure-delay element (line rate, §6);
+//! * node failure switches (used by the switch-failover experiment, Fig. 10);
+//! * a metrics registry (counters + latency histograms).
+//!
+//! The same protocol state machines run unmodified under the live threaded
+//! driver in `harmonia-core`; nothing in this crate is Harmonia-specific.
+
+pub mod event;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod world;
+
+pub use event::TimerToken;
+pub use metrics::{Histogram, Metrics};
+pub use network::{LinkConfig, NetworkModel};
+pub use node::{Actor, Context, Service};
+pub use world::{World, WorldConfig};

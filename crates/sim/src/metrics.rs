@@ -1,0 +1,209 @@
+//! Counters and latency histograms.
+//!
+//! The benchmark harnesses read throughput from counters (completed ops in a
+//! measurement window) and latency from histograms. Histograms store raw
+//! nanosecond samples up to a cap and switch to reservoir sampling beyond it,
+//! which keeps percentile queries exact for the sizes our benches use while
+//! bounding memory for very long runs.
+
+use std::collections::HashMap;
+
+use harmonia_types::Duration;
+
+/// A latency histogram: mean is exact; percentiles are exact up to the
+/// retention cap and sampled beyond it.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    cap: usize,
+    /// Simple linear-congruential state for reservoir sampling; avoids
+    /// carrying an RNG handle here. Determinism is preserved because inserts
+    /// happen in simulation order.
+    lcg: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_capacity(1 << 20)
+    }
+}
+
+impl Histogram {
+    /// Create a histogram retaining up to `cap` exact samples.
+    pub fn with_capacity(cap: usize) -> Self {
+        Histogram {
+            samples: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            cap: cap.max(1),
+            lcg: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        let v = d.nanos();
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        if self.samples.len() < self.cap {
+            self.samples.push(v);
+        } else {
+            // Vitter's algorithm R with an inline LCG.
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let idx = (self.lcg >> 33) % self.count;
+            if (idx as usize) < self.samples.len() {
+                self.samples[idx as usize] = v;
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.sum / self.count)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max)
+    }
+
+    /// The `p`-th percentile (0.0 ..= 1.0) over retained samples.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Duration::from_nanos(sorted[rank])
+    }
+
+    /// Discard all samples but keep the configuration.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+/// Named counters and histograms for one simulation run.
+#[derive(Default, Debug)]
+pub struct Metrics {
+    counters: HashMap<&'static str, u64>,
+    histograms: HashMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read counter `name` (0 if never touched).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a duration into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, d: Duration) {
+        self.histograms.entry(name).or_default().record(d);
+    }
+
+    /// Access histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &'static str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Reset every counter and histogram (used to discard warmup).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        for h in self.histograms.values_mut() {
+            h.reset();
+        }
+    }
+
+    /// Iterate counters in name order (for debugging dumps).
+    pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("ops");
+        m.add("ops", 4);
+        assert_eq!(m.counter("ops"), 5);
+        assert_eq!(m.counter("absent"), 0);
+        m.reset();
+        assert_eq!(m.counter("ops"), 0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean(), Duration::from_nanos(50_500));
+        assert_eq!(h.max(), Duration::from_micros(100));
+        assert_eq!(h.percentile(0.0), Duration::from_micros(1));
+        assert_eq!(h.percentile(1.0), Duration::from_micros(100));
+        let p50 = h.percentile(0.5);
+        assert!(p50 >= Duration::from_micros(49) && p50 <= Duration::from_micros(52));
+    }
+
+    #[test]
+    fn histogram_reservoir_keeps_count_exact() {
+        let mut h = Histogram::with_capacity(10);
+        for us in 0..1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.samples.len(), 10);
+        // Mean is exact even though samples are subsampled.
+        assert_eq!(h.mean(), Duration::from_nanos(499_500));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+    }
+}

@@ -1,0 +1,618 @@
+//! The simulation world: nodes + network + event loop.
+
+use std::collections::{HashMap, VecDeque};
+
+use harmonia_types::{Duration, Instant, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{EventKind, EventQueue, TimerToken};
+use crate::metrics::Metrics;
+use crate::network::NetworkModel;
+use crate::node::{Action, Actor, Context, Service};
+
+/// World construction parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// RNG seed: identical seeds (and identical node/action sequences)
+    /// reproduce runs exactly.
+    pub seed: u64,
+    /// The network model.
+    pub network: NetworkModel,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0x4a52_4d4e_4941,
+            network: NetworkModel::default(),
+        }
+    }
+}
+
+struct NodeSlot<M> {
+    actor: Option<Box<dyn Actor<M>>>,
+    /// FIFO of messages awaiting service: `(from, msg, service_time)`.
+    inbox: VecDeque<(NodeId, M, Duration)>,
+    busy: bool,
+    down: bool,
+}
+
+type ControlFn<M> = Box<dyn FnOnce(&mut World<M>)>;
+
+/// A deterministic discrete-event simulation of one storage rack.
+pub struct World<M> {
+    now: Instant,
+    queue: EventQueue<M>,
+    nodes: HashMap<NodeId, NodeSlot<M>>,
+    network: NetworkModel,
+    rng: SmallRng,
+    metrics: Metrics,
+    next_timer: u64,
+    controls: HashMap<u64, ControlFn<M>>,
+    next_control: u64,
+}
+
+impl<M: Clone + 'static> World<M> {
+    /// Create an empty world.
+    pub fn new(config: WorldConfig) -> Self {
+        World {
+            now: Instant::ZERO,
+            queue: EventQueue::new(),
+            nodes: HashMap::new(),
+            network: config.network,
+            rng: SmallRng::seed_from_u64(config.seed),
+            metrics: Metrics::new(),
+            next_timer: 0,
+            controls: HashMap::new(),
+            next_control: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (e.g. to reset after warmup).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Mutable network access (partitions, link overrides mid-run).
+    pub fn network_mut(&mut self) -> &mut NetworkModel {
+        &mut self.network
+    }
+
+    /// Register a node and run its `on_start` hook.
+    pub fn add_node(&mut self, id: NodeId, actor: Box<dyn Actor<M>>) {
+        self.nodes.insert(
+            id,
+            NodeSlot {
+                actor: Some(actor),
+                inbox: VecDeque::new(),
+                busy: false,
+                down: false,
+            },
+        );
+        self.start_node(id);
+    }
+
+    /// Replace a node's actor with a fresh one (models a rebooted switch
+    /// that lost all soft state, §5.3) and run `on_start`.
+    pub fn replace_node(&mut self, id: NodeId, actor: Box<dyn Actor<M>>) {
+        let slot = self.nodes.get_mut(&id).expect("replace_node: unknown node");
+        slot.actor = Some(actor);
+        slot.inbox.clear();
+        slot.busy = false;
+        slot.down = false;
+        self.start_node(id);
+    }
+
+    /// Take a node offline: queued and in-flight-to-it messages are lost,
+    /// timers are suppressed while down.
+    pub fn set_down(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            slot.down = true;
+            slot.inbox.clear();
+            slot.busy = false;
+        }
+    }
+
+    /// Bring a node back (state intact) and re-run `on_start`.
+    pub fn set_up(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            slot.down = false;
+        }
+        self.start_node(id);
+    }
+
+    /// Whether the node is currently marked down.
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).map(|s| s.down).unwrap_or(true)
+    }
+
+    /// Immutable access to a node's actor, downcast to its concrete type.
+    pub fn actor<A: 'static>(&self, id: NodeId) -> Option<&A> {
+        self.nodes
+            .get(&id)
+            .and_then(|s| s.actor.as_deref())
+            .and_then(|a| a.as_any().downcast_ref())
+    }
+
+    /// Mutable access to a node's actor, downcast to its concrete type.
+    ///
+    /// Mutating actor state outside a handler is a harness-only affordance;
+    /// protocol logic must go through messages.
+    pub fn actor_mut<A: 'static>(&mut self, id: NodeId) -> Option<&mut A> {
+        self.nodes
+            .get_mut(&id)
+            .and_then(|s| s.actor.as_deref_mut())
+            .and_then(|a| a.as_any_mut().downcast_mut())
+    }
+
+    /// Inject a message from outside the simulation (no network effects,
+    /// delivered at the current instant).
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.queue.push(self.now, EventKind::Arrive { to, from, msg });
+    }
+
+    /// Schedule an arbitrary harness action at an absolute time.
+    pub fn schedule_control(&mut self, at: Instant, f: impl FnOnce(&mut World<M>) + 'static) {
+        let id = self.next_control;
+        self.next_control += 1;
+        self.controls.insert(id, Box::new(f));
+        self.queue.push(at, EventKind::Control(id));
+    }
+
+    /// Number of messages waiting (plus in service) at `id`.
+    pub fn backlog(&self, id: NodeId) -> usize {
+        self.nodes
+            .get(&id)
+            .map(|s| s.inbox.len() + usize::from(s.busy))
+            .unwrap_or(0)
+    }
+
+    /// Process events until (and including) time `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Process events until the queue drains or `max_events` fire.
+    /// Returns the number of events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Fire the next event. Returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        match ev.kind {
+            EventKind::Arrive { to, from, msg } => self.handle_arrival(to, from, msg),
+            EventKind::ServiceDone { node } => self.handle_service_done(node),
+            EventKind::Timer { node, token } => self.fire_timer(node, token),
+            EventKind::Control(id) => {
+                if let Some(f) = self.controls.remove(&id) {
+                    f(self);
+                }
+            }
+        }
+        true
+    }
+
+    fn handle_arrival(&mut self, to: NodeId, from: NodeId, msg: M) {
+        let Some(slot) = self.nodes.get_mut(&to) else {
+            self.metrics.incr("net.dead_dst");
+            return;
+        };
+        if slot.down {
+            self.metrics.incr("net.down_dst");
+            return;
+        }
+        let service = slot
+            .actor
+            .as_ref()
+            .map(|a| a.service(&msg))
+            .unwrap_or(Service::Immediate);
+        match service {
+            Service::Immediate => self.dispatch_message(to, from, msg),
+            Service::Queued(d) => {
+                let slot = self.nodes.get_mut(&to).expect("slot vanished");
+                slot.inbox.push_back((from, msg, d));
+                if !slot.busy {
+                    slot.busy = true;
+                    let head_service = slot.inbox.front().expect("just pushed").2;
+                    self.queue
+                        .push(self.now + head_service, EventKind::ServiceDone { node: to });
+                }
+            }
+        }
+    }
+
+    fn handle_service_done(&mut self, node: NodeId) {
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        if slot.down {
+            return;
+        }
+        let Some((from, msg, _)) = slot.inbox.pop_front() else {
+            slot.busy = false;
+            return;
+        };
+        // Schedule the next head *before* dispatching, so that messages the
+        // handler enqueues locally line up behind existing work.
+        if let Some(&(_, _, next_d)) = slot.inbox.front() {
+            self.queue
+                .push(self.now + next_d, EventKind::ServiceDone { node });
+        } else {
+            slot.busy = false;
+        }
+        self.dispatch_message(node, from, msg);
+    }
+
+    fn dispatch_message(&mut self, node: NodeId, from: NodeId, msg: M) {
+        let Some(mut actor) = self
+            .nodes
+            .get_mut(&node)
+            .and_then(|slot| slot.actor.take())
+        else {
+            return;
+        };
+        let mut ctx = Context {
+            node,
+            now: self.now,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            next_timer: &mut self.next_timer,
+            actions: Vec::new(),
+        };
+        actor.on_message(&mut ctx, from, msg);
+        let actions = std::mem::take(&mut ctx.actions);
+        if let Some(slot) = self.nodes.get_mut(&node) {
+            slot.actor = Some(actor);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn fire_timer(&mut self, node: NodeId, token: TimerToken) {
+        let Some(slot) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        if slot.down {
+            return;
+        }
+        let Some(mut actor) = slot.actor.take() else {
+            return;
+        };
+        let mut ctx = Context {
+            node,
+            now: self.now,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            next_timer: &mut self.next_timer,
+            actions: Vec::new(),
+        };
+        actor.on_timer(&mut ctx, token);
+        let actions = std::mem::take(&mut ctx.actions);
+        if let Some(slot) = self.nodes.get_mut(&node) {
+            slot.actor = Some(actor);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn start_node(&mut self, node: NodeId) {
+        let Some(mut actor) = self
+            .nodes
+            .get_mut(&node)
+            .and_then(|slot| slot.actor.take())
+        else {
+            return;
+        };
+        let mut ctx = Context {
+            node,
+            now: self.now,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            next_timer: &mut self.next_timer,
+            actions: Vec::new(),
+        };
+        actor.on_start(&mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        if let Some(slot) = self.nodes.get_mut(&node) {
+            slot.actor = Some(actor);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<M>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.route(node, to, msg),
+                Action::SetTimer { after, token } => {
+                    self.queue
+                        .push(self.now + after, EventKind::Timer { node, token });
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let plan = self.network.plan(from, to, &mut self.rng);
+        if plan.delays.is_empty() {
+            self.metrics.incr("net.dropped");
+            return;
+        }
+        if plan.delays.len() > 1 {
+            self.metrics
+                .add("net.duplicated", plan.delays.len() as u64 - 1);
+        }
+        for d in plan.delays {
+            self.queue.push(
+                self.now + d,
+                EventKind::Arrive {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LinkConfig;
+    use harmonia_types::{ClientId, ReplicaId};
+
+    fn client(n: u32) -> NodeId {
+        NodeId::Client(ClientId(n))
+    }
+    fn replica(n: u32) -> NodeId {
+        NodeId::Replica(ReplicaId(n))
+    }
+
+    /// Echoes every message back to its sender after optionally queueing.
+    struct Echo {
+        service: Service,
+        seen: u64,
+    }
+
+    impl Actor<u64> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            self.seen += 1;
+            ctx.send(from, msg + 1);
+        }
+        fn service(&self, _msg: &u64) -> Service {
+            self.service
+        }
+    }
+
+    /// Sends `count` messages at start; records reply arrival times.
+    struct Pinger {
+        target: NodeId,
+        count: u64,
+        replies: Vec<(Instant, u64)>,
+    }
+
+    impl Actor<u64> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            for i in 0..self.count {
+                ctx.send(self.target, i * 10);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, msg: u64) {
+            self.replies.push((ctx.now(), msg));
+        }
+    }
+
+    fn ideal_world(latency_us: u64) -> World<u64> {
+        World::new(WorldConfig {
+            seed: 7,
+            network: NetworkModel::uniform(LinkConfig::ideal(Duration::from_micros(latency_us))),
+        })
+    }
+
+    #[test]
+    fn request_reply_roundtrip_takes_two_hops() {
+        let mut w = ideal_world(5);
+        w.add_node(
+            replica(0),
+            Box::new(Echo {
+                service: Service::Immediate,
+                seen: 0,
+            }),
+        );
+        w.add_node(
+            client(0),
+            Box::new(Pinger {
+                target: replica(0),
+                count: 1,
+                replies: vec![],
+            }),
+        );
+        w.run_until_idle(1000);
+        let p: &Pinger = w.actor(client(0)).unwrap();
+        assert_eq!(p.replies.len(), 1);
+        assert_eq!(p.replies[0].1, 1);
+        assert_eq!(p.replies[0].0, Instant::ZERO + Duration::from_micros(10));
+    }
+
+    #[test]
+    fn queued_service_serializes_work() {
+        // Three messages arrive together at a server with 100 µs service
+        // time: completions must be spaced 100 µs apart (FIFO single server).
+        let mut w = ideal_world(1);
+        w.add_node(
+            replica(0),
+            Box::new(Echo {
+                service: Service::Queued(Duration::from_micros(100)),
+                seen: 0,
+            }),
+        );
+        w.add_node(
+            client(0),
+            Box::new(Pinger {
+                target: replica(0),
+                count: 3,
+                replies: vec![],
+            }),
+        );
+        w.run_until_idle(1000);
+        let p: &Pinger = w.actor(client(0)).unwrap();
+        assert_eq!(p.replies.len(), 3);
+        let times: Vec<u64> = p.replies.iter().map(|(t, _)| t.nanos()).collect();
+        assert_eq!(times[1] - times[0], Duration::from_micros(100).nanos());
+        assert_eq!(times[2] - times[1], Duration::from_micros(100).nanos());
+    }
+
+    #[test]
+    fn down_node_drops_messages_and_counts_them() {
+        let mut w = ideal_world(1);
+        w.add_node(
+            replica(0),
+            Box::new(Echo {
+                service: Service::Immediate,
+                seen: 0,
+            }),
+        );
+        w.set_down(replica(0));
+        w.add_node(
+            client(0),
+            Box::new(Pinger {
+                target: replica(0),
+                count: 5,
+                replies: vec![],
+            }),
+        );
+        w.run_until_idle(1000);
+        let p: &Pinger = w.actor(client(0)).unwrap();
+        assert!(p.replies.is_empty());
+        assert_eq!(w.metrics().counter("net.down_dst"), 5);
+    }
+
+    #[test]
+    fn set_up_restores_delivery() {
+        let mut w = ideal_world(1);
+        w.add_node(
+            replica(0),
+            Box::new(Echo {
+                service: Service::Immediate,
+                seen: 0,
+            }),
+        );
+        w.set_down(replica(0));
+        w.inject(client(0), replica(0), 1);
+        w.run_until_idle(100);
+        w.set_up(replica(0));
+        w.inject(client(0), replica(0), 2);
+        w.run_until_idle(100);
+        let e: &Echo = w.actor(replica(0)).unwrap();
+        assert_eq!(e.seen, 1);
+    }
+
+    #[test]
+    fn control_actions_run_at_their_time() {
+        let mut w = ideal_world(1);
+        w.add_node(
+            replica(0),
+            Box::new(Echo {
+                service: Service::Immediate,
+                seen: 0,
+            }),
+        );
+        w.schedule_control(Instant::ZERO + Duration::from_millis(3), |w| {
+            w.set_down(replica(0));
+        });
+        assert!(!w.is_down(replica(0)));
+        w.run_until(Instant::ZERO + Duration::from_millis(2));
+        assert!(!w.is_down(replica(0)));
+        w.run_until(Instant::ZERO + Duration::from_millis(4));
+        assert!(w.is_down(replica(0)));
+    }
+
+    #[test]
+    fn timers_fire_and_replace_node_resets_state() {
+        struct Ticker {
+            ticks: u64,
+        }
+        impl Actor<u64> for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.set_timer(Duration::from_millis(1));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u64>, _: NodeId, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _token: TimerToken) {
+                self.ticks += 1;
+                if self.ticks < 3 {
+                    ctx.set_timer(Duration::from_millis(1));
+                }
+            }
+        }
+        let mut w = ideal_world(1);
+        w.add_node(replica(0), Box::new(Ticker { ticks: 0 }));
+        w.run_until_idle(100);
+        assert_eq!(w.actor::<Ticker>(replica(0)).unwrap().ticks, 3);
+        w.replace_node(replica(0), Box::new(Ticker { ticks: 0 }));
+        assert_eq!(w.actor::<Ticker>(replica(0)).unwrap().ticks, 0);
+        w.run_until_idle(100);
+        assert_eq!(w.actor::<Ticker>(replica(0)).unwrap().ticks, 3);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        fn run(seed: u64) -> Vec<(u64, u64)> {
+            let mut w = World::new(WorldConfig {
+                seed,
+                network: NetworkModel::uniform(LinkConfig {
+                    jitter: Duration::from_micros(50),
+                    drop_prob: 0.1,
+                    ..LinkConfig::default()
+                }),
+            });
+            w.add_node(
+                replica(0),
+                Box::new(Echo {
+                    service: Service::Queued(Duration::from_micros(10)),
+                    seen: 0,
+                }),
+            );
+            w.add_node(
+                client(0),
+                Box::new(Pinger {
+                    target: replica(0),
+                    count: 100,
+                    replies: vec![],
+                }),
+            );
+            w.run_until_idle(10_000);
+            w.actor::<Pinger>(client(0))
+                .unwrap()
+                .replies
+                .iter()
+                .map(|(t, v)| (t.nanos(), *v))
+                .collect()
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+}

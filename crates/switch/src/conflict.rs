@@ -1,0 +1,374 @@
+//! The read-write conflict detection module — Algorithm 1 of the paper.
+//!
+//! The detector tracks three pieces of state (§5):
+//!
+//! 1. a monotonically increasing **sequence number**, stamped into writes;
+//! 2. the **dirty set** — for each object with pending writes, the largest
+//!    pending sequence number (held in the [`MultiStageHashTable`]);
+//! 3. the **last-committed point** — the largest sequence number known to be
+//!    committed, stamped into fast-path reads so replicas can apply the
+//!    visibility/integrity guards of §7.
+//!
+//! It also implements the §5.3 failover rule: a freshly initialized switch
+//! forwards everything through the normal protocol until it observes the
+//! first WRITE-COMPLETION carrying *its own* switch id, at which point its
+//! dirty set and last-committed point are guaranteed up to date and the
+//! single-replica fast path is enabled.
+
+use harmonia_types::{ObjectId, SwitchId, SwitchSeq, WriteCompletion};
+
+use crate::table::{MultiStageHashTable, TableConfig, TableStats};
+
+/// Detector construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ConflictConfig {
+    /// This switch incarnation's id (must exceed every predecessor's).
+    pub switch_id: SwitchId,
+    /// Dirty-set geometry.
+    pub table: TableConfig,
+}
+
+impl Default for ConflictConfig {
+    fn default() -> Self {
+        ConflictConfig {
+            switch_id: SwitchId(1),
+            table: TableConfig::default(),
+        }
+    }
+}
+
+/// Outcome of processing a write (Algorithm 1, lines 1–4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteDecision {
+    /// The write was stamped with this sequence number and the object was
+    /// added to the dirty set; forward to the replication protocol.
+    Stamped(SwitchSeq),
+    /// Every hash-table stage collided: the write is dropped (§6.1) and the
+    /// client must retry.
+    Dropped,
+}
+
+/// Outcome of processing a read (Algorithm 1, lines 9–12).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadDecision {
+    /// Contended (or fast path not yet enabled): forward unmodified through
+    /// the normal replication protocol.
+    Normal,
+    /// Uncontended: send to one replica, stamped with the last-committed
+    /// point.
+    FastPath {
+        /// Value to stamp into `pkt.last_committed`.
+        last_committed: SwitchSeq,
+    },
+}
+
+/// Algorithm 1, plus failover gating. Pure state machine: no I/O, no clock.
+#[derive(Clone, Debug)]
+pub struct ConflictDetector {
+    switch_id: SwitchId,
+    next_seq: u64,
+    table: MultiStageHashTable,
+    last_committed: SwitchSeq,
+    fast_path_enabled: bool,
+}
+
+impl ConflictDetector {
+    /// A freshly booted switch: empty dirty set, fast path disabled.
+    pub fn new(config: ConflictConfig) -> Self {
+        assert!(
+            config.switch_id.0 > 0,
+            "switch id 0 is reserved for the bottom sequence number"
+        );
+        ConflictDetector {
+            switch_id: config.switch_id,
+            next_seq: 0,
+            table: MultiStageHashTable::new(config.table),
+            last_committed: SwitchSeq::ZERO,
+            fast_path_enabled: false,
+        }
+    }
+
+    /// This incarnation's id.
+    pub fn switch_id(&self) -> SwitchId {
+        self.switch_id
+    }
+
+    /// Largest committed sequence number observed.
+    pub fn last_committed(&self) -> SwitchSeq {
+        self.last_committed
+    }
+
+    /// Whether single-replica reads are currently being issued.
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast_path_enabled
+    }
+
+    /// Process a WRITE (Algorithm 1 lines 1–4): assign the next sequence
+    /// number and track the object as dirty.
+    pub fn process_write(&mut self, obj: ObjectId) -> WriteDecision {
+        self.next_seq += 1;
+        let seq = SwitchSeq::new(self.switch_id, self.next_seq);
+        if self.table.insert(obj, seq) {
+            WriteDecision::Stamped(seq)
+        } else {
+            WriteDecision::Dropped
+        }
+    }
+
+    /// Process a WRITE-COMPLETION (Algorithm 1 lines 5–8): clear the dirty
+    /// entry if this was the last pending write to the object, and advance
+    /// the last-committed point.
+    pub fn process_completion(&mut self, completion: WriteCompletion) {
+        self.table.delete(completion.obj, completion.seq);
+        self.last_committed = self.last_committed.max(completion.seq);
+        // §5.3: the first completion stamped by *this* incarnation proves the
+        // dirty set and last-committed point are up to date.
+        if completion.seq.switch_id == self.switch_id {
+            self.fast_path_enabled = true;
+        }
+    }
+
+    /// Process a READ (Algorithm 1 lines 9–12): decide its route. Probing
+    /// doubles as lazy cleanup of stale entries (§5.2).
+    pub fn process_read(&mut self, obj: ObjectId) -> ReadDecision {
+        if !self.fast_path_enabled {
+            return ReadDecision::Normal;
+        }
+        match self.table.search_and_scrub(obj, self.last_committed) {
+            Some(_pending) => ReadDecision::Normal,
+            None => ReadDecision::FastPath {
+                last_committed: self.last_committed,
+            },
+        }
+    }
+
+    /// Control-plane periodic sweep of stale dirty entries (§5.2). Returns
+    /// the number of entries removed.
+    pub fn sweep(&mut self) -> usize {
+        self.table.sweep(self.last_committed)
+    }
+
+    /// Dirty-set occupancy (live entries).
+    pub fn dirty_len(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    /// Dirty-set behaviour counters.
+    pub fn table_stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// SRAM footprint of the dirty set under the §6.2 resource model.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> ConflictDetector {
+        ConflictDetector::new(ConflictConfig {
+            switch_id: SwitchId(1),
+            table: TableConfig {
+                stages: 3,
+                slots_per_stage: 64,
+                entry_bytes: 8,
+            },
+        })
+    }
+
+    /// Drive a write through commit so the fast path turns on.
+    fn prime(d: &mut ConflictDetector) {
+        let WriteDecision::Stamped(seq) = d.process_write(ObjectId(999)) else {
+            panic!("insert failed in empty table");
+        };
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(999),
+            seq,
+        });
+    }
+
+    #[test]
+    fn reads_take_normal_path_until_first_completion() {
+        let mut d = detector();
+        assert_eq!(d.process_read(ObjectId(1)), ReadDecision::Normal);
+        let WriteDecision::Stamped(seq) = d.process_write(ObjectId(1)) else {
+            panic!()
+        };
+        // Still gated: the write is pending, no completion yet.
+        assert_eq!(d.process_read(ObjectId(2)), ReadDecision::Normal);
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(1),
+            seq,
+        });
+        assert!(d.fast_path_enabled());
+        assert_eq!(
+            d.process_read(ObjectId(2)),
+            ReadDecision::FastPath {
+                last_committed: seq
+            }
+        );
+    }
+
+    #[test]
+    fn contended_object_routes_through_normal_path() {
+        let mut d = detector();
+        prime(&mut d);
+        let WriteDecision::Stamped(seq) = d.process_write(ObjectId(5)) else {
+            panic!()
+        };
+        assert_eq!(d.process_read(ObjectId(5)), ReadDecision::Normal);
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(5),
+            seq,
+        });
+        assert!(matches!(
+            d.process_read(ObjectId(5)),
+            ReadDecision::FastPath { .. }
+        ));
+    }
+
+    #[test]
+    fn sequence_numbers_strictly_increase() {
+        let mut d = detector();
+        let mut last = SwitchSeq::ZERO;
+        for i in 0..100u32 {
+            if let WriteDecision::Stamped(seq) = d.process_write(ObjectId(i)) {
+                assert!(seq > last);
+                last = seq;
+            }
+        }
+    }
+
+    #[test]
+    fn completion_of_older_write_keeps_object_dirty() {
+        let mut d = detector();
+        prime(&mut d);
+        let WriteDecision::Stamped(s1) = d.process_write(ObjectId(7)) else {
+            panic!()
+        };
+        let WriteDecision::Stamped(s2) = d.process_write(ObjectId(7)) else {
+            panic!()
+        };
+        assert!(s2 > s1);
+        // First write completes, but the second is still pending.
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(7),
+            seq: s1,
+        });
+        assert_eq!(d.process_read(ObjectId(7)), ReadDecision::Normal);
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(7),
+            seq: s2,
+        });
+        assert!(matches!(
+            d.process_read(ObjectId(7)),
+            ReadDecision::FastPath { .. }
+        ));
+    }
+
+    #[test]
+    fn lost_completion_is_scrubbed_lazily_after_later_commit() {
+        let mut d = detector();
+        prime(&mut d);
+        let WriteDecision::Stamped(s1) = d.process_write(ObjectId(11)) else {
+            panic!()
+        };
+        // s1's completion is lost. A later write to a different object
+        // commits, advancing last_committed past s1 (in-order processing).
+        let WriteDecision::Stamped(s2) = d.process_write(ObjectId(12)) else {
+            panic!()
+        };
+        assert!(s2 > s1);
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(12),
+            seq: s2,
+        });
+        // The stray entry for 11 is removed as the read probes.
+        assert!(matches!(
+            d.process_read(ObjectId(11)),
+            ReadDecision::FastPath { .. }
+        ));
+        assert_eq!(d.dirty_len(), 0);
+        assert_eq!(d.table_stats().scrubbed_by_reads, 1);
+    }
+
+    #[test]
+    fn periodic_sweep_clears_stale_entries() {
+        let mut d = detector();
+        prime(&mut d);
+        let WriteDecision::Stamped(s1) = d.process_write(ObjectId(21)) else {
+            panic!()
+        };
+        let WriteDecision::Stamped(s2) = d.process_write(ObjectId(22)) else {
+            panic!()
+        };
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(22),
+            seq: s2,
+        });
+        let _ = s1;
+        assert_eq!(d.sweep(), 1, "21's stray entry swept");
+        assert_eq!(d.dirty_len(), 0);
+    }
+
+    #[test]
+    fn table_exhaustion_drops_writes() {
+        let mut d = ConflictDetector::new(ConflictConfig {
+            switch_id: SwitchId(1),
+            table: TableConfig {
+                stages: 1,
+                slots_per_stage: 1,
+                entry_bytes: 8,
+            },
+        });
+        assert!(matches!(d.process_write(ObjectId(1)), WriteDecision::Stamped(_)));
+        // Any object hashing to the same single slot is dropped. With one
+        // slot everything collides.
+        assert_eq!(d.process_write(ObjectId(2)), WriteDecision::Dropped);
+        assert_eq!(d.table_stats().insert_drops, 1);
+    }
+
+    #[test]
+    fn new_incarnation_ignores_predecessor_completions_for_gating() {
+        let mut d2 = ConflictDetector::new(ConflictConfig {
+            switch_id: SwitchId(2),
+            ..ConflictConfig::default()
+        });
+        // A completion stamped by switch 1 arrives after failover: it must
+        // advance last_committed but NOT enable the fast path.
+        d2.process_completion(WriteCompletion {
+            obj: ObjectId(1),
+            seq: SwitchSeq::new(SwitchId(1), 500),
+        });
+        assert!(!d2.fast_path_enabled());
+        assert_eq!(d2.last_committed(), SwitchSeq::new(SwitchId(1), 500));
+        assert_eq!(d2.process_read(ObjectId(9)), ReadDecision::Normal);
+        // Its own write committing flips the gate.
+        let WriteDecision::Stamped(seq) = d2.process_write(ObjectId(3)) else {
+            panic!()
+        };
+        assert_eq!(seq.switch_id, SwitchId(2));
+        d2.process_completion(WriteCompletion {
+            obj: ObjectId(3),
+            seq,
+        });
+        assert!(d2.fast_path_enabled());
+    }
+
+    #[test]
+    fn last_committed_is_monotone() {
+        let mut d = detector();
+        prime(&mut d);
+        let high = d.last_committed();
+        // A duplicate/reordered completion for an old write must not regress.
+        d.process_completion(WriteCompletion {
+            obj: ObjectId(42),
+            seq: SwitchSeq::new(SwitchId(1), 0),
+        });
+        assert_eq!(d.last_committed(), high.max(SwitchSeq::new(SwitchId(1), 0)));
+        assert!(d.last_committed() >= high);
+    }
+}

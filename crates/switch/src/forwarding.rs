@@ -1,0 +1,198 @@
+//! Replica forwarding state — the switch's view of the replica group.
+//!
+//! The data plane keeps the replica addresses in match-action entries; the
+//! control plane updates them when servers fail or recover (§5.3). The
+//! forwarding table also knows, per replication protocol, where writes and
+//! normal-path reads *enter* the group (chain head vs. primary vs. leader,
+//! or an ordered multicast for NOPaxos).
+
+use harmonia_types::{NodeId, ReplicaId};
+use rand::Rng;
+
+/// Where the underlying protocol accepts writes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteEntry {
+    /// Primary-backup: the primary (first live replica in role order).
+    Primary,
+    /// Chain replication / CRAQ: the chain head.
+    ChainHead,
+    /// VR / Multi-Paxos: the leader.
+    Leader,
+    /// NOPaxos: sequenced multicast to every replica.
+    Multicast,
+}
+
+/// Where the underlying protocol serves normal-path reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadEntry {
+    /// Primary-backup: the primary.
+    Primary,
+    /// Chain replication / CRAQ: the tail.
+    ChainTail,
+    /// VR / NOPaxos: the leader.
+    Leader,
+}
+
+/// The switch's forwarding view of one replica group.
+#[derive(Clone, Debug)]
+pub struct ForwardingTable {
+    /// Live replicas in role order: index 0 is primary/head/leader; the last
+    /// entry is the chain tail.
+    replicas: Vec<ReplicaId>,
+    write_entry: WriteEntry,
+    read_entry: ReadEntry,
+}
+
+impl ForwardingTable {
+    /// Build a table for `n` replicas with the given entry points.
+    pub fn new(n: usize, write_entry: WriteEntry, read_entry: ReadEntry) -> Self {
+        assert!(n > 0, "a replica group needs at least one member");
+        ForwardingTable {
+            replicas: (0..n as u32).map(ReplicaId).collect(),
+            write_entry,
+            read_entry,
+        }
+    }
+
+    /// Live replicas in role order.
+    pub fn replicas(&self) -> &[ReplicaId] {
+        &self.replicas
+    }
+
+    /// Number of live replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True if no replicas remain.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Control plane: remove a failed replica so no further requests are
+    /// scheduled to it (§5.3).
+    pub fn remove_replica(&mut self, r: ReplicaId) {
+        self.replicas.retain(|&x| x != r);
+    }
+
+    /// Control plane: add a recovered or replacement replica (appended at
+    /// the tail position, the standard chain-repair location).
+    pub fn add_replica(&mut self, r: ReplicaId) {
+        if !self.replicas.contains(&r) {
+            self.replicas.push(r);
+        }
+    }
+
+    /// Control plane: replace the whole set (bulk reconfiguration).
+    pub fn set_replicas(&mut self, rs: Vec<ReplicaId>) {
+        self.replicas = rs;
+    }
+
+    /// Where a write enters the protocol. `Multicast` yields every replica.
+    pub fn write_destinations(&self) -> Vec<NodeId> {
+        match self.write_entry {
+            WriteEntry::Primary | WriteEntry::ChainHead | WriteEntry::Leader => {
+                self.replicas.first().map(|&r| NodeId::Replica(r)).into_iter().collect()
+            }
+            WriteEntry::Multicast => {
+                self.replicas.iter().map(|&r| NodeId::Replica(r)).collect()
+            }
+        }
+    }
+
+    /// Where a normal-path read is served.
+    pub fn normal_read_destination(&self) -> Option<NodeId> {
+        match self.read_entry {
+            ReadEntry::Primary | ReadEntry::Leader => {
+                self.replicas.first().map(|&r| NodeId::Replica(r))
+            }
+            ReadEntry::ChainTail => self.replicas.last().map(|&r| NodeId::Replica(r)),
+        }
+    }
+
+    /// Pick a uniformly random live replica for a fast-path read
+    /// (Algorithm 1 line 12).
+    pub fn random_replica<R: Rng>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.replicas.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.replicas.len());
+        Some(NodeId::Replica(self.replicas[idx]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_entry_points() {
+        let t = ForwardingTable::new(3, WriteEntry::ChainHead, ReadEntry::ChainTail);
+        assert_eq!(t.write_destinations(), vec![NodeId::Replica(ReplicaId(0))]);
+        assert_eq!(
+            t.normal_read_destination(),
+            Some(NodeId::Replica(ReplicaId(2)))
+        );
+    }
+
+    #[test]
+    fn multicast_targets_all_replicas() {
+        let t = ForwardingTable::new(3, WriteEntry::Multicast, ReadEntry::Leader);
+        assert_eq!(t.write_destinations().len(), 3);
+        assert_eq!(
+            t.normal_read_destination(),
+            Some(NodeId::Replica(ReplicaId(0)))
+        );
+    }
+
+    #[test]
+    fn remove_replica_shifts_roles() {
+        let mut t = ForwardingTable::new(3, WriteEntry::ChainHead, ReadEntry::ChainTail);
+        // Tail fails: the middle node becomes the tail.
+        t.remove_replica(ReplicaId(2));
+        assert_eq!(
+            t.normal_read_destination(),
+            Some(NodeId::Replica(ReplicaId(1)))
+        );
+        // Head fails: next node becomes head.
+        t.remove_replica(ReplicaId(0));
+        assert_eq!(t.write_destinations(), vec![NodeId::Replica(ReplicaId(1))]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn add_replica_appends_and_dedups() {
+        let mut t = ForwardingTable::new(2, WriteEntry::ChainHead, ReadEntry::ChainTail);
+        t.add_replica(ReplicaId(5));
+        t.add_replica(ReplicaId(5));
+        assert_eq!(t.replicas(), &[ReplicaId(0), ReplicaId(1), ReplicaId(5)]);
+        assert_eq!(
+            t.normal_read_destination(),
+            Some(NodeId::Replica(ReplicaId(5)))
+        );
+    }
+
+    #[test]
+    fn random_replica_covers_all_members() {
+        let t = ForwardingTable::new(4, WriteEntry::Primary, ReadEntry::Primary);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(t.random_replica(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn empty_table_yields_no_destinations() {
+        let mut t = ForwardingTable::new(1, WriteEntry::Primary, ReadEntry::Primary);
+        t.remove_replica(ReplicaId(0));
+        assert!(t.is_empty());
+        assert!(t.write_destinations().is_empty());
+        assert!(t.normal_read_destination().is_none());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(t.random_replica(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-stage hash functions.
+//!
+//! Each pipeline stage indexes its register array with an *independent* hash
+//! of the object id (§6.1: "we allocate a register array in each stage and
+//! use different hash functions for different stages"). Tofino provides CRC
+//! units with configurable polynomials; we use MurmurHash3's 32-bit finalizer
+//! over `(object_id, stage_seed)` — cheap, well mixed, and deterministic
+//! across runs and platforms.
+
+use harmonia_types::ObjectId;
+
+/// A seeded 32-bit hash for one pipeline stage.
+#[derive(Clone, Copy, Debug)]
+pub struct StageHash {
+    seed: u32,
+}
+
+impl StageHash {
+    /// Build the hash function for stage `stage`.
+    pub fn for_stage(stage: u32) -> Self {
+        // Distinct, odd seeds per stage; the constant is the golden-ratio
+        // increment used by splitmix.
+        StageHash {
+            seed: 0x9e37_79b9u32.wrapping_mul(stage + 1) | 1,
+        }
+    }
+
+    /// Hash an object id.
+    pub fn hash(self, obj: ObjectId) -> u32 {
+        let mut h = obj.0 ^ self.seed;
+        // MurmurHash3 fmix32.
+        h ^= h >> 16;
+        h = h.wrapping_mul(0x85eb_ca6b);
+        h ^= h >> 13;
+        h = h.wrapping_mul(0xc2b2_ae35);
+        h ^= h >> 16;
+        h
+    }
+
+    /// Hash an object id into a table of `slots` entries.
+    pub fn slot(self, obj: ObjectId, slots: usize) -> usize {
+        debug_assert!(slots > 0);
+        // Lemire's multiply-shift range reduction: unbiased enough for table
+        // indexing and cheaper than modulo for non-power-of-two sizes.
+        ((u64::from(self.hash(obj)) * slots as u64) >> 32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_hash_independently() {
+        let h0 = StageHash::for_stage(0);
+        let h1 = StageHash::for_stage(1);
+        let obj = ObjectId(12345);
+        assert_ne!(h0.hash(obj), h1.hash(obj));
+    }
+
+    #[test]
+    fn slot_is_in_range() {
+        let h = StageHash::for_stage(0);
+        for slots in [1usize, 3, 64, 64000] {
+            for i in 0..1000u32 {
+                assert!(h.slot(ObjectId(i), slots) < slots);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let h = StageHash::for_stage(2);
+        let slots = 64;
+        let mut counts = vec![0u32; slots];
+        let n = 64_000u32;
+        for i in 0..n {
+            counts[h.slot(ObjectId(i), slots)] += 1;
+        }
+        let expect = n / slots as u32;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).abs() < (expect as i64) / 2,
+                "slot {s} count {c} far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn colliding_keys_in_one_stage_usually_split_in_another() {
+        // Find pairs colliding in stage 0 and check most separate in stage 1:
+        // the open-addressing premise of Figure 4.
+        let h0 = StageHash::for_stage(0);
+        let h1 = StageHash::for_stage(1);
+        let slots = 64;
+        let mut by_slot: std::collections::HashMap<usize, Vec<ObjectId>> = Default::default();
+        for i in 0..10_000u32 {
+            by_slot.entry(h0.slot(ObjectId(i), slots)).or_default().push(ObjectId(i));
+        }
+        let mut pairs = 0;
+        let mut split = 0;
+        for group in by_slot.values() {
+            for w in group.windows(2) {
+                pairs += 1;
+                if h1.slot(w[0], slots) != h1.slot(w[1], slots) {
+                    split += 1;
+                }
+            }
+        }
+        assert!(pairs > 100);
+        assert!(
+            split as f64 / pairs as f64 > 0.9,
+            "only {split}/{pairs} collisions split in the next stage"
+        );
+    }
+}

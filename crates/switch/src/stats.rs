@@ -1,0 +1,131 @@
+//! The §6.2 resource model and aggregate switch counters.
+//!
+//! The paper's back-of-envelope argument: with `n` stages of `m` slots at
+//! utilization `u`, the switch tracks up to `u·n·m` outstanding writes. If a
+//! write stays pending for `t` seconds, the sustainable write rate is
+//! `u·n·m / t`; at write ratio `w` the total request rate is `u·n·m / (w·t)`.
+//! The concrete example (n=3, m=64000, u=50 %, t=1 ms, w=5 %) supports
+//! 96 MRPS of writes and 1.92 BRPS total in ~1.5 MB of SRAM — a small
+//! fraction of a commodity switch's tens of MB.
+
+/// Inputs to the capacity formula.
+#[derive(Clone, Copy, Debug)]
+pub struct ResourceModel {
+    /// Pipeline stages used by the dirty set (`n`).
+    pub stages: usize,
+    /// Slots per stage (`m`).
+    pub slots_per_stage: usize,
+    /// Achievable hash-table utilization (`u`, 0..=1).
+    pub utilization: f64,
+    /// Mean time a write stays pending, in seconds (`t`).
+    pub write_duration_s: f64,
+    /// Fraction of requests that are writes (`w`, 0..=1).
+    pub write_ratio: f64,
+    /// SRAM bytes per entry (id + seq).
+    pub entry_bytes: usize,
+}
+
+impl ResourceModel {
+    /// The paper's concrete example configuration.
+    pub fn paper_example() -> Self {
+        ResourceModel {
+            stages: 3,
+            slots_per_stage: 64_000,
+            utilization: 0.5,
+            write_duration_s: 1e-3,
+            write_ratio: 0.05,
+            entry_bytes: 8,
+        }
+    }
+
+    /// Maximum writes outstanding at once: `u·n·m`.
+    pub fn max_pending_writes(&self) -> f64 {
+        self.utilization * self.stages as f64 * self.slots_per_stage as f64
+    }
+
+    /// Sustainable write throughput in requests/second: `u·n·m / t`.
+    pub fn write_throughput(&self) -> f64 {
+        self.max_pending_writes() / self.write_duration_s
+    }
+
+    /// Sustainable total throughput in requests/second: `u·n·m / (w·t)`.
+    pub fn total_throughput(&self) -> f64 {
+        self.write_throughput() / self.write_ratio
+    }
+
+    /// SRAM consumed by the dirty set.
+    pub fn memory_bytes(&self) -> usize {
+        self.stages * self.slots_per_stage * self.entry_bytes
+    }
+
+    /// Fraction of a switch's SRAM budget this configuration uses.
+    pub fn memory_fraction_of(&self, switch_sram_bytes: usize) -> f64 {
+        self.memory_bytes() as f64 / switch_sram_bytes as f64
+    }
+}
+
+/// Aggregate data-plane counters for one switch incarnation. The driver
+/// increments these as it processes packets; benches report them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Reads routed to a single random replica.
+    pub reads_fast_path: u64,
+    /// Reads routed through the normal protocol (contended or gated).
+    pub reads_normal: u64,
+    /// Writes stamped and forwarded.
+    pub writes_forwarded: u64,
+    /// Writes dropped for lack of a dirty-set slot.
+    pub writes_dropped: u64,
+    /// WRITE-COMPLETIONs processed (standalone + piggybacked).
+    pub completions: u64,
+    /// Protocol-internal packets forwarded by plain L2/L3.
+    pub forwarded_other: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_numbers() {
+        let m = ResourceModel::paper_example();
+        assert_eq!(m.max_pending_writes(), 96_000.0);
+        // 96 MRPS of writes.
+        assert_eq!(m.write_throughput(), 96_000_000.0);
+        // 1.92 BRPS total.
+        assert_eq!(m.total_throughput(), 1_920_000_000.0);
+        // ~1.5 MB of SRAM.
+        assert_eq!(m.memory_bytes(), 1_536_000);
+        // "only 1.6 % (0.8 %) for 10 MB (20 MB) memory" — §9.4 quotes the
+        // 2000-slot configuration; the full 192K-slot table is ~15 %/7.5 %.
+        let ten_mb = 10 * 1000 * 1000;
+        assert!((m.memory_fraction_of(ten_mb) - 0.1536).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measured_config_small_footprint() {
+        // §9.4: 2000 slots × 8 bytes = 16 KB ≈ 1.6 ‰ of 10 MB.
+        let m = ResourceModel {
+            stages: 1,
+            slots_per_stage: 2000,
+            utilization: 0.5,
+            write_duration_s: 1e-3,
+            write_ratio: 0.05,
+            entry_bytes: 8,
+        };
+        assert_eq!(m.memory_bytes(), 16_000);
+        assert!((m.memory_fraction_of(10_000_000) - 0.0016).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_scales_inversely_with_write_duration() {
+        let fast = ResourceModel {
+            write_duration_s: 0.5e-3,
+            ..ResourceModel::paper_example()
+        };
+        assert_eq!(
+            fast.write_throughput(),
+            2.0 * ResourceModel::paper_example().write_throughput()
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! The Harmonia packet format.
+//!
+//! Clients talk to the storage rack with a custom L4 payload the switch
+//! understands (§4). The switch inspects two header fields — the operation
+//! type and the affected object id — and, for writes and fast-path reads,
+//! stamps additional fields (the sequence number, the last-committed point).
+//!
+//! Protocol-internal traffic (chain forwarding, PREPARE/PREPARE-OK, …) also
+//! traverses the switch physically but is routed by ordinary L2/L3
+//! forwarding; we model it as an opaque generic payload `T` in
+//! [`PacketBody::Protocol`].
+
+use bytes::Bytes;
+
+use crate::id::{ClientId, NodeId, ObjectId, ReplicaId, RequestId, SwitchId};
+use crate::seq::SwitchSeq;
+
+/// Operation type carried in the Harmonia header.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A read of one object.
+    Read,
+    /// A write (blind put) of one object.
+    Write,
+}
+
+/// How a read is being routed, decided by the switch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReadMode {
+    /// Follow the normal replication protocol (contended object, or the
+    /// switch has not yet enabled fast-path reads).
+    Normal,
+    /// Single-replica fast path: the packet is flagged so the chosen replica
+    /// may answer directly, subject to the last-committed guard (§5.2).
+    FastPath {
+        /// Which switch incarnation issued this fast-path read; replicas
+        /// only honour the active switch (§5.3).
+        switch: SwitchId,
+    },
+}
+
+impl ReadMode {
+    /// True for fast-path reads.
+    pub fn is_fast_path(self) -> bool {
+        matches!(self, ReadMode::FastPath { .. })
+    }
+}
+
+/// Bit flags carried in the wire header.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct PacketFlags(pub u8);
+
+impl PacketFlags {
+    /// The read was routed on the single-replica fast path.
+    pub const FAST_PATH: PacketFlags = PacketFlags(0b0000_0001);
+    /// The reply piggybacks a write completion (§5.1, Figure 2b).
+    pub const PIGGYBACK_COMPLETION: PacketFlags = PacketFlags(0b0000_0010);
+
+    /// Test whether all bits of `flag` are set.
+    pub fn contains(self, flag: PacketFlags) -> bool {
+        self.0 & flag.0 == flag.0
+    }
+
+    /// Set the bits of `flag`.
+    pub fn insert(&mut self, flag: PacketFlags) {
+        self.0 |= flag.0;
+    }
+}
+
+/// A client-issued storage request, as seen on the wire.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClientRequest {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Per-client request number (for reply matching and dedup).
+    pub request: RequestId,
+    /// Read or write.
+    pub op: OpKind,
+    /// Fixed-width object id (hash of `key` for variable-length keys).
+    pub obj: ObjectId,
+    /// The original application key, carried in the payload (§6.1).
+    pub key: Bytes,
+    /// New value; `Some` iff `op == Write`.
+    pub value: Option<Bytes>,
+    /// Sequence number stamped by the switch onto writes (Algorithm 1 l.2–3).
+    pub seq: Option<SwitchSeq>,
+    /// Last-committed point stamped onto fast-path reads (Algorithm 1 l.11).
+    pub last_committed: Option<SwitchSeq>,
+    /// Routing decision for reads.
+    pub read_mode: ReadMode,
+}
+
+impl ClientRequest {
+    /// A fresh read request, before the switch has seen it.
+    pub fn read(client: ClientId, request: RequestId, key: impl Into<Bytes>) -> Self {
+        let key = key.into();
+        ClientRequest {
+            client,
+            request,
+            op: OpKind::Read,
+            obj: ObjectId::from_key(&key),
+            key,
+            value: None,
+            seq: None,
+            last_committed: None,
+            read_mode: ReadMode::Normal,
+        }
+    }
+
+    /// A fresh write request, before the switch has seen it.
+    pub fn write(
+        client: ClientId,
+        request: RequestId,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Self {
+        let key = key.into();
+        ClientRequest {
+            client,
+            request,
+            op: OpKind::Write,
+            obj: ObjectId::from_key(&key),
+            key,
+            value: Some(value.into()),
+            seq: None,
+            last_committed: None,
+            read_mode: ReadMode::Normal,
+        }
+    }
+}
+
+/// Outcome of a write, reported to the client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteOutcome {
+    /// The write was committed by the replication protocol.
+    Committed,
+    /// The switch dropped the write because the dirty set had no free slot
+    /// for the object (§6.1 "the write is dropped if no slot is available").
+    /// Clients should back off and retry.
+    DroppedBySwitch,
+    /// The replication protocol rejected the write (e.g. it arrived out of
+    /// sequence-number order and the in-order rule discarded it). Retry.
+    Rejected,
+}
+
+/// A reply to a [`ClientRequest`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClientReply {
+    /// Destination client.
+    pub client: ClientId,
+    /// Request this reply answers.
+    pub request: RequestId,
+    /// Object concerned (for switch-side piggyback processing).
+    pub obj: ObjectId,
+    /// Read result: the value, or `None` if the key is unset. Writes carry
+    /// `None`.
+    pub value: Option<Bytes>,
+    /// Write outcome; `None` for read replies.
+    pub write_outcome: Option<WriteOutcome>,
+    /// Write completion piggybacked on the reply (Figure 2b): the switch
+    /// snoops replies flowing back through it and processes this field as a
+    /// WRITE-COMPLETION before forwarding the reply to the client.
+    pub completion: Option<WriteCompletion>,
+}
+
+/// Notification that a write is fully committed (§5.1, "write completions").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WriteCompletion {
+    /// The object that was written.
+    pub obj: ObjectId,
+    /// The sequence number of the committed write.
+    pub seq: SwitchSeq,
+}
+
+/// Switch control-plane commands (§5.3, "handling server failures").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ControlMsg {
+    /// Add a recovered/replacement replica to the forwarding table.
+    AddReplica(ReplicaId),
+    /// Remove a failed replica from the forwarding table so no further
+    /// requests are scheduled to it.
+    RemoveReplica(ReplicaId),
+    /// Replace the full replica set.
+    SetReplicas(Vec<ReplicaId>),
+}
+
+/// Everything that can flow over a link.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PacketBody<T> {
+    /// Client → rack storage traffic; the switch runs Algorithm 1 on these.
+    Request(ClientRequest),
+    /// Rack → client replies; the switch snoops piggybacked completions.
+    Reply(ClientReply),
+    /// Standalone WRITE-COMPLETION from the replication protocol.
+    Completion(WriteCompletion),
+    /// Protocol-internal message, routed by plain L2/L3 forwarding.
+    Protocol(T),
+    /// Control-plane command for the switch.
+    Control(ControlMsg),
+}
+
+/// A packet in flight: source, destination, payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet<T> {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver. For client requests this is initially the switch; the
+    /// switch rewrites it to the chosen replica (Algorithm 1 l.12–13).
+    pub dst: NodeId,
+    /// Payload.
+    pub body: PacketBody<T>,
+}
+
+impl<T> Packet<T> {
+    /// Construct a packet.
+    pub fn new(src: NodeId, dst: NodeId, body: PacketBody<T>) -> Self {
+        Packet { src, dst, body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_constructors_fill_header() {
+        let r = ClientRequest::read(ClientId(1), RequestId(7), &b"k1"[..]);
+        assert_eq!(r.op, OpKind::Read);
+        assert_eq!(r.obj, ObjectId::from_key(b"k1"));
+        assert!(r.value.is_none());
+        assert_eq!(r.read_mode, ReadMode::Normal);
+
+        let w = ClientRequest::write(ClientId(1), RequestId(8), &b"k1"[..], &b"v"[..]);
+        assert_eq!(w.op, OpKind::Write);
+        assert_eq!(w.value.as_deref(), Some(&b"v"[..]));
+        assert!(w.seq.is_none(), "sequence is stamped by the switch, not the client");
+    }
+
+    #[test]
+    fn flags_bit_ops() {
+        let mut f = PacketFlags::default();
+        assert!(!f.contains(PacketFlags::FAST_PATH));
+        f.insert(PacketFlags::FAST_PATH);
+        assert!(f.contains(PacketFlags::FAST_PATH));
+        assert!(!f.contains(PacketFlags::PIGGYBACK_COMPLETION));
+        f.insert(PacketFlags::PIGGYBACK_COMPLETION);
+        assert!(f.contains(PacketFlags::PIGGYBACK_COMPLETION));
+    }
+
+    #[test]
+    fn read_mode_fast_path_detection() {
+        assert!(!ReadMode::Normal.is_fast_path());
+        assert!(ReadMode::FastPath { switch: SwitchId(1) }.is_fast_path());
+    }
+}

@@ -1,0 +1,118 @@
+//! Switch-issued sequence numbers.
+//!
+//! Every write passing the Harmonia switch is stamped with a fresh sequence
+//! number. To survive switch replacement without number reuse, a sequence
+//! number is the pair `(switch_id, seq)` ordered lexicographically with the
+//! switch id taken first (§5.3 of the paper). The paper notes strict
+//! monotonicity is all that matters — gaps are fine.
+
+use crate::id::SwitchId;
+
+/// A write sequence number: `(switch_id, seq)`, compared lexicographically.
+///
+/// `SwitchSeq::ZERO` (`switch 0, seq 0`) is a sentinel smaller than every
+/// number a real switch can issue (real switch ids start at 1). It plays the
+/// role of `BottomWrite` in the paper's TLA+ specification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchSeq {
+    /// The incarnation of the switch that issued this number.
+    pub switch_id: SwitchId,
+    /// Monotonic counter within that incarnation.
+    pub seq: u64,
+}
+
+impl SwitchSeq {
+    /// Sentinel below all real sequence numbers (the TLA+ `BottomWrite`).
+    pub const ZERO: SwitchSeq = SwitchSeq {
+        switch_id: SwitchId(0),
+        seq: 0,
+    };
+
+    /// Build a sequence number.
+    pub fn new(switch_id: SwitchId, seq: u64) -> Self {
+        SwitchSeq { switch_id, seq }
+    }
+
+    /// The next number in this switch incarnation.
+    pub fn next(self) -> Self {
+        SwitchSeq {
+            switch_id: self.switch_id,
+            seq: self.seq + 1,
+        }
+    }
+
+    /// True if this is the sentinel.
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl Default for SwitchSeq {
+    /// The sentinel [`SwitchSeq::ZERO`].
+    fn default() -> Self {
+        SwitchSeq::ZERO
+    }
+}
+
+impl std::fmt::Debug for SwitchSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.switch_id.0, self.seq)
+    }
+}
+
+impl std::fmt::Display for SwitchSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_minimal() {
+        let real = SwitchSeq::new(SwitchId(1), 0);
+        assert!(SwitchSeq::ZERO < real);
+        assert!(SwitchSeq::ZERO.is_zero());
+        assert!(!real.is_zero());
+    }
+
+    #[test]
+    fn lexicographic_ordering_prefers_switch_id() {
+        // A brand-new switch's very first number outranks a huge number from
+        // the previous incarnation: the property §5.3 relies on.
+        let old = SwitchSeq::new(SwitchId(1), u64::MAX);
+        let new = SwitchSeq::new(SwitchId(2), 1);
+        assert!(new > old);
+    }
+
+    #[test]
+    fn next_increments_within_incarnation() {
+        let s = SwitchSeq::new(SwitchId(3), 41);
+        let n = s.next();
+        assert_eq!(n.switch_id, SwitchId(3));
+        assert_eq!(n.seq, 42);
+        assert!(n > s);
+    }
+
+    #[test]
+    fn ordering_is_total_on_samples() {
+        let mut xs = vec![
+            SwitchSeq::new(SwitchId(2), 0),
+            SwitchSeq::new(SwitchId(1), 5),
+            SwitchSeq::ZERO,
+            SwitchSeq::new(SwitchId(1), 1),
+        ];
+        xs.sort();
+        assert_eq!(
+            xs,
+            vec![
+                SwitchSeq::ZERO,
+                SwitchSeq::new(SwitchId(1), 1),
+                SwitchSeq::new(SwitchId(1), 5),
+                SwitchSeq::new(SwitchId(2), 0),
+            ]
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Virtual time.
+//!
+//! The simulator, the protocols' timers, and the metrics pipeline all speak
+//! in these units. One tick is one **nanosecond** of virtual time. The live
+//! runtime translates wall-clock time into the same representation so the
+//! protocol state machines are oblivious to which driver runs them.
+
+/// A point in (virtual) time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Instant(pub u64);
+
+/// A span of (virtual) time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Duration(pub u64);
+
+impl Instant {
+    /// The simulation epoch.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Nanoseconds since the epoch.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(n: u64) -> Duration {
+        Duration(n)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds in this span.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds, as a float (reporting only).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds, as a float (reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds, as a float (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Convert to a `std::time::Duration` (used by the live driver).
+    pub fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0)
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl std::ops::Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl std::fmt::Debug for Instant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Debug for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs(1).nanos(), 1_000_000_000);
+        assert_eq!(Duration::from_millis(2).nanos(), 2_000_000);
+        assert_eq!(Duration::from_micros(3).nanos(), 3_000);
+        assert_eq!(Duration::from_nanos(4).nanos(), 4);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::ZERO + Duration::from_micros(5);
+        assert_eq!(t.nanos(), 5_000);
+        assert_eq!(t.since(Instant::ZERO), Duration::from_micros(5));
+        // saturating behaviour
+        assert_eq!(Instant::ZERO.since(t), Duration::ZERO);
+        assert_eq!(Duration::from_micros(1) - Duration::from_micros(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Duration::from_micros(2) * 3, Duration::from_micros(6));
+        assert_eq!(Duration::from_micros(6) / 3, Duration::from_micros(2));
+    }
+
+    #[test]
+    fn debug_formatting_picks_unit() {
+        assert_eq!(format!("{:?}", Duration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{:?}", Duration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{:?}", Duration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{:?}", Duration::from_secs(12)), "12.000s");
+    }
+}

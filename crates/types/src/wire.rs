@@ -1,0 +1,539 @@
+//! Compact binary wire codec.
+//!
+//! The live (threaded) runtime serializes packets across its links with this
+//! codec; the simulator passes packets by value and never touches it. The
+//! format is little-endian, length-prefixed, and versionless (both ends are
+//! always the same build — this is an intra-rack protocol, not a public one).
+//!
+//! Every type that crosses a link implements [`Wire`]. The codec is
+//! deliberately hand-rolled: the Harmonia header is a fixed layout the
+//! "switch" parses in its pipeline, and hand-rolling keeps the layout
+//! explicit and dependency-free.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::id::{ClientId, NodeId, ObjectId, ReplicaId, RequestId, SwitchId};
+use crate::packet::{
+    ClientReply, ClientRequest, ControlMsg, OpKind, Packet, PacketBody, ReadMode, WriteCompletion,
+    WriteOutcome,
+};
+use crate::seq::SwitchSeq;
+use crate::TypeError;
+
+/// Sanity bound on any length-prefixed field (keys, values): 16 MiB.
+const MAX_FIELD_LEN: usize = 16 << 20;
+
+/// A type that can be encoded to / decoded from the wire.
+pub trait Wire: Sized {
+    /// Append this value to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one value from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError>;
+}
+
+/// Encode a full frame (length-prefixed) ready to write to a stream.
+pub fn encode_frame<T: Wire>(value: &T) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    value.encode(&mut body);
+    let mut frame = BytesMut::with_capacity(body.len() + 4);
+    frame.put_u32_le(body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame.freeze()
+}
+
+/// Decode one frame produced by [`encode_frame`]. Returns the value and the
+/// number of bytes consumed, or `Ok(None)` if the buffer does not yet hold a
+/// complete frame.
+pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>, TypeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FIELD_LEN {
+        return Err(TypeError::OversizedField { field: "frame", len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let mut body = Bytes::copy_from_slice(&buf[4..4 + len]);
+    let value = T::decode(&mut body)?;
+    Ok(Some((value, 4 + len)))
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), TypeError> {
+    if buf.remaining() < n {
+        Err(TypeError::Truncated {
+            needed: n - buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        need(buf, 1)?;
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        need(buf, 4)?;
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        need(buf, 8)?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.extend_from_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        let len = u32::decode(buf)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(TypeError::OversizedField { field: "bytes", len });
+        }
+        need(buf, len)?;
+        Ok(buf.split_to(len))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            v => Err(TypeError::BadDiscriminant {
+                field: "Option",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        let len = u32::decode(buf)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(TypeError::OversizedField { field: "vec", len });
+        }
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! wire_newtype_u32 {
+    ($t:ty) => {
+        impl Wire for $t {
+            fn encode(&self, buf: &mut BytesMut) {
+                self.0.encode(buf);
+            }
+            fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+                Ok(Self(u32::decode(buf)?))
+            }
+        }
+    };
+}
+
+wire_newtype_u32!(ObjectId);
+wire_newtype_u32!(SwitchId);
+wire_newtype_u32!(ReplicaId);
+wire_newtype_u32!(ClientId);
+
+impl Wire for RequestId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(RequestId(u64::decode(buf)?))
+    }
+}
+
+impl Wire for SwitchSeq {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.switch_id.encode(buf);
+        self.seq.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(SwitchSeq {
+            switch_id: SwitchId::decode(buf)?,
+            seq: u64::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for NodeId {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            NodeId::Client(c) => {
+                buf.put_u8(0);
+                c.encode(buf);
+            }
+            NodeId::Replica(r) => {
+                buf.put_u8(1);
+                r.encode(buf);
+            }
+            NodeId::Switch(s) => {
+                buf.put_u8(2);
+                s.encode(buf);
+            }
+            NodeId::Controller => buf.put_u8(3),
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(NodeId::Client(ClientId::decode(buf)?)),
+            1 => Ok(NodeId::Replica(ReplicaId::decode(buf)?)),
+            2 => Ok(NodeId::Switch(SwitchId::decode(buf)?)),
+            3 => Ok(NodeId::Controller),
+            v => Err(TypeError::BadDiscriminant {
+                field: "NodeId",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for OpKind {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+        });
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(OpKind::Read),
+            1 => Ok(OpKind::Write),
+            v => Err(TypeError::BadDiscriminant {
+                field: "OpKind",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for ReadMode {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ReadMode::Normal => buf.put_u8(0),
+            ReadMode::FastPath { switch } => {
+                buf.put_u8(1);
+                switch.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ReadMode::Normal),
+            1 => Ok(ReadMode::FastPath {
+                switch: SwitchId::decode(buf)?,
+            }),
+            v => Err(TypeError::BadDiscriminant {
+                field: "ReadMode",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for WriteOutcome {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            WriteOutcome::Committed => 0,
+            WriteOutcome::DroppedBySwitch => 1,
+            WriteOutcome::Rejected => 2,
+        });
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(WriteOutcome::Committed),
+            1 => Ok(WriteOutcome::DroppedBySwitch),
+            2 => Ok(WriteOutcome::Rejected),
+            v => Err(TypeError::BadDiscriminant {
+                field: "WriteOutcome",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for WriteCompletion {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.obj.encode(buf);
+        self.seq.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(WriteCompletion {
+            obj: ObjectId::decode(buf)?,
+            seq: SwitchSeq::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for ClientRequest {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+        self.request.encode(buf);
+        self.op.encode(buf);
+        self.obj.encode(buf);
+        self.key.encode(buf);
+        self.value.encode(buf);
+        self.seq.encode(buf);
+        self.last_committed.encode(buf);
+        self.read_mode.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(ClientRequest {
+            client: ClientId::decode(buf)?,
+            request: RequestId::decode(buf)?,
+            op: OpKind::decode(buf)?,
+            obj: ObjectId::decode(buf)?,
+            key: Bytes::decode(buf)?,
+            value: Option::<Bytes>::decode(buf)?,
+            seq: Option::<SwitchSeq>::decode(buf)?,
+            last_committed: Option::<SwitchSeq>::decode(buf)?,
+            read_mode: ReadMode::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for ClientReply {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+        self.request.encode(buf);
+        self.obj.encode(buf);
+        self.value.encode(buf);
+        self.write_outcome.encode(buf);
+        self.completion.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(ClientReply {
+            client: ClientId::decode(buf)?,
+            request: RequestId::decode(buf)?,
+            obj: ObjectId::decode(buf)?,
+            value: Option::<Bytes>::decode(buf)?,
+            write_outcome: Option::<WriteOutcome>::decode(buf)?,
+            completion: Option::<WriteCompletion>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for ControlMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ControlMsg::AddReplica(r) => {
+                buf.put_u8(0);
+                r.encode(buf);
+            }
+            ControlMsg::RemoveReplica(r) => {
+                buf.put_u8(1);
+                r.encode(buf);
+            }
+            ControlMsg::SetReplicas(rs) => {
+                buf.put_u8(2);
+                rs.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ControlMsg::AddReplica(ReplicaId::decode(buf)?)),
+            1 => Ok(ControlMsg::RemoveReplica(ReplicaId::decode(buf)?)),
+            2 => Ok(ControlMsg::SetReplicas(Vec::<ReplicaId>::decode(buf)?)),
+            v => Err(TypeError::BadDiscriminant {
+                field: "ControlMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for PacketBody<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PacketBody::Request(r) => {
+                buf.put_u8(0);
+                r.encode(buf);
+            }
+            PacketBody::Reply(r) => {
+                buf.put_u8(1);
+                r.encode(buf);
+            }
+            PacketBody::Completion(c) => {
+                buf.put_u8(2);
+                c.encode(buf);
+            }
+            PacketBody::Protocol(p) => {
+                buf.put_u8(3);
+                p.encode(buf);
+            }
+            PacketBody::Control(c) => {
+                buf.put_u8(4);
+                c.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(PacketBody::Request(ClientRequest::decode(buf)?)),
+            1 => Ok(PacketBody::Reply(ClientReply::decode(buf)?)),
+            2 => Ok(PacketBody::Completion(WriteCompletion::decode(buf)?)),
+            3 => Ok(PacketBody::Protocol(T::decode(buf)?)),
+            4 => Ok(PacketBody::Control(ControlMsg::decode(buf)?)),
+            v => Err(TypeError::BadDiscriminant {
+                field: "PacketBody",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Packet<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.src.encode(buf);
+        self.dst.encode(buf);
+        self.body.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(Packet {
+            src: NodeId::decode(buf)?,
+            dst: NodeId::decode(buf)?,
+            body: PacketBody::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let frame = encode_frame(v);
+        let (decoded, used) = decode_frame::<T>(&frame).unwrap().unwrap();
+        assert_eq!(&decoded, v);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&0u8);
+        roundtrip(&u32::MAX);
+        roundtrip(&u64::MAX);
+        roundtrip(&Bytes::from_static(b"hello"));
+        roundtrip(&Some(42u32));
+        roundtrip(&Option::<u32>::None);
+        roundtrip(&vec![1u32, 2, 3]);
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut r = ClientRequest::write(ClientId(9), RequestId(77), &b"key"[..], &b"val"[..]);
+        r.seq = Some(SwitchSeq::new(SwitchId(2), 1234));
+        r.last_committed = Some(SwitchSeq::new(SwitchId(2), 1200));
+        r.read_mode = ReadMode::FastPath { switch: SwitchId(2) };
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let r = ClientReply {
+            client: ClientId(1),
+            request: RequestId(2),
+            obj: ObjectId(3),
+            value: Some(Bytes::from_static(b"v")),
+            write_outcome: Some(WriteOutcome::Committed),
+            completion: Some(WriteCompletion {
+                obj: ObjectId(3),
+                seq: SwitchSeq::new(SwitchId(1), 5),
+            }),
+        };
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn packet_roundtrip_all_bodies() {
+        type P = Packet<u64>;
+        let bodies: Vec<PacketBody<u64>> = vec![
+            PacketBody::Request(ClientRequest::read(ClientId(1), RequestId(1), &b"k"[..])),
+            PacketBody::Completion(WriteCompletion {
+                obj: ObjectId(7),
+                seq: SwitchSeq::new(SwitchId(1), 9),
+            }),
+            PacketBody::Protocol(0xdead_beef),
+            PacketBody::Control(ControlMsg::SetReplicas(vec![ReplicaId(0), ReplicaId(1)])),
+        ];
+        for body in bodies {
+            let p: P = Packet::new(
+                NodeId::Client(ClientId(1)),
+                NodeId::Switch(SwitchId(1)),
+                body,
+            );
+            roundtrip(&p);
+        }
+    }
+
+    #[test]
+    fn partial_frame_returns_none() {
+        let frame = encode_frame(&u64::MAX);
+        for cut in 0..frame.len() {
+            assert!(decode_frame::<u64>(&frame[..cut]).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn bad_discriminant_is_an_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9); // not a valid OpKind
+        let mut b = buf.freeze();
+        assert!(matches!(
+            OpKind::decode(&mut b),
+            Err(TypeError::BadDiscriminant { field: "OpKind", .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_field_rejected() {
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(u32::MAX); // absurd frame length
+        assert!(matches!(
+            decode_frame::<u64>(&frame),
+            Err(TypeError::OversizedField { .. })
+        ));
+    }
+}

@@ -1,0 +1,537 @@
+//! Executable model checker mirroring the paper's TLA+ specification
+//! (Appendix B) action for action.
+//!
+//! The spec models: per-switch state (sequence counter, dirty set,
+//! last-committed point), an active-switch pointer advanced by
+//! `SwitchFailover`, a shared replicated log (`HandleWrite` appends in
+//! sequence-number order), per-replica commit points, and a message *set*
+//! (messages are never consumed — re-handling models duplication and delay).
+//! Reads carry a `ghost` field recording the latest write any response had
+//! already returned for that item, which lets the `Linearizability`
+//! invariant be stated per response:
+//!
+//! > every `ReadResponse` returns a write ≥ the ghost, and that write is in
+//! > the committed log (or bottom).
+//!
+//! Two deliberate, documented deviations from the raw TLA+ text:
+//! * `HandleWrite` appends on strict `>` rather than `≥` — the spec's `≥`
+//!   admits unbounded duplicate appends of the same write (infinite state
+//!   space); a duplicate append is observationally equivalent because every
+//!   spec function consumes `Range(log)`.
+//! * exploration is bounded by configurable counters (writes per switch,
+//!   reads, responses) — the standard TLC state-constraint technique.
+//!
+//! A mutation knob (`guard_enabled = false`) removes the §7 read guard from
+//! `HandleHarmoniaRead`; the checker then *finds* the read-ahead /
+//! read-behind anomalies of §3, which is the evidence that the invariant
+//! checking has teeth.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// A write: `(switch, seq)` ordered lexicographically, tagged with its item.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct W {
+    /// Issuing switch (0 = bottom).
+    pub switch: u8,
+    /// Sequence within the switch.
+    pub seq: u8,
+    /// Data item written (0 for bottom).
+    pub item: u8,
+}
+
+/// The TLA+ `BottomWrite`.
+pub const BOTTOM: W = W {
+    switch: 0,
+    seq: 0,
+    item: 0,
+};
+
+/// `GTE(w1, w2)` from the spec: lexicographic on `(switch, seq)`.
+fn gte(a: W, b: W) -> bool {
+    (a.switch, a.seq) >= (b.switch, b.seq)
+}
+
+fn maxw(a: W, b: W) -> W {
+    if gte(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Messages (a set; never consumed).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum SpecMsg {
+    Write(W),
+    ProtocolRead { item: u8, ghost: W },
+    HarmoniaRead { item: u8, switch: u8, lc: W, ghost: W },
+    ReadResponse { write: W, ghost: W },
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct SwitchState {
+    seq: u8,
+    dirty: BTreeMap<u8, u8>,
+    last_committed: W,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct SpecState {
+    switches: Vec<SwitchState>,
+    active: u8,
+    log: Vec<W>,
+    commit_points: Vec<u8>,
+    msgs: BTreeSet<SpecMsg>,
+    reads_sent: u8,
+}
+
+/// Model parameters (the TLA+ CONSTANTS plus exploration bounds).
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Number of data items.
+    pub items: u8,
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Number of switches (failover advances through them).
+    pub switches: u8,
+    /// `isReadBehind` from the spec (VR/NOPaxos true; PB/chain false).
+    pub read_behind: bool,
+    /// Writes each switch may issue.
+    pub max_writes_per_switch: u8,
+    /// Total reads issued across switches.
+    pub max_reads: u8,
+    /// Responses materialized (state constraint).
+    pub max_responses: usize,
+    /// Exploration cap.
+    pub max_states: usize,
+    /// Mutation knob: false removes the §7 read guard.
+    pub guard_enabled: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            items: 2,
+            replicas: 2,
+            switches: 2,
+            read_behind: false,
+            max_writes_per_switch: 2,
+            max_reads: 2,
+            max_responses: 2,
+            max_states: 2_000_000,
+            guard_enabled: true,
+        }
+    }
+}
+
+/// Result of a model run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelOutcome {
+    /// The full (bounded) state space satisfies the invariant.
+    Verified {
+        /// Distinct states explored.
+        states: usize,
+    },
+    /// A state violating `Linearizability` was reached.
+    ViolationFound {
+        /// Debug rendering of the bad state.
+        state: String,
+        /// The offending response, rendered.
+        response: String,
+    },
+    /// The cap was hit before exhaustion (no violation seen).
+    Truncated {
+        /// Distinct states explored before stopping.
+        states: usize,
+    },
+}
+
+/// Breadth-first explorer of the specification.
+pub struct SpecModel {
+    cfg: ModelConfig,
+}
+
+impl SpecModel {
+    /// Build a model for `cfg`.
+    pub fn new(cfg: ModelConfig) -> Self {
+        SpecModel { cfg }
+    }
+
+    fn initial(&self) -> SpecState {
+        SpecState {
+            switches: (0..self.cfg.switches)
+                .map(|_| SwitchState {
+                    seq: 0,
+                    dirty: BTreeMap::new(),
+                    last_committed: BOTTOM,
+                })
+                .collect(),
+            active: 1,
+            log: Vec::new(),
+            commit_points: vec![0; self.cfg.replicas],
+            msgs: BTreeSet::new(),
+            reads_sent: 0,
+        }
+    }
+
+    /// `CommittedLog` from the spec.
+    fn committed_log<'a>(&self, s: &'a SpecState) -> &'a [W] {
+        if self.cfg.read_behind {
+            &s.log
+        } else {
+            let min = s.commit_points.iter().copied().min().unwrap_or(0) as usize;
+            &s.log[..min]
+        }
+    }
+
+    fn max_committed_write_for_in(item: u8, log: &[W]) -> W {
+        log.iter()
+            .copied()
+            .filter(|w| w.item == item)
+            .fold(BOTTOM, maxw)
+    }
+
+    fn max_committed_write(&self, s: &SpecState) -> W {
+        self.committed_log(s).iter().copied().fold(BOTTOM, maxw)
+    }
+
+    fn responses(s: &SpecState) -> usize {
+        s.msgs
+            .iter()
+            .filter(|m| matches!(m, SpecMsg::ReadResponse { .. }))
+            .count()
+    }
+
+    /// The spec's `Linearizability` invariant; returns an offending
+    /// response if violated.
+    fn invariant_violation(&self, s: &SpecState) -> Option<SpecMsg> {
+        let committed = self.committed_log(s);
+        for m in &s.msgs {
+            if let SpecMsg::ReadResponse { write, ghost } = m {
+                let fresh_enough = gte(*write, *ghost);
+                let committed_ok = *write == BOTTOM || committed.contains(write);
+                if !fresh_enough || !committed_ok {
+                    return Some(m.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn successors(&self, s: &SpecState) -> Vec<SpecState> {
+        let mut next = Vec::new();
+
+        // SendWrite(s, d): only activated switches send writes.
+        for sw in 1..=self.cfg.switches {
+            if sw > s.active {
+                continue;
+            }
+            let st = &s.switches[(sw - 1) as usize];
+            if st.seq >= self.cfg.max_writes_per_switch {
+                continue;
+            }
+            for d in 0..self.cfg.items {
+                let mut n = s.clone();
+                let nst = &mut n.switches[(sw - 1) as usize];
+                nst.seq += 1;
+                let seq = nst.seq;
+                nst.dirty.insert(d, seq);
+                n.msgs.insert(SpecMsg::Write(W {
+                    switch: sw,
+                    seq,
+                    item: d,
+                }));
+                next.push(n);
+            }
+        }
+
+        // HandleWrite(w): append in order (strict — see module docs).
+        for m in &s.msgs {
+            let SpecMsg::Write(w) = m else { continue };
+            let ok = match s.log.last() {
+                None => true,
+                Some(last) => (w.switch, w.seq) > (last.switch, last.seq),
+            };
+            if ok {
+                let mut n = s.clone();
+                n.log.push(*w);
+                next.push(n);
+            }
+        }
+
+        // ProcessWriteCompletion(w): any committed write's completion may
+        // reach its issuing switch.
+        for w in s.log.iter().copied().collect::<BTreeSet<_>>() {
+            if !gte(self.max_committed_write(s), w) {
+                continue;
+            }
+            let mut n = s.clone();
+            let st = &mut n.switches[(w.switch - 1) as usize];
+            st.dirty.retain(|_, seq| *seq > w.seq);
+            st.last_committed = maxw(st.last_committed, w);
+            if n != *s {
+                next.push(n);
+            }
+        }
+
+        // CommitWrite(r): a replica locally executes the next log entry.
+        for r in 0..self.cfg.replicas {
+            if (s.commit_points[r] as usize) < s.log.len() {
+                let mut n = s.clone();
+                n.commit_points[r] += 1;
+                next.push(n);
+            }
+        }
+
+        // SendRead(s, d): ANY switch may still emit reads (stale switches
+        // model in-flight traffic from deposed incarnations).
+        if s.reads_sent < self.cfg.max_reads {
+            for sw in 1..=self.cfg.switches {
+                let st = &s.switches[(sw - 1) as usize];
+                for d in 0..self.cfg.items {
+                    let returned = s.msgs.iter().filter_map(|m| match m {
+                        SpecMsg::ReadResponse { write, .. }
+                            if *write != BOTTOM && write.item == d =>
+                        {
+                            Some(*write)
+                        }
+                        _ => None,
+                    });
+                    let ghost = returned.fold(
+                        Self::max_committed_write_for_in(d, self.committed_log(s)),
+                        maxw,
+                    );
+                    let fast = !st.dirty.contains_key(&d) && st.last_committed != BOTTOM;
+                    let mut n = s.clone();
+                    n.reads_sent += 1;
+                    if fast {
+                        n.msgs.insert(SpecMsg::HarmoniaRead {
+                            item: d,
+                            switch: sw,
+                            lc: st.last_committed,
+                            ghost,
+                        });
+                    } else {
+                        n.msgs.insert(SpecMsg::ProtocolRead { item: d, ghost });
+                    }
+                    next.push(n);
+                }
+            }
+        }
+
+        // HandleProtocolRead(m): served from the committed log.
+        if Self::responses(s) < self.cfg.max_responses {
+            for m in &s.msgs {
+                let SpecMsg::ProtocolRead { item, ghost } = m else {
+                    continue;
+                };
+                let mut n = s.clone();
+                n.msgs.insert(SpecMsg::ReadResponse {
+                    write: Self::max_committed_write_for_in(*item, self.committed_log(s)),
+                    ghost: *ghost,
+                });
+                if n != *s {
+                    next.push(n);
+                }
+            }
+
+            // HandleHarmoniaRead(r, m): single-replica read with the §7
+            // guard. Only the active switch's reads are honoured.
+            for m in &s.msgs {
+                let SpecMsg::HarmoniaRead {
+                    item,
+                    switch,
+                    lc,
+                    ghost,
+                } = m
+                else {
+                    continue;
+                };
+                if u8::from(*switch) != s.active {
+                    continue;
+                }
+                for r in 0..self.cfg.replicas {
+                    let cp = s.commit_points[r] as usize;
+                    let w = Self::max_committed_write_for_in(*item, &s.log[..cp]);
+                    let guard = if self.cfg.read_behind {
+                        // Replica must be at least as current as the stamp.
+                        let last_local = if cp > 0 { s.log[cp - 1] } else { BOTTOM };
+                        gte(last_local, *lc)
+                    } else {
+                        // Read-ahead: the stamp must cover the applied write.
+                        gte(*lc, w)
+                    };
+                    if self.cfg.guard_enabled && !guard {
+                        continue;
+                    }
+                    let mut n = s.clone();
+                    n.msgs.insert(SpecMsg::ReadResponse {
+                        write: w,
+                        ghost: *ghost,
+                    });
+                    if n != *s {
+                        next.push(n);
+                    }
+                }
+            }
+        }
+
+        // SwitchFailover.
+        if s.active < self.cfg.switches {
+            let mut n = s.clone();
+            n.active += 1;
+            next.push(n);
+        }
+
+        next
+    }
+
+    /// Explore the bounded state space.
+    pub fn run(&self) -> ModelOutcome {
+        let init = self.initial();
+        if let Some(resp) = self.invariant_violation(&init) {
+            return ModelOutcome::ViolationFound {
+                state: format!("{init:?}"),
+                response: format!("{resp:?}"),
+            };
+        }
+        let mut seen: HashSet<SpecState> = HashSet::new();
+        let mut queue: VecDeque<SpecState> = VecDeque::new();
+        seen.insert(init.clone());
+        queue.push_back(init);
+        while let Some(state) = queue.pop_front() {
+            for n in self.successors(&state) {
+                if seen.contains(&n) {
+                    continue;
+                }
+                if let Some(resp) = self.invariant_violation(&n) {
+                    return ModelOutcome::ViolationFound {
+                        state: format!("{n:?}"),
+                        response: format!("{resp:?}"),
+                    };
+                }
+                if seen.len() >= self.cfg.max_states {
+                    return ModelOutcome::Truncated { states: seen.len() };
+                }
+                seen.insert(n.clone());
+                queue.push_back(n);
+            }
+        }
+        ModelOutcome::Verified { states: seen.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(read_behind: bool, guard: bool) -> ModelConfig {
+        ModelConfig {
+            items: 2,
+            replicas: 2,
+            switches: 2,
+            read_behind,
+            max_writes_per_switch: 1,
+            max_reads: 2,
+            max_responses: 2,
+            max_states: 500_000,
+            guard_enabled: guard,
+        }
+    }
+
+    #[test]
+    fn read_ahead_spec_verifies() {
+        let outcome = SpecModel::new(small(false, true)).run();
+        let ModelOutcome::Verified { states } = outcome else {
+            panic!("expected verification, got {outcome:?}");
+        };
+        assert!(states > 1000, "only {states} states — bounds too tight?");
+    }
+
+    #[test]
+    fn read_behind_spec_verifies() {
+        let outcome = SpecModel::new(small(true, true)).run();
+        let ModelOutcome::Verified { states } = outcome else {
+            panic!("expected verification, got {outcome:?}");
+        };
+        assert!(states > 1000);
+    }
+
+    #[test]
+    fn removing_the_guard_breaks_read_ahead_protocols() {
+        // Without the §7.2 guard a replica hands out applied-but-uncommitted
+        // writes: the invariant's committed-membership clause must trip.
+        // The anomaly needs two writes from one switch: the first completes
+        // (enabling the fast path), a read is stamped, then a second write
+        // is applied at one replica before the delayed read arrives.
+        let cfg = ModelConfig {
+            items: 1,
+            replicas: 2,
+            switches: 1,
+            read_behind: false,
+            max_writes_per_switch: 2,
+            max_reads: 1,
+            max_responses: 1,
+            max_states: 500_000,
+            guard_enabled: false,
+        };
+        let outcome = SpecModel::new(cfg).run();
+        assert!(
+            matches!(outcome, ModelOutcome::ViolationFound { .. }),
+            "mutation survived: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn read_ahead_spec_with_two_writes_verifies() {
+        // Same configuration as the mutation test, guard restored: the
+        // §7.2 guard is exactly what closes the anomaly.
+        let cfg = ModelConfig {
+            items: 1,
+            replicas: 2,
+            switches: 1,
+            read_behind: false,
+            max_writes_per_switch: 2,
+            max_reads: 1,
+            max_responses: 1,
+            max_states: 500_000,
+            guard_enabled: true,
+        };
+        let outcome = SpecModel::new(cfg).run();
+        assert!(
+            matches!(outcome, ModelOutcome::Verified { .. }),
+            "expected verification: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn removing_the_guard_breaks_read_behind_protocols() {
+        // Without the §7.3 guard a lagging replica serves stale data after
+        // a newer response was already observed: the ghost clause trips.
+        let outcome = SpecModel::new(small(true, false)).run();
+        assert!(
+            matches!(outcome, ModelOutcome::ViolationFound { .. }),
+            "mutation survived: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn single_switch_no_failover_verifies_quickly() {
+        let cfg = ModelConfig {
+            switches: 1,
+            ..small(false, true)
+        };
+        let outcome = SpecModel::new(cfg).run();
+        assert!(matches!(outcome, ModelOutcome::Verified { .. }));
+    }
+
+    #[test]
+    fn gte_and_maxw_are_lexicographic() {
+        let a = W { switch: 1, seq: 9, item: 0 };
+        let b = W { switch: 2, seq: 1, item: 1 };
+        assert!(gte(b, a));
+        assert!(!gte(a, b));
+        assert_eq!(maxw(a, b), b);
+        assert!(gte(a, BOTTOM) && gte(b, BOTTOM));
+    }
+}

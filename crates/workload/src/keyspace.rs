@@ -1,0 +1,111 @@
+//! Key spaces: how ranks map to application keys.
+//!
+//! Keys are pre-rendered (`"key-0000123"`) so the generator's hot path is a
+//! clone of a reference-counted `Bytes`, not a format call.
+
+use bytes::Bytes;
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// How keys are drawn from the space.
+#[derive(Clone, Debug)]
+enum Draw {
+    Uniform,
+    Zipf(Zipf),
+}
+
+/// A fixed population of keys with a draw distribution.
+#[derive(Clone, Debug)]
+pub struct KeySpace {
+    keys: Vec<Bytes>,
+    draw: Draw,
+}
+
+impl KeySpace {
+    /// `n` keys drawn uniformly (the paper's default: one million, §9.1).
+    pub fn uniform(n: usize) -> Self {
+        KeySpace {
+            keys: Self::render(n),
+            draw: Draw::Uniform,
+        }
+    }
+
+    /// `n` keys drawn zipf(θ) (Figure 8 uses θ = 0.9).
+    pub fn zipf(n: usize, theta: f64) -> Self {
+        KeySpace {
+            keys: Self::render(n),
+            draw: Draw::Zipf(Zipf::new(n, theta)),
+        }
+    }
+
+    fn render(n: usize) -> Vec<Bytes> {
+        assert!(n > 0);
+        (0..n).map(|i| Bytes::from(format!("key-{i:08}"))).collect()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the space is empty (never: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Draw one key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Bytes {
+        let idx = match &self.draw {
+            Draw::Uniform => rng.gen_range(0..self.keys.len()),
+            Draw::Zipf(z) => z.sample(rng),
+        };
+        self.keys[idx].clone()
+    }
+
+    /// The `i`-th key (rank order).
+    pub fn key(&self, i: usize) -> Bytes {
+        self.keys[i].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_covers_the_space() {
+        let ks = KeySpace::uniform(100);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            seen.insert(ks.sample(&mut rng));
+        }
+        assert!(seen.len() > 95, "covered {}", seen.len());
+    }
+
+    #[test]
+    fn zipf_skews_toward_rank_zero() {
+        let ks = KeySpace::zipf(1000, 0.9);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut counts: HashMap<Bytes, u32> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(ks.sample(&mut rng)).or_insert(0) += 1;
+        }
+        let top = counts.get(&ks.key(0)).copied().unwrap_or(0);
+        let mid = counts.get(&ks.key(500)).copied().unwrap_or(0);
+        assert!(top > 20 * mid.max(1), "top={top} mid={mid}");
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let ks = KeySpace::uniform(10);
+        assert_eq!(ks.len(), 10);
+        assert_eq!(ks.key(3), Bytes::from_static(b"key-00000003"));
+        let all: std::collections::HashSet<_> = (0..10).map(|i| ks.key(i)).collect();
+        assert_eq!(all.len(), 10);
+    }
+}

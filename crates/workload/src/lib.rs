@@ -1,0 +1,15 @@
+//! Workload generation: key distributions, read/write mixes, and YCSB-style
+//! presets.
+//!
+//! The paper's default workload is one million objects, uniform keys, 5 %
+//! writes (§9.1); Figure 8 adds a zipf-0.9 skewed variant. This crate
+//! provides those distributions plus the standard YCSB mixes for the
+//! examples.
+
+pub mod keyspace;
+pub mod mix;
+pub mod zipf;
+
+pub use keyspace::KeySpace;
+pub use mix::{Mix, WorkloadSpec, YcsbPreset};
+pub use zipf::Zipf;

@@ -1,0 +1,170 @@
+//! Read/write mixes and YCSB-style presets.
+
+use bytes::Bytes;
+use harmonia_types::OpKind;
+use rand::Rng;
+
+use crate::keyspace::KeySpace;
+
+/// A read/write mix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mix {
+    /// Fraction of operations that are writes (0.0 ..= 1.0).
+    pub write_ratio: f64,
+}
+
+impl Mix {
+    /// The paper's default: 5 % writes (§9.1, matching the Facebook-style
+    /// read-heavy workloads the introduction cites).
+    pub fn paper_default() -> Self {
+        Mix { write_ratio: 0.05 }
+    }
+
+    /// Read-only.
+    pub fn read_only() -> Self {
+        Mix { write_ratio: 0.0 }
+    }
+
+    /// Write-only.
+    pub fn write_only() -> Self {
+        Mix { write_ratio: 1.0 }
+    }
+
+    /// Decide the next operation kind.
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> OpKind {
+        if self.write_ratio >= 1.0 {
+            OpKind::Write
+        } else if self.write_ratio <= 0.0 {
+            OpKind::Read
+        } else if rng.gen_bool(self.write_ratio) {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        }
+    }
+}
+
+/// YCSB core workload presets (Cooper et al., SoCC '10 — cited by §9.1 as
+/// the justification for the 5 % write ratio).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum YcsbPreset {
+    /// A: update heavy, 50 % writes, zipfian keys.
+    A,
+    /// B: read mostly, 5 % writes, zipfian keys.
+    B,
+    /// C: read only, zipfian keys.
+    C,
+}
+
+impl YcsbPreset {
+    /// The preset's write ratio.
+    pub fn mix(self) -> Mix {
+        match self {
+            YcsbPreset::A => Mix { write_ratio: 0.5 },
+            YcsbPreset::B => Mix { write_ratio: 0.05 },
+            YcsbPreset::C => Mix { write_ratio: 0.0 },
+        }
+    }
+
+    /// The preset's key distribution over `n` keys (YCSB uses zipf-0.99).
+    pub fn keyspace(self, n: usize) -> KeySpace {
+        KeySpace::zipf(n, 0.99)
+    }
+}
+
+/// A complete workload: key space + mix + value size.
+pub struct WorkloadSpec {
+    /// Key population and distribution.
+    pub keys: KeySpace,
+    /// Read/write mix.
+    pub mix: Mix,
+    /// Value payload (shared buffer; cloned per write).
+    pub value: Bytes,
+}
+
+impl WorkloadSpec {
+    /// The paper's §9.1 default: one million uniform keys, 5 % writes,
+    /// 128-byte values.
+    pub fn paper_default() -> Self {
+        WorkloadSpec {
+            keys: KeySpace::uniform(1_000_000),
+            mix: Mix::paper_default(),
+            value: Bytes::from(vec![0x42u8; 128]),
+        }
+    }
+
+    /// Build a spec with explicit parts.
+    pub fn new(keys: KeySpace, mix: Mix, value_len: usize) -> Self {
+        WorkloadSpec {
+            keys,
+            mix,
+            value: Bytes::from(vec![0x42u8; value_len]),
+        }
+    }
+
+    /// Draw the next operation: `(kind, key, value-if-write)`.
+    pub fn next_op<R: Rng>(&self, rng: &mut R) -> (OpKind, Bytes, Option<Bytes>) {
+        let kind = self.mix.draw(rng);
+        let key = self.keys.sample(rng);
+        let value = match kind {
+            OpKind::Write => Some(self.value.clone()),
+            OpKind::Read => None,
+        };
+        (kind, key, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_ratio_is_respected() {
+        let mix = Mix { write_ratio: 0.2 };
+        let mut rng = SmallRng::seed_from_u64(31);
+        let writes = (0..10_000)
+            .filter(|_| mix.draw(&mut rng) == OpKind::Write)
+            .count();
+        assert!((1800..2200).contains(&writes), "writes={writes}");
+    }
+
+    #[test]
+    fn degenerate_mixes_never_sample() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        assert_eq!(Mix::read_only().draw(&mut rng), OpKind::Read);
+        assert_eq!(Mix::write_only().draw(&mut rng), OpKind::Write);
+    }
+
+    #[test]
+    fn ycsb_presets_match_spec() {
+        assert_eq!(YcsbPreset::A.mix().write_ratio, 0.5);
+        assert_eq!(YcsbPreset::B.mix().write_ratio, 0.05);
+        assert_eq!(YcsbPreset::C.mix().write_ratio, 0.0);
+        assert_eq!(YcsbPreset::B.keyspace(100).len(), 100);
+    }
+
+    #[test]
+    fn workload_spec_draws_complete_ops() {
+        let spec = WorkloadSpec::new(KeySpace::uniform(50), Mix { write_ratio: 0.5 }, 16);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut saw_write = false;
+        let mut saw_read = false;
+        for _ in 0..100 {
+            let (kind, key, value) = spec.next_op(&mut rng);
+            assert!(key.starts_with(b"key-"));
+            match kind {
+                OpKind::Write => {
+                    assert_eq!(value.as_ref().map(|v| v.len()), Some(16));
+                    saw_write = true;
+                }
+                OpKind::Read => {
+                    assert!(value.is_none());
+                    saw_read = true;
+                }
+            }
+        }
+        assert!(saw_write && saw_read);
+    }
+}

@@ -1,0 +1,121 @@
+//! Zipfian sampling.
+//!
+//! Draws ranks in `1..=n` with `P(rank = k) ∝ 1/k^theta`. Implementation:
+//! inverse-CDF over a precomputed cumulative table with binary search —
+//! exact (no rejection loop), deterministic given the RNG, and fast enough
+//! for millions of draws over the paper's one-million-key space. Table
+//! construction is O(n) once per generator.
+
+use rand::Rng;
+
+/// A zipf(θ) sampler over ranks `1..=n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `theta` (0 = uniform;
+    /// the paper's skewed workload uses 0.9).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the upper end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `0..n` (0-based; rank 0 is the most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_mass_on_low_ranks() {
+        let z = Zipf::new(1000, 0.9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(500));
+        // zipf-0.9 over 1000 keys: top rank carries a few percent.
+        assert!(z.pmf(0) > 0.05, "pmf(0) = {}", z.pmf(0));
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 200_000;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 50] {
+            let expect = z.pmf(k) * n as f64;
+            let got = counts[k] as f64;
+            assert!(
+                (got - expect).abs() < expect.mul_add(0.1, 50.0),
+                "rank {k}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = SmallRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let z = Zipf::new(1000, 0.9);
+        for w in z.cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*z.cdf.last().unwrap(), 1.0);
+    }
+}

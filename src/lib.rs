@@ -1,0 +1,99 @@
+//! # Harmonia
+//!
+//! A full reproduction of **"Harmonia: Near-Linear Scalability for
+//! Replicated Storage with In-Network Conflict Detection"** (Zhu et al.,
+//! VLDB 2019) as a Rust library: the in-switch read-write conflict detector,
+//! five replication protocols with their Harmonia adaptations, a calibrated
+//! discrete-event testbed, a live threaded runtime, linearizability
+//! tooling, and benchmark harnesses regenerating every figure of the
+//! paper's evaluation.
+//!
+//! ## The idea, in one paragraph
+//!
+//! Strongly consistent replication usually caps read throughput at one
+//! server, because only a designated replica (chain tail, Paxos leader) may
+//! answer reads safely. Harmonia observes that at any instant only the
+//! objects with *in-flight writes* are dangerous; everything else is
+//! identical on every replica. A programmable switch sits on the data path
+//! anyway — so let it track the *dirty set* at line rate, send reads for
+//! clean objects to a random replica (stamped with the last-committed
+//! point so the replica can double-check), and leave everything else to the
+//! unmodified protocol. Read throughput then scales with the number of
+//! replicas while writes and consistency are untouched.
+//!
+//! ## Quick start (live, threaded)
+//!
+//! ```
+//! use harmonia::prelude::*;
+//!
+//! let config = ClusterConfig {
+//!     protocol: ProtocolKind::Chain,
+//!     harmonia: true,
+//!     replicas: 3,
+//!     ..ClusterConfig::default()
+//! };
+//! let cluster = LiveCluster::spawn(&config);
+//! let mut client = cluster.client();
+//! client.set("user:42", "alice").unwrap();
+//! assert_eq!(client.get("user:42").unwrap().as_deref(), Some(&b"alice"[..]));
+//! cluster.shutdown();
+//! ```
+//!
+//! ## Quick start (simulated, deterministic)
+//!
+//! ```
+//! use harmonia::prelude::*;
+//! use bytes::Bytes;
+//!
+//! let config = ClusterConfig::default();
+//! let mut world = build_world(&config);
+//! let source: SourceFn = Box::new(|_rng| OpSpec::read(Bytes::from_static(b"k")));
+//! add_open_loop_client(
+//!     &mut world, &config, ClientId(1),
+//!     100_000.0, Duration::from_millis(10), source,
+//! );
+//! world.run_until(Instant::ZERO + Duration::from_millis(5));
+//! assert!(world.metrics().counter("client.read.done") > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`types`] | object ids, switch-epoch sequence numbers, packets, wire codec |
+//! | [`sim`] | deterministic discrete-event simulator + network + metrics |
+//! | [`kv`] | in-memory versioned KV engine (the Redis substitute) |
+//! | [`switch`] | switch data-plane emulation: register arrays, multi-stage hash table, Algorithm 1 |
+//! | [`replication`] | PB, chain, CRAQ, VR, NOPaxos — each ± Harmonia |
+//! | [`core`] | cluster assembly, clients, failover scripting, live driver |
+//! | [`workload`] | uniform/zipf key spaces, mixes, YCSB presets |
+//! | [`verify`] | linearizability checker + TLA+-mirror model checker |
+
+pub use harmonia_core as core;
+pub use harmonia_kv as kv;
+pub use harmonia_replication as replication;
+pub use harmonia_sim as sim;
+pub use harmonia_switch as switch;
+pub use harmonia_types as types;
+pub use harmonia_verify as verify;
+pub use harmonia_workload as workload;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use harmonia_core::client::{metrics, OpSpec, SourceFn};
+    pub use harmonia_core::cluster::{add_open_loop_client, build_world, ClusterConfig};
+    pub use harmonia_core::failover::{
+        schedule_replica_removal, schedule_switch_failure, schedule_switch_replacement,
+    };
+    pub use harmonia_core::live::{LiveClient, LiveCluster, LiveError};
+    pub use harmonia_core::msg::{CostModel, Msg};
+    pub use harmonia_core::{ClosedLoopClient, OpenLoopClient, SwitchActor};
+    pub use harmonia_replication::{GroupConfig, ProtocolKind};
+    pub use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};
+    pub use harmonia_switch::{ConflictDetector, MultiStageHashTable, ResourceModel, TableConfig};
+    pub use harmonia_types::{
+        ClientId, Duration, Instant, NodeId, ObjectId, OpKind, ReplicaId, SwitchId, SwitchSeq,
+    };
+    pub use harmonia_verify::{check_history, ModelConfig, SpecModel};
+    pub use harmonia_workload::{KeySpace, Mix, WorkloadSpec, YcsbPreset};
+}

@@ -1,0 +1,164 @@
+//! Shared helpers for the integration tests: build a simulated cluster,
+//! drive closed-loop clients over it, and convert their records into
+//! checker histories.
+
+// Each integration-test binary compiles this module independently and uses
+// a different subset of it; silence per-binary dead-code noise.
+#![allow(dead_code)]
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+use harmonia::prelude::*;
+use harmonia::verify::{Action, OpRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub use harmonia::core::client::OpSpec as Op;
+
+/// A multi-client closed-loop workload description.
+pub struct Scenario {
+    pub cluster: ClusterConfig,
+    pub clients: usize,
+    pub ops_per_client: usize,
+    pub keys: usize,
+    pub write_ratio: f64,
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            cluster: ClusterConfig::default(),
+            clients: 4,
+            ops_per_client: 60,
+            keys: 8,
+            write_ratio: 0.4,
+            seed: 1,
+        }
+    }
+}
+
+/// What a scenario produced.
+pub struct Outcome {
+    /// Completed operations, checker-ready. If any operation ultimately
+    /// failed (gave up after retries), every record touching that key is
+    /// excluded — an abandoned write may or may not have taken effect, and
+    /// the checker models only completed operations.
+    pub records: Vec<OpRecord>,
+    /// The post-run world, for state inspection.
+    pub world: World<Msg>,
+    /// Operations that gave up after all retries.
+    pub incomplete: usize,
+}
+
+impl Scenario {
+    pub fn run(&self) -> Outcome {
+        let world = build_world(&self.cluster);
+        self.run_in(world, |_| {})
+    }
+
+    /// Run with a hook that can adjust the world (network faults, scheduled
+    /// failures) after the nodes are added but before time advances.
+    pub fn run_in(&self, mut world: World<Msg>, prepare: impl FnOnce(&mut World<Msg>)) -> Outcome {
+        let mut plans = Vec::new();
+        for c in 0..self.clients {
+            let mut rng = SmallRng::seed_from_u64(self.seed * 1000 + c as u64);
+            let plan: Vec<Op> = (0..self.ops_per_client)
+                .map(|i| {
+                    let key = Bytes::from(format!("key-{}", rng.gen_range(0..self.keys)));
+                    if rng.gen_bool(self.write_ratio) {
+                        Op::write(key, Bytes::from(format!("c{c}-v{i}")))
+                    } else {
+                        Op::read(key)
+                    }
+                })
+                .collect();
+            plans.push(plan);
+        }
+        for (c, plan) in plans.into_iter().enumerate() {
+            let id = ClientId(10 + c as u32);
+            let client = ClosedLoopClient::new(id, self.cluster.switch_addr(), plan)
+                .with_write_replies(self.cluster.write_replies())
+                .with_timeout(Duration::from_millis(3));
+            world.add_node(NodeId::Client(id), Box::new(client));
+        }
+        prepare(&mut world);
+        // Generously long: closed-loop clients finish far sooner; periodic
+        // protocol timers keep ticking harmlessly.
+        world.run_until(Instant::ZERO + Duration::from_secs(2));
+
+        let mut records = Vec::new();
+        let mut incomplete = 0;
+        let mut poisoned_keys: HashSet<Bytes> = HashSet::new();
+        for c in 0..self.clients {
+            let id = NodeId::Client(ClientId(10 + c as u32));
+            let client: &ClosedLoopClient = world.actor(id).expect("client exists");
+            assert!(client.is_done(), "client {c} still has work");
+            for r in &client.records {
+                if !r.ok {
+                    incomplete += 1;
+                    poisoned_keys.insert(r.key.clone());
+                    continue;
+                }
+                records.push(OpRecord {
+                    client: 10 + c as u32,
+                    key: r.key.clone(),
+                    invoke: r.invoked.nanos(),
+                    complete: r.completed.nanos(),
+                    action: match r.kind {
+                        OpKind::Write => Action::Write(r.value.clone().unwrap_or_default()),
+                        OpKind::Read => Action::Read(r.result.clone()),
+                    },
+                });
+            }
+        }
+        records.retain(|r| !poisoned_keys.contains(&r.key));
+        Outcome {
+            records,
+            world,
+            incomplete,
+        }
+    }
+}
+
+/// Assert the collected history is linearizable, with context on failure
+/// (dumps the offending key's timeline for debugging).
+pub fn assert_linearizable(records: Vec<OpRecord>, context: &str) {
+    assert!(!records.is_empty(), "{context}: empty history proves nothing");
+    if let Err(v) = harmonia::verify::check_history(records.clone()) {
+        if let harmonia::verify::Violation::NotLinearizable { key } = &v {
+            let mut ops: Vec<&OpRecord> = records.iter().filter(|r| &r.key == key).collect();
+            ops.sort_by_key(|r| r.invoke);
+            eprintln!("--- history for {key:?} ---");
+            for op in ops {
+                eprintln!(
+                    "client {} [{} .. {}] {:?}",
+                    op.client, op.invoke, op.complete, op.action
+                );
+            }
+        }
+        panic!("{context}: {v}");
+    }
+}
+
+/// Every replica's applied state for every scenario key must agree after
+/// quiescence.
+pub fn assert_converged(world: &World<Msg>, cluster: &ClusterConfig, keys: usize) {
+    use harmonia::core::ReplicaActor;
+    for k in 0..keys {
+        let key = format!("key-{k}");
+        let mut values = Vec::new();
+        for r in 0..cluster.replicas as u32 {
+            let actor: &ReplicaActor = world
+                .actor(NodeId::Replica(ReplicaId(r)))
+                .expect("replica exists");
+            values.push(actor.replica().local_value(key.as_bytes()));
+        }
+        let first = &values[0];
+        assert!(
+            values.iter().all(|v| v == first),
+            "replicas diverge on {key}: {values:?}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Correctness through failures: switch replacement and server removal must
+//! preserve linearizability for in-flight clients (§5.3, Appendix A's
+//! "switch failure" and "server failure" cases).
+
+mod common;
+
+use common::{assert_linearizable, Scenario};
+use harmonia::prelude::*;
+
+#[test]
+fn history_through_switch_replacement_is_linearizable() {
+    let cfg = ClusterConfig::default();
+    let scenario = Scenario {
+        cluster: cfg.clone(),
+        clients: 4,
+        ops_per_client: 60,
+        keys: 10,
+        write_ratio: 0.3,
+        seed: 101,
+    };
+    let world = build_world(&cfg);
+    let outcome = scenario.run_in(world, |w| {
+        // Kill the switch mid-workload and replace it with incarnation 2.
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        schedule_switch_failure(w, t(1), cfg.switch_addr());
+        let clients: Vec<NodeId> = (0..4).map(|c| NodeId::Client(ClientId(10 + c))).collect();
+        schedule_switch_replacement(w, t(4), &cfg, SwitchId(2), clients);
+    });
+    // Clients that lost requests during the outage retried through the
+    // replacement; whatever completed must be linearizable.
+    assert_linearizable(outcome.records, "switch replacement");
+    // The replacement must actually have taken over fast-path duty.
+    let sw: &SwitchActor = outcome
+        .world
+        .actor(NodeId::Switch(SwitchId(2)))
+        .expect("replacement switch");
+    assert!(sw.detector().fast_path_enabled());
+}
+
+#[test]
+fn stale_switch_fast_path_reads_are_refused_after_lease_moves() {
+    // Manual §5.3 scenario: a fast-path read stamped by switch 1 arrives at
+    // a replica after the lease moved to switch 2. The replica must route
+    // it through the normal protocol instead of answering locally.
+    use harmonia::replication::{build_replica, GroupConfig as RGroupConfig, ProtocolKind};
+    use harmonia::replication::{Effects, ReplicaControlMsg};
+    use harmonia::types::{ClientRequest, PacketBody, ReadMode, RequestId, SwitchSeq};
+
+    let mut replica = build_replica(RGroupConfig::new(ProtocolKind::Chain, 3, 1, true));
+    // Lease moves to switch 2.
+    let mut fx = Effects::new();
+    replica.on_protocol(
+        NodeId::Controller,
+        harmonia::replication::ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(
+            SwitchId(2),
+        )),
+        &mut fx,
+    );
+    // Stale fast-path read from switch 1.
+    let mut read = ClientRequest::read(ClientId(1), RequestId(1), &b"k"[..]);
+    read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+    read.last_committed = Some(SwitchSeq::new(SwitchId(1), 100));
+    let mut fx = Effects::new();
+    replica.on_request(NodeId::Client(ClientId(1)), read, &mut fx);
+    assert!(
+        matches!(fx.out[0], (NodeId::Replica(ReplicaId(2)), PacketBody::Request(_))),
+        "stale-switch read must go to the tail, got {:?}",
+        fx.out
+    );
+}
+
+#[test]
+fn history_through_tail_removal_is_linearizable() {
+    let cfg = ClusterConfig::default();
+    let scenario = Scenario {
+        cluster: cfg.clone(),
+        clients: 3,
+        ops_per_client: 60,
+        keys: 6,
+        write_ratio: 0.3,
+        seed: 103,
+    };
+    let world = build_world(&cfg);
+    let outcome = scenario.run_in(world, |w| {
+        schedule_replica_removal(
+            w,
+            Instant::ZERO + Duration::from_millis(1),
+            &cfg,
+            cfg.switch_addr(),
+            ReplicaId(2),
+        );
+    });
+    assert_linearizable(outcome.records, "tail removal");
+}
+
+#[test]
+fn history_through_head_removal_is_linearizable() {
+    let cfg = ClusterConfig::default();
+    let scenario = Scenario {
+        cluster: cfg.clone(),
+        clients: 3,
+        ops_per_client: 60,
+        keys: 6,
+        write_ratio: 0.3,
+        seed: 104,
+    };
+    let world = build_world(&cfg);
+    let outcome = scenario.run_in(world, |w| {
+        schedule_replica_removal(
+            w,
+            Instant::ZERO + Duration::from_millis(1),
+            &cfg,
+            cfg.switch_addr(),
+            ReplicaId(0),
+        );
+    });
+    assert_linearizable(outcome.records, "head removal");
+}
+
+#[test]
+fn double_failover_keeps_lease_monotone() {
+    // Switch 1 -> 2 -> 3; after each replacement the system must recover
+    // and serve fast-path reads from the newest incarnation only.
+    let cfg = ClusterConfig::default();
+    let scenario = Scenario {
+        cluster: cfg.clone(),
+        clients: 3,
+        ops_per_client: 200,
+        keys: 16,
+        write_ratio: 0.25,
+        seed: 105,
+    };
+    let world = build_world(&cfg);
+    let outcome = scenario.run_in(world, |w| {
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        let clients: Vec<NodeId> = (0..3).map(|c| NodeId::Client(ClientId(10 + c))).collect();
+        schedule_switch_failure(w, t(1), cfg.switch_addr());
+        schedule_switch_replacement(w, t(3), &cfg, SwitchId(2), clients.clone());
+        schedule_switch_failure(w, t(6), NodeId::Switch(SwitchId(2)));
+        schedule_switch_replacement(w, t(9), &cfg, SwitchId(3), clients);
+    });
+    assert_linearizable(outcome.records, "double failover");
+    let sw: &SwitchActor = outcome
+        .world
+        .actor(NodeId::Switch(SwitchId(3)))
+        .expect("third switch");
+    assert_eq!(sw.incarnation(), SwitchId(3));
+    assert!(sw.detector().fast_path_enabled());
+}

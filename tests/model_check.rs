@@ -1,0 +1,121 @@
+//! Exhaustive model checking of the Appendix B specification at larger
+//! bounds than the unit tests (still small enough for CI).
+
+use harmonia::verify::{ModelConfig, ModelOutcome, SpecModel};
+
+fn verify(cfg: ModelConfig, context: &str) -> usize {
+    match SpecModel::new(cfg).run() {
+        ModelOutcome::Verified { states } => states,
+        other => panic!("{context}: {other:?}"),
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive search; run under --release")]
+fn read_ahead_two_switches_two_items() {
+    let states = verify(
+        ModelConfig {
+            items: 2,
+            replicas: 2,
+            switches: 2,
+            read_behind: false,
+            max_writes_per_switch: 2,
+            max_reads: 2,
+            max_responses: 2,
+            max_states: 3_000_000,
+            guard_enabled: true,
+        },
+        "read-ahead 2x2x2",
+    );
+    assert!(states > 10_000, "state space suspiciously small: {states}");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive search; run under --release")]
+fn read_behind_two_switches_two_items() {
+    // The read-behind variant's committed log equals the full log, which
+    // inflates the reachable space past 3M states; a bounded search with no
+    // violation is the standard TLC outcome for such configurations.
+    let outcome = SpecModel::new(ModelConfig {
+        items: 2,
+        replicas: 2,
+        switches: 2,
+        read_behind: true,
+        max_writes_per_switch: 2,
+        max_reads: 2,
+        max_responses: 2,
+        max_states: 2_000_000,
+        guard_enabled: true,
+    })
+    .run();
+    match outcome {
+        ModelOutcome::Verified { states } => assert!(states > 10_000),
+        ModelOutcome::Truncated { states } => {
+            assert!(states >= 2_000_000, "bounded search ended early: {states}")
+        }
+        ModelOutcome::ViolationFound { state, response } => {
+            panic!("violation: {response}\n{state}")
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive search; run under --release")]
+fn read_behind_three_replicas() {
+    verify(
+        ModelConfig {
+            items: 1,
+            replicas: 3,
+            switches: 2,
+            read_behind: true,
+            max_writes_per_switch: 2,
+            max_reads: 2,
+            max_responses: 2,
+            max_states: 3_000_000,
+            guard_enabled: true,
+        },
+        "read-behind 3 replicas",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive search; run under --release")]
+fn read_ahead_three_replicas() {
+    verify(
+        ModelConfig {
+            items: 1,
+            replicas: 3,
+            switches: 2,
+            read_behind: false,
+            max_writes_per_switch: 2,
+            max_reads: 2,
+            max_responses: 2,
+            max_states: 3_000_000,
+            guard_enabled: true,
+        },
+        "read-ahead 3 replicas",
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "exhaustive search; run under --release")]
+fn mutations_are_caught_in_both_modes_with_failover() {
+    for read_behind in [false, true] {
+        let outcome = SpecModel::new(ModelConfig {
+            items: 1,
+            replicas: 2,
+            switches: 2,
+            read_behind,
+            max_writes_per_switch: 2,
+            max_reads: 2,
+            max_responses: 2,
+            max_states: 3_000_000,
+            guard_enabled: false,
+        })
+        .run();
+        assert!(
+            matches!(outcome, ModelOutcome::ViolationFound { .. }),
+            "guardless spec (read_behind={read_behind}) survived: {outcome:?}"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Property-based tests on the core data structures and invariants.
+
+use bytes::Bytes;
+use harmonia::prelude::*;
+use harmonia::switch::conflict::{ConflictConfig, WriteDecision};
+use harmonia::switch::table::TableConfig as TC;
+use harmonia::types::wire::{decode_frame, encode_frame};
+use harmonia::types::{
+    ClientRequest, ObjectId, Packet, PacketBody, ReadMode, RequestId, SwitchSeq, WriteCompletion,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_seq() -> impl Strategy<Value = SwitchSeq> {
+    (1u32..4, 0u64..1000).prop_map(|(s, n)| SwitchSeq::new(SwitchId(s), n))
+}
+
+fn arb_request() -> impl Strategy<Value = ClientRequest> {
+    (
+        0u32..100,
+        0u64..10_000,
+        prop::collection::vec(any::<u8>(), 0..64),
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..128)),
+        prop::option::of(arb_seq()),
+        prop::option::of(arb_seq()),
+        prop::bool::ANY,
+    )
+        .prop_map(|(c, r, key, value, seq, lc, fast)| {
+            let mut req = match &value {
+                Some(v) => ClientRequest::write(
+                    ClientId(c),
+                    RequestId(r),
+                    Bytes::from(key),
+                    Bytes::from(v.clone()),
+                ),
+                None => ClientRequest::read(ClientId(c), RequestId(r), Bytes::from(key)),
+            };
+            req.seq = seq;
+            req.last_committed = lc;
+            if fast {
+                req.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+            }
+            req
+        })
+}
+
+proptest! {
+    /// Wire codec: encode → decode is the identity for request packets.
+    #[test]
+    fn wire_roundtrip_requests(req in arb_request()) {
+        let pkt: Packet<u64> = Packet::new(
+            NodeId::Client(req.client),
+            NodeId::Switch(SwitchId(1)),
+            PacketBody::Request(req),
+        );
+        let frame = encode_frame(&pkt);
+        let (decoded, used) = decode_frame::<Packet<u64>>(&frame).unwrap().unwrap();
+        prop_assert_eq!(decoded, pkt);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Wire codec: decoding never panics on arbitrary bytes (errors are
+    /// returned, not thrown).
+    #[test]
+    fn wire_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame::<Packet<u64>>(&bytes);
+    }
+
+    /// The multi-stage hash table agrees with a reference map under any
+    /// operation sequence that respects the switch's usage contract:
+    /// sequence numbers are globally increasing (Algorithm 1 stamps them
+    /// from one counter) and deletions carry the sequence number of an
+    /// admitted write. A present entry always reports the largest pending
+    /// seq; absent entries (or dropped inserts) report nothing.
+    #[test]
+    fn table_matches_oracle(ops in prop::collection::vec(
+        (0u8..3, 0u32..24), 1..300
+    )) {
+        let mut table = harmonia::switch::MultiStageHashTable::new(TC {
+            stages: 2,
+            slots_per_stage: 8,
+            entry_bytes: 8,
+        });
+        // Oracle: obj -> seq for entries the table ACCEPTED.
+        let mut oracle: HashMap<u32, SwitchSeq> = HashMap::new();
+        let mut next = 0u64;
+        for (kind, obj_raw) in ops {
+            let obj = ObjectId(obj_raw);
+            match kind {
+                0 => {
+                    next += 1;
+                    let seq = SwitchSeq::new(SwitchId(1), next);
+                    if table.insert(obj, seq) {
+                        oracle.insert(obj_raw, seq);
+                    }
+                    // On drop: the table genuinely has no room; the oracle
+                    // keeps whatever it had.
+                }
+                1 => {
+                    let got = table.search(obj);
+                    prop_assert_eq!(got, oracle.get(&obj_raw).copied(),
+                        "search mismatch for {:?}", obj);
+                }
+                _ => {
+                    // Completion for the object's admitted write, if any.
+                    if let Some(&seq) = oracle.get(&obj_raw) {
+                        table.delete(obj, seq);
+                        oracle.remove(&obj_raw);
+                    }
+                }
+            }
+        }
+        // Final occupancy can exceed the oracle only via duplicate stage
+        // copies, never the reverse.
+        prop_assert!(table.occupancy() >= oracle.len());
+    }
+
+    /// Conflict-detector invariant: an object with an uncommitted write is
+    /// never offered the fast path (P2's precondition at the switch). The
+    /// driver respects the protocol's write-order rule: writes complete in
+    /// global sequence order — the §5.2 premise behind lazy scrubbing.
+    #[test]
+    fn dirty_objects_never_fast_path(ops in prop::collection::vec(
+        (prop::bool::ANY, 0u32..16), 1..120
+    )) {
+        let mut det = harmonia::switch::ConflictDetector::new(ConflictConfig {
+            switch_id: SwitchId(1),
+            table: TC { stages: 3, slots_per_stage: 32, entry_bytes: 8 },
+        });
+        // Globally ordered pending writes (seq, obj): completions pop from
+        // the front, exactly as an in-order replication protocol commits.
+        let mut pending: Vec<(SwitchSeq, u32)> = Vec::new();
+        for (is_write, obj_raw) in ops {
+            let obj = ObjectId(obj_raw);
+            if is_write {
+                if let WriteDecision::Stamped(seq) = det.process_write(obj) {
+                    pending.push((seq, obj_raw));
+                }
+            } else if !pending.is_empty() {
+                let (seq, o) = pending.remove(0);
+                det.process_completion(WriteCompletion {
+                    obj: ObjectId(o),
+                    seq,
+                });
+            }
+            // Check the invariant on every object with pending writes.
+            let mut dirty: Vec<u32> = pending.iter().map(|&(_, o)| o).collect();
+            dirty.dedup();
+            for o in dirty {
+                let decision = det.process_read(ObjectId(o));
+                prop_assert_eq!(
+                    decision,
+                    harmonia::switch::ReadDecision::Normal,
+                    "object {} has pending writes but got fast path", o
+                );
+            }
+        }
+    }
+
+    /// Zipf sampling is a valid distribution: samples stay in range, the
+    /// pmf is strictly rank-ordered (a deterministic property — sampled
+    /// counts at low theta are too noisy to compare pointwise), and the pmf
+    /// sums to one.
+    #[test]
+    fn zipf_is_well_formed(n in 2usize..200, theta in 0.1f64..1.5) {
+        let z = harmonia::workload::Zipf::new(n, theta);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        use rand::SeedableRng;
+        for _ in 0..500 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        prop_assert!(z.pmf(0) > z.pmf(n / 2) || n / 2 == 0);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Sequential (non-overlapping) register histories generated from a real
+    /// register are always accepted by the checker.
+    #[test]
+    fn checker_accepts_sequential_histories(ops in prop::collection::vec(
+        (prop::bool::ANY, 0u8..4), 1..30
+    )) {
+        use harmonia::verify::{check_key_history, Action, OpRecord};
+        let mut value: Option<Bytes> = None;
+        let mut t = 0u64;
+        let mut history = Vec::new();
+        for (i, (is_write, v)) in ops.into_iter().enumerate() {
+            t += 10;
+            let action = if is_write {
+                let new = Bytes::from(format!("v{v}-{i}"));
+                value = Some(new.clone());
+                Action::Write(new)
+            } else {
+                Action::Read(value.clone())
+            };
+            history.push(OpRecord {
+                client: 1,
+                key: Bytes::from_static(b"k"),
+                invoke: t,
+                complete: t + 5,
+                action,
+            });
+        }
+        prop_assert!(check_key_history(&history).is_ok());
+    }
+
+    /// Corrupting one read in a sequential history to a never-written value
+    /// is always caught.
+    #[test]
+    fn checker_rejects_corrupted_reads(n_writes in 1usize..10) {
+        use harmonia::verify::{check_key_history, Action, OpRecord};
+        let mut history = Vec::new();
+        for i in 0..n_writes {
+            history.push(OpRecord {
+                client: 1,
+                key: Bytes::from_static(b"k"),
+                invoke: (i as u64) * 10,
+                complete: (i as u64) * 10 + 5,
+                action: Action::Write(Bytes::from(format!("v{i}"))),
+            });
+        }
+        history.push(OpRecord {
+            client: 2,
+            key: Bytes::from_static(b"k"),
+            invoke: (n_writes as u64) * 10,
+            complete: (n_writes as u64) * 10 + 5,
+            action: Action::Read(Some(Bytes::from_static(b"never-written"))),
+        });
+        prop_assert!(check_key_history(&history).is_err());
+    }
+
+    /// SwitchSeq ordering is a total lexicographic order: sorting any batch
+    /// puts every earlier-switch number before every later-switch number.
+    #[test]
+    fn switch_seq_total_order(mut seqs in prop::collection::vec(arb_seq(), 2..50)) {
+        seqs.sort();
+        for w in seqs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+            if w[0].switch_id < w[1].switch_id {
+                // Different incarnations: order decided by switch id alone.
+                prop_assert!(w[0] < w[1] || w[0] == w[1]);
+            }
+        }
+    }
+}
