@@ -62,7 +62,13 @@ fn main() {
         "Figure 5a: read-only throughput vs latency (3 replicas)",
         "CR flattens at ~0.92 MRPS (one server); Harmonia sustains ~3x; \
          latency low until each system's knee, then queueing explodes",
-        &["system", "offered_mrps", "achieved_mrps", "mean_us", "p99_us"],
+        &[
+            "system",
+            "offered_mrps",
+            "achieved_mrps",
+            "mean_us",
+            "p99_us",
+        ],
         &rows,
     );
 

@@ -38,7 +38,12 @@ fn main() {
         "Figure 6a: max read throughput vs write rate (3 replicas)",
         "at low write rate Harmonia serves ~3x CR's reads; the curves \
          converge as the write rate approaches the chain's write capacity",
-        &["system", "offered_write_mrps", "achieved_write_mrps", "read_mrps"],
+        &[
+            "system",
+            "offered_write_mrps",
+            "achieved_write_mrps",
+            "read_mrps",
+        ],
         &rows,
     );
 
@@ -48,11 +53,7 @@ fn main() {
     for harmonia in [false, true] {
         for &ratio in &ratios {
             let total = 3_500_000.0;
-            let mut spec = RunSpec::new(
-                cluster(harmonia),
-                total * (1.0 - ratio),
-                total * ratio,
-            );
+            let mut spec = RunSpec::new(cluster(harmonia), total * (1.0 - ratio), total * ratio);
             spec.keys = Keys::Uniform(100_000);
             let r = run_open_loop(&spec);
             rows.push(vec![
@@ -68,7 +69,13 @@ fn main() {
         "Figure 6b: total throughput vs write ratio (3 replicas)",
         "Harmonia's advantage shrinks as the write ratio grows; at 100% \
          writes the systems are identical",
-        &["system", "write_ratio", "read_mrps", "write_mrps", "total_mrps"],
+        &[
+            "system",
+            "write_ratio",
+            "read_mrps",
+            "write_mrps",
+            "total_mrps",
+        ],
         &rows,
     );
 }

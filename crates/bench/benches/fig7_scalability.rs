@@ -50,7 +50,13 @@ fn main() {
         "Figure 7a: read-only scalability",
         "CR flat (~0.92 MRPS regardless of replicas); Harmonia grows \
          linearly, ~10x CR at 10 replicas",
-        &["system", "replicas", "read_mrps", "write_mrps", "total_mrps"],
+        &[
+            "system",
+            "replicas",
+            "read_mrps",
+            "write_mrps",
+            "total_mrps",
+        ],
         &sweep(1_150_000.0, 0.0),
     );
 
@@ -80,7 +86,13 @@ fn main() {
         "Figure 7c: mixed workload (5% writes) scalability",
         "CR flat; Harmonia near-linear, tapering at high replica counts as \
          the tail's write work becomes the bottleneck",
-        &["system", "replicas", "read_mrps", "write_mrps", "total_mrps"],
+        &[
+            "system",
+            "replicas",
+            "read_mrps",
+            "write_mrps",
+            "total_mrps",
+        ],
         &sweep(1_150_000.0, 0.05),
     );
 }

@@ -44,14 +44,31 @@ fn main() {
     sweep(&mut rows, "PB", ProtocolKind::PrimaryBackup, false, &writes);
     sweep(&mut rows, "CR", ProtocolKind::Chain, false, &writes);
     sweep(&mut rows, "CRAQ", ProtocolKind::Craq, false, &writes);
-    sweep(&mut rows, "Harmonia(PB)", ProtocolKind::PrimaryBackup, true, &writes);
-    sweep(&mut rows, "Harmonia(CR)", ProtocolKind::Chain, true, &writes);
+    sweep(
+        &mut rows,
+        "Harmonia(PB)",
+        ProtocolKind::PrimaryBackup,
+        true,
+        &writes,
+    );
+    sweep(
+        &mut rows,
+        "Harmonia(CR)",
+        ProtocolKind::Chain,
+        true,
+        &writes,
+    );
     print_table(
         "Figure 9a: read throughput vs write rate — primary-backup protocols",
         "PB/CR capped at one server; CRAQ scales reads but its write \
          throughput collapses sooner (steeper curve, extra write phase); \
          Harmonia(PB/CR) match CRAQ's reads with CR-level writes",
-        &["system", "offered_write_mrps", "achieved_write_mrps", "read_mrps"],
+        &[
+            "system",
+            "offered_write_mrps",
+            "achieved_write_mrps",
+            "read_mrps",
+        ],
         &rows,
     );
 
@@ -62,13 +79,24 @@ fn main() {
     sweep(&mut rows, "VR", ProtocolKind::Vr, false, &writes);
     sweep(&mut rows, "NOPaxos", ProtocolKind::Nopaxos, false, &writes);
     sweep(&mut rows, "Harmonia(VR)", ProtocolKind::Vr, true, &writes);
-    sweep(&mut rows, "Harmonia(NOPaxos)", ProtocolKind::Nopaxos, true, &writes);
+    sweep(
+        &mut rows,
+        "Harmonia(NOPaxos)",
+        ProtocolKind::Nopaxos,
+        true,
+        &writes,
+    );
     print_table(
         "Figure 9b: read throughput vs write rate — quorum protocols",
         "VR and NOPaxos capped at the leader; NOPaxos sustains higher write \
          rates (single-phase, sequencer-ordered); Harmonia triples reads \
          for both",
-        &["system", "offered_write_mrps", "achieved_write_mrps", "read_mrps"],
+        &[
+            "system",
+            "offered_write_mrps",
+            "achieved_write_mrps",
+            "read_mrps",
+        ],
         &rows,
     );
 }

@@ -18,7 +18,9 @@ fn bench_store(c: &mut Criterion) {
     let mut g = c.benchmark_group("store");
     g.bench_function("put", |b| {
         let store: Store<VersionedValue> = Store::new();
-        let keys: Vec<Bytes> = (0..10_000).map(|i| Bytes::from(format!("key-{i}"))).collect();
+        let keys: Vec<Bytes> = (0..10_000)
+            .map(|i| Bytes::from(format!("key-{i}")))
+            .collect();
         let value = Bytes::from_static(b"value-payload-128-bytes-0123456789");
         let mut i = 0u64;
         b.iter(|| {
@@ -29,9 +31,14 @@ fn bench_store(c: &mut Criterion) {
     });
     g.bench_function("get_hit", |b| {
         let store: Store<VersionedValue> = Store::new();
-        let keys: Vec<Bytes> = (0..10_000).map(|i| Bytes::from(format!("key-{i}"))).collect();
+        let keys: Vec<Bytes> = (0..10_000)
+            .map(|i| Bytes::from(format!("key-{i}")))
+            .collect();
         for (i, k) in keys.iter().enumerate() {
-            store.put(k.clone(), VersionedValue::new(Bytes::from_static(b"v"), seq(i as u64 + 1)));
+            store.put(
+                k.clone(),
+                VersionedValue::new(Bytes::from_static(b"v"), seq(i as u64 + 1)),
+            );
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -41,7 +48,9 @@ fn bench_store(c: &mut Criterion) {
     });
     g.bench_function("batch_pipeline_16", |b| {
         let store: Store<VersionedValue> = Store::new();
-        let keys: Vec<Bytes> = (0..10_000).map(|i| Bytes::from(format!("key-{i}"))).collect();
+        let keys: Vec<Bytes> = (0..10_000)
+            .map(|i| Bytes::from(format!("key-{i}")))
+            .collect();
         let value = Bytes::from_static(b"v");
         let mut i = 0u64;
         b.iter(|| {
@@ -63,8 +72,14 @@ fn bench_version_chain(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let mut chain = VersionChain::empty();
-            chain.stage(VersionedValue::new(Bytes::from_static(b"a"), seq(i * 3 + 1)));
-            chain.stage(VersionedValue::new(Bytes::from_static(b"b"), seq(i * 3 + 2)));
+            chain.stage(VersionedValue::new(
+                Bytes::from_static(b"a"),
+                seq(i * 3 + 1),
+            ));
+            chain.stage(VersionedValue::new(
+                Bytes::from_static(b"b"),
+                seq(i * 3 + 2),
+            ));
             chain.commit_up_to(seq(i * 3 + 2));
             chain
         });

@@ -64,9 +64,7 @@ fn bench_detector(c: &mut Criterion) {
             || {
                 let mut d = ConflictDetector::new(ConflictConfig::default());
                 // Enable the fast path.
-                if let harmonia_switch::WriteDecision::Stamped(seq) =
-                    d.process_write(ObjectId(0))
-                {
+                if let harmonia_switch::WriteDecision::Stamped(seq) = d.process_write(ObjectId(0)) {
                     d.process_completion(WriteCompletion {
                         obj: ObjectId(0),
                         seq,

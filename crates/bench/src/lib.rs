@@ -202,11 +202,7 @@ pub fn run_open_loop(spec: &RunSpec) -> RunResult {
 /// can be handled by the replicas". Binary-search the offered read rate for
 /// the largest value at which the system still sustains ≥ 95 % of the fixed
 /// write rate, then measure that operating point with the full window.
-pub fn max_read_at_fixed_write(
-    cluster: &ClusterConfig,
-    write_rate: f64,
-    keys: &Keys,
-) -> RunResult {
+pub fn max_read_at_fixed_write(cluster: &ClusterConfig, write_rate: f64, keys: &Keys) -> RunResult {
     let probe = |read_rate: f64, measure: Duration| -> RunResult {
         let mut spec = RunSpec::new(cluster.clone(), read_rate, write_rate);
         spec.keys = keys.clone();
@@ -215,8 +211,7 @@ pub fn max_read_at_fixed_write(
         run_open_loop(&spec)
     };
     let short = Duration::from_millis(12);
-    let writes_ok =
-        |r: &RunResult| write_rate == 0.0 || r.writes_mrps * 1e6 >= 0.95 * write_rate;
+    let writes_ok = |r: &RunResult| write_rate == 0.0 || r.writes_mrps * 1e6 >= 0.95 * write_rate;
     // Establish bounds: if even read-free operation cannot sustain the write
     // rate, the operating point is "no reads".
     if !writes_ok(&probe(0.0, short)) {

@@ -10,8 +10,7 @@ use std::collections::{HashMap, VecDeque};
 use bytes::Bytes;
 use harmonia_sim::{Actor, Context, TimerToken};
 use harmonia_types::{
-    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, RequestId,
-    WriteOutcome,
+    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, RequestId, WriteOutcome,
 };
 use rand::rngs::SmallRng;
 
@@ -274,7 +273,7 @@ impl Actor<Msg> for OpenLoopClient {
 }
 
 /// Result of one closed-loop operation, for history checking.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecordedOp {
     /// Read or write.
     pub kind: OpKind,
@@ -544,7 +543,10 @@ mod tests {
             ..OpenLoopConfig::default()
         };
         let source: SourceFn = Box::new(|_| OpSpec::read(Bytes::from_static(b"k")));
-        w.add_node(CLIENT, Box::new(OpenLoopClient::new(ClientId(7), cfg, source)));
+        w.add_node(
+            CLIENT,
+            Box::new(OpenLoopClient::new(ClientId(7), cfg, source)),
+        );
         // 10 ms at 100 kRPS = 1000 requests.
         w.run_until(Instant::ZERO + Duration::from_millis(10));
         let sent = w.metrics().counter(metrics::READ_SENT);
@@ -573,8 +575,12 @@ mod tests {
             timeout: Duration::from_millis(2),
             ..OpenLoopConfig::default()
         };
-        let source: SourceFn = Box::new(|_| OpSpec::write(Bytes::from_static(b"k"), Bytes::from_static(b"v")));
-        w.add_node(CLIENT, Box::new(OpenLoopClient::new(ClientId(7), cfg, source)));
+        let source: SourceFn =
+            Box::new(|_| OpSpec::write(Bytes::from_static(b"k"), Bytes::from_static(b"v")));
+        w.add_node(
+            CLIENT,
+            Box::new(OpenLoopClient::new(ClientId(7), cfg, source)),
+        );
         w.run_until(Instant::ZERO + Duration::from_millis(5));
         assert!(w.metrics().counter(metrics::WRITE_REJECTED) > 0);
         assert_eq!(w.metrics().counter(metrics::WRITE_DONE), 0);
@@ -591,7 +597,10 @@ mod tests {
             ..OpenLoopConfig::default()
         };
         let source: SourceFn = Box::new(|_| OpSpec::read(Bytes::from_static(b"k")));
-        w.add_node(CLIENT, Box::new(OpenLoopClient::new(ClientId(7), cfg, source)));
+        w.add_node(
+            CLIENT,
+            Box::new(OpenLoopClient::new(ClientId(7), cfg, source)),
+        );
         w.run_until(Instant::ZERO + Duration::from_millis(10));
         assert!(w.metrics().counter(metrics::READ_TIMEOUT) > 50);
         let client: &OpenLoopClient = w.actor(CLIENT).unwrap();
@@ -613,7 +622,10 @@ mod tests {
             OpSpec::read(Bytes::from_static(b"a")),
             OpSpec::write(Bytes::from_static(b"b"), Bytes::from_static(b"2")),
         ];
-        w.add_node(CLIENT, Box::new(ClosedLoopClient::new(ClientId(7), SWITCH, plan)));
+        w.add_node(
+            CLIENT,
+            Box::new(ClosedLoopClient::new(ClientId(7), SWITCH, plan)),
+        );
         w.run_until_idle(10_000);
         let c: &ClosedLoopClient = w.actor(CLIENT).unwrap();
         assert!(c.is_done());
@@ -633,10 +645,16 @@ mod tests {
                 served: 0,
             }),
         );
-        let plan = vec![OpSpec::write(Bytes::from_static(b"a"), Bytes::from_static(b"1"))];
+        let plan = vec![OpSpec::write(
+            Bytes::from_static(b"a"),
+            Bytes::from_static(b"1"),
+        )];
         w.add_node(
             CLIENT,
-            Box::new(ClosedLoopClient::new(ClientId(7), SWITCH, plan).with_timeout(Duration::from_millis(1))),
+            Box::new(
+                ClosedLoopClient::new(ClientId(7), SWITCH, plan)
+                    .with_timeout(Duration::from_millis(1)),
+            ),
         );
         w.run_until_idle(10_000);
         let c: &ClosedLoopClient = w.actor(CLIENT).unwrap();
@@ -676,10 +694,16 @@ mod tests {
         }
         let mut w = world();
         w.add_node(SWITCH, Box::new(Flaky { dropped: false }));
-        let plan = vec![OpSpec::write(Bytes::from_static(b"a"), Bytes::from_static(b"1"))];
+        let plan = vec![OpSpec::write(
+            Bytes::from_static(b"a"),
+            Bytes::from_static(b"1"),
+        )];
         w.add_node(
             CLIENT,
-            Box::new(ClosedLoopClient::new(ClientId(7), SWITCH, plan).with_timeout(Duration::from_millis(1))),
+            Box::new(
+                ClosedLoopClient::new(ClientId(7), SWITCH, plan)
+                    .with_timeout(Duration::from_millis(1)),
+            ),
         );
         w.run_until_idle(10_000);
         let c: &ClosedLoopClient = w.actor(CLIENT).unwrap();

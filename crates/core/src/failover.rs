@@ -54,9 +54,9 @@ pub fn schedule_switch_replacement(
                 Msg::new(
                     NodeId::Controller,
                     dst,
-                    PacketBody::Protocol(ProtocolMsg::Control(
-                        ReplicaControlMsg::SetActiveSwitch(new_id),
-                    )),
+                    PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(
+                        new_id,
+                    ))),
                 ),
             );
         }

@@ -91,11 +91,7 @@ impl LiveClient {
     }
 
     /// Write `key := value`, blocking until committed (with retry).
-    pub fn set(
-        &mut self,
-        key: impl Into<Bytes>,
-        value: impl Into<Bytes>,
-    ) -> Result<(), LiveError> {
+    pub fn set(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<(), LiveError> {
         let (key, value) = (key.into(), value.into());
         self.run_op(OpKind::Write, key, Some(value)).map(|_| ())
     }
@@ -120,7 +116,11 @@ impl LiveClient {
             };
             self.router.send(
                 self.switch,
-                Msg::new(NodeId::Client(self.id), self.switch, PacketBody::Request(req)),
+                Msg::new(
+                    NodeId::Client(self.id),
+                    self.switch,
+                    PacketBody::Request(req),
+                ),
             );
             match self.await_replies(kind, rid)? {
                 Some(result) => return Ok(result),
@@ -408,9 +408,15 @@ mod tests {
         let mut a = cluster.client();
         let mut b = cluster.client();
         a.set("shared", "from-a").unwrap();
-        assert_eq!(b.get("shared").unwrap(), Some(Bytes::from_static(b"from-a")));
+        assert_eq!(
+            b.get("shared").unwrap(),
+            Some(Bytes::from_static(b"from-a"))
+        );
         b.set("shared", "from-b").unwrap();
-        assert_eq!(a.get("shared").unwrap(), Some(Bytes::from_static(b"from-b")));
+        assert_eq!(
+            a.get("shared").unwrap(),
+            Some(Bytes::from_static(b"from-b"))
+        );
         cluster.shutdown();
     }
 }

@@ -1,9 +1,7 @@
 //! The concrete network message type and the calibrated cost model.
 
+use harmonia_replication::messages::{ChainMsg, CraqMsg, NopaxosMsg, PbMsg, ProtocolMsg, VrMsg};
 use harmonia_types::{Duration, OpKind, Packet, PacketBody};
-use harmonia_replication::messages::{
-    ChainMsg, CraqMsg, NopaxosMsg, PbMsg, ProtocolMsg, VrMsg,
-};
 
 /// Every packet in a Harmonia deployment.
 pub type Msg = Packet<ProtocolMsg>;
@@ -86,14 +84,8 @@ mod tests {
         let c = CostModel::paper_calibrated();
         let read = ClientRequest::read(ClientId(1), RequestId(1), &b"k"[..]);
         let write = ClientRequest::write(ClientId(1), RequestId(2), &b"k"[..], &b"v"[..]);
-        assert_eq!(
-            c.cost_of(&PacketBody::Request(read)),
-            c.read
-        );
-        assert_eq!(
-            c.cost_of(&PacketBody::Request(write)),
-            c.write
-        );
+        assert_eq!(c.cost_of(&PacketBody::Request(read)), c.read);
+        assert_eq!(c.cost_of(&PacketBody::Request(write)), c.write);
     }
 
     #[test]
@@ -104,16 +96,14 @@ mod tests {
             from: ReplicaId(1),
         });
         assert_eq!(c.cost_of(&PacketBody::Protocol(ack)), c.ack);
-        let down = ProtocolMsg::Chain(ChainMsg::Down(
-            harmonia_replication::messages::WriteOp {
-                seq: harmonia_types::SwitchSeq::ZERO,
-                obj: harmonia_types::ObjectId(1),
-                key: Bytes::from_static(b"k"),
-                value: Bytes::from_static(b"v"),
-                client: ClientId(1),
-                request: RequestId(1),
-            },
-        ));
+        let down = ProtocolMsg::Chain(ChainMsg::Down(harmonia_replication::messages::WriteOp {
+            seq: harmonia_types::SwitchSeq::ZERO,
+            obj: harmonia_types::ObjectId(1),
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v"),
+            client: ClientId(1),
+            request: RequestId(1),
+        }));
         assert_eq!(c.cost_of(&PacketBody::Protocol(down)), c.write);
     }
 }

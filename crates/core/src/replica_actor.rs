@@ -76,9 +76,7 @@ mod tests {
     use super::*;
     use harmonia_replication::{build_replica, GroupConfig, ProtocolKind};
     use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};
-    use harmonia_types::{
-        ClientId, ClientRequest, Duration, ReplicaId, RequestId, SwitchId,
-    };
+    use harmonia_types::{ClientId, ClientRequest, Duration, ReplicaId, RequestId, SwitchId};
 
     /// Three chain replicas + a sink switch; verifies the actor plumbing
     /// end-to-end through the simulator.

@@ -12,16 +12,15 @@
 //! property that lets Harmonia claim zero overhead (§6).
 
 use harmonia_replication::messages::{NopaxosMsg, ProtocolMsg, WriteOp};
+use harmonia_replication::ProtocolKind;
 use harmonia_sim::{Actor, Context, Service, TimerToken};
 use harmonia_switch::{
     ConflictConfig, ConflictDetector, ForwardingTable, ReadDecision, ReadEntry, Sequencer,
     SwitchStats, TableConfig, WriteDecision, WriteEntry,
 };
 use harmonia_types::{
-    ClientRequest, ControlMsg, Duration, NodeId, OpKind, PacketBody, ReadMode, SwitchId,
-    SwitchSeq,
+    ClientRequest, ControlMsg, Duration, NodeId, OpKind, PacketBody, ReadMode, SwitchId, SwitchSeq,
 };
-use harmonia_replication::ProtocolKind;
 
 use crate::msg::Msg;
 
@@ -102,12 +101,7 @@ impl SwitchCore {
         self.cfg.incarnation
     }
 
-    fn handle_write(
-        &mut self,
-        me: NodeId,
-        mut req: ClientRequest,
-        out: &mut Vec<(NodeId, Msg)>,
-    ) {
+    fn handle_write(&mut self, me: NodeId, mut req: ClientRequest, out: &mut Vec<(NodeId, Msg)>) {
         // Harmonia: Algorithm 1 lines 1–4.
         if self.cfg.mode == SwitchMode::Harmonia {
             match self.detector.process_write(req.obj) {
@@ -349,7 +343,9 @@ mod tests {
     fn world_with_switch(mode: SwitchMode, protocol: ProtocolKind) -> World<Msg> {
         let mut w = World::new(WorldConfig {
             seed: 1,
-            network: NetworkModel::uniform(LinkConfig::ideal(harmonia_types::Duration::from_micros(1))),
+            network: NetworkModel::uniform(LinkConfig::ideal(
+                harmonia_types::Duration::from_micros(1),
+            )),
         });
         w.add_node(SWITCH, Box::new(SwitchActor::new(cfg(mode, protocol))));
         for r in 0..3 {
@@ -364,7 +360,11 @@ mod tests {
 
     fn send_req(w: &mut World<Msg>, req: ClientRequest) {
         let from = NodeId::Client(req.client);
-        w.inject(from, SWITCH, Msg::new(from, SWITCH, PacketBody::Request(req)));
+        w.inject(
+            from,
+            SWITCH,
+            Msg::new(from, SWITCH, PacketBody::Request(req)),
+        );
         w.run_until_idle(1000);
     }
 
@@ -498,7 +498,10 @@ mod tests {
         }
         let counts: Vec<usize> = (0..3).map(|r| replica_msgs(&w, r).len()).collect();
         assert_eq!(counts.iter().sum::<usize>(), 30);
-        assert!(counts.iter().all(|&c| c > 0), "spread across replicas: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "spread across replicas: {counts:?}"
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl Batch {
     }
 
     /// Queue a versioned put.
-    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>, seq: SwitchSeq) -> &mut Self {
+    pub fn put(
+        &mut self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+        seq: SwitchSeq,
+    ) -> &mut Self {
         self.ops.push(BatchOp::Put {
             key: key.into(),
             value: value.into(),
@@ -120,7 +125,12 @@ mod tests {
     fn batch_executes_in_order() {
         let store: Store<VersionedValue> = Store::new();
         let mut b = Batch::new();
-        b.put("k", "v1", seq(1)).get("k").put("k", "v2", seq(2)).get("k").delete("k").get("k");
+        b.put("k", "v1", seq(1))
+            .get("k")
+            .put("k", "v2", seq(2))
+            .get("k")
+            .delete("k")
+            .get("k");
         assert_eq!(b.len(), 6);
         let results = b.execute(&store);
         assert_eq!(results[0], BatchResult::Stored);

@@ -88,7 +88,12 @@ impl<V: Clone> Store<V> {
 
     /// Update the value for `key` in place, inserting `default()` first if
     /// the key is absent. Returns whatever the closure returns.
-    pub fn update<R>(&self, key: &Bytes, default: impl FnOnce() -> V, f: impl FnOnce(&mut V) -> R) -> R {
+    pub fn update<R>(
+        &self,
+        key: &Bytes,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
         let shard = self.shard_for(key);
         let mut guard = shard.write();
         let mut inserted = false;

@@ -92,7 +92,11 @@ impl VersionChain {
     /// Install a committed version directly (read-behind replicas apply only
     /// committed writes). Rejects out-of-order installs with `false`.
     pub fn install_clean(&mut self, v: VersionedValue) -> bool {
-        let cur = self.clean.as_ref().map(|x| x.seq).unwrap_or(SwitchSeq::ZERO);
+        let cur = self
+            .clean
+            .as_ref()
+            .map(|x| x.seq)
+            .unwrap_or(SwitchSeq::ZERO);
         if v.seq <= cur {
             return false;
         }

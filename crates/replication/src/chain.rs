@@ -12,10 +12,10 @@
 //! (Figures 5–7 of the paper).
 
 use bytes::Bytes;
+use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
     ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
 };
-use harmonia_kv::{Store, VersionedValue};
 
 use crate::common::{
     handle_control, read_ahead_ok, read_reply, write_reply, Admission, ClientTable, Effects,
@@ -72,8 +72,10 @@ impl ChainReplica {
     }
 
     fn apply(&mut self, op: &WriteOp) {
-        self.store
-            .put(op.key.clone(), VersionedValue::new(op.value.clone(), op.seq));
+        self.store.put(
+            op.key.clone(),
+            VersionedValue::new(op.value.clone(), op.seq),
+        );
         self.applied = self.applied.max(op.seq);
     }
 
@@ -140,7 +142,13 @@ impl ChainReplica {
         if !self.in_order.accept(seq) {
             out.reply(
                 self.lease.active(),
-                write_reply(req.client, req.request, req.obj, WriteOutcome::Rejected, None),
+                write_reply(
+                    req.client,
+                    req.request,
+                    req.obj,
+                    WriteOutcome::Rejected,
+                    None,
+                ),
             );
             return;
         }
@@ -286,7 +294,11 @@ mod tests {
     fn write_propagates_head_to_tail_then_replies() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", true),
+            &mut fx,
+        );
         // Head forwards down the chain, one hop at a time.
         assert_eq!(fx.len(), 1);
         assert!(matches!(fx.out[0].0, NodeId::Replica(ReplicaId(1))));
@@ -313,7 +325,11 @@ mod tests {
         let mut g = group(3, true);
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "k", "v", true),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
@@ -344,7 +360,11 @@ mod tests {
         // Deliver the write only to head and middle: the tail (and thus the
         // commit) never happens.
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v1", true),
+            &mut fx,
+        );
         let (_, PacketBody::Protocol(m)) = fx.out.remove(0) else {
             panic!()
         };
@@ -353,12 +373,17 @@ mod tests {
         // Middle applied the uncommitted write; a fast-path read stamped
         // with last_committed = 0 must NOT see it.
         let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.read_mode = ReadMode::FastPath {
+            switch: SwitchId(1),
+        };
         read.last_committed = Some(SwitchSeq::ZERO);
         let mut fx2 = Effects::new();
         g[1].on_request(NodeId::Client(ClientId(2)), read, &mut fx2);
         assert!(
-            matches!(fx2.out[0], (NodeId::Replica(ReplicaId(2)), PacketBody::Request(_))),
+            matches!(
+                fx2.out[0],
+                (NodeId::Replica(ReplicaId(2)), PacketBody::Request(_))
+            ),
             "guard must forward to the tail"
         );
         // Tail serves its (absent) committed state.
@@ -374,13 +399,19 @@ mod tests {
         let mut g = group(3, true);
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "k", "v", true),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
         for idx in 0..3 {
             let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-            read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+            read.read_mode = ReadMode::FastPath {
+                switch: SwitchId(1),
+            };
             read.last_committed = Some(seq(1));
             let mut fx = Effects::new();
             g[idx].on_request(NodeId::Client(ClientId(2)), read, &mut fx);
@@ -423,7 +454,11 @@ mod tests {
     fn single_node_chain_commits_immediately() {
         let mut g = group(1, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", true),
+            &mut fx,
+        );
         let PacketBody::Reply(r) = &fx.out[0].1 else {
             panic!()
         };
@@ -435,7 +470,11 @@ mod tests {
         let mut g = group(3, true);
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "k", "v", true),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
@@ -461,7 +500,11 @@ mod tests {
         assert_eq!(r.value, Some(Bytes::from_static(b"v")));
         // And writes commit with only two nodes.
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(2, "k", "v2", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(2, "k", "v2", true),
+            &mut fx,
+        );
         let replies = pump(&mut g[..2], fx);
         assert_eq!(replies.len(), 1);
     }

@@ -439,7 +439,10 @@ mod tests {
     fn effects_address_the_right_nodes() {
         let mut fx = Effects::new();
         assert!(fx.is_empty());
-        fx.protocol(ReplicaId(2), ProtocolMsg::Control(ReplicaControlMsg::SetMembers(vec![])));
+        fx.protocol(
+            ReplicaId(2),
+            ProtocolMsg::Control(ReplicaControlMsg::SetMembers(vec![])),
+        );
         fx.completion(
             SwitchId(1),
             WriteCompletion {

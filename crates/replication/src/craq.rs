@@ -14,12 +14,12 @@
 //! CRAQ has no Harmonia adaptation: it *is* the baseline.
 
 use bytes::Bytes;
-use harmonia_types::{ClientRequest, NodeId, OpKind, ReplicaId, SwitchSeq, WriteOutcome};
 use harmonia_kv::{Store, VersionChain, VersionedValue};
+use harmonia_types::{ClientRequest, NodeId, OpKind, ReplicaId, SwitchSeq, WriteOutcome};
 
 use crate::common::{
-    handle_control, read_reply, write_reply, Admission, ClientTable, Effects, GroupConfig,
-    InOrder, LeaseState, Replica,
+    handle_control, read_reply, write_reply, Admission, ClientTable, Effects, GroupConfig, InOrder,
+    LeaseState, Replica,
 };
 use crate::messages::{CraqMsg, ProtocolMsg, WriteOp};
 
@@ -80,9 +80,10 @@ impl CraqReplica {
         if self.is_tail() {
             // Tail commits immediately: its clean version is the committed
             // version by definition.
-            self.store.update(&op.key.clone(), VersionChain::empty, |chain| {
-                chain.install_clean(VersionedValue::new(op.value.clone(), op.seq))
-            });
+            self.store
+                .update(&op.key.clone(), VersionChain::empty, |chain| {
+                    chain.install_clean(VersionedValue::new(op.value.clone(), op.seq))
+                });
             let reply = write_reply(op.client, op.request, op.obj, WriteOutcome::Committed, None);
             self.clients.record_reply(reply.clone());
             out.reply(self.lease.active(), reply);
@@ -98,9 +99,10 @@ impl CraqReplica {
                 );
             }
         } else {
-            self.store.update(&op.key.clone(), VersionChain::empty, |chain| {
-                chain.stage(VersionedValue::new(op.value.clone(), op.seq))
-            });
+            self.store
+                .update(&op.key.clone(), VersionChain::empty, |chain| {
+                    chain.stage(VersionedValue::new(op.value.clone(), op.seq))
+                });
             let next = self.successor().expect("non-tail has a successor");
             out.protocol(next, ProtocolMsg::Craq(CraqMsg::Down(op)));
         }
@@ -138,7 +140,13 @@ impl CraqReplica {
         if !self.in_order.accept(seq) {
             out.reply(
                 self.lease.active(),
-                write_reply(req.client, req.request, req.obj, WriteOutcome::Rejected, None),
+                write_reply(
+                    req.client,
+                    req.request,
+                    req.obj,
+                    WriteOutcome::Rejected,
+                    None,
+                ),
             );
             return;
         }
@@ -197,9 +205,10 @@ impl Replica for CraqReplica {
                 }
             }
             ProtocolMsg::Craq(CraqMsg::Clean { obj, key, seq }) => {
-                self.store.update(&key.clone(), VersionChain::empty, |chain| {
-                    chain.commit_up_to(seq)
-                });
+                self.store
+                    .update(&key.clone(), VersionChain::empty, |chain| {
+                        chain.commit_up_to(seq)
+                    });
                 // Keep the acknowledgement flowing toward the head.
                 if let Some(prev) = self.predecessor() {
                     out.protocol(prev, ProtocolMsg::Craq(CraqMsg::Clean { obj, key, seq }));
@@ -273,7 +282,8 @@ mod tests {
     }
 
     fn dirty_at(g: &CraqReplica, key: &[u8]) -> bool {
-        g.store.with(key, |c| c.map(|c| c.is_dirty()).unwrap_or(false))
+        g.store
+            .with(key, |c| c.map(|c| c.is_dirty()).unwrap_or(false))
     }
 
     #[test]
@@ -317,7 +327,11 @@ mod tests {
         let mut g = group(3);
         // Start a write but stop after the head stages it.
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1"), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v1"),
+            &mut fx,
+        );
         // Head is dirty: a read there must be forwarded to the tail.
         let read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
         let mut fx2 = Effects::new();
@@ -358,12 +372,20 @@ mod tests {
         // Commit "a", then leave "b" dirty at the head.
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "a", "va"), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "a", "va"),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(2, "b", "vb"), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(2, "b", "vb"),
+            &mut fx,
+        );
         // "a" still serves locally at the head.
         let read = ClientRequest::read(ClientId(2), RequestId(9), &b"a"[..]);
         let mut fx2 = Effects::new();

@@ -31,8 +31,7 @@ pub mod pb;
 pub mod vr;
 
 pub use common::{
-    read_ahead_ok, read_behind_ok, Effects, GroupConfig, InOrder, LeaseState, ProtocolKind,
-    Replica,
+    read_ahead_ok, read_behind_ok, Effects, GroupConfig, InOrder, LeaseState, ProtocolKind, Replica,
 };
 pub use messages::{ProtocolMsg, ReplicaControlMsg};
 

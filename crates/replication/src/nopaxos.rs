@@ -24,10 +24,10 @@
 use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
+use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
     ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
 };
-use harmonia_kv::{Store, VersionedValue};
 
 use crate::common::{
     handle_control, read_behind_ok, read_reply, write_reply, Admission, ClientTable, Effects,
@@ -125,8 +125,10 @@ impl NopaxosReplica {
             let entry = &self.log[self.executed as usize];
             if entry.fresh {
                 let op = &entry.op;
-                self.store
-                    .put(op.key.clone(), VersionedValue::new(op.value.clone(), op.seq));
+                self.store.put(
+                    op.key.clone(),
+                    VersionedValue::new(op.value.clone(), op.seq),
+                );
             }
             // The guard point advances over stale slots too: they are
             // processed (as no-ops).
@@ -289,7 +291,13 @@ impl Replica for NopaxosReplica {
             OpKind::Write => {
                 out.reply(
                     self.lease.active(),
-                    write_reply(req.client, req.request, req.obj, WriteOutcome::Rejected, None),
+                    write_reply(
+                        req.client,
+                        req.request,
+                        req.obj,
+                        WriteOutcome::Rejected,
+                        None,
+                    ),
                 );
             }
             OpKind::Read => self.handle_read(req, out),
@@ -300,7 +308,9 @@ impl Replica for NopaxosReplica {
         if handle_control(&msg, &mut self.lease, &mut self.members) {
             return;
         }
-        let ProtocolMsg::Nopaxos(msg) = msg else { return };
+        let ProtocolMsg::Nopaxos(msg) = msg else {
+            return;
+        };
         match msg {
             NopaxosMsg::Sequenced {
                 session,
@@ -406,7 +416,12 @@ mod tests {
     fn group(n: usize, harmonia: bool) -> Vec<NopaxosReplica> {
         (0..n)
             .map(|i| {
-                NopaxosReplica::new(GroupConfig::new(ProtocolKind::Nopaxos, n, i as u32, harmonia))
+                NopaxosReplica::new(GroupConfig::new(
+                    ProtocolKind::Nopaxos,
+                    n,
+                    i as u32,
+                    harmonia,
+                ))
             })
             .collect()
     }
@@ -548,12 +563,17 @@ mod tests {
         // read stamped with last_committed = seq 1 (e.g. a reordered packet
         // from the future).
         let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.read_mode = ReadMode::FastPath {
+            switch: SwitchId(1),
+        };
         read.last_committed = Some(seq(1));
         let mut fx = Effects::new();
         g[1].on_request(NodeId::Client(ClientId(2)), read.clone(), &mut fx);
         assert!(
-            matches!(fx.out[0], (NodeId::Replica(ReplicaId(0)), PacketBody::Request(_))),
+            matches!(
+                fx.out[0],
+                (NodeId::Replica(ReplicaId(0)), PacketBody::Request(_))
+            ),
             "unsynced follower must forward to the leader"
         );
         // After sync, the same read is served locally.

@@ -15,10 +15,10 @@
 use std::collections::{BTreeMap, HashSet};
 
 use bytes::Bytes;
+use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
     ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
 };
-use harmonia_kv::{Store, VersionedValue};
 
 use crate::common::{
     handle_control, read_ahead_ok, read_reply, write_reply, Admission, ClientTable, Effects,
@@ -80,8 +80,10 @@ impl PbReplica {
     }
 
     fn apply(&mut self, op: &WriteOp) {
-        self.store
-            .put(op.key.clone(), VersionedValue::new(op.value.clone(), op.seq));
+        self.store.put(
+            op.key.clone(),
+            VersionedValue::new(op.value.clone(), op.seq),
+        );
         self.applied = self.applied.max(op.seq);
     }
 
@@ -116,7 +118,13 @@ impl PbReplica {
         if !self.in_order.accept(seq) {
             out.reply(
                 self.lease.active(),
-                write_reply(req.client, req.request, req.obj, WriteOutcome::Rejected, None),
+                write_reply(
+                    req.client,
+                    req.request,
+                    req.obj,
+                    WriteOutcome::Rejected,
+                    None,
+                ),
             );
             return;
         }
@@ -342,7 +350,11 @@ mod tests {
     fn out_of_order_write_rejected() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(5, "k", "v5", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(5, "k", "v5", true),
+            &mut fx,
+        );
         pump(&mut g, fx);
         // Fresh request id (admission passes) but a stale switch sequence:
         // the in-order rule must reject it.
@@ -363,7 +375,11 @@ mod tests {
         let mut g = group(3, true);
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1", true), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "k", "v1", true),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
@@ -383,14 +399,22 @@ mod tests {
         assert_eq!(r.request, RequestId(1));
         // No re-application: the store still holds exactly one write.
         assert_eq!(g[0].local_value(b"k"), Some(Bytes::from_static(b"v1")));
-        assert_eq!(g[0].in_order.last(), seq(1), "duplicate was not re-sequenced");
+        assert_eq!(
+            g[0].in_order.last(),
+            seq(1),
+            "duplicate was not re-sequenced"
+        );
     }
 
     #[test]
     fn primary_serves_normal_reads_from_committed_state_only() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v1", true),
+            &mut fx,
+        );
         // Do NOT deliver backup acks: the write is pending, uncommitted.
         let mut read_fx = Effects::new();
         let read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
@@ -406,7 +430,11 @@ mod tests {
         let mut g = group(3, true);
         // Commit write 1 fully.
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v1", true),
+            &mut fx,
+        );
         pump(&mut g, fx);
         // Write 2 reaches backup 1 but is NOT yet committed.
         let op2 = WriteOp {
@@ -426,7 +454,9 @@ mod tests {
         // A fast-path read stamped with last_committed = 1 arrives at the
         // backup, which has applied the uncommitted write 2.
         let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.read_mode = ReadMode::FastPath {
+            switch: SwitchId(1),
+        };
         read.last_committed = Some(seq(1));
         let mut read_fx = Effects::new();
         g[1].on_request(NodeId::Client(ClientId(2)), read, &mut read_fx);
@@ -447,10 +477,16 @@ mod tests {
     fn backup_fast_path_serves_when_guard_passes() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v1", true),
+            &mut fx,
+        );
         pump(&mut g, fx);
         let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.read_mode = ReadMode::FastPath {
+            switch: SwitchId(1),
+        };
         read.last_committed = Some(seq(1));
         let mut read_fx = Effects::new();
         g[2].on_request(NodeId::Client(ClientId(2)), read, &mut read_fx);
@@ -465,7 +501,11 @@ mod tests {
     fn fast_path_from_stale_switch_is_rejected() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v1", true),
+            &mut fx,
+        );
         pump(&mut g, fx);
         // Lease moves to switch 2.
         for r in g.iter_mut() {
@@ -479,7 +519,9 @@ mod tests {
             );
         }
         let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.read_mode = ReadMode::FastPath {
+            switch: SwitchId(1),
+        };
         read.last_committed = Some(seq(1));
         let mut read_fx = Effects::new();
         g[1].on_request(NodeId::Client(ClientId(2)), read, &mut read_fx);
@@ -494,7 +536,11 @@ mod tests {
     fn baseline_mode_stamps_writes_at_primary() {
         let mut g = group(3, false);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", false), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", false),
+            &mut fx,
+        );
         let replies = pump(&mut g, fx);
         let PacketBody::Reply(r) = &replies[0] else {
             panic!()
@@ -508,7 +554,11 @@ mod tests {
     fn misrouted_write_forwards_to_primary() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[2].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        g[2].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", true),
+            &mut fx,
+        );
         assert!(matches!(
             fx.out[0],
             (NodeId::Replica(ReplicaId(0)), PacketBody::Request(_))
@@ -521,9 +571,17 @@ mod tests {
     fn commits_apply_in_sequence_order_despite_ack_reordering() {
         let mut g = group(2, true);
         let mut fx1 = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v1", true), &mut fx1);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v1", true),
+            &mut fx1,
+        );
         let mut fx2 = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(2, "k", "v2", true), &mut fx2);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(2, "k", "v2", true),
+            &mut fx2,
+        );
         // Ack for write 2 arrives first (simulated directly).
         let mut out = Effects::new();
         g[0].on_protocol(

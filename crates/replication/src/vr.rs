@@ -22,10 +22,10 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
+use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
     ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
 };
-use harmonia_kv::{Store, VersionedValue};
 
 use crate::common::{
     handle_control, read_behind_ok, read_reply, write_reply, Admission, ClientTable, Effects,
@@ -116,8 +116,10 @@ impl VrReplica {
         let n = n.min(self.log.len() as u64);
         while self.executed < n {
             let op = &self.log[self.executed as usize];
-            self.store
-                .put(op.key.clone(), VersionedValue::new(op.value.clone(), op.seq));
+            self.store.put(
+                op.key.clone(),
+                VersionedValue::new(op.value.clone(), op.seq),
+            );
             self.exec_seq = self.exec_seq.max(op.seq);
             self.executed += 1;
         }
@@ -149,7 +151,13 @@ impl VrReplica {
         if !self.in_order.accept(seq) {
             out.reply(
                 self.lease.active(),
-                write_reply(req.client, req.request, req.obj, WriteOutcome::Rejected, None),
+                write_reply(
+                    req.client,
+                    req.request,
+                    req.obj,
+                    WriteOutcome::Rejected,
+                    None,
+                ),
             );
             return;
         }
@@ -279,10 +287,7 @@ impl VrReplica {
     /// Backup: drain consecutively-numbered buffered prepares into the log,
     /// acknowledging each.
     fn drain_prepares(&mut self, out: &mut Effects) {
-        while let Some(op) = self
-            .pending_prepares
-            .remove(&(self.log.len() as u64 + 1))
-        {
+        while let Some(op) = self.pending_prepares.remove(&(self.log.len() as u64 + 1)) {
             self.log.push(op);
             out.protocol(
                 self.leader(),
@@ -490,7 +495,11 @@ mod tests {
     fn write_commits_at_majority_and_completion_follows_commit_acks() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", true),
+            &mut fx,
+        );
         assert_eq!(fx.len(), 2, "prepare to both backups");
         let bodies = pump(&mut g, fx);
         let rs = replies(&bodies);
@@ -511,7 +520,11 @@ mod tests {
     fn baseline_emits_no_completions() {
         let mut g = group(3, false);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", false), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", false),
+            &mut fx,
+        );
         let bodies = pump(&mut g, fx);
         assert_eq!(replies(&bodies).len(), 1);
         assert!(completions(&bodies).is_empty());
@@ -521,7 +534,11 @@ mod tests {
     fn commit_point_needs_majority_not_all() {
         let mut g = group(5, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", true),
+            &mut fx,
+        );
         // Deliver prepares to backups 1 and 2 only (leader + 2 = majority of 5).
         let mut acks = Effects::new();
         for (dst, body) in fx.out.drain(..) {
@@ -539,7 +556,11 @@ mod tests {
     fn backup_lags_until_commit_message() {
         let mut g = group(3, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", true),
+            &mut fx,
+        );
         // Deliver only the prepares (not the resulting acks/commits).
         for (dst, body) in fx.out.drain(..) {
             if let (NodeId::Replica(r), PacketBody::Protocol(m)) = (dst, body) {
@@ -559,14 +580,20 @@ mod tests {
         let mut g = group(3, true);
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "k", "v", true),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
         // Forge a lagging backup: fresh replica that executed nothing.
         let mut lagger = VrReplica::new(GroupConfig::new(ProtocolKind::Vr, 3, 1, true));
         let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.read_mode = ReadMode::FastPath {
+            switch: SwitchId(1),
+        };
         read.last_committed = Some(seq(1));
         let mut fx = Effects::new();
         lagger.on_request(NodeId::Client(ClientId(2)), read, &mut fx);
@@ -582,12 +609,18 @@ mod tests {
         let mut g = group(3, true);
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "k", "v", true),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
         let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
-        read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+        read.read_mode = ReadMode::FastPath {
+            switch: SwitchId(1),
+        };
         read.last_committed = Some(seq(1));
         let mut fx = Effects::new();
         g[2].on_request(NodeId::Client(ClientId(2)), read, &mut fx);
@@ -639,7 +672,11 @@ mod tests {
         let mut g = group(3, true);
         let fx = {
             let mut fx = Effects::new();
-            g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+            g[0].on_request(
+                NodeId::Client(ClientId(1)),
+                write_req(1, "k", "v", true),
+                &mut fx,
+            );
             fx
         };
         pump(&mut g, fx);
@@ -655,7 +692,11 @@ mod tests {
     fn five_node_completion_needs_execution_majority() {
         let mut g = group(5, true);
         let mut fx = Effects::new();
-        g[0].on_request(NodeId::Client(ClientId(1)), write_req(1, "k", "v", true), &mut fx);
+        g[0].on_request(
+            NodeId::Client(ClientId(1)),
+            write_req(1, "k", "v", true),
+            &mut fx,
+        );
         // Full prepare round, but suppress COMMIT delivery to backups 3 & 4.
         // FIFO delivery: links in one rack preserve order.
         let mut commit_acks_seen = 0;

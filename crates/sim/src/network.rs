@@ -176,10 +176,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn nodes() -> (NodeId, NodeId) {
-        (
-            NodeId::Client(ClientId(0)),
-            NodeId::Replica(ReplicaId(0)),
-        )
+        (NodeId::Client(ClientId(0)), NodeId::Replica(ReplicaId(0)))
     }
 
     #[test]

@@ -159,7 +159,8 @@ impl<M: Clone + 'static> World<M> {
     /// Inject a message from outside the simulation (no network effects,
     /// delivered at the current instant).
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
-        self.queue.push(self.now, EventKind::Arrive { to, from, msg });
+        self.queue
+            .push(self.now, EventKind::Arrive { to, from, msg });
     }
 
     /// Schedule an arbitrary harness action at an absolute time.
@@ -271,11 +272,7 @@ impl<M: Clone + 'static> World<M> {
     }
 
     fn dispatch_message(&mut self, node: NodeId, from: NodeId, msg: M) {
-        let Some(mut actor) = self
-            .nodes
-            .get_mut(&node)
-            .and_then(|slot| slot.actor.take())
-        else {
+        let Some(mut actor) = self.nodes.get_mut(&node).and_then(|slot| slot.actor.take()) else {
             return;
         };
         let mut ctx = Context {
@@ -321,11 +318,7 @@ impl<M: Clone + 'static> World<M> {
     }
 
     fn start_node(&mut self, node: NodeId) {
-        let Some(mut actor) = self
-            .nodes
-            .get_mut(&node)
-            .and_then(|slot| slot.actor.take())
-        else {
+        let Some(mut actor) = self.nodes.get_mut(&node).and_then(|slot| slot.actor.take()) else {
             return;
         };
         let mut ctx = Context {

@@ -324,7 +324,10 @@ mod tests {
                 entry_bytes: 8,
             },
         });
-        assert!(matches!(d.process_write(ObjectId(1)), WriteDecision::Stamped(_)));
+        assert!(matches!(
+            d.process_write(ObjectId(1)),
+            WriteDecision::Stamped(_)
+        ));
         // Any object hashing to the same single slot is dropped. With one
         // slot everything collides.
         assert_eq!(d.process_write(ObjectId(2)), WriteDecision::Dropped);

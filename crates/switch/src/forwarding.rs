@@ -91,12 +91,13 @@ impl ForwardingTable {
     /// Where a write enters the protocol. `Multicast` yields every replica.
     pub fn write_destinations(&self) -> Vec<NodeId> {
         match self.write_entry {
-            WriteEntry::Primary | WriteEntry::ChainHead | WriteEntry::Leader => {
-                self.replicas.first().map(|&r| NodeId::Replica(r)).into_iter().collect()
-            }
-            WriteEntry::Multicast => {
-                self.replicas.iter().map(|&r| NodeId::Replica(r)).collect()
-            }
+            WriteEntry::Primary | WriteEntry::ChainHead | WriteEntry::Leader => self
+                .replicas
+                .first()
+                .map(|&r| NodeId::Replica(r))
+                .into_iter()
+                .collect(),
+            WriteEntry::Multicast => self.replicas.iter().map(|&r| NodeId::Replica(r)).collect(),
         }
     }
 

@@ -95,7 +95,10 @@ mod tests {
         let slots = 64;
         let mut by_slot: std::collections::HashMap<usize, Vec<ObjectId>> = Default::default();
         for i in 0..10_000u32 {
-            by_slot.entry(h0.slot(ObjectId(i), slots)).or_default().push(ObjectId(i));
+            by_slot
+                .entry(h0.slot(ObjectId(i), slots))
+                .or_default()
+                .push(ObjectId(i));
         }
         let mut pairs = 0;
         let mut split = 0;

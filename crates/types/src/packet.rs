@@ -233,7 +233,10 @@ mod tests {
         let w = ClientRequest::write(ClientId(1), RequestId(8), &b"k1"[..], &b"v"[..]);
         assert_eq!(w.op, OpKind::Write);
         assert_eq!(w.value.as_deref(), Some(&b"v"[..]));
-        assert!(w.seq.is_none(), "sequence is stamped by the switch, not the client");
+        assert!(
+            w.seq.is_none(),
+            "sequence is stamped by the switch, not the client"
+        );
     }
 
     #[test]
@@ -250,6 +253,9 @@ mod tests {
     #[test]
     fn read_mode_fast_path_detection() {
         assert!(!ReadMode::Normal.is_fast_path());
-        assert!(ReadMode::FastPath { switch: SwitchId(1) }.is_fast_path());
+        assert!(ReadMode::FastPath {
+            switch: SwitchId(1)
+        }
+        .is_fast_path());
     }
 }

@@ -169,7 +169,10 @@ mod tests {
         assert_eq!(t.since(Instant::ZERO), Duration::from_micros(5));
         // saturating behaviour
         assert_eq!(Instant::ZERO.since(t), Duration::ZERO);
-        assert_eq!(Duration::from_micros(1) - Duration::from_micros(2), Duration::ZERO);
+        assert_eq!(
+            Duration::from_micros(1) - Duration::from_micros(2),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>, TypeError
     }
     let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
     if len > MAX_FIELD_LEN {
-        return Err(TypeError::OversizedField { field: "frame", len });
+        return Err(TypeError::OversizedField {
+            field: "frame",
+            len,
+        });
     }
     if buf.len() < 4 + len {
         return Ok(None);
@@ -108,7 +111,10 @@ impl Wire for Bytes {
     fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
         let len = u32::decode(buf)? as usize;
         if len > MAX_FIELD_LEN {
-            return Err(TypeError::OversizedField { field: "bytes", len });
+            return Err(TypeError::OversizedField {
+                field: "bytes",
+                len,
+            });
         }
         need(buf, len)?;
         Ok(buf.split_to(len))
@@ -466,7 +472,9 @@ mod tests {
         let mut r = ClientRequest::write(ClientId(9), RequestId(77), &b"key"[..], &b"val"[..]);
         r.seq = Some(SwitchSeq::new(SwitchId(2), 1234));
         r.last_committed = Some(SwitchSeq::new(SwitchId(2), 1200));
-        r.read_mode = ReadMode::FastPath { switch: SwitchId(2) };
+        r.read_mode = ReadMode::FastPath {
+            switch: SwitchId(2),
+        };
         roundtrip(&r);
     }
 
@@ -523,7 +531,10 @@ mod tests {
         let mut b = buf.freeze();
         assert!(matches!(
             OpKind::decode(&mut b),
-            Err(TypeError::BadDiscriminant { field: "OpKind", .. })
+            Err(TypeError::BadDiscriminant {
+                field: "OpKind",
+                ..
+            })
         ));
     }
 

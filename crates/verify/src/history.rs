@@ -30,7 +30,13 @@ pub struct OpRecord {
 
 impl OpRecord {
     /// Convenience write record.
-    pub fn write(client: u32, key: impl Into<Bytes>, value: impl Into<Bytes>, invoke: u64, complete: u64) -> Self {
+    pub fn write(
+        client: u32,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+        invoke: u64,
+        complete: u64,
+    ) -> Self {
         OpRecord {
             client,
             key: key.into(),
@@ -41,7 +47,13 @@ impl OpRecord {
     }
 
     /// Convenience read record.
-    pub fn read(client: u32, key: impl Into<Bytes>, result: Option<Bytes>, invoke: u64, complete: u64) -> Self {
+    pub fn read(
+        client: u32,
+        key: impl Into<Bytes>,
+        result: Option<Bytes>,
+        invoke: u64,
+        complete: u64,
+    ) -> Self {
         OpRecord {
             client,
             key: key.into(),

@@ -37,7 +37,10 @@ impl std::fmt::Display for Violation {
                 write!(f, "history for key {key:?} is not linearizable")
             }
             Violation::TooLarge { key, ops } => {
-                write!(f, "history for key {key:?} has {ops} ops (checker limit 64)")
+                write!(
+                    f,
+                    "history for key {key:?} has {ops} ops (checker limit 64)"
+                )
             }
         }
     }

@@ -63,9 +63,20 @@ fn maxw(a: W, b: W) -> W {
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum SpecMsg {
     Write(W),
-    ProtocolRead { item: u8, ghost: W },
-    HarmoniaRead { item: u8, switch: u8, lc: W, ghost: W },
-    ReadResponse { write: W, ghost: W },
+    ProtocolRead {
+        item: u8,
+        ghost: W,
+    },
+    HarmoniaRead {
+        item: u8,
+        switch: u8,
+        lc: W,
+        ghost: W,
+    },
+    ReadResponse {
+        write: W,
+        ghost: W,
+    },
 }
 
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -527,8 +538,16 @@ mod tests {
 
     #[test]
     fn gte_and_maxw_are_lexicographic() {
-        let a = W { switch: 1, seq: 9, item: 0 };
-        let b = W { switch: 2, seq: 1, item: 1 };
+        let a = W {
+            switch: 1,
+            seq: 9,
+            item: 0,
+        };
+        let b = W {
+            switch: 2,
+            seq: 1,
+            item: 1,
+        };
         assert!(gte(b, a));
         assert!(!gte(a, b));
         assert_eq!(maxw(a, b), b);

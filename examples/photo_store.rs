@@ -68,12 +68,21 @@ fn run(harmonia: bool) -> (f64, f64, f64) {
 fn main() {
     println!("photo store: 100k photos, zipf-0.9 popularity, 1 write per 30 reads");
     println!("offered load {} MRPS, 3-replica chain\n", OFFERED_RPS / 1e6);
-    println!("{:<22} {:>12} {:>12} {:>14}", "configuration", "reads MRPS", "writes MRPS", "p99 read (us)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "configuration", "reads MRPS", "writes MRPS", "p99 read (us)"
+    );
 
     let (r0, w0, p0) = run(false);
-    println!("{:<22} {:>12.3} {:>12.3} {:>14.1}", "chain (baseline)", r0, w0, p0);
+    println!(
+        "{:<22} {:>12.3} {:>12.3} {:>14.1}",
+        "chain (baseline)", r0, w0, p0
+    );
     let (r1, w1, p1) = run(true);
-    println!("{:<22} {:>12.3} {:>12.3} {:>14.1}", "chain + Harmonia", r1, w1, p1);
+    println!(
+        "{:<22} {:>12.3} {:>12.3} {:>14.1}",
+        "chain + Harmonia", r1, w1, p1
+    );
 
     let speedup = r1 / r0.max(1e-9);
     println!("\nread speedup: {speedup:.2}x (expect ≈ number of replicas = 3)");

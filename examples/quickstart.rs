@@ -25,7 +25,10 @@ fn main() {
     client.set("user:2:name", "grace").expect("write");
 
     let name = client.get("user:1:name").expect("read");
-    println!("user:1:name = {:?}", name.as_deref().map(String::from_utf8_lossy));
+    println!(
+        "user:1:name = {:?}",
+        name.as_deref().map(String::from_utf8_lossy)
+    );
     assert_eq!(name.as_deref(), Some(&b"ada"[..]));
 
     // Overwrites behave like a register.

@@ -125,7 +125,10 @@ impl Scenario {
 /// Assert the collected history is linearizable, with context on failure
 /// (dumps the offending key's timeline for debugging).
 pub fn assert_linearizable(records: Vec<OpRecord>, context: &str) {
-    assert!(!records.is_empty(), "{context}: empty history proves nothing");
+    assert!(
+        !records.is_empty(),
+        "{context}: empty history proves nothing"
+    );
     if let Err(v) = harmonia::verify::check_history(records.clone()) {
         if let harmonia::verify::Violation::NotLinearizable { key } = &v {
             let mut ops: Vec<&OpRecord> = records.iter().filter(|r| &r.key == key).collect();

@@ -143,7 +143,12 @@ fn chain_harmonia_survives_reordering_and_loss() {
 #[test]
 fn pb_harmonia_survives_reordering_and_loss() {
     for seed in [31, 32] {
-        check_adversarial(ProtocolKind::PrimaryBackup, true, seed, "Harmonia(PB) adversarial");
+        check_adversarial(
+            ProtocolKind::PrimaryBackup,
+            true,
+            seed,
+            "Harmonia(PB) adversarial",
+        );
     }
 }
 

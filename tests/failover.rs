@@ -51,19 +51,24 @@ fn stale_switch_fast_path_reads_are_refused_after_lease_moves() {
     let mut fx = Effects::new();
     replica.on_protocol(
         NodeId::Controller,
-        harmonia::replication::ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(
-            SwitchId(2),
-        )),
+        harmonia::replication::ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(SwitchId(
+            2,
+        ))),
         &mut fx,
     );
     // Stale fast-path read from switch 1.
     let mut read = ClientRequest::read(ClientId(1), RequestId(1), &b"k"[..]);
-    read.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+    read.read_mode = ReadMode::FastPath {
+        switch: SwitchId(1),
+    };
     read.last_committed = Some(SwitchSeq::new(SwitchId(1), 100));
     let mut fx = Effects::new();
     replica.on_request(NodeId::Client(ClientId(1)), read, &mut fx);
     assert!(
-        matches!(fx.out[0], (NodeId::Replica(ReplicaId(2)), PacketBody::Request(_))),
+        matches!(
+            fx.out[0],
+            (NodeId::Replica(ReplicaId(2)), PacketBody::Request(_))
+        ),
         "stale-switch read must go to the tail, got {:?}",
         fx.out
     );

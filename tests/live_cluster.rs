@@ -18,7 +18,9 @@ fn five_replica_chain_serves_many_keys() {
     let cluster = spawn(ProtocolKind::Chain, true, 5);
     let mut client = cluster.client();
     for i in 0..200 {
-        client.set(format!("key-{i}"), format!("value-{i}")).unwrap();
+        client
+            .set(format!("key-{i}"), format!("value-{i}"))
+            .unwrap();
     }
     for i in (0..200).rev() {
         assert_eq!(
@@ -113,5 +115,8 @@ fn shutdown_is_clean_and_idempotent_per_client() {
     cluster.shutdown();
     // Post-shutdown operations fail with a clean error, not a hang.
     let result = client.get("k");
-    assert!(result.is_err(), "expected Disconnected/TimedOut, got {result:?}");
+    assert!(
+        result.is_err(),
+        "expected Disconnected/TimedOut, got {result:?}"
+    );
 }

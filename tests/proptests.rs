@@ -6,13 +6,52 @@ use harmonia::switch::conflict::{ConflictConfig, WriteDecision};
 use harmonia::switch::table::TableConfig as TC;
 use harmonia::types::wire::{decode_frame, encode_frame};
 use harmonia::types::{
-    ClientRequest, ObjectId, Packet, PacketBody, ReadMode, RequestId, SwitchSeq, WriteCompletion,
+    ClientReply, ClientRequest, ControlMsg, ObjectId, Packet, PacketBody, ReadMode, RequestId,
+    SwitchSeq, WriteCompletion, WriteOutcome,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn arb_seq() -> impl Strategy<Value = SwitchSeq> {
     (1u32..4, 0u64..1000).prop_map(|(s, n)| SwitchSeq::new(SwitchId(s), n))
+}
+
+fn arb_completion() -> impl Strategy<Value = WriteCompletion> {
+    (0u32..64, arb_seq()).prop_map(|(o, seq)| WriteCompletion {
+        obj: ObjectId(o),
+        seq,
+    })
+}
+
+fn arb_reply() -> impl Strategy<Value = ClientReply> {
+    (
+        0u32..100,
+        0u64..10_000,
+        0u32..64,
+        prop::option::of(prop::collection::vec(any::<u8>(), 0..64)),
+        prop::option::of(0u8..3),
+        prop::option::of(arb_completion()),
+    )
+        .prop_map(|(c, r, o, value, outcome, completion)| ClientReply {
+            client: ClientId(c),
+            request: RequestId(r),
+            obj: ObjectId(o),
+            value: value.map(Bytes::from),
+            write_outcome: outcome.map(|w| match w {
+                0 => WriteOutcome::Committed,
+                1 => WriteOutcome::DroppedBySwitch,
+                _ => WriteOutcome::Rejected,
+            }),
+            completion,
+        })
+}
+
+fn arb_control() -> impl Strategy<Value = ControlMsg> {
+    (0u8..3, 0u32..8, prop::collection::vec(0u32..8, 0..5)).prop_map(|(kind, r, rs)| match kind {
+        0 => ControlMsg::AddReplica(ReplicaId(r)),
+        1 => ControlMsg::RemoveReplica(ReplicaId(r)),
+        _ => ControlMsg::SetReplicas(rs.into_iter().map(ReplicaId).collect()),
+    })
 }
 
 fn arb_request() -> impl Strategy<Value = ClientRequest> {
@@ -38,7 +77,9 @@ fn arb_request() -> impl Strategy<Value = ClientRequest> {
             req.seq = seq;
             req.last_committed = lc;
             if fast {
-                req.read_mode = ReadMode::FastPath { switch: SwitchId(1) };
+                req.read_mode = ReadMode::FastPath {
+                    switch: SwitchId(1),
+                };
             }
             req
         })
@@ -240,6 +281,55 @@ proptest! {
                 // Different incarnations: order decided by switch id alone.
                 prop_assert!(w[0] < w[1] || w[0] == w[1]);
             }
+        }
+    }
+
+    /// `ObjectId::from_key` is stable across calls and agrees with the
+    /// documented FNV-1a parameters (offset 0x811c9dc5, prime 0x01000193):
+    /// the id is part of the wire contract between clients and the switch,
+    /// so it may never drift.
+    #[test]
+    fn object_id_from_key_is_fnv1a(key in prop::collection::vec(any::<u8>(), 0..64)) {
+        let first = ObjectId::from_key(&key);
+        let second = ObjectId::from_key(&key);
+        prop_assert_eq!(first, second, "from_key must be a pure function");
+
+        let mut reference: u32 = 0x811c_9dc5;
+        for &b in &key {
+            reference ^= u32::from(b);
+            reference = reference.wrapping_mul(0x0100_0193);
+        }
+        prop_assert_eq!(first, ObjectId(reference), "FNV-1a constants drifted");
+    }
+
+    /// Wire codec: encode → decode is the identity for **every**
+    /// `PacketBody` variant, not only requests — each generated case
+    /// round-trips all five variants built from the same components.
+    #[test]
+    fn wire_roundtrip_every_packet_body(
+        req in arb_request(),
+        reply in arb_reply(),
+        completion in arb_completion(),
+        proto in any::<u64>(),
+        control in arb_control(),
+    ) {
+        let bodies: Vec<PacketBody<u64>> = vec![
+            PacketBody::Request(req),
+            PacketBody::Reply(reply),
+            PacketBody::Completion(completion),
+            PacketBody::Protocol(proto),
+            PacketBody::Control(control),
+        ];
+        for body in bodies {
+            let pkt: Packet<u64> = Packet::new(
+                NodeId::Switch(SwitchId(1)),
+                NodeId::Replica(ReplicaId(0)),
+                body,
+            );
+            let frame = encode_frame(&pkt);
+            let (decoded, used) = decode_frame::<Packet<u64>>(&frame).unwrap().unwrap();
+            prop_assert_eq!(decoded, pkt);
+            prop_assert_eq!(used, frame.len());
         }
     }
 }

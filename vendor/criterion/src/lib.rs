@@ -1,0 +1,197 @@
+//! Offline-vendored subset of [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a miniature benchmark harness with the same authoring API the figure
+//! benchmarks use (`criterion_group!`, `criterion_main!`, `bench_function`,
+//! `benchmark_group`, `iter`, `iter_batched`). Instead of criterion's
+//! statistical machinery it runs an adaptive number of iterations (heavy
+//! closures run few times, light ones many) and prints mean wall-clock time
+//! per iteration — enough to compare switch-stage costs and to regenerate
+//! the paper-figure trends, while keeping `cargo bench` runs short.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How `iter_batched` sizes its batches. Only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    MediumInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    /// (total elapsed, iterations) recorded by the last `iter*` call.
+    result: Option<(Duration, u64)>,
+}
+
+/// Target wall-clock spent measuring one benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Iteration-count ceiling, so trivial closures still finish promptly.
+const MAX_ITERS: u64 = 1_000_000;
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { result: None }
+    }
+
+    /// Measure `routine` run back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One calibration call decides how many timed iterations fit the
+        // target; very heavy routines (whole-cluster simulations) run once.
+        let calibrate = Instant::now();
+        black_box(routine());
+        let once = calibrate.elapsed();
+        let iters = planned_iterations(once);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed() + once, iters + 1));
+    }
+
+    /// Measure `routine` over fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let calibrate = Instant::now();
+        black_box(routine(input));
+        let once = calibrate.elapsed();
+        let iters = planned_iterations(once);
+        let mut total = once;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, iters + 1));
+    }
+}
+
+fn planned_iterations(once: Duration) -> u64 {
+    if once >= TARGET {
+        return 0;
+    }
+    let per_iter = once.as_nanos().max(1) as u64;
+    ((TARGET.as_nanos() as u64) / per_iter).clamp(1, MAX_ITERS)
+}
+
+fn report(name: &str, result: Option<(Duration, u64)>) {
+    match result {
+        Some((total, iters)) if iters > 0 => {
+            let per = total.as_nanos() as f64 / iters as f64;
+            println!("{name:<50} {:>12.1} ns/iter  ({iters} iters)", per);
+        }
+        _ => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks; identifiers print as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.result);
+        self
+    }
+
+    /// Hint for expected sample counts; accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Hint for the measurement window; accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline-vendored subset of [`crossbeam`](https://docs.rs/crossbeam):
+//! multi-producer multi-consumer channels with the `crossbeam-channel`
+//! semantics Harmonia's live runtime relies on — cloneable senders *and*
+//! receivers, bounded back-pressure, timeouts, and disconnect detection
+//! without poisoning.
+//!
+//! Built on `Mutex<VecDeque>` + two condvars. Not as fast as the real
+//! lock-free implementation, but the live driver moves thousands (not
+//! millions) of envelopes per second per link, far below this design's
+//! capacity.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// Sending half; clone freely.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clone freely.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The message could not be delivered: all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a blocking receive gave up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Every sender is gone and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is momentarily empty.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    fn pair<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        pair(None)
+    }
+
+    /// Channel holding at most `cap` queued messages; senders block when full.
+    ///
+    /// Real crossbeam's `bounded(0)` is a rendezvous channel, which this
+    /// vendored subset does not implement; reject it loudly rather than
+    /// silently buffering one message and diverging from the real crate.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            cap > 0,
+            "vendored crossbeam does not implement rendezvous channels (bounded(0))"
+        );
+        pair(Some(cap))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake receivers so they observe the disconnect.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `msg`, blocking while a bounded queue is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.inner.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.inner.not_full.wait(st).unwrap();
+                    }
+                    _ => {
+                        st.queue.push_back(msg);
+                        self.inner.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take one message, blocking until one arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.inner.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Take one message, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
+            }
+        }
+
+        /// Take one message if immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.state.lock().unwrap();
+            if let Some(msg) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is momentarily empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn roundtrip_and_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn bounded_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let t = thread::spawn(move || tx.send(3));
+            assert_eq!(rx.recv(), Ok(1));
+            t.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        #[should_panic(expected = "rendezvous")]
+        fn bounded_zero_is_rejected() {
+            let _ = bounded::<u32>(0);
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errors() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline-vendored subset of [`proptest`](https://docs.rs/proptest).
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a miniature property-testing framework exposing the slice of the
+//! `proptest` API Harmonia's tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(pat in strategy, ...) { body }`),
+//! * [`Strategy`] with `prop_map`, range strategies, tuple strategies,
+//! * `prop::collection::vec`, `prop::option::of`, `prop::bool::ANY`,
+//! * [`any::<T>()`] for the primitive types, and
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its inputs via the assertion message but is not minimized), and the
+//! per-test RNG is seeded deterministically from the test's name so CI
+//! failures reproduce locally. The case count honours `PROPTEST_CASES`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test random source (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, so every test gets a distinct stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { base: self, pred }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive candidates");
+    }
+}
+
+macro_rules! strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                // Full-width ranges (0..=u64::MAX) wrap the span to zero in
+                // 64 bits; every value is fair there, so draw directly.
+                let span = (e as i128).wrapping_sub(s as i128).wrapping_add(1) as u128;
+                if span == 0 || span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (s as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+strategy_tuple!(A: 0);
+strategy_tuple!(A: 0, B: 1);
+strategy_tuple!(A: 0, B: 1, C: 2);
+strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// A fixed value as a (degenerate) strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('\u{fffd}')
+        } else {
+            (0x20 + rng.below(0x5f)) as u8 as char
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop::*` paths.
+pub mod prop {
+    /// `Vec` strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for vectors whose length falls in `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Vectors of `element` values with a length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Option<T>` values.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `None` about a quarter of the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// `bool` strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// The strategy type behind [`ANY`].
+        pub struct BoolAny;
+
+        /// Either boolean, uniformly.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, Just, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each generated case runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            // The captured attributes include the caller's own `#[test]`.
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = ::std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(128);
+                let mut __proptest_rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __proptest_case in 0..cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_panic() {
+        let mut rng = TestRng::deterministic("full-width");
+        for _ in 0..100 {
+            let _ = Strategy::generate(&(0u64..=u64::MAX), &mut rng);
+            let _ = Strategy::generate(&(i64::MIN..=i64::MAX), &mut rng);
+            let _ = Strategy::generate(&(0usize..=usize::MAX), &mut rng);
+            let v = Strategy::generate(&(0u8..=u8::MAX), &mut rng);
+            let _ = v; // all u8 values are in range by construction
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end, with multiple bindings.
+        #[test]
+        fn macro_smoke(x in 0u32..10, mut v in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(x < 10);
+            v.push(0);
+            prop_assert!(v.len() <= 8);
+            prop_assert_eq!(v[v.len() - 1], 0);
+        }
+
+        /// Tuple + map + option + filter compose.
+        #[test]
+        fn combinators(pair in (0u8..4, prop::option::of(1u64..5)).prop_map(|(a, b)| (a, b))) {
+            let (a, b) = pair;
+            prop_assert!(a < 4);
+            if let Some(b) = b {
+                prop_assert!((1..5).contains(&b));
+            }
+        }
+    }
+}
