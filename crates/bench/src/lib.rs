@@ -16,6 +16,9 @@ use bytes::Bytes;
 use harmonia_core::client::{metrics, ClosedLoopClient, OpSpec, SourceFn};
 use harmonia_core::cluster::{add_open_loop_client, build_world, ClusterConfig};
 use harmonia_core::msg::Msg;
+use harmonia_core::sharded::{
+    add_sharded_open_loop_client, build_sharded_world, ShardedClusterConfig,
+};
 use harmonia_core::switch_actor::SwitchActor;
 use harmonia_sim::World;
 use harmonia_switch::SwitchStats;
@@ -93,6 +96,11 @@ pub struct RunResult {
     pub switch: SwitchStats,
     /// Dirty-set occupancy at the end of the run.
     pub dirty_len: usize,
+    /// Dirty-set SRAM consumed on the switch, across every hosted group
+    /// (the §6.3 budget check).
+    pub switch_memory_bytes: usize,
+    /// Replica groups hosted by the switch (1 for rack-scale runs).
+    pub groups: usize,
 }
 
 impl RunResult {
@@ -164,11 +172,24 @@ pub fn run_open_loop(spec: &RunSpec) -> RunResult {
             writer_source(keys, 128),
         );
     }
-    world.run_until(Instant::ZERO + spec.warmup);
-    world.metrics_mut().reset();
-    world.run_until(Instant::ZERO + spec.warmup + spec.measure);
+    measure_open_loop(world, spec.cluster.switch_addr(), spec.warmup, spec.measure)
+}
 
-    let secs = spec.measure.as_secs_f64();
+/// Shared open-loop measurement tail: warm up, reset, measure, and fold the
+/// world's metrics plus the switch's data-plane state into a [`RunResult`].
+/// Used by both the rack-scale and the sharded runners so the measurement
+/// protocol can never diverge between Figure 7a–c and Figure 7d.
+fn measure_open_loop(
+    mut world: World<Msg>,
+    switch: NodeId,
+    warmup: Duration,
+    measure: Duration,
+) -> RunResult {
+    world.run_until(Instant::ZERO + warmup);
+    world.metrics_mut().reset();
+    world.run_until(Instant::ZERO + warmup + measure);
+
+    let secs = measure.as_secs_f64();
     let m = world.metrics();
     let hist_us = |name: &'static str, p: f64| {
         m.histogram(name)
@@ -190,11 +211,77 @@ pub fn run_open_loop(spec: &RunSpec) -> RunResult {
         writes_rejected: m.counter(metrics::WRITE_REJECTED),
         ..RunResult::default()
     };
-    if let Some(sw) = switch_of(&world, &spec.cluster) {
+    if let Some(sw) = world.actor::<SwitchActor>(switch) {
         result.switch = sw.stats();
         result.dirty_len = sw.detector().dirty_len();
+        result.switch_memory_bytes = sw.memory_bytes();
+        result.groups = sw.spine().group_count();
     }
     result
+}
+
+/// Execute one open-loop measurement on a §6.3 sharded deployment: the
+/// offered load spreads over `cluster.groups` replica groups behind one
+/// spine switch, and the result reports that switch's total dirty-set SRAM.
+pub fn run_sharded_open_loop(
+    cluster: &ShardedClusterConfig,
+    read_rate: f64,
+    write_rate: f64,
+    keys: &Keys,
+    warmup: Duration,
+    measure: Duration,
+) -> RunResult {
+    let mut world = build_sharded_world(cluster);
+    let keyspace = keys.build();
+    // Bring-up: each group's fast path arms only after the first
+    // WRITE-COMPLETION with the switch's id *in that group* (§5.3), so
+    // prime every shard with one write. Keys are probed until every group
+    // is covered (the shard map is a pure hash, so a handful suffice).
+    if cluster.harmonia {
+        let map = cluster.shard_map();
+        let mut covered = vec![false; cluster.groups];
+        let mut plan = Vec::new();
+        let mut probe = 0u32;
+        while covered.iter().any(|c| !c) {
+            let key = Bytes::from(format!("__bootstrap-{probe}__"));
+            let g = map.shard_of_key(&key) as usize;
+            if !covered[g] {
+                covered[g] = true;
+                plan.push(OpSpec::write(key, Bytes::from_static(b"1")));
+            }
+            probe += 1;
+        }
+        let id = ClientId(99);
+        world.add_node(
+            NodeId::Client(id),
+            Box::new(
+                ClosedLoopClient::new(id, cluster.switch_addr(), plan)
+                    .with_write_replies(cluster.write_replies()),
+            ),
+        );
+    }
+    let timeout = warmup + measure + Duration::from_secs(1);
+    if read_rate > 0.0 {
+        add_sharded_open_loop_client(
+            &mut world,
+            cluster,
+            ClientId(1),
+            read_rate,
+            timeout,
+            reader_source(keyspace.clone()),
+        );
+    }
+    if write_rate > 0.0 {
+        add_sharded_open_loop_client(
+            &mut world,
+            cluster,
+            ClientId(2),
+            write_rate,
+            timeout,
+            writer_source(keyspace, 128),
+        );
+    }
+    measure_open_loop(world, cluster.switch_addr(), warmup, measure)
 }
 
 /// The paper's Figure 6a/9 methodology: "the client fixes its rate of
@@ -345,6 +432,34 @@ mod tests {
             "tail capacity: {}",
             r.reads_mrps
         );
+    }
+
+    #[test]
+    fn sharded_open_loop_reports_memory_and_scales() {
+        let mk = |groups| ShardedClusterConfig {
+            groups,
+            ..ShardedClusterConfig::default()
+        };
+        let run = |groups: usize| {
+            run_sharded_open_loop(
+                &mk(groups),
+                200_000.0 * groups as f64,
+                10_000.0 * groups as f64,
+                &Keys::Uniform(10_000),
+                Duration::from_millis(5),
+                Duration::from_millis(10),
+            )
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.groups, 1);
+        assert_eq!(four.groups, 4);
+        assert_eq!(four.switch_memory_bytes, 4 * one.switch_memory_bytes);
+        assert!(one.switch_memory_bytes > 0);
+        // 4 groups absorb 4x the offered load (each group is its own
+        // 3-replica chain; the spine switch is pure delay).
+        assert!(four.total_mrps() > 3.0 * one.total_mrps() * 0.8);
+        assert!(four.switch.reads_fast_path > 0);
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!   substitute) and a closed-loop client that records histories for
 //!   linearizability checking.
 //! * [`cluster`] builds a full simulated deployment in one call;
+//!   [`sharded`] builds the §6.3 multi-group deployment (N replica groups
+//!   sharing one spine switch, keyspace partitioned by [`ShardMap`]);
 //!   [`failover`] scripts the §5.3 switch failure/replacement sequence and
 //!   server removal.
+//!
+//! [`ShardMap`]: harmonia_workload::ShardMap
 //! * [`live`] runs the very same state machines on OS threads connected by
 //!   channels — the "it's a real system, not only a simulator" driver.
 
@@ -23,10 +27,13 @@ pub mod failover;
 pub mod live;
 pub mod msg;
 pub mod replica_actor;
+pub mod sharded;
 pub mod switch_actor;
 
 pub use client::{ClosedLoopClient, OpSpec, OpenLoopClient, OpenLoopConfig, RecordedOp};
 pub use cluster::{add_open_loop_client, build_world, ClusterConfig};
+pub use live::{LiveCluster, ShardedLiveCluster};
 pub use msg::{CostModel, Msg};
 pub use replica_actor::ReplicaActor;
+pub use sharded::{add_sharded_open_loop_client, build_sharded_world, ShardedClusterConfig};
 pub use switch_actor::{SwitchActor, SwitchMode};

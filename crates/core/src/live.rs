@@ -6,6 +6,19 @@
 //! differs. This is the deployment mode the examples use, demonstrating the
 //! library runs as a real in-process storage service, not only under
 //! virtual time.
+//!
+//! Two deployments are offered:
+//!
+//! * [`LiveCluster`] — the rack-scale single replica group of Figure 1;
+//! * [`ShardedLiveCluster`] — the §6.3 cloud-scale deployment: N replica
+//!   groups, one thread per replica across all groups, all of their traffic
+//!   serialized through one spine-switch thread that routes by shard.
+//!
+//! Both support the §5.3 switch failure/replacement sequence
+//! ([`LiveCluster::kill_switch`] / [`LiveCluster::replace_switch`]): the
+//! replacement runs under a fresh, larger incarnation id at the same
+//! client-facing address, the lease moves to it, and single-replica reads
+//! stay disabled until the first WRITE-COMPLETION bearing its own id.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -15,11 +28,13 @@ use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
 use harmonia_replication::{build_replica, Effects, GroupConfig, Replica};
+use harmonia_switch::{GroupId, SwitchStats};
 use harmonia_types::{
     ClientId, ClientRequest, NodeId, OpKind, PacketBody, ReplicaId, RequestId, SwitchId,
     WriteOutcome,
@@ -27,6 +42,7 @@ use harmonia_types::{
 
 use crate::cluster::ClusterConfig;
 use crate::msg::Msg;
+use crate::sharded::ShardedClusterConfig;
 use crate::switch_actor::SwitchCore;
 
 enum Envelope {
@@ -71,7 +87,7 @@ impl std::fmt::Display for LiveError {
 
 impl std::error::Error for LiveError {}
 
-/// A synchronous client handle onto a [`LiveCluster`].
+/// A synchronous client handle onto a live cluster.
 pub struct LiveClient {
     id: ClientId,
     router: Arc<Router>,
@@ -180,89 +196,129 @@ impl LiveClient {
     }
 }
 
-/// An in-process cluster on OS threads.
-pub struct LiveCluster {
+/// The spine/ToR switch thread plus the shared handle tests inspect.
+struct SwitchThread {
+    core: Arc<Mutex<SwitchCore>>,
+    tx: Sender<Envelope>,
+    join: JoinHandle<()>,
+}
+
+/// Driver plumbing shared by the single-group and sharded live clusters.
+struct LiveRig {
     router: Arc<Router>,
-    switch: NodeId,
+    /// The stable client-facing switch address. Replacements re-register
+    /// here (same L2 address in a deployment) in addition to their own
+    /// incarnation's address.
+    switch_addr: NodeId,
     write_replies: usize,
-    threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
+    sweep: StdDuration,
+    replica_ids: Vec<ReplicaId>,
+    replica_threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
+    switch: Option<SwitchThread>,
     next_client: AtomicU32,
 }
 
-impl LiveCluster {
-    /// Spawn the switch and replica threads for `cfg`.
-    pub fn spawn(cfg: &ClusterConfig) -> Self {
-        let router = Arc::new(Router::default());
-        let mut threads = Vec::new();
-
-        // Switch thread.
-        let switch_addr = cfg.switch_addr();
-        let (sw_tx, sw_rx) = unbounded::<Envelope>();
-        router.register(switch_addr, sw_tx.clone());
-        {
-            let router = Arc::clone(&router);
-            let mut core = SwitchCore::new_for(cfg, SwitchId(1));
-            let sweep = cfg
-                .sweep_interval
-                .map(|d| d.to_std())
-                .unwrap_or(StdDuration::from_millis(10));
-            let handle = std::thread::Builder::new()
-                .name("harmonia-switch".into())
-                .spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(0x5717c4);
-                    let mut out = Vec::new();
-                    loop {
-                        match sw_rx.recv_timeout(sweep) {
-                            Ok(Envelope::Packet(msg)) => {
-                                core.handle(switch_addr, msg, &mut rng, &mut out);
-                                for (dst, m) in out.drain(..) {
-                                    router.send(dst, m);
-                                }
-                            }
-                            Ok(Envelope::Stop) => break,
-                            Err(RecvTimeoutError::Timeout) => {
-                                core.sweep();
-                            }
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                })
-                .expect("spawn switch thread");
-            threads.push((sw_tx, handle));
-        }
-
-        // Replica threads.
-        for i in 0..cfg.replicas as u32 {
-            let me = NodeId::Replica(ReplicaId(i));
-            let (tx, rx) = unbounded::<Envelope>();
-            router.register(me, tx.clone());
-            let router2 = Arc::clone(&router);
-            let group = GroupConfig {
-                protocol: cfg.protocol,
-                me: ReplicaId(i),
-                members: (0..cfg.replicas as u32).map(ReplicaId).collect(),
-                harmonia: cfg.harmonia,
-                active_switch: SwitchId(1),
-                sync_interval: cfg.sync_interval,
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("harmonia-replica-{i}"))
-                .spawn(move || replica_main(me, build_replica(group), rx, router2))
-                .expect("spawn replica thread");
-            threads.push((tx, handle));
-        }
-
-        LiveCluster {
-            router,
-            switch: switch_addr,
-            write_replies: cfg.write_replies(),
-            threads,
+impl LiveRig {
+    fn new(switch_addr: NodeId, write_replies: usize, sweep: Option<StdDuration>) -> Self {
+        LiveRig {
+            router: Arc::new(Router::default()),
+            switch_addr,
+            write_replies,
+            sweep: sweep.unwrap_or(StdDuration::from_millis(10)),
+            replica_ids: Vec::new(),
+            replica_threads: Vec::new(),
+            switch: None,
             next_client: AtomicU32::new(1),
         }
     }
 
-    /// Create a synchronous client handle.
-    pub fn client(&self) -> LiveClient {
+    /// Spawn (or re-spawn after a failure) the switch thread for `core`.
+    /// The thread receives on the stable client-facing address and on its
+    /// own incarnation's address (replicas reply to the lease holder).
+    fn spawn_switch(&mut self, core: SwitchCore) {
+        assert!(self.switch.is_none(), "kill the old switch first");
+        let incarnation = core.incarnation();
+        let (tx, rx) = unbounded::<Envelope>();
+        self.router.register(self.switch_addr, tx.clone());
+        self.router
+            .register(NodeId::Switch(incarnation), tx.clone());
+        let core = Arc::new(Mutex::new(core));
+        let shared = Arc::clone(&core);
+        let router = Arc::clone(&self.router);
+        let me = self.switch_addr;
+        let sweep = self.sweep;
+        let join = std::thread::Builder::new()
+            .name(format!("harmonia-switch-{}", incarnation.0))
+            .spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x5717c4 ^ u64::from(incarnation.0));
+                let mut out = Vec::new();
+                loop {
+                    match rx.recv_timeout(sweep) {
+                        Ok(Envelope::Packet(msg)) => {
+                            shared.lock().handle(me, msg, &mut rng, &mut out);
+                            for (dst, m) in out.drain(..) {
+                                router.send(dst, m);
+                            }
+                        }
+                        Ok(Envelope::Stop) => break,
+                        Err(RecvTimeoutError::Timeout) => {
+                            shared.lock().sweep();
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("spawn switch thread");
+        self.switch = Some(SwitchThread { core, tx, join });
+    }
+
+    fn spawn_replica(&mut self, group: GroupConfig) {
+        let me = NodeId::Replica(group.me);
+        let (tx, rx) = unbounded::<Envelope>();
+        self.router.register(me, tx.clone());
+        let router = Arc::clone(&self.router);
+        self.replica_ids.push(group.me);
+        let name = format!("harmonia-replica-{}", group.me.0);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || replica_main(me, build_replica(group), rx, router))
+            .expect("spawn replica thread");
+        self.replica_threads.push((tx, handle));
+    }
+
+    /// Stop the switch thread and wait for it. Requests already queued or
+    /// subsequently routed to the dead switch vanish — clients time out and
+    /// retry, exactly the Figure 10 outage.
+    fn kill_switch(&mut self) {
+        if let Some(sw) = self.switch.take() {
+            let _ = sw.tx.send(Envelope::Stop);
+            let _ = sw.join.join();
+        }
+    }
+
+    /// Run `f` on the live switch core (stats inspection).
+    fn with_switch<T>(&self, f: impl FnOnce(&SwitchCore) -> T) -> Option<T> {
+        self.switch.as_ref().map(|sw| f(&sw.core.lock()))
+    }
+
+    /// Configuration service: move every replica's lease to `new_id`.
+    fn move_lease(&self, new_id: SwitchId) {
+        for &r in &self.replica_ids {
+            let dst = NodeId::Replica(r);
+            self.router.send(
+                dst,
+                Msg::new(
+                    NodeId::Controller,
+                    dst,
+                    PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(
+                        new_id,
+                    ))),
+                ),
+            );
+        }
+    }
+
+    fn client(&self) -> LiveClient {
         let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = bounded::<Envelope>(1024);
         self.router.register(NodeId::Client(id), tx);
@@ -270,7 +326,7 @@ impl LiveCluster {
             id,
             router: Arc::clone(&self.router),
             rx,
-            switch: self.switch,
+            switch: self.switch_addr,
             write_replies: self.write_replies,
             timeout: StdDuration::from_millis(200),
             retries: 5,
@@ -278,14 +334,176 @@ impl LiveCluster {
         }
     }
 
-    /// Stop every thread and wait for them.
-    pub fn shutdown(self) {
-        for (tx, _) in &self.threads {
+    fn shutdown(mut self) {
+        self.kill_switch();
+        for (tx, _) in &self.replica_threads {
             let _ = tx.send(Envelope::Stop);
         }
-        for (_, handle) in self.threads {
+        for (_, handle) in self.replica_threads {
             let _ = handle.join();
         }
+    }
+}
+
+/// An in-process single-group cluster on OS threads.
+pub struct LiveCluster {
+    rig: LiveRig,
+    cfg: ClusterConfig,
+}
+
+impl LiveCluster {
+    /// Spawn the switch and replica threads for `cfg`.
+    pub fn spawn(cfg: &ClusterConfig) -> Self {
+        let mut rig = LiveRig::new(
+            cfg.switch_addr(),
+            cfg.write_replies(),
+            cfg.sweep_interval.map(|d| d.to_std()),
+        );
+        rig.spawn_switch(SwitchCore::new_for(cfg, SwitchId(1)));
+        for i in 0..cfg.replicas as u32 {
+            rig.spawn_replica(GroupConfig {
+                protocol: cfg.protocol,
+                me: ReplicaId(i),
+                members: (0..cfg.replicas as u32).map(ReplicaId).collect(),
+                harmonia: cfg.harmonia,
+                active_switch: SwitchId(1),
+                sync_interval: cfg.sync_interval,
+            });
+        }
+        LiveCluster {
+            rig,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Create a synchronous client handle.
+    pub fn client(&self) -> LiveClient {
+        self.rig.client()
+    }
+
+    /// §5.3 step 1: the switch fails. It retains no state and forwards
+    /// nothing; in-flight and subsequent requests are lost until a
+    /// replacement is activated.
+    pub fn kill_switch(&mut self) {
+        self.rig.kill_switch();
+    }
+
+    /// §5.3 steps 2–3: activate a replacement switch under `new_id` (must
+    /// exceed every predecessor) at the same client-facing address, and move
+    /// every replica's lease to it. Step 4 — fast-path re-enable on the
+    /// first own-id WRITE-COMPLETION — is the conflict detector's gating.
+    pub fn replace_switch(&mut self, new_id: SwitchId) {
+        self.rig.kill_switch();
+        self.rig
+            .spawn_switch(SwitchCore::new_for(&self.cfg, new_id));
+        self.rig.move_lease(new_id);
+    }
+
+    /// Aggregate data-plane counters of the live switch (None if killed).
+    pub fn switch_stats(&self) -> Option<SwitchStats> {
+        self.rig.with_switch(|c| c.stats())
+    }
+
+    /// Whether the live switch currently issues single-replica reads.
+    pub fn fast_path_enabled(&self) -> Option<bool> {
+        self.rig.with_switch(|c| c.detector().fast_path_enabled())
+    }
+
+    /// The live switch's incarnation id (None if killed).
+    pub fn switch_incarnation(&self) -> Option<SwitchId> {
+        self.rig.with_switch(|c| c.incarnation())
+    }
+
+    /// Stop every thread and wait for them.
+    pub fn shutdown(self) {
+        self.rig.shutdown();
+    }
+}
+
+/// An in-process §6.3 sharded deployment on OS threads: every replica of
+/// every group on its own thread, one spine-switch thread hosting all
+/// groups' conflict detection and routing requests by shard.
+pub struct ShardedLiveCluster {
+    rig: LiveRig,
+    cfg: ShardedClusterConfig,
+}
+
+impl ShardedLiveCluster {
+    /// Spawn the spine switch and every group's replica threads.
+    pub fn spawn(cfg: &ShardedClusterConfig) -> Self {
+        let mut rig = LiveRig::new(
+            cfg.switch_addr(),
+            cfg.write_replies(),
+            cfg.sweep_interval.map(|d| d.to_std()),
+        );
+        rig.spawn_switch(SwitchCore::new_for_sharded(cfg, SwitchId(1)));
+        for g in 0..cfg.groups {
+            for i in 0..cfg.replicas_per_group {
+                rig.spawn_replica(cfg.group_config(g, i));
+            }
+        }
+        ShardedLiveCluster {
+            rig,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Create a synchronous client handle. Clients address the spine
+    /// switch; requests are routed to their key's group by the shard map.
+    pub fn client(&self) -> LiveClient {
+        self.rig.client()
+    }
+
+    /// §5.3 step 1 for the spine switch: every hosted group loses its
+    /// scheduler at once.
+    pub fn kill_switch(&mut self) {
+        self.rig.kill_switch();
+    }
+
+    /// §5.3 steps 2–3: a replacement spine switch (fresh dirty sets and
+    /// sequence spaces for *every* group) takes over at the same address.
+    pub fn replace_switch(&mut self, new_id: SwitchId) {
+        self.rig.kill_switch();
+        self.rig
+            .spawn_switch(SwitchCore::new_for_sharded(&self.cfg, new_id));
+        self.rig.move_lease(new_id);
+    }
+
+    /// Aggregate data-plane counters across every group (None if killed).
+    pub fn switch_stats(&self) -> Option<SwitchStats> {
+        self.rig.with_switch(|c| c.stats())
+    }
+
+    /// One group's data-plane counters.
+    pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
+        self.rig.with_switch(|c| c.group_stats(group)).flatten()
+    }
+
+    /// Whether `group`'s fast path is currently enabled.
+    pub fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
+        self.rig
+            .with_switch(|c| c.group_detector(group).map(|d| d.fast_path_enabled()))
+            .flatten()
+    }
+
+    /// Total dirty-set SRAM across every hosted group.
+    pub fn switch_memory_bytes(&self) -> Option<usize> {
+        self.rig.with_switch(|c| c.memory_bytes())
+    }
+
+    /// The live switch's incarnation id (None if killed).
+    pub fn switch_incarnation(&self) -> Option<SwitchId> {
+        self.rig.with_switch(|c| c.incarnation())
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &ShardedClusterConfig {
+        &self.cfg
+    }
+
+    /// Stop every thread and wait for them.
+    pub fn shutdown(self) {
+        self.rig.shutdown();
     }
 }
 
@@ -332,7 +550,8 @@ fn replica_main(
 }
 
 impl SwitchCore {
-    /// Build a core straight from a cluster config (live driver).
+    /// Build a single-group core straight from a cluster config (live
+    /// driver).
     pub fn new_for(cfg: &ClusterConfig, incarnation: SwitchId) -> Self {
         SwitchCore::new(crate::switch_actor::SwitchActorConfig {
             incarnation,
@@ -346,6 +565,26 @@ impl SwitchCore {
             table: cfg.table,
             sweep_interval: cfg.sweep_interval,
         })
+    }
+
+    /// Build a multi-group spine core straight from a sharded cluster
+    /// config (live driver).
+    pub fn new_for_sharded(cfg: &ShardedClusterConfig, incarnation: SwitchId) -> Self {
+        SwitchCore::new_sharded(
+            crate::switch_actor::SwitchActorConfig {
+                incarnation,
+                mode: if cfg.harmonia {
+                    crate::switch_actor::SwitchMode::Harmonia
+                } else {
+                    crate::switch_actor::SwitchMode::Baseline
+                },
+                protocol: cfg.protocol,
+                replicas: cfg.replicas_per_group,
+                table: cfg.table,
+                sweep_interval: cfg.sweep_interval,
+            },
+            cfg.memberships(),
+        )
     }
 }
 
@@ -417,6 +656,30 @@ mod tests {
             a.get("shared").unwrap(),
             Some(Bytes::from_static(b"from-b"))
         );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sharded_live_roundtrip_touches_every_group() {
+        let cfg = ShardedClusterConfig {
+            groups: 4,
+            ..ShardedClusterConfig::default()
+        };
+        let cluster = ShardedLiveCluster::spawn(&cfg);
+        let mut client = cluster.client();
+        for i in 0..40 {
+            client.set(format!("k{i}"), format!("v{i}")).unwrap();
+        }
+        for i in 0..40 {
+            assert_eq!(
+                client.get(format!("k{i}")).unwrap(),
+                Some(Bytes::from(format!("v{i}")))
+            );
+        }
+        for g in 0..4 {
+            let stats = cluster.group_stats(GroupId(g)).unwrap();
+            assert!(stats.writes_forwarded > 0, "group {g}: {stats:?}");
+        }
         cluster.shutdown();
     }
 }

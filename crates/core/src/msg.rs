@@ -47,17 +47,17 @@ impl CostModel {
                 OpKind::Read => self.read,
                 OpKind::Write => self.write,
             },
-            PacketBody::Protocol(msg) => match msg {
-                // Messages that carry (and apply) a write.
+            // Protocol messages that carry (and apply) a write.
+            PacketBody::Protocol(
                 ProtocolMsg::Pb(PbMsg::Update(_))
                 | ProtocolMsg::Chain(ChainMsg::Down(_))
                 | ProtocolMsg::Craq(CraqMsg::Down(_))
                 | ProtocolMsg::Vr(VrMsg::Prepare { .. })
                 | ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced { .. })
-                | ProtocolMsg::Nopaxos(NopaxosMsg::GapReply { .. }) => self.write,
-                // Everything else is bookkeeping.
-                _ => self.ack,
-            },
+                | ProtocolMsg::Nopaxos(NopaxosMsg::GapReply { .. }),
+            ) => self.write,
+            // Every other protocol message is bookkeeping.
+            PacketBody::Protocol(_) => self.ack,
             // Replies/completions/control at a replica are incidental.
             _ => self.ack,
         }

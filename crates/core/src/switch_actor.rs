@@ -11,16 +11,20 @@
 //! packets at line rate, so the switch is pure delay, never a queue — the
 //! property that lets Harmonia claim zero overhead (§6).
 
+use std::collections::BTreeMap;
+
 use harmonia_replication::messages::{NopaxosMsg, ProtocolMsg, WriteOp};
 use harmonia_replication::ProtocolKind;
 use harmonia_sim::{Actor, Context, Service, TimerToken};
 use harmonia_switch::{
-    ConflictConfig, ConflictDetector, ForwardingTable, ReadDecision, ReadEntry, Sequencer,
+    ConflictDetector, ForwardingTable, GroupId, ReadDecision, ReadEntry, Sequencer, SpineSwitch,
     SwitchStats, TableConfig, WriteDecision, WriteEntry,
 };
 use harmonia_types::{
-    ClientRequest, ControlMsg, Duration, NodeId, OpKind, PacketBody, ReadMode, SwitchId, SwitchSeq,
+    ClientRequest, ControlMsg, Duration, NodeId, ObjectId, OpKind, PacketBody, ReadMode, ReplicaId,
+    SwitchId, SwitchSeq,
 };
+use harmonia_workload::ShardMap;
 
 use crate::msg::Msg;
 
@@ -53,19 +57,52 @@ pub struct SwitchActorConfig {
     pub sweep_interval: Option<Duration>,
 }
 
-/// Transport-agnostic switch logic, shared by the simulated actor and the
-/// live threaded driver.
-pub struct SwitchCore {
-    cfg: SwitchActorConfig,
-    detector: ConflictDetector,
+/// One hosted group's forwarding state: replica addresses, the per-group
+/// NOPaxos sequencer session, and per-group data-plane counters.
+struct GroupPlane {
     fwd: ForwardingTable,
     sequencer: Sequencer,
     stats: SwitchStats,
 }
 
+/// Transport-agnostic switch logic, shared by the simulated actor and the
+/// live threaded driver.
+///
+/// One `SwitchCore` hosts the Harmonia scheduler for one **or many** replica
+/// groups (§6.3): conflict detection lives in a [`SpineSwitch`] (per-group
+/// dirty sets and sequence spaces, shared SRAM accounting), and each group
+/// keeps its own forwarding table and OUM sequencer. Requests are routed to
+/// their group by the deployment's [`ShardMap`] — for the rack-scale
+/// single-group case that map is the identity onto group 0 and the behavior
+/// is exactly the paper's Figure 1 pipeline.
+pub struct SwitchCore {
+    cfg: SwitchActorConfig,
+    spine: SpineSwitch,
+    planes: BTreeMap<GroupId, GroupPlane>,
+    shards: ShardMap,
+    /// Where each replica was provisioned (control-plane routing for
+    /// `AddReplica` after a removal emptied its group entry).
+    home: BTreeMap<ReplicaId, GroupId>,
+    /// Counters not attributable to any one group (L2/L3 forwards).
+    misc: SwitchStats,
+}
+
 impl SwitchCore {
-    /// Build the data-plane state for `cfg`.
+    /// Build the data-plane state for `cfg`: a single replica group with
+    /// members `0..cfg.replicas` (the rack-scale deployment).
     pub fn new(cfg: SwitchActorConfig) -> Self {
+        let members = (0..cfg.replicas as u32).map(ReplicaId).collect();
+        Self::new_sharded(cfg, vec![members])
+    }
+
+    /// Build a spine switch hosting one group per entry of `memberships`
+    /// (§6.3 cloud-scale deployment). Group `g` serves the objects
+    /// `ShardMap::new(memberships.len()).shard_of(obj) == g`; every group
+    /// gets its own `cfg.table`-sized dirty set and sequence space, all
+    /// under this one incarnation. `cfg.replicas` is ignored — memberships
+    /// are explicit.
+    pub fn new_sharded(cfg: SwitchActorConfig, memberships: Vec<Vec<ReplicaId>>) -> Self {
+        assert!(!memberships.is_empty(), "at least one replica group");
         let (write_entry, read_entry) = match cfg.protocol {
             ProtocolKind::PrimaryBackup => (WriteEntry::Primary, ReadEntry::Primary),
             ProtocolKind::Chain | ProtocolKind::Craq => {
@@ -74,26 +111,82 @@ impl SwitchCore {
             ProtocolKind::Vr => (WriteEntry::Leader, ReadEntry::Leader),
             ProtocolKind::Nopaxos => (WriteEntry::Multicast, ReadEntry::Leader),
         };
+        let shards = ShardMap::new(memberships.len());
+        let mut spine = SpineSwitch::new(cfg.incarnation, cfg.table);
+        let mut planes = BTreeMap::new();
+        let mut home = BTreeMap::new();
+        for (g, members) in memberships.into_iter().enumerate() {
+            let gid = GroupId(g as u32);
+            spine.add_group(gid);
+            for &r in &members {
+                home.insert(r, gid);
+            }
+            planes.insert(
+                gid,
+                GroupPlane {
+                    fwd: ForwardingTable::with_members(members, write_entry, read_entry),
+                    sequencer: Sequencer::new(u64::from(cfg.incarnation.0)),
+                    stats: SwitchStats::default(),
+                },
+            );
+        }
         SwitchCore {
             cfg,
-            detector: ConflictDetector::new(ConflictConfig {
-                switch_id: cfg.incarnation,
-                table: cfg.table,
-            }),
-            fwd: ForwardingTable::new(cfg.replicas, write_entry, read_entry),
-            sequencer: Sequencer::new(u64::from(cfg.incarnation.0)),
-            stats: SwitchStats::default(),
+            spine,
+            planes,
+            shards,
+            home,
+            misc: SwitchStats::default(),
         }
     }
 
-    /// Data-plane counters.
-    pub fn stats(&self) -> SwitchStats {
-        self.stats
+    fn group_of(&self, obj: ObjectId) -> GroupId {
+        GroupId(self.shards.shard_of(obj))
     }
 
-    /// The conflict-detection module (inspection).
+    /// Aggregate data-plane counters across every hosted group.
+    pub fn stats(&self) -> SwitchStats {
+        let mut total = self.misc;
+        for plane in self.planes.values() {
+            total.merge(&plane.stats);
+        }
+        total
+    }
+
+    /// One group's data-plane counters.
+    pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
+        self.planes.get(&group).map(|p| p.stats)
+    }
+
+    /// Number of replica groups hosted by this switch.
+    pub fn group_count(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// The deployment's object→group map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.shards
+    }
+
+    /// The multi-group conflict-detection module (inspection).
+    pub fn spine(&self) -> &SpineSwitch {
+        &self.spine
+    }
+
+    /// Group 0's conflict detector — the whole detector in a single-group
+    /// deployment (inspection).
     pub fn detector(&self) -> &ConflictDetector {
-        &self.detector
+        self.spine.group(GroupId(0)).expect("group 0 always exists")
+    }
+
+    /// A specific group's conflict detector (inspection).
+    pub fn group_detector(&self, group: GroupId) -> Option<&ConflictDetector> {
+        self.spine.group(group)
+    }
+
+    /// Total dirty-set SRAM across every hosted group (§6.3 budget check).
+    pub fn memory_bytes(&self) -> usize {
+        self.spine.memory_bytes()
     }
 
     /// This incarnation's id.
@@ -102,22 +195,28 @@ impl SwitchCore {
     }
 
     fn handle_write(&mut self, me: NodeId, mut req: ClientRequest, out: &mut Vec<(NodeId, Msg)>) {
-        // Harmonia: Algorithm 1 lines 1–4.
+        let gid = self.group_of(req.obj);
+        let Some(plane) = self.planes.get_mut(&gid) else {
+            return;
+        };
+        // Harmonia: Algorithm 1 lines 1–4, on this object's group.
         if self.cfg.mode == SwitchMode::Harmonia {
-            match self.detector.process_write(req.obj) {
-                WriteDecision::Stamped(seq) => req.seq = Some(seq),
-                WriteDecision::Dropped => {
+            match self.spine.process_write(gid, req.obj) {
+                Some(WriteDecision::Stamped(seq)) => req.seq = Some(seq),
+                Some(WriteDecision::Dropped) | None => {
                     // §6.1: no dirty-set slot — the write is dropped in the
                     // data plane; the client will time out and retry.
-                    self.stats.writes_dropped += 1;
+                    plane.stats.writes_dropped += 1;
                     return;
                 }
             }
         }
-        self.stats.writes_forwarded += 1;
+        plane.stats.writes_forwarded += 1;
         if self.cfg.protocol == ProtocolKind::Nopaxos {
-            // Ordered unreliable multicast: stamp and fan out (§7.3).
-            let stamp = self.sequencer.stamp();
+            // Ordered unreliable multicast: stamp and fan out (§7.3) within
+            // the object's group; sessions are per group so gap detection
+            // never crosses shard boundaries.
+            let stamp = plane.sequencer.stamp();
             let seq = req
                 .seq
                 .unwrap_or(SwitchSeq::new(self.cfg.incarnation, stamp.seq));
@@ -129,7 +228,7 @@ impl SwitchCore {
                 client: req.client,
                 request: req.request,
             };
-            for &r in self.fwd.replicas() {
+            for &r in plane.fwd.replicas() {
                 let dst = NodeId::Replica(r);
                 out.push((
                     dst,
@@ -144,7 +243,7 @@ impl SwitchCore {
                     ),
                 ));
             }
-        } else if let Some(&dst) = self.fwd.write_destinations().first() {
+        } else if let Some(&dst) = plane.fwd.write_destinations().first() {
             out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
         }
     }
@@ -156,35 +255,61 @@ impl SwitchCore {
         rng: &mut rand::rngs::SmallRng,
         out: &mut Vec<(NodeId, Msg)>,
     ) {
+        let gid = self.group_of(req.obj);
+        let Some(plane) = self.planes.get_mut(&gid) else {
+            return;
+        };
         let dst = match self.cfg.mode {
-            SwitchMode::Harmonia => match self.detector.process_read(req.obj) {
-                ReadDecision::FastPath { last_committed } => {
+            SwitchMode::Harmonia => match self.spine.process_read(gid, req.obj) {
+                Some(ReadDecision::FastPath { last_committed }) => {
                     // Algorithm 1 lines 10–12.
                     req.last_committed = Some(last_committed);
                     req.read_mode = ReadMode::FastPath {
                         switch: self.cfg.incarnation,
                     };
-                    self.stats.reads_fast_path += 1;
-                    self.fwd.random_replica(rng)
+                    plane.stats.reads_fast_path += 1;
+                    plane.fwd.random_replica(rng)
                 }
-                ReadDecision::Normal => {
-                    self.stats.reads_normal += 1;
-                    self.fwd.normal_read_destination()
+                Some(ReadDecision::Normal) | None => {
+                    plane.stats.reads_normal += 1;
+                    plane.fwd.normal_read_destination()
                 }
             },
             SwitchMode::Baseline => {
-                self.stats.reads_normal += 1;
+                plane.stats.reads_normal += 1;
                 if self.cfg.protocol == ProtocolKind::Craq {
                     // CRAQ serves reads at any replica natively.
-                    self.fwd.random_replica(rng)
+                    plane.fwd.random_replica(rng)
                 } else {
-                    self.fwd.normal_read_destination()
+                    plane.fwd.normal_read_destination()
                 }
             }
         };
         if let Some(dst) = dst {
             out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
         }
+    }
+
+    /// Route a WRITE-COMPLETION to its object's group.
+    fn snoop_completion(&mut self, c: harmonia_types::WriteCompletion) {
+        let gid = self.group_of(c.obj);
+        if self.spine.process_completion(gid, c) {
+            if let Some(plane) = self.planes.get_mut(&gid) {
+                plane.stats.completions += 1;
+            }
+        }
+    }
+
+    /// The group a control-plane membership change addresses: wherever the
+    /// replica currently lives, falling back to where it was provisioned,
+    /// then to group 0 (single-group deployments never hit the fallbacks).
+    fn control_group(&self, r: ReplicaId) -> GroupId {
+        self.planes
+            .iter()
+            .find(|(_, p)| p.fwd.replicas().contains(&r))
+            .map(|(&g, _)| g)
+            .or_else(|| self.home.get(&r).copied())
+            .unwrap_or(GroupId(0))
     }
 
     /// Process one packet, pushing forwarded packets onto `out`.
@@ -205,8 +330,7 @@ impl SwitchCore {
                 // the reply to its client.
                 if self.cfg.mode == SwitchMode::Harmonia {
                     if let Some(c) = reply.completion {
-                        self.detector.process_completion(c);
-                        self.stats.completions += 1;
+                        self.snoop_completion(c);
                     }
                 }
                 let dst = NodeId::Client(reply.client);
@@ -214,28 +338,50 @@ impl SwitchCore {
             }
             PacketBody::Completion(c) => {
                 if self.cfg.mode == SwitchMode::Harmonia {
-                    self.detector.process_completion(c);
-                    self.stats.completions += 1;
+                    self.snoop_completion(c);
                 }
             }
             PacketBody::Control(ctl) => match ctl {
-                ControlMsg::AddReplica(r) => self.fwd.add_replica(r),
-                ControlMsg::RemoveReplica(r) => self.fwd.remove_replica(r),
-                ControlMsg::SetReplicas(rs) => self.fwd.set_replicas(rs),
+                ControlMsg::AddReplica(r) => {
+                    let gid = self.control_group(r);
+                    self.home.insert(r, gid);
+                    if let Some(plane) = self.planes.get_mut(&gid) {
+                        plane.fwd.add_replica(r);
+                    }
+                }
+                ControlMsg::RemoveReplica(r) => {
+                    let gid = self.control_group(r);
+                    if let Some(plane) = self.planes.get_mut(&gid) {
+                        plane.fwd.remove_replica(r);
+                    }
+                }
+                ControlMsg::SetReplicas(rs) => {
+                    let gid = rs
+                        .first()
+                        .map(|&r| self.control_group(r))
+                        .unwrap_or(GroupId(0));
+                    for &r in &rs {
+                        self.home.insert(r, gid);
+                    }
+                    if let Some(plane) = self.planes.get_mut(&gid) {
+                        plane.fwd.set_replicas(rs);
+                    }
+                }
             },
             PacketBody::Protocol(p) => {
                 // L2/L3 forwarding of protocol traffic routed through the
                 // switch (the sim normally sends these direct).
-                self.stats.forwarded_other += 1;
+                self.misc.forwarded_other += 1;
                 let dst = msg.dst;
                 out.push((dst, Msg::new(msg.src, dst, PacketBody::Protocol(p))));
             }
         }
     }
 
-    /// Control-plane sweep of stale dirty entries (§5.2).
+    /// Control-plane sweep of stale dirty entries (§5.2), across every
+    /// hosted group.
     pub fn sweep(&mut self) -> usize {
-        self.detector.sweep()
+        self.spine.sweep()
     }
 }
 
@@ -255,14 +401,37 @@ impl SwitchActor {
         }
     }
 
-    /// Data-plane counters.
+    /// Build a spine switch hosting one group per membership list.
+    pub fn new_sharded(cfg: SwitchActorConfig, memberships: Vec<Vec<ReplicaId>>) -> Self {
+        SwitchActor {
+            core: SwitchCore::new_sharded(cfg, memberships),
+            out: Vec::new(),
+        }
+    }
+
+    /// Aggregate data-plane counters.
     pub fn stats(&self) -> SwitchStats {
         self.core.stats()
     }
 
-    /// The conflict-detection module (inspection).
+    /// One group's data-plane counters.
+    pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
+        self.core.group_stats(group)
+    }
+
+    /// The conflict-detection module (inspection; group 0).
     pub fn detector(&self) -> &ConflictDetector {
         self.core.detector()
+    }
+
+    /// The multi-group conflict-detection module (inspection).
+    pub fn spine(&self) -> &SpineSwitch {
+        self.core.spine()
+    }
+
+    /// Total dirty-set SRAM across every hosted group.
+    pub fn memory_bytes(&self) -> usize {
+        self.core.memory_bytes()
     }
 
     /// This incarnation's id.

@@ -211,10 +211,8 @@ impl Replica for ChainReplica {
             return;
         }
         match msg {
-            ProtocolMsg::Chain(ChainMsg::Down(op)) => {
-                if self.in_order.accept(op.seq) {
-                    self.propagate(op, out);
-                }
+            ProtocolMsg::Chain(ChainMsg::Down(op)) if self.in_order.accept(op.seq) => {
+                self.propagate(op, out);
             }
             ProtocolMsg::Chain(ChainMsg::ReReply { client, request }) => {
                 if let Some(r) = self.clients.cached_reply(client, request) {
@@ -407,14 +405,14 @@ mod tests {
             fx
         };
         pump(&mut g, fx);
-        for idx in 0..3 {
+        for (idx, replica) in g.iter_mut().enumerate() {
             let mut read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
             read.read_mode = ReadMode::FastPath {
                 switch: SwitchId(1),
             };
             read.last_committed = Some(seq(1));
             let mut fx = Effects::new();
-            g[idx].on_request(NodeId::Client(ClientId(2)), read, &mut fx);
+            replica.on_request(NodeId::Client(ClientId(2)), read, &mut fx);
             let PacketBody::Reply(r) = &fx.out[0].1 else {
                 panic!("node {idx} did not reply locally: {:?}", fx.out)
             };

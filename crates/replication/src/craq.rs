@@ -199,10 +199,8 @@ impl Replica for CraqReplica {
             return;
         }
         match msg {
-            ProtocolMsg::Craq(CraqMsg::Down(op)) => {
-                if self.in_order.accept(op.seq) {
-                    self.propagate(op, out);
-                }
+            ProtocolMsg::Craq(CraqMsg::Down(op)) if self.in_order.accept(op.seq) => {
+                self.propagate(op, out);
             }
             ProtocolMsg::Craq(CraqMsg::Clean { obj, key, seq }) => {
                 self.store
@@ -311,10 +309,10 @@ mod tests {
             fx
         };
         pump(&mut g, fx);
-        for idx in 0..3 {
+        for (idx, replica) in g.iter_mut().enumerate() {
             let read = ClientRequest::read(ClientId(2), RequestId(9), &b"k"[..]);
             let mut fx = Effects::new();
-            g[idx].on_request(NodeId::Client(ClientId(2)), read, &mut fx);
+            replica.on_request(NodeId::Client(ClientId(2)), read, &mut fx);
             let PacketBody::Reply(r) = &fx.out[0].1 else {
                 panic!("node {idx} forwarded a clean read")
             };

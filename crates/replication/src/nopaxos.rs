@@ -445,8 +445,8 @@ mod tests {
     /// bodies after the exchange quiesces.
     fn multicast(g: &mut [NopaxosReplica], msg: ProtocolMsg) -> Vec<PacketBody<ProtocolMsg>> {
         let mut fx = Effects::new();
-        for i in 0..g.len() {
-            g[i].on_protocol(NodeId::Switch(SwitchId(1)), msg.clone(), &mut fx);
+        for replica in g.iter_mut() {
+            replica.on_protocol(NodeId::Switch(SwitchId(1)), msg.clone(), &mut fx);
         }
         pump(g, fx)
     }

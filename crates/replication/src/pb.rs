@@ -226,18 +226,16 @@ impl Replica for PbReplica {
             return;
         }
         match msg {
-            ProtocolMsg::Pb(PbMsg::Update(op)) => {
-                // Backup path: apply on receipt (read-ahead), ack in order.
-                if self.in_order.accept(op.seq) {
-                    self.apply(&op);
-                    out.protocol(
-                        self.primary(),
-                        ProtocolMsg::Pb(PbMsg::Ack {
-                            seq: op.seq,
-                            from: self.me,
-                        }),
-                    );
-                }
+            // Backup path: apply on receipt (read-ahead), ack in order.
+            ProtocolMsg::Pb(PbMsg::Update(op)) if self.in_order.accept(op.seq) => {
+                self.apply(&op);
+                out.protocol(
+                    self.primary(),
+                    ProtocolMsg::Pb(PbMsg::Ack {
+                        seq: op.seq,
+                        from: self.me,
+                    }),
+                );
             }
             ProtocolMsg::Pb(PbMsg::Ack { seq, from }) => {
                 if let Some(pw) = self.pending.get_mut(&seq) {

@@ -72,11 +72,9 @@ impl Histogram {
 
     /// Arithmetic mean.
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.sum / self.count)
-        }
+        self.sum
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
     /// Largest recorded sample.

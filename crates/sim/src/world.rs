@@ -171,6 +171,11 @@ impl<M: Clone + 'static> World<M> {
         self.queue.push(at, EventKind::Control(id));
     }
 
+    /// Number of scheduled control actions that have not fired yet.
+    pub fn pending_controls(&self) -> usize {
+        self.controls.len()
+    }
+
     /// Number of messages waiting (plus in service) at `id`.
     pub fn backlog(&self, id: NodeId) -> usize {
         self.nodes

@@ -46,9 +46,27 @@ pub struct ForwardingTable {
 impl ForwardingTable {
     /// Build a table for `n` replicas with the given entry points.
     pub fn new(n: usize, write_entry: WriteEntry, read_entry: ReadEntry) -> Self {
-        assert!(n > 0, "a replica group needs at least one member");
+        Self::with_members(
+            (0..n as u32).map(ReplicaId).collect(),
+            write_entry,
+            read_entry,
+        )
+    }
+
+    /// Build a table for an explicit membership in role order (sharded
+    /// deployments give each group a disjoint slice of the global replica-id
+    /// space, so ids do not start at zero).
+    pub fn with_members(
+        members: Vec<ReplicaId>,
+        write_entry: WriteEntry,
+        read_entry: ReadEntry,
+    ) -> Self {
+        assert!(
+            !members.is_empty(),
+            "a replica group needs at least one member"
+        );
         ForwardingTable {
-            replicas: (0..n as u32).map(ReplicaId).collect(),
+            replicas: members,
             write_entry,
             read_entry,
         }

@@ -99,9 +99,25 @@ impl SpineSwitch {
         self.groups.get(&group)
     }
 
+    /// The hosted group ids, in order.
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Control-plane stale-entry sweep (§5.2) over every hosted group.
+    /// Returns the total number of entries removed.
+    pub fn sweep(&mut self) -> usize {
+        self.groups.values_mut().map(|d| d.sweep()).sum()
+    }
+
     /// Total SRAM consumed across all hosted groups (§6.3's budget check).
     pub fn memory_bytes(&self) -> usize {
         self.groups.values().map(|d| d.memory_bytes()).sum()
+    }
+
+    /// SRAM consumed by one hosted group.
+    pub fn group_memory_bytes(&self, group: GroupId) -> Option<usize> {
+        self.groups.get(&group).map(|d| d.memory_bytes())
     }
 
     /// How many groups of this geometry fit in `sram_budget_bytes` — the

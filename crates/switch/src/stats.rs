@@ -82,6 +82,19 @@ pub struct SwitchStats {
     pub forwarded_other: u64,
 }
 
+impl SwitchStats {
+    /// Fold another counter set into this one (spine switches aggregate
+    /// per-group counters into a whole-switch view).
+    pub fn merge(&mut self, other: &SwitchStats) {
+        self.reads_fast_path += other.reads_fast_path;
+        self.reads_normal += other.reads_normal;
+        self.writes_forwarded += other.writes_forwarded;
+        self.writes_dropped += other.writes_dropped;
+        self.completions += other.completions;
+        self.forwarded_other += other.forwarded_other;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -358,7 +358,7 @@ impl SpecModel {
                 else {
                     continue;
                 };
-                if u8::from(*switch) != s.active {
+                if *switch != s.active {
                     continue;
                 }
                 for r in 0..self.cfg.replicas {

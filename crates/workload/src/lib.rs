@@ -8,8 +8,10 @@
 
 pub mod keyspace;
 pub mod mix;
+pub mod shard;
 pub mod zipf;
 
 pub use keyspace::KeySpace;
 pub use mix::{Mix, WorkloadSpec, YcsbPreset};
+pub use shard::ShardMap;
 pub use zipf::Zipf;

@@ -1,0 +1,105 @@
+//! Keyspace partitioning for sharded multi-group deployments (§6.3).
+//!
+//! A spine switch hosts the Harmonia scheduler for many replica groups at
+//! once; each object belongs to exactly one group. The assignment must be a
+//! pure function of the [`ObjectId`] — clients, the switch, and the tests
+//! all have to agree on it without coordination — so the shard map is just a
+//! stateless hash of the 32-bit object id.
+//!
+//! The `ObjectId` is already an FNV-1a digest of the application key, but
+//! consecutive ids (and ids that differ only in low bits) must still spread
+//! evenly across a *small* group count, so the map applies a Fibonacci
+//! multiplicative mix before reducing modulo the group count.
+
+use harmonia_types::ObjectId;
+
+/// Maps every object to one of `groups` replica groups.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardMap {
+    groups: u32,
+}
+
+impl ShardMap {
+    /// A map over `groups` replica groups (at least one).
+    pub fn new(groups: usize) -> Self {
+        assert!(groups > 0, "a deployment needs at least one replica group");
+        assert!(groups <= u32::MAX as usize, "group count must fit in u32");
+        ShardMap {
+            groups: groups as u32,
+        }
+    }
+
+    /// Number of replica groups in the deployment.
+    pub fn groups(&self) -> usize {
+        self.groups as usize
+    }
+
+    /// The group serving `obj`. Stable for the lifetime of the deployment:
+    /// resharding means a new map (and a data migration this crate does not
+    /// model).
+    pub fn shard_of(&self, obj: ObjectId) -> u32 {
+        // Fibonacci hashing: multiply the 32-bit id by ⌊2^64/φ⌋ (wrapping)
+        // and keep bits 32..63 of the product — each such bit depends on
+        // every input bit, which spreads even near-identical ids before the
+        // modulo.
+        let mixed = (u64::from(obj.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (mixed as u32) % self.groups
+    }
+
+    /// The group serving the object `key` hashes to.
+    pub fn shard_of_key(&self, key: &[u8]) -> u32 {
+        self.shard_of(ObjectId::from_key(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_group_maps_everything_to_zero() {
+        let m = ShardMap::new(1);
+        for i in 0..100 {
+            assert_eq!(m.shard_of(ObjectId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn shards_are_stable_and_in_range() {
+        let m = ShardMap::new(7);
+        for i in 0..1000u32 {
+            let s = m.shard_of(ObjectId(i));
+            assert!(s < 7);
+            assert_eq!(s, m.shard_of(ObjectId(i)), "must be a pure function");
+        }
+    }
+
+    #[test]
+    fn key_and_object_routes_agree() {
+        let m = ShardMap::new(4);
+        for i in 0..50 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                m.shard_of_key(key.as_bytes()),
+                m.shard_of(ObjectId::from_key(key.as_bytes()))
+            );
+        }
+    }
+
+    #[test]
+    fn typical_keys_spread_across_groups() {
+        // Not a uniformity proof — just that no group starves under the
+        // workload generator's key shapes.
+        let m = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[m.shard_of_key(format!("key-{i:08}").as_bytes()) as usize] += 1;
+        }
+        for (g, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1500).contains(&c),
+                "group {g} got {c} of 4000 keys: {counts:?}"
+            );
+        }
+    }
+}

@@ -85,15 +85,21 @@ pub mod prelude {
     pub use harmonia_core::failover::{
         schedule_replica_removal, schedule_switch_failure, schedule_switch_replacement,
     };
-    pub use harmonia_core::live::{LiveClient, LiveCluster, LiveError};
+    pub use harmonia_core::live::{LiveClient, LiveCluster, LiveError, ShardedLiveCluster};
     pub use harmonia_core::msg::{CostModel, Msg};
+    pub use harmonia_core::sharded::{
+        add_sharded_open_loop_client, build_sharded_world, ShardedClusterConfig,
+    };
     pub use harmonia_core::{ClosedLoopClient, OpenLoopClient, SwitchActor};
     pub use harmonia_replication::{GroupConfig, ProtocolKind};
     pub use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};
-    pub use harmonia_switch::{ConflictDetector, MultiStageHashTable, ResourceModel, TableConfig};
+    pub use harmonia_switch::{
+        ConflictDetector, GroupId, MultiStageHashTable, ResourceModel, SpineSwitch, TableConfig,
+    };
     pub use harmonia_types::{
         ClientId, Duration, Instant, NodeId, ObjectId, OpKind, ReplicaId, SwitchId, SwitchSeq,
     };
     pub use harmonia_verify::{check_history, ModelConfig, SpecModel};
+    pub use harmonia_workload::ShardMap;
     pub use harmonia_workload::{KeySpace, Mix, WorkloadSpec, YcsbPreset};
 }

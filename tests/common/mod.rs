@@ -39,6 +39,47 @@ impl Default for Scenario {
     }
 }
 
+/// A multi-client closed-loop workload over a sharded (§6.3) deployment.
+/// Clients address the spine switch; keys spread across every group.
+pub struct ShardedScenario {
+    pub cluster: ShardedClusterConfig,
+    pub clients: usize,
+    pub ops_per_client: usize,
+    pub keys: usize,
+    pub write_ratio: f64,
+    pub seed: u64,
+}
+
+impl Default for ShardedScenario {
+    fn default() -> Self {
+        ShardedScenario {
+            cluster: ShardedClusterConfig::default(),
+            clients: 4,
+            ops_per_client: 60,
+            keys: 24,
+            write_ratio: 0.4,
+            seed: 1,
+        }
+    }
+}
+
+impl ShardedScenario {
+    pub fn run(&self) -> Outcome {
+        let world = build_sharded_world(&self.cluster);
+        run_scenario_in(
+            world,
+            self.cluster.switch_addr(),
+            self.cluster.write_replies(),
+            self.clients,
+            self.ops_per_client,
+            self.keys,
+            self.write_ratio,
+            self.seed,
+            |_| {},
+        )
+    }
+}
+
 /// What a scenario produced.
 pub struct Outcome {
     /// Completed operations, checker-ready. If any operation ultimately
@@ -60,65 +101,112 @@ impl Scenario {
 
     /// Run with a hook that can adjust the world (network faults, scheduled
     /// failures) after the nodes are added but before time advances.
-    pub fn run_in(&self, mut world: World<Msg>, prepare: impl FnOnce(&mut World<Msg>)) -> Outcome {
-        let mut plans = Vec::new();
-        for c in 0..self.clients {
-            let mut rng = SmallRng::seed_from_u64(self.seed * 1000 + c as u64);
-            let plan: Vec<Op> = (0..self.ops_per_client)
-                .map(|i| {
-                    let key = Bytes::from(format!("key-{}", rng.gen_range(0..self.keys)));
-                    if rng.gen_bool(self.write_ratio) {
-                        Op::write(key, Bytes::from(format!("c{c}-v{i}")))
-                    } else {
-                        Op::read(key)
-                    }
-                })
-                .collect();
-            plans.push(plan);
-        }
-        for (c, plan) in plans.into_iter().enumerate() {
-            let id = ClientId(10 + c as u32);
-            let client = ClosedLoopClient::new(id, self.cluster.switch_addr(), plan)
-                .with_write_replies(self.cluster.write_replies())
-                .with_timeout(Duration::from_millis(3));
-            world.add_node(NodeId::Client(id), Box::new(client));
-        }
-        prepare(&mut world);
-        // Generously long: closed-loop clients finish far sooner; periodic
-        // protocol timers keep ticking harmlessly.
-        world.run_until(Instant::ZERO + Duration::from_secs(2));
-
-        let mut records = Vec::new();
-        let mut incomplete = 0;
-        let mut poisoned_keys: HashSet<Bytes> = HashSet::new();
-        for c in 0..self.clients {
-            let id = NodeId::Client(ClientId(10 + c as u32));
-            let client: &ClosedLoopClient = world.actor(id).expect("client exists");
-            assert!(client.is_done(), "client {c} still has work");
-            for r in &client.records {
-                if !r.ok {
-                    incomplete += 1;
-                    poisoned_keys.insert(r.key.clone());
-                    continue;
-                }
-                records.push(OpRecord {
-                    client: 10 + c as u32,
-                    key: r.key.clone(),
-                    invoke: r.invoked.nanos(),
-                    complete: r.completed.nanos(),
-                    action: match r.kind {
-                        OpKind::Write => Action::Write(r.value.clone().unwrap_or_default()),
-                        OpKind::Read => Action::Read(r.result.clone()),
-                    },
-                });
-            }
-        }
-        records.retain(|r| !poisoned_keys.contains(&r.key));
-        Outcome {
-            records,
+    pub fn run_in(&self, world: World<Msg>, prepare: impl FnOnce(&mut World<Msg>)) -> Outcome {
+        run_scenario_in(
             world,
-            incomplete,
+            self.cluster.switch_addr(),
+            self.cluster.write_replies(),
+            self.clients,
+            self.ops_per_client,
+            self.keys,
+            self.write_ratio,
+            self.seed,
+            prepare,
+        )
+    }
+}
+
+/// Shared closed-loop driver for both deployment shapes: attach `clients`
+/// clients addressing `switch`, run to quiescence, and collect
+/// checker-ready records.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_in(
+    mut world: World<Msg>,
+    switch: NodeId,
+    write_replies: usize,
+    clients: usize,
+    ops_per_client: usize,
+    keys: usize,
+    write_ratio: f64,
+    seed: u64,
+    prepare: impl FnOnce(&mut World<Msg>),
+) -> Outcome {
+    let mut plans = Vec::new();
+    for c in 0..clients {
+        let mut rng = SmallRng::seed_from_u64(seed * 1000 + c as u64);
+        let plan: Vec<Op> = (0..ops_per_client)
+            .map(|i| {
+                let key = Bytes::from(format!("key-{}", rng.gen_range(0..keys)));
+                if rng.gen_bool(write_ratio) {
+                    Op::write(key, Bytes::from(format!("c{c}-v{i}")))
+                } else {
+                    Op::read(key)
+                }
+            })
+            .collect();
+        plans.push(plan);
+    }
+    for (c, plan) in plans.into_iter().enumerate() {
+        let id = ClientId(10 + c as u32);
+        let client = ClosedLoopClient::new(id, switch, plan)
+            .with_write_replies(write_replies)
+            .with_timeout(Duration::from_millis(3));
+        world.add_node(NodeId::Client(id), Box::new(client));
+    }
+    prepare(&mut world);
+    // Advance in chunks until every client finished AND every scheduled
+    // control action (failovers, removals) has fired, bounded by a generous
+    // 2-second horizon; then drain. Protocol timers would keep ticking
+    // harmlessly but expensively, so there is no point simulating dead air —
+    // but a control event scheduled after the clients finish must still run.
+    let horizon = Instant::ZERO + Duration::from_secs(2);
+    loop {
+        let next = world.now() + Duration::from_millis(10);
+        world.run_until(next);
+        let all_done = (0..clients).all(|c| {
+            world
+                .actor::<ClosedLoopClient>(NodeId::Client(ClientId(10 + c as u32)))
+                .is_some_and(|cl| cl.is_done())
+        });
+        if (all_done && world.pending_controls() == 0) || next >= horizon {
+            break;
         }
+    }
+    // Let in-flight protocol traffic (commit broadcasts, chain DOWNs of the
+    // final writes) settle so replica-state assertions see quiescence.
+    let drain = world.now() + Duration::from_millis(20);
+    world.run_until(drain);
+
+    let mut records = Vec::new();
+    let mut incomplete = 0;
+    let mut poisoned_keys: HashSet<Bytes> = HashSet::new();
+    for c in 0..clients {
+        let id = NodeId::Client(ClientId(10 + c as u32));
+        let client: &ClosedLoopClient = world.actor(id).expect("client exists");
+        assert!(client.is_done(), "client {c} still has work");
+        for r in &client.records {
+            if !r.ok {
+                incomplete += 1;
+                poisoned_keys.insert(r.key.clone());
+                continue;
+            }
+            records.push(OpRecord {
+                client: 10 + c as u32,
+                key: r.key.clone(),
+                invoke: r.invoked.nanos(),
+                complete: r.completed.nanos(),
+                action: match r.kind {
+                    OpKind::Write => Action::Write(r.value.clone().unwrap_or_default()),
+                    OpKind::Read => Action::Read(r.result.clone()),
+                },
+            });
+        }
+    }
+    records.retain(|r| !poisoned_keys.contains(&r.key));
+    Outcome {
+        records,
+        world,
+        incomplete,
     }
 }
 
@@ -142,6 +230,43 @@ pub fn assert_linearizable(records: Vec<OpRecord>, context: &str) {
             }
         }
         panic!("{context}: {v}");
+    }
+}
+
+/// Sharded deployments: after quiescence, every key's owning group must
+/// agree on its value across that group's replicas (replicas of *other*
+/// groups never see the key at all).
+pub fn assert_sharded_converged(world: &World<Msg>, cluster: &ShardedClusterConfig, keys: usize) {
+    use harmonia::core::ReplicaActor;
+    let map = cluster.shard_map();
+    for k in 0..keys {
+        let key = format!("key-{k}");
+        let group = map.shard_of_key(key.as_bytes()) as usize;
+        let mut values = Vec::new();
+        for r in cluster.group_members(group) {
+            let actor: &ReplicaActor = world
+                .actor(NodeId::Replica(r))
+                .expect("group replica exists");
+            values.push(actor.replica().local_value(key.as_bytes()));
+        }
+        let first = &values[0];
+        assert!(
+            values.iter().all(|v| v == first),
+            "group {group} diverges on {key}: {values:?}"
+        );
+        // Shard isolation: no other group ever applied this key.
+        for g in (0..cluster.groups).filter(|&g| g != group) {
+            for r in cluster.group_members(g) {
+                let actor: &ReplicaActor = world
+                    .actor(NodeId::Replica(r))
+                    .expect("other-group replica exists");
+                assert_eq!(
+                    actor.replica().local_value(key.as_bytes()),
+                    None,
+                    "replica {r:?} of group {g} holds {key}, owned by group {group}"
+                );
+            }
+        }
     }
 }
 

@@ -24,7 +24,6 @@ fn adversarial(seed: u64) -> Scenario {
                 duplicate_prob: 0.01,
                 reorder_prob: 0.05,
                 reorder_delay: Duration::from_micros(100),
-                ..LinkConfig::default()
             },
             seed,
             ..ClusterConfig::default()
@@ -34,7 +33,6 @@ fn adversarial(seed: u64) -> Scenario {
         keys: 6,
         write_ratio: 0.3,
         seed,
-        ..Scenario::default()
     }
 }
 

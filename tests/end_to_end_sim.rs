@@ -74,9 +74,10 @@ fn nopaxos_harmonia_is_linearizable() {
 }
 
 /// §5.2: consistency must hold "even when the network can arbitrarily delay
-/// or reorder packets". Jittered links invert packet order regularly; the
-/// in-order write rule plus the last-committed guard must keep histories
-/// linearizable (rejected writes are retried by the clients).
+/// or reorder packets". The fault-injection sweep below runs every
+/// protocol, with and without Harmonia, under three adversaries — lossy,
+/// reordering, and loss+reordering — and feeds each recorded history
+/// through `harmonia-verify`'s Wing–Gong linearizability checker.
 ///
 /// One assumption is preserved from the paper's deployment model:
 /// replica↔replica channels are reliable FIFO (they are TCP connections in
@@ -84,17 +85,55 @@ fn nopaxos_harmonia_is_linearizable() {
 /// are processed in order" — depends on it: losing a chain DOWN message
 /// while later writes survive would leave an applied-but-never-committable
 /// write that the dirty set no longer tracks). Client↔switch and
-/// switch↔replica paths get the full adversary: drops, duplicates, jitter,
-/// reordering.
-fn adversarial_link() -> LinkConfig {
-    LinkConfig {
-        base_latency: Duration::from_micros(5),
-        jitter: Duration::from_micros(40),
-        drop_prob: 0.01,
-        duplicate_prob: 0.01,
-        reorder_prob: 0.05,
-        reorder_delay: Duration::from_micros(100),
-        ..LinkConfig::default()
+/// switch↔replica paths get the adversary. NOPaxos additionally keeps its
+/// own documented envelope: its gap recovery covers follower-side multicast
+/// loss (the leader's copy must arrive, DESIGN.md §6) and OUM assumes the
+/// sequencer→replica fan-out is order-preserving, so its losses go on the
+/// switch→follower links and its reordering on the client↔switch path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Fault {
+    /// Drops and duplicates, order preserved.
+    Lossy,
+    /// Jitter and explicit reordering, nothing lost.
+    Reordering,
+    /// Both at once (the original adversarial configuration).
+    LossAndReorder,
+}
+
+const ALL_FAULTS: [Fault; 3] = [Fault::Lossy, Fault::Reordering, Fault::LossAndReorder];
+
+impl Fault {
+    fn link(self) -> LinkConfig {
+        let ideal = LinkConfig::ideal(Duration::from_micros(5));
+        match self {
+            Fault::Lossy => LinkConfig {
+                drop_prob: 0.02,
+                duplicate_prob: 0.01,
+                ..ideal
+            },
+            Fault::Reordering => LinkConfig {
+                jitter: Duration::from_micros(40),
+                reorder_prob: 0.05,
+                reorder_delay: Duration::from_micros(100),
+                ..ideal
+            },
+            Fault::LossAndReorder => LinkConfig {
+                jitter: Duration::from_micros(40),
+                drop_prob: 0.01,
+                duplicate_prob: 0.01,
+                reorder_prob: 0.05,
+                reorder_delay: Duration::from_micros(100),
+                ..ideal
+            },
+        }
+    }
+
+    fn loses(self) -> bool {
+        matches!(self, Fault::Lossy | Fault::LossAndReorder)
+    }
+
+    fn reorders(self) -> bool {
+        matches!(self, Fault::Reordering | Fault::LossAndReorder)
     }
 }
 
@@ -114,10 +153,14 @@ fn reliable_intra_replica_links(world: &mut World<Msg>, replicas: usize) {
     }
 }
 
-fn check_adversarial(protocol: ProtocolKind, harmonia: bool, seed: u64, context: &str) {
+fn check_fault(protocol: ProtocolKind, harmonia: bool, fault: Fault, seed: u64) {
+    let context = format!("{protocol:?} harmonia={harmonia} under {fault:?}");
     let mut cfg = cluster(protocol, harmonia);
-    cfg.link = adversarial_link();
     cfg.seed = seed;
+    let nopaxos = protocol == ProtocolKind::Nopaxos;
+    if !nopaxos {
+        cfg.link = fault.link();
+    }
     let replicas = cfg.replicas;
     let scenario = Scenario {
         cluster: cfg.clone(),
@@ -126,76 +169,169 @@ fn check_adversarial(protocol: ProtocolKind, harmonia: bool, seed: u64, context:
         keys: 6,
         write_ratio: 0.35,
         seed,
-        ..Scenario::default()
-    };
-    let world = build_world(&cfg);
-    let outcome = scenario.run_in(world, |w| reliable_intra_replica_links(w, replicas));
-    assert_linearizable(outcome.records, context);
-}
-
-#[test]
-fn chain_harmonia_survives_reordering_and_loss() {
-    for seed in [21, 22, 23] {
-        check_adversarial(ProtocolKind::Chain, true, seed, "Harmonia(CR) adversarial");
-    }
-}
-
-#[test]
-fn pb_harmonia_survives_reordering_and_loss() {
-    for seed in [31, 32] {
-        check_adversarial(
-            ProtocolKind::PrimaryBackup,
-            true,
-            seed,
-            "Harmonia(PB) adversarial",
-        );
-    }
-}
-
-#[test]
-fn vr_harmonia_survives_reordering_and_loss() {
-    for seed in [41, 42] {
-        check_adversarial(ProtocolKind::Vr, true, seed, "Harmonia(VR) adversarial");
-    }
-}
-
-#[test]
-fn craq_survives_reordering_and_loss() {
-    for seed in [51, 52] {
-        check_adversarial(ProtocolKind::Craq, false, seed, "CRAQ adversarial");
-    }
-}
-
-/// NOPaxos gap recovery covers follower-side multicast loss; the leader's
-/// copy must arrive (DESIGN.md §6), so losses are injected only on the
-/// switch→follower links.
-#[test]
-fn nopaxos_harmonia_survives_follower_loss() {
-    let mut cfg = cluster(ProtocolKind::Nopaxos, true);
-    cfg.seed = 61;
-    let scenario = Scenario {
-        cluster: cfg.clone(),
-        clients: 3,
-        ops_per_client: 40,
-        keys: 6,
-        write_ratio: 0.3,
-        seed: 61,
-        ..Scenario::default()
     };
     let world = build_world(&cfg);
     let outcome = scenario.run_in(world, |w| {
-        for follower in [1u32, 2] {
-            w.network_mut().set_link(
-                cfg.switch_addr(),
-                NodeId::Replica(ReplicaId(follower)),
-                LinkConfig {
-                    drop_prob: 0.05,
+        if nopaxos {
+            // Respect the OUM envelope: losses hit the switch→follower
+            // multicast legs; reordering hits the client↔switch path.
+            if fault.loses() {
+                for follower in [1u32, 2] {
+                    w.network_mut().set_link(
+                        cfg.switch_addr(),
+                        NodeId::Replica(ReplicaId(follower)),
+                        LinkConfig {
+                            drop_prob: 0.05,
+                            ..LinkConfig::ideal(Duration::from_micros(5))
+                        },
+                    );
+                }
+            }
+            if fault.reorders() {
+                let reorder = LinkConfig {
+                    jitter: Duration::from_micros(40),
+                    reorder_prob: 0.05,
+                    reorder_delay: Duration::from_micros(100),
                     ..LinkConfig::ideal(Duration::from_micros(5))
-                },
-            );
+                };
+                for c in 0..scenario.clients as u32 {
+                    let client = NodeId::Client(ClientId(10 + c));
+                    w.network_mut().set_link(client, cfg.switch_addr(), reorder);
+                    w.network_mut().set_link(cfg.switch_addr(), client, reorder);
+                }
+            }
+        } else {
+            reliable_intra_replica_links(w, replicas);
         }
     });
-    assert_linearizable(outcome.records, "Harmonia(NOPaxos) follower loss");
+    assert_linearizable(outcome.records, &context);
+}
+
+/// One sweep entry per protocol × mode; each runs all three fault profiles.
+fn fault_sweep(protocol: ProtocolKind, harmonia: bool, base_seed: u64) {
+    for (i, fault) in ALL_FAULTS.into_iter().enumerate() {
+        check_fault(protocol, harmonia, fault, base_seed + i as u64);
+    }
+}
+
+#[test]
+fn fault_sweep_pb_baseline() {
+    fault_sweep(ProtocolKind::PrimaryBackup, false, 300);
+}
+
+#[test]
+fn fault_sweep_pb_harmonia() {
+    fault_sweep(ProtocolKind::PrimaryBackup, true, 310);
+}
+
+#[test]
+fn fault_sweep_chain_baseline() {
+    fault_sweep(ProtocolKind::Chain, false, 320);
+}
+
+#[test]
+fn fault_sweep_chain_harmonia() {
+    fault_sweep(ProtocolKind::Chain, true, 330);
+}
+
+#[test]
+fn fault_sweep_craq() {
+    fault_sweep(ProtocolKind::Craq, false, 340);
+}
+
+#[test]
+fn fault_sweep_vr_baseline() {
+    fault_sweep(ProtocolKind::Vr, false, 350);
+}
+
+#[test]
+fn fault_sweep_vr_harmonia() {
+    fault_sweep(ProtocolKind::Vr, true, 360);
+}
+
+#[test]
+fn fault_sweep_nopaxos_baseline() {
+    fault_sweep(ProtocolKind::Nopaxos, false, 370);
+}
+
+#[test]
+fn fault_sweep_nopaxos_harmonia() {
+    fault_sweep(ProtocolKind::Nopaxos, true, 380);
+}
+
+/// §5.2's other race: the control-plane stale-entry sweep fires while
+/// writes are still propagating. Chain hops are slowed to 300 µs so every
+/// write stays pending across multiple 50 µs sweep periods, and the
+/// switch→replica legs reorder so some stamped writes arrive out of order
+/// at the head, get rejected, and leave stray dirty entries for the sweep
+/// to reclaim. The sweep must collect only those strays — never a live
+/// pending write — or a fast-path read would reach a replica holding
+/// uncommitted data, which the checker would flag.
+#[test]
+fn sweep_eviction_races_slow_write_completion() {
+    let mut cfg = cluster(ProtocolKind::Chain, true);
+    cfg.seed = 401;
+    cfg.sweep_interval = Some(Duration::from_micros(50));
+    let scenario = Scenario {
+        cluster: cfg.clone(),
+        clients: 4,
+        ops_per_client: 60,
+        keys: 8,
+        write_ratio: 0.4,
+        seed: 401,
+    };
+    let world = build_world(&cfg);
+    let outcome = scenario.run_in(world, |w| {
+        // Slow, reliable FIFO chain: writes stay in flight ~0.6 ms.
+        let slow = LinkConfig::ideal(Duration::from_micros(300));
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    w.network_mut().set_link(
+                        NodeId::Replica(ReplicaId(a)),
+                        NodeId::Replica(ReplicaId(b)),
+                        slow,
+                    );
+                }
+            }
+        }
+        // Reordering on the switch→replica legs: stamped writes can pass
+        // each other, so the head rejects the late one (stray entry).
+        let reorder = LinkConfig {
+            jitter: Duration::from_micros(30),
+            reorder_prob: 0.15,
+            reorder_delay: Duration::from_micros(120),
+            ..LinkConfig::ideal(Duration::from_micros(5))
+        };
+        for r in 0..3u32 {
+            w.network_mut()
+                .set_link(cfg.switch_addr(), NodeId::Replica(ReplicaId(r)), reorder);
+        }
+    });
+    assert_linearizable(outcome.records, "sweep vs slow completion");
+    assert_converged(&outcome.world, &scenario.cluster, scenario.keys);
+    // The race must actually have been exercised: the sweep reclaimed stray
+    // entries while fast-path reads were being served.
+    let swept = outcome.world.metrics().counter("switch.swept");
+    assert!(swept > 0, "no stale entries were ever swept");
+    let sw: &SwitchActor = outcome
+        .world
+        .actor(scenario.cluster.switch_addr())
+        .expect("switch");
+    assert!(
+        sw.stats().reads_fast_path > 0,
+        "fast path never exercised: {:?}",
+        sw.stats()
+    );
+    // The dirty set drains except for trailing strays: a write rejected
+    // *after* the final commit leaves an entry no sweep can reclaim until a
+    // later commit advances the last-committed point past it. Those are
+    // bounded by the final burst of rejected writes, never the workload.
+    assert!(
+        sw.detector().dirty_len() <= 3,
+        "dirty set kept {} entries after quiescence",
+        sw.detector().dirty_len()
+    );
 }
 
 /// Harmonia's fast path must actually be exercised by these scenarios —

@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use harmonia::prelude::*;
 use harmonia::switch::conflict::{ConflictConfig, WriteDecision};
+use harmonia::switch::spine::{GroupId as GId, SpineSwitch as Spine};
 use harmonia::switch::table::TableConfig as TC;
 use harmonia::types::wire::{decode_frame, encode_frame};
 use harmonia::types::{
@@ -279,7 +280,7 @@ proptest! {
             prop_assert!(w[0] <= w[1]);
             if w[0].switch_id < w[1].switch_id {
                 // Different incarnations: order decided by switch id alone.
-                prop_assert!(w[0] < w[1] || w[0] == w[1]);
+                prop_assert!(w[0] <= w[1]);
             }
         }
     }
@@ -300,6 +301,87 @@ proptest! {
             reference = reference.wrapping_mul(0x0100_0193);
         }
         prop_assert_eq!(first, ObjectId(reference), "FNV-1a constants drifted");
+    }
+
+    /// SpineSwitch memory accounting is monotone in the group count: each
+    /// added group grows `memory_bytes` by exactly the per-group table
+    /// footprint, duplicates change nothing, and the total always equals
+    /// `group_count × per_group` (§6.3's budget arithmetic).
+    #[test]
+    fn spine_memory_monotone_in_group_count(group_ids in prop::collection::vec(0u32..48, 1..60)) {
+        let table = TC { stages: 2, slots_per_stage: 16, entry_bytes: 8 };
+        let per_group = table.stages * table.slots_per_stage * table.entry_bytes;
+        let mut spine = Spine::new(SwitchId(1), table);
+        let mut prev = spine.memory_bytes();
+        prop_assert_eq!(prev, 0);
+        for g in group_ids {
+            let added = spine.add_group(GId(g));
+            let now = spine.memory_bytes();
+            prop_assert!(now >= prev, "memory shrank on add");
+            prop_assert_eq!(now - prev, if added { per_group } else { 0 });
+            prop_assert_eq!(now, spine.group_count() * per_group);
+            prev = now;
+        }
+    }
+
+    /// Removing a group reclaims exactly its bytes, and removal of unknown
+    /// groups reclaims nothing — tracked against a model set under any
+    /// add/remove interleaving.
+    #[test]
+    fn spine_group_removal_reclaims_bytes(ops in prop::collection::vec(
+        (prop::bool::ANY, 0u32..24), 1..120
+    )) {
+        let table = TC { stages: 3, slots_per_stage: 8, entry_bytes: 8 };
+        let per_group = table.stages * table.slots_per_stage * table.entry_bytes;
+        let mut spine = Spine::new(SwitchId(1), table);
+        let mut model = std::collections::BTreeSet::new();
+        for (add, g) in ops {
+            if add {
+                prop_assert_eq!(spine.add_group(GId(g)), model.insert(g));
+            } else {
+                let before = spine.memory_bytes();
+                let removed = spine.remove_group(GId(g));
+                prop_assert_eq!(removed, model.remove(&g));
+                let reclaimed = before - spine.memory_bytes();
+                prop_assert_eq!(reclaimed, if removed { per_group } else { 0 });
+            }
+            prop_assert_eq!(spine.group_count(), model.len());
+            prop_assert_eq!(spine.memory_bytes(), model.len() * per_group);
+        }
+    }
+
+    /// Per-group sequence spaces never interleave: however writes to many
+    /// groups interleave at the spine switch, each group's stamped sequence
+    /// numbers are exactly 1, 2, 3, … in its own space (dense and strictly
+    /// increasing), all under the one shared incarnation id.
+    #[test]
+    fn spine_sequence_spaces_never_interleave(writes in prop::collection::vec(
+        (0u32..6, 0u32..32), 1..200
+    )) {
+        let table = TC { stages: 3, slots_per_stage: 64, entry_bytes: 8 };
+        let mut spine = Spine::new(SwitchId(7), table);
+        for g in 0..6 {
+            spine.add_group(GId(g));
+        }
+        let mut per_group_count = [0u64; 6];
+        for (g, obj) in writes {
+            match spine.process_write(GId(g), ObjectId(obj)) {
+                Some(harmonia::switch::WriteDecision::Stamped(seq)) => {
+                    per_group_count[g as usize] += 1;
+                    prop_assert_eq!(seq.switch_id, SwitchId(7));
+                    prop_assert_eq!(
+                        seq, SwitchSeq::new(SwitchId(7), per_group_count[g as usize]),
+                        "group {} stamped out of its own dense space", g
+                    );
+                }
+                Some(harmonia::switch::WriteDecision::Dropped) => {
+                    // A full table still consumes the number (Algorithm 1
+                    // stamps before inserting).
+                    per_group_count[g as usize] += 1;
+                }
+                None => prop_assert!(false, "hosted group rejected a write"),
+            }
+        }
     }
 
     /// Wire codec: encode → decode is the identity for **every**

@@ -1,0 +1,187 @@
+//! Sharded multi-group deployments (§6.3): N replica groups behind one
+//! spine switch, keyspace partitioned by the shard map. Linearizability is
+//! per key, so it must survive sharding untouched — checked end to end in
+//! the deterministic sim and exercised at scale in the live driver.
+
+mod common;
+
+use common::{assert_linearizable, assert_sharded_converged, ShardedScenario};
+use harmonia::prelude::*;
+
+fn sharded(protocol: ProtocolKind, harmonia: bool, groups: usize) -> ShardedClusterConfig {
+    ShardedClusterConfig {
+        protocol,
+        harmonia,
+        groups,
+        replicas_per_group: 3,
+        ..ShardedClusterConfig::default()
+    }
+}
+
+/// The acceptance scenario: a 4-group chain deployment serves a concurrent
+/// closed-loop workload; the recorded history passes the Wing–Gong checker,
+/// each group's replicas converge, and shards never bleed into each other.
+#[test]
+fn four_group_chain_harmonia_is_linearizable() {
+    let scenario = ShardedScenario {
+        cluster: sharded(ProtocolKind::Chain, true, 4),
+        clients: 4,
+        ops_per_client: 60,
+        keys: 24,
+        write_ratio: 0.4,
+        seed: 201,
+    };
+    let outcome = scenario.run();
+    assert_eq!(outcome.incomplete, 0, "ops gave up");
+    assert_linearizable(outcome.records, "4-group Harmonia(CR)");
+    assert_sharded_converged(&outcome.world, &scenario.cluster, scenario.keys);
+
+    // All four groups actually served traffic through the one spine switch,
+    // under per-group sequence spaces and shared memory accounting.
+    let sw: &SwitchActor = outcome
+        .world
+        .actor(scenario.cluster.switch_addr())
+        .expect("spine switch");
+    assert_eq!(sw.spine().group_count(), 4);
+    let mut groups_with_writes = 0;
+    for g in 0..4 {
+        let stats = sw.group_stats(GroupId(g)).expect("hosted group");
+        if stats.writes_forwarded > 0 {
+            groups_with_writes += 1;
+        }
+    }
+    assert!(
+        groups_with_writes >= 3,
+        "only {groups_with_writes}/4 groups saw writes — sharding is not spreading"
+    );
+    let per_group = sw.spine().group_memory_bytes(GroupId(0)).unwrap();
+    assert_eq!(sw.memory_bytes(), 4 * per_group);
+}
+
+/// Every protocol that runs under Harmonia also runs sharded; baselines
+/// (and CRAQ) shard too — the spine switch routes, the groups do the rest.
+#[test]
+fn every_protocol_is_linearizable_across_two_groups() {
+    for (protocol, harmonia) in [
+        (ProtocolKind::PrimaryBackup, true),
+        (ProtocolKind::Chain, true),
+        (ProtocolKind::Chain, false),
+        (ProtocolKind::Craq, false),
+        (ProtocolKind::Vr, true),
+        (ProtocolKind::Nopaxos, true),
+    ] {
+        let scenario = ShardedScenario {
+            cluster: sharded(protocol, harmonia, 2),
+            clients: 3,
+            ops_per_client: 40,
+            keys: 12,
+            write_ratio: 0.35,
+            seed: 211,
+        };
+        let outcome = scenario.run();
+        let context = format!("2-group {protocol:?} harmonia={harmonia}");
+        assert_eq!(outcome.incomplete, 0, "{context}: ops gave up");
+        assert_linearizable(outcome.records, &context);
+        assert_sharded_converged(&outcome.world, &scenario.cluster, scenario.keys);
+    }
+}
+
+/// Per-group sequence spaces: groups stamp independently, so a group's
+/// writes are dense in its own space no matter how traffic interleaves at
+/// the spine switch.
+#[test]
+fn group_fast_paths_arm_independently() {
+    use harmonia::core::client::OpSpec;
+    use harmonia::core::ClosedLoopClient;
+
+    let cfg = sharded(ProtocolKind::Chain, true, 4);
+    let mut world = build_sharded_world(&cfg);
+    // Write (and thereby arm) only the groups that serve these two keys:
+    // probe until the second key lands on a different shard than the first.
+    let map = cfg.shard_map();
+    let key_a = "key-0".to_string();
+    let ga = map.shard_of_key(key_a.as_bytes());
+    let key_b = (1..)
+        .map(|i| format!("key-{i}"))
+        .find(|k| map.shard_of_key(k.as_bytes()) != ga)
+        .expect("some key lands on another shard");
+    let gb = map.shard_of_key(key_b.as_bytes());
+    let plan = vec![
+        OpSpec::write(key_a.clone(), "a"),
+        OpSpec::write(key_b.clone(), "b"),
+        OpSpec::read(key_a),
+        OpSpec::read(key_b),
+    ];
+    world.add_node(
+        NodeId::Client(ClientId(1)),
+        Box::new(ClosedLoopClient::new(ClientId(1), cfg.switch_addr(), plan)),
+    );
+    world.run_until(Instant::ZERO + Duration::from_millis(5));
+    let sw: &SwitchActor = world.actor(cfg.switch_addr()).unwrap();
+    for g in 0..4u32 {
+        let armed = sw
+            .spine()
+            .group(GroupId(g))
+            .expect("hosted group")
+            .fast_path_enabled();
+        assert_eq!(
+            armed,
+            g == ga || g == gb,
+            "group {g}: fast path should arm iff its shard committed a write"
+        );
+    }
+}
+
+/// The live (threaded) acceptance scenario: a 4-group sharded cluster
+/// serves well over 1000 distinct keys correctly, spreading them over every
+/// group.
+#[test]
+fn sharded_live_cluster_serves_a_thousand_keys() {
+    use bytes::Bytes;
+
+    let cfg = sharded(ProtocolKind::Chain, true, 4);
+    let cluster = ShardedLiveCluster::spawn(&cfg);
+    let mut writers: Vec<_> = (0..4)
+        .map(|t| {
+            let mut client = cluster.client();
+            std::thread::spawn(move || {
+                for i in 0..300 {
+                    let k = t * 300 + i;
+                    client
+                        .set(format!("key-{k}"), format!("value-{k}"))
+                        .expect("write");
+                }
+            })
+        })
+        .collect();
+    for w in writers.drain(..) {
+        w.join().unwrap();
+    }
+    let mut reader = cluster.client();
+    for k in (0..1200).rev() {
+        assert_eq!(
+            reader.get(format!("key-{k}")).unwrap(),
+            Some(Bytes::from(format!("value-{k}"))),
+            "key-{k}"
+        );
+    }
+    // Every group served part of the keyspace, and the spine accounts for
+    // all four dirty sets.
+    let map = cfg.shard_map();
+    for g in 0..4u32 {
+        let stats = cluster.group_stats(GroupId(g)).expect("live group stats");
+        let expected: u64 = (0..1200)
+            .filter(|k| map.shard_of_key(format!("key-{k}").as_bytes()) == g)
+            .count() as u64;
+        assert!(expected > 0, "degenerate shard map");
+        assert!(
+            stats.writes_forwarded >= expected,
+            "group {g} forwarded {} writes for {expected} owned keys",
+            stats.writes_forwarded
+        );
+        assert_eq!(cluster.group_fast_path_enabled(GroupId(g)), Some(true));
+    }
+    let per_group = cfg.table.stages * cfg.table.slots_per_stage * cfg.table.entry_bytes;
+    assert_eq!(cluster.switch_memory_bytes(), Some(4 * per_group));
+    cluster.shutdown();
+}

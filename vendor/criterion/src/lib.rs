@@ -102,14 +102,9 @@ fn report(name: &str, result: Option<(Duration, u64)>) {
 }
 
 /// Entry point handed to every benchmark function.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
