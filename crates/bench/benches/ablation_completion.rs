@@ -9,7 +9,7 @@
 //! normal path — the cadence is a real tuning knob.
 
 use harmonia_bench::{mrps, print_table, run_open_loop, Keys, RunSpec};
-use harmonia_core::cluster::ClusterConfig;
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_replication::ProtocolKind;
 use harmonia_types::Duration;
 
@@ -17,13 +17,10 @@ fn main() {
     let mut rows = Vec::new();
     for protocol in [ProtocolKind::Vr, ProtocolKind::Nopaxos] {
         for sync_us in [50u64, 200, 1_000, 5_000] {
-            let cluster = ClusterConfig {
-                protocol,
-                harmonia: true,
-                replicas: 3,
-                sync_interval: Duration::from_micros(sync_us),
-                ..ClusterConfig::default()
-            };
+            let cluster = DeploymentSpec::new()
+                .protocol(protocol)
+                .replicas(3)
+                .sync_interval(Duration::from_micros(sync_us));
             let mut spec = RunSpec::new(cluster, 2_500_000.0, 100_000.0);
             spec.keys = Keys::Uniform(100_000);
             let r = run_open_loop(&spec);

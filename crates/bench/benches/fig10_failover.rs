@@ -11,7 +11,7 @@
 use bytes::Bytes;
 use harmonia_bench::{mrps, print_table};
 use harmonia_core::client::{metrics, OpSpec, SourceFn};
-use harmonia_core::cluster::{add_open_loop_client, build_world, ClusterConfig};
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_core::failover::{schedule_switch_failure, schedule_switch_replacement};
 use harmonia_types::{ClientId, Duration, Instant, SwitchId};
 use harmonia_workload::KeySpace;
@@ -22,11 +22,8 @@ const BUCKET_MS: u64 = 2;
 const END_MS: u64 = 60;
 
 fn main() {
-    let config = ClusterConfig {
-        replicas: 3,
-        ..ClusterConfig::default()
-    };
-    let mut world = build_world(&config);
+    let config = DeploymentSpec::new().replicas(3);
+    let mut sim = config.build_sim();
     let keys = KeySpace::uniform(50_000);
     let value = Bytes::from(vec![3u8; 128]);
     let source: SourceFn = Box::new(move |rng| {
@@ -37,26 +34,19 @@ fn main() {
             OpSpec::read(key)
         }
     });
-    let client = add_open_loop_client(
-        &mut world,
-        &config,
-        ClientId(1),
-        RATE,
-        Duration::from_millis(5),
-        source,
-    );
+    let client = sim.add_open_loop_client(ClientId(1), RATE, Duration::from_millis(5), source);
     let t = |ms: u64| Instant::ZERO + Duration::from_millis(ms);
-    schedule_switch_failure(&mut world, t(20), config.switch_addr());
-    schedule_switch_replacement(&mut world, t(30), &config, SwitchId(2), vec![client]);
+    schedule_switch_failure(sim.world_mut(), t(20), config.switch_addr());
+    schedule_switch_replacement(sim.world_mut(), t(30), &config, SwitchId(2), vec![client]);
 
     let mut rows = Vec::new();
     for bucket in 0..(END_MS / BUCKET_MS) {
         let end = (bucket + 1) * BUCKET_MS;
-        world.run_until(t(bucket * BUCKET_MS));
-        world.metrics_mut().reset();
-        world.run_until(t(end));
-        let done = world.metrics().counter(metrics::READ_DONE)
-            + world.metrics().counter(metrics::WRITE_DONE);
+        sim.run_until(t(bucket * BUCKET_MS));
+        sim.world_mut().metrics_mut().reset();
+        sim.run_until(t(end));
+        let done = sim.world().metrics().counter(metrics::READ_DONE)
+            + sim.world().metrics().counter(metrics::WRITE_DONE);
         let tput = done as f64 / (BUCKET_MS as f64 / 1e3) / 1e6;
         let phase = if end <= 20 {
             "normal"

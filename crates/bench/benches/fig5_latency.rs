@@ -6,16 +6,14 @@
 //!     protocol either way).
 
 use harmonia_bench::{mrps, print_table, run_open_loop, us, Keys, RunSpec};
-use harmonia_core::cluster::ClusterConfig;
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_replication::ProtocolKind;
 
-fn cluster(harmonia: bool) -> ClusterConfig {
-    ClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia,
-        replicas: 3,
-        ..ClusterConfig::default()
-    }
+fn cluster(harmonia: bool) -> DeploymentSpec {
+    DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .harmonia(harmonia)
+        .replicas(3)
 }
 
 fn sweep_reads(harmonia: bool, rates_mrps: &[f64]) -> Vec<Vec<String>> {

@@ -6,16 +6,14 @@
 //!     same story viewed through the mix instead of the rate.
 
 use harmonia_bench::{max_read_at_fixed_write, mrps, print_table, run_open_loop, Keys, RunSpec};
-use harmonia_core::cluster::ClusterConfig;
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_replication::ProtocolKind;
 
-fn cluster(harmonia: bool) -> ClusterConfig {
-    ClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia,
-        replicas: 3,
-        ..ClusterConfig::default()
-    }
+fn cluster(harmonia: bool) -> DeploymentSpec {
+    DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .harmonia(harmonia)
+        .replicas(3)
 }
 
 fn main() {

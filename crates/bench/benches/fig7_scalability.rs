@@ -10,19 +10,16 @@
 //!     reported per run — the quantitative form of "the capacity of a
 //!     switch far exceeds that of a single replica group".
 
-use harmonia_bench::{mrps, print_table, run_open_loop, run_sharded_open_loop, Keys, RunSpec};
-use harmonia_core::cluster::ClusterConfig;
-use harmonia_core::sharded::ShardedClusterConfig;
+use harmonia_bench::{mrps, print_table, run_open_loop, Keys, RunSpec};
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_replication::ProtocolKind;
 use harmonia_types::Duration;
 
-fn cluster(harmonia: bool, replicas: usize) -> ClusterConfig {
-    ClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia,
-        replicas,
-        ..ClusterConfig::default()
-    }
+fn cluster(harmonia: bool, replicas: usize) -> DeploymentSpec {
+    DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .harmonia(harmonia)
+        .replicas(replicas)
 }
 
 const REPLICAS: [usize; 9] = [2, 3, 4, 5, 6, 7, 8, 9, 10];
@@ -110,21 +107,17 @@ fn main() {
     // per group — hundreds of groups fit in a tens-of-MB SRAM budget.
     let mut rows = Vec::new();
     for &groups in &[1usize, 2, 4, 8, 16] {
-        let cluster = ShardedClusterConfig {
-            groups,
-            replicas_per_group: 3,
-            ..ShardedClusterConfig::default()
-        };
         let per_group_load = 600_000.0;
         let total = per_group_load * groups as f64;
-        let r = run_sharded_open_loop(
-            &cluster,
+        let mut spec = RunSpec::new(
+            DeploymentSpec::new().groups(groups).replicas(3),
             total * 0.95,
             total * 0.05,
-            &Keys::Uniform(100_000),
-            Duration::from_millis(10),
-            harmonia_bench::measure_window(),
         );
+        spec.keys = Keys::Uniform(100_000);
+        spec.warmup = Duration::from_millis(10);
+        spec.measure = harmonia_bench::measure_window();
+        let r = run_open_loop(&spec);
         let per_group = r.switch_memory_bytes / r.groups.max(1);
         rows.push(vec![
             groups.to_string(),

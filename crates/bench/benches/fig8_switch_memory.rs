@@ -12,12 +12,12 @@
 //! knee sits proportionally earlier — the shape is the result.
 
 use harmonia_bench::{mrps, print_table, run_closed_loop, Keys};
-use harmonia_core::cluster::ClusterConfig;
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_replication::ProtocolKind;
 use harmonia_switch::TableConfig;
 use harmonia_types::Duration;
 
-fn cluster(total_slots: usize) -> ClusterConfig {
+fn cluster(total_slots: usize) -> DeploymentSpec {
     // Keep the 3-stage structure of the prototype (§8); tiny tables get one
     // stage so that "4 slots" really means 4.
     let (stages, per_stage) = if total_slots < 12 {
@@ -25,17 +25,14 @@ fn cluster(total_slots: usize) -> ClusterConfig {
     } else {
         (3, total_slots / 3)
     };
-    ClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia: true,
-        replicas: 3,
-        table: TableConfig {
+    DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .replicas(3)
+        .table(TableConfig {
             stages,
             slots_per_stage: per_stage,
             entry_bytes: 8,
-        },
-        ..ClusterConfig::default()
-    }
+        })
 }
 
 fn main() {

@@ -10,16 +10,14 @@
 //!     Harmonia triples both systems' reads.
 
 use harmonia_bench::{max_read_at_fixed_write, mrps, print_table, Keys};
-use harmonia_core::cluster::ClusterConfig;
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_replication::ProtocolKind;
 
 fn run(protocol: ProtocolKind, harmonia: bool, write_mrps: f64) -> (f64, f64) {
-    let cluster = ClusterConfig {
-        protocol,
-        harmonia,
-        replicas: 3,
-        ..ClusterConfig::default()
-    };
+    let cluster = DeploymentSpec::new()
+        .protocol(protocol)
+        .harmonia(harmonia)
+        .replicas(3);
     let r = max_read_at_fixed_write(&cluster, write_mrps * 1e6, &Keys::Uniform(100_000));
     (r.writes_mrps, r.reads_mrps)
 }

@@ -7,7 +7,7 @@
 //! which is the §9.4 claim.
 
 use harmonia_bench::{mrps, print_table, run_open_loop, Keys, RunSpec};
-use harmonia_core::cluster::ClusterConfig;
+use harmonia_core::deployment::DeploymentSpec;
 use harmonia_replication::ProtocolKind;
 use harmonia_switch::{ResourceModel, TableConfig};
 
@@ -71,17 +71,14 @@ fn main() {
     // Measured occupancy under load, across table sizes.
     let mut rows = Vec::new();
     for (stages, per_stage) in [(3usize, 32usize), (3, 256), (3, 2048), (3, 65536)] {
-        let cluster = ClusterConfig {
-            protocol: ProtocolKind::Chain,
-            harmonia: true,
-            replicas: 3,
-            table: TableConfig {
+        let cluster = DeploymentSpec::new()
+            .protocol(ProtocolKind::Chain)
+            .replicas(3)
+            .table(TableConfig {
                 stages,
                 slots_per_stage: per_stage,
                 entry_bytes: 8,
-            },
-            ..ClusterConfig::default()
-        };
+            });
         let mut spec = RunSpec::new(cluster, 2_700_000.0, 140_000.0);
         spec.keys = Keys::Uniform(100_000);
         let r = run_open_loop(&spec);

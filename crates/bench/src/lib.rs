@@ -1,12 +1,16 @@
 //! Shared harness for the figure-reproduction benchmarks.
 //!
 //! Every figure benchmark follows the same pattern as the paper's
-//! methodology (§9.1): build a cluster, attach independent open-loop read
-//! and write generators (the DPDK-generator substitute), warm up, measure a
-//! window, and report completed-operation rates and latency statistics.
-//! Saturated points use a timeout longer than the run so the reported
-//! throughput is the sustained completion rate (the servers are
-//! work-conserving single-server queues).
+//! methodology (§9.1): build a deployment from its [`DeploymentSpec`],
+//! attach independent open-loop read and write generators (the
+//! DPDK-generator substitute), warm up, measure a window, and report
+//! completed-operation rates and latency statistics. Saturated points use a
+//! timeout longer than the run so the reported throughput is the sustained
+//! completion rate (the servers are work-conserving single-server queues).
+//!
+//! One runner covers every deployment shape: a spec with `groups(1)` is the
+//! rack-scale Figure 5–9 setup, `groups(n)` the §6.3 sharded scale-out of
+//! Figure 7d — the measurement protocol cannot diverge between them.
 //!
 //! Figure 8 additionally needs a *closed-loop* client fleet, because its
 //! effect — switch-dropped writes throttling the workload — only shows up
@@ -14,13 +18,8 @@
 
 use bytes::Bytes;
 use harmonia_core::client::{metrics, ClosedLoopClient, OpSpec, SourceFn};
-use harmonia_core::cluster::{add_open_loop_client, build_world, ClusterConfig};
-use harmonia_core::msg::Msg;
-use harmonia_core::sharded::{
-    add_sharded_open_loop_client, build_sharded_world, ShardedClusterConfig,
-};
+use harmonia_core::deployment::{DeploymentSpec, SimCluster};
 use harmonia_core::switch_actor::SwitchActor;
-use harmonia_sim::World;
 use harmonia_switch::SwitchStats;
 use harmonia_types::{ClientId, Duration, Instant, NodeId};
 use harmonia_workload::KeySpace;
@@ -49,8 +48,8 @@ impl Keys {
 /// One open-loop measurement.
 #[derive(Clone, Debug)]
 pub struct RunSpec {
-    /// Cluster under test.
-    pub cluster: ClusterConfig,
+    /// Deployment under test (any shape — `groups(n)` is Figure 7d).
+    pub cluster: DeploymentSpec,
     /// Offered read load (requests/second).
     pub read_rate: f64,
     /// Offered write load (requests/second).
@@ -65,7 +64,7 @@ pub struct RunSpec {
 
 impl RunSpec {
     /// A spec with the paper's defaults and the given rates.
-    pub fn new(cluster: ClusterConfig, read_rate: f64, write_rate: f64) -> Self {
+    pub fn new(cluster: DeploymentSpec, read_rate: f64, write_rate: f64) -> Self {
         RunSpec {
             cluster,
             read_rate,
@@ -128,34 +127,35 @@ fn writer_source(keys: KeySpace, value_len: usize) -> SourceFn {
     Box::new(move |rng: &mut SmallRng| OpSpec::write(keys.sample(rng), value.clone()))
 }
 
-/// Execute one open-loop measurement.
+/// Execute one open-loop measurement — any deployment shape.
 pub fn run_open_loop(spec: &RunSpec) -> RunResult {
-    let mut world = build_world(&spec.cluster);
+    let mut sim = spec.cluster.build_sim();
     let keys = spec.keys.build();
-    // Bootstrap write: the switch enables single-replica reads only after
-    // the first WRITE-COMPLETION with its own id (§5.3), so a deployment
-    // primes the fast path with one write — as would any real bring-up.
-    // Completes within microseconds; the warmup discards its effects.
+    // Bring-up: each group's fast path arms only after the first
+    // WRITE-COMPLETION with the switch's id *in that group* (§5.3), so
+    // prime every group with one write — as would any real deployment.
+    // Keys are probed until every group is covered (the shard map is a pure
+    // hash, so a handful suffice; with one group the first key does it).
     if spec.cluster.harmonia {
-        let id = ClientId(99);
-        let plan = vec![OpSpec::write(
-            Bytes::from_static(b"__bootstrap__"),
-            Bytes::from_static(b"1"),
-        )];
-        world.add_node(
-            NodeId::Client(id),
-            Box::new(
-                ClosedLoopClient::new(id, spec.cluster.switch_addr(), plan)
-                    .with_write_replies(spec.cluster.write_replies()),
-            ),
-        );
+        let map = spec.cluster.shard_map();
+        let mut covered = vec![false; spec.cluster.groups];
+        let mut plan = Vec::new();
+        let mut probe = 0u32;
+        while covered.iter().any(|c| !c) {
+            let key = Bytes::from(format!("__bootstrap-{probe}__"));
+            let g = map.shard_of_key(&key) as usize;
+            if !covered[g] {
+                covered[g] = true;
+                plan.push(OpSpec::write(key, Bytes::from_static(b"1")));
+            }
+            probe += 1;
+        }
+        sim.add_closed_loop_client(ClientId(99), plan, Duration::from_millis(5));
     }
     // Timeout past the end of the run: never cull, always count.
     let timeout = spec.warmup + spec.measure + Duration::from_secs(1);
     if spec.read_rate > 0.0 {
-        add_open_loop_client(
-            &mut world,
-            &spec.cluster,
+        sim.add_open_loop_client(
             ClientId(1),
             spec.read_rate,
             timeout,
@@ -163,34 +163,25 @@ pub fn run_open_loop(spec: &RunSpec) -> RunResult {
         );
     }
     if spec.write_rate > 0.0 {
-        add_open_loop_client(
-            &mut world,
-            &spec.cluster,
+        sim.add_open_loop_client(
             ClientId(2),
             spec.write_rate,
             timeout,
             writer_source(keys, 128),
         );
     }
-    measure_open_loop(world, spec.cluster.switch_addr(), spec.warmup, spec.measure)
+    measure_open_loop(sim, spec.warmup, spec.measure)
 }
 
 /// Shared open-loop measurement tail: warm up, reset, measure, and fold the
 /// world's metrics plus the switch's data-plane state into a [`RunResult`].
-/// Used by both the rack-scale and the sharded runners so the measurement
-/// protocol can never diverge between Figure 7a–c and Figure 7d.
-fn measure_open_loop(
-    mut world: World<Msg>,
-    switch: NodeId,
-    warmup: Duration,
-    measure: Duration,
-) -> RunResult {
-    world.run_until(Instant::ZERO + warmup);
-    world.metrics_mut().reset();
-    world.run_until(Instant::ZERO + warmup + measure);
+fn measure_open_loop(mut sim: SimCluster, warmup: Duration, measure: Duration) -> RunResult {
+    sim.run_until(Instant::ZERO + warmup);
+    sim.world_mut().metrics_mut().reset();
+    sim.run_until(Instant::ZERO + warmup + measure);
 
     let secs = measure.as_secs_f64();
-    let m = world.metrics();
+    let m = sim.world().metrics();
     let hist_us = |name: &'static str, p: f64| {
         m.histogram(name)
             .map(|h| {
@@ -211,7 +202,7 @@ fn measure_open_loop(
         writes_rejected: m.counter(metrics::WRITE_REJECTED),
         ..RunResult::default()
     };
-    if let Some(sw) = world.actor::<SwitchActor>(switch) {
+    if let Some(sw) = sim.switch_actor() {
         result.switch = sw.stats();
         result.dirty_len = sw.detector().dirty_len();
         result.switch_memory_bytes = sw.memory_bytes();
@@ -220,76 +211,16 @@ fn measure_open_loop(
     result
 }
 
-/// Execute one open-loop measurement on a §6.3 sharded deployment: the
-/// offered load spreads over `cluster.groups` replica groups behind one
-/// spine switch, and the result reports that switch's total dirty-set SRAM.
-pub fn run_sharded_open_loop(
-    cluster: &ShardedClusterConfig,
-    read_rate: f64,
-    write_rate: f64,
-    keys: &Keys,
-    warmup: Duration,
-    measure: Duration,
-) -> RunResult {
-    let mut world = build_sharded_world(cluster);
-    let keyspace = keys.build();
-    // Bring-up: each group's fast path arms only after the first
-    // WRITE-COMPLETION with the switch's id *in that group* (§5.3), so
-    // prime every shard with one write. Keys are probed until every group
-    // is covered (the shard map is a pure hash, so a handful suffice).
-    if cluster.harmonia {
-        let map = cluster.shard_map();
-        let mut covered = vec![false; cluster.groups];
-        let mut plan = Vec::new();
-        let mut probe = 0u32;
-        while covered.iter().any(|c| !c) {
-            let key = Bytes::from(format!("__bootstrap-{probe}__"));
-            let g = map.shard_of_key(&key) as usize;
-            if !covered[g] {
-                covered[g] = true;
-                plan.push(OpSpec::write(key, Bytes::from_static(b"1")));
-            }
-            probe += 1;
-        }
-        let id = ClientId(99);
-        world.add_node(
-            NodeId::Client(id),
-            Box::new(
-                ClosedLoopClient::new(id, cluster.switch_addr(), plan)
-                    .with_write_replies(cluster.write_replies()),
-            ),
-        );
-    }
-    let timeout = warmup + measure + Duration::from_secs(1);
-    if read_rate > 0.0 {
-        add_sharded_open_loop_client(
-            &mut world,
-            cluster,
-            ClientId(1),
-            read_rate,
-            timeout,
-            reader_source(keyspace.clone()),
-        );
-    }
-    if write_rate > 0.0 {
-        add_sharded_open_loop_client(
-            &mut world,
-            cluster,
-            ClientId(2),
-            write_rate,
-            timeout,
-            writer_source(keyspace, 128),
-        );
-    }
-    measure_open_loop(world, cluster.switch_addr(), warmup, measure)
-}
-
 /// The paper's Figure 6a/9 methodology: "the client fixes its rate of
 /// generating write requests, and measures the maximum read throughput that
 /// can be handled by the replicas". Binary-search the offered read rate for
 /// the largest value at which the system still sustains ≥ 95 % of the fixed
 /// write rate, then measure that operating point with the full window.
-pub fn max_read_at_fixed_write(cluster: &ClusterConfig, write_rate: f64, keys: &Keys) -> RunResult {
+pub fn max_read_at_fixed_write(
+    cluster: &DeploymentSpec,
+    write_rate: f64,
+    keys: &Keys,
+) -> RunResult {
     let probe = |read_rate: f64, measure: Duration| -> RunResult {
         let mut spec = RunSpec::new(cluster.clone(), read_rate, write_rate);
         spec.keys = keys.clone();
@@ -321,7 +252,7 @@ pub fn max_read_at_fixed_write(cluster: &ClusterConfig, write_rate: f64, keys: &
 /// by the switch stalls its connection for the retry timeout, which is the
 /// Figure 8 mechanism. Returns completed MRPS within the window.
 pub fn run_closed_loop(
-    cluster: &ClusterConfig,
+    cluster: &DeploymentSpec,
     clients: usize,
     write_ratio: f64,
     keys: &Keys,
@@ -329,7 +260,7 @@ pub fn run_closed_loop(
     measure: Duration,
     op_timeout: Duration,
 ) -> f64 {
-    let mut world = build_world(cluster);
+    let mut sim = cluster.build_sim();
     let keyspace = keys.build();
     let value = Bytes::from(vec![0x5au8; 128]);
     // Enough planned ops that no client finishes early: triple the fleet's
@@ -349,19 +280,15 @@ pub fn run_closed_loop(
                 }
             })
             .collect();
-        let id = ClientId(100 + c as u32);
-        let client = ClosedLoopClient::new(id, cluster.switch_addr(), plan)
-            .with_write_replies(cluster.write_replies())
-            .with_timeout(op_timeout);
-        world.add_node(NodeId::Client(id), Box::new(client));
+        sim.add_closed_loop_client(ClientId(100 + c as u32), plan, op_timeout);
     }
-    world.run_until(Instant::ZERO + horizon);
+    sim.run_until(Instant::ZERO + horizon);
 
     // Count ops completed inside the measurement window.
     let mut done = 0u64;
     for c in 0..clients {
         let node = NodeId::Client(ClientId(100 + c as u32));
-        if let Some(cl) = world.actor::<ClosedLoopClient>(node) {
+        if let Some(cl) = sim.world().actor::<ClosedLoopClient>(node) {
             done += cl
                 .records
                 .iter()
@@ -392,9 +319,9 @@ pub fn us(v: f64) -> String {
     format!("{v:.1}")
 }
 
-/// Access a world's switch actor (post-run inspection).
-pub fn switch_of<'w>(world: &'w World<Msg>, cluster: &ClusterConfig) -> Option<&'w SwitchActor> {
-    world.actor::<SwitchActor>(cluster.switch_addr())
+/// Access a sim's switch actor (post-run inspection).
+pub fn switch_of(sim: &SimCluster) -> Option<&SwitchActor> {
+    sim.switch_actor()
 }
 
 #[cfg(test)]
@@ -402,7 +329,7 @@ mod tests {
     use super::*;
     use harmonia_replication::ProtocolKind;
 
-    fn quick(cluster: ClusterConfig, read: f64, write: f64) -> RunResult {
+    fn quick(cluster: DeploymentSpec, read: f64, write: f64) -> RunResult {
         let mut spec = RunSpec::new(cluster, read, write);
         spec.warmup = Duration::from_millis(5);
         spec.measure = Duration::from_millis(10);
@@ -412,7 +339,7 @@ mod tests {
 
     #[test]
     fn open_loop_reports_plausible_numbers() {
-        let r = quick(ClusterConfig::default(), 200_000.0, 10_000.0);
+        let r = quick(DeploymentSpec::new(), 200_000.0, 10_000.0);
         assert!((0.15..0.25).contains(&r.reads_mrps), "{:?}", r.reads_mrps);
         assert!((0.005..0.015).contains(&r.writes_mrps));
         assert!(r.read_mean_us > 10.0 && r.read_mean_us < 1000.0);
@@ -422,11 +349,7 @@ mod tests {
     #[test]
     fn saturation_measurement_matches_capacity() {
         // Baseline chain read-only at overload: the tail's 0.92 MQPS.
-        let cluster = ClusterConfig {
-            harmonia: false,
-            ..ClusterConfig::default()
-        };
-        let r = quick(cluster, 2_000_000.0, 0.0);
+        let r = quick(DeploymentSpec::new().baseline(), 2_000_000.0, 0.0);
         assert!(
             (0.85..0.98).contains(&r.reads_mrps),
             "tail capacity: {}",
@@ -436,19 +359,16 @@ mod tests {
 
     #[test]
     fn sharded_open_loop_reports_memory_and_scales() {
-        let mk = |groups| ShardedClusterConfig {
-            groups,
-            ..ShardedClusterConfig::default()
-        };
         let run = |groups: usize| {
-            run_sharded_open_loop(
-                &mk(groups),
+            let mut spec = RunSpec::new(
+                DeploymentSpec::new().groups(groups),
                 200_000.0 * groups as f64,
                 10_000.0 * groups as f64,
-                &Keys::Uniform(10_000),
-                Duration::from_millis(5),
-                Duration::from_millis(10),
-            )
+            );
+            spec.keys = Keys::Uniform(10_000);
+            spec.warmup = Duration::from_millis(5);
+            spec.measure = Duration::from_millis(10);
+            run_open_loop(&spec)
         };
         let one = run(1);
         let four = run(4);
@@ -464,10 +384,7 @@ mod tests {
 
     #[test]
     fn closed_loop_throughput_is_positive_and_bounded() {
-        let cluster = ClusterConfig {
-            protocol: ProtocolKind::Chain,
-            ..ClusterConfig::default()
-        };
+        let cluster = DeploymentSpec::new().protocol(ProtocolKind::Chain);
         let tput = run_closed_loop(
             &cluster,
             16,

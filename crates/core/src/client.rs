@@ -64,13 +64,26 @@ pub struct OpenLoopConfig {
     pub timeout: Duration,
 }
 
-impl Default for OpenLoopConfig {
-    fn default() -> Self {
+impl OpenLoopConfig {
+    /// Default rates and timeout, targeting `switch`. There is deliberately
+    /// no `Default` impl: the switch address is deployment state, and a
+    /// hardcoded default once masked specs whose address never reached the
+    /// generator.
+    pub fn new(switch: NodeId) -> Self {
         OpenLoopConfig {
-            switch: NodeId::Switch(harmonia_types::SwitchId(1)),
+            switch,
             rate_rps: 10_000.0,
             write_replies: 1,
             timeout: Duration::from_millis(20),
+        }
+    }
+
+    /// The configuration a generator attached to `spec` needs: the spec's
+    /// switch address and per-protocol write-reply count.
+    pub fn for_deployment(spec: &crate::deployment::DeploymentSpec) -> Self {
+        OpenLoopConfig {
+            write_replies: spec.write_replies(),
+            ..OpenLoopConfig::new(spec.switch_addr())
         }
     }
 }
@@ -538,9 +551,8 @@ mod tests {
             }),
         );
         let cfg = OpenLoopConfig {
-            switch: SWITCH,
             rate_rps: 100_000.0,
-            ..OpenLoopConfig::default()
+            ..OpenLoopConfig::new(SWITCH)
         };
         let source: SourceFn = Box::new(|_| OpSpec::read(Bytes::from_static(b"k")));
         w.add_node(
@@ -570,10 +582,9 @@ mod tests {
             }),
         );
         let cfg = OpenLoopConfig {
-            switch: SWITCH,
             rate_rps: 10_000.0,
             timeout: Duration::from_millis(2),
-            ..OpenLoopConfig::default()
+            ..OpenLoopConfig::new(SWITCH)
         };
         let source: SourceFn =
             Box::new(|_| OpSpec::write(Bytes::from_static(b"k"), Bytes::from_static(b"v")));
@@ -591,10 +602,9 @@ mod tests {
         let mut w = world();
         // No rack at all: every request vanishes ("net.dead_dst").
         let cfg = OpenLoopConfig {
-            switch: SWITCH,
             rate_rps: 10_000.0,
             timeout: Duration::from_millis(1),
-            ..OpenLoopConfig::default()
+            ..OpenLoopConfig::new(SWITCH)
         };
         let source: SourceFn = Box::new(|_| OpSpec::read(Bytes::from_static(b"k")));
         w.add_node(

@@ -14,6 +14,12 @@
 //! Steps 1–2 are world mutations; 3 is control traffic; 4 is the
 //! [`ConflictDetector`]'s gating, no orchestration needed.
 //!
+//! These helpers script the sequence at a *future virtual time* on a
+//! running world (mid-workload fault injection). For the immediate form —
+//! and for the live driver, where the same verbs are the only form — use
+//! [`Cluster::kill_switch`](crate::deployment::Cluster::kill_switch) and
+//! [`Cluster::replace_switch`](crate::deployment::Cluster::replace_switch).
+//!
 //! [`ConflictDetector`]: harmonia_switch::ConflictDetector
 
 use harmonia_replication::{messages::ReplicaControlMsg, ProtocolMsg};
@@ -21,7 +27,7 @@ use harmonia_sim::World;
 use harmonia_types::{ControlMsg, Instant, NodeId, PacketBody, ReplicaId, SwitchId};
 
 use crate::client::{ClosedLoopClient, OpenLoopClient};
-use crate::cluster::ClusterConfig;
+use crate::deployment::DeploymentSpec;
 use crate::msg::Msg;
 
 /// Stop a switch at `at`: it retains no state and forwards nothing.
@@ -32,21 +38,22 @@ pub fn schedule_switch_failure(world: &mut World<Msg>, at: Instant, switch: Node
 }
 
 /// Activate a replacement switch at `at` with incarnation `new_id`,
-/// re-point every replica's lease and every listed client at it.
+/// re-point every replica's lease and every listed client at it. Hosts
+/// every group of the deployment (fresh dirty sets and sequence spaces).
 pub fn schedule_switch_replacement(
     world: &mut World<Msg>,
     at: Instant,
-    cluster: &ClusterConfig,
+    spec: &DeploymentSpec,
     new_id: SwitchId,
     clients: Vec<NodeId>,
 ) {
-    let cluster = cluster.clone();
+    let spec = spec.clone();
     world.schedule_control(at, move |w| {
         let new_addr = NodeId::Switch(new_id);
-        w.add_node(new_addr, Box::new(cluster.make_switch(new_id)));
+        w.add_node(new_addr, Box::new(spec.make_switch(new_id)));
         // Configuration service: move the lease (replicas reject fast-path
         // reads from older incarnations from now on) and retarget replies.
-        for i in 0..cluster.replicas as u32 {
+        for i in 0..spec.total_replicas() as u32 {
             let dst = NodeId::Replica(ReplicaId(i));
             w.inject(
                 NodeId::Controller,
@@ -73,16 +80,16 @@ pub fn schedule_switch_replacement(
 }
 
 /// Remove a failed replica at `at`: take it offline, drop it from the
-/// switch's forwarding table, and shrink the group's membership (§5.3,
-/// "handling server failures").
+/// switch's forwarding table, and shrink its group's membership (§5.3,
+/// "handling server failures"). Only the failed replica's group is touched.
 pub fn schedule_replica_removal(
     world: &mut World<Msg>,
     at: Instant,
-    cluster: &ClusterConfig,
+    spec: &DeploymentSpec,
     switch: NodeId,
     failed: ReplicaId,
 ) {
-    let n = cluster.replicas as u32;
+    let members = spec.group_members(spec.group_of_replica(failed));
     world.schedule_control(at, move |w| {
         w.set_down(NodeId::Replica(failed));
         w.inject(
@@ -94,7 +101,7 @@ pub fn schedule_replica_removal(
                 PacketBody::Control(ControlMsg::RemoveReplica(failed)),
             ),
         );
-        let survivors: Vec<ReplicaId> = (0..n).map(ReplicaId).filter(|&r| r != failed).collect();
+        let survivors: Vec<ReplicaId> = members.into_iter().filter(|&r| r != failed).collect();
         for &r in &survivors {
             let dst = NodeId::Replica(r);
             w.inject(
@@ -116,7 +123,6 @@ pub fn schedule_replica_removal(
 mod tests {
     use super::*;
     use crate::client::{metrics, OpSpec, SourceFn};
-    use crate::cluster::{add_open_loop_client, build_world};
     use crate::switch_actor::SwitchActor;
     use bytes::Bytes;
     use harmonia_types::{ClientId, Duration};
@@ -135,39 +141,37 @@ mod tests {
 
     #[test]
     fn switch_failover_restores_fast_path_after_first_completion() {
-        let cfg = ClusterConfig::default();
-        let mut w = build_world(&cfg);
-        let client = add_open_loop_client(
-            &mut w,
-            &cfg,
+        let spec = DeploymentSpec::new();
+        let mut sim = spec.build_sim();
+        let client = sim.add_open_loop_client(
             ClientId(1),
             100_000.0,
             Duration::from_millis(5),
             mixed_source(),
         );
         let t = |ms| Instant::ZERO + Duration::from_millis(ms);
-        schedule_switch_failure(&mut w, t(10), cfg.switch_addr());
-        schedule_switch_replacement(&mut w, t(15), &cfg, SwitchId(2), vec![client]);
+        schedule_switch_failure(sim.world_mut(), t(10), spec.switch_addr());
+        schedule_switch_replacement(sim.world_mut(), t(15), &spec, SwitchId(2), vec![client]);
 
         // Phase 1: normal operation.
-        w.run_until(t(10));
-        let before = w.metrics().counter(metrics::READ_DONE);
+        sim.run_until(t(10));
+        let before = sim.world().metrics().counter(metrics::READ_DONE);
         assert!(before > 500);
 
         // Phase 2: outage — nothing completes (allow 1 ms for replies that
         // were already in flight toward clients when the switch died).
-        w.run_until(t(11));
-        w.metrics_mut().reset();
-        w.run_until(t(15));
-        assert_eq!(w.metrics().counter(metrics::READ_DONE), 0);
+        sim.run_until(t(11));
+        sim.world_mut().metrics_mut().reset();
+        sim.run_until(t(15));
+        assert_eq!(sim.world().metrics().counter(metrics::READ_DONE), 0);
 
         // Phase 3: replacement active; traffic flows again and the new
         // incarnation's fast path turns on after the first completion.
-        w.metrics_mut().reset();
-        w.run_until(t(40));
-        let after = w.metrics().counter(metrics::READ_DONE);
+        sim.world_mut().metrics_mut().reset();
+        sim.run_until(t(40));
+        let after = sim.world().metrics().counter(metrics::READ_DONE);
         assert!(after > 1000, "after={after}");
-        let sw: &SwitchActor = w.actor(NodeId::Switch(SwitchId(2))).unwrap();
+        let sw: &SwitchActor = sim.world().actor(NodeId::Switch(SwitchId(2))).unwrap();
         assert!(sw.detector().fast_path_enabled());
         assert!(sw.stats().reads_fast_path > 0);
         assert_eq!(sw.incarnation(), SwitchId(2));
@@ -175,11 +179,9 @@ mod tests {
 
     #[test]
     fn replica_removal_keeps_chain_serving() {
-        let cfg = ClusterConfig::default();
-        let mut w = build_world(&cfg);
-        add_open_loop_client(
-            &mut w,
-            &cfg,
+        let spec = DeploymentSpec::new();
+        let mut sim = spec.build_sim();
+        sim.add_open_loop_client(
             ClientId(1),
             50_000.0,
             Duration::from_millis(5),
@@ -187,12 +189,18 @@ mod tests {
         );
         let t = |ms| Instant::ZERO + Duration::from_millis(ms);
         // Kill the tail (replica 2) at 10 ms.
-        schedule_replica_removal(&mut w, t(10), &cfg, cfg.switch_addr(), ReplicaId(2));
-        w.run_until(t(12));
-        w.metrics_mut().reset();
-        w.run_until(t(30));
-        let reads = w.metrics().counter(metrics::READ_DONE);
-        let writes = w.metrics().counter(metrics::WRITE_DONE);
+        schedule_replica_removal(
+            sim.world_mut(),
+            t(10),
+            &spec,
+            spec.switch_addr(),
+            ReplicaId(2),
+        );
+        sim.run_until(t(12));
+        sim.world_mut().metrics_mut().reset();
+        sim.run_until(t(30));
+        let reads = sim.world().metrics().counter(metrics::READ_DONE);
+        let writes = sim.world().metrics().counter(metrics::WRITE_DONE);
         assert!(reads > 400, "reads={reads}");
         assert!(writes > 20, "writes={writes}");
     }

@@ -1,8 +1,14 @@
 //! Harmonia cluster assembly: the switch actor, replica actors, client
-//! library, failure orchestration, and the two drivers.
+//! library, failure orchestration, and the two drivers behind one API.
 //!
 //! The pieces from the other crates meet here:
 //!
+//! * [`deployment`] is the public face: one [`DeploymentSpec`] describes any
+//!   deployment shape (unsharded is `groups(1)`, the §6.3 sharded
+//!   deployment is `groups(n)`), and the [`Cluster`] trait is the uniform
+//!   runtime surface over both drivers — [`DeploymentSpec::build_sim`]
+//!   returns the deterministic-sim implementation,
+//!   [`DeploymentSpec::spawn_live`] the threaded one.
 //! * [`switch_actor::SwitchActor`] wires the conflict detector, forwarding
 //!   table, and NOPaxos sequencer from `harmonia-switch` into a node that
 //!   processes every packet of the rack (Figure 1 of the paper).
@@ -11,18 +17,17 @@
 //! * [`client`] provides an open-loop load generator (the DPDK-generator
 //!   substitute) and a closed-loop client that records histories for
 //!   linearizability checking.
-//! * [`cluster`] builds a full simulated deployment in one call;
-//!   [`sharded`] builds the §6.3 multi-group deployment (N replica groups
-//!   sharing one spine switch, keyspace partitioned by [`ShardMap`]);
-//!   [`failover`] scripts the §5.3 switch failure/replacement sequence and
-//!   server removal.
-//!
-//! [`ShardMap`]: harmonia_workload::ShardMap
+//! * [`failover`] scripts the §5.3 switch failure/replacement sequence and
+//!   server removal at future virtual times; the immediate forms are the
+//!   [`Cluster`] verbs.
 //! * [`live`] runs the very same state machines on OS threads connected by
 //!   channels — the "it's a real system, not only a simulator" driver.
+//! * [`cluster`] and [`sharded`] are the deprecated pre-`DeploymentSpec`
+//!   entry points, kept as thin shims for one release.
 
 pub mod client;
 pub mod cluster;
+pub mod deployment;
 pub mod failover;
 pub mod live;
 pub mod msg;
@@ -31,9 +36,8 @@ pub mod sharded;
 pub mod switch_actor;
 
 pub use client::{ClosedLoopClient, OpSpec, OpenLoopClient, OpenLoopConfig, RecordedOp};
-pub use cluster::{add_open_loop_client, build_world, ClusterConfig};
-pub use live::{LiveCluster, ShardedLiveCluster};
+pub use deployment::{Cluster, DeploymentSpec, KvClient, SimCluster};
+pub use live::{LiveClient, LiveCluster, LiveError};
 pub use msg::{CostModel, Msg};
 pub use replica_actor::ReplicaActor;
-pub use sharded::{add_sharded_open_loop_client, build_sharded_world, ShardedClusterConfig};
 pub use switch_actor::{SwitchActor, SwitchMode};

@@ -7,18 +7,19 @@
 //! library runs as a real in-process storage service, not only under
 //! virtual time.
 //!
-//! Two deployments are offered:
+//! One type serves every deployment shape: [`LiveCluster`] spawns whatever
+//! its [`DeploymentSpec`] describes — the rack-scale single replica group of
+//! Figure 1 (`groups(1)`) or the §6.3 cloud-scale deployment (`groups(n)`:
+//! N replica groups, one thread per replica across all groups, all of their
+//! traffic serialized through one spine-switch thread that routes by
+//! shard). Obtain one with [`DeploymentSpec::spawn_live`].
 //!
-//! * [`LiveCluster`] — the rack-scale single replica group of Figure 1;
-//! * [`ShardedLiveCluster`] — the §6.3 cloud-scale deployment: N replica
-//!   groups, one thread per replica across all groups, all of their traffic
-//!   serialized through one spine-switch thread that routes by shard.
-//!
-//! Both support the §5.3 switch failure/replacement sequence
-//! ([`LiveCluster::kill_switch`] / [`LiveCluster::replace_switch`]): the
-//! replacement runs under a fresh, larger incarnation id at the same
-//! client-facing address, the lease moves to it, and single-replica reads
-//! stay disabled until the first WRITE-COMPLETION bearing its own id.
+//! The §5.3 switch failure/replacement sequence
+//! ([`kill_switch`](LiveCluster::kill_switch) /
+//! [`replace_switch`](LiveCluster::replace_switch)) is supported for every
+//! shape: the replacement runs under a fresh, larger incarnation id at the
+//! same client-facing address, the lease moves to it, and single-replica
+//! reads stay disabled until the first WRITE-COMPLETION bearing its own id.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -36,13 +37,13 @@ use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
 use harmonia_replication::{build_replica, Effects, GroupConfig, Replica};
 use harmonia_switch::{GroupId, SwitchStats};
 use harmonia_types::{
-    ClientId, ClientRequest, NodeId, OpKind, PacketBody, ReplicaId, RequestId, SwitchId,
+    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, RequestId, SwitchId,
     WriteOutcome,
 };
 
-use crate::cluster::ClusterConfig;
+use crate::client::{OpSpec, RecordedOp};
+use crate::deployment::{Cluster, DeploymentSpec, KvClient};
 use crate::msg::Msg;
-use crate::sharded::ShardedClusterConfig;
 use crate::switch_actor::SwitchCore;
 
 enum Envelope {
@@ -196,6 +197,16 @@ impl LiveClient {
     }
 }
 
+impl KvClient for LiveClient {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>, LiveError> {
+        LiveClient::get(self, Bytes::from(key.to_vec()))
+    }
+
+    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), LiveError> {
+        LiveClient::set(self, Bytes::from(key.to_vec()), Bytes::from(value.to_vec()))
+    }
+}
+
 /// The spine/ToR switch thread plus the shared handle tests inspect.
 struct SwitchThread {
     core: Arc<Mutex<SwitchCore>>,
@@ -203,7 +214,7 @@ struct SwitchThread {
     join: JoinHandle<()>,
 }
 
-/// Driver plumbing shared by the single-group and sharded live clusters.
+/// Driver plumbing: router, switch thread, replica threads.
 struct LiveRig {
     router: Arc<Router>,
     /// The stable client-facing switch address. Replacements re-register
@@ -212,7 +223,7 @@ struct LiveRig {
     switch_addr: NodeId,
     write_replies: usize,
     sweep: StdDuration,
-    replica_ids: Vec<ReplicaId>,
+    replica_ids: Vec<harmonia_types::ReplicaId>,
     replica_threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
     switch: Option<SwitchThread>,
     next_client: AtomicU32,
@@ -334,68 +345,80 @@ impl LiveRig {
         }
     }
 
-    fn shutdown(mut self) {
+    fn shutdown_in_place(&mut self) {
         self.kill_switch();
         for (tx, _) in &self.replica_threads {
             let _ = tx.send(Envelope::Stop);
         }
-        for (_, handle) in self.replica_threads {
+        for (_, handle) in self.replica_threads.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// An in-process single-group cluster on OS threads.
+/// An in-process deployment on OS threads — one replica group or many,
+/// exactly as its [`DeploymentSpec`] describes.
 pub struct LiveCluster {
     rig: LiveRig,
-    cfg: ClusterConfig,
+    spec: DeploymentSpec,
 }
 
 impl LiveCluster {
-    /// Spawn the switch and replica threads for `cfg`.
-    pub fn spawn(cfg: &ClusterConfig) -> Self {
+    /// Spawn the switch and every group's replica threads for `spec`
+    /// (equivalently: [`DeploymentSpec::spawn_live`]).
+    pub fn new(spec: &DeploymentSpec) -> Self {
         let mut rig = LiveRig::new(
-            cfg.switch_addr(),
-            cfg.write_replies(),
-            cfg.sweep_interval.map(|d| d.to_std()),
+            spec.switch_addr(),
+            spec.write_replies(),
+            spec.sweep_interval.map(|d| d.to_std()),
         );
-        rig.spawn_switch(SwitchCore::new_for(cfg, SwitchId(1)));
-        for i in 0..cfg.replicas as u32 {
-            rig.spawn_replica(GroupConfig {
-                protocol: cfg.protocol,
-                me: ReplicaId(i),
-                members: (0..cfg.replicas as u32).map(ReplicaId).collect(),
-                harmonia: cfg.harmonia,
-                active_switch: SwitchId(1),
-                sync_interval: cfg.sync_interval,
-            });
+        rig.spawn_switch(SwitchCore::for_deployment(spec, spec.initial_switch()));
+        for g in 0..spec.groups {
+            for i in 0..spec.replicas {
+                rig.spawn_replica(spec.group_config(g, i));
+            }
         }
         LiveCluster {
             rig,
-            cfg: cfg.clone(),
+            spec: spec.clone(),
         }
     }
 
-    /// Create a synchronous client handle.
+    /// Spawn the single-group deployment `cfg` describes.
+    #[allow(deprecated)]
+    #[deprecated(note = "use `DeploymentSpec::spawn_live()`")]
+    pub fn spawn(cfg: &crate::cluster::ClusterConfig) -> Self {
+        LiveCluster::new(&cfg.to_spec())
+    }
+
+    /// The deployment's spec.
+    pub fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    /// Create a synchronous client handle. Clients address the switch;
+    /// in a sharded deployment the switch routes each request to its key's
+    /// group — clients never know, which is the §4 philosophy.
     pub fn client(&self) -> LiveClient {
         self.rig.client()
     }
 
     /// §5.3 step 1: the switch fails. It retains no state and forwards
-    /// nothing; in-flight and subsequent requests are lost until a
-    /// replacement is activated.
+    /// nothing; in a sharded deployment every hosted group loses its
+    /// scheduler at once.
     pub fn kill_switch(&mut self) {
         self.rig.kill_switch();
     }
 
     /// §5.3 steps 2–3: activate a replacement switch under `new_id` (must
-    /// exceed every predecessor) at the same client-facing address, and move
+    /// exceed every predecessor) at the same client-facing address — fresh
+    /// dirty sets and sequence spaces for *every* hosted group — and move
     /// every replica's lease to it. Step 4 — fast-path re-enable on the
     /// first own-id WRITE-COMPLETION — is the conflict detector's gating.
     pub fn replace_switch(&mut self, new_id: SwitchId) {
         self.rig.kill_switch();
         self.rig
-            .spawn_switch(SwitchCore::new_for(&self.cfg, new_id));
+            .spawn_switch(SwitchCore::for_deployment(&self.spec, new_id));
         self.rig.move_lease(new_id);
     }
 
@@ -404,79 +427,15 @@ impl LiveCluster {
         self.rig.with_switch(|c| c.stats())
     }
 
-    /// Whether the live switch currently issues single-replica reads.
-    pub fn fast_path_enabled(&self) -> Option<bool> {
-        self.rig.with_switch(|c| c.detector().fast_path_enabled())
-    }
-
-    /// The live switch's incarnation id (None if killed).
-    pub fn switch_incarnation(&self) -> Option<SwitchId> {
-        self.rig.with_switch(|c| c.incarnation())
-    }
-
-    /// Stop every thread and wait for them.
-    pub fn shutdown(self) {
-        self.rig.shutdown();
-    }
-}
-
-/// An in-process §6.3 sharded deployment on OS threads: every replica of
-/// every group on its own thread, one spine-switch thread hosting all
-/// groups' conflict detection and routing requests by shard.
-pub struct ShardedLiveCluster {
-    rig: LiveRig,
-    cfg: ShardedClusterConfig,
-}
-
-impl ShardedLiveCluster {
-    /// Spawn the spine switch and every group's replica threads.
-    pub fn spawn(cfg: &ShardedClusterConfig) -> Self {
-        let mut rig = LiveRig::new(
-            cfg.switch_addr(),
-            cfg.write_replies(),
-            cfg.sweep_interval.map(|d| d.to_std()),
-        );
-        rig.spawn_switch(SwitchCore::new_for_sharded(cfg, SwitchId(1)));
-        for g in 0..cfg.groups {
-            for i in 0..cfg.replicas_per_group {
-                rig.spawn_replica(cfg.group_config(g, i));
-            }
-        }
-        ShardedLiveCluster {
-            rig,
-            cfg: cfg.clone(),
-        }
-    }
-
-    /// Create a synchronous client handle. Clients address the spine
-    /// switch; requests are routed to their key's group by the shard map.
-    pub fn client(&self) -> LiveClient {
-        self.rig.client()
-    }
-
-    /// §5.3 step 1 for the spine switch: every hosted group loses its
-    /// scheduler at once.
-    pub fn kill_switch(&mut self) {
-        self.rig.kill_switch();
-    }
-
-    /// §5.3 steps 2–3: a replacement spine switch (fresh dirty sets and
-    /// sequence spaces for *every* group) takes over at the same address.
-    pub fn replace_switch(&mut self, new_id: SwitchId) {
-        self.rig.kill_switch();
-        self.rig
-            .spawn_switch(SwitchCore::new_for_sharded(&self.cfg, new_id));
-        self.rig.move_lease(new_id);
-    }
-
-    /// Aggregate data-plane counters across every group (None if killed).
-    pub fn switch_stats(&self) -> Option<SwitchStats> {
-        self.rig.with_switch(|c| c.stats())
-    }
-
     /// One group's data-plane counters.
     pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
         self.rig.with_switch(|c| c.group_stats(group)).flatten()
+    }
+
+    /// Whether the live switch currently issues single-replica reads
+    /// (group 0 — the whole answer in an unsharded deployment).
+    pub fn fast_path_enabled(&self) -> Option<bool> {
+        self.group_fast_path_enabled(GroupId(0))
     }
 
     /// Whether `group`'s fast path is currently enabled.
@@ -496,14 +455,176 @@ impl ShardedLiveCluster {
         self.rig.with_switch(|c| c.incarnation())
     }
 
+    /// Stop every thread and wait for them. (Dropping the cluster does the
+    /// same; this form just makes the teardown point explicit.)
+    pub fn shutdown(mut self) {
+        self.rig.shutdown_in_place();
+    }
+}
+
+impl Drop for LiveCluster {
+    fn drop(&mut self) {
+        self.rig.shutdown_in_place();
+    }
+}
+
+impl Cluster for LiveCluster {
+    fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    fn client(&mut self) -> Box<dyn KvClient + '_> {
+        Box::new(LiveCluster::client(self))
+    }
+
+    fn kill_switch(&mut self) {
+        LiveCluster::kill_switch(self);
+    }
+
+    fn replace_switch(&mut self, new_id: SwitchId) {
+        LiveCluster::replace_switch(self, new_id);
+    }
+
+    fn switch_stats(&self) -> Option<SwitchStats> {
+        LiveCluster::switch_stats(self)
+    }
+
+    fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
+        LiveCluster::group_stats(self, group)
+    }
+
+    fn fast_path_enabled(&self) -> Option<bool> {
+        LiveCluster::fast_path_enabled(self)
+    }
+
+    fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
+        LiveCluster::group_fast_path_enabled(self, group)
+    }
+
+    fn switch_memory_bytes(&self) -> Option<usize> {
+        LiveCluster::switch_memory_bytes(self)
+    }
+
+    fn switch_incarnation(&self) -> Option<SwitchId> {
+        LiveCluster::switch_incarnation(self)
+    }
+
+    fn run_plans(&mut self, plans: Vec<Vec<OpSpec>>) -> Vec<Vec<RecordedOp>> {
+        // One thread per plan, all sharing one wall-clock epoch so the
+        // recorded intervals are mutually comparable (real-time order is
+        // what the linearizability checker needs).
+        let epoch = StdInstant::now();
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let mut client = self.rig.client();
+                std::thread::spawn(move || {
+                    let stamp = |at: StdInstant| {
+                        Instant::ZERO
+                            + Duration::from_nanos(at.duration_since(epoch).as_nanos() as u64)
+                    };
+                    let mut records = Vec::with_capacity(plan.len());
+                    for op in plan {
+                        let invoked = StdInstant::now();
+                        let (result, ok) = match op.kind {
+                            OpKind::Read => match client.get(op.key.clone()) {
+                                Ok(v) => (v, true),
+                                Err(_) => (None, false),
+                            },
+                            OpKind::Write => {
+                                let value = op.value.clone().unwrap_or_default();
+                                (None, client.set(op.key.clone(), value).is_ok())
+                            }
+                        };
+                        records.push(RecordedOp {
+                            kind: op.kind,
+                            key: op.key,
+                            value: op.value,
+                            invoked: stamp(invoked),
+                            completed: stamp(StdInstant::now()),
+                            result,
+                            ok,
+                        });
+                    }
+                    records
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("plan thread panicked"))
+            .collect()
+    }
+}
+
+/// Deprecated alias surface for the §6.3 sharded deployment. The unified
+/// [`LiveCluster`] spawns any number of groups; this wrapper only survives
+/// so pre-redesign call sites keep compiling for one release.
+#[allow(deprecated)]
+#[deprecated(note = "use `DeploymentSpec::spawn_live()` — `LiveCluster` is multi-group")]
+pub struct ShardedLiveCluster {
+    inner: LiveCluster,
+    cfg: crate::sharded::ShardedClusterConfig,
+}
+
+#[allow(deprecated)]
+impl ShardedLiveCluster {
+    /// Spawn the spine switch and every group's replica threads.
+    pub fn spawn(cfg: &crate::sharded::ShardedClusterConfig) -> Self {
+        ShardedLiveCluster {
+            inner: LiveCluster::new(&cfg.to_spec()),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Create a synchronous client handle.
+    pub fn client(&self) -> LiveClient {
+        self.inner.client()
+    }
+
+    /// §5.3 step 1 for the spine switch.
+    pub fn kill_switch(&mut self) {
+        self.inner.kill_switch();
+    }
+
+    /// §5.3 steps 2–3: a replacement spine switch takes over.
+    pub fn replace_switch(&mut self, new_id: SwitchId) {
+        self.inner.replace_switch(new_id);
+    }
+
+    /// Aggregate data-plane counters across every group (None if killed).
+    pub fn switch_stats(&self) -> Option<SwitchStats> {
+        self.inner.switch_stats()
+    }
+
+    /// One group's data-plane counters.
+    pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
+        self.inner.group_stats(group)
+    }
+
+    /// Whether `group`'s fast path is currently enabled.
+    pub fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
+        self.inner.group_fast_path_enabled(group)
+    }
+
+    /// Total dirty-set SRAM across every hosted group.
+    pub fn switch_memory_bytes(&self) -> Option<usize> {
+        self.inner.switch_memory_bytes()
+    }
+
+    /// The live switch's incarnation id (None if killed).
+    pub fn switch_incarnation(&self) -> Option<SwitchId> {
+        self.inner.switch_incarnation()
+    }
+
     /// The deployment's configuration.
-    pub fn config(&self) -> &ShardedClusterConfig {
+    pub fn config(&self) -> &crate::sharded::ShardedClusterConfig {
         &self.cfg
     }
 
     /// Stop every thread and wait for them.
     pub fn shutdown(self) {
-        self.rig.shutdown();
+        self.inner.shutdown();
     }
 }
 
@@ -552,39 +673,21 @@ fn replica_main(
 impl SwitchCore {
     /// Build a single-group core straight from a cluster config (live
     /// driver).
-    pub fn new_for(cfg: &ClusterConfig, incarnation: SwitchId) -> Self {
-        SwitchCore::new(crate::switch_actor::SwitchActorConfig {
-            incarnation,
-            mode: if cfg.harmonia {
-                crate::switch_actor::SwitchMode::Harmonia
-            } else {
-                crate::switch_actor::SwitchMode::Baseline
-            },
-            protocol: cfg.protocol,
-            replicas: cfg.replicas,
-            table: cfg.table,
-            sweep_interval: cfg.sweep_interval,
-        })
+    #[allow(deprecated)]
+    #[deprecated(note = "use `SwitchCore::for_deployment`")]
+    pub fn new_for(cfg: &crate::cluster::ClusterConfig, incarnation: SwitchId) -> Self {
+        SwitchCore::for_deployment(&cfg.to_spec(), incarnation)
     }
 
     /// Build a multi-group spine core straight from a sharded cluster
     /// config (live driver).
-    pub fn new_for_sharded(cfg: &ShardedClusterConfig, incarnation: SwitchId) -> Self {
-        SwitchCore::new_sharded(
-            crate::switch_actor::SwitchActorConfig {
-                incarnation,
-                mode: if cfg.harmonia {
-                    crate::switch_actor::SwitchMode::Harmonia
-                } else {
-                    crate::switch_actor::SwitchMode::Baseline
-                },
-                protocol: cfg.protocol,
-                replicas: cfg.replicas_per_group,
-                table: cfg.table,
-                sweep_interval: cfg.sweep_interval,
-            },
-            cfg.memberships(),
-        )
+    #[allow(deprecated)]
+    #[deprecated(note = "use `SwitchCore::for_deployment`")]
+    pub fn new_for_sharded(
+        cfg: &crate::sharded::ShardedClusterConfig,
+        incarnation: SwitchId,
+    ) -> Self {
+        SwitchCore::for_deployment(&cfg.to_spec(), incarnation)
     }
 }
 
@@ -594,12 +697,10 @@ mod tests {
     use harmonia_replication::ProtocolKind;
 
     fn roundtrip(protocol: ProtocolKind, harmonia: bool) {
-        let cfg = ClusterConfig {
-            protocol,
-            harmonia,
-            ..ClusterConfig::default()
-        };
-        let cluster = LiveCluster::spawn(&cfg);
+        let cluster = DeploymentSpec::new()
+            .protocol(protocol)
+            .harmonia(harmonia)
+            .spawn_live();
         let mut client = cluster.client();
         assert_eq!(client.get("missing").unwrap(), None);
         client.set("alpha", "1").unwrap();
@@ -642,8 +743,7 @@ mod tests {
 
     #[test]
     fn two_clients_see_each_others_writes() {
-        let cfg = ClusterConfig::default();
-        let cluster = LiveCluster::spawn(&cfg);
+        let cluster = DeploymentSpec::new().spawn_live();
         let mut a = cluster.client();
         let mut b = cluster.client();
         a.set("shared", "from-a").unwrap();
@@ -661,11 +761,7 @@ mod tests {
 
     #[test]
     fn sharded_live_roundtrip_touches_every_group() {
-        let cfg = ShardedClusterConfig {
-            groups: 4,
-            ..ShardedClusterConfig::default()
-        };
-        let cluster = ShardedLiveCluster::spawn(&cfg);
+        let cluster = DeploymentSpec::new().groups(4).spawn_live();
         let mut client = cluster.client();
         for i in 0..40 {
             client.set(format!("k{i}"), format!("v{i}")).unwrap();
@@ -681,5 +777,23 @@ mod tests {
             assert!(stats.writes_forwarded > 0, "group {g}: {stats:?}");
         }
         cluster.shutdown();
+    }
+
+    /// The deprecated constructors still spawn working deployments.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spawn_shims_still_work() {
+        let cluster = LiveCluster::spawn(&crate::cluster::ClusterConfig::default());
+        let mut client = cluster.client();
+        client.set("k", "v").unwrap();
+        assert_eq!(client.get("k").unwrap(), Some(Bytes::from_static(b"v")));
+        cluster.shutdown();
+
+        let sharded = ShardedLiveCluster::spawn(&crate::sharded::ShardedClusterConfig::default());
+        assert_eq!(sharded.config().groups, 4);
+        let mut client = sharded.client();
+        client.set("k", "v").unwrap();
+        assert_eq!(client.get("k").unwrap(), Some(Bytes::from_static(b"v")));
+        sharded.shutdown();
     }
 }

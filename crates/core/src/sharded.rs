@@ -1,37 +1,25 @@
-//! Sharded multi-group deployments through one spine switch (§6.3).
+//! Deprecated sharded-assembly API (§6.3).
 //!
-//! Rack-scale Harmonia puts one replica group behind one ToR switch. The
-//! cloud-scale deployment of §6.3 serializes *many* replica groups through a
-//! single designated (spine) switch: each group's dirty set is tiny (§9.4
-//! measures ~16 KB), so one switch's SRAM hosts hundreds of groups. This
-//! module assembles that deployment for both drivers:
-//!
-//! * the keyspace is partitioned across `groups` replica groups by the
-//!   [`ShardMap`] (a pure function of the `ObjectId`, so every component
-//!   agrees on the routing without coordination);
-//! * every group runs the same replication protocol over its own disjoint
-//!   slice of the global replica-id space;
-//! * one [`SwitchActor`]/[`SwitchCore`](crate::switch_actor::SwitchCore)
-//!   hosts all groups' conflict detection through a
-//!   [`SpineSwitch`](harmonia_switch::SpineSwitch): per-group dirty sets and
-//!   sequence spaces, shared memory accounting (`memory_bytes`).
-//!
-//! Clients stay oblivious: they address the switch, and the switch routes by
-//! shard — exactly the §4 philosophy ("clients never know which replica
-//! serves them") extended to "nor which group".
+//! Superseded by [`DeploymentSpec`]: a
+//! sharded deployment is `DeploymentSpec::new().groups(n)`, and every helper
+//! here is a delegation to the spec's single definition. Kept for one
+//! release so downstream migrations are a mechanical rename.
 
-use harmonia_replication::{build_replica, GroupConfig, ProtocolKind};
-use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};
+#![allow(deprecated)]
+
+use harmonia_replication::{GroupConfig, ProtocolKind};
+use harmonia_sim::{LinkConfig, World};
 use harmonia_switch::TableConfig;
 use harmonia_types::{ClientId, Duration, NodeId, ReplicaId, SwitchId};
 use harmonia_workload::ShardMap;
 
-use crate::client::{OpenLoopClient, OpenLoopConfig, SourceFn};
+use crate::client::SourceFn;
+use crate::deployment::DeploymentSpec;
 use crate::msg::{CostModel, Msg};
-use crate::replica_actor::ReplicaActor;
-use crate::switch_actor::{SwitchActor, SwitchActorConfig, SwitchMode};
+use crate::switch_actor::SwitchActor;
 
 /// Full description of a sharded multi-group deployment.
+#[deprecated(note = "use `deployment::DeploymentSpec` with `groups(n)`")]
 #[derive(Clone, Debug)]
 pub struct ShardedClusterConfig {
     /// The protocol every group runs.
@@ -48,7 +36,7 @@ pub struct ShardedClusterConfig {
     pub costs: CostModel,
     /// Per-group dirty-set geometry on the switch.
     pub table: TableConfig,
-    /// Link model (see [`crate::cluster::ClusterConfig::link`]).
+    /// Link model (see [`DeploymentSpec::link`]).
     pub link: LinkConfig,
     /// VR commit / NOPaxos sync cadence.
     pub sync_interval: Duration,
@@ -58,125 +46,101 @@ pub struct ShardedClusterConfig {
 
 impl Default for ShardedClusterConfig {
     fn default() -> Self {
+        // The historical sharded default: four groups.
+        ShardedClusterConfig::from(DeploymentSpec::default().groups(4))
+    }
+}
+
+impl From<DeploymentSpec> for ShardedClusterConfig {
+    fn from(spec: DeploymentSpec) -> Self {
         ShardedClusterConfig {
-            protocol: ProtocolKind::Chain,
-            harmonia: true,
-            groups: 4,
-            replicas_per_group: 3,
-            seed: 0xBEEF,
-            costs: CostModel::paper_calibrated(),
-            table: TableConfig::default(),
-            link: LinkConfig::ideal(Duration::from_micros(5)),
-            sync_interval: Duration::from_micros(200),
-            sweep_interval: Some(Duration::from_millis(1)),
+            protocol: spec.protocol,
+            harmonia: spec.harmonia,
+            groups: spec.groups,
+            replicas_per_group: spec.replicas,
+            seed: spec.seed,
+            costs: spec.costs,
+            table: spec.table,
+            link: spec.link,
+            sync_interval: spec.sync_interval,
+            sweep_interval: spec.sweep_interval,
         }
     }
 }
 
 impl ShardedClusterConfig {
-    /// The spine switch's address.
-    pub fn switch_addr(&self) -> NodeId {
-        NodeId::Switch(SwitchId(1))
-    }
-
-    /// The deployment's object→group map.
-    pub fn shard_map(&self) -> ShardMap {
-        ShardMap::new(self.groups)
-    }
-
-    /// Total replica count across every group.
-    pub fn total_replicas(&self) -> usize {
-        self.groups * self.replicas_per_group
-    }
-
-    /// The global id of replica `idx` of group `group`. Groups own disjoint
-    /// contiguous slices of the replica-id space.
-    pub fn replica_id(&self, group: usize, idx: usize) -> ReplicaId {
-        assert!(group < self.groups && idx < self.replicas_per_group);
-        ReplicaId((group * self.replicas_per_group + idx) as u32)
-    }
-
-    /// Group `group`'s membership in role order (head/primary/leader first).
-    pub fn group_members(&self, group: usize) -> Vec<ReplicaId> {
-        (0..self.replicas_per_group)
-            .map(|i| self.replica_id(group, i))
-            .collect()
-    }
-
-    /// Every group's membership, in group order.
-    pub fn memberships(&self) -> Vec<Vec<ReplicaId>> {
-        (0..self.groups).map(|g| self.group_members(g)).collect()
-    }
-
-    /// Replies a client must collect per write (see
-    /// [`crate::cluster::ClusterConfig::write_replies`]).
-    pub fn write_replies(&self) -> usize {
-        match self.protocol {
-            ProtocolKind::Nopaxos => self.protocol.quorum(self.replicas_per_group),
-            _ => 1,
-        }
-    }
-
-    fn switch_actor_config(&self, incarnation: SwitchId) -> SwitchActorConfig {
-        SwitchActorConfig {
-            incarnation,
-            mode: if self.harmonia {
-                SwitchMode::Harmonia
-            } else {
-                SwitchMode::Baseline
-            },
+    /// The equivalent unified spec.
+    pub fn to_spec(&self) -> DeploymentSpec {
+        DeploymentSpec {
             protocol: self.protocol,
+            harmonia: self.harmonia,
+            groups: self.groups,
             replicas: self.replicas_per_group,
+            seed: self.seed,
+            costs: self.costs,
             table: self.table,
+            link: self.link,
+            sync_interval: self.sync_interval,
             sweep_interval: self.sweep_interval,
         }
     }
 
-    /// Build a fresh multi-group switch actor for the given incarnation
-    /// (initial bring-up and §5.3 replacements).
-    pub fn make_switch(&self, incarnation: SwitchId) -> SwitchActor {
-        SwitchActor::new_sharded(self.switch_actor_config(incarnation), self.memberships())
+    /// The spine switch's address.
+    pub fn switch_addr(&self) -> NodeId {
+        self.to_spec().switch_addr()
     }
 
-    /// Per-replica group configuration for group `group` as seen by its
-    /// member `idx`.
+    /// The deployment's object→group map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.to_spec().shard_map()
+    }
+
+    /// Total replica count across every group.
+    pub fn total_replicas(&self) -> usize {
+        self.to_spec().total_replicas()
+    }
+
+    /// The global id of replica `idx` of group `group`.
+    pub fn replica_id(&self, group: usize, idx: usize) -> ReplicaId {
+        self.to_spec().replica_id(group, idx)
+    }
+
+    /// Group `group`'s membership in role order.
+    pub fn group_members(&self, group: usize) -> Vec<ReplicaId> {
+        self.to_spec().group_members(group)
+    }
+
+    /// Every group's membership, in group order.
+    pub fn memberships(&self) -> Vec<Vec<ReplicaId>> {
+        self.to_spec().memberships()
+    }
+
+    /// Replies a client must collect per write.
+    pub fn write_replies(&self) -> usize {
+        self.to_spec().write_replies()
+    }
+
+    /// Build a fresh multi-group switch actor for the given incarnation.
+    pub fn make_switch(&self, incarnation: SwitchId) -> SwitchActor {
+        self.to_spec().make_switch(incarnation)
+    }
+
+    /// Per-replica group configuration for group `group`, member `idx`.
     pub fn group_config(&self, group: usize, idx: usize) -> GroupConfig {
-        GroupConfig {
-            protocol: self.protocol,
-            me: self.replica_id(group, idx),
-            members: self.group_members(group),
-            harmonia: self.harmonia,
-            active_switch: SwitchId(1),
-            sync_interval: self.sync_interval,
-        }
+        self.to_spec().group_config(group, idx)
     }
 }
 
 /// Build a world containing the spine switch and every group's replicas
 /// (no clients).
+#[deprecated(note = "use `DeploymentSpec::build_sim()` with `groups(n)`")]
 pub fn build_sharded_world(cfg: &ShardedClusterConfig) -> World<Msg> {
-    let mut world = World::new(WorldConfig {
-        seed: cfg.seed,
-        network: NetworkModel::uniform(cfg.link),
-    });
-    world.add_node(cfg.switch_addr(), Box::new(cfg.make_switch(SwitchId(1))));
-    for g in 0..cfg.groups {
-        for i in 0..cfg.replicas_per_group {
-            world.add_node(
-                NodeId::Replica(cfg.replica_id(g, i)),
-                Box::new(ReplicaActor::new(
-                    build_replica(cfg.group_config(g, i)),
-                    cfg.costs,
-                )),
-            );
-        }
-    }
-    world
+    cfg.to_spec().build_sim().into_world()
 }
 
 /// Attach an open-loop load generator to a sharded world. Returns its node
-/// id. The client addresses the spine switch; the switch routes each
-/// request to its object's group.
+/// id.
+#[deprecated(note = "use `SimCluster::add_open_loop_client`")]
 pub fn add_sharded_open_loop_client(
     world: &mut World<Msg>,
     cluster: &ShardedClusterConfig,
@@ -185,12 +149,12 @@ pub fn add_sharded_open_loop_client(
     timeout: Duration,
     source: SourceFn,
 ) -> NodeId {
+    use crate::client::{OpenLoopClient, OpenLoopConfig};
     let node = NodeId::Client(client);
     let cfg = OpenLoopConfig {
-        switch: cluster.switch_addr(),
         rate_rps,
-        write_replies: cluster.write_replies(),
         timeout,
+        ..OpenLoopConfig::for_deployment(&cluster.to_spec())
     };
     world.add_node(node, Box::new(OpenLoopClient::new(client, cfg, source)));
     node
@@ -201,86 +165,17 @@ mod tests {
     use super::*;
     use crate::client::{metrics, OpSpec};
     use bytes::Bytes;
-    use harmonia_switch::GroupId;
     use harmonia_types::Instant;
     use rand::Rng;
 
-    fn small(groups: usize) -> ShardedClusterConfig {
-        ShardedClusterConfig {
-            groups,
-            ..ShardedClusterConfig::default()
-        }
-    }
-
+    /// The deprecated sharded shims still assemble a working deployment.
     #[test]
-    fn replica_ids_are_disjoint_and_contiguous() {
-        let cfg = small(3);
-        let all: Vec<u32> = (0..3)
-            .flat_map(|g| cfg.group_members(g))
-            .map(|r| r.0)
-            .collect();
-        assert_eq!(all, (0..9).collect::<Vec<u32>>());
-        assert_eq!(cfg.group_members(2)[0], ReplicaId(6));
-        assert_eq!(cfg.total_replicas(), 9);
-    }
-
-    #[test]
-    fn sharded_world_serves_a_mixed_workload_on_every_group() {
-        let cfg = small(4);
+    fn deprecated_build_sharded_world_still_serves_traffic() {
+        let cfg = ShardedClusterConfig::default();
+        assert_eq!(cfg.groups, 4, "historical default preserved");
         let mut world = build_sharded_world(&cfg);
         let source: SourceFn = Box::new(|rng| {
-            let key = Bytes::from(format!("key-{}", rng.gen_range(0..2000u32)));
-            if rng.gen_bool(0.1) {
-                OpSpec::write(key, Bytes::from_static(b"value"))
-            } else {
-                OpSpec::read(key)
-            }
-        });
-        add_sharded_open_loop_client(
-            &mut world,
-            &cfg,
-            ClientId(1),
-            100_000.0,
-            Duration::from_millis(10),
-            source,
-        );
-        world.run_until(Instant::ZERO + Duration::from_millis(20));
-        assert!(world.metrics().counter(metrics::READ_DONE) > 1000);
-        assert!(world.metrics().counter(metrics::WRITE_DONE) > 50);
-        let sw: &SwitchActor = world.actor(cfg.switch_addr()).unwrap();
-        for g in 0..4 {
-            let stats = sw.group_stats(GroupId(g)).unwrap();
-            assert!(
-                stats.writes_forwarded > 0,
-                "group {g} never saw a write: {stats:?}"
-            );
-            assert!(
-                stats.reads_fast_path + stats.reads_normal > 0,
-                "group {g} never saw a read: {stats:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn spine_memory_accounting_scales_with_group_count() {
-        let one = small(1);
-        let four = small(4);
-        let w1 = build_sharded_world(&one);
-        let w4 = build_sharded_world(&four);
-        let s1: &SwitchActor = w1.actor(one.switch_addr()).unwrap();
-        let s4: &SwitchActor = w4.actor(four.switch_addr()).unwrap();
-        assert_eq!(s4.memory_bytes(), 4 * s1.memory_bytes());
-        assert_eq!(s4.spine().group_count(), 4);
-    }
-
-    #[test]
-    fn single_group_sharded_world_matches_the_rack_deployment() {
-        // groups = 1 must behave exactly like the classic ClusterConfig
-        // world: the shard map is the identity onto group 0.
-        let cfg = small(1);
-        let mut world = build_sharded_world(&cfg);
-        let source: SourceFn = Box::new(|rng| {
-            let key = Bytes::from(format!("key-{}", rng.gen_range(0..100u32)));
+            let key = Bytes::from(format!("key-{}", rng.gen_range(0..500u32)));
             if rng.gen_bool(0.1) {
                 OpSpec::write(key, Bytes::from_static(b"v"))
             } else {
@@ -296,8 +191,20 @@ mod tests {
             source,
         );
         world.run_until(Instant::ZERO + Duration::from_millis(10));
-        let sw: &SwitchActor = world.actor(cfg.switch_addr()).unwrap();
-        assert_eq!(sw.stats(), sw.group_stats(GroupId(0)).unwrap());
         assert!(world.metrics().counter(metrics::READ_DONE) > 300);
+    }
+
+    #[test]
+    fn sharded_config_and_spec_agree_on_topology() {
+        let cfg = ShardedClusterConfig {
+            groups: 3,
+            replicas_per_group: 3,
+            ..ShardedClusterConfig::default()
+        };
+        let spec = cfg.to_spec();
+        assert_eq!(cfg.memberships(), spec.memberships());
+        assert_eq!(cfg.total_replicas(), 9);
+        assert_eq!(cfg.group_members(2)[0], ReplicaId(6));
+        assert_eq!(cfg.write_replies(), spec.write_replies());
     }
 }

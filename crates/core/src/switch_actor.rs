@@ -95,6 +95,14 @@ impl SwitchCore {
         Self::new_sharded(cfg, vec![members])
     }
 
+    /// The one constructor both drivers use: build the core for incarnation
+    /// `incarnation` of `spec`, hosting every group of the deployment —
+    /// whether that is one ([`groups(1)`](crate::deployment::DeploymentSpec::groups),
+    /// the rack-scale case) or many (§6.3).
+    pub fn for_deployment(spec: &crate::deployment::DeploymentSpec, incarnation: SwitchId) -> Self {
+        SwitchCore::new_sharded(spec.switch_actor_config(incarnation), spec.memberships())
+    }
+
     /// Build a spine switch hosting one group per entry of `memberships`
     /// (§6.3 cloud-scale deployment). Group `g` serves the objects
     /// `ShardMap::new(memberships.len()).shard_of(obj) == g`; every group
@@ -405,6 +413,16 @@ impl SwitchActor {
     pub fn new_sharded(cfg: SwitchActorConfig, memberships: Vec<Vec<ReplicaId>>) -> Self {
         SwitchActor {
             core: SwitchCore::new_sharded(cfg, memberships),
+            out: Vec::new(),
+        }
+    }
+
+    /// Build the switch actor for incarnation `incarnation` of `spec`,
+    /// hosting every group of the deployment (see
+    /// [`SwitchCore::for_deployment`]).
+    pub fn for_deployment(spec: &crate::deployment::DeploymentSpec, incarnation: SwitchId) -> Self {
+        SwitchActor {
+            core: SwitchCore::for_deployment(spec, incarnation),
             out: Vec::new(),
         }
     }

@@ -18,13 +18,10 @@ const BUCKET_MS: u64 = 5;
 const END_MS: u64 = 60;
 
 fn main() {
-    let config = ClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia: true,
-        replicas: 3,
-        ..ClusterConfig::default()
-    };
-    let mut world = build_world(&config);
+    let config = DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .replicas(3);
+    let mut sim = config.build_sim();
     let keys = KeySpace::uniform(50_000);
     let value = Bytes::from(vec![9u8; 64]);
     let source: SourceFn = Box::new(move |rng| {
@@ -36,29 +33,22 @@ fn main() {
             OpSpec::read(key)
         }
     });
-    let client = add_open_loop_client(
-        &mut world,
-        &config,
-        ClientId(1),
-        RATE,
-        Duration::from_millis(5),
-        source,
-    );
+    let client = sim.add_open_loop_client(ClientId(1), RATE, Duration::from_millis(5), source);
 
     let t = |ms: u64| Instant::ZERO + Duration::from_millis(ms);
-    schedule_switch_failure(&mut world, t(20), config.switch_addr());
-    schedule_switch_replacement(&mut world, t(30), &config, SwitchId(2), vec![client]);
+    schedule_switch_failure(sim.world_mut(), t(20), config.switch_addr());
+    schedule_switch_replacement(sim.world_mut(), t(30), &config, SwitchId(2), vec![client]);
 
     println!("time_ms\tthroughput_mrps\tphase");
     let mut recovered_at = None;
     for bucket in 0..(END_MS / BUCKET_MS) {
         let start = bucket * BUCKET_MS;
         let end = start + BUCKET_MS;
-        world.run_until(t(start));
-        world.metrics_mut().reset();
-        world.run_until(t(end));
-        let done = world.metrics().counter(metrics::READ_DONE)
-            + world.metrics().counter(metrics::WRITE_DONE);
+        sim.run_until(t(start));
+        sim.world_mut().metrics_mut().reset();
+        sim.run_until(t(end));
+        let done = sim.world().metrics().counter(metrics::READ_DONE)
+            + sim.world().metrics().counter(metrics::WRITE_DONE);
         let mrps = done as f64 / (BUCKET_MS as f64 / 1e3) / 1e6;
         let phase = if end <= 20 {
             "normal"

@@ -18,13 +18,11 @@ const WARMUP_MS: u64 = 10;
 const MEASURE_MS: u64 = 40;
 
 fn run(harmonia: bool) -> (f64, f64, f64) {
-    let config = ClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia,
-        replicas: 3,
-        ..ClusterConfig::default()
-    };
-    let mut world = build_world(&config);
+    let mut sim = DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .harmonia(harmonia)
+        .replicas(3)
+        .build_sim();
 
     // Photo-tagging shape: 1/30 writes, zipf-skewed popularity.
     let keys = KeySpace::zipf(100_000, 0.9);
@@ -41,23 +39,22 @@ fn run(harmonia: bool) -> (f64, f64, f64) {
     });
     // Timeout longer than the whole run: at overload we want the sustained
     // completion rate (= server capacity), not timeout-culled counts.
-    add_open_loop_client(
-        &mut world,
-        &config,
+    sim.add_open_loop_client(
         ClientId(1),
         OFFERED_RPS,
         Duration::from_millis(1000),
         source,
     );
 
-    world.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS));
-    world.metrics_mut().reset();
-    world.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS + MEASURE_MS));
+    sim.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS));
+    sim.world_mut().metrics_mut().reset();
+    sim.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS + MEASURE_MS));
 
     let secs = MEASURE_MS as f64 / 1e3;
-    let reads = world.metrics().counter(metrics::READ_DONE) as f64 / secs / 1e6;
-    let writes = world.metrics().counter(metrics::WRITE_DONE) as f64 / secs / 1e6;
-    let p99 = world
+    let reads = sim.world().metrics().counter(metrics::READ_DONE) as f64 / secs / 1e6;
+    let writes = sim.world().metrics().counter(metrics::WRITE_DONE) as f64 / secs / 1e6;
+    let p99 = sim
+        .world()
         .metrics()
         .histogram(metrics::READ_LATENCY)
         .map(|h| h.percentile(0.99).as_micros_f64())

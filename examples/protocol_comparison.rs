@@ -14,15 +14,11 @@ const WARMUP_MS: u64 = 10;
 const MEASURE_MS: u64 = 30;
 
 fn run(protocol: ProtocolKind, harmonia: bool) -> (f64, f64) {
-    let config = ClusterConfig {
-        protocol,
-        harmonia,
-        replicas: 3,
-        ..ClusterConfig::default()
-    };
-    let write_replies = config.write_replies();
-    let _ = write_replies;
-    let mut world = build_world(&config);
+    let mut sim = DeploymentSpec::new()
+        .protocol(protocol)
+        .harmonia(harmonia)
+        .replicas(3)
+        .build_sim();
     let keys = KeySpace::uniform(100_000);
     let value = Bytes::from(vec![1u8; 128]);
     let source: SourceFn = Box::new(move |rng| {
@@ -34,23 +30,22 @@ fn run(protocol: ProtocolKind, harmonia: bool) -> (f64, f64) {
             OpSpec::read(key)
         }
     });
-    add_open_loop_client(
-        &mut world,
-        &config,
+    // Timeout longer than the run: report sustained capacity, not
+    // timeout-culled counts (the system is deliberately driven past
+    // saturation).
+    sim.add_open_loop_client(
         ClientId(1),
         OFFERED_RPS,
-        // Longer than the run: report sustained capacity, not timeout-culled
-        // counts (the system is deliberately driven past saturation).
         Duration::from_millis(1000),
         source,
     );
-    world.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS));
-    world.metrics_mut().reset();
-    world.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS + MEASURE_MS));
+    sim.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS));
+    sim.world_mut().metrics_mut().reset();
+    sim.run_until(Instant::ZERO + Duration::from_millis(WARMUP_MS + MEASURE_MS));
     let secs = MEASURE_MS as f64 / 1e3;
     (
-        world.metrics().counter(metrics::READ_DONE) as f64 / secs / 1e6,
-        world.metrics().counter(metrics::WRITE_DONE) as f64 / secs / 1e6,
+        sim.world().metrics().counter(metrics::READ_DONE) as f64 / secs / 1e6,
+        sim.world().metrics().counter(metrics::WRITE_DONE) as f64 / secs / 1e6,
     )
 }
 

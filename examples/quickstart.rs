@@ -9,13 +9,10 @@ use harmonia::prelude::*;
 fn main() {
     // Three replicas running chain replication, with the in-network
     // conflict detector enabled — the paper's default setup (§9.1).
-    let config = ClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia: true,
-        replicas: 3,
-        ..ClusterConfig::default()
-    };
-    let cluster = LiveCluster::spawn(&config);
+    let cluster = DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .replicas(3)
+        .spawn_live();
     let mut client = cluster.client();
 
     // Plain GET/SET — the client library hides the packet format, the

@@ -16,21 +16,18 @@ fn main() {
     // switch. The keyspace is partitioned by a pure hash of the object id,
     // so clients stay oblivious: they talk to the switch, the switch
     // routes each request to its key's group.
-    let config = ShardedClusterConfig {
-        protocol: ProtocolKind::Chain,
-        harmonia: true,
-        groups: 4,
-        replicas_per_group: 3,
+    let config = DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .groups(4)
+        .replicas(3)
         // The §9.4 measured geometry: 2000 slots × 8 bytes = 16 KB per
         // group — the number behind "one switch hosts hundreds of groups".
-        table: TableConfig {
+        .table(TableConfig {
             stages: 1,
             slots_per_stage: 2000,
             entry_bytes: 8,
-        },
-        ..ShardedClusterConfig::default()
-    };
-    let cluster = ShardedLiveCluster::spawn(&config);
+        });
+    let cluster = config.spawn_live();
     let mut client = cluster.client();
 
     // The same GET/SET API as the single-group deployment.

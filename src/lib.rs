@@ -21,18 +21,26 @@
 //! unmodified protocol. Read throughput then scales with the number of
 //! replicas while writes and consistency are untouched.
 //!
+//! ## One API, every deployment shape
+//!
+//! A single [`DeploymentSpec`](prelude::DeploymentSpec) describes any
+//! deployment: unsharded (Figure 1) is `groups(1)` — the default — and the
+//! §6.3 cloud-scale sharded deployment is the same spec with `groups(n)`.
+//! [`build_sim()`](prelude::DeploymentSpec::build_sim) assembles it in the
+//! deterministic simulator; [`spawn_live()`](prelude::DeploymentSpec::spawn_live)
+//! on OS threads. Both implement the [`Cluster`](prelude::Cluster) trait,
+//! so harnesses can hold either as `Box<dyn Cluster>` and never care which
+//! driver runs the protocol — the drop-in claim of the paper, in the types.
+//!
 //! ## Quick start (live, threaded)
 //!
 //! ```
 //! use harmonia::prelude::*;
 //!
-//! let config = ClusterConfig {
-//!     protocol: ProtocolKind::Chain,
-//!     harmonia: true,
-//!     replicas: 3,
-//!     ..ClusterConfig::default()
-//! };
-//! let cluster = LiveCluster::spawn(&config);
+//! let cluster = DeploymentSpec::new()
+//!     .protocol(ProtocolKind::Chain)
+//!     .replicas(3)
+//!     .spawn_live();
 //! let mut client = cluster.client();
 //! client.set("user:42", "alice").unwrap();
 //! assert_eq!(client.get("user:42").unwrap().as_deref(), Some(&b"alice"[..]));
@@ -45,15 +53,28 @@
 //! use harmonia::prelude::*;
 //! use bytes::Bytes;
 //!
-//! let config = ClusterConfig::default();
-//! let mut world = build_world(&config);
+//! let mut sim = DeploymentSpec::new().seed(7).build_sim();
 //! let source: SourceFn = Box::new(|_rng| OpSpec::read(Bytes::from_static(b"k")));
-//! add_open_loop_client(
-//!     &mut world, &config, ClientId(1),
-//!     100_000.0, Duration::from_millis(10), source,
-//! );
-//! world.run_until(Instant::ZERO + Duration::from_millis(5));
-//! assert!(world.metrics().counter("client.read.done") > 0);
+//! sim.add_open_loop_client(ClientId(1), 100_000.0, Duration::from_millis(10), source);
+//! sim.run_until(Instant::ZERO + Duration::from_millis(5));
+//! assert!(sim.world().metrics().counter("client.read.done") > 0);
+//! ```
+//!
+//! ## One more knob, sixteen more groups
+//!
+//! Scenario diversity costs one config change, not another assembly path:
+//! the same spec with `groups(4)` is the §6.3 sharded deployment, on either
+//! driver.
+//!
+//! ```
+//! use harmonia::prelude::*;
+//!
+//! let mut sim = DeploymentSpec::new().groups(4).build_sim();
+//! let mut client = sim.client();
+//! client.set(b"user:1", b"profile").unwrap();
+//! assert_eq!(client.get(b"user:1").unwrap().as_deref(), Some(&b"profile"[..]));
+//! drop(client);
+//! assert_eq!(sim.switch_memory_bytes().unwrap() % 4, 0); // 4 equal dirty sets
 //! ```
 //!
 //! ## Crate map
@@ -65,9 +86,26 @@
 //! | [`kv`] | in-memory versioned KV engine (the Redis substitute) |
 //! | [`switch`] | switch data-plane emulation: register arrays, multi-stage hash table, Algorithm 1 |
 //! | [`replication`] | PB, chain, CRAQ, VR, NOPaxos — each ± Harmonia |
-//! | [`core`] | cluster assembly, clients, failover scripting, live driver |
+//! | [`core`] | the `DeploymentSpec`/`Cluster` API, clients, failover scripting, both drivers |
 //! | [`workload`] | uniform/zipf key spaces, mixes, YCSB presets |
 //! | [`verify`] | linearizability checker + TLA+-mirror model checker |
+//!
+//! ## Migrating from the pre-`DeploymentSpec` API
+//!
+//! `ClusterConfig` + `build_world`, `ShardedClusterConfig` +
+//! `build_sharded_world`, `LiveCluster::spawn`, and
+//! `ShardedLiveCluster::spawn` still exist as `#[deprecated]` shims for one
+//! release, delegating to the spec (same-seed runs are bit-identical —
+//! locked by `tests/determinism.rs`). The renames are mechanical:
+//!
+//! | before | after |
+//! |---|---|
+//! | `ClusterConfig { protocol, .. }` | `DeploymentSpec::new().protocol(..)` |
+//! | `ShardedClusterConfig { groups: 4, .. }` | `DeploymentSpec::new().groups(4)` |
+//! | `build_world(&cfg)` | `spec.build_sim()` |
+//! | `add_open_loop_client(&mut world, &cfg, ..)` | `sim.add_open_loop_client(..)` |
+//! | `LiveCluster::spawn(&cfg)` / `ShardedLiveCluster::spawn(&cfg)` | `spec.spawn_live()` |
+//! | `schedule_switch_replacement(.., &cfg, ..)` | same, with `&spec` |
 
 pub use harmonia_core as core;
 pub use harmonia_kv as kv;
@@ -81,16 +119,13 @@ pub use harmonia_workload as workload;
 /// Everything a typical user needs.
 pub mod prelude {
     pub use harmonia_core::client::{metrics, OpSpec, SourceFn};
-    pub use harmonia_core::cluster::{add_open_loop_client, build_world, ClusterConfig};
+    pub use harmonia_core::deployment::{Cluster, DeploymentSpec, KvClient, SimCluster};
     pub use harmonia_core::failover::{
         schedule_replica_removal, schedule_switch_failure, schedule_switch_replacement,
     };
-    pub use harmonia_core::live::{LiveClient, LiveCluster, LiveError, ShardedLiveCluster};
+    pub use harmonia_core::live::{LiveClient, LiveCluster, LiveError};
     pub use harmonia_core::msg::{CostModel, Msg};
-    pub use harmonia_core::sharded::{
-        add_sharded_open_loop_client, build_sharded_world, ShardedClusterConfig,
-    };
-    pub use harmonia_core::{ClosedLoopClient, OpenLoopClient, SwitchActor};
+    pub use harmonia_core::{ClosedLoopClient, OpenLoopClient, RecordedOp, SwitchActor};
     pub use harmonia_replication::{GroupConfig, ProtocolKind};
     pub use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};
     pub use harmonia_switch::{

@@ -1,6 +1,7 @@
-//! Shared helpers for the integration tests: build a simulated cluster,
-//! drive closed-loop clients over it, and convert their records into
-//! checker histories.
+//! Shared helpers for the integration tests: one scenario runner for every
+//! deployment shape (unsharded is `groups(1)`), driving closed-loop clients
+//! over a simulated cluster and converting their records into checker
+//! histories.
 
 // Each integration-test binary compiles this module independently and uses
 // a different subset of it; silence per-binary dead-code noise.
@@ -16,9 +17,11 @@ use rand::{Rng, SeedableRng};
 
 pub use harmonia::core::client::OpSpec as Op;
 
-/// A multi-client closed-loop workload description.
+/// A multi-client closed-loop workload description over any deployment
+/// shape. With `deployment.groups > 1`, clients address the spine switch
+/// and keys spread across every group — same runner, same checker.
 pub struct Scenario {
-    pub cluster: ClusterConfig,
+    pub deployment: DeploymentSpec,
     pub clients: usize,
     pub ops_per_client: usize,
     pub keys: usize,
@@ -29,54 +32,13 @@ pub struct Scenario {
 impl Default for Scenario {
     fn default() -> Self {
         Scenario {
-            cluster: ClusterConfig::default(),
+            deployment: DeploymentSpec::new(),
             clients: 4,
             ops_per_client: 60,
             keys: 8,
             write_ratio: 0.4,
             seed: 1,
         }
-    }
-}
-
-/// A multi-client closed-loop workload over a sharded (§6.3) deployment.
-/// Clients address the spine switch; keys spread across every group.
-pub struct ShardedScenario {
-    pub cluster: ShardedClusterConfig,
-    pub clients: usize,
-    pub ops_per_client: usize,
-    pub keys: usize,
-    pub write_ratio: f64,
-    pub seed: u64,
-}
-
-impl Default for ShardedScenario {
-    fn default() -> Self {
-        ShardedScenario {
-            cluster: ShardedClusterConfig::default(),
-            clients: 4,
-            ops_per_client: 60,
-            keys: 24,
-            write_ratio: 0.4,
-            seed: 1,
-        }
-    }
-}
-
-impl ShardedScenario {
-    pub fn run(&self) -> Outcome {
-        let world = build_sharded_world(&self.cluster);
-        run_scenario_in(
-            world,
-            self.cluster.switch_addr(),
-            self.cluster.write_replies(),
-            self.clients,
-            self.ops_per_client,
-            self.keys,
-            self.write_ratio,
-            self.seed,
-            |_| {},
-        )
     }
 }
 
@@ -93,98 +55,43 @@ pub struct Outcome {
     pub incomplete: usize,
 }
 
-impl Scenario {
-    pub fn run(&self) -> Outcome {
-        let world = build_world(&self.cluster);
-        self.run_in(world, |_| {})
-    }
-
-    /// Run with a hook that can adjust the world (network faults, scheduled
-    /// failures) after the nodes are added but before time advances.
-    pub fn run_in(&self, world: World<Msg>, prepare: impl FnOnce(&mut World<Msg>)) -> Outcome {
-        run_scenario_in(
-            world,
-            self.cluster.switch_addr(),
-            self.cluster.write_replies(),
-            self.clients,
-            self.ops_per_client,
-            self.keys,
-            self.write_ratio,
-            self.seed,
-            prepare,
-        )
-    }
-}
-
-/// Shared closed-loop driver for both deployment shapes: attach `clients`
-/// clients addressing `switch`, run to quiescence, and collect
-/// checker-ready records.
-#[allow(clippy::too_many_arguments)]
-pub fn run_scenario_in(
-    mut world: World<Msg>,
-    switch: NodeId,
-    write_replies: usize,
+/// Build the per-client plans a scenario describes (client `c` draws from
+/// seed `seed * 1000 + c`). Shared with the driver-agnostic trait tests.
+pub fn make_plans(
     clients: usize,
     ops_per_client: usize,
     keys: usize,
     write_ratio: f64,
     seed: u64,
-    prepare: impl FnOnce(&mut World<Msg>),
-) -> Outcome {
-    let mut plans = Vec::new();
-    for c in 0..clients {
-        let mut rng = SmallRng::seed_from_u64(seed * 1000 + c as u64);
-        let plan: Vec<Op> = (0..ops_per_client)
-            .map(|i| {
-                let key = Bytes::from(format!("key-{}", rng.gen_range(0..keys)));
-                if rng.gen_bool(write_ratio) {
-                    Op::write(key, Bytes::from(format!("c{c}-v{i}")))
-                } else {
-                    Op::read(key)
-                }
-            })
-            .collect();
-        plans.push(plan);
-    }
-    for (c, plan) in plans.into_iter().enumerate() {
-        let id = ClientId(10 + c as u32);
-        let client = ClosedLoopClient::new(id, switch, plan)
-            .with_write_replies(write_replies)
-            .with_timeout(Duration::from_millis(3));
-        world.add_node(NodeId::Client(id), Box::new(client));
-    }
-    prepare(&mut world);
-    // Advance in chunks until every client finished AND every scheduled
-    // control action (failovers, removals) has fired, bounded by a generous
-    // 2-second horizon; then drain. Protocol timers would keep ticking
-    // harmlessly but expensively, so there is no point simulating dead air —
-    // but a control event scheduled after the clients finish must still run.
-    let horizon = Instant::ZERO + Duration::from_secs(2);
-    loop {
-        let next = world.now() + Duration::from_millis(10);
-        world.run_until(next);
-        let all_done = (0..clients).all(|c| {
-            world
-                .actor::<ClosedLoopClient>(NodeId::Client(ClientId(10 + c as u32)))
-                .is_some_and(|cl| cl.is_done())
-        });
-        if (all_done && world.pending_controls() == 0) || next >= horizon {
-            break;
-        }
-    }
-    // Let in-flight protocol traffic (commit broadcasts, chain DOWNs of the
-    // final writes) settle so replica-state assertions see quiescence.
-    let drain = world.now() + Duration::from_millis(20);
-    world.run_until(drain);
+) -> Vec<Vec<Op>> {
+    (0..clients)
+        .map(|c| {
+            let mut rng = SmallRng::seed_from_u64(seed * 1000 + c as u64);
+            (0..ops_per_client)
+                .map(|i| {
+                    let key = Bytes::from(format!("key-{}", rng.gen_range(0..keys)));
+                    if rng.gen_bool(write_ratio) {
+                        Op::write(key, Bytes::from(format!("c{c}-v{i}")))
+                    } else {
+                        Op::read(key)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
 
+/// Convert per-client recorded histories into checker-ready records,
+/// excluding every key any abandoned operation touched. Returns the records
+/// plus the abandoned-op count. History `i` is reported to the checker as
+/// client id `10 + i` (matching the sim driver's node-id convention; the
+/// checker only needs the ids to be distinct per history).
+pub fn collect_records(histories: &[Vec<RecordedOp>]) -> (Vec<OpRecord>, usize) {
     let mut records = Vec::new();
     let mut incomplete = 0;
     let mut poisoned_keys: HashSet<Bytes> = HashSet::new();
-    for c in 0..clients {
-        let id = NodeId::Client(ClientId(10 + c as u32));
-        let client: &ClosedLoopClient = world.actor(id).expect("client exists");
-        assert!(client.is_done(), "client {c} still has work");
-        for r in &client.records {
+    for (c, history) in histories.iter().enumerate() {
+        for r in history {
             if !r.ok {
                 incomplete += 1;
                 poisoned_keys.insert(r.key.clone());
@@ -203,10 +110,36 @@ pub fn run_scenario_in(
         }
     }
     records.retain(|r| !poisoned_keys.contains(&r.key));
-    Outcome {
-        records,
-        world,
-        incomplete,
+    (records, incomplete)
+}
+
+impl Scenario {
+    pub fn run(&self) -> Outcome {
+        self.run_with(|_| {})
+    }
+
+    /// Run with a hook that can adjust the world (network faults, scheduled
+    /// failures) before time advances. The switch and replicas exist when
+    /// the hook runs; the closed-loop clients do NOT yet (they are added by
+    /// `run_plans_with` afterwards) — shape their links by `NodeId`, which
+    /// needs no node, rather than mutating client actors.
+    pub fn run_with(&self, prepare: impl FnOnce(&mut World<Msg>)) -> Outcome {
+        let mut sim = self.deployment.build_sim();
+        prepare(sim.world_mut());
+        let plans = make_plans(
+            self.clients,
+            self.ops_per_client,
+            self.keys,
+            self.write_ratio,
+            self.seed,
+        );
+        let histories = sim.run_plans_with(plans, Duration::from_millis(3));
+        let (records, incomplete) = collect_records(&histories);
+        Outcome {
+            records,
+            world: sim.into_world(),
+            incomplete,
+        }
     }
 }
 
@@ -233,17 +166,18 @@ pub fn assert_linearizable(records: Vec<OpRecord>, context: &str) {
     }
 }
 
-/// Sharded deployments: after quiescence, every key's owning group must
-/// agree on its value across that group's replicas (replicas of *other*
-/// groups never see the key at all).
-pub fn assert_sharded_converged(world: &World<Msg>, cluster: &ShardedClusterConfig, keys: usize) {
+/// After quiescence, every key's owning group must agree on its value
+/// across that group's replicas — and in sharded deployments, replicas of
+/// *other* groups must never have seen the key at all. With `groups(1)`
+/// this is the classic all-replicas-converge check.
+pub fn assert_converged(world: &World<Msg>, spec: &DeploymentSpec, keys: usize) {
     use harmonia::core::ReplicaActor;
-    let map = cluster.shard_map();
+    let map = spec.shard_map();
     for k in 0..keys {
         let key = format!("key-{k}");
         let group = map.shard_of_key(key.as_bytes()) as usize;
         let mut values = Vec::new();
-        for r in cluster.group_members(group) {
+        for r in spec.group_members(group) {
             let actor: &ReplicaActor = world
                 .actor(NodeId::Replica(r))
                 .expect("group replica exists");
@@ -255,8 +189,8 @@ pub fn assert_sharded_converged(world: &World<Msg>, cluster: &ShardedClusterConf
             "group {group} diverges on {key}: {values:?}"
         );
         // Shard isolation: no other group ever applied this key.
-        for g in (0..cluster.groups).filter(|&g| g != group) {
-            for r in cluster.group_members(g) {
+        for g in (0..spec.groups).filter(|&g| g != group) {
+            for r in spec.group_members(g) {
                 let actor: &ReplicaActor = world
                     .actor(NodeId::Replica(r))
                     .expect("other-group replica exists");
@@ -267,26 +201,5 @@ pub fn assert_sharded_converged(world: &World<Msg>, cluster: &ShardedClusterConf
                 );
             }
         }
-    }
-}
-
-/// Every replica's applied state for every scenario key must agree after
-/// quiescence.
-pub fn assert_converged(world: &World<Msg>, cluster: &ClusterConfig, keys: usize) {
-    use harmonia::core::ReplicaActor;
-    for k in 0..keys {
-        let key = format!("key-{k}");
-        let mut values = Vec::new();
-        for r in 0..cluster.replicas as u32 {
-            let actor: &ReplicaActor = world
-                .actor(NodeId::Replica(ReplicaId(r)))
-                .expect("replica exists");
-            values.push(actor.replica().local_value(key.as_bytes()));
-        }
-        let first = &values[0];
-        assert!(
-            values.iter().all(|v| v == first),
-            "replicas diverge on {key}: {values:?}"
-        );
     }
 }

@@ -1,0 +1,159 @@
+//! The unified `Deployment` API, exercised driver-agnostically: the same
+//! scenario runs through `Box<dyn Cluster>` for both the deterministic sim
+//! and the live threaded driver, and both histories pass the Wing–Gong
+//! checker. This is the paper's drop-in claim in executable form — nothing
+//! in the harness below knows which driver it is talking to.
+
+mod common;
+
+use common::{assert_linearizable, collect_records, make_plans};
+use harmonia::prelude::*;
+
+/// Both drivers, behind the same trait object.
+fn both_drivers(spec: &DeploymentSpec) -> Vec<(&'static str, Box<dyn Cluster>)> {
+    vec![
+        ("sim", Box::new(spec.build_sim())),
+        ("live", Box::new(spec.spawn_live())),
+    ]
+}
+
+/// The same closed-loop scenario through `Box<dyn Cluster>` for both
+/// drivers: both histories must be linearizable, and both switches must
+/// have actually exercised the fast path.
+#[test]
+fn same_scenario_is_linearizable_through_both_drivers() {
+    let spec = DeploymentSpec::new().protocol(ProtocolKind::Chain).seed(9);
+    for (name, mut cluster) in both_drivers(&spec) {
+        let plans = make_plans(3, 40, 8, 0.35, 9);
+        let histories = cluster.run_plans(plans);
+        assert_eq!(histories.len(), 3, "{name}: one history per plan");
+        let (records, incomplete) = collect_records(&histories);
+        assert_eq!(incomplete, 0, "{name}: ops gave up");
+        assert_linearizable(records, &format!("{name} driver via dyn Cluster"));
+        let stats = cluster.switch_stats().expect("switch is up");
+        assert!(
+            stats.reads_fast_path > 0,
+            "{name}: fast path unused: {stats:?}"
+        );
+        assert_eq!(cluster.fast_path_enabled(), Some(true), "{name}");
+        assert_eq!(
+            cluster.switch_incarnation(),
+            Some(SwitchId(1)),
+            "{name}: no failover happened"
+        );
+    }
+}
+
+/// The synchronous KV surface behaves identically through the trait object,
+/// on either driver.
+#[test]
+fn kv_client_round_trips_through_both_drivers() {
+    let spec = DeploymentSpec::new();
+    for (name, mut cluster) in both_drivers(&spec) {
+        let mut client = cluster.client();
+        assert_eq!(client.get(b"missing").unwrap(), None, "{name}");
+        client.set(b"alpha", b"1").unwrap();
+        client.set(b"alpha", b"2").unwrap();
+        client.set(b"beta", b"3").unwrap();
+        assert_eq!(
+            client.get(b"alpha").unwrap().as_deref(),
+            Some(&b"2"[..]),
+            "{name}"
+        );
+        assert_eq!(
+            client.get(b"beta").unwrap().as_deref(),
+            Some(&b"3"[..]),
+            "{name}"
+        );
+    }
+}
+
+/// The §5.3 failover vocabulary is the same on both drivers: kill the
+/// switch (service stops), replace it (normal path only), first own-id
+/// completion re-arms the fast path.
+#[test]
+fn failover_vocabulary_is_uniform_across_drivers() {
+    let spec = DeploymentSpec::new();
+    for (name, mut cluster) in both_drivers(&spec) {
+        {
+            let mut client = cluster.client();
+            client.set(b"warm", b"1").unwrap();
+        }
+        assert_eq!(cluster.fast_path_enabled(), Some(true), "{name}");
+
+        cluster.kill_switch();
+        assert_eq!(cluster.switch_stats(), None, "{name}: switch is down");
+        {
+            let mut client = cluster.client();
+            assert!(
+                client.get(b"warm").is_err(),
+                "{name}: no switch, no service"
+            );
+        }
+
+        cluster.replace_switch(SwitchId(2));
+        assert_eq!(cluster.switch_incarnation(), Some(SwitchId(2)), "{name}");
+        assert_eq!(
+            cluster.fast_path_enabled(),
+            Some(false),
+            "{name}: fresh dirty set, fast path must be off"
+        );
+        {
+            let mut client = cluster.client();
+            assert_eq!(
+                client.get(b"warm").unwrap().as_deref(),
+                Some(&b"1"[..]),
+                "{name}: normal path serves reads"
+            );
+            client.set(b"rearm", b"2").unwrap();
+        }
+        assert_eq!(
+            cluster.fast_path_enabled(),
+            Some(true),
+            "{name}: first own-id completion re-arms"
+        );
+    }
+}
+
+/// A sharded deployment through the same trait object: groups(4) serves a
+/// spread keyspace on both drivers, with identical memory accounting.
+#[test]
+fn sharded_deployment_is_uniform_across_drivers() {
+    let spec = DeploymentSpec::new().groups(4);
+    let per_group = spec.table.stages * spec.table.slots_per_stage * spec.table.entry_bytes;
+    for (name, mut cluster) in both_drivers(&spec) {
+        {
+            let mut client = cluster.client();
+            for i in 0..40 {
+                let key = format!("key-{i}");
+                client
+                    .set(key.as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            for i in 0..40 {
+                let key = format!("key-{i}");
+                assert_eq!(
+                    client.get(key.as_bytes()).unwrap().as_deref(),
+                    Some(format!("v{i}").as_bytes()),
+                    "{name}: {key}"
+                );
+            }
+        }
+        assert_eq!(
+            cluster.switch_memory_bytes(),
+            Some(4 * per_group),
+            "{name}: four equal dirty sets"
+        );
+        let mut groups_with_writes = 0;
+        for g in 0..4 {
+            let stats = cluster.group_stats(GroupId(g)).expect("hosted group");
+            if stats.writes_forwarded > 0 {
+                groups_with_writes += 1;
+            }
+        }
+        assert!(
+            groups_with_writes >= 3,
+            "{name}: only {groups_with_writes}/4 groups saw writes"
+        );
+    }
+}

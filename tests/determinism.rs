@@ -6,6 +6,11 @@
 //! repo leans on that property, so it is locked in here — under an
 //! adversarial network, where the RNG is exercised hardest (jitter draws,
 //! drop/duplicate/reorder coin flips, random fast-path replica choice).
+//!
+//! The `DeploymentSpec` redesign adds a second contract: `groups(1)` must
+//! be *bit-identical* to the pre-redesign unsharded `build_world` assembly,
+//! so migrating a seed-pinned experiment to the new API can never change
+//! its results. Locked by the two `groups1_*` tests below.
 
 mod common;
 
@@ -16,18 +21,7 @@ use rand::Rng;
 
 fn adversarial(seed: u64) -> Scenario {
     Scenario {
-        cluster: ClusterConfig {
-            link: LinkConfig {
-                base_latency: Duration::from_micros(5),
-                jitter: Duration::from_micros(40),
-                drop_prob: 0.01,
-                duplicate_prob: 0.01,
-                reorder_prob: 0.05,
-                reorder_delay: Duration::from_micros(100),
-            },
-            seed,
-            ..ClusterConfig::default()
-        },
+        deployment: adversarial_spec(seed),
         clients: 4,
         ops_per_client: 50,
         keys: 6,
@@ -98,11 +92,7 @@ fn different_seed_diverges() {
 #[test]
 fn open_loop_replay_is_identical() {
     let run = || {
-        let config = ClusterConfig {
-            seed: 7,
-            ..ClusterConfig::default()
-        };
-        let mut world = build_world(&config);
+        let mut sim = DeploymentSpec::new().seed(7).build_sim();
         let source: SourceFn = Box::new(|rng| {
             let key = Bytes::from(format!("key-{}", rng.gen_range(0..64u32)));
             if rng.gen_bool(0.05) {
@@ -111,23 +101,18 @@ fn open_loop_replay_is_identical() {
                 OpSpec::read(key)
             }
         });
-        add_open_loop_client(
-            &mut world,
-            &config,
-            ClientId(1),
-            200_000.0,
-            Duration::from_millis(10),
-            source,
-        );
-        world.run_until(Instant::ZERO + Duration::from_millis(20));
+        sim.add_open_loop_client(ClientId(1), 200_000.0, Duration::from_millis(10), source);
+        sim.run_until(Instant::ZERO + Duration::from_millis(20));
 
-        let counters: Vec<(String, u64)> = world
+        let counters: Vec<(String, u64)> = sim
+            .world()
             .metrics()
             .counters_sorted()
             .into_iter()
             .map(|(n, v)| (n.to_string(), v))
             .collect();
-        let hist = world
+        let hist = sim
+            .world()
             .metrics()
             .histogram("client.read.latency")
             .expect("reads recorded latency");
@@ -138,4 +123,150 @@ fn open_loop_replay_is_identical() {
     let b = run();
     assert_eq!(a, b, "open-loop replay must be exact");
     assert!(a.1 > 0, "the run recorded read latencies");
+}
+
+/// Assemble the pre-redesign unsharded world exactly the way the old
+/// `build_world(&ClusterConfig)` did: explicit single-group switch actor
+/// plus one `ReplicaActor` per replica, in the same insertion order. The
+/// redesign collapsed that path into the sharded one — this is the
+/// reference it must keep matching.
+fn pre_redesign_world(spec: &DeploymentSpec) -> World<Msg> {
+    use harmonia::core::switch_actor::{SwitchActor, SwitchActorConfig, SwitchMode};
+    use harmonia::core::ReplicaActor;
+    use harmonia::replication::build_replica;
+
+    assert_eq!(spec.groups, 1, "the old path was single-group only");
+    let mut world = World::new(WorldConfig {
+        seed: spec.seed,
+        network: NetworkModel::uniform(spec.link),
+    });
+    world.add_node(
+        NodeId::Switch(SwitchId(1)),
+        Box::new(SwitchActor::new(SwitchActorConfig {
+            incarnation: SwitchId(1),
+            mode: if spec.harmonia {
+                SwitchMode::Harmonia
+            } else {
+                SwitchMode::Baseline
+            },
+            protocol: spec.protocol,
+            replicas: spec.replicas,
+            table: spec.table,
+            sweep_interval: spec.sweep_interval,
+        })),
+    );
+    for i in 0..spec.replicas as u32 {
+        let group = GroupConfig {
+            protocol: spec.protocol,
+            me: ReplicaId(i),
+            members: (0..spec.replicas as u32).map(ReplicaId).collect(),
+            harmonia: spec.harmonia,
+            active_switch: SwitchId(1),
+            sync_interval: spec.sync_interval,
+        };
+        world.add_node(
+            NodeId::Replica(ReplicaId(i)),
+            Box::new(ReplicaActor::new(build_replica(group), spec.costs)),
+        );
+    }
+    world
+}
+
+/// Drive the same adversarial closed-loop workload over an arbitrary
+/// pre-built world and return (histories, counters).
+type RunFingerprint = (Vec<Vec<RecordedOp>>, Vec<(String, u64)>);
+
+fn fingerprint(mut world: World<Msg>, seed: u64) -> RunFingerprint {
+    let plans = common::make_plans(4, 50, 6, 0.3, seed);
+    for (c, plan) in plans.into_iter().enumerate() {
+        let id = ClientId(10 + c as u32);
+        let client = ClosedLoopClient::new(id, NodeId::Switch(SwitchId(1)), plan)
+            .with_write_replies(1)
+            .with_timeout(Duration::from_millis(3));
+        world.add_node(NodeId::Client(id), Box::new(client));
+    }
+    let horizon = Instant::ZERO + Duration::from_secs(2);
+    loop {
+        let next = world.now() + Duration::from_millis(10);
+        world.run_until(next);
+        let all_done = (0..4u32).all(|c| {
+            world
+                .actor::<ClosedLoopClient>(NodeId::Client(ClientId(10 + c)))
+                .is_some_and(|cl| cl.is_done())
+        });
+        if all_done || next >= horizon {
+            break;
+        }
+    }
+    let drain = world.now() + Duration::from_millis(20);
+    world.run_until(drain);
+    let histories = (0..4u32)
+        .map(|c| {
+            world
+                .actor::<ClosedLoopClient>(NodeId::Client(ClientId(10 + c)))
+                .expect("client exists")
+                .records
+                .clone()
+        })
+        .collect();
+    let counters = world
+        .metrics()
+        .counters_sorted()
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    (histories, counters)
+}
+
+fn adversarial_spec(seed: u64) -> DeploymentSpec {
+    DeploymentSpec::new()
+        .link(LinkConfig {
+            base_latency: Duration::from_micros(5),
+            jitter: Duration::from_micros(40),
+            drop_prob: 0.01,
+            duplicate_prob: 0.01,
+            reorder_prob: 0.05,
+            reorder_delay: Duration::from_micros(100),
+        })
+        .seed(seed)
+}
+
+/// The redesign's equivalence contract: `groups(1)` through the unified
+/// (internally sharded) assembly produces bit-identical histories and
+/// metrics to the pre-redesign unsharded `build_world` assembly, same seed,
+/// under an adversarial network that exercises the RNG hard.
+#[test]
+fn groups1_matches_pre_redesign_unsharded_build() {
+    let spec = adversarial_spec(42);
+    let old = fingerprint(pre_redesign_world(&spec), 42);
+    let new = fingerprint(spec.build_sim().into_world(), 42);
+    assert_eq!(
+        old.0, new.0,
+        "groups(1) must replay the old unsharded histories bit-for-bit"
+    );
+    assert_eq!(old.1, new.1, "and the metrics must match exactly");
+    assert!(
+        old.0.iter().map(Vec::len).sum::<usize>() > 0,
+        "the comparison actually ran a workload"
+    );
+}
+
+/// The deprecated `build_world` shim is the same world too (it delegates,
+/// and this pins the delegation).
+#[test]
+fn groups1_matches_deprecated_build_world_shim() {
+    #[allow(deprecated)]
+    let old_world = {
+        use harmonia::core::cluster::{build_world, ClusterConfig};
+        let cfg = ClusterConfig {
+            link: adversarial_spec(43).link,
+            seed: 43,
+            ..ClusterConfig::default()
+        };
+        build_world(&cfg)
+    };
+    let old = fingerprint(old_world, 43);
+    let new = fingerprint(adversarial_spec(43).build_sim().into_world(), 43);
+    assert_eq!(old.0, new.0);
+    assert_eq!(old.1, new.1);
 }

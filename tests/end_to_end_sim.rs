@@ -7,25 +7,23 @@ mod common;
 use common::{assert_converged, assert_linearizable, Scenario};
 use harmonia::prelude::*;
 
-fn cluster(protocol: ProtocolKind, harmonia: bool) -> ClusterConfig {
-    ClusterConfig {
-        protocol,
-        harmonia,
-        replicas: 3,
-        ..ClusterConfig::default()
-    }
+fn cluster(protocol: ProtocolKind, harmonia: bool) -> DeploymentSpec {
+    DeploymentSpec::new()
+        .protocol(protocol)
+        .harmonia(harmonia)
+        .replicas(3)
 }
 
 fn check(protocol: ProtocolKind, harmonia: bool, seed: u64, context: &str) {
     let scenario = Scenario {
-        cluster: cluster(protocol, harmonia),
+        deployment: cluster(protocol, harmonia),
         seed,
         ..Scenario::default()
     };
     let outcome = scenario.run();
     assert_eq!(outcome.incomplete, 0, "{context}: ops gave up");
     assert_linearizable(outcome.records, context);
-    assert_converged(&outcome.world, &scenario.cluster, scenario.keys);
+    assert_converged(&outcome.world, &scenario.deployment, scenario.keys);
 }
 
 #[test]
@@ -155,30 +153,29 @@ fn reliable_intra_replica_links(world: &mut World<Msg>, replicas: usize) {
 
 fn check_fault(protocol: ProtocolKind, harmonia: bool, fault: Fault, seed: u64) {
     let context = format!("{protocol:?} harmonia={harmonia} under {fault:?}");
-    let mut cfg = cluster(protocol, harmonia);
-    cfg.seed = seed;
+    let mut spec = cluster(protocol, harmonia).seed(seed);
     let nopaxos = protocol == ProtocolKind::Nopaxos;
     if !nopaxos {
-        cfg.link = fault.link();
+        spec.link = fault.link();
     }
-    let replicas = cfg.replicas;
+    let replicas = spec.replicas;
+    let clients = 3;
     let scenario = Scenario {
-        cluster: cfg.clone(),
-        clients: 3,
+        deployment: spec.clone(),
+        clients,
         ops_per_client: 50,
         keys: 6,
         write_ratio: 0.35,
         seed,
     };
-    let world = build_world(&cfg);
-    let outcome = scenario.run_in(world, |w| {
+    let outcome = scenario.run_with(|w| {
         if nopaxos {
             // Respect the OUM envelope: losses hit the switch→follower
             // multicast legs; reordering hits the client↔switch path.
             if fault.loses() {
                 for follower in [1u32, 2] {
                     w.network_mut().set_link(
-                        cfg.switch_addr(),
+                        spec.switch_addr(),
                         NodeId::Replica(ReplicaId(follower)),
                         LinkConfig {
                             drop_prob: 0.05,
@@ -194,10 +191,12 @@ fn check_fault(protocol: ProtocolKind, harmonia: bool, fault: Fault, seed: u64) 
                     reorder_delay: Duration::from_micros(100),
                     ..LinkConfig::ideal(Duration::from_micros(5))
                 };
-                for c in 0..scenario.clients as u32 {
+                for c in 0..clients as u32 {
                     let client = NodeId::Client(ClientId(10 + c));
-                    w.network_mut().set_link(client, cfg.switch_addr(), reorder);
-                    w.network_mut().set_link(cfg.switch_addr(), client, reorder);
+                    w.network_mut()
+                        .set_link(client, spec.switch_addr(), reorder);
+                    w.network_mut()
+                        .set_link(spec.switch_addr(), client, reorder);
                 }
             }
         } else {
@@ -269,19 +268,18 @@ fn fault_sweep_nopaxos_harmonia() {
 /// uncommitted data, which the checker would flag.
 #[test]
 fn sweep_eviction_races_slow_write_completion() {
-    let mut cfg = cluster(ProtocolKind::Chain, true);
-    cfg.seed = 401;
-    cfg.sweep_interval = Some(Duration::from_micros(50));
+    let spec = cluster(ProtocolKind::Chain, true)
+        .seed(401)
+        .sweep_interval(Some(Duration::from_micros(50)));
     let scenario = Scenario {
-        cluster: cfg.clone(),
+        deployment: spec.clone(),
         clients: 4,
         ops_per_client: 60,
         keys: 8,
         write_ratio: 0.4,
         seed: 401,
     };
-    let world = build_world(&cfg);
-    let outcome = scenario.run_in(world, |w| {
+    let outcome = scenario.run_with(|w| {
         // Slow, reliable FIFO chain: writes stay in flight ~0.6 ms.
         let slow = LinkConfig::ideal(Duration::from_micros(300));
         for a in 0..3u32 {
@@ -305,18 +303,18 @@ fn sweep_eviction_races_slow_write_completion() {
         };
         for r in 0..3u32 {
             w.network_mut()
-                .set_link(cfg.switch_addr(), NodeId::Replica(ReplicaId(r)), reorder);
+                .set_link(spec.switch_addr(), NodeId::Replica(ReplicaId(r)), reorder);
         }
     });
     assert_linearizable(outcome.records, "sweep vs slow completion");
-    assert_converged(&outcome.world, &scenario.cluster, scenario.keys);
+    assert_converged(&outcome.world, &scenario.deployment, scenario.keys);
     // The race must actually have been exercised: the sweep reclaimed stray
     // entries while fast-path reads were being served.
     let swept = outcome.world.metrics().counter("switch.swept");
     assert!(swept > 0, "no stale entries were ever swept");
     let sw: &SwitchActor = outcome
         .world
-        .actor(scenario.cluster.switch_addr())
+        .actor(scenario.deployment.switch_addr())
         .expect("switch");
     assert!(
         sw.stats().reads_fast_path > 0,
@@ -339,7 +337,7 @@ fn sweep_eviction_races_slow_write_completion() {
 #[test]
 fn fast_path_reads_were_served() {
     let scenario = Scenario {
-        cluster: cluster(ProtocolKind::Chain, true),
+        deployment: cluster(ProtocolKind::Chain, true),
         write_ratio: 0.2,
         seed: 71,
         ..Scenario::default()
@@ -347,7 +345,7 @@ fn fast_path_reads_were_served() {
     let outcome = scenario.run();
     let sw: &SwitchActor = outcome
         .world
-        .actor(scenario.cluster.switch_addr())
+        .actor(scenario.deployment.switch_addr())
         .expect("switch");
     assert!(
         sw.stats().reads_fast_path > 20,

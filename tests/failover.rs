@@ -9,22 +9,21 @@ use harmonia::prelude::*;
 
 #[test]
 fn history_through_switch_replacement_is_linearizable() {
-    let cfg = ClusterConfig::default();
+    let spec = DeploymentSpec::new();
     let scenario = Scenario {
-        cluster: cfg.clone(),
+        deployment: spec.clone(),
         clients: 4,
         ops_per_client: 60,
         keys: 10,
         write_ratio: 0.3,
         seed: 101,
     };
-    let world = build_world(&cfg);
-    let outcome = scenario.run_in(world, |w| {
+    let outcome = scenario.run_with(|w| {
         // Kill the switch mid-workload and replace it with incarnation 2.
         let t = |ms| Instant::ZERO + Duration::from_millis(ms);
-        schedule_switch_failure(w, t(1), cfg.switch_addr());
+        schedule_switch_failure(w, t(1), spec.switch_addr());
         let clients: Vec<NodeId> = (0..4).map(|c| NodeId::Client(ClientId(10 + c))).collect();
-        schedule_switch_replacement(w, t(4), &cfg, SwitchId(2), clients);
+        schedule_switch_replacement(w, t(4), &spec, SwitchId(2), clients);
     });
     // Clients that lost requests during the outage retried through the
     // replacement; whatever completed must be linearizable.
@@ -76,22 +75,21 @@ fn stale_switch_fast_path_reads_are_refused_after_lease_moves() {
 
 #[test]
 fn history_through_tail_removal_is_linearizable() {
-    let cfg = ClusterConfig::default();
+    let spec = DeploymentSpec::new();
     let scenario = Scenario {
-        cluster: cfg.clone(),
+        deployment: spec.clone(),
         clients: 3,
         ops_per_client: 60,
         keys: 6,
         write_ratio: 0.3,
         seed: 103,
     };
-    let world = build_world(&cfg);
-    let outcome = scenario.run_in(world, |w| {
+    let outcome = scenario.run_with(|w| {
         schedule_replica_removal(
             w,
             Instant::ZERO + Duration::from_millis(1),
-            &cfg,
-            cfg.switch_addr(),
+            &spec,
+            spec.switch_addr(),
             ReplicaId(2),
         );
     });
@@ -100,22 +98,21 @@ fn history_through_tail_removal_is_linearizable() {
 
 #[test]
 fn history_through_head_removal_is_linearizable() {
-    let cfg = ClusterConfig::default();
+    let spec = DeploymentSpec::new();
     let scenario = Scenario {
-        cluster: cfg.clone(),
+        deployment: spec.clone(),
         clients: 3,
         ops_per_client: 60,
         keys: 6,
         write_ratio: 0.3,
         seed: 104,
     };
-    let world = build_world(&cfg);
-    let outcome = scenario.run_in(world, |w| {
+    let outcome = scenario.run_with(|w| {
         schedule_replica_removal(
             w,
             Instant::ZERO + Duration::from_millis(1),
-            &cfg,
-            cfg.switch_addr(),
+            &spec,
+            spec.switch_addr(),
             ReplicaId(0),
         );
     });
@@ -126,23 +123,22 @@ fn history_through_head_removal_is_linearizable() {
 fn double_failover_keeps_lease_monotone() {
     // Switch 1 -> 2 -> 3; after each replacement the system must recover
     // and serve fast-path reads from the newest incarnation only.
-    let cfg = ClusterConfig::default();
+    let spec = DeploymentSpec::new();
     let scenario = Scenario {
-        cluster: cfg.clone(),
+        deployment: spec.clone(),
         clients: 3,
         ops_per_client: 200,
         keys: 16,
         write_ratio: 0.25,
         seed: 105,
     };
-    let world = build_world(&cfg);
-    let outcome = scenario.run_in(world, |w| {
+    let outcome = scenario.run_with(|w| {
         let t = |ms| Instant::ZERO + Duration::from_millis(ms);
         let clients: Vec<NodeId> = (0..3).map(|c| NodeId::Client(ClientId(10 + c))).collect();
-        schedule_switch_failure(w, t(1), cfg.switch_addr());
-        schedule_switch_replacement(w, t(3), &cfg, SwitchId(2), clients.clone());
+        schedule_switch_failure(w, t(1), spec.switch_addr());
+        schedule_switch_replacement(w, t(3), &spec, SwitchId(2), clients.clone());
         schedule_switch_failure(w, t(6), NodeId::Switch(SwitchId(2)));
-        schedule_switch_replacement(w, t(9), &cfg, SwitchId(3), clients);
+        schedule_switch_replacement(w, t(9), &spec, SwitchId(3), clients);
     });
     assert_linearizable(outcome.records, "double failover");
     let sw: &SwitchActor = outcome

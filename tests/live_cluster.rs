@@ -5,12 +5,11 @@ use bytes::Bytes;
 use harmonia::prelude::*;
 
 fn spawn(protocol: ProtocolKind, harmonia: bool, replicas: usize) -> LiveCluster {
-    LiveCluster::spawn(&ClusterConfig {
-        protocol,
-        harmonia,
-        replicas,
-        ..ClusterConfig::default()
-    })
+    DeploymentSpec::new()
+        .protocol(protocol)
+        .harmonia(harmonia)
+        .replicas(replicas)
+        .spawn_live()
 }
 
 #[test]

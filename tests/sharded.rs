@@ -5,17 +5,15 @@
 
 mod common;
 
-use common::{assert_linearizable, assert_sharded_converged, ShardedScenario};
+use common::{assert_converged, assert_linearizable, Scenario};
 use harmonia::prelude::*;
 
-fn sharded(protocol: ProtocolKind, harmonia: bool, groups: usize) -> ShardedClusterConfig {
-    ShardedClusterConfig {
-        protocol,
-        harmonia,
-        groups,
-        replicas_per_group: 3,
-        ..ShardedClusterConfig::default()
-    }
+fn sharded(protocol: ProtocolKind, harmonia: bool, groups: usize) -> DeploymentSpec {
+    DeploymentSpec::new()
+        .protocol(protocol)
+        .harmonia(harmonia)
+        .groups(groups)
+        .replicas(3)
 }
 
 /// The acceptance scenario: a 4-group chain deployment serves a concurrent
@@ -23,8 +21,8 @@ fn sharded(protocol: ProtocolKind, harmonia: bool, groups: usize) -> ShardedClus
 /// each group's replicas converge, and shards never bleed into each other.
 #[test]
 fn four_group_chain_harmonia_is_linearizable() {
-    let scenario = ShardedScenario {
-        cluster: sharded(ProtocolKind::Chain, true, 4),
+    let scenario = Scenario {
+        deployment: sharded(ProtocolKind::Chain, true, 4),
         clients: 4,
         ops_per_client: 60,
         keys: 24,
@@ -34,13 +32,13 @@ fn four_group_chain_harmonia_is_linearizable() {
     let outcome = scenario.run();
     assert_eq!(outcome.incomplete, 0, "ops gave up");
     assert_linearizable(outcome.records, "4-group Harmonia(CR)");
-    assert_sharded_converged(&outcome.world, &scenario.cluster, scenario.keys);
+    assert_converged(&outcome.world, &scenario.deployment, scenario.keys);
 
     // All four groups actually served traffic through the one spine switch,
     // under per-group sequence spaces and shared memory accounting.
     let sw: &SwitchActor = outcome
         .world
-        .actor(scenario.cluster.switch_addr())
+        .actor(scenario.deployment.switch_addr())
         .expect("spine switch");
     assert_eq!(sw.spine().group_count(), 4);
     let mut groups_with_writes = 0;
@@ -70,8 +68,8 @@ fn every_protocol_is_linearizable_across_two_groups() {
         (ProtocolKind::Vr, true),
         (ProtocolKind::Nopaxos, true),
     ] {
-        let scenario = ShardedScenario {
-            cluster: sharded(protocol, harmonia, 2),
+        let scenario = Scenario {
+            deployment: sharded(protocol, harmonia, 2),
             clients: 3,
             ops_per_client: 40,
             keys: 12,
@@ -82,7 +80,7 @@ fn every_protocol_is_linearizable_across_two_groups() {
         let context = format!("2-group {protocol:?} harmonia={harmonia}");
         assert_eq!(outcome.incomplete, 0, "{context}: ops gave up");
         assert_linearizable(outcome.records, &context);
-        assert_sharded_converged(&outcome.world, &scenario.cluster, scenario.keys);
+        assert_converged(&outcome.world, &scenario.deployment, scenario.keys);
     }
 }
 
@@ -92,10 +90,9 @@ fn every_protocol_is_linearizable_across_two_groups() {
 #[test]
 fn group_fast_paths_arm_independently() {
     use harmonia::core::client::OpSpec;
-    use harmonia::core::ClosedLoopClient;
 
     let cfg = sharded(ProtocolKind::Chain, true, 4);
-    let mut world = build_sharded_world(&cfg);
+    let mut sim = cfg.build_sim();
     // Write (and thereby arm) only the groups that serve these two keys:
     // probe until the second key lands on a different shard than the first.
     let map = cfg.shard_map();
@@ -112,18 +109,12 @@ fn group_fast_paths_arm_independently() {
         OpSpec::read(key_a),
         OpSpec::read(key_b),
     ];
-    world.add_node(
-        NodeId::Client(ClientId(1)),
-        Box::new(ClosedLoopClient::new(ClientId(1), cfg.switch_addr(), plan)),
-    );
-    world.run_until(Instant::ZERO + Duration::from_millis(5));
-    let sw: &SwitchActor = world.actor(cfg.switch_addr()).unwrap();
+    sim.add_closed_loop_client(ClientId(1), plan, Duration::from_millis(5));
+    sim.run_until(Instant::ZERO + Duration::from_millis(5));
     for g in 0..4u32 {
-        let armed = sw
-            .spine()
-            .group(GroupId(g))
-            .expect("hosted group")
-            .fast_path_enabled();
+        let armed = sim
+            .group_fast_path_enabled(GroupId(g))
+            .expect("hosted group");
         assert_eq!(
             armed,
             g == ga || g == gb,
@@ -140,7 +131,7 @@ fn sharded_live_cluster_serves_a_thousand_keys() {
     use bytes::Bytes;
 
     let cfg = sharded(ProtocolKind::Chain, true, 4);
-    let cluster = ShardedLiveCluster::spawn(&cfg);
+    let cluster = cfg.spawn_live();
     let mut writers: Vec<_> = (0..4)
         .map(|t| {
             let mut client = cluster.client();
