@@ -9,6 +9,10 @@
 //!     (1 → 16) behind one spine switch, with the switch's dirty-set SRAM
 //!     reported per run — the quantitative form of "the capacity of a
 //!     switch far exceeds that of a single replica group".
+//!
+//! Figure 7d here is the *simulated* sweep. Its live-driver counterpart —
+//! real threads through the per-group switch pipelines — is the
+//! `live_scaleout` bench.
 
 use harmonia_bench::{mrps, print_table, run_open_loop, Keys, RunSpec};
 use harmonia_core::deployment::DeploymentSpec;

@@ -137,19 +137,12 @@ pub fn run_open_loop(spec: &RunSpec) -> RunResult {
     // Keys are probed until every group is covered (the shard map is a pure
     // hash, so a handful suffice; with one group the first key does it).
     if spec.cluster.harmonia {
-        let map = spec.cluster.shard_map();
-        let mut covered = vec![false; spec.cluster.groups];
-        let mut plan = Vec::new();
-        let mut probe = 0u32;
-        while covered.iter().any(|c| !c) {
-            let key = Bytes::from(format!("__bootstrap-{probe}__"));
-            let g = map.shard_of_key(&key) as usize;
-            if !covered[g] {
-                covered[g] = true;
-                plan.push(OpSpec::write(key, Bytes::from_static(b"1")));
-            }
-            probe += 1;
-        }
+        let plan = spec
+            .cluster
+            .group_covering_keys()
+            .into_iter()
+            .map(|key| OpSpec::write(key, Bytes::from_static(b"1")))
+            .collect();
         sim.add_closed_loop_client(ClientId(99), plan, Duration::from_millis(5));
     }
     // Timeout past the end of the run: never cull, always count.
@@ -206,7 +199,7 @@ fn measure_open_loop(mut sim: SimCluster, warmup: Duration, measure: Duration) -
         result.switch = sw.stats();
         result.dirty_len = sw.detector().dirty_len();
         result.switch_memory_bytes = sw.memory_bytes();
-        result.groups = sw.spine().group_count();
+        result.groups = sw.group_count();
     }
     result
 }
@@ -297,6 +290,83 @@ pub fn run_closed_loop(
         }
     }
     done as f64 / measure.as_secs_f64() / 1e6
+}
+
+/// Execute a **live** (threaded) closed-loop measurement: spawn the
+/// deployment on OS threads, drive `clients` concurrent client threads
+/// issuing back-to-back operations (`write_ratio` writes) for `duration`,
+/// and return the completed rate in MRPS.
+///
+/// This is the measurement the sim cannot make: real threads through the
+/// parallel data plane — per-group switch pipelines behind the stateless
+/// shard-routing spine, no lock on the packet path. Keys and values are
+/// precomputed `Bytes`, so the per-op hot loop allocates nothing; each
+/// client owns a disjoint key slice spread across every group by the shard
+/// hash.
+///
+/// Scaling caveat: the fleet can only run as parallel as the host. A
+/// `groups(8)` deployment has 8 pipeline threads + 24 replica threads;
+/// near-linear group scaling needs roughly that many cores. On fewer cores
+/// the shapes converge to the single-core packet-processing rate.
+pub fn run_live_closed_loop(
+    cluster: &DeploymentSpec,
+    clients: usize,
+    write_ratio: f64,
+    keys_per_client: usize,
+    duration: std::time::Duration,
+) -> f64 {
+    use harmonia_core::deployment::KvClient as _;
+
+    let live = cluster.spawn_live();
+    // Arm every group's fast path with one committed write (§5.3 rule),
+    // exactly as `run_open_loop` does for the sim.
+    if cluster.harmonia {
+        let mut warm = live.client();
+        for key in cluster.group_covering_keys() {
+            warm.set(key, "1").expect("bootstrap write");
+        }
+    }
+    let deadline = std::time::Instant::now() + duration;
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let mut client = live.client();
+            let keys: Vec<Bytes> = (0..keys_per_client)
+                .map(|k| Bytes::from(format!("c{c}-key-{k}")))
+                .collect();
+            let value = Bytes::from(vec![0x5au8; 128]);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x11fe + c as u64);
+                let mut done = 0u64;
+                let mut i = 0usize;
+                while std::time::Instant::now() < deadline {
+                    let key = keys[i % keys.len()].clone();
+                    let ok = if rng.gen_bool(write_ratio) {
+                        client.set_bytes(key, value.clone()).is_ok()
+                    } else {
+                        client.get_bytes(key).is_ok()
+                    };
+                    if ok {
+                        done += 1;
+                    }
+                    i += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    let done: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    live.shutdown();
+    done as f64 / duration.as_secs_f64() / 1e6
+}
+
+/// Live-measurement window length in milliseconds (override with
+/// `HARMONIA_LIVE_BENCH_MS`; CI smoke-runs with a small value).
+pub fn live_measure_window() -> std::time::Duration {
+    let ms = std::env::var("HARMONIA_LIVE_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(400);
+    std::time::Duration::from_millis(ms)
 }
 
 /// Print a TSV table with a title and the paper's expected shape.

@@ -10,7 +10,8 @@ use std::collections::{HashMap, VecDeque};
 use bytes::Bytes;
 use harmonia_sim::{Actor, Context, TimerToken};
 use harmonia_types::{
-    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, RequestId, WriteOutcome,
+    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, ReplicaId, RequestId,
+    WriteOutcome,
 };
 use rand::rngs::SmallRng;
 
@@ -91,7 +92,9 @@ impl OpenLoopConfig {
 struct PendingReq {
     sent: Instant,
     kind: OpKind,
-    replies: usize,
+    /// Distinct replicas that have replied (multi-reply protocols count a
+    /// write complete only after a quorum of distinct repliers).
+    repliers: Vec<ReplicaId>,
 }
 
 /// Fire-and-record load generator. Requests are emitted at a fixed rate
@@ -187,7 +190,7 @@ impl OpenLoopClient {
             PendingReq {
                 sent: ctx.now(),
                 kind: spec.kind,
-                replies: 0,
+                repliers: Vec::new(),
             },
         );
         let dst = self.cfg.switch;
@@ -259,12 +262,14 @@ impl Actor<Msg> for OpenLoopClient {
             self.pending.remove(&rid);
             return;
         }
-        p.replies += 1;
+        if !p.repliers.contains(&reply.from) {
+            p.repliers.push(reply.from);
+        }
         let needed = match p.kind {
             OpKind::Read => 1,
             OpKind::Write => self.cfg.write_replies,
         };
-        if p.replies >= needed {
+        if p.repliers.len() >= needed {
             let latency = ctx.now().since(p.sent);
             let (done, hist) = match p.kind {
                 OpKind::Read => (metrics::READ_DONE, metrics::READ_LATENCY),
@@ -315,7 +320,10 @@ struct Current {
     rid: u64,
     attempt: u32,
     invoked: Instant,
-    replies: usize,
+    /// Distinct replicas that have replied to this operation, carried
+    /// across retries (which reuse the request id): a late original reply
+    /// plus a deduplicated re-send must not count as two acknowledgements.
+    repliers: Vec<ReplicaId>,
     timer: TimerToken,
 }
 
@@ -372,6 +380,7 @@ impl ClosedLoopClient {
         self.switch = switch;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_current(
         &mut self,
         ctx: &mut Context<'_, Msg>,
@@ -379,6 +388,7 @@ impl ClosedLoopClient {
         rid: u64,
         attempt: u32,
         invoked: Instant,
+        repliers: Vec<ReplicaId>,
     ) {
         let req = match spec.kind {
             OpKind::Read => ClientRequest::read(self.id, RequestId(rid), spec.key.clone()),
@@ -400,7 +410,7 @@ impl ClosedLoopClient {
             rid,
             attempt,
             invoked,
-            replies: 0,
+            repliers,
             timer,
         });
     }
@@ -414,7 +424,7 @@ impl ClosedLoopClient {
                 // re-executions and re-send cached replies.
                 let rid = self.next_request;
                 self.next_request += 1;
-                self.send_current(ctx, spec, rid, 1, now);
+                self.send_current(ctx, spec, rid, 1, now, Vec::new());
             }
             None => self.phase = Phase::Done,
         }
@@ -444,7 +454,14 @@ impl ClosedLoopClient {
             self.phase = Phase::Inflight(cur);
             self.complete(ctx, None, false);
         } else {
-            self.send_current(ctx, cur.spec, cur.rid, cur.attempt + 1, cur.invoked);
+            self.send_current(
+                ctx,
+                cur.spec,
+                cur.rid,
+                cur.attempt + 1,
+                cur.invoked,
+                cur.repliers,
+            );
         }
     }
 }
@@ -470,12 +487,14 @@ impl Actor<Msg> for ClosedLoopClient {
             self.retry(ctx);
             return;
         }
-        cur.replies += 1;
+        if !cur.repliers.contains(&reply.from) {
+            cur.repliers.push(reply.from);
+        }
         let needed = match cur.spec.kind {
             OpKind::Read => 1,
             OpKind::Write => self.write_replies,
         };
-        if cur.replies >= needed {
+        if cur.repliers.len() >= needed {
             self.complete(ctx, reply.value, true);
         }
     }
@@ -493,7 +512,7 @@ impl Actor<Msg> for ClosedLoopClient {
 mod tests {
     use super::*;
     use harmonia_sim::{LinkConfig, NetworkModel, Service, World, WorldConfig};
-    use harmonia_types::{ClientReply, ObjectId, SwitchId};
+    use harmonia_types::{ClientReply, ObjectId, ReplicaId, SwitchId};
 
     const SWITCH: NodeId = NodeId::Switch(SwitchId(1));
     const CLIENT: NodeId = NodeId::Client(ClientId(7));
@@ -516,6 +535,7 @@ mod tests {
             };
             let reply = ClientReply {
                 client: req.client,
+                from: ReplicaId(0),
                 request: req.request,
                 obj: ObjectId::from_key(&req.key),
                 value: match req.op {
@@ -692,6 +712,7 @@ mod tests {
                 }
                 let reply = ClientReply {
                     client: req.client,
+                    from: ReplicaId(0),
                     request: req.request,
                     obj: ObjectId::from_key(&req.key),
                     value: None,

@@ -211,6 +211,28 @@ impl DeploymentSpec {
         ShardMap::new(self.groups)
     }
 
+    /// One key per group, in group order, covering every group of the
+    /// deployment (found by probing the shard hash). Bring-up harnesses
+    /// write one committed value per key to arm each group's fast path —
+    /// the §5.3 first-own-completion rule — exactly as a real deployment
+    /// would.
+    pub fn group_covering_keys(&self) -> Vec<Bytes> {
+        let map = self.shard_map();
+        let mut keys: Vec<Option<Bytes>> = vec![None; self.groups];
+        let mut remaining = self.groups;
+        let mut probe = 0u32;
+        while remaining > 0 {
+            let key = Bytes::from(format!("__bootstrap-{probe}__"));
+            let g = map.shard_of_key(&key) as usize;
+            if keys[g].is_none() {
+                keys[g] = Some(key);
+                remaining -= 1;
+            }
+            probe += 1;
+        }
+        keys.into_iter().map(|k| k.expect("covered")).collect()
+    }
+
     /// Total replica count across every group.
     pub fn total_replicas(&self) -> usize {
         self.groups * self.replicas
@@ -318,12 +340,29 @@ impl DeploymentSpec {
 
 /// A synchronous key-value handle onto a running deployment — the same
 /// GET/SET surface whether the deployment is simulated or live.
+///
+/// The required methods take [`Bytes`]: a refcounted handle that requests,
+/// retries, and histories can share without copying, so a driver's per-op
+/// hot loop allocates nothing. The slice forms ([`get`](Self::get) /
+/// [`set`](Self::set)) are borrowed-data conveniences that pay one copy at
+/// the boundary.
 pub trait KvClient {
     /// Read `key`, blocking (or simulating) until the reply, with retry.
-    fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>, LiveError>;
+    fn get_bytes(&mut self, key: Bytes) -> Result<Option<Bytes>, LiveError>;
+
     /// Write `key := value`, blocking (or simulating) until committed, with
     /// retry.
-    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), LiveError>;
+    fn set_bytes(&mut self, key: Bytes, value: Bytes) -> Result<(), LiveError>;
+
+    /// [`get_bytes`](Self::get_bytes), copying the borrowed key once.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>, LiveError> {
+        self.get_bytes(Bytes::copy_from_slice(key))
+    }
+
+    /// [`set_bytes`](Self::set_bytes), copying the borrowed data once.
+    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), LiveError> {
+        self.set_bytes(Bytes::copy_from_slice(key), Bytes::copy_from_slice(value))
+    }
 }
 
 /// The runtime surface of a running deployment, common to the simulated and
@@ -386,9 +425,8 @@ pub trait Cluster {
 /// Beyond the [`Cluster`] surface it exposes the world itself
 /// ([`world`](Self::world) / [`world_mut`](Self::world_mut) /
 /// [`into_world`](Self::into_world)) for metrics, network shaping, and
-/// scheduled fault scripting, plus the open-loop load-generator attachment
-/// that used to be the per-shape free functions `add_open_loop_client` /
-/// `add_sharded_open_loop_client`.
+/// scheduled fault scripting, plus open-loop/closed-loop load-generator
+/// attachment ([`add_open_loop_client`](Self::add_open_loop_client)).
 pub struct SimCluster {
     spec: DeploymentSpec,
     world: World<Msg>,
@@ -600,7 +638,7 @@ impl Cluster for SimCluster {
 
     fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
         self.switch_actor()
-            .and_then(|sw| sw.spine().group(group).map(|d| d.fast_path_enabled()))
+            .and_then(|sw| sw.group_detector(group).map(|d| d.fast_path_enabled()))
     }
 
     fn switch_memory_bytes(&self) -> Option<usize> {
@@ -645,20 +683,22 @@ impl SimClient<'_> {
     fn run_op(
         &mut self,
         kind: OpKind,
-        key: &[u8],
-        value: Option<&[u8]>,
+        key: Bytes,
+        value: Option<Bytes>,
     ) -> Result<Option<Bytes>, LiveError> {
-        let key = Bytes::from(key.to_vec());
+        // One request id per logical operation, reused across retries, so
+        // the replicas' exactly-once session layer dedups re-executions —
+        // the same contract as `LiveClient` and the closed-loop client.
+        let rid = RequestId(self.next_request);
+        self.next_request += 1;
         for _attempt in 0..=self.retries {
-            let rid = RequestId(self.next_request);
-            self.next_request += 1;
             let req = match kind {
                 OpKind::Read => ClientRequest::read(self.id, rid, key.clone()),
                 OpKind::Write => ClientRequest::write(
                     self.id,
                     rid,
                     key.clone(),
-                    Bytes::from(value.unwrap_or_default().to_vec()),
+                    value.clone().unwrap_or_default(),
                 ),
             };
             let switch = self.cluster.switch;
@@ -676,14 +716,16 @@ impl SimClient<'_> {
     }
 
     /// Advance virtual time until enough replies to `rid` arrive.
-    /// `Some(v)` = completed, `None` = retry-worthy failure.
+    /// `Some(v)` = completed, `None` = retry-worthy failure. Write quorums
+    /// count *distinct repliers*: retries reuse the request id, so a late
+    /// original reply plus a deduplicated re-send must not count twice.
     fn await_replies(&mut self, kind: OpKind, rid: RequestId) -> Option<Option<Bytes>> {
         let needed = match kind {
             OpKind::Read => 1,
             OpKind::Write => self.cluster.spec.write_replies(),
         };
         let deadline = self.cluster.world.now() + self.timeout;
-        let mut got = 0;
+        let mut repliers: Vec<ReplicaId> = Vec::new();
         let mut result = None;
         while self.cluster.world.now() < deadline {
             let step = (self.cluster.world.now() + Duration::from_micros(50)).min(deadline);
@@ -695,7 +737,7 @@ impl SimClient<'_> {
                 .expect("mailbox exists");
             for reply in std::mem::take(&mut mailbox.replies) {
                 if reply.request != rid {
-                    continue; // stale reply from an earlier attempt
+                    continue; // stale reply from an earlier operation
                 }
                 match reply.write_outcome {
                     Some(WriteOutcome::Rejected) | Some(WriteOutcome::DroppedBySwitch) => {
@@ -703,11 +745,13 @@ impl SimClient<'_> {
                     }
                     _ => {}
                 }
-                got += 1;
                 if reply.value.is_some() {
                     result = reply.value;
                 }
-                if got >= needed {
+                if !repliers.contains(&reply.from) {
+                    repliers.push(reply.from);
+                }
+                if repliers.len() >= needed {
                     return Some(result);
                 }
             }
@@ -717,11 +761,11 @@ impl SimClient<'_> {
 }
 
 impl KvClient for SimClient<'_> {
-    fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>, LiveError> {
+    fn get_bytes(&mut self, key: Bytes) -> Result<Option<Bytes>, LiveError> {
         self.run_op(OpKind::Read, key, None)
     }
 
-    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), LiveError> {
+    fn set_bytes(&mut self, key: Bytes, value: Bytes) -> Result<(), LiveError> {
         self.run_op(OpKind::Write, key, Some(value)).map(|_| ())
     }
 }
@@ -821,7 +865,7 @@ mod tests {
         let m1 = one.switch_memory_bytes().unwrap();
         let m4 = four.switch_memory_bytes().unwrap();
         assert_eq!(m4, 4 * m1);
-        assert_eq!(four.switch_actor().unwrap().spine().group_count(), 4);
+        assert_eq!(four.switch_actor().unwrap().group_count(), 4);
     }
 
     #[test]

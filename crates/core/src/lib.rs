@@ -21,18 +21,17 @@
 //!   server removal at future virtual times; the immediate forms are the
 //!   [`Cluster`] verbs.
 //! * [`live`] runs the very same state machines on OS threads connected by
-//!   channels — the "it's a real system, not only a simulator" driver.
-//! * [`cluster`] and [`sharded`] are the deprecated pre-`DeploymentSpec`
-//!   entry points, kept as thin shims for one release.
+//!   channels — the "it's a real system, not only a simulator" driver. Its
+//!   data plane is parallel: one pipeline thread per replica group, each
+//!   exclusively owning that group's [`switch_actor::GroupCore`], behind a
+//!   stateless shard-routing spine — no lock on the packet path.
 
 pub mod client;
-pub mod cluster;
 pub mod deployment;
 pub mod failover;
 pub mod live;
 pub mod msg;
 pub mod replica_actor;
-pub mod sharded;
 pub mod switch_actor;
 
 pub use client::{ClosedLoopClient, OpSpec, OpenLoopClient, OpenLoopConfig, RecordedOp};
@@ -40,4 +39,4 @@ pub use deployment::{Cluster, DeploymentSpec, KvClient, SimCluster};
 pub use live::{LiveClient, LiveCluster, LiveError};
 pub use msg::{CostModel, Msg};
 pub use replica_actor::ReplicaActor;
-pub use switch_actor::{SwitchActor, SwitchMode};
+pub use switch_actor::{GroupCore, SwitchActor, SwitchCore, SwitchMode};

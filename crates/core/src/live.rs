@@ -1,69 +1,186 @@
-//! The live driver: the same state machines on OS threads.
+//! The live driver: the same state machines on OS threads — with a
+//! **parallel data plane**.
 //!
-//! Every node — the switch and each replica — runs on its own thread,
-//! connected by crossbeam channels (the "links"). Nothing in the protocol
-//! or switch logic changes relative to the simulation; only the driver
-//! differs. This is the deployment mode the examples use, demonstrating the
-//! library runs as a real in-process storage service, not only under
-//! virtual time.
+//! Every node runs on its own thread, connected by crossbeam channels (the
+//! "links"). Nothing in the protocol or switch logic changes relative to
+//! the simulation; only the driver differs. This is the deployment mode the
+//! examples use, demonstrating the library runs as a real in-process
+//! storage service, not only under virtual time.
 //!
-//! One type serves every deployment shape: [`LiveCluster`] spawns whatever
-//! its [`DeploymentSpec`] describes — the rack-scale single replica group of
-//! Figure 1 (`groups(1)`) or the §6.3 cloud-scale deployment (`groups(n)`:
-//! N replica groups, one thread per replica across all groups, all of their
-//! traffic serialized through one spine-switch thread that routes by
-//! shard). Obtain one with [`DeploymentSpec::spawn_live`].
+//! # Per-group switch pipelines
+//!
+//! A real Tofino processes different groups' packets in parallel at line
+//! rate, so a driver that serializes every group's traffic through one
+//! switch thread (let alone one mutex) is an artifact, not the paper's
+//! design. The live switch is therefore a *fleet*: one pipeline thread per
+//! replica group, each exclusively owning that group's
+//! [`GroupCore`] — conflict detector,
+//! sequencer, forwarding table, and counters. **No lock is taken on the
+//! packet path.**
+//!
+//! The spine itself is a thin, stateless shard-router: sending to the
+//! switch address resolves the packet's object through the deployment's
+//! [`ShardMap`] *on the sender's thread* and enqueues straight onto the
+//! owning group's pipeline — client threads and replica threads deliver to
+//! the right pipeline without any intermediate hop or shared switch state.
+//! Pipelines drain their ingress in batches (everything already queued is
+//! processed before any output is flushed), amortizing channel wakeups
+//! under load.
+//!
+//! Aggregate inspection ([`switch_stats`](LiveCluster::switch_stats),
+//! [`switch_memory_bytes`](LiveCluster::switch_memory_bytes)) works by
+//! message: each pipeline answers with a
+//! [`GroupObservation`] snapshot and the facade folds them through
+//! [`SpineView`] — the control plane reads totals without ever touching a
+//! worker's state.
 //!
 //! The §5.3 switch failure/replacement sequence
 //! ([`kill_switch`](LiveCluster::kill_switch) /
-//! [`replace_switch`](LiveCluster::replace_switch)) is supported for every
-//! shape: the replacement runs under a fresh, larger incarnation id at the
-//! same client-facing address, the lease moves to it, and single-replica
-//! reads stay disabled until the first WRITE-COMPLETION bearing its own id.
+//! [`replace_switch`](LiveCluster::replace_switch)) applies to the whole
+//! fleet atomically: every pipeline of the old incarnation is torn down and
+//! joined, and a fresh fleet (fresh dirty sets and sequence spaces for
+//! *every* hosted group) spawns under a larger incarnation id at the same
+//! client-facing address. Single-replica reads stay disabled per group
+//! until the first WRITE-COMPLETION bearing the new incarnation's id.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
-use harmonia_replication::{build_replica, Effects, GroupConfig, Replica};
-use harmonia_switch::{GroupId, SwitchStats};
+use harmonia_replication::{build_replica, Effects, Replica};
+use harmonia_switch::{GroupId, GroupObservation, SpineView, SwitchStats};
 use harmonia_types::{
-    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, RequestId, SwitchId,
-    WriteOutcome,
+    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, ReplicaId, RequestId,
+    SwitchId, WriteOutcome,
 };
+use harmonia_workload::ShardMap;
 
 use crate::client::{OpSpec, RecordedOp};
 use crate::deployment::{Cluster, DeploymentSpec, KvClient};
 use crate::msg::Msg;
-use crate::switch_actor::SwitchCore;
+use crate::switch_actor::{GroupCore, SwitchCore};
 
 enum Envelope {
     Packet(Msg),
+    /// Ask the receiving pipeline for a snapshot of its group's state.
+    Inspect(Sender<GroupObservation>),
     Stop,
 }
 
+/// Where a destination's packets go.
+#[derive(Clone)]
+enum Route {
+    /// A single node's ingress channel (replicas, clients).
+    Unicast(Sender<Envelope>),
+    /// The switch: stateless shard-routing onto per-group pipelines,
+    /// resolved on the sending thread.
+    Spine(Arc<SpinePlan>),
+}
+
+/// The stateless routing a spine performs: object → group, on the sender's
+/// thread. Holds no group state — the pipelines own all of it.
+struct SpinePlan {
+    shards: ShardMap,
+    /// Pipeline ingress channels, indexed by group id.
+    groups: Vec<Sender<Envelope>>,
+}
+
+impl SpinePlan {
+    fn route(&self, msg: Msg) {
+        let g = match &msg.body {
+            PacketBody::Request(req) => self.shards.shard_of(req.obj),
+            PacketBody::Reply(reply) => self.shards.shard_of(reply.obj),
+            PacketBody::Completion(c) => self.shards.shard_of(c.obj),
+            // Membership changes carry a replica, not an object, and only
+            // the pipelines know where a replica currently lives — so the
+            // stateless spine broadcasts, and each group's core applies
+            // only the changes addressed to it (`GroupCore::handle_control`
+            // is membership-guarded).
+            PacketBody::Control(_) => {
+                for tx in &self.groups {
+                    let _ = tx.send(Envelope::Packet(msg.clone()));
+                }
+                return;
+            }
+            // Plain L2/L3 forwarding has no object; any pipeline can do it.
+            PacketBody::Protocol(_) => 0,
+        };
+        if let Some(tx) = self.groups.get(g as usize) {
+            let _ = tx.send(Envelope::Packet(msg));
+        }
+    }
+}
+
+/// The route table. Registrations copy-on-write a shared snapshot and bump
+/// a generation counter; senders go through a [`RouterHandle`] that caches
+/// the snapshot and revalidates it with a single atomic load per send — the
+/// steady-state packet path takes **no lock** here either.
 #[derive(Default)]
 struct Router {
-    routes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    table: Mutex<Arc<HashMap<NodeId, Route>>>,
+    generation: AtomicU64,
 }
 
 impl Router {
-    fn register(&self, node: NodeId, tx: Sender<Envelope>) {
-        self.routes.write().insert(node, tx);
+    /// Apply a route-table mutation (copy-on-write, then publish).
+    fn install(&self, f: impl FnOnce(&mut HashMap<NodeId, Route>)) {
+        let mut guard = self.table.lock();
+        let mut next = (**guard).clone();
+        f(&mut next);
+        *guard = Arc::new(next);
+        // Publish while still holding the lock so a handle that observes
+        // the new generation and then locks is guaranteed the new table.
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
-    fn send(&self, to: NodeId, msg: Msg) {
-        if let Some(tx) = self.routes.read().get(&to) {
-            let _ = tx.send(Envelope::Packet(msg));
+    fn register(&self, node: NodeId, tx: Sender<Envelope>) {
+        self.install(|t| {
+            t.insert(node, Route::Unicast(tx));
+        });
+    }
+
+    /// A sender-side handle with its own cached snapshot.
+    fn handle(self: &Arc<Self>) -> RouterHandle {
+        let seen = self.generation.load(Ordering::Acquire);
+        let cache = Arc::clone(&self.table.lock());
+        RouterHandle {
+            router: Arc::clone(self),
+            cache,
+            seen,
+        }
+    }
+}
+
+/// A per-thread sending handle: one relaxed atomic load per send in steady
+/// state; the route table is re-snapshotted only after a registration.
+struct RouterHandle {
+    router: Arc<Router>,
+    cache: Arc<HashMap<NodeId, Route>>,
+    seen: u64,
+}
+
+impl RouterHandle {
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        let generation = self.router.generation.load(Ordering::Acquire);
+        if generation != self.seen {
+            self.cache = Arc::clone(&self.router.table.lock());
+            self.seen = generation;
+        }
+        match self.cache.get(&to) {
+            Some(Route::Unicast(tx)) => {
+                let _ = tx.send(Envelope::Packet(msg));
+            }
+            Some(Route::Spine(plan)) => plan.route(msg),
+            None => {}
         }
     }
 }
@@ -91,7 +208,7 @@ impl std::error::Error for LiveError {}
 /// A synchronous client handle onto a live cluster.
 pub struct LiveClient {
     id: ClientId,
-    router: Arc<Router>,
+    router: RouterHandle,
     rx: Receiver<Envelope>,
     switch: NodeId,
     write_replies: usize,
@@ -119,9 +236,17 @@ impl LiveClient {
         key: Bytes,
         value: Option<Bytes>,
     ) -> Result<Option<Bytes>, LiveError> {
+        // `Bytes` clones below are refcount bumps, not copies: the op's key
+        // and value are allocated once by the caller and shared from there.
+        //
+        // One request id per logical operation: retries REUSE it so the
+        // replicas' exactly-once session layer can deduplicate
+        // re-executions (same contract as the sim's closed-loop client). A
+        // retried write whose original landed but whose reply was lost —
+        // the §5.3 switch-outage case — must not be applied twice.
+        let rid = RequestId(self.next_request);
+        self.next_request += 1;
         for _attempt in 0..=self.retries {
-            let rid = RequestId(self.next_request);
-            self.next_request += 1;
             let req = match kind {
                 OpKind::Read => ClientRequest::read(self.id, rid, key.clone()),
                 OpKind::Write => ClientRequest::write(
@@ -149,6 +274,10 @@ impl LiveClient {
 
     /// Wait for enough replies to `rid`. `Ok(Some(v))` = completed,
     /// `Ok(None)` = retry-worthy failure.
+    ///
+    /// Because retries reuse the request id, a replica's original reply and
+    /// its deduplicated re-send are indistinguishable by id — so a write
+    /// quorum counts *distinct repliers* (`reply.from`), never raw replies.
     #[allow(clippy::type_complexity)]
     fn await_replies(
         &mut self,
@@ -160,7 +289,7 @@ impl LiveClient {
             OpKind::Write => self.write_replies,
         };
         let deadline = StdInstant::now() + self.timeout;
-        let mut got = 0;
+        let mut repliers: Vec<ReplicaId> = Vec::new();
         let mut result = None;
         loop {
             let now = StdInstant::now();
@@ -173,7 +302,7 @@ impl LiveClient {
                         continue;
                     };
                     if reply.request != rid {
-                        continue; // stale reply from an earlier attempt
+                        continue; // stale reply from an earlier operation
                     }
                     match reply.write_outcome {
                         Some(WriteOutcome::Rejected) | Some(WriteOutcome::DroppedBySwitch) => {
@@ -181,14 +310,17 @@ impl LiveClient {
                         }
                         _ => {}
                     }
-                    got += 1;
                     if reply.value.is_some() {
                         result = reply.value;
                     }
-                    if got >= needed {
+                    if !repliers.contains(&reply.from) {
+                        repliers.push(reply.from);
+                    }
+                    if repliers.len() >= needed {
                         return Ok(Some(result));
                     }
                 }
+                Ok(Envelope::Inspect(_)) => continue, // not a pipeline
                 Ok(Envelope::Stop) => return Err(LiveError::Disconnected),
                 Err(RecvTimeoutError::Timeout) => return Ok(None),
                 Err(RecvTimeoutError::Disconnected) => return Err(LiveError::Disconnected),
@@ -198,23 +330,30 @@ impl LiveClient {
 }
 
 impl KvClient for LiveClient {
-    fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>, LiveError> {
-        LiveClient::get(self, Bytes::from(key.to_vec()))
+    fn get_bytes(&mut self, key: Bytes) -> Result<Option<Bytes>, LiveError> {
+        LiveClient::get(self, key)
     }
 
-    fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), LiveError> {
-        LiveClient::set(self, Bytes::from(key.to_vec()), Bytes::from(value.to_vec()))
+    fn set_bytes(&mut self, key: Bytes, value: Bytes) -> Result<(), LiveError> {
+        LiveClient::set(self, key, value)
     }
 }
 
-/// The spine/ToR switch thread plus the shared handle tests inspect.
-struct SwitchThread {
-    core: Arc<Mutex<SwitchCore>>,
+/// One per-group pipeline thread: the ingress channel the spine routes
+/// onto, and the join handle for teardown.
+struct Pipeline {
+    group: GroupId,
     tx: Sender<Envelope>,
     join: JoinHandle<()>,
 }
 
-/// Driver plumbing: router, switch thread, replica threads.
+/// The whole switch of one incarnation: a fleet of per-group pipelines.
+struct SwitchFleet {
+    incarnation: SwitchId,
+    pipelines: Vec<Pipeline>,
+}
+
+/// Driver plumbing: router, switch pipeline fleet, replica threads.
 struct LiveRig {
     router: Arc<Router>,
     /// The stable client-facing switch address. Replacements re-register
@@ -223,9 +362,9 @@ struct LiveRig {
     switch_addr: NodeId,
     write_replies: usize,
     sweep: StdDuration,
-    replica_ids: Vec<harmonia_types::ReplicaId>,
+    replica_ids: Vec<ReplicaId>,
     replica_threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
-    switch: Option<SwitchThread>,
+    switch: Option<SwitchFleet>,
     next_client: AtomicU32,
 }
 
@@ -243,51 +382,50 @@ impl LiveRig {
         }
     }
 
-    /// Spawn (or re-spawn after a failure) the switch thread for `core`.
-    /// The thread receives on the stable client-facing address and on its
-    /// own incarnation's address (replicas reply to the lease holder).
+    /// Spawn (or re-spawn after a failure) the pipeline fleet for `core`:
+    /// one thread per hosted group, each taking exclusive ownership of its
+    /// group's state. The fleet receives on the stable client-facing
+    /// address and on its own incarnation's address (replicas reply to the
+    /// lease holder); both resolve through the same stateless shard router.
     fn spawn_switch(&mut self, core: SwitchCore) {
         assert!(self.switch.is_none(), "kill the old switch first");
         let incarnation = core.incarnation();
-        let (tx, rx) = unbounded::<Envelope>();
-        self.router.register(self.switch_addr, tx.clone());
-        self.router
-            .register(NodeId::Switch(incarnation), tx.clone());
-        let core = Arc::new(Mutex::new(core));
-        let shared = Arc::clone(&core);
-        let router = Arc::clone(&self.router);
+        let shards = core.shard_map();
+        let cores = core.into_group_cores();
         let me = self.switch_addr;
         let sweep = self.sweep;
-        let join = std::thread::Builder::new()
-            .name(format!("harmonia-switch-{}", incarnation.0))
-            .spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(0x5717c4 ^ u64::from(incarnation.0));
-                let mut out = Vec::new();
-                loop {
-                    match rx.recv_timeout(sweep) {
-                        Ok(Envelope::Packet(msg)) => {
-                            shared.lock().handle(me, msg, &mut rng, &mut out);
-                            for (dst, m) in out.drain(..) {
-                                router.send(dst, m);
-                            }
-                        }
-                        Ok(Envelope::Stop) => break,
-                        Err(RecvTimeoutError::Timeout) => {
-                            shared.lock().sweep();
-                        }
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-            })
-            .expect("spawn switch thread");
-        self.switch = Some(SwitchThread { core, tx, join });
+        let mut pipelines = Vec::with_capacity(cores.len());
+        let mut ingress = Vec::with_capacity(cores.len());
+        for core in cores {
+            let group = core.group();
+            let (tx, rx) = unbounded::<Envelope>();
+            let router = self.router.handle();
+            let join = std::thread::Builder::new()
+                .name(format!("harmonia-switch-{}-g{}", incarnation.0, group.0))
+                .spawn(move || pipeline_main(core, rx, router, me, sweep))
+                .expect("spawn switch pipeline thread");
+            ingress.push(tx.clone());
+            pipelines.push(Pipeline { group, tx, join });
+        }
+        let plan = Arc::new(SpinePlan {
+            shards,
+            groups: ingress,
+        });
+        self.router.install(|t| {
+            t.insert(me, Route::Spine(Arc::clone(&plan)));
+            t.insert(NodeId::Switch(incarnation), Route::Spine(Arc::clone(&plan)));
+        });
+        self.switch = Some(SwitchFleet {
+            incarnation,
+            pipelines,
+        });
     }
 
-    fn spawn_replica(&mut self, group: GroupConfig) {
+    fn spawn_replica(&mut self, group: harmonia_replication::GroupConfig) {
         let me = NodeId::Replica(group.me);
         let (tx, rx) = unbounded::<Envelope>();
         self.router.register(me, tx.clone());
-        let router = Arc::clone(&self.router);
+        let router = self.router.handle();
         self.replica_ids.push(group.me);
         let name = format!("harmonia-replica-{}", group.me.0);
         let handle = std::thread::Builder::new()
@@ -297,26 +435,52 @@ impl LiveRig {
         self.replica_threads.push((tx, handle));
     }
 
-    /// Stop the switch thread and wait for it. Requests already queued or
-    /// subsequently routed to the dead switch vanish — clients time out and
-    /// retry, exactly the Figure 10 outage.
+    /// Stop every pipeline of the fleet and wait for them. Requests already
+    /// queued or subsequently routed to the dead switch vanish — clients
+    /// time out and retry, exactly the Figure 10 outage.
     fn kill_switch(&mut self) {
-        if let Some(sw) = self.switch.take() {
-            let _ = sw.tx.send(Envelope::Stop);
-            let _ = sw.join.join();
+        if let Some(fleet) = self.switch.take() {
+            for p in &fleet.pipelines {
+                let _ = p.tx.send(Envelope::Stop);
+            }
+            for p in fleet.pipelines {
+                let _ = p.join.join();
+            }
         }
     }
 
-    /// Run `f` on the live switch core (stats inspection).
-    fn with_switch<T>(&self, f: impl FnOnce(&SwitchCore) -> T) -> Option<T> {
-        self.switch.as_ref().map(|sw| f(&sw.core.lock()))
+    /// Snapshot one group's pipeline state (stats inspection).
+    fn observe_group(&self, group: GroupId) -> Option<GroupObservation> {
+        let fleet = self.switch.as_ref()?;
+        let p = fleet.pipelines.iter().find(|p| p.group == group)?;
+        let (otx, orx) = bounded(1);
+        p.tx.send(Envelope::Inspect(otx)).ok()?;
+        orx.recv_timeout(StdDuration::from_secs(10)).ok()
+    }
+
+    /// Snapshot every pipeline and fold into the aggregate-only view. The
+    /// inspects fan out first, so the fleet answers concurrently.
+    fn observe(&self) -> Option<SpineView> {
+        let fleet = self.switch.as_ref()?;
+        let mut pending = Vec::with_capacity(fleet.pipelines.len());
+        for p in &fleet.pipelines {
+            let (otx, orx) = bounded(1);
+            p.tx.send(Envelope::Inspect(otx)).ok()?;
+            pending.push(orx);
+        }
+        let mut observations = Vec::with_capacity(pending.len());
+        for orx in pending {
+            observations.push(orx.recv_timeout(StdDuration::from_secs(10)).ok()?);
+        }
+        Some(SpineView::new(observations))
     }
 
     /// Configuration service: move every replica's lease to `new_id`.
     fn move_lease(&self, new_id: SwitchId) {
+        let mut router = self.router.handle();
         for &r in &self.replica_ids {
             let dst = NodeId::Replica(r);
-            self.router.send(
+            router.send(
                 dst,
                 Msg::new(
                     NodeId::Controller,
@@ -335,7 +499,7 @@ impl LiveRig {
         self.router.register(NodeId::Client(id), tx);
         LiveClient {
             id,
-            router: Arc::clone(&self.router),
+            router: self.router.handle(),
             rx,
             switch: self.switch_addr,
             write_replies: self.write_replies,
@@ -356,6 +520,54 @@ impl LiveRig {
     }
 }
 
+/// A per-group pipeline: exclusively owns one group's switch state, drains
+/// its ingress in batches, and sweeps stale dirty entries when idle.
+fn pipeline_main(
+    mut core: GroupCore,
+    rx: Receiver<Envelope>,
+    mut router: RouterHandle,
+    me: NodeId,
+    sweep: StdDuration,
+) {
+    let mut rng = SmallRng::seed_from_u64(
+        0x5717c4 ^ u64::from(core.incarnation().0) ^ (u64::from(core.group().0) << 32),
+    );
+    let mut out: Vec<(NodeId, Msg)> = Vec::new();
+    loop {
+        let mut next = match rx.recv_timeout(sweep) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => {
+                core.sweep();
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // Batched drain: process everything already queued before flushing
+        // any output, amortizing downstream wakeups across the batch.
+        loop {
+            match next {
+                Envelope::Packet(msg) => core.handle(me, msg, &mut rng, &mut out),
+                Envelope::Inspect(reply) => {
+                    let _ = reply.send(core.observe());
+                }
+                Envelope::Stop => {
+                    for (dst, m) in out.drain(..) {
+                        router.send(dst, m);
+                    }
+                    return;
+                }
+            }
+            match rx.try_recv() {
+                Ok(env) => next = env,
+                Err(_) => break,
+            }
+        }
+        for (dst, m) in out.drain(..) {
+            router.send(dst, m);
+        }
+    }
+}
+
 /// An in-process deployment on OS threads — one replica group or many,
 /// exactly as its [`DeploymentSpec`] describes.
 pub struct LiveCluster {
@@ -364,8 +576,8 @@ pub struct LiveCluster {
 }
 
 impl LiveCluster {
-    /// Spawn the switch and every group's replica threads for `spec`
-    /// (equivalently: [`DeploymentSpec::spawn_live`]).
+    /// Spawn the switch pipeline fleet and every group's replica threads
+    /// for `spec` (equivalently: [`DeploymentSpec::spawn_live`]).
     pub fn new(spec: &DeploymentSpec) -> Self {
         let mut rig = LiveRig::new(
             spec.switch_addr(),
@@ -384,37 +596,31 @@ impl LiveCluster {
         }
     }
 
-    /// Spawn the single-group deployment `cfg` describes.
-    #[allow(deprecated)]
-    #[deprecated(note = "use `DeploymentSpec::spawn_live()`")]
-    pub fn spawn(cfg: &crate::cluster::ClusterConfig) -> Self {
-        LiveCluster::new(&cfg.to_spec())
-    }
-
     /// The deployment's spec.
     pub fn spec(&self) -> &DeploymentSpec {
         &self.spec
     }
 
-    /// Create a synchronous client handle. Clients address the switch;
-    /// in a sharded deployment the switch routes each request to its key's
-    /// group — clients never know, which is the §4 philosophy.
+    /// Create a synchronous client handle. Clients address the switch; the
+    /// spine routes each request to its key's group on the sending thread —
+    /// clients never know, which is the §4 philosophy.
     pub fn client(&self) -> LiveClient {
         self.rig.client()
     }
 
-    /// §5.3 step 1: the switch fails. It retains no state and forwards
-    /// nothing; in a sharded deployment every hosted group loses its
-    /// scheduler at once.
+    /// §5.3 step 1: the switch fails. Every per-group pipeline of the
+    /// incarnation stops; it retains no state and forwards nothing. In a
+    /// sharded deployment every hosted group loses its scheduler at once.
     pub fn kill_switch(&mut self) {
         self.rig.kill_switch();
     }
 
     /// §5.3 steps 2–3: activate a replacement switch under `new_id` (must
-    /// exceed every predecessor) at the same client-facing address — fresh
-    /// dirty sets and sequence spaces for *every* hosted group — and move
-    /// every replica's lease to it. Step 4 — fast-path re-enable on the
-    /// first own-id WRITE-COMPLETION — is the conflict detector's gating.
+    /// exceed every predecessor) at the same client-facing address — a
+    /// fresh pipeline fleet with fresh dirty sets and sequence spaces for
+    /// *every* hosted group — and move every replica's lease to it. Step 4
+    /// — fast-path re-enable on the first own-id WRITE-COMPLETION — is each
+    /// group's conflict-detector gating.
     pub fn replace_switch(&mut self, new_id: SwitchId) {
         self.rig.kill_switch();
         self.rig
@@ -424,12 +630,12 @@ impl LiveCluster {
 
     /// Aggregate data-plane counters of the live switch (None if killed).
     pub fn switch_stats(&self) -> Option<SwitchStats> {
-        self.rig.with_switch(|c| c.stats())
+        self.rig.observe().map(|v| v.stats())
     }
 
     /// One group's data-plane counters.
     pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
-        self.rig.with_switch(|c| c.group_stats(group)).flatten()
+        self.rig.observe_group(group).map(|o| o.stats)
     }
 
     /// Whether the live switch currently issues single-replica reads
@@ -440,19 +646,22 @@ impl LiveCluster {
 
     /// Whether `group`'s fast path is currently enabled.
     pub fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
-        self.rig
-            .with_switch(|c| c.group_detector(group).map(|d| d.fast_path_enabled()))
-            .flatten()
+        self.rig.observe_group(group).map(|o| o.fast_path_enabled)
     }
 
     /// Total dirty-set SRAM across every hosted group.
     pub fn switch_memory_bytes(&self) -> Option<usize> {
-        self.rig.with_switch(|c| c.memory_bytes())
+        self.rig.observe().map(|v| v.memory_bytes())
+    }
+
+    /// Aggregate-only view across every pipeline (per-group snapshots).
+    pub fn switch_view(&self) -> Option<SpineView> {
+        self.rig.observe()
     }
 
     /// The live switch's incarnation id (None if killed).
     pub fn switch_incarnation(&self) -> Option<SwitchId> {
-        self.rig.with_switch(|c| c.incarnation())
+        self.rig.switch.as_ref().map(|f| f.incarnation)
     }
 
     /// Stop every thread and wait for them. (Dropping the cluster does the
@@ -525,6 +734,9 @@ impl Cluster for LiveCluster {
                     };
                     let mut records = Vec::with_capacity(plan.len());
                     for op in plan {
+                        // Keys and values move by refcount from the plan
+                        // into the request and the record — the hot loop
+                        // allocates nothing per op.
                         let invoked = StdInstant::now();
                         let (result, ok) = match op.kind {
                             OpKind::Read => match client.get(op.key.clone()) {
@@ -557,82 +769,11 @@ impl Cluster for LiveCluster {
     }
 }
 
-/// Deprecated alias surface for the §6.3 sharded deployment. The unified
-/// [`LiveCluster`] spawns any number of groups; this wrapper only survives
-/// so pre-redesign call sites keep compiling for one release.
-#[allow(deprecated)]
-#[deprecated(note = "use `DeploymentSpec::spawn_live()` — `LiveCluster` is multi-group")]
-pub struct ShardedLiveCluster {
-    inner: LiveCluster,
-    cfg: crate::sharded::ShardedClusterConfig,
-}
-
-#[allow(deprecated)]
-impl ShardedLiveCluster {
-    /// Spawn the spine switch and every group's replica threads.
-    pub fn spawn(cfg: &crate::sharded::ShardedClusterConfig) -> Self {
-        ShardedLiveCluster {
-            inner: LiveCluster::new(&cfg.to_spec()),
-            cfg: cfg.clone(),
-        }
-    }
-
-    /// Create a synchronous client handle.
-    pub fn client(&self) -> LiveClient {
-        self.inner.client()
-    }
-
-    /// §5.3 step 1 for the spine switch.
-    pub fn kill_switch(&mut self) {
-        self.inner.kill_switch();
-    }
-
-    /// §5.3 steps 2–3: a replacement spine switch takes over.
-    pub fn replace_switch(&mut self, new_id: SwitchId) {
-        self.inner.replace_switch(new_id);
-    }
-
-    /// Aggregate data-plane counters across every group (None if killed).
-    pub fn switch_stats(&self) -> Option<SwitchStats> {
-        self.inner.switch_stats()
-    }
-
-    /// One group's data-plane counters.
-    pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
-        self.inner.group_stats(group)
-    }
-
-    /// Whether `group`'s fast path is currently enabled.
-    pub fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
-        self.inner.group_fast_path_enabled(group)
-    }
-
-    /// Total dirty-set SRAM across every hosted group.
-    pub fn switch_memory_bytes(&self) -> Option<usize> {
-        self.inner.switch_memory_bytes()
-    }
-
-    /// The live switch's incarnation id (None if killed).
-    pub fn switch_incarnation(&self) -> Option<SwitchId> {
-        self.inner.switch_incarnation()
-    }
-
-    /// The deployment's configuration.
-    pub fn config(&self) -> &crate::sharded::ShardedClusterConfig {
-        &self.cfg
-    }
-
-    /// Stop every thread and wait for them.
-    pub fn shutdown(self) {
-        self.inner.shutdown();
-    }
-}
-
 fn replica_main(
     me: NodeId,
     mut replica: Box<dyn Replica>,
     rx: Receiver<Envelope>,
-    router: Arc<Router>,
+    mut router: RouterHandle,
 ) {
     let tick = replica.tick_interval().map(|d| d.to_std());
     let mut next_tick = tick.map(|t| StdInstant::now() + t);
@@ -653,6 +794,7 @@ fn replica_main(
                     router.send(dst, Msg::new(me, dst, body));
                 }
             }
+            Ok(Envelope::Inspect(_)) => {}
             Ok(Envelope::Stop) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -667,27 +809,6 @@ fn replica_main(
                 next_tick = Some(StdInstant::now() + iv);
             }
         }
-    }
-}
-
-impl SwitchCore {
-    /// Build a single-group core straight from a cluster config (live
-    /// driver).
-    #[allow(deprecated)]
-    #[deprecated(note = "use `SwitchCore::for_deployment`")]
-    pub fn new_for(cfg: &crate::cluster::ClusterConfig, incarnation: SwitchId) -> Self {
-        SwitchCore::for_deployment(&cfg.to_spec(), incarnation)
-    }
-
-    /// Build a multi-group spine core straight from a sharded cluster
-    /// config (live driver).
-    #[allow(deprecated)]
-    #[deprecated(note = "use `SwitchCore::for_deployment`")]
-    pub fn new_for_sharded(
-        cfg: &crate::sharded::ShardedClusterConfig,
-        incarnation: SwitchId,
-    ) -> Self {
-        SwitchCore::for_deployment(&cfg.to_spec(), incarnation)
     }
 }
 
@@ -776,24 +897,32 @@ mod tests {
             let stats = cluster.group_stats(GroupId(g)).unwrap();
             assert!(stats.writes_forwarded > 0, "group {g}: {stats:?}");
         }
+        // The aggregate-only view folds the same per-pipeline snapshots.
+        let view = cluster.switch_view().unwrap();
+        assert_eq!(view.group_count(), 4);
+        assert_eq!(view.stats(), cluster.switch_stats().unwrap());
         cluster.shutdown();
     }
 
-    /// The deprecated constructors still spawn working deployments.
+    /// Every group's state is owned by exactly one pipeline thread — the
+    /// fleet has one thread per group, and per-group counters are disjoint
+    /// (a packet shows up in exactly one group's stats).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_spawn_shims_still_work() {
-        let cluster = LiveCluster::spawn(&crate::cluster::ClusterConfig::default());
+    fn per_group_pipelines_keep_disjoint_counters() {
+        let cluster = DeploymentSpec::new().groups(3).spawn_live();
+        assert_eq!(
+            cluster.rig.switch.as_ref().unwrap().pipelines.len(),
+            3,
+            "one pipeline per group"
+        );
         let mut client = cluster.client();
-        client.set("k", "v").unwrap();
-        assert_eq!(client.get("k").unwrap(), Some(Bytes::from_static(b"v")));
+        for i in 0..30 {
+            client.set(format!("key-{i}"), "v").unwrap();
+        }
+        let view = cluster.switch_view().unwrap();
+        let sum: u64 = view.groups().iter().map(|o| o.stats.writes_forwarded).sum();
+        assert_eq!(sum, cluster.switch_stats().unwrap().writes_forwarded);
+        assert_eq!(sum, 30);
         cluster.shutdown();
-
-        let sharded = ShardedLiveCluster::spawn(&crate::sharded::ShardedClusterConfig::default());
-        assert_eq!(sharded.config().groups, 4);
-        let mut client = sharded.client();
-        client.set("k", "v").unwrap();
-        assert_eq!(client.get("k").unwrap(), Some(Bytes::from_static(b"v")));
-        sharded.shutdown();
     }
 }

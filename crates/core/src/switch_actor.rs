@@ -17,8 +17,8 @@ use harmonia_replication::messages::{NopaxosMsg, ProtocolMsg, WriteOp};
 use harmonia_replication::ProtocolKind;
 use harmonia_sim::{Actor, Context, Service, TimerToken};
 use harmonia_switch::{
-    ConflictDetector, ForwardingTable, GroupId, ReadDecision, ReadEntry, Sequencer, SpineSwitch,
-    SwitchStats, TableConfig, WriteDecision, WriteEntry,
+    ConflictConfig, ConflictDetector, ForwardingTable, GroupId, GroupObservation, ReadDecision,
+    ReadEntry, Sequencer, SpineView, SwitchStats, TableConfig, WriteDecision, WriteEntry,
 };
 use harmonia_types::{
     ClientRequest, ControlMsg, Duration, NodeId, ObjectId, OpKind, PacketBody, ReadMode, ReplicaId,
@@ -57,28 +57,289 @@ pub struct SwitchActorConfig {
     pub sweep_interval: Option<Duration>,
 }
 
-/// One hosted group's forwarding state: replica addresses, the per-group
-/// NOPaxos sequencer session, and per-group data-plane counters.
-struct GroupPlane {
+/// One replica group's complete switch-side state — conflict detector,
+/// forwarding table, OUM sequencer, and data-plane counters — plus the full
+/// per-packet logic that operates on it.
+///
+/// A `GroupCore` is the unit of ownership of the parallel live data plane:
+/// every group's core is owned by exactly one pipeline thread, so no lock
+/// guards the packet path (the property a real Tofino gets for free by
+/// processing groups' packets in parallel at line rate). The deterministic
+/// simulator keeps all cores behind one [`SwitchCore`] actor instead —
+/// identical logic, single-threaded dispatch.
+pub struct GroupCore {
+    group: GroupId,
+    incarnation: SwitchId,
+    mode: SwitchMode,
+    protocol: ProtocolKind,
+    detector: ConflictDetector,
     fwd: ForwardingTable,
     sequencer: Sequencer,
     stats: SwitchStats,
+    /// The members this group was provisioned with — control-plane
+    /// addressing for a replica that was removed and is being re-added.
+    provisioned: Vec<ReplicaId>,
+}
+
+impl GroupCore {
+    fn new(
+        cfg: &SwitchActorConfig,
+        group: GroupId,
+        members: Vec<ReplicaId>,
+        write_entry: WriteEntry,
+        read_entry: ReadEntry,
+    ) -> Self {
+        GroupCore {
+            group,
+            incarnation: cfg.incarnation,
+            mode: cfg.mode,
+            protocol: cfg.protocol,
+            detector: ConflictDetector::new(ConflictConfig {
+                switch_id: cfg.incarnation,
+                table: cfg.table,
+            }),
+            fwd: ForwardingTable::with_members(members.clone(), write_entry, read_entry),
+            sequencer: Sequencer::new(u64::from(cfg.incarnation.0)),
+            stats: SwitchStats::default(),
+            provisioned: members,
+        }
+    }
+
+    /// The group this core schedules.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// This incarnation's id.
+    pub fn incarnation(&self) -> SwitchId {
+        self.incarnation
+    }
+
+    /// The group's data-plane counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// The group's conflict detector (inspection).
+    pub fn detector(&self) -> &ConflictDetector {
+        &self.detector
+    }
+
+    /// Dirty-set SRAM consumed by this group.
+    pub fn memory_bytes(&self) -> usize {
+        self.detector.memory_bytes()
+    }
+
+    /// A point-in-time snapshot for aggregate-only views ([`SpineView`]).
+    pub fn observe(&self) -> GroupObservation {
+        GroupObservation {
+            group: self.group,
+            stats: self.stats,
+            fast_path_enabled: self.detector.fast_path_enabled(),
+            memory_bytes: self.detector.memory_bytes(),
+            dirty_len: self.detector.dirty_len(),
+        }
+    }
+
+    fn handle_write(&mut self, me: NodeId, mut req: ClientRequest, out: &mut Vec<(NodeId, Msg)>) {
+        // Harmonia: Algorithm 1 lines 1–4, on this object's group.
+        if self.mode == SwitchMode::Harmonia {
+            match self.detector.process_write(req.obj) {
+                WriteDecision::Stamped(seq) => req.seq = Some(seq),
+                WriteDecision::Dropped => {
+                    // §6.1: no dirty-set slot — the write is dropped in the
+                    // data plane; the client will time out and retry.
+                    self.stats.writes_dropped += 1;
+                    return;
+                }
+            }
+        }
+        self.stats.writes_forwarded += 1;
+        if self.protocol == ProtocolKind::Nopaxos {
+            // Ordered unreliable multicast: stamp and fan out (§7.3) within
+            // the object's group; sessions are per group so gap detection
+            // never crosses shard boundaries.
+            let stamp = self.sequencer.stamp();
+            let seq = req
+                .seq
+                .unwrap_or(SwitchSeq::new(self.incarnation, stamp.seq));
+            let op = WriteOp {
+                seq,
+                obj: req.obj,
+                key: req.key.clone(),
+                value: req.value.clone().unwrap_or_default(),
+                client: req.client,
+                request: req.request,
+            };
+            for &r in self.fwd.replicas() {
+                let dst = NodeId::Replica(r);
+                out.push((
+                    dst,
+                    Msg::new(
+                        me,
+                        dst,
+                        PacketBody::Protocol(ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced {
+                            session: stamp.session,
+                            oum_seq: stamp.seq,
+                            op: op.clone(),
+                        })),
+                    ),
+                ));
+            }
+        } else if let Some(&dst) = self.fwd.write_destinations().first() {
+            out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
+        }
+    }
+
+    fn handle_read(
+        &mut self,
+        me: NodeId,
+        mut req: ClientRequest,
+        rng: &mut rand::rngs::SmallRng,
+        out: &mut Vec<(NodeId, Msg)>,
+    ) {
+        let dst = match self.mode {
+            SwitchMode::Harmonia => match self.detector.process_read(req.obj) {
+                ReadDecision::FastPath { last_committed } => {
+                    // Algorithm 1 lines 10–12.
+                    req.last_committed = Some(last_committed);
+                    req.read_mode = ReadMode::FastPath {
+                        switch: self.incarnation,
+                    };
+                    self.stats.reads_fast_path += 1;
+                    self.fwd.random_replica(rng)
+                }
+                ReadDecision::Normal => {
+                    self.stats.reads_normal += 1;
+                    self.fwd.normal_read_destination()
+                }
+            },
+            SwitchMode::Baseline => {
+                self.stats.reads_normal += 1;
+                if self.protocol == ProtocolKind::Craq {
+                    // CRAQ serves reads at any replica natively.
+                    self.fwd.random_replica(rng)
+                } else {
+                    self.fwd.normal_read_destination()
+                }
+            }
+        };
+        if let Some(dst) = dst {
+            out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
+        }
+    }
+
+    fn snoop_completion(&mut self, c: harmonia_types::WriteCompletion) {
+        self.detector.process_completion(c);
+        self.stats.completions += 1;
+    }
+
+    fn handle_reply(
+        &mut self,
+        me: NodeId,
+        reply: harmonia_types::ClientReply,
+        out: &mut Vec<(NodeId, Msg)>,
+    ) {
+        // Snoop the piggybacked completion (Figure 2b), then forward the
+        // reply to its client.
+        if self.mode == SwitchMode::Harmonia {
+            if let Some(c) = reply.completion {
+                self.snoop_completion(c);
+            }
+        }
+        let dst = NodeId::Client(reply.client);
+        out.push((dst, Msg::new(me, dst, PacketBody::Reply(reply))));
+    }
+
+    /// Whether a control-plane message about `r` addresses this group:
+    /// the replica is currently served here, or was provisioned here.
+    fn owns(&self, r: ReplicaId) -> bool {
+        self.fwd.replicas().contains(&r) || self.provisioned.contains(&r)
+    }
+
+    /// Control-plane membership changes in the live fleet arrive by
+    /// broadcast (the stateless spine cannot know which group a replica
+    /// currently lives in), so each group applies only the changes
+    /// addressed to it. The monolithic [`SwitchCore::handle`] routes
+    /// exactly instead — sim behavior is unchanged. Residual divergence:
+    /// live cross-group replica moves (which no §5.3 flow performs) and
+    /// controls naming replicas unknown to every group (the monolith
+    /// defaults those to group 0; a fleet drops them).
+    fn handle_control(&mut self, ctl: ControlMsg) {
+        match ctl {
+            ControlMsg::AddReplica(r) => {
+                if self.owns(r) {
+                    self.fwd.add_replica(r);
+                }
+            }
+            ControlMsg::RemoveReplica(r) => {
+                if self.fwd.replicas().contains(&r) {
+                    self.fwd.remove_replica(r);
+                }
+            }
+            ControlMsg::SetReplicas(rs) => {
+                if rs.first().is_some_and(|&r| self.owns(r)) {
+                    self.fwd.set_replicas(rs);
+                }
+            }
+        }
+    }
+
+    /// Process one packet addressed to this group, pushing forwarded
+    /// packets onto `out`. This is the whole per-packet pipeline of a live
+    /// worker; the monolithic [`SwitchCore::handle`] dispatches to the same
+    /// arms after shard-routing.
+    pub fn handle(
+        &mut self,
+        me: NodeId,
+        msg: Msg,
+        rng: &mut rand::rngs::SmallRng,
+        out: &mut Vec<(NodeId, Msg)>,
+    ) {
+        match msg.body {
+            PacketBody::Request(req) => match req.op {
+                OpKind::Write => self.handle_write(me, req, out),
+                OpKind::Read => self.handle_read(me, req, rng, out),
+            },
+            PacketBody::Reply(reply) => self.handle_reply(me, reply, out),
+            PacketBody::Completion(c) => {
+                if self.mode == SwitchMode::Harmonia {
+                    self.snoop_completion(c);
+                }
+            }
+            PacketBody::Control(ctl) => self.handle_control(ctl),
+            PacketBody::Protocol(p) => {
+                // L2/L3 forwarding of protocol traffic routed through the
+                // switch (replicas normally talk to each other direct).
+                self.stats.forwarded_other += 1;
+                let dst = msg.dst;
+                out.push((dst, Msg::new(msg.src, dst, PacketBody::Protocol(p))));
+            }
+        }
+    }
+
+    /// Control-plane sweep of stale dirty entries (§5.2).
+    pub fn sweep(&mut self) -> usize {
+        self.detector.sweep()
+    }
 }
 
 /// Transport-agnostic switch logic, shared by the simulated actor and the
 /// live threaded driver.
 ///
 /// One `SwitchCore` hosts the Harmonia scheduler for one **or many** replica
-/// groups (§6.3): conflict detection lives in a [`SpineSwitch`] (per-group
-/// dirty sets and sequence spaces, shared SRAM accounting), and each group
-/// keeps its own forwarding table and OUM sequencer. Requests are routed to
-/// their group by the deployment's [`ShardMap`] — for the rack-scale
-/// single-group case that map is the identity onto group 0 and the behavior
-/// is exactly the paper's Figure 1 pipeline.
+/// groups (§6.3): each group's conflict detector, forwarding table, OUM
+/// sequencer, and counters live in that group's [`GroupCore`]. Requests are
+/// routed to their group by the deployment's [`ShardMap`] — for the
+/// rack-scale single-group case that map is the identity onto group 0 and
+/// the behavior is exactly the paper's Figure 1 pipeline.
+///
+/// The simulator drives the core whole (one deterministic actor); the live
+/// driver calls [`into_group_cores`](Self::into_group_cores) and moves each
+/// group's core onto its own pipeline thread.
 pub struct SwitchCore {
     cfg: SwitchActorConfig,
-    spine: SpineSwitch,
-    planes: BTreeMap<GroupId, GroupPlane>,
+    groups: BTreeMap<GroupId, GroupCore>,
     shards: ShardMap,
     /// Where each replica was provisioned (control-plane routing for
     /// `AddReplica` after a removal emptied its group entry).
@@ -120,28 +381,21 @@ impl SwitchCore {
             ProtocolKind::Nopaxos => (WriteEntry::Multicast, ReadEntry::Leader),
         };
         let shards = ShardMap::new(memberships.len());
-        let mut spine = SpineSwitch::new(cfg.incarnation, cfg.table);
-        let mut planes = BTreeMap::new();
+        let mut groups = BTreeMap::new();
         let mut home = BTreeMap::new();
         for (g, members) in memberships.into_iter().enumerate() {
             let gid = GroupId(g as u32);
-            spine.add_group(gid);
             for &r in &members {
                 home.insert(r, gid);
             }
-            planes.insert(
+            groups.insert(
                 gid,
-                GroupPlane {
-                    fwd: ForwardingTable::with_members(members, write_entry, read_entry),
-                    sequencer: Sequencer::new(u64::from(cfg.incarnation.0)),
-                    stats: SwitchStats::default(),
-                },
+                GroupCore::new(&cfg, gid, members, write_entry, read_entry),
             );
         }
         SwitchCore {
             cfg,
-            spine,
-            planes,
+            groups,
             shards,
             home,
             misc: SwitchStats::default(),
@@ -155,20 +409,20 @@ impl SwitchCore {
     /// Aggregate data-plane counters across every hosted group.
     pub fn stats(&self) -> SwitchStats {
         let mut total = self.misc;
-        for plane in self.planes.values() {
-            total.merge(&plane.stats);
+        for core in self.groups.values() {
+            total.merge(&core.stats);
         }
         total
     }
 
     /// One group's data-plane counters.
     pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
-        self.planes.get(&group).map(|p| p.stats)
+        self.groups.get(&group).map(|c| c.stats)
     }
 
     /// Number of replica groups hosted by this switch.
     pub fn group_count(&self) -> usize {
-        self.planes.len()
+        self.groups.len()
     }
 
     /// The deployment's object→group map.
@@ -176,25 +430,32 @@ impl SwitchCore {
         self.shards
     }
 
-    /// The multi-group conflict-detection module (inspection).
-    pub fn spine(&self) -> &SpineSwitch {
-        &self.spine
+    /// Aggregate-only view across every hosted group — the same snapshots
+    /// a fleet of live pipeline workers exports.
+    pub fn view(&self) -> SpineView {
+        SpineView::new(self.groups.values().map(|c| c.observe()).collect())
     }
 
     /// Group 0's conflict detector — the whole detector in a single-group
     /// deployment (inspection).
     pub fn detector(&self) -> &ConflictDetector {
-        self.spine.group(GroupId(0)).expect("group 0 always exists")
+        self.group_detector(GroupId(0))
+            .expect("group 0 always exists")
     }
 
     /// A specific group's conflict detector (inspection).
     pub fn group_detector(&self, group: GroupId) -> Option<&ConflictDetector> {
-        self.spine.group(group)
+        self.groups.get(&group).map(|c| &c.detector)
+    }
+
+    /// Dirty-set SRAM consumed by one hosted group.
+    pub fn group_memory_bytes(&self, group: GroupId) -> Option<usize> {
+        self.groups.get(&group).map(|c| c.memory_bytes())
     }
 
     /// Total dirty-set SRAM across every hosted group (§6.3 budget check).
     pub fn memory_bytes(&self) -> usize {
-        self.spine.memory_bytes()
+        self.groups.values().map(|c| c.memory_bytes()).sum()
     }
 
     /// This incarnation's id.
@@ -202,119 +463,21 @@ impl SwitchCore {
         self.cfg.incarnation
     }
 
-    fn handle_write(&mut self, me: NodeId, mut req: ClientRequest, out: &mut Vec<(NodeId, Msg)>) {
-        let gid = self.group_of(req.obj);
-        let Some(plane) = self.planes.get_mut(&gid) else {
-            return;
-        };
-        // Harmonia: Algorithm 1 lines 1–4, on this object's group.
-        if self.cfg.mode == SwitchMode::Harmonia {
-            match self.spine.process_write(gid, req.obj) {
-                Some(WriteDecision::Stamped(seq)) => req.seq = Some(seq),
-                Some(WriteDecision::Dropped) | None => {
-                    // §6.1: no dirty-set slot — the write is dropped in the
-                    // data plane; the client will time out and retry.
-                    plane.stats.writes_dropped += 1;
-                    return;
-                }
-            }
-        }
-        plane.stats.writes_forwarded += 1;
-        if self.cfg.protocol == ProtocolKind::Nopaxos {
-            // Ordered unreliable multicast: stamp and fan out (§7.3) within
-            // the object's group; sessions are per group so gap detection
-            // never crosses shard boundaries.
-            let stamp = plane.sequencer.stamp();
-            let seq = req
-                .seq
-                .unwrap_or(SwitchSeq::new(self.cfg.incarnation, stamp.seq));
-            let op = WriteOp {
-                seq,
-                obj: req.obj,
-                key: req.key.clone(),
-                value: req.value.clone().unwrap_or_default(),
-                client: req.client,
-                request: req.request,
-            };
-            for &r in plane.fwd.replicas() {
-                let dst = NodeId::Replica(r);
-                out.push((
-                    dst,
-                    Msg::new(
-                        me,
-                        dst,
-                        PacketBody::Protocol(ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced {
-                            session: stamp.session,
-                            oum_seq: stamp.seq,
-                            op: op.clone(),
-                        })),
-                    ),
-                ));
-            }
-        } else if let Some(&dst) = plane.fwd.write_destinations().first() {
-            out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
-        }
-    }
-
-    fn handle_read(
-        &mut self,
-        me: NodeId,
-        mut req: ClientRequest,
-        rng: &mut rand::rngs::SmallRng,
-        out: &mut Vec<(NodeId, Msg)>,
-    ) {
-        let gid = self.group_of(req.obj);
-        let Some(plane) = self.planes.get_mut(&gid) else {
-            return;
-        };
-        let dst = match self.cfg.mode {
-            SwitchMode::Harmonia => match self.spine.process_read(gid, req.obj) {
-                Some(ReadDecision::FastPath { last_committed }) => {
-                    // Algorithm 1 lines 10–12.
-                    req.last_committed = Some(last_committed);
-                    req.read_mode = ReadMode::FastPath {
-                        switch: self.cfg.incarnation,
-                    };
-                    plane.stats.reads_fast_path += 1;
-                    plane.fwd.random_replica(rng)
-                }
-                Some(ReadDecision::Normal) | None => {
-                    plane.stats.reads_normal += 1;
-                    plane.fwd.normal_read_destination()
-                }
-            },
-            SwitchMode::Baseline => {
-                plane.stats.reads_normal += 1;
-                if self.cfg.protocol == ProtocolKind::Craq {
-                    // CRAQ serves reads at any replica natively.
-                    plane.fwd.random_replica(rng)
-                } else {
-                    plane.fwd.normal_read_destination()
-                }
-            }
-        };
-        if let Some(dst) = dst {
-            out.push((dst, Msg::new(me, dst, PacketBody::Request(req))));
-        }
-    }
-
-    /// Route a WRITE-COMPLETION to its object's group.
-    fn snoop_completion(&mut self, c: harmonia_types::WriteCompletion) {
-        let gid = self.group_of(c.obj);
-        if self.spine.process_completion(gid, c) {
-            if let Some(plane) = self.planes.get_mut(&gid) {
-                plane.stats.completions += 1;
-            }
-        }
+    /// Tear the core into independently-ownable per-group pipelines (the
+    /// live driver), in group order. Each [`GroupCore`] takes its group's
+    /// detector, forwarding table, sequencer, counters, and provisioned
+    /// membership with it; nothing shared remains.
+    pub fn into_group_cores(self) -> Vec<GroupCore> {
+        self.groups.into_values().collect()
     }
 
     /// The group a control-plane membership change addresses: wherever the
     /// replica currently lives, falling back to where it was provisioned,
     /// then to group 0 (single-group deployments never hit the fallbacks).
     fn control_group(&self, r: ReplicaId) -> GroupId {
-        self.planes
+        self.groups
             .iter()
-            .find(|(_, p)| p.fwd.replicas().contains(&r))
+            .find(|(_, c)| c.fwd.replicas().contains(&r))
             .map(|(&g, _)| g)
             .or_else(|| self.home.get(&r).copied())
             .unwrap_or(GroupId(0))
@@ -329,16 +492,24 @@ impl SwitchCore {
         out: &mut Vec<(NodeId, Msg)>,
     ) {
         match msg.body {
-            PacketBody::Request(req) => match req.op {
-                OpKind::Write => self.handle_write(me, req, out),
-                OpKind::Read => self.handle_read(me, req, rng, out),
-            },
+            PacketBody::Request(req) => {
+                let gid = self.group_of(req.obj);
+                if let Some(core) = self.groups.get_mut(&gid) {
+                    match req.op {
+                        OpKind::Write => core.handle_write(me, req, out),
+                        OpKind::Read => core.handle_read(me, req, rng, out),
+                    }
+                }
+            }
             PacketBody::Reply(reply) => {
-                // Snoop the piggybacked completion (Figure 2b), then forward
-                // the reply to its client.
+                // Snoop the piggybacked completion (Figure 2b) into its
+                // object's group, then forward the reply to its client.
                 if self.cfg.mode == SwitchMode::Harmonia {
                     if let Some(c) = reply.completion {
-                        self.snoop_completion(c);
+                        let gid = self.group_of(c.obj);
+                        if let Some(core) = self.groups.get_mut(&gid) {
+                            core.snoop_completion(c);
+                        }
                     }
                 }
                 let dst = NodeId::Client(reply.client);
@@ -346,21 +517,24 @@ impl SwitchCore {
             }
             PacketBody::Completion(c) => {
                 if self.cfg.mode == SwitchMode::Harmonia {
-                    self.snoop_completion(c);
+                    let gid = self.group_of(c.obj);
+                    if let Some(core) = self.groups.get_mut(&gid) {
+                        core.snoop_completion(c);
+                    }
                 }
             }
             PacketBody::Control(ctl) => match ctl {
                 ControlMsg::AddReplica(r) => {
                     let gid = self.control_group(r);
                     self.home.insert(r, gid);
-                    if let Some(plane) = self.planes.get_mut(&gid) {
-                        plane.fwd.add_replica(r);
+                    if let Some(core) = self.groups.get_mut(&gid) {
+                        core.fwd.add_replica(r);
                     }
                 }
                 ControlMsg::RemoveReplica(r) => {
                     let gid = self.control_group(r);
-                    if let Some(plane) = self.planes.get_mut(&gid) {
-                        plane.fwd.remove_replica(r);
+                    if let Some(core) = self.groups.get_mut(&gid) {
+                        core.fwd.remove_replica(r);
                     }
                 }
                 ControlMsg::SetReplicas(rs) => {
@@ -371,8 +545,8 @@ impl SwitchCore {
                     for &r in &rs {
                         self.home.insert(r, gid);
                     }
-                    if let Some(plane) = self.planes.get_mut(&gid) {
-                        plane.fwd.set_replicas(rs);
+                    if let Some(core) = self.groups.get_mut(&gid) {
+                        core.fwd.set_replicas(rs);
                     }
                 }
             },
@@ -389,7 +563,7 @@ impl SwitchCore {
     /// Control-plane sweep of stale dirty entries (§5.2), across every
     /// hosted group.
     pub fn sweep(&mut self) -> usize {
-        self.spine.sweep()
+        self.groups.values_mut().map(|c| c.sweep()).sum()
     }
 }
 
@@ -442,9 +616,25 @@ impl SwitchActor {
         self.core.detector()
     }
 
-    /// The multi-group conflict-detection module (inspection).
-    pub fn spine(&self) -> &SpineSwitch {
-        self.core.spine()
+    /// A specific group's conflict detector (inspection).
+    pub fn group_detector(&self, group: GroupId) -> Option<&ConflictDetector> {
+        self.core.group_detector(group)
+    }
+
+    /// Number of replica groups hosted by this switch.
+    pub fn group_count(&self) -> usize {
+        self.core.group_count()
+    }
+
+    /// Dirty-set SRAM consumed by one hosted group.
+    pub fn group_memory_bytes(&self, group: GroupId) -> Option<usize> {
+        self.core.group_memory_bytes(group)
+    }
+
+    /// Aggregate-only view across every hosted group (the same shape live
+    /// pipeline fleets export).
+    pub fn view(&self) -> SpineView {
+        self.core.view()
     }
 
     /// Total dirty-set SRAM across every hosted group.
@@ -727,6 +917,7 @@ mod tests {
         // Tail's reply with the piggybacked completion passes the switch.
         let reply = harmonia_types::ClientReply {
             client: ClientId(1),
+            from: harmonia_types::ReplicaId(2),
             request: RequestId(1),
             obj: harmonia_types::ObjectId::from_key(b"k"),
             value: None,

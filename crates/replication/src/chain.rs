@@ -92,6 +92,7 @@ impl ChainReplica {
                 seq: op.seq,
             };
             let reply = write_reply(
+                self.me,
                 op.client,
                 op.request,
                 op.obj,
@@ -143,6 +144,7 @@ impl ChainReplica {
             out.reply(
                 self.lease.active(),
                 write_reply(
+                    self.me,
                     req.client,
                     req.request,
                     req.obj,
@@ -174,7 +176,7 @@ impl ChainReplica {
                     .unwrap_or(SwitchSeq::ZERO);
                 if allowed && read_ahead_ok(obj_seq, stamped) {
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     let mut fwd = req;
                     fwd.read_mode = ReadMode::Normal;
@@ -189,7 +191,7 @@ impl ChainReplica {
                 if self.is_tail() {
                     // Tail state is committed by construction.
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     out.forward_request(self.tail(), req);
                 }

@@ -278,10 +278,11 @@ pub fn read_behind_ok(executed_seq: SwitchSeq, stamped_last_committed: SwitchSeq
     executed_seq >= stamped_last_committed
 }
 
-/// Build a read reply.
-pub fn read_reply(req: &ClientRequest, value: Option<Bytes>) -> ClientReply {
+/// Build a read reply from replica `me`.
+pub fn read_reply(me: ReplicaId, req: &ClientRequest, value: Option<Bytes>) -> ClientReply {
     ClientReply {
         client: req.client,
+        from: me,
         request: req.request,
         obj: req.obj,
         value,
@@ -292,7 +293,9 @@ pub fn read_reply(req: &ClientRequest, value: Option<Bytes>) -> ClientReply {
 
 /// Build a write reply, optionally piggybacking a completion (read-ahead
 /// protocols complete writes at reply time, Figure 2b).
+#[allow(clippy::too_many_arguments)]
 pub fn write_reply(
+    me: ReplicaId,
     req_client: harmonia_types::ClientId,
     req_id: harmonia_types::RequestId,
     obj: harmonia_types::ObjectId,
@@ -301,6 +304,7 @@ pub fn write_reply(
 ) -> ClientReply {
     ClientReply {
         client: req_client,
+        from: me,
         request: req_id,
         obj,
         value: None,
@@ -451,7 +455,7 @@ mod tests {
             },
         );
         let req = ClientRequest::read(ClientId(1), RequestId(1), &b"k"[..]);
-        fx.reply(SwitchId(1), read_reply(&req, None));
+        fx.reply(SwitchId(1), read_reply(ReplicaId(0), &req, None));
         fx.forward_request(ReplicaId(0), req);
         assert_eq!(fx.len(), 4);
         assert!(matches!(fx.out[0].0, NodeId::Replica(ReplicaId(2))));

@@ -84,7 +84,14 @@ impl CraqReplica {
                 .update(&op.key.clone(), VersionChain::empty, |chain| {
                     chain.install_clean(VersionedValue::new(op.value.clone(), op.seq))
                 });
-            let reply = write_reply(op.client, op.request, op.obj, WriteOutcome::Committed, None);
+            let reply = write_reply(
+                self.me,
+                op.client,
+                op.request,
+                op.obj,
+                WriteOutcome::Committed,
+                None,
+            );
             self.clients.record_reply(reply.clone());
             out.reply(self.lease.active(), reply);
             // Second phase: mark clean back up the chain.
@@ -141,6 +148,7 @@ impl CraqReplica {
             out.reply(
                 self.lease.active(),
                 write_reply(
+                    self.me,
                     req.client,
                     req.request,
                     req.obj,
@@ -175,7 +183,7 @@ impl CraqReplica {
         });
         match verdict {
             Verdict::Clean(value) => {
-                out.reply(self.lease.active(), read_reply(&req, value));
+                out.reply(self.lease.active(), read_reply(self.me, &req, value));
             }
             Verdict::Dirty => {
                 // Dirty object: ask the tail, which always has the committed

@@ -154,8 +154,14 @@ impl NopaxosReplica {
         }
         match admission {
             Admission::Fresh => {
-                let reply =
-                    write_reply(op.client, op.request, op.obj, WriteOutcome::Committed, None);
+                let reply = write_reply(
+                    self.me,
+                    op.client,
+                    op.request,
+                    op.obj,
+                    WriteOutcome::Committed,
+                    None,
+                );
                 self.clients.record_reply(reply.clone());
                 out.reply(self.lease.active(), reply);
             }
@@ -257,7 +263,7 @@ impl NopaxosReplica {
                 let stamped = req.last_committed.unwrap_or(SwitchSeq::ZERO);
                 if allowed && read_behind_ok(self.exec_seq, stamped) {
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     let mut fwd = req;
                     fwd.read_mode = ReadMode::Normal;
@@ -271,7 +277,7 @@ impl NopaxosReplica {
             ReadMode::Normal => {
                 if self.is_leader() {
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     out.forward_request(self.leader(), req);
                 }
@@ -292,6 +298,7 @@ impl Replica for NopaxosReplica {
                 out.reply(
                     self.lease.active(),
                     write_reply(
+                        self.me,
                         req.client,
                         req.request,
                         req.obj,

@@ -119,6 +119,7 @@ impl PbReplica {
             out.reply(
                 self.lease.active(),
                 write_reply(
+                    self.me,
                     req.client,
                     req.request,
                     req.obj,
@@ -165,6 +166,7 @@ impl PbReplica {
                 seq,
             };
             let reply = write_reply(
+                self.me,
                 pw.op.client,
                 pw.op.request,
                 pw.op.obj,
@@ -188,7 +190,7 @@ impl PbReplica {
                     .unwrap_or(SwitchSeq::ZERO);
                 if allowed && read_ahead_ok(obj_seq, stamped) {
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     // §7.2: forward to the primary for the normal protocol.
                     let mut fwd = req;
@@ -204,7 +206,7 @@ impl PbReplica {
                 if self.is_primary() {
                     // The primary's store holds committed state only.
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     out.forward_request(self.primary(), req);
                 }

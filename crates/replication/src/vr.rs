@@ -152,6 +152,7 @@ impl VrReplica {
             out.reply(
                 self.lease.active(),
                 write_reply(
+                    self.me,
                     req.client,
                     req.request,
                     req.obj,
@@ -202,7 +203,14 @@ impl VrReplica {
             self.prepare_acks.remove(&next);
             self.execute_up_to(next);
             let op = &self.log[(next - 1) as usize];
-            let reply = write_reply(op.client, op.request, op.obj, WriteOutcome::Committed, None);
+            let reply = write_reply(
+                self.me,
+                op.client,
+                op.request,
+                op.obj,
+                WriteOutcome::Committed,
+                None,
+            );
             self.clients.record_reply(reply.clone());
             out.reply(self.lease.active(), reply);
             advanced = true;
@@ -262,7 +270,7 @@ impl VrReplica {
                 let stamped = req.last_committed.unwrap_or(SwitchSeq::ZERO);
                 if allowed && read_behind_ok(self.exec_seq, stamped) {
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     let mut fwd = req;
                     fwd.read_mode = ReadMode::Normal;
@@ -276,7 +284,7 @@ impl VrReplica {
             ReadMode::Normal => {
                 if self.is_leader() {
                     let value = self.store.with(&req.key, |v| v.map(|vv| vv.value.clone()));
-                    out.reply(self.lease.active(), read_reply(&req, value));
+                    out.reply(self.lease.active(), read_reply(self.me, &req, value));
                 } else {
                     out.forward_request(self.leader(), req);
                 }

@@ -35,6 +35,6 @@ pub mod table;
 pub use conflict::{ConflictConfig, ConflictDetector, ReadDecision, WriteDecision};
 pub use forwarding::{ForwardingTable, ReadEntry, WriteEntry};
 pub use sequencer::Sequencer;
-pub use spine::{GroupId, SpineSwitch};
+pub use spine::{GroupId, GroupObservation, SpineSwitch, SpineView};
 pub use stats::{ResourceModel, SwitchStats};
 pub use table::{MultiStageHashTable, TableConfig};

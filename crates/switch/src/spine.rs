@@ -12,17 +12,95 @@
 //! capacity of a switch far exceeds that of a single replica group" — can
 //! be checked quantitatively (see `memory_bytes` vs. a tens-of-MB SRAM
 //! budget).
+//!
+//! A real Tofino processes different groups' packets in parallel at line
+//! rate, so nothing in this state is inherently shared: each group's
+//! detector is independent, and only the *accounting* is whole-switch. The
+//! module therefore exposes both ownership shapes. [`SpineSwitch`] is the
+//! single-owner aggregate (what the deterministic simulator runs), and
+//! [`SpineSwitch::into_groups`] tears it into per-group detectors that
+//! independent pipeline workers can own exclusively — no lock on the packet
+//! path. Workers export [`GroupObservation`] snapshots; [`SpineView`] is the
+//! aggregate-only read side that folds those snapshots back into the same
+//! `memory_bytes`/stats totals the single-owner shape reports.
 
 use std::collections::BTreeMap;
 
 use harmonia_types::{ObjectId, SwitchId, WriteCompletion};
 
 use crate::conflict::{ConflictConfig, ConflictDetector, ReadDecision, WriteDecision};
+use crate::stats::SwitchStats;
 use crate::table::TableConfig;
 
 /// Identifies one replica group served by a spine switch.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GroupId(pub u32);
+
+/// A point-in-time snapshot of one group's switch-resident state, exported
+/// by whichever worker exclusively owns that group (a per-group pipeline
+/// thread in the live driver). Snapshots are plain data: collecting them
+/// never locks the owner's packet path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupObservation {
+    /// The observed group.
+    pub group: GroupId,
+    /// The group's data-plane counters.
+    pub stats: SwitchStats,
+    /// Whether the group's fast path is currently enabled.
+    pub fast_path_enabled: bool,
+    /// Dirty-set SRAM consumed by the group.
+    pub memory_bytes: usize,
+    /// Dirty-set occupancy.
+    pub dirty_len: usize,
+}
+
+/// Aggregate-only view over per-group observations: the whole-switch
+/// `memory_bytes`/stats accounting of [`SpineSwitch`], reconstructed from
+/// snapshots instead of owned state. This is what a control plane sees when
+/// the groups themselves live on independent pipeline workers.
+#[derive(Clone, Debug, Default)]
+pub struct SpineView {
+    observations: Vec<GroupObservation>,
+}
+
+impl SpineView {
+    /// Build the view from per-group snapshots (any order).
+    pub fn new(mut observations: Vec<GroupObservation>) -> Self {
+        observations.sort_by_key(|o| o.group);
+        SpineView { observations }
+    }
+
+    /// Number of observed groups.
+    pub fn group_count(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// One group's snapshot.
+    pub fn group(&self, group: GroupId) -> Option<&GroupObservation> {
+        self.observations.iter().find(|o| o.group == group)
+    }
+
+    /// All snapshots, in group order.
+    pub fn groups(&self) -> &[GroupObservation] {
+        &self.observations
+    }
+
+    /// Aggregate data-plane counters across every observed group — the same
+    /// fold [`SpineSwitch`]-backed switches report.
+    pub fn stats(&self) -> SwitchStats {
+        let mut total = SwitchStats::default();
+        for o in &self.observations {
+            total.merge(&o.stats);
+        }
+        total
+    }
+
+    /// Total dirty-set SRAM across every observed group (§6.3 budget
+    /// check).
+    pub fn memory_bytes(&self) -> usize {
+        self.observations.iter().map(|o| o.memory_bytes).sum()
+    }
+}
 
 /// A switch hosting the Harmonia scheduler for many replica groups.
 pub struct SpineSwitch {
@@ -97,6 +175,30 @@ impl SpineSwitch {
     /// Inspect a group's detector.
     pub fn group(&self, group: GroupId) -> Option<&ConflictDetector> {
         self.groups.get(&group)
+    }
+
+    /// Tear the spine into independently-ownable per-group detectors, in
+    /// group order. Each entry is the complete conflict-detection state of
+    /// one group — a pipeline worker that takes one owns that group's
+    /// packet path outright, with no shared state left behind. Reassemble
+    /// an aggregate with [`from_groups`](Self::from_groups), or fold worker
+    /// snapshots through [`SpineView`].
+    pub fn into_groups(self) -> Vec<(GroupId, ConflictDetector)> {
+        self.groups.into_iter().collect()
+    }
+
+    /// Rebuild a single-owner spine from per-group detectors (the inverse
+    /// of [`into_groups`](Self::into_groups)).
+    pub fn from_groups(
+        incarnation: SwitchId,
+        per_group_table: TableConfig,
+        groups: impl IntoIterator<Item = (GroupId, ConflictDetector)>,
+    ) -> Self {
+        SpineSwitch {
+            incarnation,
+            per_group_table,
+            groups: groups.into_iter().collect(),
+        }
     }
 
     /// The hosted group ids, in order.
@@ -221,6 +323,76 @@ mod tests {
         assert!(s.remove_group(GroupId(3)));
         assert!(!s.add_group(GroupId(1)), "duplicate add rejected");
         assert_eq!(s.memory_bytes(), two);
+    }
+
+    #[test]
+    fn split_groups_round_trip_and_views_aggregate() {
+        let mut s = spine();
+        let Some(WriteDecision::Stamped(seq)) = s.process_write(GroupId(1), ObjectId(7)) else {
+            panic!()
+        };
+        s.process_completion(
+            GroupId(1),
+            WriteCompletion {
+                obj: ObjectId(7),
+                seq,
+            },
+        );
+        s.process_write(GroupId(2), ObjectId(3));
+        let total_mem = s.memory_bytes();
+
+        // Tear down into exclusively-ownable per-group detectors…
+        let groups = s.into_groups();
+        assert_eq!(
+            groups.iter().map(|(g, _)| *g).collect::<Vec<_>>(),
+            vec![GroupId(1), GroupId(2)],
+            "group order is deterministic"
+        );
+        // …whose independent snapshots fold back into the same accounting.
+        let view = SpineView::new(
+            groups
+                .iter()
+                .map(|(g, d)| GroupObservation {
+                    group: *g,
+                    stats: SwitchStats::default(),
+                    fast_path_enabled: d.fast_path_enabled(),
+                    memory_bytes: d.memory_bytes(),
+                    dirty_len: d.dirty_len(),
+                })
+                .collect(),
+        );
+        assert_eq!(view.memory_bytes(), total_mem);
+        assert_eq!(view.group_count(), 2);
+        assert!(view.group(GroupId(1)).unwrap().fast_path_enabled);
+        assert!(!view.group(GroupId(2)).unwrap().fast_path_enabled);
+        assert_eq!(view.group(GroupId(2)).unwrap().dirty_len, 1);
+
+        // And the single-owner shape reassembles losslessly.
+        let rebuilt = SpineSwitch::from_groups(SwitchId(1), small_table(), groups);
+        assert_eq!(rebuilt.memory_bytes(), total_mem);
+        assert_eq!(rebuilt.group(GroupId(2)).unwrap().dirty_len(), 1);
+        assert!(rebuilt.group(GroupId(1)).unwrap().fast_path_enabled());
+    }
+
+    #[test]
+    fn spine_view_stats_merge_per_group_counters() {
+        let mk = |group, fast, normal| GroupObservation {
+            group: GroupId(group),
+            stats: SwitchStats {
+                reads_fast_path: fast,
+                reads_normal: normal,
+                ..SwitchStats::default()
+            },
+            fast_path_enabled: true,
+            memory_bytes: 64,
+            dirty_len: 0,
+        };
+        let view = SpineView::new(vec![mk(2, 5, 1), mk(0, 3, 2)]);
+        assert_eq!(view.groups()[0].group, GroupId(0), "snapshots sorted");
+        let total = view.stats();
+        assert_eq!(total.reads_fast_path, 8);
+        assert_eq!(total.reads_normal, 3);
+        assert_eq!(view.memory_bytes(), 128);
     }
 
     #[test]

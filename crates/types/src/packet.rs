@@ -148,6 +148,12 @@ pub enum WriteOutcome {
 pub struct ClientReply {
     /// Destination client.
     pub client: ClientId,
+    /// The replica that produced this reply. Multi-reply protocols
+    /// (NOPaxos) count a write committed only after a quorum of *distinct*
+    /// repliers: retries reuse the request id (exactly-once sessions), so
+    /// without provenance a late original reply plus a replica's
+    /// deduplicated re-send would be counted as two acknowledgements.
+    pub from: ReplicaId,
     /// Request this reply answers.
     pub request: RequestId,
     /// Object concerned (for switch-side piggyback processing).

@@ -342,6 +342,7 @@ impl Wire for ClientRequest {
 impl Wire for ClientReply {
     fn encode(&self, buf: &mut BytesMut) {
         self.client.encode(buf);
+        self.from.encode(buf);
         self.request.encode(buf);
         self.obj.encode(buf);
         self.value.encode(buf);
@@ -351,6 +352,7 @@ impl Wire for ClientReply {
     fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
         Ok(ClientReply {
             client: ClientId::decode(buf)?,
+            from: ReplicaId::decode(buf)?,
             request: RequestId::decode(buf)?,
             obj: ObjectId::decode(buf)?,
             value: Option::<Bytes>::decode(buf)?,
@@ -482,6 +484,7 @@ mod tests {
     fn reply_roundtrip() {
         let r = ClientReply {
             client: ClientId(1),
+            from: ReplicaId(4),
             request: RequestId(2),
             obj: ObjectId(3),
             value: Some(Bytes::from_static(b"v")),

@@ -77,6 +77,26 @@
 //! assert_eq!(sim.switch_memory_bytes().unwrap() % 4, 0); // 4 equal dirty sets
 //! ```
 //!
+//! ## Live data plane
+//!
+//! The live driver is a **parallel data plane**: one pipeline thread per
+//! replica group, each exclusively owning that group's
+//! [`GroupCore`](core::switch_actor::GroupCore) (conflict detector, OUM
+//! sequencer, forwarding table, counters), behind a *stateless* spine —
+//! sending to the switch address shard-routes the packet on the sender's
+//! own thread straight onto the owning group's pipeline. No lock is taken
+//! on the packet path; pipelines drain their ingress in batches; aggregate
+//! inspection folds per-pipeline
+//! [`GroupObservation`](switch::GroupObservation) snapshots through
+//! [`SpineView`](switch::SpineView). The §5.3 `kill_switch` /
+//! `replace_switch` verbs tear down and re-spawn the whole fleet under a
+//! fresh incarnation. This mirrors the hardware: a Tofino processes
+//! different groups' packets in parallel at line rate, so group count buys
+//! packet-level parallelism (`crates/bench`'s `live_scaleout` sweep
+//! measures it; scaling tracks the host's core count). The deterministic
+//! simulator keeps all group cores behind one single-threaded actor —
+//! identical logic, bit-identical replays.
+//!
 //! ## Crate map
 //!
 //! | crate | contents |
@@ -90,22 +110,17 @@
 //! | [`workload`] | uniform/zipf key spaces, mixes, YCSB presets |
 //! | [`verify`] | linearizability checker + TLA+-mirror model checker |
 //!
-//! ## Migrating from the pre-`DeploymentSpec` API
+//! ## Pre-`DeploymentSpec` API
 //!
-//! `ClusterConfig` + `build_world`, `ShardedClusterConfig` +
-//! `build_sharded_world`, `LiveCluster::spawn`, and
-//! `ShardedLiveCluster::spawn` still exist as `#[deprecated]` shims for one
-//! release, delegating to the spec (same-seed runs are bit-identical —
-//! locked by `tests/determinism.rs`). The renames are mechanical:
-//!
-//! | before | after |
-//! |---|---|
-//! | `ClusterConfig { protocol, .. }` | `DeploymentSpec::new().protocol(..)` |
-//! | `ShardedClusterConfig { groups: 4, .. }` | `DeploymentSpec::new().groups(4)` |
-//! | `build_world(&cfg)` | `spec.build_sim()` |
-//! | `add_open_loop_client(&mut world, &cfg, ..)` | `sim.add_open_loop_client(..)` |
-//! | `LiveCluster::spawn(&cfg)` / `ShardedLiveCluster::spawn(&cfg)` | `spec.spawn_live()` |
-//! | `schedule_switch_replacement(.., &cfg, ..)` | same, with `&spec` |
+//! The pre-redesign entry points (`ClusterConfig` + `build_world`,
+//! `ShardedClusterConfig` + `build_sharded_world`, `LiveCluster::spawn`,
+//! `ShardedLiveCluster`, `SwitchCore::new_for[_sharded]`,
+//! `add_[sharded_]open_loop_client`) shipped as `#[deprecated]` shims for
+//! exactly one release and were **removed in 0.x**. Build a
+//! [`DeploymentSpec`](prelude::DeploymentSpec) instead; same-seed
+//! `groups(1)` runs replay the old unsharded assembly bit-for-bit
+//! (`tests/determinism.rs` keeps proving it against a hand-assembled
+//! pre-redesign reference).
 
 pub use harmonia_core as core;
 pub use harmonia_kv as kv;

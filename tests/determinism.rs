@@ -251,22 +251,15 @@ fn groups1_matches_pre_redesign_unsharded_build() {
     );
 }
 
-/// The deprecated `build_world` shim is the same world too (it delegates,
-/// and this pins the delegation).
+/// A second seed through the pre-redesign reference, so the equivalence is
+/// not a single-trajectory fluke (the deprecated `build_world` shim this
+/// used to exercise was removed in 0.x; the hand-assembled reference above
+/// is the contract that outlives it).
 #[test]
-fn groups1_matches_deprecated_build_world_shim() {
-    #[allow(deprecated)]
-    let old_world = {
-        use harmonia::core::cluster::{build_world, ClusterConfig};
-        let cfg = ClusterConfig {
-            link: adversarial_spec(43).link,
-            seed: 43,
-            ..ClusterConfig::default()
-        };
-        build_world(&cfg)
-    };
-    let old = fingerprint(old_world, 43);
-    let new = fingerprint(adversarial_spec(43).build_sim().into_world(), 43);
+fn groups1_matches_pre_redesign_unsharded_build_second_seed() {
+    let spec = adversarial_spec(43);
+    let old = fingerprint(pre_redesign_world(&spec), 43);
+    let new = fingerprint(spec.build_sim().into_world(), 43);
     assert_eq!(old.0, new.0);
     assert_eq!(old.1, new.1);
 }

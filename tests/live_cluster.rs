@@ -192,8 +192,13 @@ fn live_switch_failover_under_write_load() {
     cluster.kill_switch();
     std::thread::sleep(std::time::Duration::from_millis(30));
     cluster.replace_switch(SwitchId(2));
-    // Writers keep running against the replacement before stopping.
-    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Writers keep running against the replacement before stopping. The
+    // window must exceed the client's per-attempt timeout (200 ms): an op
+    // that was in flight at the kill can spend one full timeout before its
+    // retry resolves (possibly as a deduplicated replay of an old-
+    // incarnation commit, which does not arm the new fast path), and only
+    // *then* does that writer issue fresh writes under the replacement.
+    std::thread::sleep(std::time::Duration::from_millis(450));
     stop.store(true, Ordering::Relaxed);
     let acked: Vec<Vec<Option<u32>>> = writers.into_iter().map(|w| w.join().unwrap()).collect();
 

@@ -35,6 +35,7 @@ fn arb_reply() -> impl Strategy<Value = ClientReply> {
     )
         .prop_map(|(c, r, o, value, outcome, completion)| ClientReply {
             client: ClientId(c),
+            from: ReplicaId(c % 7),
             request: RequestId(r),
             obj: ObjectId(o),
             value: value.map(Bytes::from),
@@ -382,6 +383,105 @@ proptest! {
                 None => prop_assert!(false, "hosted group rejected a write"),
             }
         }
+    }
+
+    /// The parallel live data plane's accounting contract: tearing a
+    /// multi-group `SwitchCore` into per-worker `GroupCore`s and driving
+    /// each group's packets through its own core (the per-group pipeline
+    /// model) yields exactly the per-group and aggregate stats, memory,
+    /// dirty-set occupancy, and fast-path gating that the monolithic
+    /// single-actor core reports for the same packet sequence.
+    #[test]
+    fn split_group_cores_match_monolith_accounting(
+        groups in 1usize..5,
+        ops in prop::collection::vec((0u32..64, 0u8..10), 1..150),
+    ) {
+        use harmonia::core::switch_actor::{SwitchActorConfig, SwitchMode};
+        use harmonia::core::{Msg, SwitchCore};
+        use rand::SeedableRng;
+
+        let cfg = SwitchActorConfig {
+            incarnation: SwitchId(1),
+            mode: SwitchMode::Harmonia,
+            protocol: ProtocolKind::Chain,
+            replicas: 3,
+            table: TC { stages: 2, slots_per_stage: 16, entry_bytes: 8 },
+            sweep_interval: None,
+        };
+        let memberships: Vec<Vec<ReplicaId>> = (0..groups)
+            .map(|g| (0..3u32).map(|i| ReplicaId(g as u32 * 3 + i)).collect())
+            .collect();
+        let mut mono = SwitchCore::new_sharded(cfg, memberships.clone());
+        let mut split = SwitchCore::new_sharded(cfg, memberships).into_group_cores();
+        let shards = ShardMap::new(groups);
+        let me = NodeId::Switch(SwitchId(1));
+        let client = NodeId::Client(ClientId(1));
+        // Deliberately *different* RNG streams: routing randomness picks
+        // fast-path replicas, never accounting outcomes.
+        let mut rng_mono = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut rngs: Vec<rand::rngs::SmallRng> = (0..groups)
+            .map(|g| rand::rngs::SmallRng::seed_from_u64(1000 + g as u64))
+            .collect();
+        let mut out = Vec::new();
+        let mut pending: Vec<WriteCompletion> = Vec::new();
+        for (i, (obj_raw, action)) in ops.into_iter().enumerate() {
+            let key = Bytes::from(format!("key-{obj_raw}"));
+            let rid = RequestId(i as u64);
+            let body: PacketBody<harmonia::replication::messages::ProtocolMsg> = match action {
+                0..=3 => PacketBody::Request(ClientRequest::write(
+                    ClientId(1), rid, key, Bytes::from_static(b"v"),
+                )),
+                4..=7 => PacketBody::Request(ClientRequest::read(ClientId(1), rid, key)),
+                _ => match pending.pop() {
+                    Some(c) => PacketBody::Completion(c),
+                    None => PacketBody::Request(ClientRequest::read(ClientId(1), rid, key)),
+                },
+            };
+            let obj = match &body {
+                PacketBody::Request(r) => r.obj,
+                PacketBody::Completion(c) => c.obj,
+                _ => unreachable!(),
+            };
+            let g = shards.shard_of(obj) as usize;
+            out.clear();
+            mono.handle(me, Msg::new(client, me, body.clone()), &mut rng_mono, &mut out);
+            // Capture the stamped seq of a forwarded write so a later op
+            // can complete it. The split run sees the identical stamp:
+            // per-group detector state evolves in lockstep with the
+            // monolith's, which is the point being proven.
+            if let Some((_, m)) = out.first() {
+                if let PacketBody::Request(req) = &m.body {
+                    if req.op == OpKind::Write {
+                        if let Some(seq) = req.seq {
+                            pending.push(WriteCompletion { obj: req.obj, seq });
+                        }
+                    }
+                }
+            }
+            let mut split_out = Vec::new();
+            split[g].handle(me, Msg::new(client, me, body), &mut rngs[g], &mut split_out);
+            prop_assert_eq!(
+                out.len(), split_out.len(),
+                "forward fan-out must match (dropped writes drop in both)"
+            );
+        }
+        // Per-group accounting is identical…
+        for core in &split {
+            let g = core.group();
+            prop_assert_eq!(mono.group_stats(g).unwrap(), core.stats());
+            let mono_det = mono.group_detector(g).unwrap();
+            prop_assert_eq!(core.observe().fast_path_enabled, mono_det.fast_path_enabled());
+            prop_assert_eq!(core.observe().dirty_len, mono_det.dirty_len());
+            prop_assert_eq!(core.memory_bytes(), mono.group_memory_bytes(g).unwrap());
+        }
+        // …and the aggregate-only view folds to the monolith's totals.
+        let view = harmonia::switch::SpineView::new(
+            split.iter().map(|c| c.observe()).collect(),
+        );
+        prop_assert_eq!(view.stats(), mono.stats());
+        prop_assert_eq!(view.memory_bytes(), mono.memory_bytes());
+        let split_sum: usize = split.iter().map(|c| c.memory_bytes()).sum();
+        prop_assert_eq!(split_sum, mono.memory_bytes());
     }
 
     /// Wire codec: encode → decode is the identity for **every**

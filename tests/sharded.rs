@@ -40,7 +40,7 @@ fn four_group_chain_harmonia_is_linearizable() {
         .world
         .actor(scenario.deployment.switch_addr())
         .expect("spine switch");
-    assert_eq!(sw.spine().group_count(), 4);
+    assert_eq!(sw.group_count(), 4);
     let mut groups_with_writes = 0;
     for g in 0..4 {
         let stats = sw.group_stats(GroupId(g)).expect("hosted group");
@@ -52,7 +52,7 @@ fn four_group_chain_harmonia_is_linearizable() {
         groups_with_writes >= 3,
         "only {groups_with_writes}/4 groups saw writes — sharding is not spreading"
     );
-    let per_group = sw.spine().group_memory_bytes(GroupId(0)).unwrap();
+    let per_group = sw.group_memory_bytes(GroupId(0)).unwrap();
     assert_eq!(sw.memory_bytes(), 4 * per_group);
 }
 
