@@ -1,0 +1,50 @@
+//! UDP scale-out: closed-loop throughput over real loopback sockets vs. the
+//! number of replica groups behind the spine.
+//!
+//! The datagram counterpart of `live_scaleout`: identical workload and
+//! client threads, but every packet crosses a `UdpSocket` through the wire
+//! codec and the kernel's UDP stack. Two things to read off the table: the
+//! 1→4-group scaling (the per-group pipeline sockets and the sender-side
+//! shard routing parallelize just like the channel driver), and the
+//! per-packet cost gap vs. the channel numbers (syscalls + codec — the
+//! price of a real network; `wire_codec` isolates the codec's share).
+//!
+//! Interpret ratios against `host_cores` exactly as for `live_scaleout`:
+//! scaling needs cores ≥ threads; a starved host flattens toward 1×.
+//!
+//! `HARMONIA_LIVE_BENCH_MS` bounds the per-shape window (CI smoke-runs
+//! with a small value).
+
+use harmonia_bench::{live_measure_window, mrps, print_table, run_udp_closed_loop};
+use harmonia_core::deployment::DeploymentSpec;
+use harmonia_replication::ProtocolKind;
+
+fn main() {
+    let window = live_measure_window();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut base = None;
+    for &groups in &[1usize, 2, 4] {
+        let spec = DeploymentSpec::new()
+            .protocol(ProtocolKind::Chain)
+            .groups(groups)
+            .replicas(3);
+        let total = run_udp_closed_loop(&spec, 4 * groups, 0.05, 256, window);
+        let base_v = *base.get_or_insert(total);
+        rows.push(vec![
+            groups.to_string(),
+            (4 * groups).to_string(),
+            mrps(total),
+            format!("{:.2}x", total / base_v.max(1e-9)),
+        ]);
+    }
+    print_table(
+        &format!("UDP scale-out (closed loop, 5% writes, host_cores={cores})"),
+        "scales with groups when cores >= threads, below the channel \
+         driver's rate by the kernel's per-datagram cost",
+        &["groups", "clients", "total_mrps", "vs_1_group"],
+        &rows,
+    );
+}

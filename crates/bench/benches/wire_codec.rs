@@ -1,0 +1,156 @@
+//! Wire-codec microbenchmarks: encode/decode round-trip cost per packet
+//! variant.
+//!
+//! The UDP driver pays this codec on every datagram, so its per-packet cost
+//! bounds the driver's attainable rate the same way the switch emulation's
+//! nanoseconds bound the sim's. Requests/replies dominate the data plane;
+//! the protocol variants (chain DOWN, NOPaxos SEQUENCED) dominate
+//! replica↔replica traffic.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmonia_replication::messages::{ChainMsg, NopaxosMsg, ProtocolMsg, WriteOp};
+use harmonia_types::wire::{decode_frame, encode_frame};
+use harmonia_types::{
+    ClientId, ClientReply, ClientRequest, ControlMsg, NodeId, ObjectId, Packet, PacketBody,
+    ReplicaId, RequestId, SwitchId, SwitchSeq, WriteCompletion, WriteOutcome,
+};
+
+type Pkt = Packet<ProtocolMsg>;
+
+fn op() -> WriteOp {
+    WriteOp {
+        seq: SwitchSeq::new(SwitchId(1), 42),
+        obj: ObjectId::from_key(b"bench-key"),
+        key: Bytes::from_static(b"bench-key"),
+        value: Bytes::from(vec![0x5au8; 128]),
+        client: ClientId(7),
+        request: RequestId(99),
+    }
+}
+
+fn variants() -> Vec<(&'static str, Pkt)> {
+    let src = NodeId::Client(ClientId(7));
+    let dst = NodeId::Switch(SwitchId(1));
+    let mut write = ClientRequest::write(
+        ClientId(7),
+        RequestId(99),
+        &b"bench-key"[..],
+        vec![0x5au8; 128],
+    );
+    write.seq = Some(SwitchSeq::new(SwitchId(1), 42));
+    let reply = ClientReply {
+        client: ClientId(7),
+        from: ReplicaId(2),
+        request: RequestId(99),
+        obj: ObjectId::from_key(b"bench-key"),
+        value: None,
+        write_outcome: Some(WriteOutcome::Committed),
+        completion: Some(WriteCompletion {
+            obj: ObjectId::from_key(b"bench-key"),
+            seq: SwitchSeq::new(SwitchId(1), 42),
+        }),
+    };
+    vec![
+        (
+            "request_read",
+            Packet::new(
+                src,
+                dst,
+                PacketBody::Request(ClientRequest::read(
+                    ClientId(7),
+                    RequestId(98),
+                    &b"bench-key"[..],
+                )),
+            ),
+        ),
+        (
+            "request_write_128B",
+            Packet::new(src, dst, PacketBody::Request(write)),
+        ),
+        (
+            "reply_with_completion",
+            Packet::new(dst, src, PacketBody::Reply(reply)),
+        ),
+        (
+            "completion",
+            Packet::new(
+                NodeId::Replica(ReplicaId(2)),
+                dst,
+                PacketBody::Completion(WriteCompletion {
+                    obj: ObjectId::from_key(b"bench-key"),
+                    seq: SwitchSeq::new(SwitchId(1), 42),
+                }),
+            ),
+        ),
+        (
+            "protocol_chain_down",
+            Packet::new(
+                NodeId::Replica(ReplicaId(0)),
+                NodeId::Replica(ReplicaId(1)),
+                PacketBody::Protocol(ProtocolMsg::Chain(ChainMsg::Down(op()))),
+            ),
+        ),
+        (
+            "protocol_nopaxos_sequenced",
+            Packet::new(
+                dst,
+                NodeId::Replica(ReplicaId(1)),
+                PacketBody::Protocol(ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced {
+                    session: 1,
+                    oum_seq: 42,
+                    op: op(),
+                })),
+            ),
+        ),
+        (
+            "control_set_replicas",
+            Packet::new(
+                NodeId::Controller,
+                dst,
+                PacketBody::Control(ControlMsg::SetReplicas(vec![
+                    ReplicaId(0),
+                    ReplicaId(1),
+                    ReplicaId(2),
+                ])),
+            ),
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_encode");
+    for (name, pkt) in variants() {
+        g.bench_function(name, |b| {
+            b.iter(|| encode_frame(black_box(&pkt)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_decode");
+    for (name, pkt) in variants() {
+        let frame = encode_frame(&pkt).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| decode_frame::<Pkt>(black_box(&frame)).unwrap().unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_roundtrip");
+    for (name, pkt) in variants() {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let frame = encode_frame(black_box(&pkt)).unwrap();
+                decode_frame::<Pkt>(&frame).unwrap().unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_roundtrip);
+criterion_main!(benches);

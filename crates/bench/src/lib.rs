@@ -315,13 +315,61 @@ pub fn run_live_closed_loop(
     keys_per_client: usize,
     duration: std::time::Duration,
 ) -> f64 {
+    let live = cluster.spawn_live();
+    let total = drive_closed_loop(
+        cluster,
+        || live.client(),
+        clients,
+        write_ratio,
+        keys_per_client,
+        duration,
+    );
+    live.shutdown();
+    total
+}
+
+/// [`run_live_closed_loop`] over the UDP driver: identical workload and
+/// client threads, but every packet crosses a loopback `UdpSocket` through
+/// the wire codec — the `udp_scaleout` bench sweeps this against the
+/// channel driver's numbers (the gap is the kernel's per-datagram cost).
+pub fn run_udp_closed_loop(
+    cluster: &DeploymentSpec,
+    clients: usize,
+    write_ratio: f64,
+    keys_per_client: usize,
+    duration: std::time::Duration,
+) -> f64 {
+    let udp = cluster.spawn_udp();
+    let total = drive_closed_loop(
+        cluster,
+        || udp.client(),
+        clients,
+        write_ratio,
+        keys_per_client,
+        duration,
+    );
+    udp.shutdown();
+    total
+}
+
+/// The shared measurement: bootstrap every group's fast path, then hammer
+/// the deployment from `clients` threads until the deadline. The client
+/// factory is the only driver-specific piece (both threaded drivers hand
+/// out the same transport-generic `LiveClient`).
+fn drive_closed_loop(
+    cluster: &DeploymentSpec,
+    make_client: impl Fn() -> harmonia_core::live::LiveClient,
+    clients: usize,
+    write_ratio: f64,
+    keys_per_client: usize,
+    duration: std::time::Duration,
+) -> f64 {
     use harmonia_core::deployment::KvClient as _;
 
-    let live = cluster.spawn_live();
     // Arm every group's fast path with one committed write (§5.3 rule),
     // exactly as `run_open_loop` does for the sim.
     if cluster.harmonia {
-        let mut warm = live.client();
+        let mut warm = make_client();
         for key in cluster.group_covering_keys() {
             warm.set(key, "1").expect("bootstrap write");
         }
@@ -329,7 +377,7 @@ pub fn run_live_closed_loop(
     let deadline = std::time::Instant::now() + duration;
     let workers: Vec<_> = (0..clients)
         .map(|c| {
-            let mut client = live.client();
+            let mut client = make_client();
             let keys: Vec<Bytes> = (0..keys_per_client)
                 .map(|k| Bytes::from(format!("c{c}-key-{k}")))
                 .collect();
@@ -355,7 +403,6 @@ pub fn run_live_closed_loop(
         })
         .collect();
     let done: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
-    live.shutdown();
     done as f64 / duration.as_secs_f64() / 1e6
 }
 

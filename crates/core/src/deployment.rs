@@ -21,9 +21,11 @@
 //!   [`switch_memory_bytes`](Cluster::switch_memory_bytes)), and closed-loop
 //!   scenario driving ([`run_plans`](Cluster::run_plans)).
 //! * [`DeploymentSpec::build_sim`] returns the deterministic-sim
-//!   implementation ([`SimCluster`]); [`DeploymentSpec::spawn_live`] returns
-//!   the threaded one ([`LiveCluster`]). Tests can
-//!   hold either as `Box<dyn Cluster>` and never care which.
+//!   implementation ([`SimCluster`]); [`DeploymentSpec::spawn_live`] the
+//!   threaded one ([`LiveCluster`]); [`DeploymentSpec::spawn_udp`] the
+//!   datagram one ([`UdpCluster`], every packet on a real `UdpSocket`).
+//!   Tests can hold any of the three as `Box<dyn Cluster>` and never care
+//!   which.
 
 use bytes::Bytes;
 use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
@@ -43,6 +45,7 @@ use crate::live::{LiveCluster, LiveError};
 use crate::msg::{CostModel, Msg};
 use crate::replica_actor::ReplicaActor;
 use crate::switch_actor::{SwitchActor, SwitchActorConfig, SwitchMode};
+use crate::udp::UdpCluster;
 
 /// Full description of a Harmonia deployment, for either driver.
 ///
@@ -335,6 +338,16 @@ impl DeploymentSpec {
     /// Spawn this deployment on OS threads (the live driver).
     pub fn spawn_live(&self) -> LiveCluster {
         LiveCluster::new(self)
+    }
+
+    /// Spawn this deployment over real UDP loopback sockets (the datagram
+    /// driver): same threads and packet-handling logic as
+    /// [`spawn_live`](Self::spawn_live), but every packet crosses a
+    /// `UdpSocket` through the wire codec, and the spec's
+    /// [`link`](Self::link) fault probabilities are injected at the client
+    /// and switch sockets (see [`UdpCluster`]).
+    pub fn spawn_udp(&self) -> UdpCluster {
+        UdpCluster::new(self)
     }
 }
 

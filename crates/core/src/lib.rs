@@ -25,6 +25,10 @@
 //!   data plane is parallel: one pipeline thread per replica group, each
 //!   exclusively owning that group's [`switch_actor::GroupCore`], behind a
 //!   stateless shard-routing spine — no lock on the packet path.
+//! * [`udp`] runs those same threads over real `UdpSocket` loopback
+//!   datagrams ([`DeploymentSpec::spawn_udp`]): the `harmonia-net`
+//!   transport, the wire codec on every hop, and seeded loss/duplication/
+//!   reordering at the socket boundary.
 
 pub mod client;
 pub mod deployment;
@@ -33,6 +37,7 @@ pub mod live;
 pub mod msg;
 pub mod replica_actor;
 pub mod switch_actor;
+pub mod udp;
 
 pub use client::{ClosedLoopClient, OpSpec, OpenLoopClient, OpenLoopConfig, RecordedOp};
 pub use deployment::{Cluster, DeploymentSpec, KvClient, SimCluster};
@@ -40,3 +45,4 @@ pub use live::{LiveClient, LiveCluster, LiveError};
 pub use msg::{CostModel, Msg};
 pub use replica_actor::ReplicaActor;
 pub use switch_actor::{GroupCore, SwitchActor, SwitchCore, SwitchMode};
+pub use udp::UdpCluster;

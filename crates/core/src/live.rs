@@ -69,11 +69,105 @@ use crate::deployment::{Cluster, DeploymentSpec, KvClient};
 use crate::msg::Msg;
 use crate::switch_actor::{GroupCore, SwitchCore};
 
-enum Envelope {
+/// What a node-loop can be handed: a data-plane packet or a control-plane
+/// verb from its own driver. The channel driver multiplexes these on one
+/// channel; the UDP driver splits them (packets on the socket, control on a
+/// side channel) — [`NodeLink`] hides the difference.
+pub(crate) enum Envelope {
     Packet(Msg),
     /// Ask the receiving pipeline for a snapshot of its group's state.
     Inspect(Sender<GroupObservation>),
     Stop,
+}
+
+/// Per-attempt client reply deadline — one value for both threaded
+/// drivers, so their retry envelopes can never drift apart.
+pub(crate) const CLIENT_TIMEOUT: StdDuration = StdDuration::from_millis(200);
+
+/// Client retry budget (attempts = retries + 1), shared likewise.
+pub(crate) const CLIENT_RETRIES: u32 = 5;
+
+/// How long the control plane waits for a pipeline's Inspect answer.
+pub(crate) const INSPECT_TIMEOUT: StdDuration = StdDuration::from_secs(10);
+
+/// Snapshot one pipeline's group state over its control channel (stats
+/// inspection) — rig-agnostic: any driver whose pipelines drain
+/// [`Envelope`]s can be observed this way.
+pub(crate) fn observe_pipeline(ctl: &Sender<Envelope>) -> Option<GroupObservation> {
+    let (otx, orx) = bounded(1);
+    ctl.send(Envelope::Inspect(otx)).ok()?;
+    orx.recv_timeout(INSPECT_TIMEOUT).ok()
+}
+
+/// Snapshot every pipeline and fold into the aggregate-only view. The
+/// inspects fan out first, so the fleet answers concurrently.
+pub(crate) fn observe_fleet<'a>(
+    ctls: impl Iterator<Item = &'a Sender<Envelope>>,
+) -> Option<SpineView> {
+    let mut pending = Vec::new();
+    for ctl in ctls {
+        let (otx, orx) = bounded(1);
+        ctl.send(Envelope::Inspect(otx)).ok()?;
+        pending.push(orx);
+    }
+    let mut observations = Vec::with_capacity(pending.len());
+    for orx in pending {
+        observations.push(orx.recv_timeout(INSPECT_TIMEOUT).ok()?);
+    }
+    Some(SpineView::new(observations))
+}
+
+/// Why a [`NodeLink::recv`] returned nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LinkError {
+    /// Nothing arrived within the deadline.
+    TimedOut,
+    /// The link can never deliver again (driver shut down).
+    Closed,
+}
+
+/// One node's connection to its deployment, whatever the substrate.
+///
+/// Everything that *handles* packets — the per-group switch pipelines
+/// ([`pipeline_main`]), the replica loops ([`replica_main`]), and the
+/// [`LiveClient`] retry loop — is written against this trait, so the
+/// channel driver and the UDP driver share all packet-handling logic and
+/// differ only in how bytes move: an in-process channel behind the
+/// copy-on-write [`Router`], or a `UdpSocket` behind the deployment's
+/// [`AddrBook`](harmonia_net::AddrBook).
+pub(crate) trait NodeLink: Send {
+    /// Send `msg` toward `to`. Never blocks on the receiver; undeliverable
+    /// packets are dropped (clients retry — that is the reliability layer).
+    fn send(&mut self, to: NodeId, msg: Msg);
+
+    /// Wait up to `timeout` for the next envelope.
+    fn recv(&mut self, timeout: StdDuration) -> Result<Envelope, LinkError>;
+
+    /// Drain without blocking (the pipelines' batched drain).
+    fn try_recv(&mut self) -> Option<Envelope>;
+}
+
+/// The channel driver's link: a [`RouterHandle`] out, a channel in.
+struct ChannelLink {
+    router: RouterHandle,
+    rx: Receiver<Envelope>,
+}
+
+impl NodeLink for ChannelLink {
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        self.router.send(to, msg);
+    }
+
+    fn recv(&mut self, timeout: StdDuration) -> Result<Envelope, LinkError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => LinkError::TimedOut,
+            RecvTimeoutError::Disconnected => LinkError::Closed,
+        })
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
 }
 
 /// Where a destination's packets go.
@@ -96,23 +190,21 @@ struct SpinePlan {
 
 impl SpinePlan {
     fn route(&self, msg: Msg) {
-        let g = match &msg.body {
-            PacketBody::Request(req) => self.shards.shard_of(req.obj),
-            PacketBody::Reply(reply) => self.shards.shard_of(reply.obj),
-            PacketBody::Completion(c) => self.shards.shard_of(c.obj),
+        let g = match msg.body.object() {
+            Some(obj) => self.shards.shard_of(obj),
             // Membership changes carry a replica, not an object, and only
             // the pipelines know where a replica currently lives — so the
             // stateless spine broadcasts, and each group's core applies
             // only the changes addressed to it (`GroupCore::handle_control`
             // is membership-guarded).
-            PacketBody::Control(_) => {
+            None if matches!(msg.body, PacketBody::Control(_)) => {
                 for tx in &self.groups {
                     let _ = tx.send(Envelope::Packet(msg.clone()));
                 }
                 return;
             }
             // Plain L2/L3 forwarding has no object; any pipeline can do it.
-            PacketBody::Protocol(_) => 0,
+            None => 0,
         };
         if let Some(tx) = self.groups.get(g as usize) {
             let _ = tx.send(Envelope::Packet(msg));
@@ -205,11 +297,12 @@ impl std::fmt::Display for LiveError {
 
 impl std::error::Error for LiveError {}
 
-/// A synchronous client handle onto a live cluster.
+/// A synchronous client handle onto a live deployment — threaded-channel or
+/// UDP; the retry loop is identical, only the link substrate underneath
+/// differs.
 pub struct LiveClient {
     id: ClientId,
-    router: RouterHandle,
-    rx: Receiver<Envelope>,
+    link: Box<dyn NodeLink>,
     switch: NodeId,
     write_replies: usize,
     timeout: StdDuration,
@@ -218,6 +311,25 @@ pub struct LiveClient {
 }
 
 impl LiveClient {
+    /// Assemble a client over any link (driver plumbing).
+    pub(crate) fn over_link(
+        id: ClientId,
+        link: Box<dyn NodeLink>,
+        switch: NodeId,
+        write_replies: usize,
+        timeout: StdDuration,
+        retries: u32,
+    ) -> Self {
+        LiveClient {
+            id,
+            link,
+            switch,
+            write_replies,
+            timeout,
+            retries,
+            next_request: 0,
+        }
+    }
     /// Read `key`, blocking until the reply (with retry).
     pub fn get(&mut self, key: impl Into<Bytes>) -> Result<Option<Bytes>, LiveError> {
         let key = key.into();
@@ -256,7 +368,7 @@ impl LiveClient {
                     value.clone().unwrap_or_default(),
                 ),
             };
-            self.router.send(
+            self.link.send(
                 self.switch,
                 Msg::new(
                     NodeId::Client(self.id),
@@ -296,7 +408,7 @@ impl LiveClient {
             if now >= deadline {
                 return Ok(None);
             }
-            match self.rx.recv_timeout(deadline - now) {
+            match self.link.recv(deadline - now) {
                 Ok(Envelope::Packet(msg)) => {
                     let PacketBody::Reply(reply) = msg.body else {
                         continue;
@@ -322,8 +434,8 @@ impl LiveClient {
                 }
                 Ok(Envelope::Inspect(_)) => continue, // not a pipeline
                 Ok(Envelope::Stop) => return Err(LiveError::Disconnected),
-                Err(RecvTimeoutError::Timeout) => return Ok(None),
-                Err(RecvTimeoutError::Disconnected) => return Err(LiveError::Disconnected),
+                Err(LinkError::TimedOut) => return Ok(None),
+                Err(LinkError::Closed) => return Err(LiveError::Disconnected),
             }
         }
     }
@@ -399,10 +511,13 @@ impl LiveRig {
         for core in cores {
             let group = core.group();
             let (tx, rx) = unbounded::<Envelope>();
-            let router = self.router.handle();
+            let link = ChannelLink {
+                router: self.router.handle(),
+                rx,
+            };
             let join = std::thread::Builder::new()
                 .name(format!("harmonia-switch-{}-g{}", incarnation.0, group.0))
-                .spawn(move || pipeline_main(core, rx, router, me, sweep))
+                .spawn(move || pipeline_main(core, link, me, sweep))
                 .expect("spawn switch pipeline thread");
             ingress.push(tx.clone());
             pipelines.push(Pipeline { group, tx, join });
@@ -425,12 +540,15 @@ impl LiveRig {
         let me = NodeId::Replica(group.me);
         let (tx, rx) = unbounded::<Envelope>();
         self.router.register(me, tx.clone());
-        let router = self.router.handle();
+        let link = ChannelLink {
+            router: self.router.handle(),
+            rx,
+        };
         self.replica_ids.push(group.me);
         let name = format!("harmonia-replica-{}", group.me.0);
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || replica_main(me, build_replica(group), rx, router))
+            .spawn(move || replica_main(me, build_replica(group), link))
             .expect("spawn replica thread");
         self.replica_threads.push((tx, handle));
     }
@@ -453,26 +571,13 @@ impl LiveRig {
     fn observe_group(&self, group: GroupId) -> Option<GroupObservation> {
         let fleet = self.switch.as_ref()?;
         let p = fleet.pipelines.iter().find(|p| p.group == group)?;
-        let (otx, orx) = bounded(1);
-        p.tx.send(Envelope::Inspect(otx)).ok()?;
-        orx.recv_timeout(StdDuration::from_secs(10)).ok()
+        observe_pipeline(&p.tx)
     }
 
-    /// Snapshot every pipeline and fold into the aggregate-only view. The
-    /// inspects fan out first, so the fleet answers concurrently.
+    /// Snapshot every pipeline and fold into the aggregate-only view.
     fn observe(&self) -> Option<SpineView> {
         let fleet = self.switch.as_ref()?;
-        let mut pending = Vec::with_capacity(fleet.pipelines.len());
-        for p in &fleet.pipelines {
-            let (otx, orx) = bounded(1);
-            p.tx.send(Envelope::Inspect(otx)).ok()?;
-            pending.push(orx);
-        }
-        let mut observations = Vec::with_capacity(pending.len());
-        for orx in pending {
-            observations.push(orx.recv_timeout(StdDuration::from_secs(10)).ok()?);
-        }
-        Some(SpineView::new(observations))
+        observe_fleet(fleet.pipelines.iter().map(|p| &p.tx))
     }
 
     /// Configuration service: move every replica's lease to `new_id`.
@@ -497,16 +602,18 @@ impl LiveRig {
         let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = bounded::<Envelope>(1024);
         self.router.register(NodeId::Client(id), tx);
-        LiveClient {
-            id,
+        let link = ChannelLink {
             router: self.router.handle(),
             rx,
-            switch: self.switch_addr,
-            write_replies: self.write_replies,
-            timeout: StdDuration::from_millis(200),
-            retries: 5,
-            next_request: 0,
-        }
+        };
+        LiveClient::over_link(
+            id,
+            Box::new(link),
+            self.switch_addr,
+            self.write_replies,
+            CLIENT_TIMEOUT,
+            CLIENT_RETRIES,
+        )
     }
 
     fn shutdown_in_place(&mut self) {
@@ -521,11 +628,12 @@ impl LiveRig {
 }
 
 /// A per-group pipeline: exclusively owns one group's switch state, drains
-/// its ingress in batches, and sweeps stale dirty entries when idle.
-fn pipeline_main(
+/// its ingress in batches, and sweeps stale dirty entries when idle. Generic
+/// over the [`NodeLink`]: the same loop serves the channel driver and the
+/// UDP driver.
+pub(crate) fn pipeline_main(
     mut core: GroupCore,
-    rx: Receiver<Envelope>,
-    mut router: RouterHandle,
+    mut link: impl NodeLink,
     me: NodeId,
     sweep: StdDuration,
 ) {
@@ -534,13 +642,13 @@ fn pipeline_main(
     );
     let mut out: Vec<(NodeId, Msg)> = Vec::new();
     loop {
-        let mut next = match rx.recv_timeout(sweep) {
+        let mut next = match link.recv(sweep) {
             Ok(env) => env,
-            Err(RecvTimeoutError::Timeout) => {
+            Err(LinkError::TimedOut) => {
                 core.sweep();
                 continue;
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(LinkError::Closed) => return,
         };
         // Batched drain: process everything already queued before flushing
         // any output, amortizing downstream wakeups across the batch.
@@ -552,18 +660,18 @@ fn pipeline_main(
                 }
                 Envelope::Stop => {
                     for (dst, m) in out.drain(..) {
-                        router.send(dst, m);
+                        link.send(dst, m);
                     }
                     return;
                 }
             }
-            match rx.try_recv() {
-                Ok(env) => next = env,
-                Err(_) => break,
+            match link.try_recv() {
+                Some(env) => next = env,
+                None => break,
             }
         }
         for (dst, m) in out.drain(..) {
-            router.send(dst, m);
+            link.send(dst, m);
         }
     }
 }
@@ -719,62 +827,66 @@ impl Cluster for LiveCluster {
     }
 
     fn run_plans(&mut self, plans: Vec<Vec<OpSpec>>) -> Vec<Vec<RecordedOp>> {
-        // One thread per plan, all sharing one wall-clock epoch so the
-        // recorded intervals are mutually comparable (real-time order is
-        // what the linearizability checker needs).
-        let epoch = StdInstant::now();
-        let handles: Vec<_> = plans
-            .into_iter()
-            .map(|plan| {
-                let mut client = self.rig.client();
-                std::thread::spawn(move || {
-                    let stamp = |at: StdInstant| {
-                        Instant::ZERO
-                            + Duration::from_nanos(at.duration_since(epoch).as_nanos() as u64)
-                    };
-                    let mut records = Vec::with_capacity(plan.len());
-                    for op in plan {
-                        // Keys and values move by refcount from the plan
-                        // into the request and the record — the hot loop
-                        // allocates nothing per op.
-                        let invoked = StdInstant::now();
-                        let (result, ok) = match op.kind {
-                            OpKind::Read => match client.get(op.key.clone()) {
-                                Ok(v) => (v, true),
-                                Err(_) => (None, false),
-                            },
-                            OpKind::Write => {
-                                let value = op.value.clone().unwrap_or_default();
-                                (None, client.set(op.key.clone(), value).is_ok())
-                            }
-                        };
-                        records.push(RecordedOp {
-                            kind: op.kind,
-                            key: op.key,
-                            value: op.value,
-                            invoked: stamp(invoked),
-                            completed: stamp(StdInstant::now()),
-                            result,
-                            ok,
-                        });
-                    }
-                    records
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("plan thread panicked"))
-            .collect()
+        run_plans_threaded(|| self.rig.client(), plans)
     }
 }
 
-fn replica_main(
-    me: NodeId,
-    mut replica: Box<dyn Replica>,
-    rx: Receiver<Envelope>,
-    mut router: RouterHandle,
-) {
+/// Closed-loop plan execution on real threads, shared by every threaded
+/// driver (channels or UDP): one thread per plan, all sharing one
+/// wall-clock epoch so the recorded intervals are mutually comparable
+/// (real-time order is what the linearizability checker needs).
+pub(crate) fn run_plans_threaded(
+    mut make_client: impl FnMut() -> LiveClient,
+    plans: Vec<Vec<OpSpec>>,
+) -> Vec<Vec<RecordedOp>> {
+    let epoch = StdInstant::now();
+    let handles: Vec<_> = plans
+        .into_iter()
+        .map(|plan| {
+            let mut client = make_client();
+            std::thread::spawn(move || {
+                let stamp = |at: StdInstant| {
+                    Instant::ZERO + Duration::from_nanos(at.duration_since(epoch).as_nanos() as u64)
+                };
+                let mut records = Vec::with_capacity(plan.len());
+                for op in plan {
+                    // Keys and values move by refcount from the plan
+                    // into the request and the record — the hot loop
+                    // allocates nothing per op.
+                    let invoked = StdInstant::now();
+                    let (result, ok) = match op.kind {
+                        OpKind::Read => match client.get(op.key.clone()) {
+                            Ok(v) => (v, true),
+                            Err(_) => (None, false),
+                        },
+                        OpKind::Write => {
+                            let value = op.value.clone().unwrap_or_default();
+                            (None, client.set(op.key.clone(), value).is_ok())
+                        }
+                    };
+                    records.push(RecordedOp {
+                        kind: op.kind,
+                        key: op.key,
+                        value: op.value,
+                        invoked: stamp(invoked),
+                        completed: stamp(StdInstant::now()),
+                        result,
+                        ok,
+                    });
+                }
+                records
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("plan thread panicked"))
+        .collect()
+}
+
+/// A replica's event loop — deliver packets, drive ticks. Generic over the
+/// [`NodeLink`]: the same loop serves the channel driver and the UDP driver.
+pub(crate) fn replica_main(me: NodeId, mut replica: Box<dyn Replica>, mut link: impl NodeLink) {
     let tick = replica.tick_interval().map(|d| d.to_std());
     let mut next_tick = tick.map(|t| StdInstant::now() + t);
     loop {
@@ -782,7 +894,7 @@ fn replica_main(
             Some(at) => at.saturating_duration_since(StdInstant::now()),
             None => StdDuration::from_millis(50),
         };
-        match rx.recv_timeout(wait) {
+        match link.recv(wait) {
             Ok(Envelope::Packet(msg)) => {
                 let mut fx = Effects::new();
                 match msg.body {
@@ -791,20 +903,20 @@ fn replica_main(
                     _ => {}
                 }
                 for (dst, body) in fx.out {
-                    router.send(dst, Msg::new(me, dst, body));
+                    link.send(dst, Msg::new(me, dst, body));
                 }
             }
             Ok(Envelope::Inspect(_)) => {}
             Ok(Envelope::Stop) => break,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(LinkError::TimedOut) => {}
+            Err(LinkError::Closed) => break,
         }
         if let (Some(at), Some(iv)) = (next_tick, tick) {
             if StdInstant::now() >= at {
                 let mut fx = Effects::new();
                 replica.on_tick(&mut fx);
                 for (dst, body) in fx.out {
-                    router.send(dst, Msg::new(me, dst, body));
+                    link.send(dst, Msg::new(me, dst, body));
                 }
                 next_tick = Some(StdInstant::now() + iv);
             }

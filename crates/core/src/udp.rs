@@ -1,0 +1,618 @@
+//! The UDP driver: the same state machines, every byte on a real socket.
+//!
+//! This is the third deployment shape behind the [`Cluster`] trait
+//! ([`DeploymentSpec::spawn_udp`]): node threads identical to the threaded
+//! live driver — per-group switch pipelines, replica loops, the
+//! [`LiveClient`] retry loop — but connected by `std::net::UdpSocket`
+//! loopback datagrams instead of in-process channels. Every packet is
+//! encoded through the `harmonia-types` wire codec into exactly one
+//! datagram, so the codec is exercised against a peer that can hand it
+//! truncated, duplicated, reordered, or garbage bytes: the OUM envelope the
+//! paper's deployment actually assumes (§4, §6).
+//!
+//! # Plumbing, not logic
+//!
+//! All packet-handling logic lives in [`crate::live`] behind the `NodeLink`
+//! abstraction; this module only provides the transport plumbing:
+//!
+//! * The spine stays a **sender-side** route: the deployment's
+//!   [`AddrBook`] maps the stable switch address (and the live
+//!   incarnation's id) to the per-group pipeline sockets, and resolving a
+//!   send performs the `ShardMap` lookup on the sending thread — no
+//!   intermediate hop, exactly like the channel driver's `SpinePlan`.
+//! * Driver control verbs (pipeline inspection, stop) ride a crossbeam side
+//!   channel per thread; only data-plane packets cross the sockets.
+//!
+//! # Fault injection at the socket boundary
+//!
+//! The spec's [`LinkConfig`](harmonia_sim::LinkConfig) fault probabilities
+//! (`drop_prob`, `duplicate_prob`, `reorder_prob`) are honoured here too:
+//! every socket is wrapped in a seeded [`FaultyTransport`], except that
+//! replica endpoints exempt their sends *to other replicas* — so the
+//! client↔switch and switch↔replica legs face the adversary in **both**
+//! directions (requests, forwards, replies, completions) while
+//! replica↔replica channels stay clean, the same envelope the simulator's
+//! §5.2 fault sweeps preserve (those channels are TCP in any real chain/PB
+//! deployment, and in-order write propagation depends on them). Latency
+//! and jitter fields are ignored: the kernel's loopback timing is the real
+//! thing.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use harmonia_net::{
+    AddrBook, FaultConfig, FaultCounters, FaultyTransport, RecvError, Transport, UdpTransport,
+};
+use harmonia_replication::build_replica;
+use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
+use harmonia_switch::{GroupId, GroupObservation, SpineView, SwitchStats};
+use harmonia_types::{ClientId, NodeId, PacketBody, ReplicaId, SwitchId};
+
+use crate::client::{OpSpec, RecordedOp};
+use crate::deployment::{Cluster, DeploymentSpec, KvClient};
+use crate::live::{
+    observe_fleet, observe_pipeline, pipeline_main, replica_main, run_plans_threaded, Envelope,
+    LinkError, LiveClient, NodeLink, CLIENT_RETRIES, CLIENT_TIMEOUT,
+};
+use crate::msg::Msg;
+use crate::switch_actor::SwitchCore;
+
+/// A boxed datagram endpoint carrying deployment packets.
+type Net = Box<dyn Transport<ProtocolMsg>>;
+
+/// How often a socket-bound node loop checks its driver side channel while
+/// blocked on the socket.
+const CTL_POLL: StdDuration = StdDuration::from_millis(1);
+
+/// Which sends of an endpoint face the spec's fault model.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Faults {
+    /// Every send (clients, switch pipelines).
+    All,
+    /// Every send except those addressed to replicas — a replica's replies
+    /// and completions face the network, its replica↔replica channel does
+    /// not (the §5.2 reliable-FIFO envelope).
+    SparingReplicas,
+    /// No faults ever (the configuration service).
+    None,
+}
+
+/// The UDP substrate's `NodeLink`: data-plane packets on the socket, driver
+/// control verbs on a crossbeam side channel. Links without a driver side
+/// channel (clients) block on the socket for the full timeout instead of
+/// polling in `CTL_POLL` slices.
+struct UdpLink {
+    transport: Net,
+    ctl: Receiver<Envelope>,
+    has_ctl: bool,
+}
+
+impl NodeLink for UdpLink {
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        self.transport.send(to, msg);
+    }
+
+    fn recv(&mut self, timeout: StdDuration) -> Result<Envelope, LinkError> {
+        let deadline = StdInstant::now() + timeout;
+        loop {
+            if self.has_ctl {
+                if let Ok(env) = self.ctl.try_recv() {
+                    return Ok(env);
+                }
+            }
+            let remaining = deadline.saturating_duration_since(StdInstant::now());
+            if remaining.is_zero() {
+                return Err(LinkError::TimedOut);
+            }
+            let slice = if self.has_ctl {
+                remaining.min(CTL_POLL)
+            } else {
+                remaining
+            };
+            match self.transport.recv_timeout(slice) {
+                Ok(pkt) => return Ok(Envelope::Packet(pkt)),
+                Err(RecvError::TimedOut) => {}
+                Err(RecvError::Closed) => return Err(LinkError::Closed),
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<Envelope> {
+        if self.has_ctl {
+            if let Ok(env) = self.ctl.try_recv() {
+                return Some(env);
+            }
+        }
+        // Zero timeout = nonblocking socket poll (the pipelines' batched
+        // drain pulls everything already queued in the kernel).
+        self.transport
+            .recv_timeout(StdDuration::ZERO)
+            .ok()
+            .map(Envelope::Packet)
+    }
+}
+
+/// One pipeline thread of the UDP switch fleet.
+struct UdpPipeline {
+    group: GroupId,
+    ctl: Sender<Envelope>,
+    join: JoinHandle<()>,
+}
+
+/// The whole switch of one incarnation.
+struct UdpFleet {
+    incarnation: SwitchId,
+    pipelines: Vec<UdpPipeline>,
+}
+
+/// Driver plumbing: address book, switch fleet, replica threads.
+struct UdpRig {
+    book: Arc<AddrBook>,
+    switch_addr: NodeId,
+    write_replies: usize,
+    sweep: StdDuration,
+    faults: FaultConfig,
+    fault_counters: Arc<FaultCounters>,
+    /// Base for per-transport fault-RNG seeds (from the spec's seed).
+    fault_seed: u64,
+    /// Distinct deterministic stream per adversarial transport.
+    fault_streams: AtomicU64,
+    replica_ids: Vec<ReplicaId>,
+    replica_threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
+    switch: Option<UdpFleet>,
+    next_client: AtomicU32,
+}
+
+impl UdpRig {
+    fn new(spec: &DeploymentSpec) -> Self {
+        UdpRig {
+            book: Arc::new(AddrBook::new()),
+            switch_addr: spec.switch_addr(),
+            write_replies: spec.write_replies(),
+            sweep: spec
+                .sweep_interval
+                .map(|d| d.to_std())
+                .unwrap_or(StdDuration::from_millis(10)),
+            faults: FaultConfig {
+                drop_prob: spec.link.drop_prob,
+                duplicate_prob: spec.link.duplicate_prob,
+                reorder_prob: spec.link.reorder_prob,
+            },
+            fault_counters: Arc::new(FaultCounters::default()),
+            fault_seed: spec.seed,
+            fault_streams: AtomicU64::new(0),
+            replica_ids: Vec::new(),
+            replica_threads: Vec::new(),
+            switch: None,
+            next_client: AtomicU32::new(1),
+        }
+    }
+
+    /// Bind a fresh loopback endpoint under the given fault policy.
+    fn endpoint(&self, faults: Faults) -> (Net, std::net::SocketAddr) {
+        let t = UdpTransport::bind(Arc::clone(&self.book)).expect("bind loopback UDP socket");
+        let addr = t.local_addr();
+        if matches!(faults, Faults::None) || self.faults.is_noop() {
+            return (Box::new(t), addr);
+        }
+        let stream = self.fault_streams.fetch_add(1, Ordering::Relaxed);
+        let seed = self
+            .fault_seed
+            .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let faulty = FaultyTransport::new(t, self.faults, seed, Arc::clone(&self.fault_counters));
+        let net: Net = match faults {
+            Faults::All => Box::new(faulty),
+            // Replica↔replica channels keep the reliable-FIFO envelope
+            // in-order write propagation depends on (§5.2) — only sends
+            // toward the switch and clients face the adversary.
+            Faults::SparingReplicas => {
+                Box::new(faulty.exempting(|to| matches!(to, NodeId::Replica(_))))
+            }
+            Faults::None => unreachable!(),
+        };
+        (net, addr)
+    }
+
+    /// Spawn (or re-spawn after a failure) the pipeline fleet for `core`,
+    /// one socket-owning thread per hosted group, and publish the fleet in
+    /// the address book under the stable client-facing switch address plus
+    /// the incarnation's own id (replicas reply to the lease holder).
+    fn spawn_switch(&mut self, core: SwitchCore) {
+        assert!(self.switch.is_none(), "kill the old switch first");
+        let incarnation = core.incarnation();
+        let shards = core.shard_map();
+        let cores = core.into_group_cores();
+        let me = self.switch_addr;
+        let sweep = self.sweep;
+        let mut pipelines = Vec::with_capacity(cores.len());
+        let mut sockets = Vec::with_capacity(cores.len());
+        for core in cores {
+            let group = core.group();
+            let (transport, addr) = self.endpoint(Faults::All);
+            let (ctl_tx, ctl_rx) = unbounded::<Envelope>();
+            let link = UdpLink {
+                transport,
+                ctl: ctl_rx,
+                has_ctl: true,
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("harmonia-udpsw-{}-g{}", incarnation.0, group.0))
+                .spawn(move || pipeline_main(core, link, me, sweep))
+                .expect("spawn UDP switch pipeline thread");
+            sockets.push(addr);
+            pipelines.push(UdpPipeline {
+                group,
+                ctl: ctl_tx,
+                join,
+            });
+        }
+        self.book
+            .install_spine(vec![me, NodeId::Switch(incarnation)], shards, sockets);
+        self.switch = Some(UdpFleet {
+            incarnation,
+            pipelines,
+        });
+    }
+
+    fn spawn_replica(&mut self, group: harmonia_replication::GroupConfig) {
+        let me = NodeId::Replica(group.me);
+        let (transport, addr) = self.endpoint(Faults::SparingReplicas);
+        self.book.register(me, addr);
+        let (ctl_tx, ctl_rx) = unbounded::<Envelope>();
+        let link = UdpLink {
+            transport,
+            ctl: ctl_rx,
+            has_ctl: true,
+        };
+        self.replica_ids.push(group.me);
+        let name = format!("harmonia-udprep-{}", group.me.0);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || replica_main(me, build_replica(group), link))
+            .expect("spawn UDP replica thread");
+        self.replica_threads.push((ctl_tx, handle));
+    }
+
+    /// Stop every pipeline of the fleet and wait for them. The fleet's
+    /// sockets leave the address book first, so requests already in flight
+    /// or subsequently sent to the switch vanish — clients time out and
+    /// retry, exactly the Figure 10 outage.
+    fn kill_switch(&mut self) {
+        if let Some(fleet) = self.switch.take() {
+            self.book.clear_spine();
+            for p in &fleet.pipelines {
+                let _ = p.ctl.send(Envelope::Stop);
+            }
+            for p in fleet.pipelines {
+                let _ = p.join.join();
+            }
+        }
+    }
+
+    /// Snapshot one group's pipeline state (stats inspection).
+    fn observe_group(&self, group: GroupId) -> Option<GroupObservation> {
+        let fleet = self.switch.as_ref()?;
+        let p = fleet.pipelines.iter().find(|p| p.group == group)?;
+        observe_pipeline(&p.ctl)
+    }
+
+    /// Snapshot every pipeline and fold into the aggregate-only view.
+    fn observe(&self) -> Option<SpineView> {
+        let fleet = self.switch.as_ref()?;
+        observe_fleet(fleet.pipelines.iter().map(|p| &p.ctl))
+    }
+
+    /// Configuration service: move every replica's lease to `new_id`. The
+    /// control packets cross a real (clean) socket like everything else —
+    /// but even a clean loopback socket can lose a datagram to a full
+    /// receiver buffer under load, and a replica stranded on the old
+    /// incarnation would reject the new switch's traffic forever. The
+    /// lease is monotone (`LeaseState::set_active` ignores regressions),
+    /// so the move is retransmitted in a few spaced rounds: idempotent
+    /// best-effort, the same role the paper's configuration service plays.
+    fn move_lease(&self, new_id: SwitchId) {
+        let (mut t, _) = self.endpoint(Faults::None);
+        for round in 0..3 {
+            if round > 0 {
+                std::thread::sleep(StdDuration::from_millis(2));
+            }
+            for &r in &self.replica_ids {
+                let dst = NodeId::Replica(r);
+                t.send(
+                    dst,
+                    Msg::new(
+                        NodeId::Controller,
+                        dst,
+                        PacketBody::Protocol(ProtocolMsg::Control(
+                            ReplicaControlMsg::SetActiveSwitch(new_id),
+                        )),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn client(&self) -> LiveClient {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let (transport, addr) = self.endpoint(Faults::All);
+        self.book.register(NodeId::Client(id), addr);
+        // Clients have no driver verbs: `has_ctl: false` lets the link
+        // block on the socket for the whole reply deadline instead of
+        // polling an always-empty side channel.
+        let (_unused_tx, ctl_rx) = unbounded::<Envelope>();
+        let link = UdpLink {
+            transport,
+            ctl: ctl_rx,
+            has_ctl: false,
+        };
+        LiveClient::over_link(
+            id,
+            Box::new(link),
+            self.switch_addr,
+            self.write_replies,
+            CLIENT_TIMEOUT,
+            CLIENT_RETRIES,
+        )
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.kill_switch();
+        for (ctl, _) in &self.replica_threads {
+            let _ = ctl.send(Envelope::Stop);
+        }
+        for (_, handle) in self.replica_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A deployment whose every packet crosses a loopback `UdpSocket` — one
+/// replica group or many, exactly as its [`DeploymentSpec`] describes.
+///
+/// Same node threads and packet-handling logic as [`LiveCluster`]
+/// (`crate::live`), different substrate: datagrams that can be lost,
+/// duplicated, and reordered. The spec's `link` fault probabilities are
+/// injected at the client and switch sockets by a seeded
+/// [`FaultyTransport`]; [`fault_counts`](UdpCluster::fault_counts) reports
+/// what actually fired.
+///
+/// [`LiveCluster`]: crate::live::LiveCluster
+pub struct UdpCluster {
+    rig: UdpRig,
+    spec: DeploymentSpec,
+}
+
+impl UdpCluster {
+    /// Bind every socket and spawn every thread for `spec` (equivalently:
+    /// [`DeploymentSpec::spawn_udp`]).
+    pub fn new(spec: &DeploymentSpec) -> Self {
+        let mut rig = UdpRig::new(spec);
+        rig.spawn_switch(SwitchCore::for_deployment(spec, spec.initial_switch()));
+        for g in 0..spec.groups {
+            for i in 0..spec.replicas {
+                rig.spawn_replica(spec.group_config(g, i));
+            }
+        }
+        UdpCluster {
+            rig,
+            spec: spec.clone(),
+        }
+    }
+
+    /// The deployment's spec.
+    pub fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    /// Create a synchronous client handle on its own socket.
+    pub fn client(&self) -> LiveClient {
+        self.rig.client()
+    }
+
+    /// `(dropped, duplicated, reordered)` datagrams injected so far by the
+    /// spec's fault model — a fault harness asserts these moved, proving the
+    /// adversary actually exercised the deployment.
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        self.rig.fault_counters.snapshot()
+    }
+
+    /// §5.3 step 1: the switch fails (see
+    /// [`LiveCluster::kill_switch`](crate::live::LiveCluster::kill_switch);
+    /// here the fleet's sockets also vanish from the address book).
+    pub fn kill_switch(&mut self) {
+        self.rig.kill_switch();
+    }
+
+    /// §5.3 steps 2–3: activate a replacement fleet under `new_id` at the
+    /// same client-facing address and move every replica's lease to it.
+    pub fn replace_switch(&mut self, new_id: SwitchId) {
+        self.rig.kill_switch();
+        self.rig
+            .spawn_switch(SwitchCore::for_deployment(&self.spec, new_id));
+        self.rig.move_lease(new_id);
+    }
+
+    /// Aggregate data-plane counters of the switch (None if killed).
+    pub fn switch_stats(&self) -> Option<SwitchStats> {
+        self.rig.observe().map(|v| v.stats())
+    }
+
+    /// One group's data-plane counters.
+    pub fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
+        self.rig.observe_group(group).map(|o| o.stats)
+    }
+
+    /// Whether the switch currently issues single-replica reads (group 0).
+    pub fn fast_path_enabled(&self) -> Option<bool> {
+        self.group_fast_path_enabled(GroupId(0))
+    }
+
+    /// Whether `group`'s fast path is currently enabled.
+    pub fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
+        self.rig.observe_group(group).map(|o| o.fast_path_enabled)
+    }
+
+    /// Total dirty-set SRAM across every hosted group.
+    pub fn switch_memory_bytes(&self) -> Option<usize> {
+        self.rig.observe().map(|v| v.memory_bytes())
+    }
+
+    /// Aggregate-only view across every pipeline (per-group snapshots).
+    pub fn switch_view(&self) -> Option<SpineView> {
+        self.rig.observe()
+    }
+
+    /// The switch's incarnation id (None if killed).
+    pub fn switch_incarnation(&self) -> Option<SwitchId> {
+        self.rig.switch.as_ref().map(|f| f.incarnation)
+    }
+
+    /// Stop every thread and wait for them. (Dropping does the same.)
+    pub fn shutdown(mut self) {
+        self.rig.shutdown_in_place();
+    }
+}
+
+impl Drop for UdpCluster {
+    fn drop(&mut self) {
+        self.rig.shutdown_in_place();
+    }
+}
+
+impl Cluster for UdpCluster {
+    fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    fn client(&mut self) -> Box<dyn KvClient + '_> {
+        Box::new(UdpCluster::client(self))
+    }
+
+    fn kill_switch(&mut self) {
+        UdpCluster::kill_switch(self);
+    }
+
+    fn replace_switch(&mut self, new_id: SwitchId) {
+        UdpCluster::replace_switch(self, new_id);
+    }
+
+    fn switch_stats(&self) -> Option<SwitchStats> {
+        UdpCluster::switch_stats(self)
+    }
+
+    fn group_stats(&self, group: GroupId) -> Option<SwitchStats> {
+        UdpCluster::group_stats(self, group)
+    }
+
+    fn fast_path_enabled(&self) -> Option<bool> {
+        UdpCluster::fast_path_enabled(self)
+    }
+
+    fn group_fast_path_enabled(&self, group: GroupId) -> Option<bool> {
+        UdpCluster::group_fast_path_enabled(self, group)
+    }
+
+    fn switch_memory_bytes(&self) -> Option<usize> {
+        UdpCluster::switch_memory_bytes(self)
+    }
+
+    fn switch_incarnation(&self) -> Option<SwitchId> {
+        UdpCluster::switch_incarnation(self)
+    }
+
+    fn run_plans(&mut self, plans: Vec<Vec<OpSpec>>) -> Vec<Vec<RecordedOp>> {
+        run_plans_threaded(|| self.rig.client(), plans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use harmonia_replication::ProtocolKind;
+
+    fn roundtrip(protocol: ProtocolKind, harmonia: bool) {
+        let cluster = DeploymentSpec::new()
+            .protocol(protocol)
+            .harmonia(harmonia)
+            .spawn_udp();
+        let mut client = cluster.client();
+        assert_eq!(client.get("missing").unwrap(), None);
+        client.set("alpha", "1").unwrap();
+        client.set("beta", "2").unwrap();
+        client.set("alpha", "3").unwrap();
+        assert_eq!(client.get("alpha").unwrap(), Some(Bytes::from_static(b"3")));
+        assert_eq!(client.get("beta").unwrap(), Some(Bytes::from_static(b"2")));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn udp_chain_harmonia_roundtrip() {
+        roundtrip(ProtocolKind::Chain, true);
+    }
+
+    #[test]
+    fn udp_pb_baseline_roundtrip() {
+        roundtrip(ProtocolKind::PrimaryBackup, false);
+    }
+
+    #[test]
+    fn udp_craq_roundtrip() {
+        roundtrip(ProtocolKind::Craq, false);
+    }
+
+    #[test]
+    fn udp_vr_roundtrip() {
+        roundtrip(ProtocolKind::Vr, true);
+    }
+
+    #[test]
+    fn udp_nopaxos_roundtrip() {
+        roundtrip(ProtocolKind::Nopaxos, true);
+    }
+
+    #[test]
+    fn udp_two_clients_share_state() {
+        let cluster = DeploymentSpec::new().spawn_udp();
+        let mut a = cluster.client();
+        let mut b = cluster.client();
+        a.set("shared", "from-a").unwrap();
+        assert_eq!(
+            b.get("shared").unwrap(),
+            Some(Bytes::from_static(b"from-a"))
+        );
+        b.set("shared", "from-b").unwrap();
+        assert_eq!(
+            a.get("shared").unwrap(),
+            Some(Bytes::from_static(b"from-b"))
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn udp_sharded_roundtrip_touches_every_group() {
+        let cluster = DeploymentSpec::new().groups(4).spawn_udp();
+        let mut client = cluster.client();
+        for i in 0..40 {
+            client.set(format!("k{i}"), format!("v{i}")).unwrap();
+        }
+        for i in 0..40 {
+            assert_eq!(
+                client.get(format!("k{i}")).unwrap(),
+                Some(Bytes::from(format!("v{i}")))
+            );
+        }
+        for g in 0..4 {
+            let stats = cluster.group_stats(GroupId(g)).unwrap();
+            assert!(stats.writes_forwarded > 0, "group {g}: {stats:?}");
+        }
+        let view = cluster.switch_view().unwrap();
+        assert_eq!(view.group_count(), 4);
+        assert_eq!(view.stats(), cluster.switch_stats().unwrap());
+        cluster.shutdown();
+    }
+}

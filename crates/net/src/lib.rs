@@ -1,0 +1,43 @@
+//! Real datagram transport for Harmonia deployments.
+//!
+//! The simulator passes packets by value and the threaded live driver moves
+//! them over in-process channels; neither ever touches a socket. This crate
+//! is the third substrate: every packet is a length-prefixed wire frame
+//! ([`harmonia_types::wire`]) inside **one UDP datagram** on a loopback
+//! socket — lost, duplicated, and reordered exactly as a kernel (or the
+//! [`FaultyTransport`] adversary) pleases, which is the OUM envelope the
+//! paper's deployment actually runs in (§4, §6).
+//!
+//! Three pieces, layered:
+//!
+//! * [`AddrBook`] — the deployment's name service: `NodeId → SocketAddr`
+//!   for replicas and clients, plus the *spine* entry that makes the whole
+//!   switch fleet reachable under its stable address. Sending to a switch
+//!   address shard-routes the packet **on the sender's side** (the
+//!   deployment's [`ShardMap`](harmonia_workload::ShardMap) keyed by the
+//!   packet's object) straight to the owning group pipeline's socket — the
+//!   same stateless-spine design the threaded driver uses, expressed as
+//!   address resolution.
+//! * [`Transport`] / [`UdpTransport`] — one endpoint: a bound
+//!   `std::net::UdpSocket` that encodes outbound packets to frames and
+//!   decodes inbound datagrams, dropping (and counting) anything that does
+//!   not parse. Untrusted bytes can error but never panic or over-allocate
+//!   (`MAX_FRAME_BYTES` bounds every declared length).
+//! * [`FaultyTransport`] — a deterministic, seeded adversary wrapped around
+//!   any transport at the socket boundary: configurable loss, duplication,
+//!   and reordering on the send path, with shared [`FaultCounters`] so
+//!   harnesses can assert the faults actually fired.
+//!
+//! Everything here is `std`-only (no async runtime, no extra dependencies):
+//! the point is that the existing state machines and codec survive a *real*
+//! asynchronous network, not to build one more I/O framework.
+
+pub mod addr;
+pub mod fault;
+pub mod transport;
+pub mod udp;
+
+pub use addr::AddrBook;
+pub use fault::{FaultConfig, FaultCounters, FaultyTransport};
+pub use transport::{RecvError, Transport};
+pub use udp::{TransportStats, UdpTransport};

@@ -1,0 +1,42 @@
+//! The transport abstraction: send/receive framed packets by [`NodeId`].
+
+use std::time::Duration;
+
+use harmonia_types::{NodeId, Packet};
+
+/// Why a receive returned no packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecvError {
+    /// Nothing arrived within the deadline.
+    TimedOut,
+    /// The endpoint can never deliver again (shut down).
+    Closed,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::TimedOut => write!(f, "no packet within the deadline"),
+            RecvError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// One datagram endpoint of a deployment.
+///
+/// Sends are addressed by [`NodeId`] and resolved through the deployment's
+/// [`AddrBook`](crate::AddrBook); a destination that does not resolve is
+/// silently dropped — datagram semantics, the caller's retry loop is the
+/// reliability layer. Receives return whole decoded packets; bytes that do
+/// not parse as a frame are discarded by the implementation.
+pub trait Transport<T>: Send {
+    /// Send `pkt` toward `to`. Never blocks on the receiver; undeliverable
+    /// or unresolvable packets are dropped.
+    fn send(&mut self, to: NodeId, pkt: Packet<T>);
+
+    /// Receive the next packet addressed to this endpoint, waiting at most
+    /// `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Packet<T>, RecvError>;
+}

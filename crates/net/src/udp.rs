@@ -1,0 +1,308 @@
+//! A [`Transport`] endpoint over one `std::net::UdpSocket`.
+
+use std::io::ErrorKind;
+use std::marker::PhantomData;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harmonia_types::wire::{decode_frame, encode_frame, Wire};
+use harmonia_types::{NodeId, Packet};
+
+use crate::addr::{AddrBook, Directory};
+use crate::transport::{RecvError, Transport};
+
+/// Datagram counters of one endpoint (telemetry for tests and examples).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Datagrams handed to the kernel.
+    pub sent: u64,
+    /// Datagrams successfully decoded into packets.
+    pub received: u64,
+    /// Sends whose destination did not resolve (dropped).
+    pub unresolved: u64,
+    /// Inbound datagrams that failed to decode (dropped) — garbage,
+    /// truncated frames, or oversized declared lengths.
+    pub decode_errors: u64,
+    /// Outbound packets too large for one frame (dropped, never truncated).
+    pub oversized: u64,
+}
+
+/// One node's UDP endpoint: a loopback socket plus the deployment's
+/// [`AddrBook`].
+///
+/// A packet is exactly one datagram holding one
+/// [`encode_frame`]d `Packet<T>`. Inbound datagrams that do not decode are
+/// counted and discarded — the receive loop never panics and never
+/// allocates beyond [`MAX_FRAME_BYTES`](harmonia_types::MAX_FRAME_BYTES) on
+/// untrusted input; that hardening is what `tests/proptests.rs` pins.
+pub struct UdpTransport<T> {
+    socket: UdpSocket,
+    book: Arc<AddrBook>,
+    /// Cached directory snapshot + the generation it was taken at: sends
+    /// revalidate with one atomic load and re-snapshot only after a
+    /// registration — the same no-lock-per-send discipline as the channel
+    /// driver's router handles.
+    directory: Arc<Directory>,
+    seen_generation: u64,
+    local: SocketAddr,
+    dsts: Vec<SocketAddr>,
+    buf: Vec<u8>,
+    stats: TransportStats,
+    /// Last-applied socket read mode, so steady-state receive loops (which
+    /// wait with the same timeout over and over) skip the reconfiguration
+    /// syscalls: `None` = nonblocking, `Some(d)` = blocking with timeout
+    /// `d`, unset at bind time.
+    read_mode: Option<Option<Duration>>,
+    _payload: PhantomData<fn() -> T>,
+}
+
+impl<T> UdpTransport<T> {
+    /// Bind a fresh endpoint on an ephemeral loopback port. The endpoint is
+    /// anonymous until the caller registers its
+    /// [`local_addr`](Self::local_addr) in the book under a `NodeId` (or
+    /// hands it to the spine entry).
+    pub fn bind(book: Arc<AddrBook>) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let local = socket.local_addr()?;
+        let seen_generation = book.generation();
+        let directory = book.snapshot();
+        Ok(UdpTransport {
+            socket,
+            book,
+            directory,
+            seen_generation,
+            local,
+            dsts: Vec::new(),
+            // One datagram is at most u16::MAX bytes; the codec's frame
+            // bound is tighter, but the buffer covers the whole datagram so
+            // oversized garbage is drained (and counted), not left queued.
+            buf: vec![0u8; usize::from(u16::MAX)],
+            stats: TransportStats::default(),
+            read_mode: None,
+            _payload: PhantomData,
+        })
+    }
+
+    /// The socket address this endpoint receives on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Datagram counters so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// The deployment's address book.
+    pub fn book(&self) -> &Arc<AddrBook> {
+        &self.book
+    }
+
+    /// Put the socket in the requested read mode (`None` = nonblocking,
+    /// `Some(d)` = blocking with timeout `d`), skipping the syscalls when
+    /// it is already there — receive loops wait with the same sliced
+    /// timeout over and over, so the steady state is recv-only.
+    fn set_read_mode(&mut self, mode: Option<Duration>) {
+        if self.read_mode == Some(mode) {
+            return;
+        }
+        match mode {
+            Some(wait) => {
+                self.socket
+                    .set_nonblocking(false)
+                    .expect("set UDP socket blocking");
+                self.socket
+                    .set_read_timeout(Some(wait))
+                    .expect("set UDP read timeout");
+            }
+            None => {
+                self.socket
+                    .set_nonblocking(true)
+                    .expect("set UDP socket nonblocking");
+            }
+        }
+        self.read_mode = Some(mode);
+    }
+}
+
+impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
+    fn send(&mut self, to: NodeId, pkt: Packet<T>) {
+        // Resolve before encoding: an unresolvable destination (e.g. a
+        // killed switch mid-§5.3) costs one atomic load, not a full codec
+        // pass on a frame that would only be discarded.
+        let generation = self.book.generation();
+        if generation != self.seen_generation {
+            self.directory = self.book.snapshot();
+            self.seen_generation = generation;
+        }
+        self.directory.resolve(to, &pkt.body, &mut self.dsts);
+        if self.dsts.is_empty() {
+            self.stats.unresolved += 1;
+            return;
+        }
+        let frame = match encode_frame(&pkt) {
+            Ok(frame) => frame,
+            Err(_) => {
+                // Too big for one datagram: dropping beats truncating — the
+                // peer would reject a cut frame anyway, and the client's
+                // retry/timeout loop owns recovery.
+                self.stats.oversized += 1;
+                return;
+            }
+        };
+        for i in 0..self.dsts.len() {
+            if self.socket.send_to(&frame, self.dsts[i]).is_ok() {
+                self.stats.sent += 1;
+            }
+        }
+    }
+
+    /// A zero `timeout` is a nonblocking poll: it drains any queued
+    /// datagram without waiting (the batched-drain path of the switch
+    /// pipelines); otherwise the call waits until the deadline.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Packet<T>, RecvError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let blocking = !remaining.is_zero();
+            if blocking {
+                // `set_read_timeout(Some(0))` is an error by contract.
+                self.set_read_mode(Some(remaining.max(Duration::from_millis(1))));
+            } else {
+                self.set_read_mode(None);
+            }
+            match self.socket.recv(&mut self.buf) {
+                Ok(n) => match decode_frame::<Packet<T>>(&self.buf[..n]) {
+                    Ok(Some((pkt, _))) => {
+                        self.stats.received += 1;
+                        return Ok(pkt);
+                    }
+                    // Truncated or malformed datagram: drop and keep
+                    // listening — untrusted bytes must never take the
+                    // endpoint down.
+                    Ok(None) | Err(_) => {
+                        self.stats.decode_errors += 1;
+                    }
+                },
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if !blocking {
+                        return Err(RecvError::TimedOut);
+                    }
+                }
+                // Transient kernel errors (e.g. ECONNRESET from an ICMP
+                // port-unreachable on a dead peer) — keep listening.
+                Err(_) => {
+                    if !blocking {
+                        return Err(RecvError::TimedOut);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::{ClientId, ClientRequest, ReplicaId, RequestId, SwitchId};
+    use harmonia_workload::ShardMap;
+
+    type Pkt = Packet<u64>;
+
+    fn pair() -> (Arc<AddrBook>, UdpTransport<u64>, UdpTransport<u64>) {
+        let book = Arc::new(AddrBook::new());
+        let a = UdpTransport::bind(Arc::clone(&book)).unwrap();
+        let b = UdpTransport::bind(Arc::clone(&book)).unwrap();
+        book.register(NodeId::Client(ClientId(1)), a.local_addr());
+        book.register(NodeId::Replica(ReplicaId(0)), b.local_addr());
+        (book, a, b)
+    }
+
+    #[test]
+    fn datagram_roundtrip_between_endpoints() {
+        let (_book, mut a, mut b) = pair();
+        let pkt: Pkt = Packet::new(
+            NodeId::Client(ClientId(1)),
+            NodeId::Replica(ReplicaId(0)),
+            harmonia_types::PacketBody::Protocol(0xfeed),
+        );
+        a.send(NodeId::Replica(ReplicaId(0)), pkt.clone());
+        let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, pkt);
+        assert_eq!(a.stats().sent, 1);
+        assert_eq!(b.stats().received, 1);
+
+        // Zero timeout = nonblocking poll: drains a queued datagram,
+        // returns TimedOut on an empty queue.
+        a.send(NodeId::Replica(ReplicaId(0)), pkt.clone());
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.recv_timeout(Duration::ZERO).unwrap(), pkt);
+        assert_eq!(
+            b.recv_timeout(Duration::ZERO),
+            Err(crate::transport::RecvError::TimedOut)
+        );
+    }
+
+    #[test]
+    fn unresolved_destination_is_dropped_not_an_error() {
+        let (_book, mut a, _b) = pair();
+        let pkt: Pkt = Packet::new(
+            NodeId::Client(ClientId(1)),
+            NodeId::Replica(ReplicaId(42)),
+            harmonia_types::PacketBody::Protocol(1),
+        );
+        a.send(NodeId::Replica(ReplicaId(42)), pkt);
+        assert_eq!(a.stats().unresolved, 1);
+        assert_eq!(a.stats().sent, 0);
+    }
+
+    #[test]
+    fn garbage_datagrams_are_counted_and_skipped() {
+        let (_book, mut a, mut b) = pair();
+        // Raw garbage straight to b's socket, then a valid packet: the
+        // receive loop must skip the garbage and deliver the packet.
+        let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        raw.send_to(&[0xff; 40], b.local_addr()).unwrap();
+        raw.send_to(&[1, 2], b.local_addr()).unwrap();
+        let pkt: Pkt = Packet::new(
+            NodeId::Client(ClientId(1)),
+            NodeId::Replica(ReplicaId(0)),
+            harmonia_types::PacketBody::Protocol(3),
+        );
+        a.send(NodeId::Replica(ReplicaId(0)), pkt.clone());
+        let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, pkt);
+        assert_eq!(b.stats().decode_errors, 2);
+    }
+
+    #[test]
+    fn spine_entry_routes_to_the_owning_group_socket() {
+        let book = Arc::new(AddrBook::new());
+        let mut sender = UdpTransport::<u64>::bind(Arc::clone(&book)).unwrap();
+        let mut g0 = UdpTransport::<u64>::bind(Arc::clone(&book)).unwrap();
+        let mut g1 = UdpTransport::<u64>::bind(Arc::clone(&book)).unwrap();
+        let shards = ShardMap::new(2);
+        let stable = NodeId::Switch(SwitchId(1));
+        book.install_spine(vec![stable], shards, vec![g0.local_addr(), g1.local_addr()]);
+        // Find one key per group and check delivery lands on that group.
+        for want in 0..2u32 {
+            let key = (0..100u32)
+                .map(|i| format!("k{i}"))
+                .find(|k| shards.shard_of_key(k.as_bytes()) == want)
+                .unwrap();
+            let req = ClientRequest::read(ClientId(1), RequestId(u64::from(want)), key);
+            let pkt: Pkt = Packet::new(
+                NodeId::Client(ClientId(1)),
+                stable,
+                harmonia_types::PacketBody::Request(req),
+            );
+            sender.send(stable, pkt.clone());
+            let owner = if want == 0 { &mut g0 } else { &mut g1 };
+            assert_eq!(owner.recv_timeout(Duration::from_secs(2)).unwrap(), pkt);
+        }
+        // The other group saw nothing.
+        assert!(g0.recv_timeout(Duration::from_millis(10)).is_err());
+        assert!(g1.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+}

@@ -29,6 +29,7 @@ pub mod messages;
 pub mod nopaxos;
 pub mod pb;
 pub mod vr;
+pub mod wire;
 
 pub use common::{
     read_ahead_ok, read_behind_ok, Effects, GroupConfig, InOrder, LeaseState, ProtocolKind, Replica,

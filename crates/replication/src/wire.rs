@@ -1,0 +1,498 @@
+//! Wire codec for protocol-internal messages.
+//!
+//! The UDP deployment driver (`harmonia-net` + `harmonia-core`'s
+//! `spawn_udp`) puts *every* packet on a real socket — including the
+//! replica↔replica traffic the in-process drivers pass by value. These
+//! [`Wire`] implementations make `Packet<ProtocolMsg>` a first-class wire
+//! type: same hand-rolled little-endian layout as `harmonia-types`, one
+//! discriminant byte per enum, every variant's fields in declaration order.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use harmonia_types::wire::Wire;
+use harmonia_types::{ClientId, ObjectId, ReplicaId, RequestId, SwitchId, SwitchSeq, TypeError};
+
+use crate::messages::{
+    ChainMsg, CraqMsg, NopaxosMsg, PbMsg, ProtocolMsg, ReplicaControlMsg, VrMsg, WriteOp,
+};
+
+impl Wire for WriteOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.seq.encode(buf);
+        self.obj.encode(buf);
+        self.key.encode(buf);
+        self.value.encode(buf);
+        self.client.encode(buf);
+        self.request.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(WriteOp {
+            seq: SwitchSeq::decode(buf)?,
+            obj: ObjectId::decode(buf)?,
+            key: Bytes::decode(buf)?,
+            value: Bytes::decode(buf)?,
+            client: ClientId::decode(buf)?,
+            request: RequestId::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for PbMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PbMsg::Update(op) => {
+                buf.put_u8(0);
+                op.encode(buf);
+            }
+            PbMsg::Ack { seq, from } => {
+                buf.put_u8(1);
+                seq.encode(buf);
+                from.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(PbMsg::Update(WriteOp::decode(buf)?)),
+            1 => Ok(PbMsg::Ack {
+                seq: SwitchSeq::decode(buf)?,
+                from: ReplicaId::decode(buf)?,
+            }),
+            v => Err(TypeError::BadDiscriminant {
+                field: "PbMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for ChainMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ChainMsg::Down(op) => {
+                buf.put_u8(0);
+                op.encode(buf);
+            }
+            ChainMsg::ReReply { client, request } => {
+                buf.put_u8(1);
+                client.encode(buf);
+                request.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ChainMsg::Down(WriteOp::decode(buf)?)),
+            1 => Ok(ChainMsg::ReReply {
+                client: ClientId::decode(buf)?,
+                request: RequestId::decode(buf)?,
+            }),
+            v => Err(TypeError::BadDiscriminant {
+                field: "ChainMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for CraqMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CraqMsg::Down(op) => {
+                buf.put_u8(0);
+                op.encode(buf);
+            }
+            CraqMsg::Clean { obj, key, seq } => {
+                buf.put_u8(1);
+                obj.encode(buf);
+                key.encode(buf);
+                seq.encode(buf);
+            }
+            CraqMsg::ReReply { client, request } => {
+                buf.put_u8(2);
+                client.encode(buf);
+                request.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(CraqMsg::Down(WriteOp::decode(buf)?)),
+            1 => Ok(CraqMsg::Clean {
+                obj: ObjectId::decode(buf)?,
+                key: Bytes::decode(buf)?,
+                seq: SwitchSeq::decode(buf)?,
+            }),
+            2 => Ok(CraqMsg::ReReply {
+                client: ClientId::decode(buf)?,
+                request: RequestId::decode(buf)?,
+            }),
+            v => Err(TypeError::BadDiscriminant {
+                field: "CraqMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for VrMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            VrMsg::Prepare {
+                view,
+                op_num,
+                op,
+                commit,
+            } => {
+                buf.put_u8(0);
+                view.encode(buf);
+                op_num.encode(buf);
+                op.encode(buf);
+                commit.encode(buf);
+            }
+            VrMsg::PrepareOk { view, op_num, from } => {
+                buf.put_u8(1);
+                view.encode(buf);
+                op_num.encode(buf);
+                from.encode(buf);
+            }
+            VrMsg::Commit { view, commit } => {
+                buf.put_u8(2);
+                view.encode(buf);
+                commit.encode(buf);
+            }
+            VrMsg::CommitAck { view, op_num, from } => {
+                buf.put_u8(3);
+                view.encode(buf);
+                op_num.encode(buf);
+                from.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(VrMsg::Prepare {
+                view: u64::decode(buf)?,
+                op_num: u64::decode(buf)?,
+                op: WriteOp::decode(buf)?,
+                commit: u64::decode(buf)?,
+            }),
+            1 => Ok(VrMsg::PrepareOk {
+                view: u64::decode(buf)?,
+                op_num: u64::decode(buf)?,
+                from: ReplicaId::decode(buf)?,
+            }),
+            2 => Ok(VrMsg::Commit {
+                view: u64::decode(buf)?,
+                commit: u64::decode(buf)?,
+            }),
+            3 => Ok(VrMsg::CommitAck {
+                view: u64::decode(buf)?,
+                op_num: u64::decode(buf)?,
+                from: ReplicaId::decode(buf)?,
+            }),
+            v => Err(TypeError::BadDiscriminant {
+                field: "VrMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for NopaxosMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            NopaxosMsg::Sequenced {
+                session,
+                oum_seq,
+                op,
+            } => {
+                buf.put_u8(0);
+                session.encode(buf);
+                oum_seq.encode(buf);
+                op.encode(buf);
+            }
+            NopaxosMsg::SlotAck {
+                session,
+                oum_seq,
+                from,
+            } => {
+                buf.put_u8(1);
+                session.encode(buf);
+                oum_seq.encode(buf);
+                from.encode(buf);
+            }
+            NopaxosMsg::GapRequest {
+                session,
+                oum_seq,
+                from,
+            } => {
+                buf.put_u8(2);
+                session.encode(buf);
+                oum_seq.encode(buf);
+                from.encode(buf);
+            }
+            NopaxosMsg::GapReply {
+                session,
+                oum_seq,
+                op,
+            } => {
+                buf.put_u8(3);
+                session.encode(buf);
+                oum_seq.encode(buf);
+                op.encode(buf);
+            }
+            NopaxosMsg::Sync { session, upto } => {
+                buf.put_u8(4);
+                session.encode(buf);
+                upto.encode(buf);
+            }
+            NopaxosMsg::SyncAck {
+                session,
+                upto,
+                from,
+            } => {
+                buf.put_u8(5);
+                session.encode(buf);
+                upto.encode(buf);
+                from.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(NopaxosMsg::Sequenced {
+                session: u64::decode(buf)?,
+                oum_seq: u64::decode(buf)?,
+                op: WriteOp::decode(buf)?,
+            }),
+            1 => Ok(NopaxosMsg::SlotAck {
+                session: u64::decode(buf)?,
+                oum_seq: u64::decode(buf)?,
+                from: ReplicaId::decode(buf)?,
+            }),
+            2 => Ok(NopaxosMsg::GapRequest {
+                session: u64::decode(buf)?,
+                oum_seq: u64::decode(buf)?,
+                from: ReplicaId::decode(buf)?,
+            }),
+            3 => Ok(NopaxosMsg::GapReply {
+                session: u64::decode(buf)?,
+                oum_seq: u64::decode(buf)?,
+                op: Option::<WriteOp>::decode(buf)?,
+            }),
+            4 => Ok(NopaxosMsg::Sync {
+                session: u64::decode(buf)?,
+                upto: u64::decode(buf)?,
+            }),
+            5 => Ok(NopaxosMsg::SyncAck {
+                session: u64::decode(buf)?,
+                upto: u64::decode(buf)?,
+                from: ReplicaId::decode(buf)?,
+            }),
+            v => Err(TypeError::BadDiscriminant {
+                field: "NopaxosMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for ReplicaControlMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ReplicaControlMsg::SetActiveSwitch(s) => {
+                buf.put_u8(0);
+                s.encode(buf);
+            }
+            ReplicaControlMsg::SetMembers(m) => {
+                buf.put_u8(1);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ReplicaControlMsg::SetActiveSwitch(SwitchId::decode(buf)?)),
+            1 => Ok(ReplicaControlMsg::SetMembers(Vec::<ReplicaId>::decode(
+                buf,
+            )?)),
+            v => Err(TypeError::BadDiscriminant {
+                field: "ReplicaControlMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+impl Wire for ProtocolMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ProtocolMsg::Pb(m) => {
+                buf.put_u8(0);
+                m.encode(buf);
+            }
+            ProtocolMsg::Chain(m) => {
+                buf.put_u8(1);
+                m.encode(buf);
+            }
+            ProtocolMsg::Craq(m) => {
+                buf.put_u8(2);
+                m.encode(buf);
+            }
+            ProtocolMsg::Vr(m) => {
+                buf.put_u8(3);
+                m.encode(buf);
+            }
+            ProtocolMsg::Nopaxos(m) => {
+                buf.put_u8(4);
+                m.encode(buf);
+            }
+            ProtocolMsg::Control(m) => {
+                buf.put_u8(5);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ProtocolMsg::Pb(PbMsg::decode(buf)?)),
+            1 => Ok(ProtocolMsg::Chain(ChainMsg::decode(buf)?)),
+            2 => Ok(ProtocolMsg::Craq(CraqMsg::decode(buf)?)),
+            3 => Ok(ProtocolMsg::Vr(VrMsg::decode(buf)?)),
+            4 => Ok(ProtocolMsg::Nopaxos(NopaxosMsg::decode(buf)?)),
+            5 => Ok(ProtocolMsg::Control(ReplicaControlMsg::decode(buf)?)),
+            v => Err(TypeError::BadDiscriminant {
+                field: "ProtocolMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::wire::{decode_frame, encode_frame};
+
+    fn op(n: u64) -> WriteOp {
+        WriteOp {
+            seq: SwitchSeq::new(SwitchId(2), n),
+            obj: ObjectId(7),
+            key: Bytes::from_static(b"key"),
+            value: Bytes::from_static(b"value"),
+            client: ClientId(3),
+            request: RequestId(n),
+        }
+    }
+
+    fn roundtrip(msg: ProtocolMsg) {
+        let frame = encode_frame(&msg).unwrap();
+        let (decoded, used) = decode_frame::<ProtocolMsg>(&frame).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn every_protocol_message_roundtrips() {
+        let all = vec![
+            ProtocolMsg::Pb(PbMsg::Update(op(1))),
+            ProtocolMsg::Pb(PbMsg::Ack {
+                seq: SwitchSeq::new(SwitchId(1), 4),
+                from: ReplicaId(2),
+            }),
+            ProtocolMsg::Chain(ChainMsg::Down(op(2))),
+            ProtocolMsg::Chain(ChainMsg::ReReply {
+                client: ClientId(9),
+                request: RequestId(11),
+            }),
+            ProtocolMsg::Craq(CraqMsg::Down(op(3))),
+            ProtocolMsg::Craq(CraqMsg::Clean {
+                obj: ObjectId(5),
+                key: Bytes::from_static(b"k"),
+                seq: SwitchSeq::new(SwitchId(1), 6),
+            }),
+            ProtocolMsg::Craq(CraqMsg::ReReply {
+                client: ClientId(1),
+                request: RequestId(2),
+            }),
+            ProtocolMsg::Vr(VrMsg::Prepare {
+                view: 3,
+                op_num: 14,
+                op: op(4),
+                commit: 13,
+            }),
+            ProtocolMsg::Vr(VrMsg::PrepareOk {
+                view: 3,
+                op_num: 14,
+                from: ReplicaId(1),
+            }),
+            ProtocolMsg::Vr(VrMsg::Commit { view: 3, commit: 9 }),
+            ProtocolMsg::Vr(VrMsg::CommitAck {
+                view: 3,
+                op_num: 8,
+                from: ReplicaId(0),
+            }),
+            ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced {
+                session: 1,
+                oum_seq: 5,
+                op: op(5),
+            }),
+            ProtocolMsg::Nopaxos(NopaxosMsg::SlotAck {
+                session: 1,
+                oum_seq: 5,
+                from: ReplicaId(2),
+            }),
+            ProtocolMsg::Nopaxos(NopaxosMsg::GapRequest {
+                session: 1,
+                oum_seq: 6,
+                from: ReplicaId(1),
+            }),
+            ProtocolMsg::Nopaxos(NopaxosMsg::GapReply {
+                session: 1,
+                oum_seq: 6,
+                op: Some(op(6)),
+            }),
+            ProtocolMsg::Nopaxos(NopaxosMsg::GapReply {
+                session: 1,
+                oum_seq: 7,
+                op: None,
+            }),
+            ProtocolMsg::Nopaxos(NopaxosMsg::Sync {
+                session: 2,
+                upto: 40,
+            }),
+            ProtocolMsg::Nopaxos(NopaxosMsg::SyncAck {
+                session: 2,
+                upto: 40,
+                from: ReplicaId(0),
+            }),
+            ProtocolMsg::Control(ReplicaControlMsg::SetActiveSwitch(SwitchId(4))),
+            ProtocolMsg::Control(ReplicaControlMsg::SetMembers(vec![
+                ReplicaId(0),
+                ReplicaId(2),
+            ])),
+        ];
+        for msg in all {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn bad_discriminants_error_at_every_level() {
+        for (field, bytes) in [
+            ("ProtocolMsg", vec![9u8]),
+            ("PbMsg", vec![0, 9]),
+            ("ChainMsg", vec![1, 9]),
+            ("CraqMsg", vec![2, 9]),
+            ("VrMsg", vec![3, 9]),
+            ("NopaxosMsg", vec![4, 9]),
+            ("ReplicaControlMsg", vec![5, 9]),
+        ] {
+            let mut b = Bytes::from(bytes);
+            match ProtocolMsg::decode(&mut b) {
+                Err(TypeError::BadDiscriminant { field: f, value: 9 }) => assert_eq!(f, field),
+                other => panic!("{field}: expected bad-discriminant error, got {other:?}"),
+            }
+        }
+    }
+}

@@ -205,6 +205,21 @@ pub enum PacketBody<T> {
     Control(ControlMsg),
 }
 
+impl<T> PacketBody<T> {
+    /// The object this packet concerns, when it names one — the key a spine
+    /// switch shard-routes on (§6.3). Requests, replies, and completions
+    /// carry an object; control and protocol traffic do not (control is
+    /// addressed by replica, protocol traffic is plain L2/L3 forwarding).
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            PacketBody::Request(req) => Some(req.obj),
+            PacketBody::Reply(reply) => Some(reply.obj),
+            PacketBody::Completion(c) => Some(c.obj),
+            PacketBody::Protocol(_) | PacketBody::Control(_) => None,
+        }
+    }
+}
+
 /// A packet in flight: source, destination, payload.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Packet<T> {

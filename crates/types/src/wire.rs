@@ -20,8 +20,17 @@ use crate::packet::{
 use crate::seq::SwitchSeq;
 use crate::TypeError;
 
-/// Sanity bound on any length-prefixed field (keys, values): 16 MiB.
-const MAX_FIELD_LEN: usize = 16 << 20;
+/// Upper bound on one encoded frame, length prefix included — and therefore
+/// on every length-prefixed field inside it (keys, values, vectors).
+///
+/// One constant governs both sides of the wire: [`encode_frame`] refuses to
+/// produce a larger frame (an error, never silent truncation), and
+/// [`decode_frame`] rejects any declared length beyond it before allocating,
+/// so untrusted bytes can never make a decoder reserve unbounded memory.
+/// The value is the largest UDP/IPv4 payload (65 535 − 8 − 20): a frame is
+/// exactly one datagram in the `harmonia-net` transport, so anything bigger
+/// could never cross the real wire anyway.
+pub const MAX_FRAME_BYTES: usize = 65_507;
 
 /// A type that can be encoded to / decoded from the wire.
 pub trait Wire: Sized {
@@ -31,14 +40,24 @@ pub trait Wire: Sized {
     fn decode(buf: &mut Bytes) -> Result<Self, TypeError>;
 }
 
-/// Encode a full frame (length-prefixed) ready to write to a stream.
-pub fn encode_frame<T: Wire>(value: &T) -> Bytes {
+/// Encode a full frame (length-prefixed) ready to write to a stream or pack
+/// into one datagram. Fails with [`TypeError::OversizedField`] if the frame
+/// would exceed [`MAX_FRAME_BYTES`] — the bound is enforced symmetrically
+/// with [`decode_frame`], so a frame this side produces is always one the
+/// other side accepts, and nothing is ever silently truncated.
+pub fn encode_frame<T: Wire>(value: &T) -> Result<Bytes, TypeError> {
     let mut body = BytesMut::with_capacity(64);
     value.encode(&mut body);
+    if body.len() + 4 > MAX_FRAME_BYTES {
+        return Err(TypeError::OversizedField {
+            field: "frame",
+            len: body.len() + 4,
+        });
+    }
     let mut frame = BytesMut::with_capacity(body.len() + 4);
     frame.put_u32_le(body.len() as u32);
     frame.extend_from_slice(&body);
-    frame.freeze()
+    Ok(frame.freeze())
 }
 
 /// Decode one frame produced by [`encode_frame`]. Returns the value and the
@@ -49,7 +68,10 @@ pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>, TypeError
         return Ok(None);
     }
     let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if len > MAX_FIELD_LEN {
+    // Overflow-proof form of `len + 4 > MAX_FRAME_BYTES`: a hostile prefix
+    // can claim up to u32::MAX, which `len + 4` would wrap on 32-bit
+    // targets, sneaking past the bound into a panicking slice index below.
+    if len > MAX_FRAME_BYTES - 4 {
         return Err(TypeError::OversizedField {
             field: "frame",
             len,
@@ -110,7 +132,7 @@ impl Wire for Bytes {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
         let len = u32::decode(buf)? as usize;
-        if len > MAX_FIELD_LEN {
+        if len > MAX_FRAME_BYTES {
             return Err(TypeError::OversizedField {
                 field: "bytes",
                 len,
@@ -152,7 +174,7 @@ impl<T: Wire> Wire for Vec<T> {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
         let len = u32::decode(buf)? as usize;
-        if len > MAX_FIELD_LEN {
+        if len > MAX_FRAME_BYTES {
             return Err(TypeError::OversizedField { field: "vec", len });
         }
         let mut out = Vec::with_capacity(len.min(1024));
@@ -452,7 +474,7 @@ mod tests {
     use super::*;
 
     fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
-        let frame = encode_frame(v);
+        let frame = encode_frame(v).unwrap();
         let (decoded, used) = decode_frame::<T>(&frame).unwrap().unwrap();
         assert_eq!(&decoded, v);
         assert_eq!(used, frame.len());
@@ -521,10 +543,29 @@ mod tests {
 
     #[test]
     fn partial_frame_returns_none() {
-        let frame = encode_frame(&u64::MAX);
+        let frame = encode_frame(&u64::MAX).unwrap();
         for cut in 0..frame.len() {
             assert!(decode_frame::<u64>(&frame[..cut]).unwrap().is_none());
         }
+    }
+
+    #[test]
+    fn encode_refuses_oversized_frames() {
+        // A value field larger than the frame bound must be an encode-time
+        // error, never a silently truncated frame the peer cannot parse.
+        let huge = Bytes::from(vec![0u8; MAX_FRAME_BYTES]);
+        assert!(matches!(
+            encode_frame(&huge),
+            Err(TypeError::OversizedField { field: "frame", .. })
+        ));
+        // Just under the bound round-trips: frame = 4 (prefix) + 4 (field
+        // length) + payload.
+        let fits = Bytes::from(vec![7u8; MAX_FRAME_BYTES - 8]);
+        let frame = encode_frame(&fits).unwrap();
+        assert_eq!(frame.len(), MAX_FRAME_BYTES);
+        let (decoded, used) = decode_frame::<Bytes>(&frame).unwrap().unwrap();
+        assert_eq!(decoded, fits);
+        assert_eq!(used, frame.len());
     }
 
     #[test]

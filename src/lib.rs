@@ -28,9 +28,14 @@
 //! §6.3 cloud-scale sharded deployment is the same spec with `groups(n)`.
 //! [`build_sim()`](prelude::DeploymentSpec::build_sim) assembles it in the
 //! deterministic simulator; [`spawn_live()`](prelude::DeploymentSpec::spawn_live)
-//! on OS threads. Both implement the [`Cluster`](prelude::Cluster) trait,
-//! so harnesses can hold either as `Box<dyn Cluster>` and never care which
-//! driver runs the protocol — the drop-in claim of the paper, in the types.
+//! on OS threads over in-process channels;
+//! [`spawn_udp()`](prelude::DeploymentSpec::spawn_udp) on OS threads over
+//! real loopback `UdpSocket` datagrams (the [`net`] transport — every
+//! packet crosses the wire codec, and seeded loss/duplication/reordering
+//! can be injected at the socket boundary). All three implement the
+//! [`Cluster`](prelude::Cluster) trait, so harnesses can hold any of them
+//! as `Box<dyn Cluster>` and never care which driver runs the protocol —
+//! the drop-in claim of the paper, in the types.
 //!
 //! ## Quick start (live, threaded)
 //!
@@ -97,6 +102,15 @@
 //! simulator keeps all group cores behind one single-threaded actor —
 //! identical logic, bit-identical replays.
 //!
+//! The **UDP driver** ([`core::udp`]) reuses every one of those loops
+//! behind a transport abstraction and swaps the channels for
+//! [`net`]-crate loopback sockets: the spine route resolves to the owning
+//! group pipeline's *socket address* on the sending thread, `kill_switch`
+//! tears the fleet's sockets out of the deployment's address book, and
+//! `tests/udp_cluster.rs` runs the whole thing under 5% datagram
+//! loss + duplication + reordering with every history through the
+//! Wing–Gong checker.
+//!
 //! ## Crate map
 //!
 //! | crate | contents |
@@ -106,7 +120,8 @@
 //! | [`kv`] | in-memory versioned KV engine (the Redis substitute) |
 //! | [`switch`] | switch data-plane emulation: register arrays, multi-stage hash table, Algorithm 1 |
 //! | [`replication`] | PB, chain, CRAQ, VR, NOPaxos — each ± Harmonia |
-//! | [`core`] | the `DeploymentSpec`/`Cluster` API, clients, failover scripting, both drivers |
+//! | [`net`] | real datagram transport: `NodeId`-addressed UDP loopback sockets, spine shard routing, seeded fault injection |
+//! | [`core`] | the `DeploymentSpec`/`Cluster` API, clients, failover scripting, all three drivers |
 //! | [`workload`] | uniform/zipf key spaces, mixes, YCSB presets |
 //! | [`verify`] | linearizability checker + TLA+-mirror model checker |
 //!
@@ -124,6 +139,7 @@
 
 pub use harmonia_core as core;
 pub use harmonia_kv as kv;
+pub use harmonia_net as net;
 pub use harmonia_replication as replication;
 pub use harmonia_sim as sim;
 pub use harmonia_switch as switch;
@@ -140,6 +156,7 @@ pub mod prelude {
     };
     pub use harmonia_core::live::{LiveClient, LiveCluster, LiveError};
     pub use harmonia_core::msg::{CostModel, Msg};
+    pub use harmonia_core::udp::UdpCluster;
     pub use harmonia_core::{ClosedLoopClient, OpenLoopClient, RecordedOp, SwitchActor};
     pub use harmonia_replication::{GroupConfig, ProtocolKind};
     pub use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};

@@ -1,29 +1,31 @@
 //! The unified `Deployment` API, exercised driver-agnostically: the same
-//! scenario runs through `Box<dyn Cluster>` for both the deterministic sim
-//! and the live threaded driver, and both histories pass the Wing–Gong
-//! checker. This is the paper's drop-in claim in executable form — nothing
-//! in the harness below knows which driver it is talking to.
+//! scenario runs through `Box<dyn Cluster>` for all three drivers — the
+//! deterministic sim, the live threaded driver, and the UDP datagram
+//! driver — and every history passes the Wing–Gong checker. This is the
+//! paper's drop-in claim in executable form — nothing in the harness below
+//! knows which driver it is talking to.
 
 mod common;
 
 use common::{assert_linearizable, collect_records, make_plans};
 use harmonia::prelude::*;
 
-/// Both drivers, behind the same trait object.
-fn both_drivers(spec: &DeploymentSpec) -> Vec<(&'static str, Box<dyn Cluster>)> {
+/// All three drivers, behind the same trait object.
+fn all_drivers(spec: &DeploymentSpec) -> Vec<(&'static str, Box<dyn Cluster>)> {
     vec![
         ("sim", Box::new(spec.build_sim())),
         ("live", Box::new(spec.spawn_live())),
+        ("udp", Box::new(spec.spawn_udp())),
     ]
 }
 
-/// The same closed-loop scenario through `Box<dyn Cluster>` for both
-/// drivers: both histories must be linearizable, and both switches must
-/// have actually exercised the fast path.
+/// The same closed-loop scenario through `Box<dyn Cluster>` for every
+/// driver: each history must be linearizable, and each switch must have
+/// actually exercised the fast path.
 #[test]
-fn same_scenario_is_linearizable_through_both_drivers() {
+fn same_scenario_is_linearizable_through_all_drivers() {
     let spec = DeploymentSpec::new().protocol(ProtocolKind::Chain).seed(9);
-    for (name, mut cluster) in both_drivers(&spec) {
+    for (name, mut cluster) in all_drivers(&spec) {
         let plans = make_plans(3, 40, 8, 0.35, 9);
         let histories = cluster.run_plans(plans);
         assert_eq!(histories.len(), 3, "{name}: one history per plan");
@@ -45,11 +47,11 @@ fn same_scenario_is_linearizable_through_both_drivers() {
 }
 
 /// The synchronous KV surface behaves identically through the trait object,
-/// on either driver.
+/// on every driver.
 #[test]
-fn kv_client_round_trips_through_both_drivers() {
+fn kv_client_round_trips_through_all_drivers() {
     let spec = DeploymentSpec::new();
-    for (name, mut cluster) in both_drivers(&spec) {
+    for (name, mut cluster) in all_drivers(&spec) {
         let mut client = cluster.client();
         assert_eq!(client.get(b"missing").unwrap(), None, "{name}");
         client.set(b"alpha", b"1").unwrap();
@@ -68,13 +70,13 @@ fn kv_client_round_trips_through_both_drivers() {
     }
 }
 
-/// The §5.3 failover vocabulary is the same on both drivers: kill the
+/// The §5.3 failover vocabulary is the same on every driver: kill the
 /// switch (service stops), replace it (normal path only), first own-id
 /// completion re-arms the fast path.
 #[test]
 fn failover_vocabulary_is_uniform_across_drivers() {
     let spec = DeploymentSpec::new();
-    for (name, mut cluster) in both_drivers(&spec) {
+    for (name, mut cluster) in all_drivers(&spec) {
         {
             let mut client = cluster.client();
             client.set(b"warm", b"1").unwrap();
@@ -116,12 +118,12 @@ fn failover_vocabulary_is_uniform_across_drivers() {
 }
 
 /// A sharded deployment through the same trait object: groups(4) serves a
-/// spread keyspace on both drivers, with identical memory accounting.
+/// spread keyspace on all three drivers, with identical memory accounting.
 #[test]
 fn sharded_deployment_is_uniform_across_drivers() {
     let spec = DeploymentSpec::new().groups(4);
     let per_group = spec.table.stages * spec.table.slots_per_stage * spec.table.entry_bytes;
-    for (name, mut cluster) in both_drivers(&spec) {
+    for (name, mut cluster) in all_drivers(&spec) {
         {
             let mut client = cluster.client();
             for i in 0..40 {

@@ -96,7 +96,7 @@ proptest! {
             NodeId::Switch(SwitchId(1)),
             PacketBody::Request(req),
         );
-        let frame = encode_frame(&pkt);
+        let frame = encode_frame(&pkt).unwrap();
         let (decoded, used) = decode_frame::<Packet<u64>>(&frame).unwrap().unwrap();
         prop_assert_eq!(decoded, pkt);
         prop_assert_eq!(used, frame.len());
@@ -508,10 +508,134 @@ proptest! {
                 NodeId::Replica(ReplicaId(0)),
                 body,
             );
-            let frame = encode_frame(&pkt);
+            let frame = encode_frame(&pkt).unwrap();
             let (decoded, used) = decode_frame::<Packet<u64>>(&frame).unwrap().unwrap();
             prop_assert_eq!(decoded, pkt);
             prop_assert_eq!(used, frame.len());
         }
+    }
+
+    /// The real wire type of the UDP driver: `Packet<ProtocolMsg>` — every
+    /// replica↔replica message round-trips through the codec too.
+    #[test]
+    fn wire_roundtrip_protocol_packets(
+        op_req in arb_request(),
+        variant in 0u8..6,
+        seq in arb_seq(),
+        upto in 0u64..1000,
+    ) {
+        use harmonia::replication::messages::{
+            ChainMsg, NopaxosMsg, PbMsg, ProtocolMsg, VrMsg, WriteOp,
+        };
+        let op = WriteOp {
+            seq,
+            obj: op_req.obj,
+            key: op_req.key.clone(),
+            value: op_req.value.clone().unwrap_or_default(),
+            client: op_req.client,
+            request: op_req.request,
+        };
+        let msg = match variant {
+            0 => ProtocolMsg::Pb(PbMsg::Update(op)),
+            1 => ProtocolMsg::Chain(ChainMsg::Down(op)),
+            2 => ProtocolMsg::Vr(VrMsg::Prepare { view: upto, op_num: upto + 1, op, commit: upto }),
+            3 => ProtocolMsg::Nopaxos(NopaxosMsg::Sequenced { session: 1, oum_seq: upto, op }),
+            4 => ProtocolMsg::Nopaxos(NopaxosMsg::GapReply { session: 1, oum_seq: upto, op: Some(op) }),
+            _ => ProtocolMsg::Nopaxos(NopaxosMsg::Sync { session: 2, upto }),
+        };
+        let pkt: Packet<ProtocolMsg> = Packet::new(
+            NodeId::Replica(ReplicaId(0)),
+            NodeId::Replica(ReplicaId(1)),
+            PacketBody::Protocol(msg),
+        );
+        let frame = encode_frame(&pkt).unwrap();
+        let (decoded, used) = decode_frame::<Packet<ProtocolMsg>>(&frame).unwrap().unwrap();
+        prop_assert_eq!(decoded, pkt);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Untrusted-input hardening, the UDP driver's threat model: take a
+    /// valid encoded frame of ANY `PacketBody` variant, truncate it
+    /// anywhere and flip arbitrary bytes (including the length prefix and
+    /// discriminants) — decoding must return, never panic, for both the
+    /// test payload and the real `ProtocolMsg` payload.
+    #[test]
+    fn wire_decode_total_on_mutated_frames(
+        req in arb_request(),
+        reply in arb_reply(),
+        completion in arb_completion(),
+        control in arb_control(),
+        mutations in prop::collection::vec((0usize..512, 0u8..=255), 0..8),
+        cut in 0usize..513,
+    ) {
+        let bodies: Vec<PacketBody<u64>> = vec![
+            PacketBody::Request(req),
+            PacketBody::Reply(reply),
+            PacketBody::Completion(completion),
+            PacketBody::Protocol(7),
+            PacketBody::Control(control),
+        ];
+        for body in bodies {
+            let pkt: Packet<u64> = Packet::new(
+                NodeId::Client(ClientId(1)),
+                NodeId::Switch(SwitchId(1)),
+                body,
+            );
+            let mut bytes = encode_frame(&pkt).unwrap().to_vec();
+            for &(idx, val) in &mutations {
+                let len = bytes.len();
+                bytes[idx % len] = val;
+            }
+            bytes.truncate(cut.min(bytes.len()));
+            // Must return (any of Ok(Some)/Ok(None)/Err), never panic, for
+            // both payload decoders.
+            let _ = decode_frame::<Packet<u64>>(&bytes);
+            let _ = decode_frame::<Packet<harmonia::replication::messages::ProtocolMsg>>(&bytes);
+        }
+    }
+
+    /// A declared length can never make the decoder allocate past the
+    /// shared `MAX_FRAME_BYTES` bound: any frame or field length claiming
+    /// more is rejected up front with `OversizedField`.
+    #[test]
+    fn wire_oversized_declared_lengths_rejected(
+        claimed in (harmonia::types::MAX_FRAME_BYTES as u32 + 1)..=u32::MAX,
+    ) {
+        use harmonia::types::TypeError;
+        // Oversized frame prefix.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&claimed.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 16]);
+        prop_assert!(matches!(
+            decode_frame::<Packet<u64>>(&frame),
+            Err(TypeError::OversizedField { field: "frame", .. })
+        ));
+        // Valid-looking frame whose inner `Bytes` field claims too much.
+        let mut inner = Vec::new();
+        inner.extend_from_slice(&8u32.to_le_bytes()); // frame length: 8
+        inner.extend_from_slice(&claimed.to_le_bytes()); // bytes field length
+        inner.extend_from_slice(&[0u8; 4]);
+        prop_assert!(matches!(
+            decode_frame::<Bytes>(&inner),
+            Err(TypeError::OversizedField { field: "bytes", .. })
+        ));
+    }
+
+    /// Encode-side symmetry: a packet whose payload would overflow one
+    /// frame (= one UDP datagram) is an error, never a truncated frame.
+    #[test]
+    fn wire_encode_rejects_oversized_packets(extra in 0usize..4096) {
+        use harmonia::types::TypeError;
+        let huge = Bytes::from(vec![0x42u8; harmonia::types::MAX_FRAME_BYTES + extra]);
+        let req = ClientRequest::write(ClientId(1), RequestId(1), &b"k"[..], huge);
+        let pkt: Packet<u64> = Packet::new(
+            NodeId::Client(ClientId(1)),
+            NodeId::Switch(SwitchId(1)),
+            PacketBody::Request(req),
+        );
+        prop_assert!(matches!(
+            encode_frame(&pkt),
+            Err(TypeError::OversizedField { field: "frame", .. })
+        ));
     }
 }
