@@ -33,8 +33,8 @@ use harmonia_replication::{build_replica, GroupConfig, ProtocolKind};
 use harmonia_sim::{Actor, Context, LinkConfig, NetworkModel, World, WorldConfig};
 use harmonia_switch::{GroupId, SwitchStats, TableConfig};
 use harmonia_types::{
-    ClientId, ClientReply, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, ReplicaId,
-    RequestId, SwitchId, WriteOutcome,
+    ClientId, ClientReply, ClientRequest, ControlMsg, Duration, Instant, NodeId, OpKind,
+    PacketBody, ReplicaId, RequestId, SwitchId, WriteOutcome,
 };
 use harmonia_workload::ShardMap;
 
@@ -402,6 +402,20 @@ pub trait Cluster {
     /// conflict detector's gating, no orchestration needed.
     fn replace_switch(&mut self, new_id: SwitchId);
 
+    /// Fail-stop replica `r` (§5.3, "handling server failures"): it loses
+    /// all state, the switch drops it from the forwarding table, and its
+    /// group's membership shrinks to the survivors so the protocol keeps
+    /// committing without it.
+    fn kill_replica(&mut self, r: ReplicaId);
+
+    /// Bring `r` back as a *fresh, empty* replica. The group's canonical
+    /// membership is restored and the switch re-admits `r` **read-gated**:
+    /// no read is offloaded to it until it has caught up. The newcomer
+    /// performs snapshot + log state transfer from a live peer; when the
+    /// transfer completes it reports its applied point and the switch lifts
+    /// the gate only if that point has passed the gate-time floor.
+    fn restart_replica(&mut self, r: ReplicaId);
+
     /// Aggregate data-plane counters across every hosted group (`None` if
     /// the switch is down).
     fn switch_stats(&self) -> Option<SwitchStats>;
@@ -635,6 +649,99 @@ impl Cluster for SimCluster {
             }
         }
         self.switch = new_addr;
+    }
+
+    fn kill_replica(&mut self, r: ReplicaId) {
+        self.world.set_down(NodeId::Replica(r));
+        self.world.inject(
+            NodeId::Controller,
+            self.switch,
+            Msg::new(
+                NodeId::Controller,
+                self.switch,
+                PacketBody::Control(ControlMsg::RemoveReplica(r)),
+            ),
+        );
+        let members = self.spec.group_members(self.spec.group_of_replica(r));
+        let survivors: Vec<ReplicaId> = members.into_iter().filter(|&m| m != r).collect();
+        for &s in &survivors {
+            let dst = NodeId::Replica(s);
+            self.world.inject(
+                NodeId::Controller,
+                dst,
+                Msg::new(
+                    NodeId::Controller,
+                    dst,
+                    PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetMembers(
+                        survivors.clone(),
+                    ))),
+                ),
+            );
+        }
+        // Let the removal land before the caller's next operation.
+        let settle = self.world.now() + Duration::from_micros(100);
+        self.world.run_until(settle);
+    }
+
+    fn restart_replica(&mut self, r: ReplicaId) {
+        let group = self.spec.group_of_replica(r);
+        let canonical = self.spec.group_members(group);
+        let idx = canonical
+            .iter()
+            .position(|&m| m == r)
+            .expect("replica belongs to its group");
+        let peer = canonical
+            .iter()
+            .copied()
+            .find(|&m| m != r)
+            .expect("restart_replica needs a live peer to transfer from");
+        // Switch first: restore the canonical table with the newcomer
+        // gated, then the survivors' membership, so no read reaches `r`
+        // before its catch-up finishes.
+        for ctl in [
+            ControlMsg::SetReplicas(canonical.clone()),
+            ControlMsg::GateReplica(r),
+        ] {
+            self.world.inject(
+                NodeId::Controller,
+                self.switch,
+                Msg::new(NodeId::Controller, self.switch, PacketBody::Control(ctl)),
+            );
+        }
+        for &m in &canonical {
+            if m == r {
+                continue;
+            }
+            let dst = NodeId::Replica(m);
+            self.world.inject(
+                NodeId::Controller,
+                dst,
+                Msg::new(
+                    NodeId::Controller,
+                    dst,
+                    PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetMembers(
+                        canonical.clone(),
+                    ))),
+                ),
+            );
+        }
+        // Let the gate land before the newcomer's transfer can complete.
+        let settle = self.world.now() + Duration::from_micros(100);
+        self.world.run_until(settle);
+        let mut cfg = self.spec.group_config(group, idx);
+        // The newcomer must report its catch-up to the *current* switch
+        // incarnation, not the one the deployment booted with.
+        if let Some(cur) = self.switch_incarnation() {
+            cfg.active_switch = cur;
+        }
+        self.world.replace_node(
+            NodeId::Replica(r),
+            Box::new(ReplicaActor::recovering(
+                build_replica(cfg),
+                self.spec.costs,
+                peer,
+            )),
+        );
     }
 
     fn switch_stats(&self) -> Option<SwitchStats> {

@@ -22,13 +22,14 @@
 //!
 //! [`ConflictDetector`]: harmonia_switch::ConflictDetector
 
-use harmonia_replication::{messages::ReplicaControlMsg, ProtocolMsg};
+use harmonia_replication::{build_replica, messages::ReplicaControlMsg, ProtocolMsg};
 use harmonia_sim::World;
-use harmonia_types::{ControlMsg, Instant, NodeId, PacketBody, ReplicaId, SwitchId};
+use harmonia_types::{ControlMsg, Duration, Instant, NodeId, PacketBody, ReplicaId, SwitchId};
 
 use crate::client::{ClosedLoopClient, OpenLoopClient};
 use crate::deployment::DeploymentSpec;
 use crate::msg::Msg;
+use crate::replica_actor::ReplicaActor;
 
 /// Stop a switch at `at`: it retains no state and forwards nothing.
 pub fn schedule_switch_failure(world: &mut World<Msg>, at: Instant, switch: NodeId) {
@@ -119,6 +120,77 @@ pub fn schedule_replica_removal(
     });
 }
 
+/// Restart a previously removed replica at `at` as a fresh, empty node:
+/// the switch re-admits it **read-gated** and its group's canonical
+/// membership is restored; shortly after (one settle interval, so the gate
+/// is in place first) the newcomer is spawned in recovering mode and
+/// catches up via snapshot + log state transfer from a live peer. The gate
+/// lifts when the transfer's completion report proves the newcomer's
+/// applied point has passed the gate-time floor.
+pub fn schedule_replica_recovery(
+    world: &mut World<Msg>,
+    at: Instant,
+    spec: &DeploymentSpec,
+    switch: NodeId,
+    replica: ReplicaId,
+) {
+    let spec = spec.clone();
+    world.schedule_control(at, move |w| {
+        let group = spec.group_of_replica(replica);
+        let canonical = spec.group_members(group);
+        let idx = canonical
+            .iter()
+            .position(|&m| m == replica)
+            .expect("replica belongs to its group");
+        let peer = canonical
+            .iter()
+            .copied()
+            .find(|&m| m != replica)
+            .expect("recovery needs a live peer to transfer from");
+        for ctl in [
+            ControlMsg::SetReplicas(canonical.clone()),
+            ControlMsg::GateReplica(replica),
+        ] {
+            w.inject(
+                NodeId::Controller,
+                switch,
+                Msg::new(NodeId::Controller, switch, PacketBody::Control(ctl)),
+            );
+        }
+        for &m in &canonical {
+            if m == replica {
+                continue;
+            }
+            let dst = NodeId::Replica(m);
+            w.inject(
+                NodeId::Controller,
+                dst,
+                Msg::new(
+                    NodeId::Controller,
+                    dst,
+                    PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetMembers(
+                        canonical.clone(),
+                    ))),
+                ),
+            );
+        }
+        let mut cfg = spec.group_config(group, idx);
+        // Report catch-up to the incarnation the caller targeted, not the
+        // one the deployment booted with.
+        if let NodeId::Switch(id) = switch {
+            cfg.active_switch = id;
+        }
+        let costs = spec.costs;
+        let settle = w.now() + Duration::from_micros(200);
+        w.schedule_control(settle, move |w| {
+            w.replace_node(
+                NodeId::Replica(replica),
+                Box::new(ReplicaActor::recovering(build_replica(cfg), costs, peer)),
+            );
+        });
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +271,57 @@ mod tests {
         sim.run_until(t(12));
         sim.world_mut().metrics_mut().reset();
         sim.run_until(t(30));
+        let reads = sim.world().metrics().counter(metrics::READ_DONE);
+        let writes = sim.world().metrics().counter(metrics::WRITE_DONE);
+        assert!(reads > 400, "reads={reads}");
+        assert!(writes > 20, "writes={writes}");
+    }
+
+    #[test]
+    fn replica_recovery_transfers_state_and_lifts_the_read_gate() {
+        let spec = DeploymentSpec::new();
+        let mut sim = spec.build_sim();
+        sim.add_open_loop_client(
+            ClientId(1),
+            50_000.0,
+            Duration::from_millis(5),
+            mixed_source(),
+        );
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        // Kill the tail at 5 ms, bring it back at 12 ms.
+        schedule_replica_removal(
+            sim.world_mut(),
+            t(5),
+            &spec,
+            spec.switch_addr(),
+            ReplicaId(2),
+        );
+        schedule_replica_recovery(
+            sim.world_mut(),
+            t(12),
+            &spec,
+            spec.switch_addr(),
+            ReplicaId(2),
+        );
+        sim.run_until(t(30));
+
+        // The transfer finished, the newcomer holds real state, and the
+        // switch lifted its read gate.
+        let actor: &crate::replica_actor::ReplicaActor = sim
+            .world()
+            .actor(NodeId::Replica(ReplicaId(2)))
+            .expect("replaced node exists");
+        assert!(!actor.is_recovering(), "transfer still in flight");
+        assert!(
+            actor.replica().applied_seq() > harmonia_types::SwitchSeq::ZERO,
+            "recovered tail applied nothing"
+        );
+        let sw: &SwitchActor = sim.world().actor(spec.switch_addr()).unwrap();
+        assert!(!sw.is_gated(ReplicaId(2)), "gate never lifted");
+
+        // Service kept flowing after the recovery.
+        sim.world_mut().metrics_mut().reset();
+        sim.run_until(t(50));
         let reads = sim.world().metrics().counter(metrics::READ_DONE);
         let writes = sim.world().metrics().counter(metrics::WRITE_DONE);
         assert!(reads > 400, "reads={reads}");

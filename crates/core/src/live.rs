@@ -56,11 +56,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
-use harmonia_replication::{build_replica, Effects, Replica};
+use harmonia_replication::{build_replica, Effects, Replica, StateTransfer};
 use harmonia_switch::{GroupId, GroupObservation, SpineView, SwitchStats};
 use harmonia_types::{
-    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, ReplicaId, RequestId,
-    SwitchId, WriteOutcome,
+    ClientId, ClientRequest, ControlMsg, Duration, Instant, NodeId, OpKind, PacketBody, ReplicaId,
+    RequestId, SwitchId, WriteOutcome,
 };
 use harmonia_workload::ShardMap;
 
@@ -537,6 +537,24 @@ impl LiveRig {
     }
 
     fn spawn_replica(&mut self, group: harmonia_replication::GroupConfig) {
+        self.spawn_replica_inner(group, None);
+    }
+
+    /// Spawn a *fresh* replica that must catch up from `peer` via state
+    /// transfer before serving (a restart after a fail-stop).
+    fn spawn_recovering_replica(
+        &mut self,
+        group: harmonia_replication::GroupConfig,
+        peer: ReplicaId,
+    ) {
+        self.spawn_replica_inner(group, Some(peer));
+    }
+
+    fn spawn_replica_inner(
+        &mut self,
+        group: harmonia_replication::GroupConfig,
+        recover_from: Option<ReplicaId>,
+    ) {
         let me = NodeId::Replica(group.me);
         let (tx, rx) = unbounded::<Envelope>();
         self.router.register(me, tx.clone());
@@ -548,9 +566,51 @@ impl LiveRig {
         let name = format!("harmonia-replica-{}", group.me.0);
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || replica_main(me, build_replica(group), link))
+            .spawn(move || replica_main(me, build_replica(group), link, recover_from))
             .expect("spawn replica thread");
         self.replica_threads.push((tx, handle));
+    }
+
+    /// Fail-stop one replica: stop and join its thread, drop its route (any
+    /// in-flight packets toward it vanish, like a dead NIC).
+    fn kill_replica(&mut self, r: ReplicaId) {
+        if let Some(idx) = self.replica_ids.iter().position(|&m| m == r) {
+            self.replica_ids.remove(idx);
+            let (tx, handle) = self.replica_threads.remove(idx);
+            let _ = tx.send(Envelope::Stop);
+            let _ = handle.join();
+            self.router.install(|t| {
+                t.remove(&NodeId::Replica(r));
+            });
+        }
+    }
+
+    /// Control-plane packet to the switch fleet (broadcast to every group's
+    /// pipeline; each applies only changes addressed to it).
+    fn send_switch_control(&self, ctl: ControlMsg) {
+        let mut router = self.router.handle();
+        router.send(
+            self.switch_addr,
+            Msg::new(
+                NodeId::Controller,
+                self.switch_addr,
+                PacketBody::Control(ctl),
+            ),
+        );
+    }
+
+    /// Configuration service: set one replica's view of its group.
+    fn send_set_members(&self, to: ReplicaId, members: Vec<ReplicaId>) {
+        let mut router = self.router.handle();
+        let dst = NodeId::Replica(to);
+        router.send(
+            dst,
+            Msg::new(
+                NodeId::Controller,
+                dst,
+                PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetMembers(members))),
+            ),
+        );
     }
 
     /// Stop every pipeline of the fleet and wait for them. Requests already
@@ -736,6 +796,57 @@ impl LiveCluster {
         self.rig.move_lease(new_id);
     }
 
+    /// Fail-stop replica `r` (§5.3, "handling server failures"): its thread
+    /// stops and is joined, its route disappears (in-flight packets toward
+    /// it vanish), the switch drops it from the forwarding table, and its
+    /// group shrinks to the survivors.
+    pub fn kill_replica(&mut self, r: ReplicaId) {
+        self.rig.kill_replica(r);
+        self.rig.send_switch_control(ControlMsg::RemoveReplica(r));
+        let members = self.spec.group_members(self.spec.group_of_replica(r));
+        let survivors: Vec<ReplicaId> = members.into_iter().filter(|&m| m != r).collect();
+        for &s in &survivors {
+            self.rig.send_set_members(s, survivors.clone());
+        }
+    }
+
+    /// Restart `r` as a fresh, empty replica: canonical membership is
+    /// restored, the switch re-admits it read-gated, and the newcomer
+    /// catches up via snapshot + log state transfer from a live peer; the
+    /// gate lifts once its reported applied point passes the gate floor.
+    pub fn restart_replica(&mut self, r: ReplicaId) {
+        let group = self.spec.group_of_replica(r);
+        let canonical = self.spec.group_members(group);
+        let idx = canonical
+            .iter()
+            .position(|&m| m == r)
+            .expect("replica belongs to its group");
+        let peer = canonical
+            .iter()
+            .copied()
+            .find(|&m| m != r)
+            .expect("restart_replica needs a live peer to transfer from");
+        // Switch first: restore the canonical table with the newcomer
+        // gated, then the survivors' membership. A short settle keeps the
+        // gate ahead of the newcomer's ungate report.
+        self.rig
+            .send_switch_control(ControlMsg::SetReplicas(canonical.clone()));
+        self.rig.send_switch_control(ControlMsg::GateReplica(r));
+        for &m in &canonical {
+            if m != r {
+                self.rig.send_set_members(m, canonical.clone());
+            }
+        }
+        std::thread::sleep(StdDuration::from_millis(2));
+        let mut cfg = self.spec.group_config(group, idx);
+        // The newcomer must report its catch-up to the *current* switch
+        // incarnation, not the one the deployment booted with.
+        if let Some(cur) = self.switch_incarnation() {
+            cfg.active_switch = cur;
+        }
+        self.rig.spawn_recovering_replica(cfg, peer);
+    }
+
     /// Aggregate data-plane counters of the live switch (None if killed).
     pub fn switch_stats(&self) -> Option<SwitchStats> {
         self.rig.observe().map(|v| v.stats())
@@ -800,6 +911,14 @@ impl Cluster for LiveCluster {
 
     fn replace_switch(&mut self, new_id: SwitchId) {
         LiveCluster::replace_switch(self, new_id);
+    }
+
+    fn kill_replica(&mut self, r: ReplicaId) {
+        LiveCluster::kill_replica(self, r);
+    }
+
+    fn restart_replica(&mut self, r: ReplicaId) {
+        LiveCluster::restart_replica(self, r);
     }
 
     fn switch_stats(&self) -> Option<SwitchStats> {
@@ -886,7 +1005,28 @@ pub(crate) fn run_plans_threaded(
 
 /// A replica's event loop — deliver packets, drive ticks. Generic over the
 /// [`NodeLink`]: the same loop serves the channel driver and the UDP driver.
-pub(crate) fn replica_main(me: NodeId, mut replica: Box<dyn Replica>, mut link: impl NodeLink) {
+///
+/// With `recover_from` set, the replica starts *empty* and first performs
+/// snapshot + log state transfer from that peer; client requests are shed
+/// (clients retry elsewhere — the switch read-gates it anyway) until the
+/// transfer completes and the loop asks the switch to lift the gate.
+pub(crate) fn replica_main(
+    me: NodeId,
+    mut replica: Box<dyn Replica>,
+    mut link: impl NodeLink,
+    recover_from: Option<ReplicaId>,
+) {
+    let NodeId::Replica(my_id) = me else {
+        unreachable!("replica loop hosted at {me:?}")
+    };
+    let mut transfer = StateTransfer::new(my_id);
+    if let Some(peer) = recover_from {
+        let mut fx = Effects::new();
+        transfer.begin(peer, &mut fx);
+        for (dst, body) in fx.out {
+            link.send(dst, Msg::new(me, dst, body));
+        }
+    }
     let tick = replica.tick_interval().map(|d| d.to_std());
     let mut next_tick = tick.map(|t| StdInstant::now() + t);
     loop {
@@ -898,6 +1038,15 @@ pub(crate) fn replica_main(me: NodeId, mut replica: Box<dyn Replica>, mut link: 
             Ok(Envelope::Packet(msg)) => {
                 let mut fx = Effects::new();
                 match msg.body {
+                    // State-transfer traffic is brokered outside the
+                    // protocol state machine: the engine both answers
+                    // peers' snapshot requests and installs our catch-up.
+                    PacketBody::Protocol(ProtocolMsg::StateTransfer(m)) => {
+                        transfer.on_msg(replica.as_mut(), m, &mut fx);
+                    }
+                    // Not caught up yet: shed the request, the client
+                    // retries against a replica that can serve it.
+                    PacketBody::Request(_) if transfer.is_recovering() => {}
                     PacketBody::Request(req) => replica.on_request(msg.src, req, &mut fx),
                     PacketBody::Protocol(p) => replica.on_protocol(msg.src, p, &mut fx),
                     _ => {}

@@ -5,9 +5,9 @@
 //! [`CostModel`] duration, so saturation and queueing delay arise exactly as
 //! on the paper's testbed, where the tail/leader CPU is the bottleneck.
 
-use harmonia_replication::{Effects, Replica};
+use harmonia_replication::{Effects, ProtocolMsg, Replica, StateTransfer};
 use harmonia_sim::{Actor, Context, Service, TimerToken};
-use harmonia_types::{NodeId, PacketBody};
+use harmonia_types::{NodeId, PacketBody, ReplicaId};
 
 use crate::msg::{CostModel, Msg};
 
@@ -15,17 +15,55 @@ use crate::msg::{CostModel, Msg};
 pub struct ReplicaActor {
     inner: Box<dyn Replica>,
     costs: CostModel,
+    /// The state-transfer broker: serves peers' snapshot requests, and runs
+    /// this replica's own catch-up after a restart. Built lazily because the
+    /// actor only learns its node id from the world.
+    transfer: Option<StateTransfer>,
+    /// Set by [`recovering`](Self::recovering): `on_start` requests a
+    /// snapshot from this peer before serving anything.
+    recover_from: Option<ReplicaId>,
 }
 
 impl ReplicaActor {
     /// Wrap a protocol state machine with the given cost model.
     pub fn new(inner: Box<dyn Replica>, costs: CostModel) -> Self {
-        ReplicaActor { inner, costs }
+        ReplicaActor {
+            inner,
+            costs,
+            transfer: None,
+            recover_from: None,
+        }
+    }
+
+    /// Wrap a *fresh* state machine that must catch up from `peer` before
+    /// it may serve: on start it begins snapshot + log state transfer, and
+    /// client requests are dropped (clients retry) until the transfer
+    /// completes and the switch is asked to lift the read gate.
+    pub fn recovering(inner: Box<dyn Replica>, costs: CostModel, peer: ReplicaId) -> Self {
+        ReplicaActor {
+            inner,
+            costs,
+            transfer: None,
+            recover_from: Some(peer),
+        }
     }
 
     /// Inspect the wrapped state machine.
     pub fn replica(&self) -> &dyn Replica {
         self.inner.as_ref()
+    }
+
+    /// Whether a state transfer into this replica is still in flight.
+    pub fn is_recovering(&self) -> bool {
+        self.recover_from.is_some() || self.transfer.as_ref().is_some_and(|t| t.is_recovering())
+    }
+
+    fn engine(&mut self, node: NodeId) -> &mut StateTransfer {
+        let me = match node {
+            NodeId::Replica(r) => r,
+            other => unreachable!("replica actor hosted at {other:?}"),
+        };
+        self.transfer.get_or_insert_with(|| StateTransfer::new(me))
     }
 
     fn flush(&self, ctx: &mut Context<'_, Msg>, fx: Effects) {
@@ -41,11 +79,36 @@ impl Actor<Msg> for ReplicaActor {
         if let Some(iv) = self.inner.tick_interval() {
             ctx.set_timer(iv);
         }
+        if let Some(peer) = self.recover_from.take() {
+            let mut fx = Effects::new();
+            self.engine(ctx.node()).begin(peer, &mut fx);
+            self.flush(ctx, fx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
         let mut fx = Effects::new();
         match msg.body {
+            // State-transfer traffic is brokered outside the protocol state
+            // machine: the engine both answers peers' snapshot requests and
+            // installs this replica's own catch-up.
+            PacketBody::Protocol(ProtocolMsg::StateTransfer(m)) => {
+                self.engine(ctx.node());
+                // Split the borrow: engine and state machine are disjoint.
+                let ReplicaActor {
+                    inner, transfer, ..
+                } = self;
+                transfer.as_mut().expect("engine initialised above").on_msg(
+                    inner.as_mut(),
+                    m,
+                    &mut fx,
+                );
+            }
+            PacketBody::Request(_) if self.is_recovering() => {
+                // Not caught up yet: shed the request, the client retries
+                // against a replica that can actually serve it.
+                ctx.metrics().incr("replica.recovering_drop");
+            }
             PacketBody::Request(req) => self.inner.on_request(from, req, &mut fx),
             PacketBody::Protocol(p) => self.inner.on_protocol(from, p, &mut fx),
             // Replies, completions and switch-control packets are not

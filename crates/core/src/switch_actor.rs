@@ -130,6 +130,11 @@ impl GroupCore {
         self.detector.memory_bytes()
     }
 
+    /// Whether replica `r` is currently read-gated in this group's table.
+    pub fn is_gated(&self, r: ReplicaId) -> bool {
+        self.fwd.is_gated(r)
+    }
+
     /// A point-in-time snapshot for aggregate-only views ([`SpineView`]).
     pub fn observe(&self) -> GroupObservation {
         GroupObservation {
@@ -280,6 +285,21 @@ impl GroupCore {
             ControlMsg::SetReplicas(rs) => {
                 if rs.first().is_some_and(|&r| self.owns(r)) {
                     self.fwd.set_replicas(rs);
+                }
+            }
+            ControlMsg::GateReplica(r) => {
+                if self.owns(r) {
+                    // Gate floor: the group's last-committed point right
+                    // now. Every write in the replica's recovery window is
+                    // at or below it, so an ungate proving catch-up past
+                    // the floor proves the window is covered.
+                    let floor = self.detector.last_committed();
+                    self.fwd.gate_replica(r, floor);
+                }
+            }
+            ControlMsg::UngateReplica { replica, caught_up } => {
+                if self.owns(replica) {
+                    self.fwd.ungate_replica(replica, caught_up);
                 }
             }
         }
@@ -463,6 +483,12 @@ impl SwitchCore {
         self.cfg.incarnation
     }
 
+    /// Whether replica `r` is currently read-gated (recovering, not yet
+    /// proven caught up) in its group's forwarding table.
+    pub fn is_gated(&self, r: ReplicaId) -> bool {
+        self.groups.values().any(|c| c.fwd.is_gated(r))
+    }
+
     /// Tear the core into independently-ownable per-group pipelines (the
     /// live driver), in group order. Each [`GroupCore`] takes its group's
     /// detector, forwarding table, sequencer, counters, and provisioned
@@ -547,6 +573,19 @@ impl SwitchCore {
                     }
                     if let Some(core) = self.groups.get_mut(&gid) {
                         core.fwd.set_replicas(rs);
+                    }
+                }
+                ControlMsg::GateReplica(r) => {
+                    let gid = self.control_group(r);
+                    if let Some(core) = self.groups.get_mut(&gid) {
+                        let floor = core.detector.last_committed();
+                        core.fwd.gate_replica(r, floor);
+                    }
+                }
+                ControlMsg::UngateReplica { replica, caught_up } => {
+                    let gid = self.control_group(replica);
+                    if let Some(core) = self.groups.get_mut(&gid) {
+                        core.fwd.ungate_replica(replica, caught_up);
                     }
                 }
             },
@@ -645,6 +684,11 @@ impl SwitchActor {
     /// This incarnation's id.
     pub fn incarnation(&self) -> SwitchId {
         self.core.incarnation()
+    }
+
+    /// Whether replica `r` is currently read-gated in its group's table.
+    pub fn is_gated(&self, r: ReplicaId) -> bool {
+        self.core.is_gated(r)
     }
 }
 

@@ -50,7 +50,7 @@ use harmonia_net::{
 use harmonia_replication::build_replica;
 use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
 use harmonia_switch::{GroupId, GroupObservation, SpineView, SwitchStats};
-use harmonia_types::{ClientId, NodeId, PacketBody, ReplicaId, SwitchId};
+use harmonia_types::{ClientId, ControlMsg, NodeId, PacketBody, ReplicaId, SwitchId};
 
 use crate::client::{OpSpec, RecordedOp};
 use crate::deployment::{Cluster, DeploymentSpec, KvClient};
@@ -89,6 +89,19 @@ struct UdpLink {
     transport: Net,
     ctl: Receiver<Envelope>,
     has_ctl: bool,
+    /// The book entry this link owns, deregistered on drop — a client (or
+    /// replica) endpoint must not keep receiving routes after its socket is
+    /// gone, and the book must not grow one dead entry per short-lived
+    /// client.
+    owner: Option<(Arc<AddrBook>, NodeId)>,
+}
+
+impl Drop for UdpLink {
+    fn drop(&mut self) {
+        if let Some((book, node)) = self.owner.take() {
+            book.unregister(node);
+        }
+    }
 }
 
 impl NodeLink for UdpLink {
@@ -238,6 +251,9 @@ impl UdpRig {
                 transport,
                 ctl: ctl_rx,
                 has_ctl: true,
+                // Pipelines are addressed through the spine entry, not a
+                // unicast registration; `clear_spine` is their teardown.
+                owner: None,
             };
             let join = std::thread::Builder::new()
                 .name(format!("harmonia-udpsw-{}-g{}", incarnation.0, group.0))
@@ -259,6 +275,24 @@ impl UdpRig {
     }
 
     fn spawn_replica(&mut self, group: harmonia_replication::GroupConfig) {
+        self.spawn_replica_inner(group, None);
+    }
+
+    /// Spawn a *fresh* replica that must catch up from `peer` via state
+    /// transfer before serving (a restart after a fail-stop).
+    fn spawn_recovering_replica(
+        &mut self,
+        group: harmonia_replication::GroupConfig,
+        peer: ReplicaId,
+    ) {
+        self.spawn_replica_inner(group, Some(peer));
+    }
+
+    fn spawn_replica_inner(
+        &mut self,
+        group: harmonia_replication::GroupConfig,
+        recover_from: Option<ReplicaId>,
+    ) {
         let me = NodeId::Replica(group.me);
         let (transport, addr) = self.endpoint(Faults::SparingReplicas);
         self.book.register(me, addr);
@@ -267,14 +301,54 @@ impl UdpRig {
             transport,
             ctl: ctl_rx,
             has_ctl: true,
+            owner: Some((Arc::clone(&self.book), me)),
         };
         self.replica_ids.push(group.me);
         let name = format!("harmonia-udprep-{}", group.me.0);
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || replica_main(me, build_replica(group), link))
+            .spawn(move || replica_main(me, build_replica(group), link, recover_from))
             .expect("spawn UDP replica thread");
         self.replica_threads.push((ctl_tx, handle));
+    }
+
+    /// Fail-stop one replica: stop and join its thread; its link's drop
+    /// removes it from the book, so packets toward it vanish mid-flight.
+    fn kill_replica(&mut self, r: ReplicaId) {
+        if let Some(idx) = self.replica_ids.iter().position(|&m| m == r) {
+            self.replica_ids.remove(idx);
+            let (ctl, handle) = self.replica_threads.remove(idx);
+            let _ = ctl.send(Envelope::Stop);
+            let _ = handle.join();
+        }
+    }
+
+    /// Control-plane packet to the switch fleet over a clean socket
+    /// (broadcast to every group's pipeline by the spine entry).
+    fn send_switch_control(&self, ctl: ControlMsg) {
+        let (mut t, _) = self.endpoint(Faults::None);
+        t.send(
+            self.switch_addr,
+            Msg::new(
+                NodeId::Controller,
+                self.switch_addr,
+                PacketBody::Control(ctl),
+            ),
+        );
+    }
+
+    /// Configuration service: set one replica's view of its group.
+    fn send_set_members(&self, to: ReplicaId, members: Vec<ReplicaId>) {
+        let (mut t, _) = self.endpoint(Faults::None);
+        let dst = NodeId::Replica(to);
+        t.send(
+            dst,
+            Msg::new(
+                NodeId::Controller,
+                dst,
+                PacketBody::Protocol(ProtocolMsg::Control(ReplicaControlMsg::SetMembers(members))),
+            ),
+        );
     }
 
     /// Stop every pipeline of the fleet and wait for them. The fleet's
@@ -348,6 +422,7 @@ impl UdpRig {
             transport,
             ctl: ctl_rx,
             has_ctl: false,
+            owner: Some((Arc::clone(&self.book), NodeId::Client(id))),
         };
         LiveClient::over_link(
             id,
@@ -420,6 +495,18 @@ impl UdpCluster {
         self.rig.fault_counters.snapshot()
     }
 
+    /// Reorder-held datagrams discarded at endpoint teardown (instead of
+    /// flushed toward addresses that may already be gone).
+    pub fn discarded_count(&self) -> u64 {
+        self.rig.fault_counters.discarded()
+    }
+
+    /// Number of unicast entries currently in the deployment's address book
+    /// (leak checks: dropped clients must deregister themselves).
+    pub fn unicast_entries(&self) -> usize {
+        self.rig.book.unicast_len()
+    }
+
     /// §5.3 step 1: the switch fails (see
     /// [`LiveCluster::kill_switch`](crate::live::LiveCluster::kill_switch);
     /// here the fleet's sockets also vanish from the address book).
@@ -434,6 +521,55 @@ impl UdpCluster {
         self.rig
             .spawn_switch(SwitchCore::for_deployment(&self.spec, new_id));
         self.rig.move_lease(new_id);
+    }
+
+    /// Fail-stop replica `r` (§5.3, "handling server failures"): its thread
+    /// stops, its socket leaves the address book (in-flight datagrams
+    /// toward it vanish), the switch drops it from the forwarding table,
+    /// and its group shrinks to the survivors.
+    pub fn kill_replica(&mut self, r: ReplicaId) {
+        self.rig.kill_replica(r);
+        self.rig.send_switch_control(ControlMsg::RemoveReplica(r));
+        let members = self.spec.group_members(self.spec.group_of_replica(r));
+        let survivors: Vec<ReplicaId> = members.into_iter().filter(|&m| m != r).collect();
+        for &s in &survivors {
+            self.rig.send_set_members(s, survivors.clone());
+        }
+    }
+
+    /// Restart `r` as a fresh, empty replica on a new socket: canonical
+    /// membership is restored, the switch re-admits it read-gated, and the
+    /// newcomer catches up via snapshot + log state transfer from a live
+    /// peer — every transfer byte crossing real UDP datagrams; the gate
+    /// lifts once its reported applied point passes the gate floor.
+    pub fn restart_replica(&mut self, r: ReplicaId) {
+        let group = self.spec.group_of_replica(r);
+        let canonical = self.spec.group_members(group);
+        let idx = canonical
+            .iter()
+            .position(|&m| m == r)
+            .expect("replica belongs to its group");
+        let peer = canonical
+            .iter()
+            .copied()
+            .find(|&m| m != r)
+            .expect("restart_replica needs a live peer to transfer from");
+        self.rig
+            .send_switch_control(ControlMsg::SetReplicas(canonical.clone()));
+        self.rig.send_switch_control(ControlMsg::GateReplica(r));
+        for &m in &canonical {
+            if m != r {
+                self.rig.send_set_members(m, canonical.clone());
+            }
+        }
+        // Settle so the gate lands before the newcomer's ungate report.
+        std::thread::sleep(StdDuration::from_millis(2));
+        let mut cfg = self.spec.group_config(group, idx);
+        // Report catch-up to the *current* switch incarnation.
+        if let Some(cur) = self.switch_incarnation() {
+            cfg.active_switch = cur;
+        }
+        self.rig.spawn_recovering_replica(cfg, peer);
     }
 
     /// Aggregate data-plane counters of the switch (None if killed).
@@ -498,6 +634,14 @@ impl Cluster for UdpCluster {
 
     fn replace_switch(&mut self, new_id: SwitchId) {
         UdpCluster::replace_switch(self, new_id);
+    }
+
+    fn kill_replica(&mut self, r: ReplicaId) {
+        UdpCluster::kill_replica(self, r);
+    }
+
+    fn restart_replica(&mut self, r: ReplicaId) {
+        UdpCluster::restart_replica(self, r);
     }
 
     fn switch_stats(&self) -> Option<SwitchStats> {

@@ -65,6 +65,13 @@ impl VersionChain {
         self.dirty.len()
     }
 
+    /// The staged (uncommitted) versions in sequence order. State transfer
+    /// ships these alongside the clean version so a rejoining CRAQ node can
+    /// honour later CLEAN acknowledgements.
+    pub fn dirty_versions(&self) -> &[VersionedValue] {
+        &self.dirty
+    }
+
     /// Stage an uncommitted write. Versions must arrive in increasing
     /// sequence order (the replication protocol enforces this); offenders
     /// are rejected with `false`.

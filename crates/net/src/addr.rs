@@ -111,6 +111,12 @@ impl AddrBook {
         Arc::clone(&self.table.lock().unwrap())
     }
 
+    /// Number of unicast entries currently registered (leak checks: every
+    /// dropped endpoint must have unregistered itself).
+    pub fn unicast_len(&self) -> usize {
+        self.table.lock().unwrap().nodes.len()
+    }
+
     /// Register (or re-register) a unicast node.
     pub fn register(&self, node: NodeId, addr: SocketAddr) {
         self.install(|d| {

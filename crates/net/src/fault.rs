@@ -41,6 +41,10 @@ pub struct FaultCounters {
     pub duplicated: AtomicU64,
     /// Packets delivered out of send order.
     pub reordered: AtomicU64,
+    /// Packets still held for reordering when their endpoint was torn down
+    /// — discarded instead of flushed, so a dead node's adversary cannot
+    /// send toward addresses that may already be gone.
+    pub discarded: AtomicU64,
 }
 
 impl FaultCounters {
@@ -51,6 +55,11 @@ impl FaultCounters {
             self.duplicated.load(Ordering::Relaxed),
             self.reordered.load(Ordering::Relaxed),
         )
+    }
+
+    /// Held packets discarded at endpoint teardown so far.
+    pub fn discarded(&self) -> u64 {
+        self.discarded.load(Ordering::Relaxed)
     }
 }
 
@@ -110,6 +119,18 @@ where
     fn flush_held(&mut self) {
         if let Some((to, pkt)) = self.held.take() {
             self.inner.send(to, pkt);
+        }
+    }
+}
+
+impl<T, I> Drop for FaultyTransport<T, I> {
+    fn drop(&mut self) {
+        // A packet still held for reordering at teardown is discarded, not
+        // flushed: the node is dead, and its destination's address may have
+        // already left the book (§5.3 teardown order is not observable to
+        // the adversary). Counted so fault harnesses can account for it.
+        if self.held.take().is_some() {
+            self.counters.discarded.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -239,6 +260,26 @@ mod tests {
         }
         let (dropped, ..) = counters.snapshot();
         assert!(dropped > 0);
+    }
+
+    #[test]
+    fn held_packet_is_discarded_not_flushed_at_teardown() {
+        let cfg = FaultConfig {
+            reorder_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let counters = Arc::new(FaultCounters::default());
+        let log = {
+            let mut t =
+                FaultyTransport::new(MockTransport::default(), cfg, 3, Arc::clone(&counters));
+            // With reorder_prob = 1 the very first send is held back.
+            t.send(NodeId::Client(ClientId(2)), pkt(1));
+            t.inner.log.clone()
+            // The endpoint is torn down here with the packet still held.
+        };
+        assert!(log.is_empty(), "held packet must not reach the wire");
+        assert_eq!(counters.discarded(), 1, "discard must be counted");
+        assert_eq!(counters.snapshot().2, 1, "the hold itself was a reorder");
     }
 
     #[test]

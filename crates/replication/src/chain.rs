@@ -14,14 +14,15 @@
 use bytes::Bytes;
 use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
-    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
+    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchId, SwitchSeq, WriteCompletion,
+    WriteOutcome,
 };
 
 use crate::common::{
-    handle_control, read_ahead_ok, read_reply, write_reply, Admission, ClientTable, Effects,
-    GroupConfig, InOrder, LeaseState, Replica,
+    export_store, handle_control, install_store, read_ahead_ok, read_reply, write_reply, Admission,
+    ClientTable, Effects, GroupConfig, InOrder, LeaseState, Replica, Snapshot,
 };
-use crate::messages::{ChainMsg, ProtocolMsg, WriteOp};
+use crate::messages::{ChainMsg, ProtocolMsg, SnapshotState, WriteOp};
 
 /// One chain-replication node.
 pub struct ChainReplica {
@@ -67,14 +68,29 @@ impl ChainReplica {
         self.members.get(idx + 1).copied()
     }
 
+    fn predecessor(&self) -> Option<ReplicaId> {
+        let idx = self.members.iter().position(|&r| r == self.me)?;
+        idx.checked_sub(1).map(|i| self.members[i])
+    }
+
     fn is_tail(&self) -> bool {
         self.me == self.tail()
     }
 
+    /// Versioned apply: never regress a key. Equivalent to a plain put in
+    /// steady state (the in-order rule makes sequence numbers increase),
+    /// but a freshly recovered node can hold installed snapshot state
+    /// *newer* than a `Down` still in flight to it — that write must keep
+    /// propagating without clobbering the newer version.
     fn apply(&mut self, op: &WriteOp) {
-        self.store.put(
-            op.key.clone(),
-            VersionedValue::new(op.value.clone(), op.seq),
+        self.store.update(
+            &op.key,
+            || VersionedValue::new(op.value.clone(), op.seq),
+            |vv| {
+                if op.seq > vv.seq {
+                    *vv = VersionedValue::new(op.value.clone(), op.seq);
+                }
+            },
         );
         self.applied = self.applied.max(op.seq);
     }
@@ -219,6 +235,15 @@ impl Replica for ChainReplica {
             ProtocolMsg::Chain(ChainMsg::ReReply { client, request }) => {
                 if let Some(r) = self.clients.cached_reply(client, request) {
                     out.reply(self.lease.active(), r);
+                } else if let Some(pred) = self.predecessor() {
+                    // Cache miss: a freshly recovered tail has no reply
+                    // cache for writes its predecessor (the interim tail)
+                    // answered while it was down. Walk the request upstream
+                    // — the node that replied holds the cache entry.
+                    out.protocol(
+                        pred,
+                        ProtocolMsg::Chain(ChainMsg::ReReply { client, request }),
+                    );
                 }
             }
             _ => {}
@@ -231,6 +256,43 @@ impl Replica for ChainReplica {
 
     fn applied_seq(&self) -> SwitchSeq {
         self.applied
+    }
+
+    fn export_snapshot(&self) -> Snapshot {
+        let (clients, replies) = self.clients.export();
+        Snapshot {
+            // The head's applied state covers every admitted write —
+            // writes still propagating to downstream nodes included — so a
+            // chain snapshot needs no separate log.
+            entries: export_store(&self.store),
+            log: Vec::new(),
+            state: SnapshotState {
+                in_order: self.in_order.last(),
+                applied: self.applied,
+                local_seq: self.local_seq,
+                commit_num: 0,
+                session: 0,
+                clients,
+                replies,
+            },
+        }
+    }
+
+    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Effects) {
+        let _ = out;
+        let installed = install_store(&self.store, snap.entries);
+        self.applied = self.applied.max(installed).max(snap.state.applied);
+        // Deliberately do NOT raise `in_order` to the snapshot's point: a
+        // `Down` still in flight from the predecessor may carry a sequence
+        // the snapshot already covers, and it must still be accepted so it
+        // keeps propagating (and gets its tail reply). The versioned
+        // `apply` keeps it from regressing installed state.
+        self.local_seq = self.local_seq.max(snap.state.local_seq);
+        self.clients.install(snap.state.clients, snap.state.replies);
+    }
+
+    fn active_switch(&self) -> SwitchId {
+        self.lease.active()
     }
 }
 

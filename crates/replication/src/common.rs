@@ -3,11 +3,13 @@
 
 use bytes::Bytes;
 use harmonia_types::{
-    ClientReply, ClientRequest, Duration, NodeId, PacketBody, ReplicaId, SwitchId, SwitchSeq,
-    WriteCompletion, WriteOutcome,
+    ClientReply, ClientRequest, ControlMsg, Duration, NodeId, PacketBody, ReplicaId, SwitchId,
+    SwitchSeq, WriteCompletion, WriteOutcome,
 };
 
-use crate::messages::{ProtocolMsg, ReplicaControlMsg};
+use crate::messages::{
+    ProtocolMsg, ReplicaControlMsg, SnapshotEntry, SnapshotState, StateTransferMsg, WriteOp,
+};
 
 /// Which replication protocol a group runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,6 +116,12 @@ impl Effects {
     pub fn forward_request(&mut self, to: ReplicaId, req: ClientRequest) {
         self.out
             .push((NodeId::Replica(to), PacketBody::Request(req)));
+    }
+
+    /// Send a switch control-plane command (recovery ungates, §5.3).
+    pub fn control_switch(&mut self, to_switch: SwitchId, ctl: ControlMsg) {
+        self.out
+            .push((NodeId::Switch(to_switch), PacketBody::Control(ctl)));
     }
 
     /// Number of buffered sends.
@@ -228,6 +236,48 @@ impl ClientTable {
             .filter(|r| r.request == request)
             .cloned()
     }
+
+    /// Export the session table for state transfer, sorted by client id so
+    /// the wire bytes are deterministic.
+    pub fn export(
+        &self,
+    ) -> (
+        Vec<(harmonia_types::ClientId, harmonia_types::RequestId)>,
+        Vec<ClientReply>,
+    ) {
+        let mut clients: Vec<_> = self.last.iter().map(|(&c, &r)| (c, r)).collect();
+        clients.sort_by_key(|&(c, _)| c.0);
+        let mut replies: Vec<_> = self.replies.values().cloned().collect();
+        replies.sort_by_key(|r| r.client.0);
+        (clients, replies)
+    }
+
+    /// Merge an exported session table into this one. Live admissions that
+    /// happened during the transfer are newer than the snapshot, so each
+    /// client keeps the larger request id (and its reply cache entry).
+    pub fn install(
+        &mut self,
+        clients: Vec<(harmonia_types::ClientId, harmonia_types::RequestId)>,
+        replies: Vec<ClientReply>,
+    ) {
+        for (client, request) in clients {
+            let slot = self.last.entry(client).or_insert(request);
+            if request > *slot {
+                *slot = request;
+            }
+        }
+        for reply in replies {
+            match self.last.get(&reply.client) {
+                // Only adopt the snapshot's cached reply if it answers the
+                // client's newest admitted request; a stale cache entry
+                // must not shadow a live one.
+                Some(&last) if reply.request == last => {
+                    self.replies.insert(reply.client, reply);
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 /// §7 responsibility 2: honour single-replica reads only from the one active
@@ -338,6 +388,252 @@ pub trait Replica: Send {
 
     /// The largest write sequence number this replica has applied/executed.
     fn applied_seq(&self) -> SwitchSeq;
+
+    /// Export this replica's full state for a rejoining peer: the store,
+    /// any log/pending operations the protocol replays or completes, and
+    /// the scalar state of [`SnapshotState`].
+    fn export_snapshot(&self) -> Snapshot;
+
+    /// Install a peer's exported state into this (freshly started) replica.
+    /// Installation is *versioned*: a key is only overwritten where the
+    /// snapshot's version is newer than what this replica applied live
+    /// while the transfer was in flight, so install commutes with
+    /// interleaved new writes. May emit protocol messages (e.g. PB acks
+    /// for pending writes the primary is still waiting on).
+    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Effects);
+
+    /// The switch incarnation this replica's lease currently honours —
+    /// where recovery control traffic (ungates) must be sent.
+    fn active_switch(&self) -> SwitchId;
+}
+
+/// A full exported replica state: store entries, log/pending operations,
+/// and scalar protocol state. The in-memory form of what
+/// [`StateTransferMsg`] ships in chunks.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Store contents (plus CRAQ's staged dirty versions).
+    pub entries: Vec<SnapshotEntry>,
+    /// Log / pending operations in order (VR log, NOPaxos log, PB pending).
+    pub log: Vec<WriteOp>,
+    /// Scalar protocol state.
+    pub state: SnapshotState,
+}
+
+impl Snapshot {
+    /// An empty snapshot (a freshly started replica exports this).
+    pub fn empty() -> Self {
+        Snapshot {
+            entries: Vec::new(),
+            log: Vec::new(),
+            state: SnapshotState::default(),
+        }
+    }
+}
+
+/// Byte budget for one state-transfer chunk: comfortably under the wire
+/// codec's `MAX_FRAME_BYTES` (65 507) after packet framing, so every chunk
+/// is one datagram on the UDP driver.
+const CHUNK_BUDGET_BYTES: usize = 48_000;
+
+fn entry_cost(e: &SnapshotEntry) -> usize {
+    e.key.len() + e.value.len() + 32
+}
+
+fn op_cost(op: &WriteOp) -> usize {
+    op.key.len() + op.value.len() + 40
+}
+
+/// The driver-held state-transfer engine (sans-IO): one per replica
+/// process. On the serving side it answers [`StateTransferMsg::Request`]
+/// with chunked snapshot + log + done. On the recovering side it buffers
+/// chunks and installs on `Done`, then tells the switch to lift the
+/// replica's read gate.
+#[derive(Debug)]
+pub struct StateTransfer {
+    me: ReplicaId,
+    recovering: Option<RecoveryBuffer>,
+}
+
+#[derive(Debug, Default)]
+struct RecoveryBuffer {
+    entries: Vec<SnapshotEntry>,
+    log: Vec<WriteOp>,
+}
+
+impl StateTransfer {
+    /// An engine for replica `me`, not recovering.
+    pub fn new(me: ReplicaId) -> Self {
+        StateTransfer {
+            me,
+            recovering: None,
+        }
+    }
+
+    /// Begin recovery: ask `peer` for its state. Until the transfer
+    /// completes the driver must keep client requests away from the
+    /// replica (clients retry; the switch has the replica read-gated).
+    pub fn begin(&mut self, peer: ReplicaId, out: &mut Effects) {
+        self.recovering = Some(RecoveryBuffer::default());
+        out.protocol(
+            peer,
+            ProtocolMsg::StateTransfer(StateTransferMsg::Request { from: self.me }),
+        );
+    }
+
+    /// True while a transfer is in flight on the recovering side.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Handle one state-transfer message for `replica`. Returns true iff
+    /// this message completed a recovery (the snapshot was installed and
+    /// the ungate was sent).
+    pub fn on_msg(
+        &mut self,
+        replica: &mut dyn Replica,
+        msg: StateTransferMsg,
+        out: &mut Effects,
+    ) -> bool {
+        match msg {
+            StateTransferMsg::Request { from } => {
+                self.serve(replica, from, out);
+                false
+            }
+            StateTransferMsg::Entries { entries } => {
+                if let Some(buf) = &mut self.recovering {
+                    buf.entries.extend(entries);
+                }
+                false
+            }
+            StateTransferMsg::Log { ops } => {
+                if let Some(buf) = &mut self.recovering {
+                    buf.log.extend(ops);
+                }
+                false
+            }
+            StateTransferMsg::Done { state } => {
+                let Some(buf) = self.recovering.take() else {
+                    return false;
+                };
+                replica.install_snapshot(
+                    Snapshot {
+                        entries: buf.entries,
+                        log: buf.log,
+                        state,
+                    },
+                    out,
+                );
+                // Lift the read gate. The ungate crosses a faultable
+                // switch leg on the UDP driver, so send a small burst —
+                // the message is idempotent and floor-checked.
+                let caught_up = replica.applied_seq();
+                let ctl = ControlMsg::UngateReplica {
+                    replica: self.me,
+                    caught_up,
+                };
+                for _ in 0..3 {
+                    out.control_switch(replica.active_switch(), ctl.clone());
+                }
+                true
+            }
+        }
+    }
+
+    /// Serve a peer's request: export, chunk to the frame budget, finish
+    /// with the scalar state.
+    fn serve(&self, replica: &dyn Replica, to: ReplicaId, out: &mut Effects) {
+        let snap = replica.export_snapshot();
+        let mut chunk: Vec<SnapshotEntry> = Vec::new();
+        let mut size = 0usize;
+        for e in snap.entries {
+            let cost = entry_cost(&e);
+            if size + cost > CHUNK_BUDGET_BYTES && !chunk.is_empty() {
+                out.protocol(
+                    to,
+                    ProtocolMsg::StateTransfer(StateTransferMsg::Entries {
+                        entries: std::mem::take(&mut chunk),
+                    }),
+                );
+                size = 0;
+            }
+            size += cost;
+            chunk.push(e);
+        }
+        if !chunk.is_empty() {
+            out.protocol(
+                to,
+                ProtocolMsg::StateTransfer(StateTransferMsg::Entries { entries: chunk }),
+            );
+        }
+        let mut ops: Vec<WriteOp> = Vec::new();
+        let mut size = 0usize;
+        for op in snap.log {
+            let cost = op_cost(&op);
+            if size + cost > CHUNK_BUDGET_BYTES && !ops.is_empty() {
+                out.protocol(
+                    to,
+                    ProtocolMsg::StateTransfer(StateTransferMsg::Log {
+                        ops: std::mem::take(&mut ops),
+                    }),
+                );
+                size = 0;
+            }
+            size += cost;
+            ops.push(op);
+        }
+        if !ops.is_empty() {
+            out.protocol(
+                to,
+                ProtocolMsg::StateTransfer(StateTransferMsg::Log { ops }),
+            );
+        }
+        out.protocol(
+            to,
+            ProtocolMsg::StateTransfer(StateTransferMsg::Done { state: snap.state }),
+        );
+    }
+}
+
+/// Export a versioned store as snapshot entries, sorted by key so chunk
+/// boundaries (and therefore wire bytes) are deterministic.
+pub fn export_store(store: &harmonia_kv::Store<harmonia_kv::VersionedValue>) -> Vec<SnapshotEntry> {
+    let mut entries = Vec::new();
+    store.for_each(|key, vv| {
+        entries.push(SnapshotEntry {
+            key: key.clone(),
+            obj: harmonia_types::ObjectId::from_key(key),
+            value: vv.value.clone(),
+            seq: vv.seq,
+            dirty: false,
+        });
+    });
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    entries
+}
+
+/// Install snapshot entries into a versioned store. Versioned: a key is
+/// overwritten only where the snapshot's version is newer than what the
+/// replica applied live while the transfer was in flight. Returns the
+/// largest installed sequence number (ZERO if nothing was newer).
+pub fn install_store(
+    store: &harmonia_kv::Store<harmonia_kv::VersionedValue>,
+    entries: Vec<SnapshotEntry>,
+) -> SwitchSeq {
+    let mut max_seq = SwitchSeq::ZERO;
+    for e in entries {
+        max_seq = max_seq.max(e.seq);
+        store.update(
+            &e.key,
+            || harmonia_kv::VersionedValue::new(e.value.clone(), e.seq),
+            |vv| {
+                if e.seq > vv.seq {
+                    *vv = harmonia_kv::VersionedValue::new(e.value.clone(), e.seq);
+                }
+            },
+        );
+    }
+    max_seq
 }
 
 /// Shared handling of configuration-service control messages. Returns true
@@ -437,6 +733,136 @@ mod tests {
             &mut lease,
             &mut members
         ));
+    }
+
+    #[test]
+    fn client_table_export_install_merges_by_request_id() {
+        let mut a = ClientTable::new();
+        a.admit(ClientId(1), RequestId(5));
+        a.record_reply(read_reply(
+            ReplicaId(0),
+            &ClientRequest::read(ClientId(1), RequestId(5), &b"k"[..]),
+            None,
+        ));
+        a.admit(ClientId(2), RequestId(1));
+        let (clients, replies) = a.export();
+        assert_eq!(
+            clients,
+            vec![(ClientId(1), RequestId(5)), (ClientId(2), RequestId(1))]
+        );
+        assert_eq!(replies.len(), 1);
+
+        // The live table already admitted a newer request for client 1: the
+        // snapshot's entry (and its stale cached reply) must not win.
+        let mut b = ClientTable::new();
+        b.admit(ClientId(1), RequestId(6));
+        b.install(clients, replies);
+        assert_eq!(b.admit(ClientId(1), RequestId(6)), Admission::Duplicate);
+        assert_eq!(b.admit(ClientId(2), RequestId(1)), Admission::Duplicate);
+        assert!(b.cached_reply(ClientId(1), RequestId(5)).is_none());
+    }
+
+    #[test]
+    fn state_transfer_round_trip_restores_a_pb_backup() {
+        use crate::build_replica;
+        use harmonia_types::PacketBody;
+
+        // Drive a 3-replica PB group to a committed state.
+        let cfg =
+            |me: u32| GroupConfig::new(crate::common::ProtocolKind::PrimaryBackup, 3, me, true);
+        let mut group: Vec<Box<dyn Replica>> = (0..3).map(|i| build_replica(cfg(i))).collect();
+        let mut fx = Effects::new();
+        for n in 1..=4u64 {
+            let mut req = ClientRequest::write(
+                ClientId(1),
+                RequestId(n),
+                Bytes::copy_from_slice(format!("key{n}").as_bytes()),
+                Bytes::copy_from_slice(format!("val{n}").as_bytes()),
+            );
+            req.seq = Some(seq(1, n));
+            group[0].on_request(NodeId::Client(ClientId(1)), req, &mut fx);
+        }
+        while !fx.is_empty() {
+            let mut next = Effects::new();
+            for (dst, body) in fx.out.drain(..) {
+                if let (NodeId::Replica(r), PacketBody::Protocol(m)) = (dst, body) {
+                    group[r.index()].on_protocol(NodeId::Replica(r), m, &mut next);
+                }
+            }
+            fx = next;
+        }
+
+        // Replica 2 crashes and restarts empty; pull state from replica 0.
+        group[2] = build_replica(cfg(2));
+        let mut engine = StateTransfer::new(ReplicaId(2));
+        let mut fx = Effects::new();
+        engine.begin(ReplicaId(0), &mut fx);
+        assert!(engine.is_recovering());
+        let mut done = false;
+        while !fx.is_empty() {
+            let mut next = Effects::new();
+            for (dst, body) in fx.out.drain(..) {
+                match (dst, body) {
+                    (NodeId::Replica(r), PacketBody::Protocol(ProtocolMsg::StateTransfer(m))) => {
+                        done |= engine.on_msg(group[r.index()].as_mut(), m, &mut next);
+                    }
+                    (NodeId::Switch(_), PacketBody::Control(ControlMsg::UngateReplica { .. })) => {}
+                    other => panic!("unexpected effect {other:?}"),
+                }
+            }
+            fx = next;
+        }
+        assert!(done, "transfer completed");
+        assert!(!engine.is_recovering());
+        for n in 1..=4u64 {
+            assert_eq!(
+                group[2].local_value(format!("key{n}").as_bytes()),
+                Some(Bytes::copy_from_slice(format!("val{n}").as_bytes())),
+                "key{n} restored"
+            );
+        }
+        assert_eq!(group[2].applied_seq(), seq(1, 4));
+    }
+
+    #[test]
+    fn state_transfer_done_emits_an_ungate_burst() {
+        let cfg = GroupConfig::new(crate::common::ProtocolKind::PrimaryBackup, 2, 1, true);
+        let mut replica = crate::build_replica(cfg);
+        let mut engine = StateTransfer::new(ReplicaId(1));
+        let mut fx = Effects::new();
+        engine.begin(ReplicaId(0), &mut fx);
+        let mut out = Effects::new();
+        engine.on_msg(
+            replica.as_mut(),
+            StateTransferMsg::Done {
+                state: SnapshotState::default(),
+            },
+            &mut out,
+        );
+        let ungates = out
+            .out
+            .iter()
+            .filter(|(_, b)| {
+                matches!(
+                    b,
+                    harmonia_types::PacketBody::Control(ControlMsg::UngateReplica {
+                        replica: ReplicaId(1),
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(ungates, 3, "loss-tolerant burst");
+        // A stray Done with no transfer in flight is ignored.
+        let mut out = Effects::new();
+        assert!(!engine.on_msg(
+            replica.as_mut(),
+            StateTransferMsg::Done {
+                state: SnapshotState::default(),
+            },
+            &mut out,
+        ));
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -15,13 +15,13 @@
 
 use bytes::Bytes;
 use harmonia_kv::{Store, VersionChain, VersionedValue};
-use harmonia_types::{ClientRequest, NodeId, OpKind, ReplicaId, SwitchSeq, WriteOutcome};
+use harmonia_types::{ClientRequest, NodeId, OpKind, ReplicaId, SwitchId, SwitchSeq, WriteOutcome};
 
 use crate::common::{
     handle_control, read_reply, write_reply, Admission, ClientTable, Effects, GroupConfig, InOrder,
-    LeaseState, Replica,
+    LeaseState, Replica, Snapshot,
 };
-use crate::messages::{CraqMsg, ProtocolMsg, WriteOp};
+use crate::messages::{CraqMsg, ProtocolMsg, SnapshotEntry, SnapshotState, WriteOp};
 
 /// One CRAQ node.
 pub struct CraqReplica {
@@ -223,6 +223,13 @@ impl Replica for CraqReplica {
             ProtocolMsg::Craq(CraqMsg::ReReply { client, request }) => {
                 if let Some(r) = self.clients.cached_reply(client, request) {
                     out.reply(self.lease.active(), r);
+                } else if let Some(pred) = self.predecessor() {
+                    // A freshly recovered tail has no cache for replies its
+                    // predecessor sent while it was down; walk upstream.
+                    out.protocol(
+                        pred,
+                        ProtocolMsg::Craq(CraqMsg::ReReply { client, request }),
+                    );
                 }
             }
             _ => {}
@@ -236,6 +243,80 @@ impl Replica for CraqReplica {
 
     fn applied_seq(&self) -> SwitchSeq {
         self.applied
+    }
+
+    fn export_snapshot(&self) -> Snapshot {
+        // Per key: the clean (committed) version plus every staged dirty
+        // version. Dirty versions cannot ride in the WriteOp log — they
+        // carry no client/request — so the `dirty` flag marks them.
+        let mut entries = Vec::new();
+        self.store.for_each(|key, chain| {
+            let obj = harmonia_types::ObjectId::from_key(key);
+            if let Some(v) = chain.clean() {
+                entries.push(SnapshotEntry {
+                    key: key.clone(),
+                    obj,
+                    value: v.value.clone(),
+                    seq: v.seq,
+                    dirty: false,
+                });
+            }
+            for v in chain.dirty_versions() {
+                entries.push(SnapshotEntry {
+                    key: key.clone(),
+                    obj,
+                    value: v.value.clone(),
+                    seq: v.seq,
+                    dirty: true,
+                });
+            }
+        });
+        // Sorting by (key, seq) puts each key's clean version before its
+        // dirty ones, which is the order `install_snapshot` needs.
+        entries.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
+        let (clients, replies) = self.clients.export();
+        Snapshot {
+            entries,
+            log: Vec::new(),
+            state: SnapshotState {
+                in_order: self.in_order.last(),
+                applied: self.applied,
+                local_seq: self.local_seq,
+                commit_num: 0,
+                session: 0,
+                clients,
+                replies,
+            },
+        }
+    }
+
+    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Effects) {
+        let _ = out;
+        for e in snap.entries {
+            self.applied = self.applied.max(e.seq);
+            let v = VersionedValue::new(e.value.clone(), e.seq);
+            self.store.update(&e.key, VersionChain::empty, |chain| {
+                // Both paths reject versions at or below what the chain
+                // already holds, so live Downs staged during the transfer
+                // are never regressed; a snapshot dirty version they
+                // superseded simply drops (its CLEAN will find nothing to
+                // commit here, which is fine — a newer version follows).
+                if e.dirty {
+                    chain.stage(v);
+                } else {
+                    chain.install_clean(v);
+                }
+            });
+        }
+        self.applied = self.applied.max(snap.state.applied);
+        // `in_order` stays untouched for the same reason as plain chain:
+        // Downs still in flight must keep propagating.
+        self.local_seq = self.local_seq.max(snap.state.local_seq);
+        self.clients.install(snap.state.clients, snap.state.replies);
+    }
+
+    fn active_switch(&self) -> SwitchId {
+        self.lease.active()
     }
 }
 

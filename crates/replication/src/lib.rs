@@ -32,7 +32,8 @@ pub mod vr;
 pub mod wire;
 
 pub use common::{
-    read_ahead_ok, read_behind_ok, Effects, GroupConfig, InOrder, LeaseState, ProtocolKind, Replica,
+    read_ahead_ok, read_behind_ok, Effects, GroupConfig, InOrder, LeaseState, ProtocolKind,
+    Replica, Snapshot, StateTransfer,
 };
 pub use messages::{ProtocolMsg, ReplicaControlMsg};
 

@@ -7,7 +7,7 @@
 //! [`PacketBody::Protocol`]: harmonia_types::PacketBody::Protocol
 
 use bytes::Bytes;
-use harmonia_types::{ClientId, ObjectId, ReplicaId, RequestId, SwitchId, SwitchSeq};
+use harmonia_types::{ClientId, ClientReply, ObjectId, ReplicaId, RequestId, SwitchId, SwitchSeq};
 
 /// A write as it travels inside a replica group.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -184,6 +184,75 @@ pub enum NopaxosMsg {
     },
 }
 
+/// One key's snapshotted version, as shipped during state transfer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotEntry {
+    /// Full application key.
+    pub key: Bytes,
+    /// Fixed-width object id.
+    pub obj: ObjectId,
+    /// The stored bytes.
+    pub value: Bytes,
+    /// Sequence number of the write that installed this version.
+    pub seq: SwitchSeq,
+    /// CRAQ only: the version is staged but not yet committed (a pending
+    /// dirty version). Every other protocol ships committed/applied state
+    /// and sets this false.
+    pub dirty: bool,
+}
+
+/// Scalar protocol state shipped at the end of a state transfer: everything
+/// a rejoining replica needs beyond the store and log to resume the
+/// protocol without violating its invariants.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SnapshotState {
+    /// The peer's in-order write-admission point (§7 responsibility 1).
+    pub in_order: SwitchSeq,
+    /// The peer's applied/executed point (what the read guards compare).
+    pub applied: SwitchSeq,
+    /// Entry-node local version counter (baseline self-stamping); 0 when
+    /// the switch stamps.
+    pub local_seq: u64,
+    /// VR commit number / NOPaxos executed-slot count; 0 elsewhere.
+    pub commit_num: u64,
+    /// NOPaxos OUM session; 0 elsewhere.
+    pub session: u64,
+    /// Exactly-once session table: each client's last admitted request id,
+    /// sorted by client id for deterministic wire bytes.
+    pub clients: Vec<(ClientId, RequestId)>,
+    /// Cached last reply per client (retransmission answers), sorted by
+    /// client id.
+    pub replies: Vec<ClientReply>,
+}
+
+/// Replica crash-recovery state transfer (snapshot + log catchup). A
+/// rejoining replica pulls from one live peer; chunks are sized to fit the
+/// wire codec's frame bound so the transfer crosses real sockets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StateTransferMsg {
+    /// Rejoining replica → live peer: send me your state.
+    Request {
+        /// The recovering replica (chunks are addressed back to it).
+        from: ReplicaId,
+    },
+    /// Peer → rejoining replica: a chunk of store entries.
+    Entries {
+        /// Snapshotted versions.
+        entries: Vec<SnapshotEntry>,
+    },
+    /// Peer → rejoining replica: a chunk of log / pending operations
+    /// (VR log, NOPaxos log, PB pending writes).
+    Log {
+        /// Operations in log order.
+        ops: Vec<WriteOp>,
+    },
+    /// Peer → rejoining replica: transfer complete; install and rejoin.
+    Done {
+        /// Scalar protocol state.
+        state: SnapshotState,
+    },
+}
+
 /// Control commands delivered to replicas by the configuration service
 /// (leases and membership, §5.3 / §7 responsibility 2).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -212,4 +281,7 @@ pub enum ProtocolMsg {
     Nopaxos(NopaxosMsg),
     /// Configuration-service control traffic.
     Control(ReplicaControlMsg),
+    /// Crash-recovery state transfer (protocol-agnostic framing; the
+    /// payload encodes whichever state the group's protocol exports).
+    StateTransfer(StateTransferMsg),
 }

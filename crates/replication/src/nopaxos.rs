@@ -26,14 +26,15 @@ use std::collections::{BTreeMap, HashMap};
 use bytes::Bytes;
 use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
-    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
+    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchId, SwitchSeq, WriteCompletion,
+    WriteOutcome,
 };
 
 use crate::common::{
-    handle_control, read_behind_ok, read_reply, write_reply, Admission, ClientTable, Effects,
-    GroupConfig, LeaseState, ProtocolKind, Replica,
+    export_store, handle_control, install_store, read_behind_ok, read_reply, write_reply,
+    Admission, ClientTable, Effects, GroupConfig, LeaseState, ProtocolKind, Replica, Snapshot,
 };
-use crate::messages::{NopaxosMsg, ProtocolMsg, WriteOp};
+use crate::messages::{NopaxosMsg, ProtocolMsg, SnapshotState, WriteOp};
 
 /// One slot of the NOPaxos log. `fresh` is decided at append time by the
 /// per-replica client table; because every replica appends in slot order,
@@ -408,6 +409,55 @@ impl Replica for NopaxosReplica {
 
     fn applied_seq(&self) -> SwitchSeq {
         self.exec_seq
+    }
+
+    fn export_snapshot(&self) -> Snapshot {
+        let (clients, replies) = self.clients.export();
+        Snapshot {
+            entries: export_store(&self.store),
+            log: self.log.iter().map(|e| e.op.clone()).collect(),
+            state: SnapshotState {
+                in_order: SwitchSeq::ZERO,
+                applied: self.exec_seq,
+                local_seq: 0,
+                // The executed-slot count doubles as the commit point.
+                commit_num: self.executed,
+                session: self.session,
+                clients,
+                replies,
+            },
+        }
+    }
+
+    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Effects) {
+        if snap.state.session > self.session {
+            self.session = snap.state.session;
+            self.buffered.clear();
+            self.gap_requested = 0;
+        }
+        if snap.log.len() > self.log.len() {
+            for op in snap.log.into_iter().skip(self.log.len()) {
+                // Freshness verdicts are not shipped: these slots sit at or
+                // below the peer's executed point, so execution never
+                // reaches them here — the installed store entries already
+                // carry their effects. `true` is an unconsulted placeholder.
+                self.log.push(LogEntry { op, fresh: true });
+            }
+        }
+        self.next_oum = self.next_oum.max(self.log.len() as u64 + 1);
+        let installed = install_store(&self.store, snap.entries);
+        self.executed = self
+            .executed
+            .max(snap.state.commit_num.min(self.log.len() as u64));
+        self.exec_seq = self.exec_seq.max(installed).max(snap.state.applied);
+        self.clients.install(snap.state.clients, snap.state.replies);
+        // Sequenced writes that arrived mid-transfer were buffered as
+        // out-of-order; they slot onto the caught-up log now.
+        self.drain_buffered(out);
+    }
+
+    fn active_switch(&self) -> SwitchId {
+        self.lease.active()
     }
 }
 

@@ -17,14 +17,15 @@ use std::collections::{BTreeMap, HashSet};
 use bytes::Bytes;
 use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
-    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
+    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchId, SwitchSeq, WriteCompletion,
+    WriteOutcome,
 };
 
 use crate::common::{
-    handle_control, read_ahead_ok, read_reply, write_reply, Admission, ClientTable, Effects,
-    GroupConfig, InOrder, LeaseState, Replica,
+    export_store, handle_control, install_store, read_ahead_ok, read_reply, write_reply, Admission,
+    ClientTable, Effects, GroupConfig, InOrder, LeaseState, Replica, Snapshot,
 };
-use crate::messages::{PbMsg, ProtocolMsg, WriteOp};
+use crate::messages::{PbMsg, ProtocolMsg, SnapshotState, WriteOp};
 
 struct PendingWrite {
     op: WriteOp,
@@ -255,6 +256,61 @@ impl Replica for PbReplica {
 
     fn applied_seq(&self) -> SwitchSeq {
         self.applied
+    }
+
+    fn export_snapshot(&self) -> Snapshot {
+        let (clients, replies) = self.clients.export();
+        Snapshot {
+            entries: export_store(&self.store),
+            // Primary only: writes awaiting acknowledgement, in sequence
+            // order. A rejoining backup must apply and ack these or the
+            // all-backup commit rule would stall them forever.
+            log: self.pending.values().map(|pw| pw.op.clone()).collect(),
+            state: SnapshotState {
+                in_order: self.in_order.last(),
+                applied: self.applied,
+                local_seq: self.local_seq,
+                commit_num: 0,
+                session: 0,
+                clients,
+                replies,
+            },
+        }
+    }
+
+    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Effects) {
+        let installed = install_store(&self.store, snap.entries);
+        self.applied = self.applied.max(installed).max(snap.state.applied);
+        // The peer's pending (uncommitted) writes: backups apply on receipt,
+        // so apply each (where newer) and ack it to the primary — the
+        // primary may be waiting on this replica's ack to commit.
+        for op in snap.log {
+            self.store.update(
+                &op.key,
+                || VersionedValue::new(op.value.clone(), op.seq),
+                |vv| {
+                    if op.seq > vv.seq {
+                        *vv = VersionedValue::new(op.value.clone(), op.seq);
+                    }
+                },
+            );
+            self.applied = self.applied.max(op.seq);
+            self.in_order.accept(op.seq);
+            out.protocol(
+                self.primary(),
+                ProtocolMsg::Pb(PbMsg::Ack {
+                    seq: op.seq,
+                    from: self.me,
+                }),
+            );
+        }
+        self.in_order.accept(snap.state.in_order);
+        self.local_seq = self.local_seq.max(snap.state.local_seq);
+        self.clients.install(snap.state.clients, snap.state.replies);
+    }
+
+    fn active_switch(&self) -> SwitchId {
+        self.lease.active()
     }
 }
 

@@ -24,14 +24,16 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use bytes::Bytes;
 use harmonia_kv::{Store, VersionedValue};
 use harmonia_types::{
-    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchSeq, WriteCompletion, WriteOutcome,
+    ClientRequest, NodeId, OpKind, ReadMode, ReplicaId, SwitchId, SwitchSeq, WriteCompletion,
+    WriteOutcome,
 };
 
 use crate::common::{
-    handle_control, read_behind_ok, read_reply, write_reply, Admission, ClientTable, Effects,
-    GroupConfig, InOrder, LeaseState, ProtocolKind, Replica,
+    export_store, handle_control, install_store, read_behind_ok, read_reply, write_reply,
+    Admission, ClientTable, Effects, GroupConfig, InOrder, LeaseState, ProtocolKind, Replica,
+    Snapshot,
 };
-use crate::messages::{ProtocolMsg, VrMsg, WriteOp};
+use crate::messages::{ProtocolMsg, SnapshotState, VrMsg, WriteOp};
 
 /// One VR replica.
 pub struct VrReplica {
@@ -426,6 +428,60 @@ impl Replica for VrReplica {
 
     fn applied_seq(&self) -> SwitchSeq {
         self.exec_seq
+    }
+
+    fn export_snapshot(&self) -> Snapshot {
+        let (clients, replies) = self.clients.export();
+        Snapshot {
+            entries: export_store(&self.store),
+            log: self.log.clone(),
+            state: SnapshotState {
+                in_order: self.in_order.last(),
+                applied: self.exec_seq,
+                local_seq: self.local_seq,
+                commit_num: self.commit_num,
+                session: 0,
+                clients,
+                replies,
+            },
+        }
+    }
+
+    fn install_snapshot(&mut self, snap: Snapshot, out: &mut Effects) {
+        // Log catchup: the leader's log is authoritative and a prefix-
+        // superset of ours (a recovering backup buffers live Prepares in
+        // `pending_prepares` until the log catches up, so its own log is
+        // still empty at install time).
+        if snap.log.len() > self.log.len() {
+            self.log = snap.log;
+        }
+        let installed = install_store(&self.store, snap.entries);
+        let before = self.executed;
+        self.commit_num = self.commit_num.max(snap.state.commit_num);
+        self.execute_up_to(self.commit_num);
+        // The store now reflects every committed write through the leader's
+        // export point, so the read-behind guard may trust that point.
+        self.exec_seq = self.exec_seq.max(installed).max(snap.state.applied);
+        self.in_order.accept(snap.state.in_order);
+        self.local_seq = self.local_seq.max(snap.state.local_seq);
+        self.clients.install(snap.state.clients, snap.state.replies);
+        // Prepares buffered during the transfer now slot onto the caught-up
+        // log; ack them so the leader's quorum counting proceeds.
+        self.drain_prepares(out);
+        if self.harmonia && self.executed > before {
+            out.protocol(
+                self.leader(),
+                ProtocolMsg::Vr(VrMsg::CommitAck {
+                    view: self.view,
+                    op_num: self.executed,
+                    from: self.me,
+                }),
+            );
+        }
+    }
+
+    fn active_switch(&self) -> SwitchId {
+        self.lease.active()
     }
 }
 

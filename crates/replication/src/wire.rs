@@ -12,7 +12,8 @@ use harmonia_types::wire::Wire;
 use harmonia_types::{ClientId, ObjectId, ReplicaId, RequestId, SwitchId, SwitchSeq, TypeError};
 
 use crate::messages::{
-    ChainMsg, CraqMsg, NopaxosMsg, PbMsg, ProtocolMsg, ReplicaControlMsg, VrMsg, WriteOp,
+    ChainMsg, CraqMsg, NopaxosMsg, PbMsg, ProtocolMsg, ReplicaControlMsg, SnapshotEntry,
+    SnapshotState, StateTransferMsg, VrMsg, WriteOp,
 };
 
 impl Wire for WriteOp {
@@ -324,6 +325,120 @@ impl Wire for ReplicaControlMsg {
     }
 }
 
+impl Wire for SnapshotEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.key.encode(buf);
+        self.obj.encode(buf);
+        self.value.encode(buf);
+        self.seq.encode(buf);
+        buf.put_u8(u8::from(self.dirty));
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        Ok(SnapshotEntry {
+            key: Bytes::decode(buf)?,
+            obj: ObjectId::decode(buf)?,
+            value: Bytes::decode(buf)?,
+            seq: SwitchSeq::decode(buf)?,
+            dirty: match u8::decode(buf)? {
+                0 => false,
+                1 => true,
+                v => {
+                    return Err(TypeError::BadDiscriminant {
+                        field: "SnapshotEntry.dirty",
+                        value: u64::from(v),
+                    })
+                }
+            },
+        })
+    }
+}
+
+impl Wire for SnapshotState {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.in_order.encode(buf);
+        self.applied.encode(buf);
+        self.local_seq.encode(buf);
+        self.commit_num.encode(buf);
+        self.session.encode(buf);
+        buf.put_u32_le(self.clients.len() as u32);
+        for (client, request) in &self.clients {
+            client.encode(buf);
+            request.encode(buf);
+        }
+        self.replies.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        let in_order = SwitchSeq::decode(buf)?;
+        let applied = SwitchSeq::decode(buf)?;
+        let local_seq = u64::decode(buf)?;
+        let commit_num = u64::decode(buf)?;
+        let session = u64::decode(buf)?;
+        let n = u32::decode(buf)? as usize;
+        if n > harmonia_types::wire::MAX_FRAME_BYTES {
+            return Err(TypeError::OversizedField {
+                field: "SnapshotState.clients",
+                len: n,
+            });
+        }
+        let mut clients = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            clients.push((ClientId::decode(buf)?, RequestId::decode(buf)?));
+        }
+        Ok(SnapshotState {
+            in_order,
+            applied,
+            local_seq,
+            commit_num,
+            session,
+            clients,
+            replies: Vec::<harmonia_types::ClientReply>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for StateTransferMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            StateTransferMsg::Request { from } => {
+                buf.put_u8(0);
+                from.encode(buf);
+            }
+            StateTransferMsg::Entries { entries } => {
+                buf.put_u8(1);
+                entries.encode(buf);
+            }
+            StateTransferMsg::Log { ops } => {
+                buf.put_u8(2);
+                ops.encode(buf);
+            }
+            StateTransferMsg::Done { state } => {
+                buf.put_u8(3);
+                state.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
+        match u8::decode(buf)? {
+            0 => Ok(StateTransferMsg::Request {
+                from: ReplicaId::decode(buf)?,
+            }),
+            1 => Ok(StateTransferMsg::Entries {
+                entries: Vec::<SnapshotEntry>::decode(buf)?,
+            }),
+            2 => Ok(StateTransferMsg::Log {
+                ops: Vec::<WriteOp>::decode(buf)?,
+            }),
+            3 => Ok(StateTransferMsg::Done {
+                state: SnapshotState::decode(buf)?,
+            }),
+            v => Err(TypeError::BadDiscriminant {
+                field: "StateTransferMsg",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
 impl Wire for ProtocolMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
@@ -351,6 +466,10 @@ impl Wire for ProtocolMsg {
                 buf.put_u8(5);
                 m.encode(buf);
             }
+            ProtocolMsg::StateTransfer(m) => {
+                buf.put_u8(6);
+                m.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
@@ -361,6 +480,7 @@ impl Wire for ProtocolMsg {
             3 => Ok(ProtocolMsg::Vr(VrMsg::decode(buf)?)),
             4 => Ok(ProtocolMsg::Nopaxos(NopaxosMsg::decode(buf)?)),
             5 => Ok(ProtocolMsg::Control(ReplicaControlMsg::decode(buf)?)),
+            6 => Ok(ProtocolMsg::StateTransfer(StateTransferMsg::decode(buf)?)),
             v => Err(TypeError::BadDiscriminant {
                 field: "ProtocolMsg",
                 value: u64::from(v),
@@ -471,6 +591,47 @@ mod tests {
                 ReplicaId(0),
                 ReplicaId(2),
             ])),
+            ProtocolMsg::StateTransfer(StateTransferMsg::Request { from: ReplicaId(1) }),
+            ProtocolMsg::StateTransfer(StateTransferMsg::Entries {
+                entries: vec![
+                    SnapshotEntry {
+                        key: Bytes::from_static(b"k1"),
+                        obj: ObjectId(4),
+                        value: Bytes::from_static(b"v1"),
+                        seq: SwitchSeq::new(SwitchId(1), 8),
+                        dirty: false,
+                    },
+                    SnapshotEntry {
+                        key: Bytes::from_static(b"k2"),
+                        obj: ObjectId(5),
+                        value: Bytes::from_static(b"v2"),
+                        seq: SwitchSeq::new(SwitchId(1), 9),
+                        dirty: true,
+                    },
+                ],
+            }),
+            ProtocolMsg::StateTransfer(StateTransferMsg::Log {
+                ops: vec![op(7), op(8)],
+            }),
+            ProtocolMsg::StateTransfer(StateTransferMsg::Done {
+                state: SnapshotState {
+                    in_order: SwitchSeq::new(SwitchId(1), 9),
+                    applied: SwitchSeq::new(SwitchId(1), 8),
+                    local_seq: 3,
+                    commit_num: 7,
+                    session: 2,
+                    clients: vec![(ClientId(3), RequestId(5)), (ClientId(4), RequestId(1))],
+                    replies: vec![harmonia_types::ClientReply {
+                        client: ClientId(3),
+                        from: ReplicaId(2),
+                        request: RequestId(5),
+                        obj: ObjectId(4),
+                        value: None,
+                        write_outcome: Some(harmonia_types::WriteOutcome::Committed),
+                        completion: None,
+                    }],
+                },
+            }),
         ];
         for msg in all {
             roundtrip(msg);
@@ -487,6 +648,7 @@ mod tests {
             ("VrMsg", vec![3, 9]),
             ("NopaxosMsg", vec![4, 9]),
             ("ReplicaControlMsg", vec![5, 9]),
+            ("StateTransferMsg", vec![6, 9]),
         ] {
             let mut b = Bytes::from(bytes);
             match ProtocolMsg::decode(&mut b) {

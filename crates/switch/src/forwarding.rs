@@ -6,7 +6,7 @@
 //! normal-path reads *enter* the group (chain head vs. primary vs. leader,
 //! or an ordered multicast for NOPaxos).
 
-use harmonia_types::{NodeId, ReplicaId};
+use harmonia_types::{NodeId, ReplicaId, SwitchSeq};
 use rand::Rng;
 
 /// Where the underlying protocol accepts writes.
@@ -41,6 +41,12 @@ pub struct ForwardingTable {
     replicas: Vec<ReplicaId>,
     write_entry: WriteEntry,
     read_entry: ReadEntry,
+    /// Recovering members excluded from read scheduling, each with its gate
+    /// floor: the last-committed point when the gate was installed. A gated
+    /// replica still receives protocol traffic (it is a member) but serves
+    /// no reads until an ungate proves it caught up past the floor — every
+    /// write in its recovery window is at or below that point.
+    gated: Vec<(ReplicaId, SwitchSeq)>,
 }
 
 impl ForwardingTable {
@@ -69,6 +75,7 @@ impl ForwardingTable {
             replicas: members,
             write_entry,
             read_entry,
+            gated: Vec::new(),
         }
     }
 
@@ -91,6 +98,7 @@ impl ForwardingTable {
     /// scheduled to it (§5.3).
     pub fn remove_replica(&mut self, r: ReplicaId) {
         self.replicas.retain(|&x| x != r);
+        self.gated.retain(|&(x, _)| x != r);
     }
 
     /// Control plane: add a recovered or replacement replica (appended at
@@ -101,9 +109,53 @@ impl ForwardingTable {
         }
     }
 
-    /// Control plane: replace the whole set (bulk reconfiguration).
+    /// Control plane: replace the whole set (bulk reconfiguration). Gates on
+    /// replicas that left the set are dropped; gates on members persist —
+    /// reconfiguration must not silently expose a recovering replica.
     pub fn set_replicas(&mut self, rs: Vec<ReplicaId>) {
         self.replicas = rs;
+        let members = &self.replicas;
+        self.gated.retain(|(r, _)| members.contains(r));
+    }
+
+    /// Control plane: gate a recovering member out of read scheduling.
+    /// `floor` is the group's last-committed point at gate time — the upper
+    /// bound of the replica's recovery window. Re-gating refreshes the
+    /// floor. Gating a non-member is remembered too: restart orchestration
+    /// may gate before (re)announcing membership.
+    pub fn gate_replica(&mut self, r: ReplicaId, floor: SwitchSeq) {
+        self.gated.retain(|&(x, _)| x != r);
+        self.gated.push((r, floor));
+    }
+
+    /// Control plane: lift a gate. Succeeds only if the replica has provably
+    /// applied through the gate floor (`caught_up >= floor`), so a stale or
+    /// reordered ungate never exposes an un-caught-up replica to reads.
+    /// Returns whether the gate was lifted.
+    pub fn ungate_replica(&mut self, r: ReplicaId, caught_up: SwitchSeq) -> bool {
+        match self.gated.iter().position(|&(x, _)| x == r) {
+            Some(i) if caught_up >= self.gated[i].1 => {
+                self.gated.remove(i);
+                true
+            }
+            Some(_) => false,
+            // No gate on record: nothing to lift, and the replica is
+            // already eligible for reads.
+            None => true,
+        }
+    }
+
+    /// True if `r` is currently gated out of read scheduling.
+    pub fn is_gated(&self, r: ReplicaId) -> bool {
+        self.gated.iter().any(|&(x, _)| x == r)
+    }
+
+    /// Members currently eligible to serve reads, in role order.
+    fn readable(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.replicas
+            .iter()
+            .copied()
+            .filter(move |&r| !self.is_gated(r))
     }
 
     /// Where a write enters the protocol. `Multicast` yields every replica.
@@ -119,30 +171,33 @@ impl ForwardingTable {
         }
     }
 
-    /// Where a normal-path read is served.
+    /// Where a normal-path read is served. Gated members are skipped: a
+    /// recovering tail's read role falls back to its predecessor until the
+    /// gate lifts.
     pub fn normal_read_destination(&self) -> Option<NodeId> {
         match self.read_entry {
-            ReadEntry::Primary | ReadEntry::Leader => {
-                self.replicas.first().map(|&r| NodeId::Replica(r))
-            }
-            ReadEntry::ChainTail => self.replicas.last().map(|&r| NodeId::Replica(r)),
+            ReadEntry::Primary | ReadEntry::Leader => self.readable().next().map(NodeId::Replica),
+            ReadEntry::ChainTail => self.readable().last().map(NodeId::Replica),
         }
     }
 
-    /// Pick a uniformly random live replica for a fast-path read
-    /// (Algorithm 1 line 12).
+    /// Pick a uniformly random read-eligible replica for a fast-path read
+    /// (Algorithm 1 line 12). Gated members are excluded — a fast-path read
+    /// must never land on a replica still inside its recovery window.
     pub fn random_replica<R: Rng>(&self, rng: &mut R) -> Option<NodeId> {
-        if self.replicas.is_empty() {
+        let eligible: Vec<ReplicaId> = self.readable().collect();
+        if eligible.is_empty() {
             return None;
         }
-        let idx = rng.gen_range(0..self.replicas.len());
-        Some(NodeId::Replica(self.replicas[idx]))
+        let idx = rng.gen_range(0..eligible.len());
+        Some(NodeId::Replica(eligible[idx]))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harmonia_types::SwitchId;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -202,6 +257,53 @@ mod tests {
             seen.insert(t.random_replica(&mut rng).unwrap());
         }
         assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn gated_replica_serves_no_reads_until_caught_up() {
+        let mut t = ForwardingTable::new(3, WriteEntry::ChainHead, ReadEntry::ChainTail);
+        let floor = SwitchSeq::new(SwitchId(1), 10);
+        t.gate_replica(ReplicaId(2), floor);
+        assert!(t.is_gated(ReplicaId(2)));
+        // Normal reads fall back to the predecessor tail.
+        assert_eq!(
+            t.normal_read_destination(),
+            Some(NodeId::Replica(ReplicaId(1)))
+        );
+        // The fast path never picks the gated member.
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_ne!(
+                t.random_replica(&mut rng),
+                Some(NodeId::Replica(ReplicaId(2)))
+            );
+        }
+        // Writes still enter at the head.
+        assert_eq!(t.write_destinations(), vec![NodeId::Replica(ReplicaId(0))]);
+        // A stale ungate (below the floor) is refused.
+        assert!(!t.ungate_replica(ReplicaId(2), SwitchSeq::new(SwitchId(1), 9)));
+        assert!(t.is_gated(ReplicaId(2)));
+        // A caught-up ungate lifts the gate and restores the read role.
+        assert!(t.ungate_replica(ReplicaId(2), floor));
+        assert_eq!(
+            t.normal_read_destination(),
+            Some(NodeId::Replica(ReplicaId(2)))
+        );
+    }
+
+    #[test]
+    fn reconfiguration_preserves_member_gates() {
+        let mut t = ForwardingTable::new(3, WriteEntry::Primary, ReadEntry::Primary);
+        t.gate_replica(ReplicaId(0), SwitchSeq::new(SwitchId(1), 5));
+        // Primary gated: normal reads fall to the next member.
+        assert_eq!(
+            t.normal_read_destination(),
+            Some(NodeId::Replica(ReplicaId(1)))
+        );
+        t.set_replicas(vec![ReplicaId(0), ReplicaId(1)]);
+        assert!(t.is_gated(ReplicaId(0)), "member gates survive SetReplicas");
+        t.remove_replica(ReplicaId(0));
+        assert!(!t.is_gated(ReplicaId(0)), "removal drops the gate");
     }
 
     #[test]

@@ -188,6 +188,22 @@ pub enum ControlMsg {
     RemoveReplica(ReplicaId),
     /// Replace the full replica set.
     SetReplicas(Vec<ReplicaId>),
+    /// Gate a recovering replica: keep it in the membership (so protocol
+    /// traffic reaches it) but exclude it from read scheduling — both the
+    /// fast path and normal-path role selection — until it has caught up
+    /// past every write in its recovery window.
+    GateReplica(ReplicaId),
+    /// Lift a replica's gate. `caught_up` is the sequence point the replica
+    /// has provably applied through; the switch only re-admits it if that
+    /// point covers the gate's floor (the last-committed point when the
+    /// gate was installed), so a stale or reordered ungate can never expose
+    /// an un-caught-up replica to reads.
+    UngateReplica {
+        /// The recovered replica.
+        replica: ReplicaId,
+        /// Highest sequence point the replica has applied.
+        caught_up: SwitchSeq,
+    },
 }
 
 /// Everything that can flow over a link.

@@ -399,6 +399,15 @@ impl Wire for ControlMsg {
                 buf.put_u8(2);
                 rs.encode(buf);
             }
+            ControlMsg::GateReplica(r) => {
+                buf.put_u8(3);
+                r.encode(buf);
+            }
+            ControlMsg::UngateReplica { replica, caught_up } => {
+                buf.put_u8(4);
+                replica.encode(buf);
+                caught_up.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> Result<Self, TypeError> {
@@ -406,6 +415,11 @@ impl Wire for ControlMsg {
             0 => Ok(ControlMsg::AddReplica(ReplicaId::decode(buf)?)),
             1 => Ok(ControlMsg::RemoveReplica(ReplicaId::decode(buf)?)),
             2 => Ok(ControlMsg::SetReplicas(Vec::<ReplicaId>::decode(buf)?)),
+            3 => Ok(ControlMsg::GateReplica(ReplicaId::decode(buf)?)),
+            4 => Ok(ControlMsg::UngateReplica {
+                replica: ReplicaId::decode(buf)?,
+                caught_up: SwitchSeq::decode(buf)?,
+            }),
             v => Err(TypeError::BadDiscriminant {
                 field: "ControlMsg",
                 value: u64::from(v),
@@ -530,6 +544,11 @@ mod tests {
             }),
             PacketBody::Protocol(0xdead_beef),
             PacketBody::Control(ControlMsg::SetReplicas(vec![ReplicaId(0), ReplicaId(1)])),
+            PacketBody::Control(ControlMsg::GateReplica(ReplicaId(2))),
+            PacketBody::Control(ControlMsg::UngateReplica {
+                replica: ReplicaId(2),
+                caught_up: SwitchSeq::new(SwitchId(1), 41),
+            }),
         ];
         for body in bodies {
             let p: P = Packet::new(

@@ -152,7 +152,8 @@ pub mod prelude {
     pub use harmonia_core::client::{metrics, OpSpec, SourceFn};
     pub use harmonia_core::deployment::{Cluster, DeploymentSpec, KvClient, SimCluster};
     pub use harmonia_core::failover::{
-        schedule_replica_removal, schedule_switch_failure, schedule_switch_replacement,
+        schedule_replica_recovery, schedule_replica_removal, schedule_switch_failure,
+        schedule_switch_replacement,
     };
     pub use harmonia_core::live::{LiveClient, LiveCluster, LiveError};
     pub use harmonia_core::msg::{CostModel, Msg};

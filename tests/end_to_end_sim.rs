@@ -258,6 +258,134 @@ fn fault_sweep_nopaxos_harmonia() {
     fault_sweep(ProtocolKind::Nopaxos, true, 380);
 }
 
+/// Replica churn as its own adversary dimension (protocol × churn × loss):
+/// mid-workload, the third replica fail-stops (its group shrinks to the
+/// survivors) and later rejoins — read-gated, catching up via snapshot +
+/// log state transfer from a live peer — while closed-loop clients keep
+/// issuing operations. Optionally the Lossy profile runs underneath at the
+/// same time. Every per-key history goes through the Wing–Gong checker,
+/// and the rejoined replica must actually have finished its transfer.
+/// NOPaxos keeps its documented loss envelope (switch→follower legs only).
+fn check_churn(protocol: ProtocolKind, harmonia: bool, loss: Option<Fault>, seed: u64) {
+    let context = format!("{protocol:?} harmonia={harmonia} churn loss={loss:?}");
+    let mut spec = cluster(protocol, harmonia).seed(seed);
+    let nopaxos = protocol == ProtocolKind::Nopaxos;
+    if let Some(fault) = loss {
+        if !nopaxos {
+            spec.link = fault.link();
+        }
+    }
+    let replicas = spec.replicas;
+    let scenario = Scenario {
+        deployment: spec.clone(),
+        clients: 3,
+        ops_per_client: 60,
+        keys: 6,
+        write_ratio: 0.35,
+        seed,
+    };
+    let spec_for_world = spec.clone();
+    let outcome = scenario.run_with(|w| {
+        reliable_intra_replica_links(w, replicas);
+        if nopaxos && loss.is_some() {
+            // Respect the OUM envelope: losses only on the
+            // switch→follower multicast legs.
+            for follower in [1u32, 2] {
+                w.network_mut().set_link(
+                    spec_for_world.switch_addr(),
+                    NodeId::Replica(ReplicaId(follower)),
+                    LinkConfig {
+                        drop_prob: 0.05,
+                        ..LinkConfig::ideal(Duration::from_micros(5))
+                    },
+                );
+            }
+        }
+        let t = |ms| Instant::ZERO + Duration::from_millis(ms);
+        schedule_replica_removal(
+            w,
+            t(3),
+            &spec_for_world,
+            spec_for_world.switch_addr(),
+            ReplicaId(2),
+        );
+        schedule_replica_recovery(
+            w,
+            t(8),
+            &spec_for_world,
+            spec_for_world.switch_addr(),
+            ReplicaId(2),
+        );
+    });
+    assert_linearizable(outcome.records, &context);
+    // The newcomer really recovered: its transfer finished and it holds
+    // transferred state, not an empty store.
+    let actor: &harmonia::core::ReplicaActor = outcome
+        .world
+        .actor(NodeId::Replica(ReplicaId(2)))
+        .expect("rejoined replica exists");
+    assert!(
+        !actor.is_recovering(),
+        "{context}: transfer still in flight"
+    );
+    assert!(
+        actor.replica().applied_seq() > SwitchSeq::ZERO,
+        "{context}: rejoined replica applied nothing"
+    );
+}
+
+/// One churn entry per protocol × mode; each runs clean and under loss.
+fn churn_sweep(protocol: ProtocolKind, harmonia: bool, base_seed: u64) {
+    for (i, loss) in [None, Some(Fault::Lossy)].into_iter().enumerate() {
+        check_churn(protocol, harmonia, loss, base_seed + i as u64);
+    }
+}
+
+#[test]
+fn churn_sweep_pb_baseline() {
+    churn_sweep(ProtocolKind::PrimaryBackup, false, 500);
+}
+
+#[test]
+fn churn_sweep_pb_harmonia() {
+    churn_sweep(ProtocolKind::PrimaryBackup, true, 510);
+}
+
+#[test]
+fn churn_sweep_chain_baseline() {
+    churn_sweep(ProtocolKind::Chain, false, 520);
+}
+
+#[test]
+fn churn_sweep_chain_harmonia() {
+    churn_sweep(ProtocolKind::Chain, true, 530);
+}
+
+#[test]
+fn churn_sweep_craq() {
+    churn_sweep(ProtocolKind::Craq, false, 540);
+}
+
+#[test]
+fn churn_sweep_vr_baseline() {
+    churn_sweep(ProtocolKind::Vr, false, 550);
+}
+
+#[test]
+fn churn_sweep_vr_harmonia() {
+    churn_sweep(ProtocolKind::Vr, true, 560);
+}
+
+#[test]
+fn churn_sweep_nopaxos_baseline() {
+    churn_sweep(ProtocolKind::Nopaxos, false, 570);
+}
+
+#[test]
+fn churn_sweep_nopaxos_harmonia() {
+    churn_sweep(ProtocolKind::Nopaxos, true, 580);
+}
+
 /// §5.2's other race: the control-plane stale-entry sweep fires while
 /// writes are still propagating. Chain hops are slowed to 300 µs so every
 /// write stays pending across multiple 50 µs sweep periods, and the

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use bytes::Bytes;
-use common::{assert_linearizable, collect_records, make_plans};
+use common::{assert_linearizable, collect_records, make_plans, Op};
 use harmonia::prelude::*;
 
 fn adversarial_link(drop: f64, duplicate: f64, reorder: f64) -> LinkConfig {
@@ -237,5 +237,125 @@ fn udp_kill_and_replace_mid_load_stays_linearizable() {
             "group {g} fast path must re-arm under incarnation 2"
         );
     }
+    cluster.shutdown();
+}
+
+/// Client sockets must not leak address-book entries: every dropped client
+/// deregisters itself, so the book's unicast section returns to its
+/// replica-only baseline. (Before the fix, each `client()` grew the book
+/// forever — every send re-resolved against an ever-larger directory.)
+#[test]
+fn udp_dropped_clients_leave_the_address_book() {
+    let spec = DeploymentSpec::new().seed(23);
+    let cluster = spec.spawn_udp();
+    let baseline = cluster.unicast_entries();
+    {
+        let mut clients: Vec<LiveClient> = (0..4).map(|_| cluster.client()).collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.set(format!("k{i}"), "v").unwrap();
+        }
+        assert_eq!(
+            cluster.unicast_entries(),
+            baseline + 4,
+            "each live client owns one unicast entry"
+        );
+    }
+    assert_eq!(
+        cluster.unicast_entries(),
+        baseline,
+        "dropped clients must deregister from the address book"
+    );
+    cluster.shutdown();
+}
+
+/// One recorded closed-loop plan execution (keys/values move by refcount
+/// from the plan into the records). A 2 ms pace keeps per-key histories
+/// inside the checker's budget and stretches the plan across the storm.
+fn run_plan(mut client: LiveClient, plan: Vec<Op>, epoch: StdInstant) -> Vec<RecordedOp> {
+    let stamp = |at: StdInstant| {
+        Instant::ZERO + Duration::from_nanos(at.duration_since(epoch).as_nanos() as u64)
+    };
+    let mut records = Vec::with_capacity(plan.len());
+    for op in plan {
+        let invoked = StdInstant::now();
+        let (result, ok) = match op.kind {
+            OpKind::Read => match client.get(op.key.clone()) {
+                Ok(v) => (v, true),
+                Err(_) => (None, false),
+            },
+            OpKind::Write => {
+                let value = op.value.clone().unwrap_or_default();
+                (None, client.set(op.key.clone(), value).is_ok())
+            }
+        };
+        records.push(RecordedOp {
+            kind: op.kind,
+            key: op.key,
+            value: op.value,
+            invoked: stamp(invoked),
+            completed: stamp(StdInstant::now()),
+            result,
+            ok,
+        });
+        std::thread::sleep(StdDuration::from_millis(2));
+    }
+    records
+}
+
+/// The ISSUE's recovery storm: closed-loop clients under 5% datagram
+/// loss + duplication + reordering while replicas are killed and restarted
+/// one after another — every transfer byte crosses lossy UDP, the rejoining
+/// replica is read-gated until its applied point passes the gate floor, and
+/// every completed operation's history must stay linearizable.
+#[test]
+fn udp_replica_crash_recovery_storm_stays_linearizable() {
+    let spec = DeploymentSpec::new()
+        .protocol(ProtocolKind::Chain)
+        .seed(909)
+        .link(adversarial_link(0.05, 0.05, 0.05));
+    let mut cluster = spec.spawn_udp();
+    // No pre-seeding: every value the checker sees read must appear as a
+    // recorded write. The 30 ms before the first kill puts real state into
+    // the store, so the first transfer moves a non-trivial snapshot.
+    let epoch = StdInstant::now();
+    let workers: Vec<_> = make_plans(3, 40, 12, 0.35, 909)
+        .into_iter()
+        .map(|plan| {
+            let client = cluster.client();
+            std::thread::spawn(move || run_plan(client, plan, epoch))
+        })
+        .collect();
+
+    // Churn two different chain positions back to back, mid-load. The
+    // clients' retry budget (5 × 200 ms) rides across each outage window.
+    for r in [ReplicaId(2), ReplicaId(1)] {
+        std::thread::sleep(StdDuration::from_millis(30));
+        cluster.kill_replica(r);
+        std::thread::sleep(StdDuration::from_millis(30));
+        cluster.restart_replica(r);
+        // Let the snapshot + log transfer finish before the next blow.
+        std::thread::sleep(StdDuration::from_millis(60));
+    }
+    let histories: Vec<Vec<RecordedOp>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    let completed: usize = histories.iter().flatten().filter(|r| r.ok).count();
+    assert!(completed >= 100, "only {completed}/120 ops completed");
+    let (records, _incomplete) = collect_records(&histories);
+    assert!(!records.is_empty(), "nothing survived to check");
+    assert_linearizable(records, "UDP kill/recover storm under 5% faults");
+
+    let (dropped, duplicated, reordered) = cluster.fault_counts();
+    assert!(
+        dropped > 0 && duplicated > 0 && reordered > 0,
+        "adversary never fired: dropped={dropped} duplicated={duplicated} reordered={reordered}"
+    );
+
+    // The storm is over; the restored full group serves fresh traffic.
+    let mut client = cluster.client();
+    client.set(b"post-storm", b"ok").unwrap();
+    assert_eq!(
+        client.get(b"post-storm").unwrap(),
+        Some(Bytes::from_static(b"ok"))
+    );
     cluster.shutdown();
 }
