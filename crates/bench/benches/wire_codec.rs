@@ -1,16 +1,26 @@
-//! Wire-codec microbenchmarks: encode/decode round-trip cost per packet
-//! variant.
+//! Wire-codec microbenchmarks: encode/decode cost per packet variant.
 //!
 //! The UDP driver pays this codec on every datagram, so its per-packet cost
 //! bounds the driver's attainable rate the same way the switch emulation's
 //! nanoseconds bound the sim's. Requests/replies dominate the data plane;
 //! the protocol variants (chain DOWN, NOPaxos SEQUENCED) dominate
-//! replica↔replica traffic.
+//! replica↔replica traffic. `decode_shared` is the zero-copy receive path
+//! (payloads alias the frame buffer); `decode` is the copying baseline —
+//! the gap between the two columns is what pooled receive saves per packet.
+//!
+//! Timed by hand (median of sampled batches) rather than through criterion,
+//! so the per-case ns/op can be emitted as `BENCH_wire_codec.json` — the
+//! committed perf-trajectory snapshot ROADMAP item 3 calls for. Knobs:
+//! `HARMONIA_LIVE_BENCH_MS` scales the sampling effort down for CI smoke
+//! runs; `HARMONIA_BENCH_JSON=0` suppresses the snapshot.
+
+use std::hint::black_box;
+use std::time::Instant;
 
 use bytes::Bytes;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmonia_bench::print_table;
 use harmonia_replication::messages::{ChainMsg, NopaxosMsg, ProtocolMsg, WriteOp};
-use harmonia_types::wire::{decode_frame, encode_frame};
+use harmonia_types::wire::{decode_frame, decode_frame_shared, encode_frame};
 use harmonia_types::{
     ClientId, ClientReply, ClientRequest, ControlMsg, NodeId, ObjectId, Packet, PacketBody,
     ReplicaId, RequestId, SwitchId, SwitchSeq, WriteCompletion, WriteOutcome,
@@ -118,39 +128,137 @@ fn variants() -> Vec<(&'static str, Pkt)> {
     ]
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire_encode");
-    for (name, pkt) in variants() {
-        g.bench_function(name, |b| {
-            b.iter(|| encode_frame(black_box(&pkt)).unwrap());
-        });
+/// Median batch time over `SAMPLES` batches of `BATCH` calls, in ns/op.
+/// Median (not mean) so a stray scheduler preemption cannot skew a row.
+fn time_ns_per_op(mut f: impl FnMut()) -> f64 {
+    // Scale effort with the CI smoke knob: the default 400 "ms" window maps
+    // to 40 samples of 2000 ops.
+    let effort = harmonia_bench::live_measure_window().as_millis() as usize;
+    let samples = (effort / 10).clamp(5, 100);
+    let batch = 2000usize;
+    // Warm-up: touch the allocator and branch predictors off the clock.
+    for _ in 0..batch {
+        f();
     }
-    g.finish();
+    let mut per_batch: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    per_batch.sort_by(|a, b| a.total_cmp(b));
+    per_batch[per_batch.len() / 2] / batch as f64
 }
 
-fn bench_decode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire_decode");
+struct Row {
+    case: &'static str,
+    frame_bytes: usize,
+    encode_ns: f64,
+    decode_ns: f64,
+    decode_shared_ns: f64,
+    roundtrip_ns: f64,
+}
+
+fn measure(case: &'static str, pkt: &Pkt) -> Row {
+    let frame = encode_frame(pkt).unwrap();
+    let encode_ns = time_ns_per_op(|| {
+        black_box(encode_frame(black_box(pkt)).unwrap());
+    });
+    let decode_ns = time_ns_per_op(|| {
+        black_box(decode_frame::<Pkt>(black_box(&frame)).unwrap().unwrap());
+    });
+    let decode_shared_ns = time_ns_per_op(|| {
+        black_box(
+            decode_frame_shared::<Pkt>(black_box(&frame))
+                .unwrap()
+                .unwrap(),
+        );
+    });
+    let roundtrip_ns = time_ns_per_op(|| {
+        let f = encode_frame(black_box(pkt)).unwrap();
+        black_box(decode_frame_shared::<Pkt>(&f).unwrap().unwrap());
+    });
+    Row {
+        case,
+        frame_bytes: frame.len(),
+        encode_ns,
+        decode_ns,
+        decode_shared_ns,
+        roundtrip_ns,
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    if std::env::var("HARMONIA_BENCH_JSON").as_deref() == Ok("0") {
+        return;
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wire_codec\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(
+        "  \"description\": \"Per-variant codec cost; decode_shared is the zero-copy \
+         (Bytes-aliasing) receive path, decode the copying baseline\",\n",
+    );
+    out.push_str("  \"unit\": \"ns_per_op\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"case\": \"{}\", \"frame_bytes\": {}, \"encode_ns\": {:.1}, \
+             \"decode_ns\": {:.1}, \"decode_shared_ns\": {:.1}, \"roundtrip_ns\": {:.1} }}{sep}\n",
+            r.case, r.frame_bytes, r.encode_ns, r.decode_ns, r.decode_shared_ns, r.roundtrip_ns
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // Repo root, regardless of the invoking directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire_codec.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let rows: Vec<Row> = variants()
+        .iter()
+        .map(|(name, pkt)| measure(name, pkt))
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.to_string(),
+                r.frame_bytes.to_string(),
+                format!("{:.1}", r.encode_ns),
+                format!("{:.1}", r.decode_ns),
+                format!("{:.1}", r.decode_shared_ns),
+                format!("{:.1}", r.roundtrip_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        "Wire codec: ns/op per packet variant",
+        "tens of ns for small frames, growing with payload size; \
+         decode_shared at or below decode (no payload memcpy, no body alloc)",
+        &[
+            "case",
+            "bytes",
+            "enc_ns",
+            "dec_ns",
+            "dec_shared_ns",
+            "rt_ns",
+        ],
+        &table,
+    );
+    // Sanity, not perf assertions: every path decodes what it encoded.
     for (name, pkt) in variants() {
         let frame = encode_frame(&pkt).unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| decode_frame::<Pkt>(black_box(&frame)).unwrap().unwrap());
-        });
+        let (a, _) = decode_frame::<Pkt>(&frame).unwrap().unwrap();
+        let (b, _) = decode_frame_shared::<Pkt>(&frame).unwrap().unwrap();
+        assert!(a == pkt && b == pkt, "codec mismatch in {name}");
     }
-    g.finish();
+    write_json(&rows);
 }
-
-fn bench_roundtrip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire_roundtrip");
-    for (name, pkt) in variants() {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let frame = encode_frame(black_box(&pkt)).unwrap();
-                decode_frame::<Pkt>(&frame).unwrap().unwrap()
-            });
-        });
-    }
-    g.finish();
-}
-
-criterion_group!(benches, bench_encode, bench_decode, bench_roundtrip);
-criterion_main!(benches);

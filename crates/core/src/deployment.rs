@@ -94,6 +94,11 @@ pub struct DeploymentSpec {
     pub sync_interval: Duration,
     /// Switch stale-entry sweep cadence (`None` disables the sweep).
     pub sweep_interval: Option<Duration>,
+    /// Whether the UDP driver's endpoints use the batched
+    /// `sendmmsg`/`recvmmsg` fast path (ignored by the sim and channel
+    /// drivers). On by default; the `udp_dataplane` bench turns it off to
+    /// measure the scalar baseline.
+    pub udp_batch: bool,
 }
 
 impl Default for DeploymentSpec {
@@ -109,6 +114,7 @@ impl Default for DeploymentSpec {
             link: LinkConfig::ideal(Duration::from_micros(5)),
             sync_interval: Duration::from_micros(200),
             sweep_interval: Some(Duration::from_millis(1)),
+            udp_batch: true,
         }
     }
 }
@@ -184,6 +190,13 @@ impl DeploymentSpec {
     /// Set (or disable) the switch stale-entry sweep cadence.
     pub fn sweep_interval(mut self, interval: Option<Duration>) -> Self {
         self.sweep_interval = interval;
+        self
+    }
+
+    /// Toggle the UDP driver's batched-syscall fast path (on by default).
+    /// Only the `udp_dataplane` bench should need the scalar baseline.
+    pub fn udp_batch(mut self, on: bool) -> Self {
+        self.udp_batch = on;
         self
     }
 

@@ -140,6 +140,15 @@ pub(crate) trait NodeLink: Send {
     /// packets are dropped (clients retry — that is the reliability layer).
     fn send(&mut self, to: NodeId, msg: Msg);
 
+    /// Flush a whole outbox, draining `batch` in order. The default loops
+    /// the scalar verb (exactly what the channel driver wants); the UDP
+    /// link overrides it to batch kernel crossings through `sendmmsg`.
+    fn send_many(&mut self, batch: &mut Vec<(NodeId, Msg)>) {
+        for (to, msg) in batch.drain(..) {
+            self.send(to, msg);
+        }
+    }
+
     /// Wait up to `timeout` for the next envelope.
     fn recv(&mut self, timeout: StdDuration) -> Result<Envelope, LinkError>;
 
@@ -719,9 +728,7 @@ pub(crate) fn pipeline_main(
                     let _ = reply.send(core.observe());
                 }
                 Envelope::Stop => {
-                    for (dst, m) in out.drain(..) {
-                        link.send(dst, m);
-                    }
+                    link.send_many(&mut out);
                     return;
                 }
             }
@@ -730,9 +737,7 @@ pub(crate) fn pipeline_main(
                 None => break,
             }
         }
-        for (dst, m) in out.drain(..) {
-            link.send(dst, m);
-        }
+        link.send_many(&mut out);
     }
 }
 
@@ -1020,12 +1025,18 @@ pub(crate) fn replica_main(
         unreachable!("replica loop hosted at {me:?}")
     };
     let mut transfer = StateTransfer::new(my_id);
+    // Reusable outbox: per-effect packets accumulate here and go out in one
+    // batched flush (one `sendmmsg` run on the UDP link).
+    let mut outbox: Vec<(NodeId, Msg)> = Vec::new();
     if let Some(peer) = recover_from {
         let mut fx = Effects::new();
         transfer.begin(peer, &mut fx);
-        for (dst, body) in fx.out {
-            link.send(dst, Msg::new(me, dst, body));
-        }
+        outbox.extend(
+            fx.out
+                .into_iter()
+                .map(|(dst, body)| (dst, Msg::new(me, dst, body))),
+        );
+        link.send_many(&mut outbox);
     }
     let tick = replica.tick_interval().map(|d| d.to_std());
     let mut next_tick = tick.map(|t| StdInstant::now() + t);
@@ -1051,9 +1062,12 @@ pub(crate) fn replica_main(
                     PacketBody::Protocol(p) => replica.on_protocol(msg.src, p, &mut fx),
                     _ => {}
                 }
-                for (dst, body) in fx.out {
-                    link.send(dst, Msg::new(me, dst, body));
-                }
+                outbox.extend(
+                    fx.out
+                        .into_iter()
+                        .map(|(dst, body)| (dst, Msg::new(me, dst, body))),
+                );
+                link.send_many(&mut outbox);
             }
             Ok(Envelope::Inspect(_)) => {}
             Ok(Envelope::Stop) => break,
@@ -1064,9 +1078,12 @@ pub(crate) fn replica_main(
             if StdInstant::now() >= at {
                 let mut fx = Effects::new();
                 replica.on_tick(&mut fx);
-                for (dst, body) in fx.out {
-                    link.send(dst, Msg::new(me, dst, body));
-                }
+                outbox.extend(
+                    fx.out
+                        .into_iter()
+                        .map(|(dst, body)| (dst, Msg::new(me, dst, body))),
+                );
+                link.send_many(&mut outbox);
                 next_tick = Some(StdInstant::now() + iv);
             }
         }

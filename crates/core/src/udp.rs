@@ -37,6 +37,7 @@
 //! and jitter fields are ignored: the kernel's loopback timing is the real
 //! thing.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -68,6 +69,10 @@ type Net = Box<dyn Transport<ProtocolMsg>>;
 /// blocked on the socket.
 const CTL_POLL: StdDuration = StdDuration::from_millis(1);
 
+/// How many packets one batched kernel drain may pull. Matches the mmsg
+/// wrapper's chunk size so one drain is one `recvmmsg` call.
+const RECV_BATCH: usize = 32;
+
 /// Which sends of an endpoint face the spec's fault model.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Faults {
@@ -94,6 +99,46 @@ struct UdpLink {
     /// gone, and the book must not grow one dead entry per short-lived
     /// client.
     owner: Option<(Arc<AddrBook>, NodeId)>,
+    /// Packets batch-drained from the kernel but not yet handed to the node
+    /// loop. Always emptied before the socket is read again, so delivery
+    /// order is the socket's order.
+    pending: VecDeque<Msg>,
+    /// Scratch for `Transport::recv_batch` (reused, no per-drain alloc).
+    drain_scratch: Vec<Msg>,
+}
+
+impl UdpLink {
+    fn over(transport: Net, ctl: Receiver<Envelope>, has_ctl: bool) -> Self {
+        UdpLink {
+            transport,
+            ctl,
+            has_ctl,
+            owner: None,
+            pending: VecDeque::new(),
+            drain_scratch: Vec::new(),
+        }
+    }
+
+    fn owned_by(mut self, book: Arc<AddrBook>, node: NodeId) -> Self {
+        self.owner = Some((book, node));
+        self
+    }
+
+    /// Next already-received packet, refilling from the kernel queue in one
+    /// batched drain when empty.
+    fn pop_pending(&mut self) -> Option<Msg> {
+        if self.pending.is_empty() {
+            self.drain_scratch.clear();
+            if self
+                .transport
+                .recv_batch(&mut self.drain_scratch, RECV_BATCH)
+                > 0
+            {
+                self.pending.extend(self.drain_scratch.drain(..));
+            }
+        }
+        self.pending.pop_front()
+    }
 }
 
 impl Drop for UdpLink {
@@ -109,6 +154,12 @@ impl NodeLink for UdpLink {
         self.transport.send(to, msg);
     }
 
+    fn send_many(&mut self, batch: &mut Vec<(NodeId, Msg)>) {
+        // One `sendmmsg` run per MAX_BATCH packets (scalar loop on a
+        // fault-wrapped or batching-disabled transport).
+        self.transport.send_batch(batch);
+    }
+
     fn recv(&mut self, timeout: StdDuration) -> Result<Envelope, LinkError> {
         let deadline = StdInstant::now() + timeout;
         loop {
@@ -116,6 +167,10 @@ impl NodeLink for UdpLink {
                 if let Ok(env) = self.ctl.try_recv() {
                     return Ok(env);
                 }
+            }
+            // Deliver batch-drained packets before touching the socket.
+            if let Some(msg) = self.pop_pending() {
+                return Ok(Envelope::Packet(msg));
             }
             let remaining = deadline.saturating_duration_since(StdInstant::now());
             if remaining.is_zero() {
@@ -140,12 +195,9 @@ impl NodeLink for UdpLink {
                 return Some(env);
             }
         }
-        // Zero timeout = nonblocking socket poll (the pipelines' batched
-        // drain pulls everything already queued in the kernel).
-        self.transport
-            .recv_timeout(StdDuration::ZERO)
-            .ok()
-            .map(Envelope::Packet)
+        // The pipelines' batched drain: everything already queued in the
+        // kernel comes out through one `recvmmsg` per RECV_BATCH datagrams.
+        self.pop_pending().map(Envelope::Packet)
     }
 }
 
@@ -178,6 +230,9 @@ struct UdpRig {
     replica_threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
     switch: Option<UdpFleet>,
     next_client: AtomicU32,
+    /// Spec's `udp_batch`: whether endpoints use the `sendmmsg`/`recvmmsg`
+    /// fast path behind the batch verbs.
+    batched: bool,
 }
 
 impl UdpRig {
@@ -202,12 +257,14 @@ impl UdpRig {
             replica_threads: Vec::new(),
             switch: None,
             next_client: AtomicU32::new(1),
+            batched: spec.udp_batch,
         }
     }
 
     /// Bind a fresh loopback endpoint under the given fault policy.
     fn endpoint(&self, faults: Faults) -> (Net, std::net::SocketAddr) {
-        let t = UdpTransport::bind(Arc::clone(&self.book)).expect("bind loopback UDP socket");
+        let mut t = UdpTransport::bind(Arc::clone(&self.book)).expect("bind loopback UDP socket");
+        t.set_batched(self.batched);
         let addr = t.local_addr();
         if matches!(faults, Faults::None) || self.faults.is_noop() {
             return (Box::new(t), addr);
@@ -247,14 +304,9 @@ impl UdpRig {
             let group = core.group();
             let (transport, addr) = self.endpoint(Faults::All);
             let (ctl_tx, ctl_rx) = unbounded::<Envelope>();
-            let link = UdpLink {
-                transport,
-                ctl: ctl_rx,
-                has_ctl: true,
-                // Pipelines are addressed through the spine entry, not a
-                // unicast registration; `clear_spine` is their teardown.
-                owner: None,
-            };
+            // Pipelines are addressed through the spine entry, not a
+            // unicast registration; `clear_spine` is their teardown.
+            let link = UdpLink::over(transport, ctl_rx, true);
             let join = std::thread::Builder::new()
                 .name(format!("harmonia-udpsw-{}-g{}", incarnation.0, group.0))
                 .spawn(move || pipeline_main(core, link, me, sweep))
@@ -297,12 +349,7 @@ impl UdpRig {
         let (transport, addr) = self.endpoint(Faults::SparingReplicas);
         self.book.register(me, addr);
         let (ctl_tx, ctl_rx) = unbounded::<Envelope>();
-        let link = UdpLink {
-            transport,
-            ctl: ctl_rx,
-            has_ctl: true,
-            owner: Some((Arc::clone(&self.book), me)),
-        };
+        let link = UdpLink::over(transport, ctl_rx, true).owned_by(Arc::clone(&self.book), me);
         self.replica_ids.push(group.me);
         let name = format!("harmonia-udprep-{}", group.me.0);
         let handle = std::thread::Builder::new()
@@ -418,12 +465,8 @@ impl UdpRig {
         // block on the socket for the whole reply deadline instead of
         // polling an always-empty side channel.
         let (_unused_tx, ctl_rx) = unbounded::<Envelope>();
-        let link = UdpLink {
-            transport,
-            ctl: ctl_rx,
-            has_ctl: false,
-            owner: Some((Arc::clone(&self.book), NodeId::Client(id))),
-        };
+        let link = UdpLink::over(transport, ctl_rx, false)
+            .owned_by(Arc::clone(&self.book), NodeId::Client(id));
         LiveClient::over_link(
             id,
             Box::new(link),

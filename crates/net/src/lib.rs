@@ -22,7 +22,13 @@
 //!   `std::net::UdpSocket` that encodes outbound packets to frames and
 //!   decodes inbound datagrams, dropping (and counting) anything that does
 //!   not parse. Untrusted bytes can error but never panic or over-allocate
-//!   (`MAX_FRAME_BYTES` bounds every declared length).
+//!   (`MAX_FRAME_BYTES` bounds every declared length). The trait's
+//!   `send_batch`/`recv_batch` verbs (scalar loops by default, so wrappers
+//!   are untouched) let the UDP endpoint move whole runs of datagrams per
+//!   kernel crossing via the vendored `sendmmsg`/`recvmmsg` wrapper, and
+//!   receive decodes zero-copy out of a [`BufferPool`] — payload bytes
+//!   alias the datagram buffer, which is recycled only after the last
+//!   payload reference drops.
 //! * [`FaultyTransport`] — a deterministic, seeded adversary wrapped around
 //!   any transport at the socket boundary: configurable loss, duplication,
 //!   and reordering on the send path, with shared [`FaultCounters`] so
@@ -34,10 +40,12 @@
 
 pub mod addr;
 pub mod fault;
+pub mod pool;
 pub mod transport;
 pub mod udp;
 
 pub use addr::AddrBook;
 pub use fault::{FaultConfig, FaultCounters, FaultyTransport};
+pub use pool::{BufferPool, PoolStats};
 pub use transport::{RecvError, Transport};
 pub use udp::{TransportStats, UdpTransport};

@@ -39,4 +39,39 @@ pub trait Transport<T>: Send {
     /// Receive the next packet addressed to this endpoint, waiting at most
     /// `timeout`.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Packet<T>, RecvError>;
+
+    /// Send every `(destination, packet)` in `batch`, draining it.
+    ///
+    /// The default loops the scalar [`send`](Self::send), so wrapper
+    /// transports (the fault injector, the channel driver) keep their exact
+    /// per-packet semantics without knowing batching exists. Implementations
+    /// with a real batched fast path (the UDP endpoint's `sendmmsg`) override
+    /// this to amortize the per-packet cost; either way the packets go out
+    /// in `batch` order with the same drop/counter behavior as scalar sends.
+    fn send_batch(&mut self, batch: &mut Vec<(NodeId, Packet<T>)>) {
+        for (to, pkt) in batch.drain(..) {
+            self.send(to, pkt);
+        }
+    }
+
+    /// Drain up to `max` already-queued packets into `out` without
+    /// blocking; returns how many were appended. An empty queue is `0`, not
+    /// an error — callers that want to wait combine this with a scalar
+    /// [`recv_timeout`](Self::recv_timeout) for the first packet.
+    ///
+    /// The default loops the scalar verb with a zero timeout (a nonblocking
+    /// poll), preserving wrapper-transport semantics exactly.
+    fn recv_batch(&mut self, out: &mut Vec<Packet<T>>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.recv_timeout(Duration::ZERO) {
+                Ok(pkt) => {
+                    out.push(pkt);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
 }

@@ -6,13 +6,20 @@ use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use harmonia_types::wire::{decode_frame, encode_frame, Wire};
+use bytes::{Bytes, BytesMut};
+use harmonia_types::wire::{decode_frame_shared, encode_frame, Wire};
 use harmonia_types::{NodeId, Packet};
 
 use crate::addr::{AddrBook, Directory};
+use crate::pool::{BufferPool, PoolStats};
 use crate::transport::{RecvError, Transport};
 
 /// Datagram counters of one endpoint (telemetry for tests and examples).
+///
+/// Every send attempt lands in exactly one of `sent`, `unresolved`,
+/// `oversized`, or `send_errors`: the books balance, nothing is dropped
+/// without a counter (`accounting_balances_across_all_send_outcomes` pins
+/// this).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct TransportStats {
     /// Datagrams handed to the kernel.
@@ -22,10 +29,14 @@ pub struct TransportStats {
     /// Sends whose destination did not resolve (dropped).
     pub unresolved: u64,
     /// Inbound datagrams that failed to decode (dropped) — garbage,
-    /// truncated frames, or oversized declared lengths.
+    /// truncated frames, oversized declared lengths, or trailing bytes
+    /// after a valid frame (one datagram is one frame, exactly).
     pub decode_errors: u64,
     /// Outbound packets too large for one frame (dropped, never truncated).
     pub oversized: u64,
+    /// Datagrams the kernel refused to send (dropped; datagram semantics —
+    /// the caller's retry loop owns recovery).
+    pub send_errors: u64,
 }
 
 /// One node's UDP endpoint: a loopback socket plus the deployment's
@@ -47,7 +58,19 @@ pub struct UdpTransport<T> {
     seen_generation: u64,
     local: SocketAddr,
     dsts: Vec<SocketAddr>,
-    buf: Vec<u8>,
+    /// Receive buffers, recycled once their decoded payload slices drop —
+    /// steady-state receive allocates nothing.
+    pool: BufferPool,
+    /// A checked-out buffer kept across empty polls, so a quiet endpoint
+    /// doesn't churn the pool counters while waiting.
+    recv_buf: Option<BytesMut>,
+    /// Scratch for the batched send path: resolved (destination, frame)
+    /// pairs, reused across calls.
+    send_scratch: Vec<(SocketAddr, Bytes)>,
+    /// Whether the batch verbs use the `sendmmsg`/`recvmmsg` fast path.
+    /// Off, they loop the scalar verbs — the baseline the bench profile
+    /// compares against.
+    batched: bool,
     stats: TransportStats,
     /// Last-applied socket read mode, so steady-state receive loops (which
     /// wait with the same timeout over and over) skip the reconfiguration
@@ -75,9 +98,14 @@ impl<T> UdpTransport<T> {
             local,
             dsts: Vec::new(),
             // One datagram is at most u16::MAX bytes; the codec's frame
-            // bound is tighter, but the buffer covers the whole datagram so
+            // bound is tighter, but the buffers cover the whole datagram so
             // oversized garbage is drained (and counted), not left queued.
-            buf: vec![0u8; usize::from(u16::MAX)],
+            // The inflight cap is sized for a full receive batch plus a
+            // generous tail of payloads still held by the application.
+            pool: BufferPool::new(usize::from(u16::MAX), 4 * mmsg::MAX_BATCH),
+            recv_buf: None,
+            send_scratch: Vec::new(),
+            batched: true,
             stats: TransportStats::default(),
             read_mode: None,
             _payload: PhantomData,
@@ -92,6 +120,48 @@ impl<T> UdpTransport<T> {
     /// Datagram counters so far.
     pub fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    /// Receive-buffer pool counters so far.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Toggle the `sendmmsg`/`recvmmsg` fast path behind the batch verbs
+    /// (on by default). Off, `send_batch`/`recv_batch` loop the scalar
+    /// verbs — the baseline the `udp_dataplane` bench compares against.
+    pub fn set_batched(&mut self, on: bool) {
+        self.batched = on;
+    }
+
+    /// Whether the batch verbs currently use the batched-syscall path.
+    pub fn batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Decode one whole datagram (already truncated to its received
+    /// length), enforcing the one-datagram-one-frame invariant: a frame
+    /// that does not consume the full payload is a decode error, not a
+    /// delivery.
+    fn decode_datagram(&mut self, buf: BytesMut) -> Option<Packet<T>>
+    where
+        T: Wire,
+    {
+        let datagram_len = buf.len();
+        let frame = self.pool.commit(buf);
+        match decode_frame_shared::<Packet<T>>(&frame) {
+            Ok(Some((pkt, used))) if used == datagram_len => {
+                self.stats.received += 1;
+                Some(pkt)
+            }
+            // Trailing bytes after the frame, a truncated/malformed frame,
+            // or an oversized declared length: drop and count — untrusted
+            // bytes must never take the endpoint down.
+            Ok(_) | Err(_) => {
+                self.stats.decode_errors += 1;
+                None
+            }
+        }
     }
 
     /// The deployment's address book.
@@ -152,40 +222,54 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
             }
         };
         for i in 0..self.dsts.len() {
-            if self.socket.send_to(&frame, self.dsts[i]).is_ok() {
-                self.stats.sent += 1;
+            match self.socket.send_to(&frame, self.dsts[i]) {
+                Ok(_) => self.stats.sent += 1,
+                // A refused send (bad port, full socket buffer) is a
+                // dropped datagram, not a silent one: the books must
+                // balance so harnesses can see where packets went.
+                Err(_) => self.stats.send_errors += 1,
             }
         }
     }
 
     /// A zero `timeout` is a nonblocking poll: it drains any queued
     /// datagram without waiting (the batched-drain path of the switch
-    /// pipelines); otherwise the call waits until the deadline.
+    /// pipelines); otherwise the call waits until the deadline. A sub-
+    /// millisecond remainder becomes a final nonblocking poll rather than a
+    /// kernel wait — the kernel timeout has ~1ms granularity, so waiting
+    /// would overshoot the deadline and skew latency measurements; this
+    /// path returns (up to 1ms) early instead of late.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Packet<T>, RecvError> {
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            let blocking = !remaining.is_zero();
+            // `set_read_timeout(Some(0))` is an error by contract, and any
+            // sub-ms wait rounds up to ~1ms in the kernel: only block for
+            // remainders the kernel can actually honor. The threshold sits
+            // below 1ms because `remaining` is measured *after* the caller's
+            // deadline was taken — a caller asking for exactly 1ms (the node
+            // loops' ctl-poll slice) has always lost a few µs by now, and
+            // degrading that wait to a nonblocking poll would turn every
+            // blocked node loop into a busy spin.
+            let blocking = remaining >= Duration::from_micros(900);
             if blocking {
-                // `set_read_timeout(Some(0))` is an error by contract.
-                self.set_read_mode(Some(remaining.max(Duration::from_millis(1))));
+                self.set_read_mode(Some(remaining));
             } else {
                 self.set_read_mode(None);
             }
-            match self.socket.recv(&mut self.buf) {
-                Ok(n) => match decode_frame::<Packet<T>>(&self.buf[..n]) {
-                    Ok(Some((pkt, _))) => {
-                        self.stats.received += 1;
+            let mut buf = match self.recv_buf.take() {
+                Some(buf) => buf,
+                None => self.pool.checkout(),
+            };
+            match self.socket.recv(&mut buf) {
+                Ok(n) => {
+                    buf.truncate(n);
+                    if let Some(pkt) = self.decode_datagram(buf) {
                         return Ok(pkt);
                     }
-                    // Truncated or malformed datagram: drop and keep
-                    // listening — untrusted bytes must never take the
-                    // endpoint down.
-                    Ok(None) | Err(_) => {
-                        self.stats.decode_errors += 1;
-                    }
-                },
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    self.recv_buf = Some(buf);
                     if !blocking {
                         return Err(RecvError::TimedOut);
                     }
@@ -193,12 +277,114 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
                 // Transient kernel errors (e.g. ECONNRESET from an ICMP
                 // port-unreachable on a dead peer) — keep listening.
                 Err(_) => {
+                    self.recv_buf = Some(buf);
                     if !blocking {
                         return Err(RecvError::TimedOut);
                     }
                 }
             }
         }
+    }
+
+    /// Batched flush: resolve and encode every packet, then hand the whole
+    /// run of datagrams to the kernel through `sendmmsg`
+    /// ([`mmsg::send_batch`]) — one kernel crossing per
+    /// [`mmsg::MAX_BATCH`] datagrams instead of one per packet. Counter
+    /// semantics are identical to looping the scalar verb.
+    fn send_batch(&mut self, batch: &mut Vec<(NodeId, Packet<T>)>) {
+        if !self.batched {
+            for (to, pkt) in batch.drain(..) {
+                self.send(to, pkt);
+            }
+            return;
+        }
+        self.send_scratch.clear();
+        for (to, pkt) in batch.drain(..) {
+            let generation = self.book.generation();
+            if generation != self.seen_generation {
+                self.directory = self.book.snapshot();
+                self.seen_generation = generation;
+            }
+            self.directory.resolve(to, &pkt.body, &mut self.dsts);
+            if self.dsts.is_empty() {
+                self.stats.unresolved += 1;
+                continue;
+            }
+            match encode_frame(&pkt) {
+                Ok(frame) => {
+                    for i in 0..self.dsts.len() {
+                        self.send_scratch.push((self.dsts[i], frame.clone()));
+                    }
+                }
+                Err(_) => {
+                    self.stats.oversized += 1;
+                }
+            }
+        }
+        if self.send_scratch.is_empty() {
+            return;
+        }
+        let msgs: Vec<(SocketAddr, &[u8])> = self
+            .send_scratch
+            .iter()
+            .map(|(dst, frame)| (*dst, &frame[..]))
+            .collect();
+        let report = mmsg::send_batch(&self.socket, &msgs);
+        self.stats.sent += report.sent as u64;
+        self.stats.send_errors += report.errors as u64;
+    }
+
+    /// Batched drain: pull up to `max` queued datagrams per `recvmmsg` call
+    /// ([`mmsg::recv_batch`]) into pooled buffers and decode them in place —
+    /// payload fields alias the buffers, nothing is copied, and a warm pool
+    /// allocates nothing.
+    fn recv_batch(&mut self, out: &mut Vec<Packet<T>>, max: usize) -> usize {
+        if !self.batched {
+            // Scalar baseline: loop the nonblocking scalar verb.
+            let mut n = 0;
+            while n < max {
+                match self.recv_timeout(Duration::ZERO) {
+                    Ok(pkt) => {
+                        out.push(pkt);
+                        n += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            return n;
+        }
+        self.set_read_mode(None);
+        let mut delivered = 0;
+        while delivered < max {
+            let want = (max - delivered).min(mmsg::MAX_BATCH);
+            let mut bufs: Vec<BytesMut> = Vec::with_capacity(want);
+            bufs.extend(self.recv_buf.take());
+            while bufs.len() < want {
+                bufs.push(self.pool.checkout());
+            }
+            let mut lens = [0usize; mmsg::MAX_BATCH];
+            let got = {
+                let mut slices: Vec<&mut [u8]> = bufs.iter_mut().map(|b| &mut b[..]).collect();
+                mmsg::recv_batch(&self.socket, &mut slices, &mut lens).unwrap_or(0)
+            };
+            for (i, mut buf) in bufs.into_iter().enumerate() {
+                if i < got {
+                    buf.truncate(lens[i]);
+                    if let Some(pkt) = self.decode_datagram(buf) {
+                        out.push(pkt);
+                        delivered += 1;
+                    }
+                } else if self.recv_buf.is_none() {
+                    self.recv_buf = Some(buf);
+                } else {
+                    self.pool.release(buf);
+                }
+            }
+            if got < want {
+                break; // queue drained
+            }
+        }
+        delivered
     }
 }
 
@@ -260,8 +446,10 @@ mod tests {
     #[test]
     fn garbage_datagrams_are_counted_and_skipped() {
         let (_book, mut a, mut b) = pair();
-        // Raw garbage straight to b's socket, then a valid packet: the
-        // receive loop must skip the garbage and deliver the packet.
+        // Raw garbage straight to b's socket, then a valid frame with junk
+        // appended (violating the one-datagram-one-frame invariant), then a
+        // valid packet: the receive loop must skip all three rejects and
+        // deliver the packet.
         let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
         raw.send_to(&[0xff; 40], b.local_addr()).unwrap();
         raw.send_to(&[1, 2], b.local_addr()).unwrap();
@@ -270,10 +458,147 @@ mod tests {
             NodeId::Replica(ReplicaId(0)),
             harmonia_types::PacketBody::Protocol(3),
         );
+        let mut padded = harmonia_types::wire::encode_frame(&pkt).unwrap().to_vec();
+        padded.extend_from_slice(&[0xde, 0xad]);
+        raw.send_to(&padded, b.local_addr()).unwrap();
         a.send(NodeId::Replica(ReplicaId(0)), pkt.clone());
         let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(got, pkt);
-        assert_eq!(b.stats().decode_errors, 2);
+        assert_eq!(b.stats().decode_errors, 3);
+        assert_eq!(b.stats().received, 1);
+    }
+
+    #[test]
+    fn accounting_balances_across_all_send_outcomes() {
+        let (book, mut a, _b) = pair();
+        // A destination that resolves but the kernel refuses: port 0.
+        book.register(
+            NodeId::Replica(ReplicaId(7)),
+            "127.0.0.1:0".parse().unwrap(),
+        );
+        let mk = |body| {
+            Packet::new(
+                NodeId::Client(ClientId(1)),
+                NodeId::Replica(ReplicaId(0)),
+                body,
+            )
+        };
+
+        // 1: delivered.
+        a.send(
+            NodeId::Replica(ReplicaId(0)),
+            mk(harmonia_types::PacketBody::Protocol(1)),
+        );
+        // 2: unresolved destination.
+        a.send(
+            NodeId::Replica(ReplicaId(42)),
+            mk(harmonia_types::PacketBody::Protocol(2)),
+        );
+        // 3: oversized frame (value field larger than one datagram).
+        let huge = ClientRequest::write(
+            ClientId(1),
+            RequestId(3),
+            &b"k"[..],
+            vec![0u8; harmonia_types::MAX_FRAME_BYTES],
+        );
+        a.send(
+            NodeId::Replica(ReplicaId(0)),
+            mk(harmonia_types::PacketBody::Request(huge)),
+        );
+        // 4: kernel-refused send.
+        a.send(
+            NodeId::Replica(ReplicaId(7)),
+            mk(harmonia_types::PacketBody::Protocol(4)),
+        );
+
+        let s = a.stats();
+        assert_eq!(s.sent, 1);
+        assert_eq!(s.unresolved, 1);
+        assert_eq!(s.oversized, 1);
+        assert_eq!(s.send_errors, 1);
+        // The books balance: four attempts, four counters.
+        assert_eq!(s.sent + s.unresolved + s.oversized + s.send_errors, 4);
+    }
+
+    #[test]
+    fn sub_millisecond_timeout_does_not_overshoot() {
+        let (_book, _a, mut b) = pair();
+        // The kernel's receive timeout has ~1ms granularity, so a 100µs
+        // deadline must become a nonblocking poll, not a kernel wait. The
+        // *minimum* observed latency is the discriminator: the old
+        // clamp-to-1ms path never returned under ~1ms; the poll path is
+        // tens of microseconds. (Max is scheduler noise either way.)
+        let mut min = Duration::MAX;
+        for _ in 0..10 {
+            let t0 = Instant::now();
+            let _ = b.recv_timeout(Duration::from_micros(100));
+            min = min.min(t0.elapsed());
+        }
+        assert!(
+            min < Duration::from_micros(900),
+            "sub-ms recv_timeout blocked in the kernel: min {min:?}"
+        );
+    }
+
+    #[test]
+    fn batch_verbs_roundtrip_and_match_scalar_counters() {
+        let (_book, mut a, mut b) = pair();
+        let mk = |i: u64| -> (NodeId, Pkt) {
+            (
+                NodeId::Replica(ReplicaId(0)),
+                Packet::new(
+                    NodeId::Client(ClientId(1)),
+                    NodeId::Replica(ReplicaId(0)),
+                    harmonia_types::PacketBody::Protocol(i),
+                ),
+            )
+        };
+        let n = 50u64;
+        let mut batch: Vec<(NodeId, Pkt)> = (0..n).map(mk).collect();
+        a.send_batch(&mut batch);
+        assert!(batch.is_empty(), "send_batch must drain its input");
+        assert_eq!(a.stats().sent, n);
+
+        // Wait for the first packet, then batch-drain the rest.
+        let mut got = vec![b.recv_timeout(Duration::from_secs(2)).unwrap()];
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while (got.len() as u64) < n && Instant::now() < deadline {
+            if b.recv_batch(&mut got, 64) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(got.len() as u64, n);
+        // In-order on loopback, and payloads intact.
+        for (i, pkt) in got.iter().enumerate() {
+            assert_eq!(*pkt, mk(i as u64).1);
+        }
+        assert_eq!(b.stats().received, n);
+    }
+
+    #[test]
+    fn steady_state_receive_is_allocation_free() {
+        let (_book, mut a, mut b) = pair();
+        let pkt: Pkt = Packet::new(
+            NodeId::Client(ClientId(1)),
+            NodeId::Replica(ReplicaId(0)),
+            harmonia_types::PacketBody::Protocol(9),
+        );
+        // Steady state: one packet in flight at a time, payload dropped
+        // before the next receive, so the pool always has a reclaimable
+        // buffer. Everything after warm-up must be a pool hit.
+        let rounds = 200u64;
+        for _ in 0..rounds {
+            a.send(NodeId::Replica(ReplicaId(0)), pkt.clone());
+            let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(got, pkt);
+        }
+        let s = b.pool_stats();
+        assert!(
+            s.misses <= 2,
+            "steady-state receive allocated {} times",
+            s.misses
+        );
+        assert!(s.hit_rate() > 0.95, "pool hit rate {:.3}", s.hit_rate());
     }
 
     #[test]

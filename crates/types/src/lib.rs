@@ -31,7 +31,7 @@ pub use packet::{
 };
 pub use seq::SwitchSeq;
 pub use time::{Duration, Instant};
-pub use wire::{decode_frame, encode_frame, Wire, MAX_FRAME_BYTES};
+pub use wire::{decode_frame, decode_frame_shared, encode_frame, Wire, MAX_FRAME_BYTES};
 
 /// Errors surfaced by the types layer (wire decoding in practice).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,14 @@ pub enum TypeError {
         /// The claimed length.
         len: usize,
     },
+    /// A frame body declared more bytes than its value actually encodes:
+    /// decoding succeeded but left unconsumed bytes inside the declared
+    /// length. A well-formed peer never produces this, so it is rejected
+    /// rather than silently ignored.
+    TrailingBytes {
+        /// How many declared-but-unconsumed bytes were left.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for TypeError {
@@ -68,6 +76,9 @@ impl std::fmt::Display for TypeError {
             }
             TypeError::OversizedField { field, len } => {
                 write!(f, "field {field} claims oversized length {len}")
+            }
+            TypeError::TrailingBytes { len } => {
+                write!(f, "frame body left {len} undeclared trailing bytes")
             }
         }
     }

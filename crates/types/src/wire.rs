@@ -62,9 +62,36 @@ pub fn encode_frame<T: Wire>(value: &T) -> Result<Bytes, TypeError> {
 
 /// Decode one frame produced by [`encode_frame`]. Returns the value and the
 /// number of bytes consumed, or `Ok(None)` if the buffer does not yet hold a
-/// complete frame.
+/// complete frame. The value must consume the frame's declared body exactly:
+/// declared-but-undecoded bytes are a [`TypeError::TrailingBytes`] error, so
+/// a malformed peer cannot smuggle junk inside a valid length prefix.
 pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>, TypeError> {
-    if buf.len() < 4 {
+    let Some(len) = frame_body_len(buf.len(), buf)? else {
+        return Ok(None);
+    };
+    let mut body = Bytes::copy_from_slice(&buf[4..4 + len]);
+    finish_frame(T::decode(&mut body)?, &body, len)
+}
+
+/// Zero-copy variant of [`decode_frame`]: the same framing and strictness,
+/// but the body is *sliced* out of `buf` instead of copied, so any
+/// [`Bytes`]-typed payload fields in the decoded value alias the caller's
+/// buffer. This is what lets the UDP receive path hand out key/value
+/// payloads that point straight into a pooled datagram buffer — the buffer
+/// stays pinned (unreclaimable by the pool) until the last payload slice is
+/// dropped.
+pub fn decode_frame_shared<T: Wire>(buf: &Bytes) -> Result<Option<(T, usize)>, TypeError> {
+    let Some(len) = frame_body_len(buf.len(), buf)? else {
+        return Ok(None);
+    };
+    let mut body = buf.slice(4..4 + len);
+    finish_frame(T::decode(&mut body)?, &body, len)
+}
+
+/// Shared header parse: `Ok(None)` while incomplete, the declared body
+/// length once the full frame is present, oversize rejected up front.
+fn frame_body_len(avail: usize, buf: &[u8]) -> Result<Option<usize>, TypeError> {
+    if avail < 4 {
         return Ok(None);
     }
     let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
@@ -77,11 +104,16 @@ pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>, TypeError
             len,
         });
     }
-    if buf.len() < 4 + len {
+    if avail < 4 + len {
         return Ok(None);
     }
-    let mut body = Bytes::copy_from_slice(&buf[4..4 + len]);
-    let value = T::decode(&mut body)?;
+    Ok(Some(len))
+}
+
+fn finish_frame<T>(value: T, rest: &Bytes, len: usize) -> Result<Option<(T, usize)>, TypeError> {
+    if !rest.is_empty() {
+        return Err(TypeError::TrailingBytes { len: rest.len() });
+    }
     Ok(Some((value, 4 + len)))
 }
 
@@ -585,6 +617,46 @@ mod tests {
         let (decoded, used) = decode_frame::<Bytes>(&frame).unwrap().unwrap();
         assert_eq!(decoded, fits);
         assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn shared_decode_matches_and_aliases() {
+        let mut r = ClientRequest::write(ClientId(3), RequestId(11), &b"a-key"[..], &b"a-val"[..]);
+        r.seq = Some(SwitchSeq::new(SwitchId(1), 7));
+        let frame = encode_frame(&r).unwrap();
+        let (decoded, used) = decode_frame_shared::<ClientRequest>(&frame)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(used, frame.len());
+        // Zero-copy: the decoded key points into the frame's own storage.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        let key_ptr = decoded.key.as_ptr() as usize;
+        assert!(
+            frame_range.contains(&key_ptr),
+            "key was copied out of the frame buffer"
+        );
+    }
+
+    #[test]
+    fn declared_body_must_be_fully_consumed() {
+        // A frame whose length prefix covers the value *plus* junk decodes
+        // the value fine but must still be rejected: the junk is inside the
+        // declared body, invisible to the transport's whole-datagram check.
+        let clean = encode_frame(&7u32).unwrap();
+        let mut padded = BytesMut::new();
+        padded.put_u32_le((clean.len() - 4 + 3) as u32);
+        padded.extend_from_slice(&clean[4..]);
+        padded.extend_from_slice(&[0xee, 0xee, 0xee]);
+        let padded = padded.freeze();
+        assert_eq!(
+            decode_frame::<u32>(&padded),
+            Err(TypeError::TrailingBytes { len: 3 })
+        );
+        assert_eq!(
+            decode_frame_shared::<u32>(&padded),
+            Err(TypeError::TrailingBytes { len: 3 })
+        );
     }
 
     #[test]

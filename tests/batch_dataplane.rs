@@ -1,0 +1,240 @@
+//! Property tests for the batched, zero-copy UDP data plane.
+//!
+//! Three invariants, each pinned by proptest:
+//!
+//! 1. **Batch = scalar.** The `send_batch`/`recv_batch` verbs deliver the
+//!    same packet sequence as looping the scalar verbs — over the
+//!    `sendmmsg`/`recvmmsg` wrapper, over its portable std fallback, and
+//!    through a seeded [`FaultyTransport`] (whose default batch verbs loop
+//!    the scalar ones, so the same seed makes the same loss/dup/reorder
+//!    schedule either way).
+//! 2. **Pool never aliases.** The receive [`BufferPool`] never hands out a
+//!    buffer while any `Bytes` still references it, across arbitrary
+//!    checkout/commit/hold/drop schedules.
+//! 3. **The wrapper is faithful.** `mmsg::send_batch`/`recv_batch` and the
+//!    std fallback move identical payload sequences.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use harmonia::net::{
+    AddrBook, BufferPool, FaultConfig, FaultCounters, FaultyTransport, Transport, UdpTransport,
+};
+use harmonia::types::{ClientId, NodeId, Packet, PacketBody, ReplicaId};
+use proptest::prelude::*;
+
+type Pkt = Packet<u64>;
+
+fn pkt(n: u64) -> Pkt {
+    Packet::new(
+        NodeId::Client(ClientId(1)),
+        NodeId::Replica(ReplicaId(0)),
+        PacketBody::Protocol(n),
+    )
+}
+
+/// Bind a (sender, receiver) UDP endpoint pair sharing one book, with the
+/// receiver registered as Replica(0).
+fn udp_pair(batched: bool) -> (UdpTransport<u64>, UdpTransport<u64>) {
+    let book = Arc::new(AddrBook::new());
+    let mut a = UdpTransport::bind(Arc::clone(&book)).unwrap();
+    let mut b = UdpTransport::bind(Arc::clone(&book)).unwrap();
+    a.set_batched(batched);
+    b.set_batched(batched);
+    book.register(NodeId::Replica(ReplicaId(0)), b.local_addr());
+    (a, b)
+}
+
+/// Drain `n` packets from `b`, batched or scalar, tolerating loopback
+/// delivery latency.
+fn drain(b: &mut UdpTransport<u64>, n: usize, batched: bool) -> Vec<Pkt> {
+    let mut got = Vec::with_capacity(n);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while got.len() < n && std::time::Instant::now() < deadline {
+        if batched {
+            let want = n - got.len();
+            if b.recv_batch(&mut got, want) == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        } else if let Ok(p) = b.recv_timeout(Duration::from_millis(50)) {
+            got.push(p);
+        }
+    }
+    got
+}
+
+proptest! {
+    /// Batched and scalar verbs move the same sequence over the wire, and
+    /// the books agree.
+    #[test]
+    fn udp_batch_verbs_equal_scalar(values in prop::collection::vec(any::<u64>(), 1..60)) {
+        // Scalar reference run.
+        let (mut a, mut b) = udp_pair(false);
+        for v in &values {
+            a.send(NodeId::Replica(ReplicaId(0)), pkt(*v));
+        }
+        let scalar = drain(&mut b, values.len(), false);
+        prop_assert_eq!(a.stats().sent, values.len() as u64);
+
+        // Batched run (sendmmsg/recvmmsg on Linux, std fallback elsewhere).
+        let (mut a2, mut b2) = udp_pair(true);
+        let mut batch: Vec<(NodeId, Pkt)> = values
+            .iter()
+            .map(|v| (NodeId::Replica(ReplicaId(0)), pkt(*v)))
+            .collect();
+        a2.send_batch(&mut batch);
+        prop_assert!(batch.is_empty());
+        let batched = drain(&mut b2, values.len(), true);
+        prop_assert_eq!(a2.stats().sent, values.len() as u64);
+
+        // Loopback UDP between one socket pair delivers in order, so the
+        // sequences match exactly, not just as multisets.
+        prop_assert_eq!(&scalar, &batched);
+        let expect: Vec<Pkt> = values.iter().map(|v| pkt(*v)).collect();
+        prop_assert_eq!(&batched, &expect);
+    }
+
+    /// Through the fault adversary, the batch verbs (defaulted to scalar
+    /// loops) replay the exact per-packet fault schedule: same seed, same
+    /// delivered sequence, same counters.
+    #[test]
+    fn faulty_transport_batch_schedule_matches_scalar(
+        values in prop::collection::vec(any::<u64>(), 1..80),
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.4,
+        dup_p in 0.0f64..0.4,
+        reorder_p in 0.0f64..0.4,
+    ) {
+        /// Records sends instead of delivering them — keeps the schedule
+        /// comparison free of kernel timing.
+        #[derive(Default)]
+        struct Recorder {
+            log: Vec<u64>,
+        }
+        impl Transport<u64> for Recorder {
+            fn send(&mut self, _to: NodeId, p: Pkt) {
+                if let PacketBody::Protocol(n) = p.body {
+                    self.log.push(n);
+                }
+            }
+            fn recv_timeout(&mut self, _t: Duration) -> Result<Pkt, harmonia::net::RecvError> {
+                Err(harmonia::net::RecvError::TimedOut)
+            }
+        }
+
+        let cfg = FaultConfig { drop_prob: drop_p, duplicate_prob: dup_p, reorder_prob: reorder_p };
+        let run = |use_batch: bool| {
+            let counters = Arc::new(FaultCounters::default());
+            let mut t = FaultyTransport::new(Recorder::default(), cfg, seed, Arc::clone(&counters));
+            if use_batch {
+                let mut batch: Vec<(NodeId, Pkt)> = values
+                    .iter()
+                    .map(|v| (NodeId::Replica(ReplicaId(0)), pkt(*v)))
+                    .collect();
+                t.send_batch(&mut batch);
+            } else {
+                for v in &values {
+                    t.send(NodeId::Replica(ReplicaId(0)), pkt(*v));
+                }
+            }
+            let _ = t.recv_timeout(Duration::from_millis(1)); // flush a trailing hold
+            (t.inner().log.clone(), counters.snapshot())
+        };
+
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// The buffer pool never recycles a buffer while any `Bytes` cut from
+    /// it is still alive: across arbitrary hold/drop schedules, a checkout
+    /// never lands inside a held payload's backing buffer.
+    #[test]
+    fn pool_never_hands_out_aliased_buffers(ops in prop::collection::vec(0u8..4, 1..120)) {
+        const BUF: usize = 256;
+        let mut pool = BufferPool::new(BUF, 16);
+        // Held payload slices + the backing-buffer range each pins.
+        let mut held: Vec<(Bytes, std::ops::Range<usize>)> = Vec::new();
+        for op in ops {
+            match op {
+                // Checkout + commit + hold a payload slice.
+                0 | 1 => {
+                    let buf = pool.checkout();
+                    let base = buf.as_ptr() as usize;
+                    for (_, range) in &held {
+                        prop_assert!(
+                            !range.contains(&base),
+                            "pool handed out a buffer still referenced by a payload"
+                        );
+                    }
+                    let frame = pool.commit(buf);
+                    let payload = frame.slice(16..48);
+                    held.push((payload, base..base + BUF));
+                }
+                // Checkout + commit, payload dropped immediately.
+                2 => {
+                    let buf = pool.checkout();
+                    let base = buf.as_ptr() as usize;
+                    for (_, range) in &held {
+                        prop_assert!(!range.contains(&base));
+                    }
+                    drop(pool.commit(buf));
+                }
+                // Release the oldest held payload.
+                _ => {
+                    if !held.is_empty() {
+                        held.remove(0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The mmsg wrapper's syscall path and its std fallback move identical
+    /// payload sequences.
+    #[test]
+    fn mmsg_paths_are_equivalent(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..600), 1..50),
+    ) {
+        let run = |syscall_path: bool| -> Vec<Vec<u8>> {
+            let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+            rx.set_nonblocking(true).unwrap();
+            let to = rx.local_addr().unwrap();
+            let msgs: Vec<(SocketAddr, &[u8])> =
+                payloads.iter().map(|p| (to, &p[..])).collect();
+            let report = if syscall_path {
+                mmsg::send_batch(&tx, &msgs)
+            } else {
+                mmsg::fallback::send_batch(&tx, &msgs)
+            };
+            assert_eq!(report.sent, payloads.len());
+            assert_eq!(report.errors, 0);
+
+            let mut storage: Vec<Vec<u8>> = (0..payloads.len()).map(|_| vec![0u8; 1024]).collect();
+            let mut lens = vec![0usize; payloads.len()];
+            let mut out = Vec::new();
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while out.len() < payloads.len() && std::time::Instant::now() < deadline {
+                let mut bufs: Vec<&mut [u8]> = storage.iter_mut().map(|v| &mut v[..]).collect();
+                let n = if syscall_path {
+                    mmsg::recv_batch(&rx, &mut bufs, &mut lens).unwrap()
+                } else {
+                    mmsg::fallback::recv_batch(&rx, &mut bufs, &mut lens).unwrap()
+                };
+                for i in 0..n {
+                    out.push(storage[i][..lens[i]].to_vec());
+                }
+                if n == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            out
+        };
+
+        let via_syscalls = run(true);
+        let via_fallback = run(false);
+        prop_assert_eq!(&via_syscalls, &payloads);
+        prop_assert_eq!(&via_fallback, &payloads);
+    }
+}

@@ -119,6 +119,26 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Reclaim the buffer for mutation if this handle is the *only*
+    /// outstanding reference to it (mirrors `bytes ≥ 1.10`). Succeeds with
+    /// the full backing storage — even bytes outside this view's window —
+    /// so a buffer pool can recycle a whole datagram buffer once every
+    /// payload slice into it has been dropped. Static views are never
+    /// uniquely owned; they come back unchanged in `Err`.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.data {
+            Repr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(buf) => Ok(BytesMut { buf }),
+                Err(arc) => Err(Bytes {
+                    data: Repr::Shared(arc),
+                    start: self.start,
+                    end: self.end,
+                }),
+            },
+            Repr::Static(_) => Err(self),
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -281,6 +301,49 @@ impl BytesMut {
         self.buf.clear();
     }
 
+    /// Resize to `len` bytes, filling any growth with `fill`.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        // Not `Vec::resize`: that fills through the generic per-element
+        // `extend_with` loop (the memset specialization only covers
+        // `vec![0; n]`), which is unusably slow for the 64KB receive
+        // buffers this type backs when built without optimizations. A raw
+        // `write_bytes` lowers to memset in every profile.
+        if len > self.buf.len() {
+            self.buf.reserve(len - self.buf.len());
+            unsafe {
+                let start = self.buf.as_mut_ptr().add(self.buf.len());
+                start.write_bytes(fill, len - self.buf.len());
+                self.buf.set_len(len);
+            }
+        } else {
+            self.buf.truncate(len);
+        }
+    }
+
+    /// Shorten to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Total capacity of the underlying allocation.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Set the length without touching the contents (mirrors the real
+    /// `bytes` crate's API).
+    ///
+    /// # Safety
+    ///
+    /// `len` must not exceed [`capacity`](Self::capacity), and every byte
+    /// in `..len` must have been written at some point since the
+    /// allocation was created (bytes never deinitialize, so a previous
+    /// `resize` covering `..len` is sufficient even after `truncate`).
+    pub unsafe fn set_len(&mut self, len: usize) {
+        debug_assert!(len <= self.buf.capacity());
+        self.buf.set_len(len);
+    }
+
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
@@ -294,9 +357,21 @@ impl Deref for BytesMut {
     }
 }
 
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 
@@ -437,6 +512,26 @@ mod tests {
         assert_eq!(b.get_u32_le(), 0xdead_beef);
         assert_eq!(b.get_u64_le(), 42);
         assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn try_into_mut_requires_unique_ownership() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let alias = b.clone();
+        let b = b.try_into_mut().unwrap_err();
+        drop(alias);
+        let m = b.try_into_mut().unwrap();
+        assert_eq!(&m[..], &[1, 2, 3, 4]);
+        // A payload *slice* holds a reference too; dropping it unlocks the
+        // buffer, and the reclaimed storage is the full backing allocation.
+        let mut whole = m.freeze();
+        let payload = whole.split_off(2);
+        let whole = whole.try_into_mut().unwrap_err();
+        drop(payload);
+        let m = whole.try_into_mut().unwrap();
+        assert_eq!(&m[..], &[1, 2, 3, 4]);
+        // Static data is never reclaimable.
+        assert!(Bytes::from_static(b"abc").try_into_mut().is_err());
     }
 
     #[test]

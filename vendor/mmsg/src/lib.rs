@@ -1,0 +1,455 @@
+//! Thin `sendmmsg`/`recvmmsg` wrapper for batched UDP datagram I/O.
+//!
+//! The build environment has no registry access (so no `libc` crate); this
+//! vendored helper declares the two Linux batching syscalls by hand —
+//! exactly the slice of the C API Harmonia's UDP data plane needs — and
+//! compiles a portable `std`-only fallback everywhere else. One call moves
+//! up to [`MAX_BATCH`] datagrams across the kernel boundary, which is the
+//! eRPC-style amortization the transport's batch verbs are built on: the
+//! syscall cost is paid once per *batch*, not once per packet.
+//!
+//! Both implementations are compiled on Linux: [`send_batch`]/[`recv_batch`]
+//! dispatch to the syscall path, and [`fallback`] exposes the loop-over-
+//! `send_to`/`recv_from` path directly so equivalence tests can drive the
+//! two against each other on the same host.
+//!
+//! Contract shared by both paths:
+//!
+//! * Sends are best-effort per datagram: a destination that fails does not
+//!   abort the rest of the batch, it is tallied in
+//!   [`SendReport::errors`] — identical bookkeeping to a scalar `send_to`
+//!   loop that counts failures.
+//! * Receives never block: the syscall path passes `MSG_DONTWAIT`, the
+//!   fallback requires (and the transport guarantees) a nonblocking socket.
+//!   An empty queue is `Ok(0)`, not an error.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Largest number of datagrams moved by one wrapper call. Linux caps
+/// `UIO_MAXIOV` far higher; 32 keeps the per-endpoint buffer pool small
+/// while already amortizing the syscall ~30x.
+pub const MAX_BATCH: usize = 32;
+
+/// Per-batch send accounting: how many datagrams reached the kernel and how
+/// many failed (unreachable port, full socket buffer, ...).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SendReport {
+    /// Datagrams handed to the kernel.
+    pub sent: usize,
+    /// Datagrams the kernel refused.
+    pub errors: usize,
+}
+
+/// Whether [`send_batch`]/[`recv_batch`] use the batched syscalls on this
+/// target (Linux) or the portable fallback.
+pub const fn accelerated() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// Send every `(destination, payload)` datagram, batching kernel crossings
+/// where the target supports it. Chunks of more than [`MAX_BATCH`] messages
+/// are split internally; order within the call is preserved.
+pub fn send_batch(sock: &UdpSocket, msgs: &[(SocketAddr, &[u8])]) -> SendReport {
+    #[cfg(target_os = "linux")]
+    {
+        linux::send_batch(sock, msgs)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        fallback::send_batch(sock, msgs)
+    }
+}
+
+/// Receive up to `bufs.len()` queued datagrams without blocking, writing
+/// datagram `i`'s bytes into `bufs[i]` and its length into `lens[i]`.
+/// Returns how many datagrams were drained; an empty queue is `Ok(0)`.
+///
+/// The socket must be in nonblocking mode for the fallback path; the Linux
+/// path passes `MSG_DONTWAIT` and never blocks regardless.
+pub fn recv_batch(
+    sock: &UdpSocket,
+    bufs: &mut [&mut [u8]],
+    lens: &mut [usize],
+) -> io::Result<usize> {
+    assert!(bufs.len() <= lens.len(), "one length slot per buffer");
+    #[cfg(target_os = "linux")]
+    {
+        linux::recv_batch(sock, bufs, lens)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        fallback::recv_batch(sock, bufs, lens)
+    }
+}
+
+/// The portable path: plain `send_to`/`recv_from` loops. Public (and
+/// compiled on every target) so the batched syscalls can be tested for
+/// equivalence against it on the same host.
+pub mod fallback {
+    use super::*;
+
+    /// Loop `send_to`, tallying failures per datagram.
+    pub fn send_batch(sock: &UdpSocket, msgs: &[(SocketAddr, &[u8])]) -> SendReport {
+        let mut report = SendReport::default();
+        for (dst, payload) in msgs {
+            match sock.send_to(payload, dst) {
+                Ok(_) => report.sent += 1,
+                Err(_) => report.errors += 1,
+            }
+        }
+        report
+    }
+
+    /// Loop nonblocking `recv_from` until the queue is empty or every
+    /// buffer is filled.
+    pub fn recv_batch(
+        sock: &UdpSocket,
+        bufs: &mut [&mut [u8]],
+        lens: &mut [usize],
+    ) -> io::Result<usize> {
+        let mut n = 0;
+        while n < bufs.len() {
+            match sock.recv(bufs[n]) {
+                Ok(len) => {
+                    lens[n] = len;
+                    n += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+                // Transient kernel errors (e.g. ECONNRESET from ICMP
+                // port-unreachable) end the batch; the datagram is gone
+                // either way and the caller's next drain continues.
+                Err(_) => break,
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::*;
+    use std::net::SocketAddr;
+    use std::os::raw::{c_int, c_uint, c_void};
+    use std::os::unix::io::AsRawFd;
+    use std::ptr;
+
+    const AF_INET: u16 = 2;
+    const AF_INET6: u16 = 10;
+    const MSG_DONTWAIT: c_int = 0x40;
+
+    #[repr(C)]
+    struct IoVec {
+        iov_base: *mut c_void,
+        iov_len: usize,
+    }
+
+    #[repr(C)]
+    struct MsgHdr {
+        msg_name: *mut c_void,
+        msg_namelen: u32,
+        msg_iov: *mut IoVec,
+        msg_iovlen: usize,
+        msg_control: *mut c_void,
+        msg_controllen: usize,
+        msg_flags: c_int,
+    }
+
+    #[repr(C)]
+    struct MMsgHdr {
+        msg_hdr: MsgHdr,
+        msg_len: c_uint,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct SockAddrIn6 {
+        sin6_family: u16,
+        sin6_port: u16,
+        sin6_flowinfo: u32,
+        sin6_addr: [u8; 16],
+        sin6_scope_id: u32,
+    }
+
+    /// Either address family, large enough for both.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    union SockAddrAny {
+        v4: SockAddrIn,
+        v6: SockAddrIn6,
+    }
+
+    extern "C" {
+        fn sendmmsg(fd: c_int, msgvec: *mut MMsgHdr, vlen: c_uint, flags: c_int) -> c_int;
+        fn recvmmsg(
+            fd: c_int,
+            msgvec: *mut MMsgHdr,
+            vlen: c_uint,
+            flags: c_int,
+            timeout: *mut c_void,
+        ) -> c_int;
+    }
+
+    fn fill_sockaddr(dst: &SocketAddr, out: &mut SockAddrAny) -> u32 {
+        match dst {
+            SocketAddr::V4(a) => {
+                out.v4 = SockAddrIn {
+                    sin_family: AF_INET,
+                    sin_port: a.port().to_be(),
+                    sin_addr: u32::from_ne_bytes(a.ip().octets()),
+                    sin_zero: [0; 8],
+                };
+                std::mem::size_of::<SockAddrIn>() as u32
+            }
+            SocketAddr::V6(a) => {
+                out.v6 = SockAddrIn6 {
+                    sin6_family: AF_INET6,
+                    sin6_port: a.port().to_be(),
+                    sin6_flowinfo: a.flowinfo(),
+                    sin6_addr: a.ip().octets(),
+                    sin6_scope_id: a.scope_id(),
+                };
+                std::mem::size_of::<SockAddrIn6>() as u32
+            }
+        }
+    }
+
+    pub fn send_batch(sock: &UdpSocket, msgs: &[(SocketAddr, &[u8])]) -> SendReport {
+        let fd = sock.as_raw_fd();
+        let mut report = SendReport::default();
+        for chunk in msgs.chunks(MAX_BATCH) {
+            let mut addrs: Vec<SockAddrAny> = Vec::with_capacity(chunk.len());
+            let mut iovs: Vec<IoVec> = Vec::with_capacity(chunk.len());
+            let mut hdrs: Vec<MMsgHdr> = Vec::with_capacity(chunk.len());
+            for (dst, payload) in chunk {
+                let mut addr = SockAddrAny {
+                    v4: SockAddrIn {
+                        sin_family: 0,
+                        sin_port: 0,
+                        sin_addr: 0,
+                        sin_zero: [0; 8],
+                    },
+                };
+                let namelen = fill_sockaddr(dst, &mut addr);
+                addrs.push(addr);
+                iovs.push(IoVec {
+                    // sendmmsg never writes through the iov; the const cast
+                    // is the C API's lack of a const iovec, not mutation.
+                    iov_base: payload.as_ptr() as *mut c_void,
+                    iov_len: payload.len(),
+                });
+                hdrs.push(MMsgHdr {
+                    msg_hdr: MsgHdr {
+                        msg_name: ptr::null_mut(), // patched below
+                        msg_namelen: namelen,
+                        msg_iov: ptr::null_mut(), // patched below
+                        msg_iovlen: 1,
+                        msg_control: ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                });
+            }
+            // Patch the pointers only once the vectors stop reallocating.
+            for i in 0..chunk.len() {
+                hdrs[i].msg_hdr.msg_name = &mut addrs[i] as *mut SockAddrAny as *mut c_void;
+                hdrs[i].msg_hdr.msg_iov = &mut iovs[i];
+            }
+            // sendmmsg stops at the first failing datagram (its error is
+            // only reported when *nothing* was sent), so loop: skip one
+            // message past each stall, matching a scalar loop's
+            // per-datagram accounting.
+            let mut done = 0;
+            while done < chunk.len() {
+                let remaining = (chunk.len() - done) as c_uint;
+                let rc = unsafe { sendmmsg(fd, hdrs.as_mut_ptr().add(done), remaining, 0) };
+                if rc > 0 {
+                    report.sent += rc as usize;
+                    done += rc as usize;
+                } else {
+                    // The head datagram failed (or EINTR): charge it as an
+                    // error and move on — never stall the rest of the batch.
+                    report.errors += 1;
+                    done += 1;
+                }
+            }
+        }
+        report
+    }
+
+    pub fn recv_batch(
+        sock: &UdpSocket,
+        bufs: &mut [&mut [u8]],
+        lens: &mut [usize],
+    ) -> io::Result<usize> {
+        if bufs.is_empty() {
+            return Ok(0);
+        }
+        let fd = sock.as_raw_fd();
+        let take = bufs.len().min(MAX_BATCH);
+        let mut iovs: Vec<IoVec> = bufs[..take]
+            .iter_mut()
+            .map(|b| IoVec {
+                iov_base: b.as_mut_ptr() as *mut c_void,
+                iov_len: b.len(),
+            })
+            .collect();
+        let mut hdrs: Vec<MMsgHdr> = (0..take)
+            .map(|i| MMsgHdr {
+                msg_hdr: MsgHdr {
+                    msg_name: ptr::null_mut(),
+                    msg_namelen: 0,
+                    msg_iov: &mut iovs[i],
+                    msg_iovlen: 1,
+                    msg_control: ptr::null_mut(),
+                    msg_controllen: 0,
+                    msg_flags: 0,
+                },
+                msg_len: 0,
+            })
+            .collect();
+        let rc = unsafe {
+            recvmmsg(
+                fd,
+                hdrs.as_mut_ptr(),
+                take as c_uint,
+                MSG_DONTWAIT,
+                ptr::null_mut(),
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            return match err.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Ok(0),
+                // Transient kernel errors (ICMP port-unreachable on a dead
+                // peer) — nothing drained, the caller's next pass continues.
+                _ => Ok(0),
+            };
+        }
+        let n = rc as usize;
+        for (i, hdr) in hdrs.iter().take(n).enumerate() {
+            lens[i] = hdr.msg_len as usize;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (UdpSocket, UdpSocket, SocketAddr) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let to = b.local_addr().unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b, to)
+    }
+
+    fn drain(b: &UdpSocket, max: usize) -> Vec<Vec<u8>> {
+        let mut storage: Vec<Vec<u8>> = (0..max).map(|_| vec![0u8; 2048]).collect();
+        let mut lens = vec![0usize; max];
+        let mut out = Vec::new();
+        // A loopback send is not synchronously visible; poll briefly.
+        for _ in 0..200 {
+            let mut bufs: Vec<&mut [u8]> = storage.iter_mut().map(|v| &mut v[..]).collect();
+            let n = recv_batch(b, &mut bufs, &mut lens).unwrap();
+            for i in 0..n {
+                out.push(storage[i][..lens[i]].to_vec());
+            }
+            if out.len() >= max {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        out
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_payloads_and_order() {
+        let (a, b, to) = pair();
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 3 + i as usize]).collect();
+        let msgs: Vec<(SocketAddr, &[u8])> = payloads.iter().map(|p| (to, &p[..])).collect();
+        let report = send_batch(&a, &msgs);
+        assert_eq!(
+            report,
+            SendReport {
+                sent: 20,
+                errors: 0
+            }
+        );
+        assert_eq!(drain(&b, 20), payloads);
+    }
+
+    #[test]
+    fn oversize_batch_is_chunked() {
+        let (a, b, to) = pair();
+        let payloads: Vec<Vec<u8>> = (0..(MAX_BATCH + 5))
+            .map(|i| (i as u32).to_le_bytes().to_vec())
+            .collect();
+        let msgs: Vec<(SocketAddr, &[u8])> = payloads.iter().map(|p| (to, &p[..])).collect();
+        let report = send_batch(&a, &msgs);
+        assert_eq!(report.sent, MAX_BATCH + 5);
+        assert_eq!(drain(&b, MAX_BATCH + 5), payloads);
+    }
+
+    #[test]
+    fn failed_destination_is_counted_not_fatal() {
+        let (a, b, to) = pair();
+        // Port 0 is never a valid destination: the kernel refuses the send.
+        let bad: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let msgs: Vec<(SocketAddr, &[u8])> = vec![(to, b"first"), (bad, b"lost"), (to, b"second")];
+        let report = send_batch(&a, &msgs);
+        assert_eq!(report, SendReport { sent: 2, errors: 1 });
+        let got = drain(&b, 2);
+        assert_eq!(got, vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn empty_queue_is_ok_zero() {
+        let (_a, b, _to) = pair();
+        let mut storage = [0u8; 64];
+        let mut bufs: Vec<&mut [u8]> = vec![&mut storage[..]];
+        let mut lens = [0usize; 1];
+        assert_eq!(recv_batch(&b, &mut bufs, &mut lens).unwrap(), 0);
+    }
+
+    #[test]
+    fn fallback_matches_batched_path() {
+        let (a, b, to) = pair();
+        let payloads: Vec<Vec<u8>> = (0..10u8).map(|i| vec![0xA0 + i; 8]).collect();
+        let msgs: Vec<(SocketAddr, &[u8])> = payloads.iter().map(|p| (to, &p[..])).collect();
+        let r1 = send_batch(&a, &msgs);
+        let got1 = drain(&b, 10);
+        let r2 = fallback::send_batch(&a, &msgs);
+        // Drain through the fallback receiver this time.
+        let mut storage: Vec<Vec<u8>> = (0..10).map(|_| vec![0u8; 64]).collect();
+        let mut lens = vec![0usize; 10];
+        let mut got2 = Vec::new();
+        for _ in 0..200 {
+            let mut bufs: Vec<&mut [u8]> = storage.iter_mut().map(|v| &mut v[..]).collect();
+            let n = fallback::recv_batch(&b, &mut bufs, &mut lens).unwrap();
+            for i in 0..n {
+                got2.push(storage[i][..lens[i]].to_vec());
+            }
+            if got2.len() >= 10 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(r1, r2);
+        assert_eq!(got1, payloads);
+        assert_eq!(got2, payloads);
+    }
+}
