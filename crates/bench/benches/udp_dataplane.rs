@@ -24,6 +24,9 @@
 //! Emits `BENCH_udp_dataplane.json` (suppress with `HARMONIA_BENCH_JSON=0`);
 //! `HARMONIA_LIVE_BENCH_MS` shrinks the window for CI smoke runs.
 
+// Wall-clock reads are deliberate here: benchmark: measures real elapsed time.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -14,6 +14,9 @@
 //! `HARMONIA_LIVE_BENCH_MS` scales the sampling effort down for CI smoke
 //! runs; `HARMONIA_BENCH_JSON=0` suppresses the snapshot.
 
+// Wall-clock reads are deliberate here: benchmark: measures real elapsed time.
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -16,6 +16,10 @@
 //! effect — switch-dropped writes throttling the workload — only shows up
 //! when dropped writes stall their issuer.
 
+// Wall-clock reads are deliberate here: benchmark harness: measures real elapsed time.
+#![allow(clippy::disallowed_methods)]
+#![forbid(unsafe_code)]
+
 use bytes::Bytes;
 use harmonia_core::client::{metrics, ClosedLoopClient, OpSpec, SourceFn};
 use harmonia_core::deployment::{DeploymentSpec, SimCluster};

@@ -30,6 +30,8 @@
 //!   transport, the wire codec on every hop, and seeded loss/duplication/
 //!   reordering at the socket boundary.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod deployment;
 pub mod failover;

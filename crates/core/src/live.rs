@@ -43,6 +43,9 @@
 //! client-facing address. Single-replica reads stay disabled per group
 //! until the first WRITE-COMPLETION bearing the new incarnation's id.
 
+// Wall-clock reads are deliberate here: live threaded driver: ticks and timeouts are real time.
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -509,6 +512,8 @@ impl LiveRig {
     /// address and on its own incarnation's address (replicas reply to the
     /// lease holder); both resolve through the same stateless shard router.
     fn spawn_switch(&mut self, core: SwitchCore) {
+        // lint:allow(panic_path): harness control plane — a misuse by the
+        // test driver, not live traffic; no packet is in flight here.
         assert!(self.switch.is_none(), "kill the old switch first");
         let incarnation = core.incarnation();
         let shards = core.shard_map();
@@ -527,6 +532,9 @@ impl LiveRig {
             let join = std::thread::Builder::new()
                 .name(format!("harmonia-switch-{}-g{}", incarnation.0, group.0))
                 .spawn(move || pipeline_main(core, link, me, sweep))
+                // lint:allow(panic_path): deployment bring-up, not the data
+                // plane — thread-spawn failure means the host is out of
+                // resources before any traffic exists.
                 .expect("spawn switch pipeline thread");
             ingress.push(tx.clone());
             pipelines.push(Pipeline { group, tx, join });
@@ -576,6 +584,7 @@ impl LiveRig {
         let handle = std::thread::Builder::new()
             .name(name)
             .spawn(move || replica_main(me, build_replica(group), link, recover_from))
+            // lint:allow(panic_path): deployment bring-up (see spawn_switch).
             .expect("spawn replica thread");
         self.replica_threads.push((tx, handle));
     }
@@ -825,11 +834,15 @@ impl LiveCluster {
         let idx = canonical
             .iter()
             .position(|&m| m == r)
+            // lint:allow(panic_path): fault-injection control plane — the
+            // scenario script named a replica outside its own spec.
             .expect("replica belongs to its group");
         let peer = canonical
             .iter()
             .copied()
             .find(|&m| m != r)
+            // lint:allow(panic_path): fault-injection control plane — a
+            // 1-replica group cannot state-transfer; scripts must not ask.
             .expect("restart_replica needs a live peer to transfer from");
         // Switch first: restore the canonical table with the newcomer
         // gated, then the survivors' membership. A short settle keeps the
@@ -1004,6 +1017,8 @@ pub(crate) fn run_plans_threaded(
         .collect();
     handles
         .into_iter()
+        // lint:allow(panic_path): harness teardown — propagating a worker
+        // panic into the test failure is exactly what we want here.
         .map(|h| h.join().expect("plan thread panicked"))
         .collect()
 }
@@ -1022,6 +1037,8 @@ pub(crate) fn replica_main(
     recover_from: Option<ReplicaId>,
 ) {
     let NodeId::Replica(my_id) = me else {
+        // lint:allow(panic_path): loop precondition — callers construct
+        // `me` as `NodeId::Replica` two lines above each spawn site.
         unreachable!("replica loop hosted at {me:?}")
     };
     let mut transfer = StateTransfer::new(my_id);

@@ -37,6 +37,9 @@
 //! and jitter fields are ignored: the kernel's loopback timing is the real
 //! thing.
 
+// Wall-clock reads are deliberate here: live UDP driver: ticks and timeouts are real time.
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -263,6 +266,8 @@ impl UdpRig {
 
     /// Bind a fresh loopback endpoint under the given fault policy.
     fn endpoint(&self, faults: Faults) -> (Net, std::net::SocketAddr) {
+        // lint:allow(panic_path): deployment bring-up — a failed loopback
+        // bind means no endpoint ever existed; no live traffic is at risk.
         let mut t = UdpTransport::bind(Arc::clone(&self.book)).expect("bind loopback UDP socket");
         t.set_batched(self.batched);
         let addr = t.local_addr();
@@ -282,6 +287,8 @@ impl UdpRig {
             Faults::SparingReplicas => {
                 Box::new(faulty.exempting(|to| matches!(to, NodeId::Replica(_))))
             }
+            // lint:allow(panic_path): guarded by the early return above —
+            // the `Faults::None` arm is statically unreachable here.
             Faults::None => unreachable!(),
         };
         (net, addr)
@@ -292,6 +299,8 @@ impl UdpRig {
     /// the address book under the stable client-facing switch address plus
     /// the incarnation's own id (replicas reply to the lease holder).
     fn spawn_switch(&mut self, core: SwitchCore) {
+        // lint:allow(panic_path): harness control plane — a misuse by the
+        // test driver, not live traffic; no packet is in flight here.
         assert!(self.switch.is_none(), "kill the old switch first");
         let incarnation = core.incarnation();
         let shards = core.shard_map();
@@ -310,6 +319,8 @@ impl UdpRig {
             let join = std::thread::Builder::new()
                 .name(format!("harmonia-udpsw-{}-g{}", incarnation.0, group.0))
                 .spawn(move || pipeline_main(core, link, me, sweep))
+                // lint:allow(panic_path): deployment bring-up — thread-spawn
+                // failure precedes any traffic.
                 .expect("spawn UDP switch pipeline thread");
             sockets.push(addr);
             pipelines.push(UdpPipeline {
@@ -355,6 +366,7 @@ impl UdpRig {
         let handle = std::thread::Builder::new()
             .name(name)
             .spawn(move || replica_main(me, build_replica(group), link, recover_from))
+            // lint:allow(panic_path): deployment bring-up (see spawn_switch).
             .expect("spawn UDP replica thread");
         self.replica_threads.push((ctl_tx, handle));
     }
@@ -591,11 +603,15 @@ impl UdpCluster {
         let idx = canonical
             .iter()
             .position(|&m| m == r)
+            // lint:allow(panic_path): fault-injection control plane — the
+            // scenario script named a replica outside its own spec.
             .expect("replica belongs to its group");
         let peer = canonical
             .iter()
             .copied()
             .find(|&m| m != r)
+            // lint:allow(panic_path): fault-injection control plane — a
+            // 1-replica group cannot state-transfer; scripts must not ask.
             .expect("restart_replica needs a live peer to transfer from");
         self.rig
             .send_switch_control(ControlMsg::SetReplicas(canonical.clone()));

@@ -18,6 +18,8 @@
 //!
 //! [`SwitchSeq`]: harmonia_types::SwitchSeq
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod store;
 pub mod versioned;

@@ -160,13 +160,23 @@ impl<V: Clone> Store<V> {
         stats.key_bytes = 0;
     }
 
-    /// Visit every `(key, value)` pair (snapshot per shard; order is
-    /// unspecified). Intended for tests and consistency audits.
+    /// Visit every `(key, value)` pair in key order within each shard.
+    /// Callers that need a fully key-ordered walk must merge across shards;
+    /// what matters here is that the order is a pure function of the store
+    /// contents — snapshot export chunks from this walk, and those wire
+    /// bytes must be identical across same-seed replays (the shard maps
+    /// hash-order their entries, so the raw iteration order is not).
     pub fn for_each(&self, mut f: impl FnMut(&Bytes, &V)) {
         for shard in &self.shards {
             let guard = shard.read();
-            for (k, v) in &guard.map {
-                f(k, v);
+            // lint:allow(determinism): the hash order this iteration leaks
+            // is erased by the sort on the next line before any visit.
+            let mut keys: Vec<&Bytes> = guard.map.keys().collect();
+            keys.sort_unstable();
+            for k in keys {
+                if let Some(v) = guard.map.get(k) {
+                    f(k, v);
+                }
             }
         }
     }

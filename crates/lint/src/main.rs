@@ -1,0 +1,70 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p harmonia-lint            # human-readable report
+//! cargo run -p harmonia-lint -- --json  # machine-readable (the CI job)
+//! cargo run -p harmonia-lint -- --root /path/to/checkout
+//! ```
+//!
+//! Exit code 0 means the tree is clean; 1 means findings (printed); 2 means
+//! the checker itself failed (bad root, unreadable file).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (expected --json, --root <path>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Under `cargo run` the manifest dir points at crates/lint; the
+    // workspace root is two levels up. Outside cargo, fall back to cwd.
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|d| PathBuf::from(d).join("../.."))
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    match harmonia_lint::lint_workspace(&root) {
+        Ok(findings) => {
+            if json {
+                println!("{}", harmonia_lint::to_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!(
+                    "harmonia-lint: {} finding{} across the workspace",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" }
+                );
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("harmonia-lint: cannot lint {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

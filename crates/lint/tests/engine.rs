@@ -1,0 +1,362 @@
+//! Fixture tests for the lint engine: every rule family must fire on a
+//! seeded violation and stay quiet on the look-alikes (patterns inside
+//! strings, comments, and `#[cfg(test)]` blocks), and the waiver grammar
+//! must suppress exactly what it names.
+
+use harmonia_lint::{lint_source, Policy, Rule};
+
+/// A policy that puts the fixture's synthetic paths under every rule.
+fn policy() -> Policy {
+    Policy::workspace()
+}
+
+/// Path inside a deterministic crate.
+const DET: &str = "crates/sim/src/fixture.rs";
+/// A designated hot-path file.
+const HOT: &str = "crates/net/src/udp.rs";
+/// Path inside a sans-IO crate.
+const SANS_IO: &str = "crates/replication/src/fixture.rs";
+/// Path with no unsafe sanction.
+const NO_UNSAFE: &str = "crates/switch/src/fixture.rs";
+/// Path inside the unsafe allowlist.
+const UNSAFE_OK: &str = "vendor/mmsg/src/fixture.rs";
+
+fn rules(findings: &[harmonia_lint::Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---- determinism ----------------------------------------------------------
+
+#[test]
+fn determinism_fires_on_instant_now() {
+    let src = "fn f() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n";
+    let f = lint_source(DET, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Determinism], "{f:?}");
+}
+
+#[test]
+fn determinism_fires_on_std_time_instant_import() {
+    let src = "use std::time::Instant;\n";
+    let f = lint_source(DET, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Determinism], "{f:?}");
+}
+
+#[test]
+fn determinism_allows_virtual_instant() {
+    // The repo's own virtual clock: `Instant` as a type is fine, only
+    // `Instant::now` / `std::time::Instant` reach the wall clock.
+    let src = "use harmonia_types::Instant;\nfn f(t: Instant) -> Instant { t }\n";
+    assert!(lint_source(DET, src, &policy()).is_empty());
+}
+
+#[test]
+fn determinism_fires_on_wall_clock_and_rng_idents() {
+    for frag in [
+        "let t = SystemTime::now();",
+        "let d = t.duration_since(UNIX_EPOCH);",
+        "let r = rand::thread_rng();",
+        "let r = SmallRng::from_entropy();",
+        "let h = RandomState::new();",
+        "let h = DefaultHasher::new();",
+    ] {
+        let src = format!("fn f() {{ {frag} }}\n");
+        let f = lint_source(DET, &src, &policy());
+        assert!(
+            f.iter().any(|f| f.rule == Rule::Determinism),
+            "expected a determinism finding for `{frag}`, got {f:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_fires_on_hashmap_iteration() {
+    let src = "use std::collections::HashMap;\n\
+               struct S { m: HashMap<u32, u32> }\n\
+               impl S { fn f(&self) -> u32 { self.m.values().sum() } }\n";
+    let f = lint_source(DET, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Determinism], "{f:?}");
+}
+
+#[test]
+fn determinism_fires_on_for_loop_over_hashset() {
+    let src = "use std::collections::HashSet;\n\
+               fn f(s: HashSet<u32>) { for x in &s { drop(x); } }\n";
+    let f = lint_source(DET, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Determinism], "{f:?}");
+}
+
+#[test]
+fn determinism_fires_on_let_bound_hashmap_ctor() {
+    let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); \
+               for (k, v) in &m { drop((k, v)); } }\n";
+    let f = lint_source(DET, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Determinism], "{f:?}");
+}
+
+#[test]
+fn determinism_allows_point_lookups() {
+    // get/insert/remove/contains never leak hash order.
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: &mut HashMap<u32, u32>) -> Option<u32> {\n\
+                   m.insert(1, 2); m.remove(&3); m.get(&1).copied()\n\
+               }\n";
+    assert!(lint_source(DET, src, &policy()).is_empty());
+}
+
+#[test]
+fn determinism_ignores_other_crates() {
+    let src = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert!(lint_source("crates/net/src/fixture.rs", src, &policy()).is_empty());
+}
+
+// ---- string / comment / cfg(test) blindness -------------------------------
+
+#[test]
+fn patterns_inside_strings_do_not_fire() {
+    let src = r####"
+fn f() -> &'static str {
+    let a = "Instant::now() unwrap() panic!() std::net::UdpSocket";
+    let b = r#"SystemTime thread_rng unsafe"#;
+    let c = b"HashMap::new() .iter()";
+    drop((a, b, c));
+    "ok"
+}
+"####;
+    assert!(lint_source(DET, src, &policy()).is_empty());
+    assert!(lint_source(HOT, src, &policy()).is_empty());
+    assert!(lint_source(SANS_IO, src, &policy()).is_empty());
+    assert!(lint_source(NO_UNSAFE, src, &policy()).is_empty());
+}
+
+#[test]
+fn patterns_inside_comments_do_not_fire() {
+    let src = "// Instant::now() would be wrong here; so would unwrap().\n\
+               /* unsafe { UdpSocket } thread_rng() */\n\
+               fn f() {}\n";
+    for path in [DET, HOT, SANS_IO, NO_UNSAFE] {
+        assert!(lint_source(path, src, &policy()).is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn cfg_test_blocks_are_exempt_from_determinism_and_panic() {
+    let src = "fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() {\n\
+                       let t = Instant::now();\n\
+                       let v: Vec<u32> = vec![1];\n\
+                       assert_eq!(v[0], 1);\n\
+                       v.first().unwrap();\n\
+                       drop(t);\n\
+                   }\n\
+               }\n";
+    assert!(lint_source(DET, src, &policy()).is_empty());
+    assert!(lint_source(HOT, src, &policy()).is_empty());
+}
+
+#[test]
+fn cfg_test_blocks_are_never_exempt_from_unsafe() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+                   fn t() { unsafe { std::hint::unreachable_unchecked() } }\n\
+               }\n";
+    let f = lint_source(NO_UNSAFE, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Unsafe], "{f:?}");
+}
+
+#[test]
+fn cfg_not_test_does_not_exempt() {
+    let src = "#[cfg(not(test))]\n\
+               fn f() { let t = Instant::now(); drop(t); }\n";
+    let f = lint_source(DET, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Determinism], "{f:?}");
+}
+
+// ---- panic_path -----------------------------------------------------------
+
+#[test]
+fn panic_path_fires_on_unwrap_expect_and_macros() {
+    for frag in [
+        "x.unwrap()",
+        "x.expect(\"boom\")",
+        "panic!(\"boom\")",
+        "unreachable!()",
+        "todo!()",
+        "assert!(true)",
+        "assert_eq!(1, 1)",
+    ] {
+        let src = format!("fn f(x: Option<u32>) {{ let _ = {frag}; }}\n");
+        let f = lint_source(HOT, &src, &policy());
+        assert_eq!(rules(&f), vec![Rule::PanicPath], "`{frag}` -> {f:?}");
+    }
+}
+
+#[test]
+fn panic_path_fires_on_indexing() {
+    let src = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+    let f = lint_source(HOT, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::PanicPath], "{f:?}");
+}
+
+#[test]
+fn panic_path_allows_checked_and_full_range_forms() {
+    let src = "fn f(v: &[u8], b: &mut [u8; 4]) -> Option<u8> {\n\
+                   let _all = &v[..];\n\
+                   let _t: &mut [u8] = &mut b[..];\n\
+                   let _attr = #[allow(dead_code)] ();\n\
+                   let _m = vec![1u8];\n\
+                   debug_assert!(v.len() < 100);\n\
+                   v.get(0).copied()\n\
+               }\n";
+    let f = lint_source(HOT, src, &policy());
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_path_only_applies_to_hot_files() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_source("crates/net/src/addr.rs", src, &policy()).is_empty());
+}
+
+// ---- layering -------------------------------------------------------------
+
+#[test]
+fn layering_fires_on_std_net_and_socket_types() {
+    for frag in [
+        "use std::net::UdpSocket;",
+        "use harmonia_net::AddrBook;",
+        "fn g(a: SocketAddr) { drop(a); }",
+        "fn g(s: TcpStream) { drop(s); }",
+    ] {
+        let src = format!("{frag}\n");
+        let f = lint_source(SANS_IO, &src, &policy());
+        assert!(
+            f.iter().any(|f| f.rule == Rule::Layering),
+            "expected layering finding for `{frag}`, got {f:?}"
+        );
+    }
+}
+
+#[test]
+fn layering_ignores_io_free_code() {
+    let src = "use harmonia_types::NodeId;\nfn f(n: NodeId) -> NodeId { n }\n";
+    assert!(lint_source(SANS_IO, src, &policy()).is_empty());
+}
+
+// ---- unsafe ---------------------------------------------------------------
+
+#[test]
+fn unsafe_outside_allowlist_fires() {
+    let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let f = lint_source(NO_UNSAFE, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Unsafe], "{f:?}");
+}
+
+#[test]
+fn unsafe_in_allowlist_needs_safety_comment() {
+    let bare = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let f = lint_source(UNSAFE_OK, bare, &policy());
+    assert_eq!(rules(&f), vec![Rule::Unsafe], "{f:?}");
+
+    let justified = "fn f(p: *const u8) -> u8 {\n\
+                     // SAFETY: caller guarantees `p` is valid for reads.\n\
+                     unsafe { *p }\n\
+                     }\n";
+    assert!(lint_source(UNSAFE_OK, justified, &policy()).is_empty());
+}
+
+#[test]
+fn unsafe_fn_doc_safety_section_counts() {
+    let src = "/// Does a thing.\n\
+               ///\n\
+               /// # Safety\n\
+               ///\n\
+               /// `p` must be valid for reads.\n\
+               pub unsafe fn f(p: *const u8) -> u8 {\n\
+               // SAFETY: contract forwarded to the caller above.\n\
+               unsafe { *p }\n\
+               }\n";
+    assert!(lint_source(UNSAFE_OK, src, &policy()).is_empty());
+}
+
+// ---- waivers --------------------------------------------------------------
+
+#[test]
+fn waiver_suppresses_named_rule_on_next_line() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               // lint:allow(panic_path): fixture — checked by construction.\n\
+               x.unwrap()\n\
+               }\n";
+    assert!(lint_source(HOT, src, &policy()).is_empty());
+}
+
+#[test]
+fn waiver_with_wrapped_reason_covers_line_after_block() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               // lint:allow(panic_path): a reason long enough that it\n\
+               // wraps onto a second comment line before the code.\n\
+               x.unwrap()\n\
+               }\n";
+    assert!(lint_source(HOT, src, &policy()).is_empty());
+}
+
+#[test]
+fn waiver_does_not_suppress_other_rules_or_far_lines() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               // lint:allow(determinism): wrong rule named.\n\
+               x.unwrap()\n\
+               }\n";
+    let f = lint_source(HOT, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::PanicPath], "{f:?}");
+
+    let far = "fn f(x: Option<u32>) -> u32 {\n\
+               // lint:allow(panic_path): too far away to apply.\n\
+               let y = x;\n\
+               \n\
+               y.unwrap()\n\
+               }\n";
+    let f = lint_source(HOT, far, &policy());
+    assert_eq!(rules(&f), vec![Rule::PanicPath], "{f:?}");
+}
+
+#[test]
+fn waiver_without_reason_is_its_own_finding_and_inert() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               // lint:allow(panic_path)\n\
+               x.unwrap()\n\
+               }\n";
+    let f = lint_source(HOT, src, &policy());
+    let mut got = rules(&f);
+    got.sort();
+    assert_eq!(got, vec![Rule::PanicPath, Rule::Waiver], "{f:?}");
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_flagged() {
+    let src = "// lint:allow(speed): not a rule.\nfn f() {}\n";
+    let f = lint_source(HOT, src, &policy());
+    assert_eq!(rules(&f), vec![Rule::Waiver], "{f:?}");
+}
+
+#[test]
+fn waiver_can_name_multiple_rules() {
+    let src = "fn f(v: &[u8]) {\n\
+               // lint:allow(panic_path, determinism): fixture covers both.\n\
+               let t = Instant::now(); drop((t, v[0]));\n\
+               }\n";
+    // DET and HOT policies don't overlap on one real path, so check the
+    // suppression one rule at a time through the same waiver text.
+    assert!(lint_source(HOT, src, &policy()).is_empty());
+    assert!(lint_source(DET, src, &policy()).is_empty());
+}
+
+#[test]
+fn prose_mentioning_waiver_syntax_is_not_a_waiver() {
+    // Doc prose *about* the marker (mid-comment, not at the start) must
+    // neither waive anything nor be flagged as malformed.
+    let src = "// Use `lint:allow(<rule>): <reason>` to waive a finding.\n\
+               fn f() {}\n";
+    assert!(lint_source(HOT, src, &policy()).is_empty());
+}

@@ -38,8 +38,15 @@
 //! the point is that the existing state machines and codec survive a *real*
 //! asynchronous network, not to build one more I/O framework.
 
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod addr;
 pub mod fault;
+// The pool's `set_len` on freshly reserved capacity is the one sanctioned
+// `unsafe` in this crate; the crate-level `deny(unsafe_code)` makes any new
+// site opt in as loudly as this one.
+#[allow(unsafe_code)]
 pub mod pool;
 pub mod transport;
 pub mod udp;

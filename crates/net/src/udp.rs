@@ -1,5 +1,8 @@
 //! A [`Transport`] endpoint over one `std::net::UdpSocket`.
 
+// Wall-clock reads are deliberate here: receive deadlines are real kernel time.
+#![allow(clippy::disallowed_methods)]
+
 use std::io::ErrorKind;
 use std::marker::PhantomData;
 use std::net::{SocketAddr, UdpSocket};
@@ -37,6 +40,10 @@ pub struct TransportStats {
     /// Datagrams the kernel refused to send (dropped; datagram semantics —
     /// the caller's retry loop owns recovery).
     pub send_errors: u64,
+    /// Failed socket reconfigurations (read-mode syscalls). The mode cache
+    /// is invalidated so the next receive retries; meanwhile the socket
+    /// keeps its previous mode, which at worst turns one wait into a poll.
+    pub config_errors: u64,
 }
 
 /// One node's UDP endpoint: a loopback socket plus the deployment's
@@ -177,22 +184,25 @@ impl<T> UdpTransport<T> {
         if self.read_mode == Some(mode) {
             return;
         }
-        match mode {
-            Some(wait) => {
-                self.socket
-                    .set_nonblocking(false)
-                    .expect("set UDP socket blocking");
-                self.socket
-                    .set_read_timeout(Some(wait))
-                    .expect("set UDP read timeout");
-            }
-            None => {
-                self.socket
-                    .set_nonblocking(true)
-                    .expect("set UDP socket nonblocking");
+        let applied = match mode {
+            Some(wait) => self
+                .socket
+                .set_nonblocking(false)
+                .and_then(|()| self.socket.set_read_timeout(Some(wait))),
+            None => self.socket.set_nonblocking(true),
+        };
+        match applied {
+            Ok(()) => self.read_mode = Some(mode),
+            // A failed fcntl/setsockopt leaves the socket in its previous
+            // mode: count it and clear the cache so the next call retries
+            // instead of trusting a mode that was never applied. The recv
+            // loops degrade to polling against their own deadline, so the
+            // worst case is a hotter wait, never a panic on live traffic.
+            Err(_) => {
+                self.stats.config_errors += 1;
+                self.read_mode = None;
             }
         }
-        self.read_mode = Some(mode);
     }
 }
 
@@ -221,8 +231,8 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
                 return;
             }
         };
-        for i in 0..self.dsts.len() {
-            match self.socket.send_to(&frame, self.dsts[i]) {
+        for &dst in &self.dsts {
+            match self.socket.send_to(&frame, dst) {
                 Ok(_) => self.stats.sent += 1,
                 // A refused send (bad port, full socket buffer) is a
                 // dropped datagram, not a silent one: the books must
@@ -312,8 +322,8 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
             }
             match encode_frame(&pkt) {
                 Ok(frame) => {
-                    for i in 0..self.dsts.len() {
-                        self.send_scratch.push((self.dsts[i], frame.clone()));
+                    for &dst in &self.dsts {
+                        self.send_scratch.push((dst, frame.clone()));
                     }
                 }
                 Err(_) => {
@@ -367,9 +377,11 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
                 let mut slices: Vec<&mut [u8]> = bufs.iter_mut().map(|b| &mut b[..]).collect();
                 mmsg::recv_batch(&self.socket, &mut slices, &mut lens).unwrap_or(0)
             };
-            for (i, mut buf) in bufs.into_iter().enumerate() {
+            // `lens` has `MAX_BATCH` slots and `bufs` at most `want` of
+            // them, so the zip is bounded by `bufs` — no indexing needed.
+            for (i, (mut buf, len)) in bufs.into_iter().zip(lens).enumerate() {
                 if i < got {
-                    buf.truncate(lens[i]);
+                    buf.truncate(len);
                     if let Some(pkt) = self.decode_datagram(buf) {
                         out.push(pkt);
                         delivered += 1;

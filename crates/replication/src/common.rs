@@ -188,10 +188,13 @@ pub enum Admission {
 /// retried write would be sequenced twice, and the second application could
 /// land after the client's operation completed — breaking linearizability
 /// for blind writes. Reads are idempotent and bypass all of it.
+/// Client-id-ordered maps so [`ClientTable::export`] walks sessions in the
+/// same order on every run — the exported wire bytes feed state transfer and
+/// must be bit-identical across same-seed replays.
 #[derive(Clone, Debug, Default)]
 pub struct ClientTable {
-    last: std::collections::HashMap<harmonia_types::ClientId, harmonia_types::RequestId>,
-    replies: std::collections::HashMap<harmonia_types::ClientId, ClientReply>,
+    last: std::collections::BTreeMap<harmonia_types::ClientId, harmonia_types::RequestId>,
+    replies: std::collections::BTreeMap<harmonia_types::ClientId, ClientReply>,
 }
 
 impl ClientTable {
@@ -245,10 +248,8 @@ impl ClientTable {
         Vec<(harmonia_types::ClientId, harmonia_types::RequestId)>,
         Vec<ClientReply>,
     ) {
-        let mut clients: Vec<_> = self.last.iter().map(|(&c, &r)| (c, r)).collect();
-        clients.sort_by_key(|&(c, _)| c.0);
-        let mut replies: Vec<_> = self.replies.values().cloned().collect();
-        replies.sort_by_key(|r| r.client.0);
+        let clients: Vec<_> = self.last.iter().map(|(&c, &r)| (c, r)).collect();
+        let replies: Vec<_> = self.replies.values().cloned().collect();
         (clients, replies)
     }
 

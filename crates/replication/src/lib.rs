@@ -22,6 +22,8 @@
 //! guard before answering a single-replica read ([`common::read_ahead_ok`],
 //! [`common::read_behind_ok`]).
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod common;
 pub mod craq;

@@ -12,7 +12,7 @@
 //! The primary itself applies at commit time, so its local state is always
 //! committed state and it can serve normal-path reads directly.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use harmonia_kv::{Store, VersionedValue};
@@ -29,7 +29,7 @@ use crate::messages::{PbMsg, ProtocolMsg, SnapshotState, WriteOp};
 
 struct PendingWrite {
     op: WriteOp,
-    acks: HashSet<ReplicaId>,
+    acks: BTreeSet<ReplicaId>,
 }
 
 /// One primary-backup replica.
@@ -145,7 +145,7 @@ impl PbReplica {
             seq,
             PendingWrite {
                 op,
-                acks: HashSet::new(),
+                acks: BTreeSet::new(),
             },
         );
         // Single-replica group: nothing to wait for.
@@ -155,7 +155,7 @@ impl PbReplica {
     /// Commit pending writes in sequence order while the head of the queue
     /// has been acknowledged by every current backup.
     fn try_commit(&mut self, out: &mut Effects) {
-        let needed: HashSet<ReplicaId> = self.backups().collect();
+        let needed: BTreeSet<ReplicaId> = self.backups().collect();
         while let Some((&seq, pw)) = self.pending.iter().next() {
             if !needed.iter().all(|r| pw.acks.contains(r)) {
                 break;

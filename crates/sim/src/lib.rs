@@ -17,6 +17,8 @@
 //! The same protocol state machines run unmodified under the live threaded
 //! driver in `harmonia-core`; nothing in this crate is Harmonia-specific.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod metrics;
 pub mod network;

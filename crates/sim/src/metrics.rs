@@ -6,7 +6,7 @@
 //! which keeps percentile queries exact for the sizes our benches use while
 //! bounding memory for very long runs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use harmonia_types::Duration;
 
@@ -103,10 +103,14 @@ impl Histogram {
 }
 
 /// Named counters and histograms for one simulation run.
+///
+/// Name-ordered maps so every iteration (resets, debugging dumps) visits
+/// entries in the same order on every run — the registry is tiny and cold,
+/// so the ordered map costs nothing on the hot record path.
 #[derive(Default, Debug)]
 pub struct Metrics {
-    counters: HashMap<&'static str, u64>,
-    histograms: HashMap<&'static str, Histogram>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
 }
 
 impl Metrics {
@@ -150,9 +154,7 @@ impl Metrics {
 
     /// Iterate counters in name order (for debugging dumps).
     pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
-        let mut v: Vec<_> = self.counters.iter().map(|(k, c)| (*k, *c)).collect();
-        v.sort();
-        v
+        self.counters.iter().map(|(k, c)| (*k, *c)).collect()
     }
 }
 

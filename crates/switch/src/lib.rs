@@ -23,6 +23,8 @@
 //! * [`stats`] — the §6.2 resource model (the `unm/(wt)` capacity formula)
 //!   and live occupancy accounting.
 
+#![forbid(unsafe_code)]
+
 pub mod conflict;
 pub mod forwarding;
 pub mod hash;

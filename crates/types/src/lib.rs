@@ -18,6 +18,8 @@
 //! Everything here is deliberately small, `Clone`, and free of interior
 //! mutability: packets are values that flow through state machines.
 
+#![forbid(unsafe_code)]
+
 pub mod id;
 pub mod packet;
 pub mod seq;

@@ -69,7 +69,12 @@ pub fn decode_frame<T: Wire>(buf: &[u8]) -> Result<Option<(T, usize)>, TypeError
     let Some(len) = frame_body_len(buf.len(), buf)? else {
         return Ok(None);
     };
-    let mut body = Bytes::copy_from_slice(&buf[4..4 + len]);
+    // `frame_body_len` proved `buf.len() >= 4 + len`; the checked slice
+    // keeps that proof local instead of trusting it at a panicking index.
+    let Some(body) = buf.get(4..4 + len) else {
+        return Ok(None);
+    };
+    let mut body = Bytes::copy_from_slice(body);
     finish_frame(T::decode(&mut body)?, &body, len)
 }
 
@@ -84,6 +89,8 @@ pub fn decode_frame_shared<T: Wire>(buf: &Bytes) -> Result<Option<(T, usize)>, T
     let Some(len) = frame_body_len(buf.len(), buf)? else {
         return Ok(None);
     };
+    // lint:allow(panic_path): `Bytes::slice` has no checked variant; the
+    // range is proven in bounds by `frame_body_len` (avail >= 4 + len).
     let mut body = buf.slice(4..4 + len);
     finish_frame(T::decode(&mut body)?, &body, len)
 }
@@ -94,7 +101,10 @@ fn frame_body_len(avail: usize, buf: &[u8]) -> Result<Option<usize>, TypeError> 
     if avail < 4 {
         return Ok(None);
     }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let &[b0, b1, b2, b3, ..] = buf else {
+        return Ok(None);
+    };
+    let len = u32::from_le_bytes([b0, b1, b2, b3]) as usize;
     // Overflow-proof form of `len + 4 > MAX_FRAME_BYTES`: a hostile prefix
     // can claim up to u32::MAX, which `len + 4` would wrap on 32-bit
     // targets, sneaking past the bound into a panicking slice index below.

@@ -1,6 +1,6 @@
 //! Operation histories.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -65,9 +65,10 @@ impl OpRecord {
 }
 
 /// Split a history into independent per-key histories (registers are
-/// independent objects; linearizability composes across them).
-pub fn partition_by_key(records: Vec<OpRecord>) -> HashMap<Bytes, Vec<OpRecord>> {
-    let mut map: HashMap<Bytes, Vec<OpRecord>> = HashMap::new();
+/// independent objects; linearizability composes across them). Key-ordered
+/// so the per-key checks run in the same order on every run.
+pub fn partition_by_key(records: Vec<OpRecord>) -> BTreeMap<Bytes, Vec<OpRecord>> {
+    let mut map: BTreeMap<Bytes, Vec<OpRecord>> = BTreeMap::new();
     for r in records {
         map.entry(r.key.clone()).or_default().push(r);
     }

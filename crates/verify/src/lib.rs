@@ -16,6 +16,8 @@
 //!   §7 read guard to demonstrate the checker catches the resulting
 //!   anomalies.
 
+#![forbid(unsafe_code)]
+
 pub mod history;
 pub mod linearizability;
 pub mod model;

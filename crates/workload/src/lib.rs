@@ -6,6 +6,8 @@
 //! provides those distributions plus the standard YCSB mixes for the
 //! examples.
 
+#![forbid(unsafe_code)]
+
 pub mod keyspace;
 pub mod mix;
 pub mod shard;

@@ -137,6 +137,8 @@
 //! (`tests/determinism.rs` keeps proving it against a hand-assembled
 //! pre-redesign reference).
 
+#![forbid(unsafe_code)]
+
 pub use harmonia_core as core;
 pub use harmonia_kv as kv;
 pub use harmonia_net as net;

@@ -14,6 +14,9 @@
 //! 3. **The wrapper is faithful.** `mmsg::send_batch`/`recv_batch` and the
 //!    std fallback move identical payload sequences.
 
+// Wall-clock reads are deliberate here: live-cluster test: real-time deadlines.
+#![allow(clippy::disallowed_methods)]
+
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::Duration;

@@ -7,6 +7,9 @@
 //! the Wing–Gong linearizability checker — the strongest end-to-end claim
 //! the driver makes.
 
+// Wall-clock reads are deliberate here: live-cluster test: real-time deadlines.
+#![allow(clippy::disallowed_methods)]
+
 mod common;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -8,6 +8,9 @@
 //! through the Wing–Gong linearizability checker, and the fault counters
 //! prove the adversary actually fired.
 
+// Wall-clock reads are deliberate here: live-cluster test: real-time deadlines.
+#![allow(clippy::disallowed_methods)]
+
 mod common;
 
 use std::sync::atomic::{AtomicBool, Ordering};

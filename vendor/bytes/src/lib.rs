@@ -7,6 +7,8 @@
 //! the wire codec is written against. Semantics match the real crate for
 //! this subset; anything Harmonia does not call is deliberately absent.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -310,6 +312,9 @@ impl BytesMut {
         // `write_bytes` lowers to memset in every profile.
         if len > self.buf.len() {
             self.buf.reserve(len - self.buf.len());
+            // SAFETY: `reserve` just guaranteed capacity for `len` bytes,
+            // so the write stays inside the allocation, and `set_len(len)`
+            // only exposes bytes the `write_bytes` initialized.
             unsafe {
                 let start = self.buf.as_mut_ptr().add(self.buf.len());
                 start.write_bytes(fill, len - self.buf.len());
@@ -341,7 +346,9 @@ impl BytesMut {
     /// `resize` covering `..len` is sufficient even after `truncate`).
     pub unsafe fn set_len(&mut self, len: usize) {
         debug_assert!(len <= self.buf.capacity());
-        self.buf.set_len(len);
+        // SAFETY: the caller upholds this method's contract, which is
+        // exactly `Vec::set_len`'s (in-capacity, initialized prefix).
+        unsafe { self.buf.set_len(len) };
     }
 
     /// Convert into an immutable [`Bytes`].

@@ -9,6 +9,10 @@
 //! per iteration — enough to compare switch-stage costs and to regenerate
 //! the paper-figure trends, while keeping `cargo bench` runs short.
 
+// Wall-clock reads are deliberate here: benchmark harness: measuring real time is its job.
+#![allow(clippy::disallowed_methods)]
+#![forbid(unsafe_code)]
+
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 

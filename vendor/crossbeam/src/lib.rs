@@ -9,6 +9,10 @@
 //! millions) of envelopes per second per link, far below this design's
 //! capacity.
 
+// Wall-clock reads are deliberate here: channel recv_timeout deadlines are real kernel time.
+#![allow(clippy::disallowed_methods)]
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

@@ -23,6 +23,8 @@
 //!   fallback requires (and the transport guarantees) a nonblocking socket.
 //!   An empty queue is `Ok(0)`, not an error.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 
@@ -273,6 +275,12 @@ mod linux {
             let mut done = 0;
             while done < chunk.len() {
                 let remaining = (chunk.len() - done) as c_uint;
+                // SAFETY: `fd` is a live socket borrowed for this call;
+                // `hdrs` holds `chunk.len()` headers, so `done < chunk.len()`
+                // keeps the pointer in bounds with `remaining` valid entries
+                // after it. Every header's name/iov pointer was patched above
+                // to point into `addrs`/`iovs`, which outlive this call and
+                // no longer reallocate.
                 let rc = unsafe { sendmmsg(fd, hdrs.as_mut_ptr().add(done), remaining, 0) };
                 if rc > 0 {
                     report.sent += rc as usize;
@@ -319,6 +327,11 @@ mod linux {
                 msg_len: 0,
             })
             .collect();
+        // SAFETY: `fd` is a live socket borrowed for this call; `hdrs` has
+        // exactly `take` entries, each aiming its single iovec at a distinct
+        // caller buffer in `bufs` that outlives the call, so the kernel
+        // writes only into memory we exclusively borrow. A null timeout is
+        // allowed (no wait with MSG_DONTWAIT).
         let rc = unsafe {
             recvmmsg(
                 fd,

@@ -5,6 +5,8 @@
 //! the API matters to Harmonia, so these wrappers recover from std's poison
 //! errors (a panic while holding a lock does not wedge other threads).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, LockResult};

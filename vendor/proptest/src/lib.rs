@@ -15,6 +15,8 @@
 //! per-test RNG is seeded deterministically from the test's name so CI
 //! failures reproduce locally. The case count honours `PROPTEST_CASES`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic per-test random source (SplitMix64).

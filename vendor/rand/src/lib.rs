@@ -8,6 +8,8 @@
 //! targets. Determinism for a fixed seed is the property the simulator
 //! relies on, and this implementation is fully deterministic.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator interface: a source of random 64-bit words.
