@@ -1,25 +1,29 @@
-//! UDP data-plane throughput and latency: batched vs scalar verbs.
+//! UDP data-plane throughput and latency: scalar vs batched vs coalesced.
 //!
-//! Two sections, both comparing `udp_batch = false` (one syscall per
-//! datagram, copying decode) against the default batched path (`sendmmsg`/
-//! `recvmmsg` in 32-datagram bursts, pooled zero-copy receive):
+//! Two sections, comparing three verb/framing modes: `scalar` (one syscall
+//! per datagram, copying decode, `udp_batch = false`), `batched`
+//! (`sendmmsg`/`recvmmsg` in 32-datagram bursts, pooled zero-copy receive,
+//! one frame per datagram), and `coalesced` (batched verbs plus GSO-style
+//! frame packing: per-destination frames ride back-to-back in full
+//! datagrams out of the send-side buffer pool, unpacked GRO-style by the
+//! receiver's frame iterator):
 //!
 //! 1. **Pump** — per thread count in {1, 2, 4}, each thread owns one socket
 //!    and self-loops 32-packet bursts through it (loopback delivery is
 //!    synchronous, so a burst is queued by the time the send returns) for
 //!    `live_measure_window()`; delivered MRPS is summed. Send+drain on one
 //!    thread keeps the measurement scheduler-independent — what's compared
-//!    is the per-packet CPU cost of the two verb sets. The batched mode
-//!    crosses the kernel ~2 times per 32 datagrams, the scalar mode 64
-//!    times; the wall-clock margin between them therefore tracks the
-//!    host's syscall-boundary cost (modest on an unmitigated VM where
-//!    in-kernel loopback work dominates, large where syscall entry is
-//!    expensive), while the crossing counts themselves are recorded as
-//!    `syscalls_per_packet` in the JSON.
+//!    is the per-packet CPU cost of the verb sets. The batched mode crosses
+//!    the kernel ~2 times per 32 datagrams where scalar pays 64; the
+//!    coalesced mode goes further and moves the whole burst as **one**
+//!    datagram (`frames_per_datagram` in the JSON records the realized
+//!    packing), so its margin tracks the host's per-datagram cost — both
+//!    the syscall boundary and the kernel's loopback queueing.
 //! 2. **Echo RTT** — single in-flight request/reply against an echo server;
-//!    client p50/p99/p99.9 µs per mode. Batching is a throughput lever, so
-//!    the expectation here is parity, not speedup — this section exists to
-//!    show batching does not tax the latency floor.
+//!    client p50/p99/p99.9 µs per mode. Batching and coalescing are
+//!    throughput levers, so the expectation here is parity, not speedup —
+//!    this section exists to show neither taxes the latency floor (with one
+//!    packet in flight a coalesced datagram carries exactly one frame).
 //!
 //! Emits `BENCH_udp_dataplane.json` (suppress with `HARMONIA_BENCH_JSON=0`);
 //! `HARMONIA_LIVE_BENCH_MS` shrinks the window for CI smoke runs.
@@ -39,16 +43,51 @@ type Pkt = Packet<u64>;
 
 const BURST: usize = 32;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Scalar,
+    Batched,
+    Coalesced,
+}
+
+const MODES: [Mode; 3] = [Mode::Scalar, Mode::Batched, Mode::Coalesced];
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Scalar => "scalar",
+            Mode::Batched => "batched",
+            Mode::Coalesced => "coalesced",
+        }
+    }
+
+    fn batched(self) -> bool {
+        !matches!(self, Mode::Scalar)
+    }
+
+    fn coalesced(self) -> bool {
+        matches!(self, Mode::Coalesced)
+    }
+
+    fn apply(self, t: &mut UdpTransport<u64>) {
+        t.set_batched(self.batched());
+        t.set_coalesced(self.coalesced());
+    }
+}
+
 fn pkt(src: NodeId, dst: NodeId, n: u64) -> Pkt {
     Packet::new(src, dst, PacketBody::Protocol(n))
 }
 
 struct PumpResult {
     pairs: usize,
-    batched: bool,
+    mode: Mode,
     delivered: u64,
     window: Duration,
     pool_hit_rate: f64,
+    send_pool_hit_rate: f64,
+    /// Realized packing: frames sent / datagrams sent, summed over workers.
+    frames_per_datagram: f64,
 }
 
 impl PumpResult {
@@ -62,13 +101,13 @@ impl PumpResult {
 /// Send and drain on the same thread means throughput measures the verbs'
 /// per-packet CPU cost, not how the scheduler interleaves a sender/receiver
 /// thread pair — the number is meaningful on any core count.
-fn pump(pairs: usize, batched: bool, window: Duration) -> PumpResult {
+fn pump(pairs: usize, mode: Mode, window: Duration) -> PumpResult {
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
     for i in 0..pairs {
         let book = Arc::new(AddrBook::new());
         let mut t = UdpTransport::<u64>::bind(Arc::clone(&book)).expect("bind pump socket");
-        t.set_batched(batched);
+        mode.apply(&mut t);
         let me = NodeId::Replica(ReplicaId(i as u32));
         book.register(me, t.local_addr());
 
@@ -79,7 +118,7 @@ fn pump(pairs: usize, batched: bool, window: Duration) -> PumpResult {
             let mut delivered = 0u64;
             let mut seq = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                if batched {
+                if mode.batched() {
                     let mut burst: Vec<(NodeId, Pkt)> = (0..BURST)
                         .map(|_| {
                             seq += 1;
@@ -97,7 +136,7 @@ fn pump(pairs: usize, batched: bool, window: Duration) -> PumpResult {
                 // our own receive queue. Drain it the same way it was sent.
                 let mut drained = 0;
                 while drained < BURST {
-                    if batched {
+                    if mode.batched() {
                         got.clear();
                         let n = t.recv_batch(&mut got, BURST - drained);
                         if n == 0 {
@@ -112,7 +151,14 @@ fn pump(pairs: usize, batched: bool, window: Duration) -> PumpResult {
                 }
                 delivered += drained as u64;
             }
-            (delivered, t.pool_stats().hit_rate())
+            let stats = t.stats();
+            (
+                delivered,
+                t.pool_stats().hit_rate(),
+                t.send_pool_stats().hit_rate(),
+                stats.sent,
+                stats.datagrams_sent,
+            )
         }));
     }
 
@@ -120,27 +166,35 @@ fn pump(pairs: usize, batched: bool, window: Duration) -> PumpResult {
     stop.store(true, Ordering::Relaxed);
     let mut delivered = 0u64;
     let mut hit_rate = 0.0;
+    let mut send_hit_rate = 0.0;
+    let mut frames = 0u64;
+    let mut datagrams = 0u64;
     for w in workers {
-        let (d, h) = w.join().unwrap();
+        let (d, h, sh, f, dg) = w.join().unwrap();
         delivered += d;
         hit_rate += h;
+        send_hit_rate += sh;
+        frames += f;
+        datagrams += dg;
     }
     PumpResult {
         pairs,
-        batched,
+        mode,
         delivered,
         window,
         pool_hit_rate: hit_rate / pairs as f64,
+        send_pool_hit_rate: send_hit_rate / pairs as f64,
+        frames_per_datagram: frames as f64 / datagrams.max(1) as f64,
     }
 }
 
 /// Client-observed RTT samples (µs) against a scalar echo server; the mode
 /// under test only changes the client's verbs.
-fn echo_rtt(batched: bool, samples: usize) -> Vec<f64> {
+fn echo_rtt(mode: Mode, samples: usize) -> Vec<f64> {
     let book = Arc::new(AddrBook::new());
     let mut server = UdpTransport::<u64>::bind(Arc::clone(&book)).expect("bind server");
     let mut client = UdpTransport::<u64>::bind(Arc::clone(&book)).expect("bind client");
-    client.set_batched(batched);
+    mode.apply(&mut client);
     let srv = NodeId::Replica(ReplicaId(0));
     let cli = NodeId::Client(ClientId(9));
     book.register(srv, server.local_addr());
@@ -168,7 +222,7 @@ fn echo_rtt(batched: bool, samples: usize) -> Vec<f64> {
     let mut got: Vec<Pkt> = Vec::with_capacity(1);
     for n in 0..samples as u64 {
         let t0 = Instant::now();
-        if batched {
+        if mode.batched() {
             let mut one = vec![(srv, pkt(cli, srv, n))];
             client.send_batch(&mut one);
             // Mirror the UdpLink receive path: drain the nonblocking batch
@@ -201,18 +255,10 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 struct LatRow {
-    batched: bool,
+    mode: Mode,
     p50: f64,
     p99: f64,
     p999: f64,
-}
-
-fn mode_name(batched: bool) -> &'static str {
-    if batched {
-        "batched"
-    } else {
-        "scalar"
-    }
 }
 
 fn write_json(pumps: &[PumpResult], lats: &[LatRow], window: Duration) {
@@ -221,10 +267,10 @@ fn write_json(pumps: &[PumpResult], lats: &[LatRow], window: Duration) {
     }
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"udp_dataplane\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(
-        "  \"description\": \"Loopback UDP data plane: sendmmsg/recvmmsg bursts with pooled \
-         zero-copy receive vs one-syscall-per-datagram scalar verbs\",\n",
+        "  \"description\": \"Loopback UDP data plane: scalar verbs vs sendmmsg/recvmmsg bursts \
+         vs GSO/GRO-style frame coalescing with a zero-copy send pool\",\n",
     );
     out.push_str(&format!(
         "  \"window_ms\": {},\n  \"mmsg_accelerated\": {},\n",
@@ -233,9 +279,12 @@ fn write_json(pumps: &[PumpResult], lats: &[LatRow], window: Duration) {
     ));
     // Kernel crossings per packet in the pump's send+drain loop: the scalar
     // verbs pay one send_to and one recv per packet; the batch verbs pay
-    // one sendmmsg and one recvmmsg per 32-packet burst.
+    // one sendmmsg and one recvmmsg per 32-packet burst; the coalesced mode
+    // moves the whole single-destination burst as one datagram.
     out.push_str(&format!(
-        "  \"syscalls_per_packet\": {{ \"scalar\": 2.0, \"batched\": {:.4} }},\n",
+        "  \"syscalls_per_packet\": {{ \"scalar\": 2.0, \"batched\": {:.4}, \
+         \"coalesced\": {:.4} }},\n",
+        2.0 / BURST as f64,
         2.0 / BURST as f64
     ));
     out.push_str("  \"pump_mrps\": [\n");
@@ -243,12 +292,15 @@ fn write_json(pumps: &[PumpResult], lats: &[LatRow], window: Duration) {
         let sep = if i + 1 == pumps.len() { "" } else { "," };
         out.push_str(&format!(
             "    {{ \"pairs\": {}, \"mode\": \"{}\", \"mrps\": {:.4}, \"delivered\": {}, \
-             \"pool_hit_rate\": {:.4} }}{sep}\n",
+             \"pool_hit_rate\": {:.4}, \"send_pool_hit_rate\": {:.4}, \
+             \"frames_per_datagram\": {:.2} }}{sep}\n",
             r.pairs,
-            mode_name(r.batched),
+            r.mode.name(),
             r.mrps(),
             r.delivered,
-            r.pool_hit_rate
+            r.pool_hit_rate,
+            r.send_pool_hit_rate,
+            r.frames_per_datagram
         ));
     }
     out.push_str("  ],\n  \"speedup\": [\n");
@@ -258,14 +310,20 @@ fn write_json(pumps: &[PumpResult], lats: &[LatRow], window: Duration) {
         c
     };
     for (i, pairs) in counts.iter().enumerate() {
-        let scalar = pumps.iter().find(|r| r.pairs == *pairs && !r.batched);
-        let batched = pumps.iter().find(|r| r.pairs == *pairs && r.batched);
-        if let (Some(s), Some(b)) = (scalar, batched) {
+        let find = |mode: Mode| pumps.iter().find(|r| r.pairs == *pairs && r.mode == mode);
+        if let (Some(s), Some(b), Some(c)) = (
+            find(Mode::Scalar),
+            find(Mode::Batched),
+            find(Mode::Coalesced),
+        ) {
             let sep = if i + 1 == counts.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{ \"pairs\": {}, \"batched_over_scalar\": {:.3} }}{sep}\n",
+                "    {{ \"pairs\": {}, \"batched_over_scalar\": {:.3}, \
+                 \"coalesced_over_batched\": {:.3}, \"coalesced_over_scalar\": {:.3} }}{sep}\n",
                 pairs,
-                b.mrps() / s.mrps()
+                b.mrps() / s.mrps(),
+                c.mrps() / b.mrps(),
+                c.mrps() / s.mrps()
             ));
         }
     }
@@ -274,7 +332,7 @@ fn write_json(pumps: &[PumpResult], lats: &[LatRow], window: Duration) {
         let sep = if i + 1 == lats.len() { "" } else { "," };
         out.push_str(&format!(
             "    {{ \"mode\": \"{}\", \"p50\": {:.1}, \"p99\": {:.1}, \"p999\": {:.1} }}{sep}\n",
-            mode_name(l.batched),
+            l.mode.name(),
             l.p50,
             l.p99,
             l.p999
@@ -301,8 +359,8 @@ fn main() {
 
     let mut pumps = Vec::new();
     for pairs in [1usize, 2, 4] {
-        for batched in [false, true] {
-            pumps.push(pump(pairs, batched, window));
+        for mode in MODES {
+            pumps.push(pump(pairs, mode, window));
         }
     }
     let rows: Vec<Vec<String>> = pumps
@@ -310,29 +368,39 @@ fn main() {
         .map(|r| {
             vec![
                 r.pairs.to_string(),
-                mode_name(r.batched).to_string(),
+                r.mode.name().to_string(),
                 mrps(r.mrps()),
                 r.delivered.to_string(),
                 format!("{:.3}", r.pool_hit_rate),
+                format!("{:.3}", r.send_pool_hit_rate),
+                format!("{:.1}", r.frames_per_datagram),
             ]
         })
         .collect();
     print_table(
-        "UDP pump: delivered throughput, scalar vs batched verbs",
-        "batched at or above scalar at equal thread counts with 32x fewer \
-         kernel crossings; the margin tracks the host's syscall-entry cost. \
-         Pool hit rate ~1.0 once warm",
-        &["pairs", "mode", "MRPS", "delivered", "pool_hit"],
+        "UDP pump: delivered throughput, scalar vs batched vs coalesced",
+        "batched at or above scalar with 32x fewer kernel crossings; \
+         coalesced above batched by packing the whole burst into one \
+         datagram (frames/dgram ~32 here). Pool hit rates ~1.0 once warm",
+        &[
+            "pairs",
+            "mode",
+            "MRPS",
+            "delivered",
+            "pool_hit",
+            "send_hit",
+            "frames/dgram",
+        ],
         &rows,
     );
 
     let samples = (window.as_millis() as usize * 10).clamp(200, 10_000);
     let mut lats = Vec::new();
-    for batched in [false, true] {
-        let mut rtts = echo_rtt(batched, samples);
+    for mode in MODES {
+        let mut rtts = echo_rtt(mode, samples);
         rtts.sort_by(|a, b| a.total_cmp(b));
         lats.push(LatRow {
-            batched,
+            mode,
             p50: percentile(&rtts, 0.50),
             p99: percentile(&rtts, 0.99),
             p999: percentile(&rtts, 0.999),
@@ -340,19 +408,12 @@ fn main() {
     }
     let lat_rows: Vec<Vec<String>> = lats
         .iter()
-        .map(|l| {
-            vec![
-                mode_name(l.batched).to_string(),
-                us(l.p50),
-                us(l.p99),
-                us(l.p999),
-            ]
-        })
+        .map(|l| vec![l.mode.name().to_string(), us(l.p50), us(l.p99), us(l.p999)])
         .collect();
     print_table(
         "UDP echo RTT: single in-flight request/reply",
-        "tens of µs on loopback; batched within noise of scalar (batching \
-         must not tax the latency floor)",
+        "tens of µs on loopback; batched and coalesced within noise of \
+         scalar (throughput levers must not tax the latency floor)",
         &["mode", "p50", "p99", "p99.9"],
         &lat_rows,
     );

@@ -7,6 +7,9 @@
 //! replica↔replica traffic. `decode_shared` is the zero-copy receive path
 //! (payloads alias the frame buffer); `decode` is the copying baseline —
 //! the gap between the two columns is what pooled receive saves per packet.
+//! `encode_into` is the zero-copy send path (append into a reused
+//! `BytesMut`, as the coalescer does); its gap against `encode` is the
+//! per-frame allocation the send pool saves.
 //!
 //! Timed by hand (median of sampled batches) rather than through criterion,
 //! so the per-case ns/op can be emitted as `BENCH_wire_codec.json` — the
@@ -20,10 +23,10 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use harmonia_bench::print_table;
 use harmonia_replication::messages::{ChainMsg, NopaxosMsg, ProtocolMsg, WriteOp};
-use harmonia_types::wire::{decode_frame, decode_frame_shared, encode_frame};
+use harmonia_types::wire::{decode_frame, decode_frame_shared, encode_frame, encode_frame_into};
 use harmonia_types::{
     ClientId, ClientReply, ClientRequest, ControlMsg, NodeId, ObjectId, Packet, PacketBody,
     ReplicaId, RequestId, SwitchId, SwitchSeq, WriteCompletion, WriteOutcome,
@@ -160,6 +163,7 @@ struct Row {
     case: &'static str,
     frame_bytes: usize,
     encode_ns: f64,
+    encode_into_ns: f64,
     decode_ns: f64,
     decode_shared_ns: f64,
     roundtrip_ns: f64,
@@ -169,6 +173,11 @@ fn measure(case: &'static str, pkt: &Pkt) -> Row {
     let frame = encode_frame(pkt).unwrap();
     let encode_ns = time_ns_per_op(|| {
         black_box(encode_frame(black_box(pkt)).unwrap());
+    });
+    let mut scratch = BytesMut::with_capacity(frame.len() * 2);
+    let encode_into_ns = time_ns_per_op(|| {
+        scratch.clear();
+        black_box(encode_frame_into(black_box(pkt), &mut scratch).unwrap());
     });
     let decode_ns = time_ns_per_op(|| {
         black_box(decode_frame::<Pkt>(black_box(&frame)).unwrap().unwrap());
@@ -188,6 +197,7 @@ fn measure(case: &'static str, pkt: &Pkt) -> Row {
         case,
         frame_bytes: frame.len(),
         encode_ns,
+        encode_into_ns,
         decode_ns,
         decode_shared_ns,
         roundtrip_ns,
@@ -200,10 +210,11 @@ fn write_json(rows: &[Row]) {
     }
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"wire_codec\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(
         "  \"description\": \"Per-variant codec cost; decode_shared is the zero-copy \
-         (Bytes-aliasing) receive path, decode the copying baseline\",\n",
+         (Bytes-aliasing) receive path, decode the copying baseline; encode_into appends \
+         into a reused buffer (the coalescer's zero-copy send path), encode allocates\",\n",
     );
     out.push_str("  \"unit\": \"ns_per_op\",\n");
     out.push_str("  \"rows\": [\n");
@@ -211,8 +222,15 @@ fn write_json(rows: &[Row]) {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
             "    {{ \"case\": \"{}\", \"frame_bytes\": {}, \"encode_ns\": {:.1}, \
-             \"decode_ns\": {:.1}, \"decode_shared_ns\": {:.1}, \"roundtrip_ns\": {:.1} }}{sep}\n",
-            r.case, r.frame_bytes, r.encode_ns, r.decode_ns, r.decode_shared_ns, r.roundtrip_ns
+             \"encode_into_ns\": {:.1}, \"decode_ns\": {:.1}, \"decode_shared_ns\": {:.1}, \
+             \"roundtrip_ns\": {:.1} }}{sep}\n",
+            r.case,
+            r.frame_bytes,
+            r.encode_ns,
+            r.encode_into_ns,
+            r.decode_ns,
+            r.decode_shared_ns,
+            r.roundtrip_ns
         ));
     }
     out.push_str("  ]\n}\n");
@@ -236,6 +254,7 @@ fn main() {
                 r.case.to_string(),
                 r.frame_bytes.to_string(),
                 format!("{:.1}", r.encode_ns),
+                format!("{:.1}", r.encode_into_ns),
                 format!("{:.1}", r.decode_ns),
                 format!("{:.1}", r.decode_shared_ns),
                 format!("{:.1}", r.roundtrip_ns),
@@ -245,11 +264,13 @@ fn main() {
     print_table(
         "Wire codec: ns/op per packet variant",
         "tens of ns for small frames, growing with payload size; \
-         decode_shared at or below decode (no payload memcpy, no body alloc)",
+         decode_shared at or below decode (no payload memcpy, no body alloc); \
+         enc_into at or below enc (reused buffer, no per-frame alloc)",
         &[
             "case",
             "bytes",
             "enc_ns",
+            "enc_into_ns",
             "dec_ns",
             "dec_shared_ns",
             "rt_ns",
@@ -259,6 +280,9 @@ fn main() {
     // Sanity, not perf assertions: every path decodes what it encoded.
     for (name, pkt) in variants() {
         let frame = encode_frame(&pkt).unwrap();
+        let mut buf = BytesMut::new();
+        encode_frame_into(&pkt, &mut buf).unwrap();
+        assert_eq!(&buf[..], &frame[..], "encode_into mismatch in {name}");
         let (a, _) = decode_frame::<Pkt>(&frame).unwrap().unwrap();
         let (b, _) = decode_frame_shared::<Pkt>(&frame).unwrap().unwrap();
         assert!(a == pkt && b == pkt, "codec mismatch in {name}");

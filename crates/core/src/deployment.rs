@@ -99,6 +99,12 @@ pub struct DeploymentSpec {
     /// drivers). On by default; the `udp_dataplane` bench turns it off to
     /// measure the scalar baseline.
     pub udp_batch: bool,
+    /// Whether the UDP driver's batched send path coalesces multiple wire
+    /// frames into each datagram (GSO/GRO-style; ignored by the sim and
+    /// channel drivers, and moot when `udp_batch` is off). On by default;
+    /// off keeps the faithful one-frame-per-datagram baseline runnable —
+    /// the `udp_dataplane` bench measures both.
+    pub udp_coalesce: bool,
 }
 
 impl Default for DeploymentSpec {
@@ -115,6 +121,7 @@ impl Default for DeploymentSpec {
             sync_interval: Duration::from_micros(200),
             sweep_interval: Some(Duration::from_millis(1)),
             udp_batch: true,
+            udp_coalesce: true,
         }
     }
 }
@@ -197,6 +204,14 @@ impl DeploymentSpec {
     /// Only the `udp_dataplane` bench should need the scalar baseline.
     pub fn udp_batch(mut self, on: bool) -> Self {
         self.udp_batch = on;
+        self
+    }
+
+    /// Toggle GSO/GRO-style frame coalescing on the UDP driver's batched
+    /// send path (on by default). Off, every frame rides its own datagram
+    /// — the per-frame baseline the `udp_dataplane` bench compares against.
+    pub fn udp_coalesce(mut self, on: bool) -> Self {
+        self.udp_coalesce = on;
         self
     }
 

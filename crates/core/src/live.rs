@@ -145,7 +145,9 @@ pub(crate) trait NodeLink: Send {
 
     /// Flush a whole outbox, draining `batch` in order. The default loops
     /// the scalar verb (exactly what the channel driver wants); the UDP
-    /// link overrides it to batch kernel crossings through `sendmmsg`.
+    /// link overrides it to feed the transport's coalescer — per-destination
+    /// frames pack back-to-back into full datagrams — and batch kernel
+    /// crossings through `sendmmsg`.
     fn send_many(&mut self, batch: &mut Vec<(NodeId, Msg)>) {
         for (to, msg) in batch.drain(..) {
             self.send(to, msg);

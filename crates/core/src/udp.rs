@@ -5,10 +5,13 @@
 //! live driver — per-group switch pipelines, replica loops, the
 //! [`LiveClient`] retry loop — but connected by `std::net::UdpSocket`
 //! loopback datagrams instead of in-process channels. Every packet is
-//! encoded through the `harmonia-types` wire codec into exactly one
-//! datagram, so the codec is exercised against a peer that can hand it
-//! truncated, duplicated, reordered, or garbage bytes: the OUM envelope the
-//! paper's deployment actually assumes (§4, §6).
+//! encoded through the `harmonia-types` wire codec into a length-prefixed
+//! frame, and each datagram carries one or more frames back-to-back
+//! (GSO/GRO-style coalescing under the spec's `udp_coalesce` knob, strict
+//! one-frame-per-datagram with it off), so the codec is exercised against a
+//! peer that can hand it truncated, duplicated, reordered, or garbage
+//! bytes: the OUM envelope the paper's deployment actually assumes (§4,
+//! §6).
 //!
 //! # Plumbing, not logic
 //!
@@ -236,6 +239,10 @@ struct UdpRig {
     /// Spec's `udp_batch`: whether endpoints use the `sendmmsg`/`recvmmsg`
     /// fast path behind the batch verbs.
     batched: bool,
+    /// Spec's `udp_coalesce`: whether batched sends pack per-destination
+    /// frames back-to-back into full datagrams (GSO-style) instead of one
+    /// frame per datagram.
+    coalesced: bool,
 }
 
 impl UdpRig {
@@ -261,6 +268,7 @@ impl UdpRig {
             switch: None,
             next_client: AtomicU32::new(1),
             batched: spec.udp_batch,
+            coalesced: spec.udp_coalesce,
         }
     }
 
@@ -270,6 +278,7 @@ impl UdpRig {
         // bind means no endpoint ever existed; no live traffic is at risk.
         let mut t = UdpTransport::bind(Arc::clone(&self.book)).expect("bind loopback UDP socket");
         t.set_batched(self.batched);
+        t.set_coalesced(self.coalesced);
         let addr = t.local_addr();
         if matches!(faults, Faults::None) || self.faults.is_noop() {
             return (Box::new(t), addr);

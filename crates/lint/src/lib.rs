@@ -11,7 +11,7 @@
 //! |---------------|-----------------------------------------|---------|
 //! | `determinism` | sim, switch, replication, types, verify, workload, kv | wall-clock reads, entropy-seeded RNGs/hashers, iteration over `HashMap`/`HashSet` |
 //! | `unsafe`      | whole workspace                         | `unsafe` outside vendor/mmsg, vendor/bytes, crates/net/src/pool.rs; unsafe without `SAFETY:`; missing `#![forbid(unsafe_code)]` headers |
-//! | `panic_path`  | net/udp.rs, core/live.rs, core/udp.rs, types/wire.rs | `unwrap`/`expect`, panicking macros, indexing without `get` |
+//! | `panic_path`  | net/udp.rs, net/coalesce.rs, core/live.rs, core/udp.rs, types/wire.rs | `unwrap`/`expect`, panicking macros, indexing without `get` |
 //! | `layering`    | replication, switch                     | `std::net`, `harmonia-net`, socket types |
 //!
 //! Violations can be waived inline with `// lint:allow(<rule>): <reason>`
@@ -135,6 +135,7 @@ impl Policy {
                 .collect(),
             hot_paths: [
                 "crates/net/src/udp.rs",
+                "crates/net/src/coalesce.rs",
                 "crates/core/src/live.rs",
                 "crates/core/src/udp.rs",
                 "crates/types/src/wire.rs",

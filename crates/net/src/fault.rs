@@ -72,6 +72,17 @@ impl FaultCounters {
 /// over the same send sequence makes the same calls, so a failing schedule
 /// can be replayed (modulo the kernel's own scheduling of the sockets
 /// underneath).
+///
+/// **Fault envelope under frame coalescing.** Real networks lose whole
+/// *datagrams*, and so does this adversary: every fault decision hits one
+/// unit of delivery. The wrapper does not override the batch verbs, so its
+/// `send_batch` loops the scalar path — and the UDP endpoint's scalar
+/// `send` flushes one frame per datagram, never packing across packets.
+/// Coalescing therefore cannot engage underneath the adversary: with the
+/// same seed, the fault schedule (which packets drop, duplicate, reorder)
+/// is byte-for-byte identical whether the deployment runs coalesced or
+/// per-frame, and "per fault decision" always means "per datagram" *and*
+/// "per frame" at once. `tests/batch_dataplane.rs` pins this equivalence.
 pub struct FaultyTransport<T, I> {
     inner: I,
     cfg: FaultConfig,

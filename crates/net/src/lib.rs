@@ -3,8 +3,10 @@
 //! The simulator passes packets by value and the threaded live driver moves
 //! them over in-process channels; neither ever touches a socket. This crate
 //! is the third substrate: every packet is a length-prefixed wire frame
-//! ([`harmonia_types::wire`]) inside **one UDP datagram** on a loopback
-//! socket — lost, duplicated, and reordered exactly as a kernel (or the
+//! ([`harmonia_types::wire`]), and each UDP datagram on the loopback socket
+//! carries **one or more frames back-to-back** (GSO/GRO-style coalescing
+//! via the [`Coalescer`], per-frame with the knob off) — lost, duplicated,
+//! and reordered per *datagram* exactly as a kernel (or the
 //! [`FaultyTransport`] adversary) pleases, which is the OUM envelope the
 //! paper's deployment actually runs in (§4, §6).
 //!
@@ -42,6 +44,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod addr;
+pub mod coalesce;
 pub mod fault;
 // The pool's `set_len` on freshly reserved capacity is the one sanctioned
 // `unsafe` in this crate; the crate-level `deny(unsafe_code)` makes any new
@@ -52,6 +55,7 @@ pub mod transport;
 pub mod udp;
 
 pub use addr::AddrBook;
+pub use coalesce::{Coalescer, SealedDatagram};
 pub use fault::{FaultConfig, FaultCounters, FaultyTransport};
 pub use pool::{BufferPool, PoolStats};
 pub use transport::{RecvError, Transport};

@@ -54,19 +54,38 @@ pub struct BufferPool {
     /// buffer is freed by the last payload drop instead of recycled, so a
     /// slow consumer degrades to plain allocation, never unbounded growth.
     max_inflight: usize,
+    /// Whether every buffer this pool allocates is zero-filled to `buf_len`
+    /// up front. Receive pools need this: [`checkout`](Self::checkout) hands
+    /// out full-length buffers by restoring `len` over known-initialized
+    /// storage. Send pools ([`for_send`](Self::for_send)) skip the fill —
+    /// their buffers are append-only via
+    /// [`checkout_empty`](Self::checkout_empty) — and `checkout` on such a
+    /// pool falls back to an explicit (initializing) `resize`.
+    zeroed: bool,
     stats: PoolStats,
 }
 
 impl BufferPool {
-    /// A pool of `buf_len`-byte buffers tracking at most `max_inflight`
-    /// outstanding datagrams.
+    /// A pool of `buf_len`-byte zero-filled buffers tracking at most
+    /// `max_inflight` outstanding datagrams (the receive-side flavor).
     pub fn new(buf_len: usize, max_inflight: usize) -> Self {
         BufferPool {
             buf_len,
             free: Vec::new(),
             inflight: VecDeque::with_capacity(max_inflight),
             max_inflight,
+            zeroed: true,
             stats: PoolStats::default(),
+        }
+    }
+
+    /// A send-side pool: buffers are handed out *empty* (length 0, capacity
+    /// `buf_len`) for append-style encoding, so allocation skips the
+    /// zero-fill a receive buffer needs.
+    pub fn for_send(buf_len: usize, max_inflight: usize) -> Self {
+        BufferPool {
+            zeroed: false,
+            ..BufferPool::new(buf_len, max_inflight)
         }
     }
 
@@ -89,9 +108,11 @@ impl BufferPool {
         match self.free.pop() {
             Some(mut buf) => {
                 self.stats.hits += 1;
-                if buf.capacity() >= self.buf_len {
-                    // SAFETY: every buffer entering the pool was zero-filled
-                    // to `buf_len` at allocation, and the Arc round-trip
+                if self.zeroed && buf.capacity() >= self.buf_len {
+                    // SAFETY: every buffer entering a `zeroed` pool was
+                    // zero-filled to `buf_len` at allocation (the `for_send`
+                    // flavor, whose buffers skip the fill, takes the
+                    // `resize` branch instead), and the Arc round-trip
                     // through commit/reclaim moves the Vec without shrinking
                     // it — the bytes stay initialized. Restoring the length
                     // is therefore pure bookkeeping; re-zeroing 64KB per
@@ -108,6 +129,31 @@ impl BufferPool {
                 let mut buf = BytesMut::with_capacity(self.buf_len);
                 buf.resize(self.buf_len, 0);
                 buf
+            }
+        }
+    }
+
+    /// Hand out an *empty* writable buffer with at least `buf_len` bytes of
+    /// capacity — the send-side checkout: the caller appends encoded frames
+    /// and [`commit`](Self::commit)s the result, so no byte is ever written
+    /// twice and allocation needs no zero-fill. Recycles when possible,
+    /// exactly like [`checkout`](Self::checkout).
+    pub fn checkout_empty(&mut self) -> BytesMut {
+        if self.free.is_empty() {
+            self.reclaim();
+        }
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.stats.hits += 1;
+                buf.clear();
+                if buf.capacity() < self.buf_len {
+                    buf.reserve(self.buf_len);
+                }
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                BytesMut::with_capacity(self.buf_len)
             }
         }
     }
@@ -188,6 +234,35 @@ mod tests {
         let buf = pool.checkout();
         assert!(pool.stats().hits >= 1);
         pool.release(buf);
+    }
+
+    #[test]
+    fn send_pool_recycles_empty_buffers() {
+        let mut pool = BufferPool::for_send(64, 8);
+        for round in 0..100 {
+            let mut buf = pool.checkout_empty();
+            assert!(buf.is_empty(), "send checkout must start empty");
+            assert!(buf.capacity() >= 64);
+            buf.extend_from_slice(&[round as u8; 16]);
+            let frame = pool.commit(buf);
+            drop(frame);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 1, "steady-state send must not allocate: {s:?}");
+        assert_eq!(s.hits, 99);
+    }
+
+    #[test]
+    fn send_pool_full_checkout_still_initializes() {
+        // `checkout` on a send pool must take the initializing `resize`
+        // path, never `set_len` over append-only (possibly uninitialized)
+        // storage.
+        let mut pool = BufferPool::for_send(64, 8);
+        let buf = pool.checkout_empty();
+        drop(pool.commit(buf));
+        let buf = pool.checkout();
+        assert_eq!(buf.len(), 64);
+        assert!(buf.iter().all(|&b| b == 0));
     }
 
     #[test]

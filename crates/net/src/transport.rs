@@ -40,18 +40,35 @@ pub trait Transport<T>: Send {
     /// `timeout`.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Packet<T>, RecvError>;
 
-    /// Send every `(destination, packet)` in `batch`, draining it.
+    /// Send every `(destination, packet)` in `batch`, draining it — the
+    /// frame-level batching verb.
     ///
     /// The default loops the scalar [`send`](Self::send), so wrapper
     /// transports (the fault injector, the channel driver) keep their exact
     /// per-packet semantics without knowing batching exists. Implementations
-    /// with a real batched fast path (the UDP endpoint's `sendmmsg`) override
-    /// this to amortize the per-packet cost; either way the packets go out
-    /// in `batch` order with the same drop/counter behavior as scalar sends.
+    /// with a real batched fast path override it: the UDP endpoint both
+    /// amortizes kernel crossings (`sendmmsg`) and *coalesces* — packing
+    /// per-destination frames back-to-back into full datagrams, so one
+    /// datagram moves many frames. Either way, per-destination frame order
+    /// follows `batch` order and the drop/counter behavior matches scalar
+    /// sends frame for frame.
     fn send_batch(&mut self, batch: &mut Vec<(NodeId, Packet<T>)>) {
         for (to, pkt) in batch.drain(..) {
             self.send(to, pkt);
         }
+    }
+
+    /// Upper bound on how many wire frames this transport may pack into
+    /// one network datagram.
+    ///
+    /// `1` — the default, and what every scalar-looping wrapper inherits —
+    /// means strict per-frame delivery: each packet rides its own
+    /// datagram, which is the envelope
+    /// [`FaultyTransport`](crate::FaultyTransport)'s per-send fault
+    /// decisions rely on (each decision hits exactly one frame). The
+    /// coalescing UDP endpoint reports its packing bound instead.
+    fn max_frames_per_datagram(&self) -> usize {
+        1
     }
 
     /// Drain up to `max` already-queued packets into `out` without

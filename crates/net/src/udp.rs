@@ -3,42 +3,58 @@
 // Wall-clock reads are deliberate here: receive deadlines are real kernel time.
 #![allow(clippy::disallowed_methods)]
 
+use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::marker::PhantomData;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::{Bytes, BytesMut};
-use harmonia_types::wire::{decode_frame_shared, encode_frame, Wire};
+use bytes::BytesMut;
+use harmonia_types::wire::{frames, Wire};
 use harmonia_types::{NodeId, Packet};
 
 use crate::addr::{AddrBook, Directory};
+use crate::coalesce::{Coalescer, SealedDatagram};
 use crate::pool::{BufferPool, PoolStats};
 use crate::transport::{RecvError, Transport};
 
-/// Datagram counters of one endpoint (telemetry for tests and examples).
+/// Frame and datagram counters of one endpoint (telemetry for tests and
+/// examples).
 ///
-/// Every send attempt lands in exactly one of `sent`, `unresolved`,
-/// `oversized`, or `send_errors`: the books balance, nothing is dropped
-/// without a counter (`accounting_balances_across_all_send_outcomes` pins
-/// this).
+/// Send accounting is *frame*-granular, so coalescing never hides a drop:
+/// every resolved `(packet, destination)` attempt lands in exactly one of
+/// `sent` or `send_errors` (a refused datagram charges every frame packed
+/// inside it), every unresolvable packet in `unresolved`, and every
+/// too-large packet in `oversized` (once — frame size is destination-
+/// independent). The identity `sent + unresolved + oversized + send_errors
+/// == attempts` is what `accounting_balances_across_all_send_outcomes` and
+/// `coalesced_accounting_identity_and_frame_counters` pin.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct TransportStats {
-    /// Datagrams handed to the kernel.
+    /// Frames handed to the kernel (one packet per destination = one
+    /// frame; a coalesced datagram carries several).
     pub sent: u64,
-    /// Datagrams successfully decoded into packets.
+    /// Datagrams handed to the kernel. `sent / datagrams_sent` is the
+    /// realized frames-per-datagram packing ratio (1.0 with coalescing
+    /// off).
+    pub datagrams_sent: u64,
+    /// Frames successfully decoded into packets.
     pub received: u64,
     /// Sends whose destination did not resolve (dropped).
     pub unresolved: u64,
-    /// Inbound datagrams that failed to decode (dropped) — garbage,
-    /// truncated frames, oversized declared lengths, or trailing bytes
-    /// after a valid frame (one datagram is one frame, exactly).
+    /// Inbound datagrams rejected at the first bad frame (the rest of the
+    /// datagram is dropped) — garbage, truncated frames, oversized
+    /// declared lengths, or trailing junk after the last valid frame.
     pub decode_errors: u64,
+    /// The subset of `decode_errors` datagrams whose valid frame prefix
+    /// was still delivered (partial-datagram salvage): a malformed second
+    /// frame never silently discards the valid first one.
+    pub salvaged: u64,
     /// Outbound packets too large for one frame (dropped, never truncated).
     pub oversized: u64,
-    /// Datagrams the kernel refused to send (dropped; datagram semantics —
-    /// the caller's retry loop owns recovery).
+    /// Frames in datagrams the kernel refused to send (dropped; datagram
+    /// semantics — the caller's retry loop owns recovery).
     pub send_errors: u64,
     /// Failed socket reconfigurations (read-mode syscalls). The mode cache
     /// is invalidated so the next receive retries; meanwhile the socket
@@ -49,8 +65,11 @@ pub struct TransportStats {
 /// One node's UDP endpoint: a loopback socket plus the deployment's
 /// [`AddrBook`].
 ///
-/// A packet is exactly one datagram holding one
-/// [`encode_frame`]d `Packet<T>`. Inbound datagrams that do not decode are
+/// A datagram holds one or more back-to-back
+/// [`encode_frame`](harmonia_types::wire::encode_frame)-format frames, each
+/// one `Packet<T>`: the batched send path packs per-destination frames into
+/// full datagrams (GSO-style, via the [`Coalescer`]) and the receive path
+/// unpacks them with [`frames`] (GRO). Inbound bytes that do not decode are
 /// counted and discarded — the receive loop never panics and never
 /// allocates beyond [`MAX_FRAME_BYTES`](harmonia_types::MAX_FRAME_BYTES) on
 /// untrusted input; that hardening is what `tests/proptests.rs` pins.
@@ -71,9 +90,16 @@ pub struct UdpTransport<T> {
     /// A checked-out buffer kept across empty polls, so a quiet endpoint
     /// doesn't churn the pool counters while waiting.
     recv_buf: Option<BytesMut>,
-    /// Scratch for the batched send path: resolved (destination, frame)
-    /// pairs, reused across calls.
-    send_scratch: Vec<(SocketAddr, Bytes)>,
+    /// The send path: frames encode zero-copy into pooled per-destination
+    /// datagram buffers, packed GSO-style until a datagram fills.
+    coalescer: Coalescer,
+    /// Sealed datagrams awaiting their kernel flush, reused across calls.
+    sealed_scratch: Vec<SealedDatagram>,
+    /// Per-datagram send outcomes from the last `sendmmsg` run, reused.
+    ok_scratch: Vec<bool>,
+    /// Frames decoded out of a multi-frame datagram but not yet handed to
+    /// the caller (one datagram can out-fill a `recv_batch` budget).
+    decoded: VecDeque<Packet<T>>,
     /// Whether the batch verbs use the `sendmmsg`/`recvmmsg` fast path.
     /// Off, they loop the scalar verbs — the baseline the bench profile
     /// compares against.
@@ -111,7 +137,13 @@ impl<T> UdpTransport<T> {
             // generous tail of payloads still held by the application.
             pool: BufferPool::new(usize::from(u16::MAX), 4 * mmsg::MAX_BATCH),
             recv_buf: None,
-            send_scratch: Vec::new(),
+            // The coalescer clamps its budget to MAX_FRAME_BYTES (the
+            // largest sendable datagram) and recycles sealed payloads
+            // through its own send-side pool.
+            coalescer: Coalescer::new(usize::from(u16::MAX), 4 * mmsg::MAX_BATCH),
+            sealed_scratch: Vec::new(),
+            ok_scratch: Vec::new(),
+            decoded: VecDeque::new(),
             batched: true,
             stats: TransportStats::default(),
             read_mode: None,
@@ -146,27 +178,103 @@ impl<T> UdpTransport<T> {
         self.batched
     }
 
+    /// Toggle GSO-style frame coalescing on the batched send path (on by
+    /// default): off, every frame rides its own datagram — the faithful
+    /// per-frame baseline — while still encoding zero-copy through the
+    /// send pool.
+    pub fn set_coalesced(&mut self, on: bool) {
+        self.coalescer.set_coalesce(on);
+    }
+
+    /// Whether the batched send path packs multiple frames per datagram.
+    pub fn coalesced(&self) -> bool {
+        self.coalescer.coalesce()
+    }
+
+    /// Send-pool checkout counters so far — steady-state sending recycles
+    /// sealed datagram buffers instead of allocating.
+    pub fn send_pool_stats(&self) -> PoolStats {
+        self.coalescer.pool_stats()
+    }
+
     /// Decode one whole datagram (already truncated to its received
-    /// length), enforcing the one-datagram-one-frame invariant: a frame
-    /// that does not consume the full payload is a decode error, not a
-    /// delivery.
-    fn decode_datagram(&mut self, buf: BytesMut) -> Option<Packet<T>>
+    /// length) into the delivery queue. A datagram carries one or more
+    /// back-to-back frames: every valid frame from the front is delivered;
+    /// the first malformed or truncated frame rejects the *rest* of the
+    /// datagram ([`TransportStats::decode_errors`]), with
+    /// [`TransportStats::salvaged`] marking datagrams whose valid prefix
+    /// was still delivered. "All bytes consumed by valid frames" is the
+    /// clean-accept condition — the multi-frame generalization of the old
+    /// one-datagram-one-frame `used == datagram_len` check.
+    fn decode_datagram(&mut self, buf: BytesMut)
     where
         T: Wire,
     {
         let datagram_len = buf.len();
         let frame = self.pool.commit(buf);
-        match decode_frame_shared::<Packet<T>>(&frame) {
-            Ok(Some((pkt, used))) if used == datagram_len => {
-                self.stats.received += 1;
-                Some(pkt)
+        let mut delivered = 0u64;
+        // An empty datagram carries no frame: count it as a reject for
+        // parity with the per-frame baseline.
+        let mut bad_tail = datagram_len == 0;
+        for item in frames::<Packet<T>>(&frame) {
+            match item {
+                Ok(pkt) => {
+                    self.decoded.push_back(pkt);
+                    delivered += 1;
+                }
+                // Untrusted bytes must never take the endpoint down: the
+                // iterator fuses after the first error, so the bad tail is
+                // dropped and counted, nothing more.
+                Err(_) => bad_tail = true,
             }
-            // Trailing bytes after the frame, a truncated/malformed frame,
-            // or an oversized declared length: drop and count — untrusted
-            // bytes must never take the endpoint down.
-            Ok(_) | Err(_) => {
-                self.stats.decode_errors += 1;
-                None
+        }
+        self.stats.received += delivered;
+        if bad_tail {
+            self.stats.decode_errors += 1;
+            if delivered > 0 {
+                self.stats.salvaged += 1;
+            }
+        }
+    }
+
+    /// Move up to `max` already-decoded packets into `out`.
+    fn pop_decoded(&mut self, out: &mut Vec<Packet<T>>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.decoded.pop_front() {
+                Some(pkt) => {
+                    out.push(pkt);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Send every sealed datagram through one `sendmmsg` run with
+    /// per-datagram outcomes, crediting the frame-granular counters: an
+    /// accepted datagram credits every frame it carries to `sent`, a
+    /// refused one charges them all to `send_errors`.
+    fn flush_sealed_batched(&mut self) {
+        if self.sealed_scratch.is_empty() {
+            return;
+        }
+        self.ok_scratch.clear();
+        self.ok_scratch.resize(self.sealed_scratch.len(), false);
+        let msgs: Vec<(SocketAddr, &[u8])> = self
+            .sealed_scratch
+            .iter()
+            .map(|d| (d.dst, &d.payload[..]))
+            .collect();
+        let _ = mmsg::send_batch_outcomes(&self.socket, &msgs, &mut self.ok_scratch);
+        drop(msgs);
+        for (d, ok) in self.sealed_scratch.drain(..).zip(&self.ok_scratch) {
+            if *ok {
+                self.stats.sent += u64::from(d.frames);
+                self.stats.datagrams_sent += 1;
+            } else {
+                self.stats.send_errors += u64::from(d.frames);
             }
         }
     }
@@ -221,23 +329,36 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
             self.stats.unresolved += 1;
             return;
         }
-        let frame = match encode_frame(&pkt) {
-            Ok(frame) => frame,
-            Err(_) => {
-                // Too big for one datagram: dropping beats truncating — the
-                // peer would reject a cut frame anyway, and the client's
-                // retry/timeout loop owns recovery.
-                self.stats.oversized += 1;
-                return;
-            }
-        };
+        // Encode straight into a pooled datagram buffer per destination —
+        // zero-copy even on the scalar verb. The scalar verb flushes per
+        // call, so coalescing across *packets* never engages here: one
+        // frame, one datagram — the per-datagram envelope
+        // `FaultyTransport`'s per-send fault decisions rely on.
         for &dst in &self.dsts {
-            match self.socket.send_to(&frame, dst) {
-                Ok(_) => self.stats.sent += 1,
+            if self
+                .coalescer
+                .push(dst, &pkt, &mut self.sealed_scratch)
+                .is_err()
+            {
+                // Too big for one frame: dropping beats truncating — the
+                // peer would reject a cut frame anyway, and the client's
+                // retry/timeout loop owns recovery. Counted once: frame
+                // size does not depend on the destination.
+                self.stats.oversized += 1;
+                break;
+            }
+        }
+        self.coalescer.finish(&mut self.sealed_scratch);
+        for d in self.sealed_scratch.drain(..) {
+            match self.socket.send_to(&d.payload, d.dst) {
+                Ok(_) => {
+                    self.stats.sent += u64::from(d.frames);
+                    self.stats.datagrams_sent += 1;
+                }
                 // A refused send (bad port, full socket buffer) is a
                 // dropped datagram, not a silent one: the books must
                 // balance so harnesses can see where packets went.
-                Err(_) => self.stats.send_errors += 1,
+                Err(_) => self.stats.send_errors += u64::from(d.frames),
             }
         }
     }
@@ -250,6 +371,11 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
     /// would overshoot the deadline and skew latency measurements; this
     /// path returns (up to 1ms) early instead of late.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Packet<T>, RecvError> {
+        // Frames already unpacked from an earlier multi-frame datagram
+        // deliver first, without touching the socket.
+        if let Some(pkt) = self.decoded.pop_front() {
+            return Ok(pkt);
+        }
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -274,7 +400,8 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
             match self.socket.recv(&mut buf) {
                 Ok(n) => {
                     buf.truncate(n);
-                    if let Some(pkt) = self.decode_datagram(buf) {
+                    self.decode_datagram(buf);
+                    if let Some(pkt) = self.decoded.pop_front() {
                         return Ok(pkt);
                     }
                 }
@@ -296,11 +423,14 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
         }
     }
 
-    /// Batched flush: resolve and encode every packet, then hand the whole
-    /// run of datagrams to the kernel through `sendmmsg`
-    /// ([`mmsg::send_batch`]) — one kernel crossing per
-    /// [`mmsg::MAX_BATCH`] datagrams instead of one per packet. Counter
-    /// semantics are identical to looping the scalar verb.
+    /// Batched flush: resolve every packet and encode it zero-copy into
+    /// per-destination pooled datagram buffers — GSO-style coalescing
+    /// packs frames back-to-back until a datagram fills (per-frame with
+    /// the [`set_coalesced`](Self::set_coalesced) knob off) — then hand
+    /// the sealed datagrams to the kernel through `sendmmsg`
+    /// ([`mmsg::send_batch_outcomes`]): one kernel crossing per
+    /// [`mmsg::MAX_BATCH`] *datagrams*, each carrying many frames, so the
+    /// amortization multiplies. No frame is cloned anywhere on this path.
     fn send_batch(&mut self, batch: &mut Vec<(NodeId, Packet<T>)>) {
         if !self.batched {
             for (to, pkt) in batch.drain(..) {
@@ -308,7 +438,6 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
             }
             return;
         }
-        self.send_scratch.clear();
         for (to, pkt) in batch.drain(..) {
             let generation = self.book.generation();
             if generation != self.seen_generation {
@@ -320,37 +449,33 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
                 self.stats.unresolved += 1;
                 continue;
             }
-            match encode_frame(&pkt) {
-                Ok(frame) => {
-                    for &dst in &self.dsts {
-                        self.send_scratch.push((dst, frame.clone()));
-                    }
-                }
-                Err(_) => {
+            for &dst in &self.dsts {
+                if self
+                    .coalescer
+                    .push(dst, &pkt, &mut self.sealed_scratch)
+                    .is_err()
+                {
+                    // Counted once: frame size does not depend on the
+                    // destination, so every push would refuse alike.
                     self.stats.oversized += 1;
+                    break;
                 }
             }
         }
-        if self.send_scratch.is_empty() {
-            return;
-        }
-        let msgs: Vec<(SocketAddr, &[u8])> = self
-            .send_scratch
-            .iter()
-            .map(|(dst, frame)| (*dst, &frame[..]))
-            .collect();
-        let report = mmsg::send_batch(&self.socket, &msgs);
-        self.stats.sent += report.sent as u64;
-        self.stats.send_errors += report.errors as u64;
+        self.coalescer.finish(&mut self.sealed_scratch);
+        self.flush_sealed_batched();
     }
 
-    /// Batched drain: pull up to `max` queued datagrams per `recvmmsg` call
-    /// ([`mmsg::recv_batch`]) into pooled buffers and decode them in place —
-    /// payload fields alias the buffers, nothing is copied, and a warm pool
-    /// allocates nothing.
+    /// Batched drain: pull up to `max - already-queued` datagrams per
+    /// `recvmmsg` call ([`mmsg::recv_batch`]) into pooled buffers and
+    /// unpack every frame in place — payload fields alias the buffers,
+    /// nothing is copied, and a warm pool allocates nothing. A coalesced
+    /// datagram can carry more frames than the remaining budget; the
+    /// overflow stays queued and delivers first on the next call.
     fn recv_batch(&mut self, out: &mut Vec<Packet<T>>, max: usize) -> usize {
         if !self.batched {
-            // Scalar baseline: loop the nonblocking scalar verb.
+            // Scalar baseline: loop the nonblocking scalar verb (which
+            // itself drains the decoded queue first).
             let mut n = 0;
             while n < max {
                 match self.recv_timeout(Duration::ZERO) {
@@ -364,7 +489,7 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
             return n;
         }
         self.set_read_mode(None);
-        let mut delivered = 0;
+        let mut delivered = self.pop_decoded(out, max);
         while delivered < max {
             let want = (max - delivered).min(mmsg::MAX_BATCH);
             let mut bufs: Vec<BytesMut> = Vec::with_capacity(want);
@@ -382,21 +507,30 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
             for (i, (mut buf, len)) in bufs.into_iter().zip(lens).enumerate() {
                 if i < got {
                     buf.truncate(len);
-                    if let Some(pkt) = self.decode_datagram(buf) {
-                        out.push(pkt);
-                        delivered += 1;
-                    }
+                    self.decode_datagram(buf);
                 } else if self.recv_buf.is_none() {
                     self.recv_buf = Some(buf);
                 } else {
                     self.pool.release(buf);
                 }
             }
+            delivered += self.pop_decoded(out, max - delivered);
             if got < want {
                 break; // queue drained
             }
         }
         delivered
+    }
+
+    /// The packing bound: how many frames one datagram can carry at this
+    /// endpoint's budget (a frame is at least a 4-byte prefix plus one
+    /// body byte). `1` exactly when coalescing is off.
+    fn max_frames_per_datagram(&self) -> usize {
+        if self.coalescer.coalesce() {
+            self.coalescer.capacity() / 5
+        } else {
+            1
+        }
     }
 }
 
@@ -458,10 +592,10 @@ mod tests {
     #[test]
     fn garbage_datagrams_are_counted_and_skipped() {
         let (_book, mut a, mut b) = pair();
-        // Raw garbage straight to b's socket, then a valid frame with junk
-        // appended (violating the one-datagram-one-frame invariant), then a
-        // valid packet: the receive loop must skip all three rejects and
-        // deliver the packet.
+        // Raw garbage straight to b's socket, then a valid frame with a
+        // junk tail (the salvage case: the frame delivers, the tail is
+        // rejected and counted), then a valid packet: the receive loop must
+        // count all three rejects and deliver both packets.
         let raw = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
         raw.send_to(&[0xff; 40], b.local_addr()).unwrap();
         raw.send_to(&[1, 2], b.local_addr()).unwrap();
@@ -474,10 +608,14 @@ mod tests {
         padded.extend_from_slice(&[0xde, 0xad]);
         raw.send_to(&padded, b.local_addr()).unwrap();
         a.send(NodeId::Replica(ReplicaId(0)), pkt.clone());
+        // Salvaged out of the padded datagram, ahead of a's clean send.
         let got = b.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(got, pkt);
-        assert_eq!(b.stats().decode_errors, 3);
-        assert_eq!(b.stats().received, 1);
+        assert_eq!(b.recv_timeout(Duration::from_secs(2)).unwrap(), pkt);
+        let s = b.stats();
+        assert_eq!(s.decode_errors, 3);
+        assert_eq!(s.salvaged, 1, "only the padded datagram had a prefix");
+        assert_eq!(s.received, 2);
     }
 
     #[test]
@@ -585,6 +723,148 @@ mod tests {
             assert_eq!(*pkt, mk(i as u64).1);
         }
         assert_eq!(b.stats().received, n);
+        // 50 small frames to one destination coalesce into one datagram.
+        assert_eq!(a.stats().datagrams_sent, 1);
+    }
+
+    #[test]
+    fn coalesced_accounting_identity_and_frame_counters() {
+        let (book, mut a, mut b) = pair();
+        book.register(
+            NodeId::Replica(ReplicaId(7)),
+            "127.0.0.1:0".parse().unwrap(),
+        );
+        let mk = |to: u32, i: u64| -> (NodeId, Pkt) {
+            (
+                NodeId::Replica(ReplicaId(to)),
+                Packet::new(
+                    NodeId::Client(ClientId(1)),
+                    NodeId::Replica(ReplicaId(to)),
+                    harmonia_types::PacketBody::Protocol(i),
+                ),
+            )
+        };
+        // 10 deliverable frames, 5 frames coalesced into one datagram the
+        // kernel refuses (port 0), 1 unresolved, 1 oversized: the identity
+        // must cover every attempt with `sent` in frame units.
+        let mut batch: Vec<(NodeId, Pkt)> = (0..10).map(|i| mk(0, i)).collect();
+        batch.extend((0..5).map(|i| mk(7, 100 + i)));
+        batch.push(mk(42, 0));
+        let huge = ClientRequest::write(
+            ClientId(1),
+            RequestId(3),
+            &b"k"[..],
+            vec![0u8; harmonia_types::MAX_FRAME_BYTES],
+        );
+        batch.push((
+            NodeId::Replica(ReplicaId(0)),
+            Packet::new(
+                NodeId::Client(ClientId(1)),
+                NodeId::Replica(ReplicaId(0)),
+                harmonia_types::PacketBody::Request(huge),
+            ),
+        ));
+        let attempts = batch.len() as u64;
+        a.send_batch(&mut batch);
+        let s = a.stats();
+        assert_eq!(s.sent, 10, "sent counts frames, not datagrams");
+        assert_eq!(s.datagrams_sent, 1, "10 small frames pack into one");
+        assert_eq!(s.send_errors, 5, "a refused datagram charges its frames");
+        assert_eq!(s.unresolved, 1);
+        assert_eq!(s.oversized, 1);
+        // The books balance, frame-granular.
+        assert_eq!(
+            s.sent + s.unresolved + s.oversized + s.send_errors,
+            attempts
+        );
+
+        // The coalesced datagram unpacks to the 10 frames, in order.
+        let mut got = vec![b.recv_timeout(Duration::from_secs(2)).unwrap()];
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got.len() < 10 && Instant::now() < deadline {
+            if b.recv_batch(&mut got, 64) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let want: Vec<Pkt> = (0..10).map(|i| mk(0, i).1).collect();
+        assert_eq!(got, want);
+        assert_eq!(b.stats().received, 10);
+        assert_eq!(b.stats().decode_errors, 0);
+    }
+
+    #[test]
+    fn per_frame_mode_sends_one_datagram_per_frame() {
+        let (_book, mut a, mut b) = pair();
+        assert!(a.max_frames_per_datagram() > 1, "coalescing is the default");
+        a.set_coalesced(false);
+        assert!(!a.coalesced());
+        assert_eq!(a.max_frames_per_datagram(), 1);
+        let mk = |i: u64| -> (NodeId, Pkt) {
+            (
+                NodeId::Replica(ReplicaId(0)),
+                Packet::new(
+                    NodeId::Client(ClientId(1)),
+                    NodeId::Replica(ReplicaId(0)),
+                    harmonia_types::PacketBody::Protocol(i),
+                ),
+            )
+        };
+        let mut batch: Vec<(NodeId, Pkt)> = (0..10).map(mk).collect();
+        a.send_batch(&mut batch);
+        let s = a.stats();
+        assert_eq!(s.sent, 10);
+        assert_eq!(s.datagrams_sent, 10, "per-frame: one datagram per frame");
+        let mut got = vec![b.recv_timeout(Duration::from_secs(2)).unwrap()];
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got.len() < 10 && Instant::now() < deadline {
+            if b.recv_batch(&mut got, 64) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(got, (0..10).map(|i| mk(i).1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steady_state_send_is_allocation_free() {
+        let (_book, mut a, mut b) = pair();
+        let mk = |i: u64| -> (NodeId, Pkt) {
+            (
+                NodeId::Replica(ReplicaId(0)),
+                Packet::new(
+                    NodeId::Client(ClientId(1)),
+                    NodeId::Replica(ReplicaId(0)),
+                    harmonia_types::PacketBody::Protocol(i),
+                ),
+            )
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for round in 0..200u64 {
+            let mut batch: Vec<(NodeId, Pkt)> = (0..8).map(|i| mk(round * 8 + i)).collect();
+            a.send_batch(&mut batch);
+            // Drain each burst so the receive socket buffer never fills.
+            let mut got = Vec::new();
+            while got.len() < 8 && Instant::now() < deadline {
+                if b.recv_batch(&mut got, 32) == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            assert_eq!(got.len(), 8);
+        }
+        let s = a.send_pool_stats();
+        assert!(
+            s.misses <= 2,
+            "steady-state send allocated {} times",
+            s.misses
+        );
+        assert!(
+            s.hit_rate() > 0.95,
+            "send-pool hit rate {:.3}",
+            s.hit_rate()
+        );
+        // Every burst coalesced: far fewer datagrams than frames.
+        let t = a.stats();
+        assert_eq!(t.sent, 1600);
+        assert_eq!(t.datagrams_sent, 200);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! "switch" parses in its pipeline, and hand-rolling keeps the layout
 //! explicit and dependency-free.
 
+use std::marker::PhantomData;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::id::{ClientId, NodeId, ObjectId, ReplicaId, RequestId, SwitchId};
@@ -23,13 +25,14 @@ use crate::TypeError;
 /// Upper bound on one encoded frame, length prefix included — and therefore
 /// on every length-prefixed field inside it (keys, values, vectors).
 ///
-/// One constant governs both sides of the wire: [`encode_frame`] refuses to
-/// produce a larger frame (an error, never silent truncation), and
-/// [`decode_frame`] rejects any declared length beyond it before allocating,
-/// so untrusted bytes can never make a decoder reserve unbounded memory.
-/// The value is the largest UDP/IPv4 payload (65 535 − 8 − 20): a frame is
-/// exactly one datagram in the `harmonia-net` transport, so anything bigger
-/// could never cross the real wire anyway.
+/// One constant governs both sides of the wire: [`encode_frame`] and
+/// [`encode_frame_into`] refuse to produce a larger frame (an error, never
+/// silent truncation), and [`decode_frame`] rejects any declared length
+/// beyond it before allocating, so untrusted bytes can never make a decoder
+/// reserve unbounded memory. The value is the largest UDP/IPv4 payload
+/// (65 535 − 8 − 20): a datagram in the `harmonia-net` transport carries one
+/// or more back-to-back frames (see [`frames`]) up to this budget, so a
+/// single frame bigger than it could never cross the real wire anyway.
 pub const MAX_FRAME_BYTES: usize = 65_507;
 
 /// A type that can be encoded to / decoded from the wire.
@@ -46,18 +49,37 @@ pub trait Wire: Sized {
 /// with [`decode_frame`], so a frame this side produces is always one the
 /// other side accepts, and nothing is ever silently truncated.
 pub fn encode_frame<T: Wire>(value: &T) -> Result<Bytes, TypeError> {
-    let mut body = BytesMut::with_capacity(64);
-    value.encode(&mut body);
-    if body.len() + 4 > MAX_FRAME_BYTES {
+    let mut frame = BytesMut::with_capacity(64);
+    encode_frame_into(value, &mut frame)?;
+    Ok(frame.freeze())
+}
+
+/// Append one length-prefixed frame for `value` to `buf` — the zero-copy
+/// sibling of [`encode_frame`], for callers (the coalescing UDP send path)
+/// that pack several frames back-to-back into one pooled datagram buffer.
+///
+/// The length prefix is written as a placeholder first and patched once the
+/// body length is known, so the value is encoded exactly once, straight into
+/// `buf` — no intermediate body buffer, no copy. Returns the frame length
+/// appended (prefix included). On [`TypeError::OversizedField`] the buffer is
+/// rolled back to its original length, so a packer can refuse one oversized
+/// frame without disturbing the frames already written before it.
+pub fn encode_frame_into<T: Wire>(value: &T, buf: &mut BytesMut) -> Result<usize, TypeError> {
+    let start = buf.len();
+    buf.put_u32_le(0); // placeholder, patched below
+    value.encode(buf);
+    let body_len = buf.len() - (start + 4);
+    if body_len > MAX_FRAME_BYTES - 4 {
+        buf.truncate(start);
         return Err(TypeError::OversizedField {
             field: "frame",
-            len: body.len() + 4,
+            len: body_len + 4,
         });
     }
-    let mut frame = BytesMut::with_capacity(body.len() + 4);
-    frame.put_u32_le(body.len() as u32);
-    frame.extend_from_slice(&body);
-    Ok(frame.freeze())
+    if let Some(prefix) = buf.get_mut(start..start + 4) {
+        prefix.copy_from_slice(&(body_len as u32).to_le_bytes());
+    }
+    Ok(body_len + 4)
 }
 
 /// Decode one frame produced by [`encode_frame`]. Returns the value and the
@@ -93,6 +115,79 @@ pub fn decode_frame_shared<T: Wire>(buf: &Bytes) -> Result<Option<(T, usize)>, T
     // range is proven in bounds by `frame_body_len` (avail >= 4 + len).
     let mut body = buf.slice(4..4 + len);
     finish_frame(T::decode(&mut body)?, &body, len)
+}
+
+/// Iterate every back-to-back frame in one datagram buffer — GRO on receive.
+///
+/// A coalesced datagram is zero or more [`encode_frame`]-format frames packed
+/// end to end. Each `Ok` item is one decoded value whose `Bytes` payload
+/// fields alias `buf` (the [`decode_frame_shared`] zero-copy contract). The
+/// iterator ends cleanly (yields `None`) only when every byte of `buf` was
+/// consumed by valid frames; a garbage or truncated tail yields exactly one
+/// final `Err` — a cut-off trailing frame surfaces as
+/// [`TypeError::Truncated`] — after which iteration stops. Frames decoded
+/// *before* the bad tail have already been yielded, so a receiver can salvage
+/// the valid prefix instead of discarding the whole datagram.
+pub fn frames<T: Wire>(buf: &Bytes) -> FrameIter<'_, T> {
+    FrameIter {
+        buf,
+        used: 0,
+        done: false,
+        _payload: PhantomData,
+    }
+}
+
+/// Iterator state for [`frames`]. Fused: after the first `Err` (or the clean
+/// end of the buffer) it yields `None` forever.
+pub struct FrameIter<'a, T> {
+    buf: &'a Bytes,
+    used: usize,
+    done: bool,
+    _payload: PhantomData<fn() -> T>,
+}
+
+impl<T> FrameIter<'_, T> {
+    /// Bytes consumed by the valid frames yielded so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+}
+
+impl<T: Wire> Iterator for FrameIter<'_, T> {
+    type Item = Result<T, TypeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.used >= self.buf.len() {
+            self.done = true;
+            return None;
+        }
+        // lint:allow(panic_path): `Bytes::slice` has no checked variant;
+        // `used` only grows by byte counts `decode_frame_shared` proved in
+        // bounds, so `used <= buf.len()` holds on every iteration.
+        let rest = self.buf.slice(self.used..self.buf.len());
+        match decode_frame_shared::<T>(&rest) {
+            Ok(Some((value, used))) => {
+                self.used += used;
+                Some(Ok(value))
+            }
+            // The datagram ends mid-frame: report how many bytes the
+            // declared length still wanted (header permitting).
+            Ok(None) => {
+                self.done = true;
+                let needed = match *rest.as_slice() {
+                    [b0, b1, b2, b3, ..] => {
+                        4 + u32::from_le_bytes([b0, b1, b2, b3]) as usize - rest.len()
+                    }
+                    _ => 4 - rest.len(),
+                };
+                Some(Err(TypeError::Truncated { needed }))
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 /// Shared header parse: `Ok(None)` while incomplete, the declared body
@@ -667,6 +762,80 @@ mod tests {
             decode_frame_shared::<u32>(&padded),
             Err(TypeError::TrailingBytes { len: 3 })
         );
+    }
+
+    #[test]
+    fn encode_into_matches_encode_frame_and_rolls_back() {
+        let r = ClientRequest::write(ClientId(9), RequestId(77), &b"key"[..], &b"val"[..]);
+        let standalone = encode_frame(&r).unwrap();
+        // Appending after existing content produces the same frame bytes.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"prior");
+        let n = encode_frame_into(&r, &mut buf).unwrap();
+        assert_eq!(n, standalone.len());
+        assert_eq!(&buf[5..], &standalone[..]);
+        // An oversized value rolls the buffer back to exactly where it was.
+        let huge = Bytes::from(vec![0u8; MAX_FRAME_BYTES]);
+        let before = buf.len();
+        assert!(matches!(
+            encode_frame_into(&huge, &mut buf),
+            Err(TypeError::OversizedField { field: "frame", .. })
+        ));
+        assert_eq!(buf.len(), before, "failed encode must not disturb buf");
+        assert_eq!(&buf[5..], &standalone[..]);
+    }
+
+    #[test]
+    fn frames_iterates_coalesced_datagrams() {
+        let values = [1u64, u64::MAX, 42, 7];
+        let mut buf = BytesMut::new();
+        for v in &values {
+            encode_frame_into(v, &mut buf).unwrap();
+        }
+        let datagram = buf.freeze();
+        let decoded: Vec<u64> = frames::<u64>(&datagram).map(|r| r.unwrap()).collect();
+        assert_eq!(decoded, values);
+        // An empty datagram iterates cleanly to nothing.
+        assert_eq!(frames::<u64>(&Bytes::new()).count(), 0);
+    }
+
+    #[test]
+    fn frames_salvages_valid_prefix_before_bad_tail() {
+        let mut buf = BytesMut::new();
+        encode_frame_into(&3u32, &mut buf).unwrap();
+        encode_frame_into(&4u32, &mut buf).unwrap();
+        buf.extend_from_slice(&[0xde, 0xad]); // garbage tail: cut-off header
+        let datagram = buf.freeze();
+        let mut it = frames::<u32>(&datagram);
+        assert_eq!(it.next(), Some(Ok(3)));
+        assert_eq!(it.next(), Some(Ok(4)));
+        assert_eq!(it.next(), Some(Err(TypeError::Truncated { needed: 2 })));
+        assert_eq!(it.next(), None, "iterator must fuse after an error");
+        assert_eq!(it.used(), 16, "used counts only the valid frames");
+    }
+
+    #[test]
+    fn frames_never_panics_on_any_cut() {
+        // Truncate a two-frame datagram at every byte boundary: each cut
+        // yields the decodable prefix then at most one error, never a panic.
+        let mut buf = BytesMut::new();
+        encode_frame_into(&0xaabbu64, &mut buf).unwrap();
+        encode_frame_into(&0xccddu64, &mut buf).unwrap();
+        let full = buf.freeze();
+        for cut in 0..=full.len() {
+            let datagram = full.slice(0..cut);
+            let mut ok = 0usize;
+            let mut errs = 0usize;
+            for item in frames::<u64>(&datagram) {
+                match item {
+                    Ok(_) => ok += 1,
+                    Err(_) => errs += 1,
+                }
+            }
+            let whole_frames = [0, 12, 24].iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(ok, whole_frames, "cut={cut}");
+            assert_eq!(errs, usize::from(cut != 0 && cut != 12 && cut != 24));
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Property tests for the batched, zero-copy UDP data plane.
+//! Property tests for the batched, zero-copy, coalescing UDP data plane.
 //!
-//! Three invariants, each pinned by proptest:
+//! Six invariants, each pinned by proptest:
 //!
 //! 1. **Batch = scalar.** The `send_batch`/`recv_batch` verbs deliver the
 //!    same packet sequence as looping the scalar verbs — over the
@@ -13,6 +13,18 @@
 //!    checkout/commit/hold/drop schedules.
 //! 3. **The wrapper is faithful.** `mmsg::send_batch`/`recv_batch` and the
 //!    std fallback move identical payload sequences.
+//! 4. **Coalesced = per-frame.** GSO-style packing changes how many frames
+//!    share a datagram, never which packets arrive or in what
+//!    per-destination order — and under the fault adversary the *seeded
+//!    schedule is identical* either way, because the wrapper's scalar loop
+//!    flushes one frame per datagram underneath it (the per-datagram fault
+//!    envelope [`FaultyTransport`] documents).
+//! 5. **Salvage is exact.** A multi-frame datagram cut at any byte and
+//!    padded with garbage never panics the frame iterator, and every frame
+//!    wholly before the cut is still delivered.
+//! 6. **The send pool never aliases.** A sealed datagram's payload buffer
+//!    is never reused while that payload is still in flight, across
+//!    arbitrary push/finish/drop schedules.
 
 // Wall-clock reads are deliberate here: live-cluster test: real-time deadlines.
 #![allow(clippy::disallowed_methods)]
@@ -21,10 +33,12 @@ use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use harmonia::net::{
-    AddrBook, BufferPool, FaultConfig, FaultCounters, FaultyTransport, Transport, UdpTransport,
+    AddrBook, BufferPool, Coalescer, FaultConfig, FaultCounters, FaultyTransport, SealedDatagram,
+    Transport, UdpTransport,
 };
+use harmonia::types::wire::{encode_frame_into, frames};
 use harmonia::types::{ClientId, NodeId, Packet, PacketBody, ReplicaId};
 use proptest::prelude::*;
 
@@ -190,6 +204,177 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// GSO-style coalescing is invisible to the receiver: the same batch
+    /// delivers the same packet sequence whether frames pack into full
+    /// datagrams or ride one per datagram — only the datagram count and
+    /// the frames-per-datagram packing differ.
+    #[test]
+    fn coalesced_delivery_equals_per_frame(values in prop::collection::vec(any::<u64>(), 1..60)) {
+        let run = |coalesced: bool| {
+            let (mut a, mut b) = udp_pair(true);
+            a.set_coalesced(coalesced);
+            b.set_coalesced(coalesced);
+            let mut batch: Vec<(NodeId, Pkt)> = values
+                .iter()
+                .map(|v| (NodeId::Replica(ReplicaId(0)), pkt(*v)))
+                .collect();
+            a.send_batch(&mut batch);
+            let got = drain(&mut b, values.len(), true);
+            (got, a.stats().sent, a.stats().datagrams_sent)
+        };
+
+        let (per_frame, pf_sent, pf_datagrams) = run(false);
+        let (coalesced, co_sent, co_datagrams) = run(true);
+        let expect: Vec<Pkt> = values.iter().map(|v| pkt(*v)).collect();
+        prop_assert_eq!(&per_frame, &expect);
+        prop_assert_eq!(&coalesced, &expect);
+        // Frame accounting is identical; only the datagram shape changes.
+        prop_assert_eq!(pf_sent, values.len() as u64);
+        prop_assert_eq!(co_sent, values.len() as u64);
+        prop_assert_eq!(pf_datagrams, values.len() as u64);
+        // One destination, tiny frames, 64 KiB budget: the whole batch
+        // packs into a single datagram.
+        prop_assert_eq!(co_datagrams, 1);
+    }
+
+    /// Under the fault adversary the coalescing knob is a no-op for the
+    /// schedule: FaultyTransport's batch verbs loop the scalar path, which
+    /// flushes one frame per datagram, so the same seed draws the same
+    /// loss/dup/reorder decisions and delivers the same sequence whether
+    /// the wrapped endpoint would coalesce or not — the per-datagram fault
+    /// envelope documented on [`FaultyTransport`].
+    #[test]
+    fn fault_schedule_is_coalescing_invariant(
+        values in prop::collection::vec(any::<u64>(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let cfg = FaultConfig { drop_prob: 0.2, duplicate_prob: 0.2, reorder_prob: 0.2 };
+        let run = |coalesced: bool| {
+            let (mut a, mut b) = udp_pair(true);
+            a.set_coalesced(coalesced);
+            let counters = Arc::new(FaultCounters::default());
+            let mut f = FaultyTransport::new(a, cfg, seed, Arc::clone(&counters));
+            let mut batch: Vec<(NodeId, Pkt)> = values
+                .iter()
+                .map(|v| (NodeId::Replica(ReplicaId(0)), pkt(*v)))
+                .collect();
+            f.send_batch(&mut batch);
+            let _ = f.recv_timeout(Duration::from_millis(1)); // flush a trailing hold
+            let (dropped, duplicated, _) = counters.snapshot();
+            let expect_n = values.len() as u64 - dropped + duplicated;
+            let got = drain(&mut b, expect_n as usize, true);
+            let stats = f.inner().stats();
+            (got, counters.snapshot(), stats.sent, stats.datagrams_sent)
+        };
+
+        let (pf_got, pf_counts, pf_sent, pf_datagrams) = run(false);
+        let (co_got, co_counts, co_sent, co_datagrams) = run(true);
+        prop_assert_eq!(pf_counts, co_counts);
+        prop_assert_eq!(&pf_got, &co_got);
+        prop_assert_eq!(pf_sent, co_sent);
+        // The scalar path under the wrapper never packs: every surviving
+        // frame rode its own datagram in both runs.
+        prop_assert_eq!(pf_datagrams, pf_sent);
+        prop_assert_eq!(co_datagrams, co_sent);
+    }
+
+    /// A coalesced datagram cut at an arbitrary byte and padded with
+    /// garbage never panics the frame iterator, and every frame wholly
+    /// before the cut still decodes — a malformed tail cannot retroactively
+    /// discard its valid neighbors.
+    #[test]
+    fn truncated_coalesced_datagrams_salvage_the_valid_prefix(
+        values in prop::collection::vec(any::<u64>(), 1..20),
+        cut_seed in any::<u32>(),
+        tail in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let mut buf = BytesMut::new();
+        let mut ends = Vec::with_capacity(values.len());
+        for v in &values {
+            encode_frame_into(&pkt(*v), &mut buf).unwrap();
+            ends.push(buf.len());
+        }
+        let cut = cut_seed as usize % (buf.len() + 1); // 0..=len
+        buf.truncate(cut);
+        buf.extend_from_slice(&tail);
+        let datagram = buf.freeze();
+
+        let intact = ends.iter().take_while(|e| **e <= cut).count();
+        let decoded: Vec<Result<Pkt, _>> = frames::<Pkt>(&datagram).collect();
+        let oks: Vec<&Pkt> = decoded.iter().map_while(|r| r.as_ref().ok()).collect();
+        // Every intact frame decodes, in order. Bytes past the cut are
+        // adversarial: they *may* happen to parse as further frames (the
+        // iterator cannot tell), but they can never corrupt the prefix.
+        prop_assert!(oks.len() >= intact);
+        for (i, v) in values.iter().take(intact).enumerate() {
+            prop_assert_eq!(oks[i], &pkt(*v));
+        }
+        // Errors terminate the iterator: at most one, and only last.
+        let errs = decoded.iter().filter(|r| r.is_err()).count();
+        prop_assert!(errs <= 1);
+        if errs == 1 {
+            prop_assert!(decoded.last().unwrap().is_err());
+        }
+    }
+
+    /// The send-side pool mirrors the receive pool's aliasing guarantee: a
+    /// sealed datagram's buffer is never handed to a later datagram while
+    /// the sealed payload is still in flight, across arbitrary
+    /// push/finish/drop schedules.
+    #[test]
+    fn send_pool_never_aliases_inflight_payloads(ops in prop::collection::vec(0u8..5, 1..150)) {
+        fn addr(port: u16) -> SocketAddr {
+            SocketAddr::from(([127, 0, 0, 1], port))
+        }
+        /// Move freshly sealed payloads into `held`, refusing any whose
+        /// backing range overlaps a payload still in flight.
+        fn absorb(
+            sealed: &mut Vec<SealedDatagram>,
+            held: &mut Vec<(Bytes, std::ops::Range<usize>)>,
+        ) -> bool {
+            for d in sealed.drain(..) {
+                let base = d.payload.as_ptr() as usize;
+                let range = base..base + d.payload.len().max(1);
+                if held
+                    .iter()
+                    .any(|(_, r)| range.start < r.end && r.start < range.end)
+                {
+                    return false;
+                }
+                held.push((d.payload, range));
+            }
+            true
+        }
+
+        // 64-byte budget over 12-byte frames: datagrams seal every ~5
+        // pushes, so the op stream exercises plenty of recycling.
+        let mut c = Coalescer::new(64, 8);
+        let mut sealed: Vec<SealedDatagram> = Vec::new();
+        let mut held: Vec<(Bytes, std::ops::Range<usize>)> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                // Push a frame (two destinations, round-robin).
+                0..=2 => {
+                    c.push(addr(9000 + (next % 2) as u16), &next, &mut sealed).unwrap();
+                    next += 1;
+                }
+                // End of a flush: seal everything open.
+                3 => c.finish(&mut sealed),
+                // The transport finished sending the oldest payload.
+                _ => {
+                    if !held.is_empty() {
+                        held.remove(0);
+                    }
+                }
+            }
+            prop_assert!(
+                absorb(&mut sealed, &mut held),
+                "send pool reused an in-flight payload buffer"
+            );
         }
     }
 

@@ -63,6 +63,29 @@ pub fn send_batch(sock: &UdpSocket, msgs: &[(SocketAddr, &[u8])]) -> SendReport 
     }
 }
 
+/// [`send_batch`] with per-datagram outcomes: `ok[i]` is set to whether
+/// datagram `i` reached the kernel. The coalescing transport needs this to
+/// credit frame-granular accounting — a refused datagram refuses every frame
+/// packed inside it, so a boolean per datagram, not just totals.
+///
+/// `ok` must have at least `msgs.len()` slots (asserted); slots beyond the
+/// batch are left untouched.
+pub fn send_batch_outcomes(
+    sock: &UdpSocket,
+    msgs: &[(SocketAddr, &[u8])],
+    ok: &mut [bool],
+) -> SendReport {
+    assert!(ok.len() >= msgs.len(), "one outcome slot per datagram");
+    #[cfg(target_os = "linux")]
+    {
+        linux::send_batch_mark(sock, msgs, &mut |i, sent| ok[i] = sent)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        fallback::send_batch_mark(sock, msgs, &mut |i, sent| ok[i] = sent)
+    }
+}
+
 /// Receive up to `bufs.len()` queued datagrams without blocking, writing
 /// datagram `i`'s bytes into `bufs[i]` and its length into `lens[i]`.
 /// Returns how many datagrams were drained; an empty queue is `Ok(0)`.
@@ -93,11 +116,26 @@ pub mod fallback {
 
     /// Loop `send_to`, tallying failures per datagram.
     pub fn send_batch(sock: &UdpSocket, msgs: &[(SocketAddr, &[u8])]) -> SendReport {
+        send_batch_mark(sock, msgs, &mut |_, _| {})
+    }
+
+    /// [`send_batch`] reporting each datagram's outcome through `mark`.
+    pub fn send_batch_mark(
+        sock: &UdpSocket,
+        msgs: &[(SocketAddr, &[u8])],
+        mark: &mut dyn FnMut(usize, bool),
+    ) -> SendReport {
         let mut report = SendReport::default();
-        for (dst, payload) in msgs {
+        for (i, (dst, payload)) in msgs.iter().enumerate() {
             match sock.send_to(payload, dst) {
-                Ok(_) => report.sent += 1,
-                Err(_) => report.errors += 1,
+                Ok(_) => {
+                    report.sent += 1;
+                    mark(i, true);
+                }
+                Err(_) => {
+                    report.errors += 1;
+                    mark(i, false);
+                }
             }
         }
         report
@@ -227,8 +265,21 @@ mod linux {
     }
 
     pub fn send_batch(sock: &UdpSocket, msgs: &[(SocketAddr, &[u8])]) -> SendReport {
+        send_batch_mark(sock, msgs, &mut |_, _| {})
+    }
+
+    /// [`send_batch`] reporting each datagram's outcome through
+    /// `mark(index, sent)`. The retry loop below already knows per-index
+    /// outcomes (a stalled `sendmmsg` names the head datagram that failed),
+    /// so exposing them costs one callback per datagram, no extra syscalls.
+    pub fn send_batch_mark(
+        sock: &UdpSocket,
+        msgs: &[(SocketAddr, &[u8])],
+        mark: &mut dyn FnMut(usize, bool),
+    ) -> SendReport {
         let fd = sock.as_raw_fd();
         let mut report = SendReport::default();
+        let mut base = 0usize;
         for chunk in msgs.chunks(MAX_BATCH) {
             let mut addrs: Vec<SockAddrAny> = Vec::with_capacity(chunk.len());
             let mut iovs: Vec<IoVec> = Vec::with_capacity(chunk.len());
@@ -284,14 +335,19 @@ mod linux {
                 let rc = unsafe { sendmmsg(fd, hdrs.as_mut_ptr().add(done), remaining, 0) };
                 if rc > 0 {
                     report.sent += rc as usize;
+                    for i in done..done + rc as usize {
+                        mark(base + i, true);
+                    }
                     done += rc as usize;
                 } else {
                     // The head datagram failed (or EINTR): charge it as an
                     // error and move on — never stall the rest of the batch.
                     report.errors += 1;
+                    mark(base + done, false);
                     done += 1;
                 }
             }
+            base += chunk.len();
         }
         report
     }
@@ -427,6 +483,42 @@ mod tests {
         assert_eq!(report, SendReport { sent: 2, errors: 1 });
         let got = drain(&b, 2);
         assert_eq!(got, vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn outcomes_name_the_failed_datagram() {
+        let (a, b, to) = pair();
+        let bad: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let msgs: Vec<(SocketAddr, &[u8])> = vec![(to, b"one"), (bad, b"lost"), (to, b"two")];
+        let mut ok = [false; 3];
+        let report = send_batch_outcomes(&a, &msgs, &mut ok);
+        assert_eq!(report, SendReport { sent: 2, errors: 1 });
+        assert_eq!(ok, [true, false, true]);
+        // The fallback path reports the same per-index outcomes.
+        let mut ok2 = [false; 3];
+        let r2 = fallback::send_batch_mark(&a, &msgs, &mut |i, sent| ok2[i] = sent);
+        assert_eq!(r2, report);
+        assert_eq!(ok2, ok);
+        assert_eq!(drain(&b, 4).len(), 4);
+    }
+
+    #[test]
+    fn outcomes_cross_chunk_boundaries() {
+        let (a, b, to) = pair();
+        // More than one chunk, with a failure in the second chunk: the mark
+        // indices must be batch-global, not chunk-local.
+        let bad: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let payload = [7u8; 4];
+        let mut msgs: Vec<(SocketAddr, &[u8])> =
+            (0..MAX_BATCH + 3).map(|_| (to, &payload[..])).collect();
+        msgs[MAX_BATCH + 1] = (bad, &payload[..]);
+        let mut ok = vec![false; msgs.len()];
+        let report = send_batch_outcomes(&a, &msgs, &mut ok);
+        assert_eq!(report.sent, MAX_BATCH + 2);
+        assert_eq!(report.errors, 1);
+        let failed: Vec<usize> = (0..msgs.len()).filter(|&i| !ok[i]).collect();
+        assert_eq!(failed, vec![MAX_BATCH + 1]);
+        assert_eq!(drain(&b, MAX_BATCH + 2).len(), MAX_BATCH + 2);
     }
 
     #[test]
