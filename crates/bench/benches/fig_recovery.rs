@@ -24,7 +24,7 @@
 //! snapshot.
 
 use bytes::Bytes;
-use harmonia_bench::print_table;
+use harmonia_bench::{print_table, Snapshot};
 use harmonia_core::client::{ClosedLoopClient, OpSpec, SourceFn};
 use harmonia_core::deployment::{Cluster, DeploymentSpec};
 use harmonia_core::ReplicaActor;
@@ -140,31 +140,24 @@ fn measure(store_keys: usize) -> Row {
 }
 
 fn write_json(rows: &[Row]) {
-    if std::env::var("HARMONIA_BENCH_JSON").as_deref() == Ok("0") {
-        return;
-    }
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"fig_recovery\",\n");
-    out.push_str(
-        "  \"description\": \"Replica MTTR (restart verb -> transfer done + read gate lifted) \
-         vs preloaded store size; deterministic virtual time, seed 61\",\n",
+    let mut snap = Snapshot::new(
+        "fig_recovery",
+        1,
+        "Replica MTTR (restart verb -> transfer done + read gate lifted) \
+         vs preloaded store size; deterministic virtual time, seed 61",
     );
-    out.push_str("  \"unit\": \"microseconds\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{ \"store_keys\": {}, \"mttr_us\": {:.1}, \"gate_lifted\": {} }}{sep}\n",
-            r.store_keys, r.mttr_us, r.gate_lifted
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    // Repo root, regardless of the invoking directory.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig_recovery.json");
-    match std::fs::write(path, out) {
-        Ok(()) => println!("# wrote {path}"),
-        Err(e) => eprintln!("# could not write {path}: {e}"),
-    }
+    snap.text("unit", "microseconds");
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"store_keys\": {}, \"mttr_us\": {:.1}, \"gate_lifted\": {} }}",
+                r.store_keys, r.mttr_us, r.gate_lifted
+            )
+        })
+        .collect();
+    snap.rows("rows", &rendered);
+    snap.write();
 }
 
 fn main() {

@@ -24,7 +24,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
-use harmonia_bench::print_table;
+use harmonia_bench::{print_table, Snapshot};
 use harmonia_replication::messages::{ChainMsg, NopaxosMsg, ProtocolMsg, WriteOp};
 use harmonia_types::wire::{decode_frame, decode_frame_shared, encode_frame, encode_frame_into};
 use harmonia_types::{
@@ -205,41 +205,35 @@ fn measure(case: &'static str, pkt: &Pkt) -> Row {
 }
 
 fn write_json(rows: &[Row]) {
-    if std::env::var("HARMONIA_BENCH_JSON").as_deref() == Ok("0") {
-        return;
-    }
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"wire_codec\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
-    out.push_str(
-        "  \"description\": \"Per-variant codec cost; decode_shared is the zero-copy \
+    // Schema 3: rows unchanged from 2, the shared-writer preamble added the
+    // uniform host `{ os, arch }` field.
+    let mut snap = Snapshot::new(
+        "wire_codec",
+        3,
+        "Per-variant codec cost; decode_shared is the zero-copy \
          (Bytes-aliasing) receive path, decode the copying baseline; encode_into appends \
-         into a reused buffer (the coalescer's zero-copy send path), encode allocates\",\n",
+         into a reused buffer (the coalescer's zero-copy send path), encode allocates",
     );
-    out.push_str("  \"unit\": \"ns_per_op\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{ \"case\": \"{}\", \"frame_bytes\": {}, \"encode_ns\": {:.1}, \
-             \"encode_into_ns\": {:.1}, \"decode_ns\": {:.1}, \"decode_shared_ns\": {:.1}, \
-             \"roundtrip_ns\": {:.1} }}{sep}\n",
-            r.case,
-            r.frame_bytes,
-            r.encode_ns,
-            r.encode_into_ns,
-            r.decode_ns,
-            r.decode_shared_ns,
-            r.roundtrip_ns
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    // Repo root, regardless of the invoking directory.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire_codec.json");
-    match std::fs::write(path, out) {
-        Ok(()) => println!("# wrote {path}"),
-        Err(e) => eprintln!("# could not write {path}: {e}"),
-    }
+    snap.text("unit", "ns_per_op");
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"case\": \"{}\", \"frame_bytes\": {}, \"encode_ns\": {:.1}, \
+                 \"encode_into_ns\": {:.1}, \"decode_ns\": {:.1}, \"decode_shared_ns\": {:.1}, \
+                 \"roundtrip_ns\": {:.1} }}",
+                r.case,
+                r.frame_bytes,
+                r.encode_ns,
+                r.encode_into_ns,
+                r.decode_ns,
+                r.decode_shared_ns,
+                r.roundtrip_ns
+            )
+        })
+        .collect();
+    snap.rows("rows", &rendered);
+    snap.write();
 }
 
 fn main() {

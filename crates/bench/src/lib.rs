@@ -20,6 +20,10 @@
 #![allow(clippy::disallowed_methods)]
 #![forbid(unsafe_code)]
 
+pub mod snapshot;
+
+pub use snapshot::{snapshots_enabled, Snapshot};
+
 use bytes::Bytes;
 use harmonia_core::client::{metrics, ClosedLoopClient, OpSpec, SourceFn};
 use harmonia_core::deployment::{DeploymentSpec, SimCluster};

@@ -8,10 +8,11 @@
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
+use harmonia_obs::{Counter, Recorder, Series, TraceStage};
 use harmonia_sim::{Actor, Context, TimerToken};
 use harmonia_types::{
-    ClientId, ClientRequest, Duration, Instant, NodeId, OpKind, PacketBody, ReplicaId, RequestId,
-    WriteOutcome,
+    ClientId, ClientRequest, Duration, Instant, NodeId, ObjectId, OpKind, PacketBody, ReplicaId,
+    RequestId, TraceId, WriteOutcome,
 };
 use rand::rngs::SmallRng;
 
@@ -92,6 +93,7 @@ impl OpenLoopConfig {
 struct PendingReq {
     sent: Instant,
     kind: OpKind,
+    obj: ObjectId,
     /// Distinct replicas that have replied (multi-reply protocols count a
     /// write complete only after a quorum of distinct repliers).
     repliers: Vec<ReplicaId>,
@@ -111,6 +113,7 @@ pub struct OpenLoopClient {
     ideal_next: f64,
     arrival_token: Option<TimerToken>,
     gc_token: Option<TimerToken>,
+    recorder: Recorder,
 }
 
 /// Metric names recorded by [`OpenLoopClient`].
@@ -155,7 +158,15 @@ impl OpenLoopClient {
             ideal_next: 0.0,
             arrival_token: None,
             gc_token: None,
+            recorder: Recorder::detached(),
         }
+    }
+
+    /// Attach an observability recorder (counters, latency histograms,
+    /// request traces).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Redirect traffic (switch replacement, §5.3).
@@ -172,6 +183,7 @@ impl OpenLoopClient {
         let spec = (self.source)(ctx.rng());
         let rid = self.next_request;
         self.next_request += 1;
+        let obj = ObjectId::from_key(&spec.key);
         let req = match spec.kind {
             OpKind::Read => ClientRequest::read(self.id, RequestId(rid), spec.key),
             OpKind::Write => ClientRequest::write(
@@ -185,11 +197,23 @@ impl OpenLoopClient {
             OpKind::Read => metrics::READ_SENT,
             OpKind::Write => metrics::WRITE_SENT,
         });
+        self.recorder.incr(match spec.kind {
+            OpKind::Read => Counter::ReadsSent,
+            OpKind::Write => Counter::WritesSent,
+        });
+        self.recorder.trace_at(
+            ctx.now(),
+            NodeId::Client(self.id),
+            TraceId::new(self.id, RequestId(rid)),
+            obj,
+            TraceStage::ClientSend,
+        );
         self.pending.insert(
             rid,
             PendingReq {
                 sent: ctx.now(),
                 kind: spec.kind,
+                obj,
                 repliers: Vec::new(),
             },
         );
@@ -216,17 +240,29 @@ impl OpenLoopClient {
         let now = ctx.now();
         let mut read_timeouts = 0;
         let mut write_timeouts = 0;
-        self.pending.retain(|_, p| {
+        let me = NodeId::Client(self.id);
+        let id = self.id;
+        let recorder = &self.recorder;
+        self.pending.retain(|rid, p| {
             if now.since(p.sent) > deadline {
                 match p.kind {
                     OpKind::Read => read_timeouts += 1,
                     OpKind::Write => write_timeouts += 1,
                 }
+                recorder.trace_at(
+                    now,
+                    me,
+                    TraceId::new(id, RequestId(*rid)),
+                    p.obj,
+                    TraceStage::ClientTimeout,
+                );
                 false
             } else {
                 true
             }
         });
+        self.recorder
+            .add(Counter::Timeouts, read_timeouts + write_timeouts);
         ctx.metrics().add(metrics::READ_TIMEOUT, read_timeouts);
         ctx.metrics().add(metrics::WRITE_TIMEOUT, write_timeouts);
         self.gc_token = Some(ctx.set_timer(self.cfg.timeout));
@@ -259,6 +295,7 @@ impl Actor<Msg> for OpenLoopClient {
             || reply.write_outcome == Some(WriteOutcome::DroppedBySwitch)
         {
             ctx.metrics().incr(metrics::WRITE_REJECTED);
+            self.recorder.incr(Counter::WritesRejected);
             self.pending.remove(&rid);
             return;
         }
@@ -271,12 +308,31 @@ impl Actor<Msg> for OpenLoopClient {
         };
         if p.repliers.len() >= needed {
             let latency = ctx.now().since(p.sent);
-            let (done, hist) = match p.kind {
-                OpKind::Read => (metrics::READ_DONE, metrics::READ_LATENCY),
-                OpKind::Write => (metrics::WRITE_DONE, metrics::WRITE_LATENCY),
+            let (done, hist, obs_done, obs_series) = match p.kind {
+                OpKind::Read => (
+                    metrics::READ_DONE,
+                    metrics::READ_LATENCY,
+                    Counter::ReadsDone,
+                    Series::ReadLatency,
+                ),
+                OpKind::Write => (
+                    metrics::WRITE_DONE,
+                    metrics::WRITE_LATENCY,
+                    Counter::WritesDone,
+                    Series::WriteLatency,
+                ),
             };
             ctx.metrics().incr(done);
             ctx.metrics().observe(hist, latency);
+            self.recorder.incr(obs_done);
+            self.recorder.observe(obs_series, latency);
+            self.recorder.trace_at(
+                ctx.now(),
+                NodeId::Client(self.id),
+                TraceId::new(self.id, reply.request),
+                p.obj,
+                TraceStage::ClientDone,
+            );
             self.pending.remove(&rid);
         }
     }
@@ -340,6 +396,7 @@ pub struct ClosedLoopClient {
     /// Completed operations in invocation order.
     pub records: Vec<RecordedOp>,
     next_request: u64,
+    recorder: Recorder,
 }
 
 impl ClosedLoopClient {
@@ -355,7 +412,15 @@ impl ClosedLoopClient {
             phase: Phase::Idle,
             records: Vec::new(),
             next_request: 0,
+            recorder: Recorder::detached(),
         }
+    }
+
+    /// Attach an observability recorder (counters, latency histograms,
+    /// request traces).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Quorum size for write completion (NOPaxos).
@@ -404,6 +469,25 @@ impl ClosedLoopClient {
             dst,
             Msg::new(NodeId::Client(self.id), dst, PacketBody::Request(req)),
         );
+        if attempt == 1 {
+            self.recorder.incr(match spec.kind {
+                OpKind::Read => Counter::ReadsSent,
+                OpKind::Write => Counter::WritesSent,
+            });
+        } else {
+            self.recorder.incr(Counter::Retries);
+        }
+        self.recorder.trace_at(
+            ctx.now(),
+            NodeId::Client(self.id),
+            TraceId::new(self.id, RequestId(rid)),
+            ObjectId::from_key(&spec.key),
+            if attempt == 1 {
+                TraceStage::ClientSend
+            } else {
+                TraceStage::ClientRetry
+            },
+        );
         let timer = ctx.set_timer(self.timeout);
         self.phase = Phase::Inflight(Current {
             spec,
@@ -434,6 +518,29 @@ impl ClosedLoopClient {
         let Phase::Inflight(cur) = std::mem::replace(&mut self.phase, Phase::Idle) else {
             return;
         };
+        let obj = ObjectId::from_key(&cur.spec.key);
+        if ok {
+            let latency = ctx.now().since(cur.invoked);
+            let (done, series) = match cur.spec.kind {
+                OpKind::Read => (Counter::ReadsDone, Series::ReadLatency),
+                OpKind::Write => (Counter::WritesDone, Series::WriteLatency),
+            };
+            self.recorder.incr(done);
+            self.recorder.observe(series, latency);
+        } else {
+            self.recorder.incr(Counter::Timeouts);
+        }
+        self.recorder.trace_at(
+            ctx.now(),
+            NodeId::Client(self.id),
+            TraceId::new(self.id, RequestId(cur.rid)),
+            obj,
+            if ok {
+                TraceStage::ClientDone
+            } else {
+                TraceStage::ClientTimeout
+            },
+        );
         self.records.push(RecordedOp {
             kind: cur.spec.kind,
             key: cur.spec.key.clone(),
@@ -484,6 +591,7 @@ impl Actor<Msg> for ClosedLoopClient {
         if reply.write_outcome == Some(WriteOutcome::Rejected)
             || reply.write_outcome == Some(WriteOutcome::DroppedBySwitch)
         {
+            self.recorder.incr(Counter::WritesRejected);
             self.retry(ctx);
             return;
         }

@@ -28,10 +28,11 @@
 //!   which.
 
 use bytes::Bytes;
+use harmonia_obs::{FaultObs, GroupObs, ObsSnapshot, Registry, SwitchObs, TraceEvent};
 use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
 use harmonia_replication::{build_replica, GroupConfig, ProtocolKind};
 use harmonia_sim::{Actor, Context, LinkConfig, NetworkModel, World, WorldConfig};
-use harmonia_switch::{GroupId, SwitchStats, TableConfig};
+use harmonia_switch::{GroupId, SpineView, SwitchStats, TableConfig};
 use harmonia_types::{
     ClientId, ClientReply, ClientRequest, ControlMsg, Duration, Instant, NodeId, OpKind,
     PacketBody, ReplicaId, RequestId, SwitchId, WriteOutcome,
@@ -339,18 +340,21 @@ impl DeploymentSpec {
             seed: self.seed,
             network: NetworkModel::uniform(self.link),
         });
-        world.add_node(
-            self.switch_addr(),
-            Box::new(self.make_switch(self.initial_switch())),
-        );
+        // Virtual time only: the registry's clock stays null, every recorder
+        // call passes the world's `now` explicitly, so same-seed runs yield
+        // bit-identical snapshots.
+        let registry = Registry::new();
+        let mut switch = self.make_switch(self.initial_switch());
+        switch.set_recorder(&registry.handle());
+        world.add_node(self.switch_addr(), Box::new(switch));
         for g in 0..self.groups {
             for i in 0..self.replicas {
                 world.add_node(
                     NodeId::Replica(self.replica_id(g, i)),
-                    Box::new(ReplicaActor::new(
-                        build_replica(self.group_config(g, i)),
-                        self.costs,
-                    )),
+                    Box::new(
+                        ReplicaActor::new(build_replica(self.group_config(g, i)), self.costs)
+                            .with_recorder(registry.handle()),
+                    ),
                 );
             }
         }
@@ -360,6 +364,7 @@ impl DeploymentSpec {
             switch: self.switch_addr(),
             workload_clients: Vec::new(),
             next_client: 900,
+            registry,
         }
     }
 
@@ -464,6 +469,21 @@ pub trait Cluster {
     /// The current switch incarnation (`None` if the switch is down).
     fn switch_incarnation(&self) -> Option<SwitchId>;
 
+    /// One unified observability snapshot: switch/spine counters, transport
+    /// and pool counters (UDP driver), injected-fault counters, client and
+    /// replica counters, and client-observed latency summaries — the same
+    /// typed shape from every driver. Render it with
+    /// [`prometheus_text`](harmonia_obs::prometheus_text) or
+    /// [`json_text`](harmonia_obs::json_text).
+    fn obs_snapshot(&self) -> ObsSnapshot;
+
+    /// Every request-lifecycle trace event still held in the deployment's
+    /// bounded per-thread trace rings, unsorted. Feed them to
+    /// [`format_trace`](harmonia_obs::format_trace) /
+    /// [`dump_for_key`](harmonia_obs::dump_for_key) for a per-request
+    /// timeline (client send → switch verdict → replica execute → done).
+    fn trace_events(&self) -> Vec<TraceEvent>;
+
     /// Closed-loop scenario driving, expressed once for both drivers: run
     /// each plan on its own logical client and return each client's
     /// completed-operation history, checker-ready (histories are returned
@@ -490,6 +510,8 @@ pub struct SimCluster {
     /// Workload generators attached so far (retargeted on replacement).
     workload_clients: Vec<NodeId>,
     next_client: u32,
+    /// Observability: every actor's recorder shards into this registry.
+    registry: Registry,
 }
 
 impl SimCluster {
@@ -548,8 +570,12 @@ impl SimCluster {
             timeout,
             ..OpenLoopConfig::for_deployment(&self.spec)
         };
-        self.world
-            .add_node(node, Box::new(OpenLoopClient::new(client, cfg, source)));
+        self.world.add_node(
+            node,
+            Box::new(
+                OpenLoopClient::new(client, cfg, source).with_recorder(self.registry.handle()),
+            ),
+        );
         self.workload_clients.push(node);
         node
     }
@@ -565,7 +591,8 @@ impl SimCluster {
         let node = NodeId::Client(client);
         let actor = ClosedLoopClient::new(client, self.switch, plan)
             .with_write_replies(self.spec.write_replies())
-            .with_timeout(timeout);
+            .with_timeout(timeout)
+            .with_recorder(self.registry.handle());
         self.world.add_node(node, Box::new(actor));
         self.workload_clients.push(node);
         node
@@ -649,8 +676,9 @@ impl Cluster for SimCluster {
     fn replace_switch(&mut self, new_id: SwitchId) {
         self.world.set_down(self.switch);
         let new_addr = NodeId::Switch(new_id);
-        self.world
-            .add_node(new_addr, Box::new(self.spec.make_switch(new_id)));
+        let mut replacement = self.spec.make_switch(new_id);
+        replacement.set_recorder(&self.registry.handle());
+        self.world.add_node(new_addr, Box::new(replacement));
         // Configuration service: move the lease (replicas reject fast-path
         // reads from older incarnations from now on).
         for r in 0..self.spec.total_replicas() as u32 {
@@ -764,11 +792,10 @@ impl Cluster for SimCluster {
         }
         self.world.replace_node(
             NodeId::Replica(r),
-            Box::new(ReplicaActor::recovering(
-                build_replica(cfg),
-                self.spec.costs,
-                peer,
-            )),
+            Box::new(
+                ReplicaActor::recovering(build_replica(cfg), self.spec.costs, peer)
+                    .with_recorder(self.registry.handle()),
+            ),
         );
     }
 
@@ -797,9 +824,75 @@ impl Cluster for SimCluster {
         self.switch_actor().map(|sw| sw.incarnation())
     }
 
+    fn obs_snapshot(&self) -> ObsSnapshot {
+        let rs = self.registry.snapshot();
+        let mut snap = ObsSnapshot {
+            driver: "sim",
+            protocol: self.spec.protocol.name(),
+            groups: self.spec.groups as u32,
+            replicas: self.spec.replicas as u32,
+            taken_at_ns: self.world.now().nanos(),
+            ..ObsSnapshot::default()
+        };
+        snap.apply_recorder(&rs);
+        if let Some(sw) = self.switch_actor() {
+            let view = sw.view();
+            let (switch, per_group) =
+                spine_obs(&view, rs.counter(harmonia_obs::Counter::SwitchSwept));
+            snap.switch = switch;
+            snap.per_group = per_group;
+        }
+        let m = self.world.metrics();
+        snap.faults = FaultObs {
+            dropped: m.counter("net.dropped"),
+            duplicated: m.counter("net.duplicated"),
+            reordered: m.counter("net.reordered"),
+            discarded: m.counter("net.dead_dst") + m.counter("net.down_dst"),
+        };
+        snap
+    }
+
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        self.registry.trace_events()
+    }
+
     fn run_plans(&mut self, plans: Vec<Vec<OpSpec>>) -> Vec<Vec<RecordedOp>> {
         self.run_plans_with(plans, Duration::from_millis(5))
     }
+}
+
+/// Project a [`SpineView`] into the snapshot's switch sections. `swept` is
+/// recorder-side (the sweep happens off the observation path), so the caller
+/// supplies it from the merged counters.
+pub(crate) fn spine_obs(view: &SpineView, swept: u64) -> (SwitchObs, Vec<GroupObs>) {
+    let stats = view.stats();
+    let switch = SwitchObs {
+        reads_fast_path: stats.reads_fast_path,
+        reads_normal: stats.reads_normal,
+        writes_forwarded: stats.writes_forwarded,
+        writes_dropped: stats.writes_dropped,
+        completions: stats.completions,
+        forwarded_other: stats.forwarded_other,
+        swept,
+        fast_path_groups: view.fast_path_groups() as u64,
+        dirty_len: view.dirty_len() as u64,
+        memory_bytes: view.memory_bytes() as u64,
+    };
+    let per_group = view
+        .groups()
+        .iter()
+        .map(|o| GroupObs {
+            group: o.group.0,
+            reads_fast_path: o.stats.reads_fast_path,
+            reads_normal: o.stats.reads_normal,
+            writes_forwarded: o.stats.writes_forwarded,
+            writes_dropped: o.stats.writes_dropped,
+            fast_path_enabled: o.fast_path_enabled,
+            dirty_len: o.dirty_len as u64,
+            memory_bytes: o.memory_bytes as u64,
+        })
+        .collect();
+    (switch, per_group)
 }
 
 /// Reply collector for [`SimClient`].

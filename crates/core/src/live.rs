@@ -58,17 +58,20 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use harmonia_obs::{
+    Counter, MonotonicClock, ObsSnapshot, Recorder, Registry, Series, TraceEvent, TraceStage,
+};
 use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
 use harmonia_replication::{build_replica, Effects, Replica, StateTransfer};
 use harmonia_switch::{GroupId, GroupObservation, SpineView, SwitchStats};
 use harmonia_types::{
-    ClientId, ClientRequest, ControlMsg, Duration, Instant, NodeId, OpKind, PacketBody, ReplicaId,
-    RequestId, SwitchId, WriteOutcome,
+    ClientId, ClientRequest, ControlMsg, Duration, Instant, NodeId, ObjectId, OpKind, PacketBody,
+    ReplicaId, RequestId, SwitchId, TraceId, WriteOutcome,
 };
 use harmonia_workload::ShardMap;
 
 use crate::client::{OpSpec, RecordedOp};
-use crate::deployment::{Cluster, DeploymentSpec, KvClient};
+use crate::deployment::{spine_obs, Cluster, DeploymentSpec, KvClient};
 use crate::msg::Msg;
 use crate::switch_actor::{GroupCore, SwitchCore};
 
@@ -322,6 +325,7 @@ pub struct LiveClient {
     timeout: StdDuration,
     retries: u32,
     next_request: u64,
+    recorder: Recorder,
 }
 
 impl LiveClient {
@@ -342,7 +346,14 @@ impl LiveClient {
             timeout,
             retries,
             next_request: 0,
+            recorder: Recorder::detached(),
         }
+    }
+
+    /// Attach an observability recorder (builder style; driver plumbing).
+    pub(crate) fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
     /// Read `key`, blocking until the reply (with retry).
     pub fn get(&mut self, key: impl Into<Bytes>) -> Result<Option<Bytes>, LiveError> {
@@ -372,7 +383,23 @@ impl LiveClient {
         // the §5.3 switch-outage case — must not be applied twice.
         let rid = RequestId(self.next_request);
         self.next_request += 1;
-        for _attempt in 0..=self.retries {
+        let me = NodeId::Client(self.id);
+        let trace_id = TraceId::new(self.id, rid);
+        let obj = ObjectId::from_key(&key);
+        let started = self.recorder.now();
+        for attempt in 0..=self.retries {
+            if attempt == 0 {
+                self.recorder.incr(match kind {
+                    OpKind::Read => Counter::ReadsSent,
+                    OpKind::Write => Counter::WritesSent,
+                });
+                self.recorder
+                    .trace(me, trace_id, obj, TraceStage::ClientSend);
+            } else {
+                self.recorder.incr(Counter::Retries);
+                self.recorder
+                    .trace(me, trace_id, obj, TraceStage::ClientRetry);
+            }
             let req = match kind {
                 OpKind::Read => ClientRequest::read(self.id, rid, key.clone()),
                 OpKind::Write => ClientRequest::write(
@@ -391,10 +418,24 @@ impl LiveClient {
                 ),
             );
             match self.await_replies(kind, rid)? {
-                Some(result) => return Ok(result),
+                Some(result) => {
+                    let (done, series) = match kind {
+                        OpKind::Read => (Counter::ReadsDone, Series::ReadLatency),
+                        OpKind::Write => (Counter::WritesDone, Series::WriteLatency),
+                    };
+                    self.recorder.incr(done);
+                    self.recorder
+                        .observe(series, self.recorder.now().since(started));
+                    self.recorder
+                        .trace(me, trace_id, obj, TraceStage::ClientDone);
+                    return Ok(result);
+                }
                 None => continue, // timed out or rejected: retry
             }
         }
+        self.recorder.incr(Counter::Timeouts);
+        self.recorder
+            .trace(me, trace_id, obj, TraceStage::ClientTimeout);
         Err(LiveError::TimedOut)
     }
 
@@ -432,6 +473,7 @@ impl LiveClient {
                     }
                     match reply.write_outcome {
                         Some(WriteOutcome::Rejected) | Some(WriteOutcome::DroppedBySwitch) => {
+                            self.recorder.incr(Counter::WritesRejected);
                             return Ok(None);
                         }
                         _ => {}
@@ -492,6 +534,9 @@ struct LiveRig {
     replica_threads: Vec<(Sender<Envelope>, JoinHandle<()>)>,
     switch: Option<SwitchFleet>,
     next_client: AtomicU32,
+    /// Observability: every pipeline, replica loop, and client shards into
+    /// this registry; the clock is the rig's single monotonic epoch.
+    registry: Arc<Registry>,
 }
 
 impl LiveRig {
@@ -505,6 +550,7 @@ impl LiveRig {
             replica_threads: Vec::new(),
             switch: None,
             next_client: AtomicU32::new(1),
+            registry: Arc::new(Registry::with_clock(Arc::new(MonotonicClock::new()))),
         }
     }
 
@@ -524,7 +570,10 @@ impl LiveRig {
         let sweep = self.sweep;
         let mut pipelines = Vec::with_capacity(cores.len());
         let mut ingress = Vec::with_capacity(cores.len());
-        for core in cores {
+        for mut core in cores {
+            // One recorder shard per pipeline: counters and traces stay
+            // thread-local on the packet path, merged only on snapshot.
+            core.set_recorder(self.registry.handle());
             let group = core.group();
             let (tx, rx) = unbounded::<Envelope>();
             let link = ChannelLink {
@@ -583,9 +632,10 @@ impl LiveRig {
         };
         self.replica_ids.push(group.me);
         let name = format!("harmonia-replica-{}", group.me.0);
+        let recorder = self.registry.handle();
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || replica_main(me, build_replica(group), link, recover_from))
+            .spawn(move || replica_main(me, build_replica(group), link, recover_from, recorder))
             // lint:allow(panic_path): deployment bring-up (see spawn_switch).
             .expect("spawn replica thread");
         self.replica_threads.push((tx, handle));
@@ -694,6 +744,7 @@ impl LiveRig {
             CLIENT_TIMEOUT,
             CLIENT_RETRIES,
         )
+        .with_recorder(self.registry.handle())
     }
 
     fn shutdown_in_place(&mut self) {
@@ -734,7 +785,10 @@ pub(crate) fn pipeline_main(
         // any output, amortizing downstream wakeups across the batch.
         loop {
             match next {
-                Envelope::Packet(msg) => core.handle(me, msg, &mut rng, &mut out),
+                Envelope::Packet(msg) => {
+                    let now = core.recorder().now();
+                    core.handle(now, me, msg, &mut rng, &mut out);
+                }
                 Envelope::Inspect(reply) => {
                     let _ = reply.send(core.observe());
                 }
@@ -965,6 +1019,30 @@ impl Cluster for LiveCluster {
         LiveCluster::switch_incarnation(self)
     }
 
+    fn obs_snapshot(&self) -> ObsSnapshot {
+        let rs = self.rig.registry.snapshot();
+        let mut snap = ObsSnapshot {
+            driver: "live",
+            protocol: self.spec.protocol.name(),
+            groups: self.spec.groups as u32,
+            replicas: self.spec.replicas as u32,
+            taken_at_ns: self.rig.registry.clock().now().nanos(),
+            ..ObsSnapshot::default()
+        };
+        snap.apply_recorder(&rs);
+        if let Some(view) = self.rig.observe() {
+            let (switch, per_group) = spine_obs(&view, rs.counter(Counter::SwitchSwept));
+            snap.switch = switch;
+            snap.per_group = per_group;
+        }
+        // The channel substrate injects no faults; the section stays zero.
+        snap
+    }
+
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        self.rig.registry.trace_events()
+    }
+
     fn run_plans(&mut self, plans: Vec<Vec<OpSpec>>) -> Vec<Vec<RecordedOp>> {
         run_plans_threaded(|| self.rig.client(), plans)
     }
@@ -1037,6 +1115,7 @@ pub(crate) fn replica_main(
     mut replica: Box<dyn Replica>,
     mut link: impl NodeLink,
     recover_from: Option<ReplicaId>,
+    recorder: Recorder,
 ) {
     let NodeId::Replica(my_id) = me else {
         // lint:allow(panic_path): loop precondition — callers construct
@@ -1072,14 +1151,33 @@ pub(crate) fn replica_main(
                     // protocol state machine: the engine both answers
                     // peers' snapshot requests and installs our catch-up.
                     PacketBody::Protocol(ProtocolMsg::StateTransfer(m)) => {
+                        recorder.incr(Counter::ReplicaTransfer);
                         transfer.on_msg(replica.as_mut(), m, &mut fx);
                     }
                     // Not caught up yet: shed the request, the client
                     // retries against a replica that can serve it.
-                    PacketBody::Request(_) if transfer.is_recovering() => {}
-                    PacketBody::Request(req) => replica.on_request(msg.src, req, &mut fx),
-                    PacketBody::Protocol(p) => replica.on_protocol(msg.src, p, &mut fx),
-                    _ => {}
+                    PacketBody::Request(req) if transfer.is_recovering() => {
+                        recorder.incr(Counter::ReplicaShed);
+                        recorder.trace(
+                            me,
+                            TraceId::new(req.client, req.request),
+                            req.obj,
+                            TraceStage::ReplicaShed,
+                        );
+                    }
+                    PacketBody::Request(req) => {
+                        recorder.incr(Counter::ReplicaRequests);
+                        let (trace_id, obj) = (TraceId::new(req.client, req.request), req.obj);
+                        replica.on_request(msg.src, req, &mut fx);
+                        recorder.trace(me, trace_id, obj, TraceStage::ReplicaExecute);
+                    }
+                    PacketBody::Protocol(p) => {
+                        recorder.incr(Counter::ReplicaProtocol);
+                        replica.on_protocol(msg.src, p, &mut fx);
+                    }
+                    _ => {
+                        recorder.incr(Counter::ReplicaStray);
+                    }
                 }
                 outbox.extend(
                     fx.out

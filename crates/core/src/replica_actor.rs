@@ -5,9 +5,10 @@
 //! [`CostModel`] duration, so saturation and queueing delay arise exactly as
 //! on the paper's testbed, where the tail/leader CPU is the bottleneck.
 
+use harmonia_obs::{Counter, Recorder, TraceStage};
 use harmonia_replication::{Effects, ProtocolMsg, Replica, StateTransfer};
 use harmonia_sim::{Actor, Context, Service, TimerToken};
-use harmonia_types::{NodeId, PacketBody, ReplicaId};
+use harmonia_types::{NodeId, PacketBody, ReplicaId, TraceId};
 
 use crate::msg::{CostModel, Msg};
 
@@ -22,6 +23,8 @@ pub struct ReplicaActor {
     /// Set by [`recovering`](Self::recovering): `on_start` requests a
     /// snapshot from this peer before serving anything.
     recover_from: Option<ReplicaId>,
+    /// Observability handle; detached unless a registry wires one in.
+    recorder: Recorder,
 }
 
 impl ReplicaActor {
@@ -32,7 +35,14 @@ impl ReplicaActor {
             costs,
             transfer: None,
             recover_from: None,
+            recorder: Recorder::detached(),
         }
+    }
+
+    /// Attach an observability recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Wrap a *fresh* state machine that must catch up from `peer` before
@@ -45,6 +55,7 @@ impl ReplicaActor {
             costs,
             transfer: None,
             recover_from: Some(peer),
+            recorder: Recorder::detached(),
         }
     }
 
@@ -93,6 +104,7 @@ impl Actor<Msg> for ReplicaActor {
             // machine: the engine both answers peers' snapshot requests and
             // installs this replica's own catch-up.
             PacketBody::Protocol(ProtocolMsg::StateTransfer(m)) => {
+                self.recorder.incr(Counter::ReplicaTransfer);
                 self.engine(ctx.node());
                 // Split the borrow: engine and state machine are disjoint.
                 let ReplicaActor {
@@ -104,17 +116,40 @@ impl Actor<Msg> for ReplicaActor {
                     &mut fx,
                 );
             }
-            PacketBody::Request(_) if self.is_recovering() => {
+            PacketBody::Request(req) if self.is_recovering() => {
                 // Not caught up yet: shed the request, the client retries
                 // against a replica that can actually serve it.
                 ctx.metrics().incr("replica.recovering_drop");
+                self.recorder.incr(Counter::ReplicaShed);
+                self.recorder.trace_at(
+                    ctx.now(),
+                    ctx.node(),
+                    TraceId::new(req.client, req.request),
+                    req.obj,
+                    TraceStage::ReplicaShed,
+                );
             }
-            PacketBody::Request(req) => self.inner.on_request(from, req, &mut fx),
-            PacketBody::Protocol(p) => self.inner.on_protocol(from, p, &mut fx),
+            PacketBody::Request(req) => {
+                self.recorder.incr(Counter::ReplicaRequests);
+                let (trace_id, obj) = (TraceId::new(req.client, req.request), req.obj);
+                self.inner.on_request(from, req, &mut fx);
+                self.recorder.trace_at(
+                    ctx.now(),
+                    ctx.node(),
+                    trace_id,
+                    obj,
+                    TraceStage::ReplicaExecute,
+                );
+            }
+            PacketBody::Protocol(p) => {
+                self.recorder.incr(Counter::ReplicaProtocol);
+                self.inner.on_protocol(from, p, &mut fx);
+            }
             // Replies, completions and switch-control packets are not
             // addressed to replicas; tolerate strays.
             _ => {
                 ctx.metrics().incr("replica.stray_packet");
+                self.recorder.incr(Counter::ReplicaStray);
             }
         }
         self.flush(ctx, fx);

@@ -13,6 +13,7 @@
 
 use std::collections::BTreeMap;
 
+use harmonia_obs::{Counter, Recorder, TraceStage};
 use harmonia_replication::messages::{NopaxosMsg, ProtocolMsg, WriteOp};
 use harmonia_replication::ProtocolKind;
 use harmonia_sim::{Actor, Context, Service, TimerToken};
@@ -21,8 +22,8 @@ use harmonia_switch::{
     ReadEntry, Sequencer, SpineView, SwitchStats, TableConfig, WriteDecision, WriteEntry,
 };
 use harmonia_types::{
-    ClientRequest, ControlMsg, Duration, NodeId, ObjectId, OpKind, PacketBody, ReadMode, ReplicaId,
-    SwitchId, SwitchSeq,
+    ClientRequest, ControlMsg, Duration, Instant, NodeId, ObjectId, OpKind, PacketBody, ReadMode,
+    ReplicaId, SwitchId, SwitchSeq, TraceId,
 };
 use harmonia_workload::ShardMap;
 
@@ -79,6 +80,8 @@ pub struct GroupCore {
     /// The members this group was provisioned with — control-plane
     /// addressing for a replica that was removed and is being re-added.
     provisioned: Vec<ReplicaId>,
+    /// Observability sink (detached unless a driver attaches one).
+    recorder: Recorder,
 }
 
 impl GroupCore {
@@ -102,7 +105,22 @@ impl GroupCore {
             sequencer: Sequencer::new(u64::from(cfg.incarnation.0)),
             stats: SwitchStats::default(),
             provisioned: members,
+            recorder: Recorder::detached(),
         }
+    }
+
+    /// Attach an observability recorder. The live driver gives every
+    /// pipeline its own registry shard; the simulator shares one clone
+    /// across all groups (single-threaded, so there is no contention to
+    /// shard away).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached observability recorder (the live pipeline reads its
+    /// clock for packet timestamps).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The group this core schedules.
@@ -146,7 +164,14 @@ impl GroupCore {
         }
     }
 
-    fn handle_write(&mut self, me: NodeId, mut req: ClientRequest, out: &mut Vec<(NodeId, Msg)>) {
+    fn handle_write(
+        &mut self,
+        now: Instant,
+        me: NodeId,
+        mut req: ClientRequest,
+        out: &mut Vec<(NodeId, Msg)>,
+    ) {
+        let trace_id = TraceId::new(req.client, req.request);
         // Harmonia: Algorithm 1 lines 1–4, on this object's group.
         if self.mode == SwitchMode::Harmonia {
             match self.detector.process_write(req.obj) {
@@ -155,11 +180,15 @@ impl GroupCore {
                     // §6.1: no dirty-set slot — the write is dropped in the
                     // data plane; the client will time out and retry.
                     self.stats.writes_dropped += 1;
+                    self.recorder
+                        .trace_at(now, me, trace_id, req.obj, TraceStage::SwitchWriteDrop);
                     return;
                 }
             }
         }
         self.stats.writes_forwarded += 1;
+        self.recorder
+            .trace_at(now, me, trace_id, req.obj, TraceStage::SwitchWriteForward);
         if self.protocol == ProtocolKind::Nopaxos {
             // Ordered unreliable multicast: stamp and fan out (§7.3) within
             // the object's group; sessions are per group so gap detection
@@ -198,11 +227,13 @@ impl GroupCore {
 
     fn handle_read(
         &mut self,
+        now: Instant,
         me: NodeId,
         mut req: ClientRequest,
         rng: &mut rand::rngs::SmallRng,
         out: &mut Vec<(NodeId, Msg)>,
     ) {
+        let trace_id = TraceId::new(req.client, req.request);
         let dst = match self.mode {
             SwitchMode::Harmonia => match self.detector.process_read(req.obj) {
                 ReadDecision::FastPath { last_committed } => {
@@ -212,15 +243,31 @@ impl GroupCore {
                         switch: self.incarnation,
                     };
                     self.stats.reads_fast_path += 1;
+                    self.recorder.trace_at(
+                        now,
+                        me,
+                        trace_id,
+                        req.obj,
+                        TraceStage::SwitchFastPathRead,
+                    );
                     self.fwd.random_replica(rng)
                 }
                 ReadDecision::Normal => {
                     self.stats.reads_normal += 1;
+                    self.recorder.trace_at(
+                        now,
+                        me,
+                        trace_id,
+                        req.obj,
+                        TraceStage::SwitchNormalRead,
+                    );
                     self.fwd.normal_read_destination()
                 }
             },
             SwitchMode::Baseline => {
                 self.stats.reads_normal += 1;
+                self.recorder
+                    .trace_at(now, me, trace_id, req.obj, TraceStage::SwitchNormalRead);
                 if self.protocol == ProtocolKind::Craq {
                     // CRAQ serves reads at any replica natively.
                     self.fwd.random_replica(rng)
@@ -311,15 +358,17 @@ impl GroupCore {
     /// arms after shard-routing.
     pub fn handle(
         &mut self,
+        now: Instant,
         me: NodeId,
         msg: Msg,
         rng: &mut rand::rngs::SmallRng,
         out: &mut Vec<(NodeId, Msg)>,
     ) {
+        self.recorder.incr(Counter::SwitchPackets);
         match msg.body {
             PacketBody::Request(req) => match req.op {
-                OpKind::Write => self.handle_write(me, req, out),
-                OpKind::Read => self.handle_read(me, req, rng, out),
+                OpKind::Write => self.handle_write(now, me, req, out),
+                OpKind::Read => self.handle_read(now, me, req, rng, out),
             },
             PacketBody::Reply(reply) => self.handle_reply(me, reply, out),
             PacketBody::Completion(c) => {
@@ -340,7 +389,9 @@ impl GroupCore {
 
     /// Control-plane sweep of stale dirty entries (§5.2).
     pub fn sweep(&mut self) -> usize {
-        self.detector.sweep()
+        let swept = self.detector.sweep();
+        self.recorder.add(Counter::SwitchSwept, swept as u64);
+        swept
     }
 }
 
@@ -509,9 +560,20 @@ impl SwitchCore {
             .unwrap_or(GroupId(0))
     }
 
+    /// Attach an observability recorder, shared (cloned) across every
+    /// hosted group — the single-threaded simulator's wiring. The live
+    /// driver instead attaches one recorder per group after
+    /// [`into_group_cores`](Self::into_group_cores).
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        for core in self.groups.values_mut() {
+            core.set_recorder(recorder.clone());
+        }
+    }
+
     /// Process one packet, pushing forwarded packets onto `out`.
     pub fn handle(
         &mut self,
+        now: Instant,
         me: NodeId,
         msg: Msg,
         rng: &mut rand::rngs::SmallRng,
@@ -521,9 +583,10 @@ impl SwitchCore {
             PacketBody::Request(req) => {
                 let gid = self.group_of(req.obj);
                 if let Some(core) = self.groups.get_mut(&gid) {
+                    core.recorder.incr(Counter::SwitchPackets);
                     match req.op {
-                        OpKind::Write => core.handle_write(me, req, out),
-                        OpKind::Read => core.handle_read(me, req, rng, out),
+                        OpKind::Write => core.handle_write(now, me, req, out),
+                        OpKind::Read => core.handle_read(now, me, req, rng, out),
                     }
                 }
             }
@@ -640,6 +703,11 @@ impl SwitchActor {
         }
     }
 
+    /// Attach an observability recorder (shared across hosted groups).
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.core.set_recorder(recorder);
+    }
+
     /// Aggregate data-plane counters.
     pub fn stats(&self) -> SwitchStats {
         self.core.stats()
@@ -702,7 +770,8 @@ impl Actor<Msg> for SwitchActor {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
         let was_drops = self.core.stats().writes_dropped;
         let mut out = std::mem::take(&mut self.out);
-        self.core.handle(ctx.node(), msg, ctx.rng(), &mut out);
+        let now = ctx.now();
+        self.core.handle(now, ctx.node(), msg, ctx.rng(), &mut out);
         if self.core.stats().writes_dropped > was_drops {
             ctx.metrics().incr("switch.write_dropped");
         }

@@ -52,7 +52,11 @@ use std::time::{Duration as StdDuration, Instant as StdInstant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use harmonia_net::{
-    AddrBook, FaultConfig, FaultCounters, FaultyTransport, RecvError, Transport, UdpTransport,
+    AddrBook, FaultConfig, FaultCounters, FaultyTransport, PoolStats, RecvError, Transport,
+    TransportStats, UdpTransport,
+};
+use harmonia_obs::{
+    Counter, FaultObs, MonotonicClock, ObsSnapshot, Recorder, Registry, TraceEvent,
 };
 use harmonia_replication::build_replica;
 use harmonia_replication::messages::{ProtocolMsg, ReplicaControlMsg};
@@ -60,7 +64,7 @@ use harmonia_switch::{GroupId, GroupObservation, SpineView, SwitchStats};
 use harmonia_types::{ClientId, ControlMsg, NodeId, PacketBody, ReplicaId, SwitchId};
 
 use crate::client::{OpSpec, RecordedOp};
-use crate::deployment::{Cluster, DeploymentSpec, KvClient};
+use crate::deployment::{spine_obs, Cluster, DeploymentSpec, KvClient};
 use crate::live::{
     observe_fleet, observe_pipeline, pipeline_main, replica_main, run_plans_threaded, Envelope,
     LinkError, LiveClient, NodeLink, CLIENT_RETRIES, CLIENT_TIMEOUT,
@@ -111,6 +115,15 @@ struct UdpLink {
     pending: VecDeque<Msg>,
     /// Scratch for `Transport::recv_batch` (reused, no per-drain alloc).
     drain_scratch: Vec<Msg>,
+    /// Observability shard for this endpoint's wire counters; detached
+    /// unless the rig wires one in.
+    recorder: Recorder,
+    /// Last wire/pool stats already credited to the recorder — the
+    /// transport keeps cumulative counters, the registry wants increments,
+    /// so each sync publishes only the delta since the previous one.
+    seen_wire: TransportStats,
+    seen_recv_pool: PoolStats,
+    seen_send_pool: PoolStats,
 }
 
 impl UdpLink {
@@ -122,12 +135,51 @@ impl UdpLink {
             owner: None,
             pending: VecDeque::new(),
             drain_scratch: Vec::new(),
+            recorder: Recorder::detached(),
+            seen_wire: TransportStats::default(),
+            seen_recv_pool: PoolStats::default(),
+            seen_send_pool: PoolStats::default(),
         }
     }
 
     fn owned_by(mut self, book: Arc<AddrBook>, node: NodeId) -> Self {
         self.owner = Some((book, node));
         self
+    }
+
+    fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Credit the transport's counter growth since the last sync to the
+    /// recorder. Called once per batched send and on teardown — off the
+    /// per-packet path, so the steady-state cost is a handful of relaxed
+    /// adds amortized over a whole batch.
+    fn sync_obs(&mut self) {
+        if let Some(now) = self.transport.wire_stats() {
+            let d = now.since(&self.seen_wire);
+            self.seen_wire = now;
+            self.recorder.add(Counter::FramesSent, d.sent);
+            self.recorder.add(Counter::DatagramsSent, d.datagrams_sent);
+            self.recorder.add(Counter::FramesReceived, d.received);
+            self.recorder.add(Counter::Unresolved, d.unresolved);
+            self.recorder.add(Counter::DecodeErrors, d.decode_errors);
+            self.recorder.add(Counter::Salvaged, d.salvaged);
+            self.recorder.add(Counter::Oversized, d.oversized);
+            self.recorder.add(Counter::SendErrors, d.send_errors);
+            self.recorder.add(Counter::ConfigErrors, d.config_errors);
+        }
+        if let Some((recv, send)) = self.transport.wire_pool_stats() {
+            let dr = recv.since(&self.seen_recv_pool);
+            self.seen_recv_pool = recv;
+            self.recorder.add(Counter::RecvPoolHits, dr.hits);
+            self.recorder.add(Counter::RecvPoolMisses, dr.misses);
+            let ds = send.since(&self.seen_send_pool);
+            self.seen_send_pool = send;
+            self.recorder.add(Counter::SendPoolHits, ds.hits);
+            self.recorder.add(Counter::SendPoolMisses, ds.misses);
+        }
     }
 
     /// Next already-received packet, refilling from the kernel queue in one
@@ -149,6 +201,10 @@ impl UdpLink {
 
 impl Drop for UdpLink {
     fn drop(&mut self) {
+        // Final counter sync: short-lived endpoints (clients, control
+        // sockets) may never hit the batched send path, so teardown is
+        // where their wire counters reach the registry.
+        self.sync_obs();
         if let Some((book, node)) = self.owner.take() {
             book.unregister(node);
         }
@@ -164,6 +220,7 @@ impl NodeLink for UdpLink {
         // One `sendmmsg` run per MAX_BATCH packets (scalar loop on a
         // fault-wrapped or batching-disabled transport).
         self.transport.send_batch(batch);
+        self.sync_obs();
     }
 
     fn recv(&mut self, timeout: StdDuration) -> Result<Envelope, LinkError> {
@@ -243,6 +300,9 @@ struct UdpRig {
     /// frames back-to-back into full datagrams (GSO-style) instead of one
     /// frame per datagram.
     coalesced: bool,
+    /// Observability registry: one shard per node thread / client / link,
+    /// stamped by real monotonic time.
+    registry: Arc<Registry>,
 }
 
 impl UdpRig {
@@ -269,6 +329,7 @@ impl UdpRig {
             next_client: AtomicU32::new(1),
             batched: spec.udp_batch,
             coalesced: spec.udp_coalesce,
+            registry: Arc::new(Registry::with_clock(Arc::new(MonotonicClock::new()))),
         }
     }
 
@@ -318,13 +379,14 @@ impl UdpRig {
         let sweep = self.sweep;
         let mut pipelines = Vec::with_capacity(cores.len());
         let mut sockets = Vec::with_capacity(cores.len());
-        for core in cores {
+        for mut core in cores {
+            core.set_recorder(self.registry.handle());
             let group = core.group();
             let (transport, addr) = self.endpoint(Faults::All);
             let (ctl_tx, ctl_rx) = unbounded::<Envelope>();
             // Pipelines are addressed through the spine entry, not a
             // unicast registration; `clear_spine` is their teardown.
-            let link = UdpLink::over(transport, ctl_rx, true);
+            let link = UdpLink::over(transport, ctl_rx, true).with_recorder(self.registry.handle());
             let join = std::thread::Builder::new()
                 .name(format!("harmonia-udpsw-{}-g{}", incarnation.0, group.0))
                 .spawn(move || pipeline_main(core, link, me, sweep))
@@ -369,12 +431,15 @@ impl UdpRig {
         let (transport, addr) = self.endpoint(Faults::SparingReplicas);
         self.book.register(me, addr);
         let (ctl_tx, ctl_rx) = unbounded::<Envelope>();
-        let link = UdpLink::over(transport, ctl_rx, true).owned_by(Arc::clone(&self.book), me);
+        let link = UdpLink::over(transport, ctl_rx, true)
+            .owned_by(Arc::clone(&self.book), me)
+            .with_recorder(self.registry.handle());
         self.replica_ids.push(group.me);
+        let recorder = self.registry.handle();
         let name = format!("harmonia-udprep-{}", group.me.0);
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || replica_main(me, build_replica(group), link, recover_from))
+            .spawn(move || replica_main(me, build_replica(group), link, recover_from, recorder))
             // lint:allow(panic_path): deployment bring-up (see spawn_switch).
             .expect("spawn UDP replica thread");
         self.replica_threads.push((ctl_tx, handle));
@@ -487,7 +552,8 @@ impl UdpRig {
         // polling an always-empty side channel.
         let (_unused_tx, ctl_rx) = unbounded::<Envelope>();
         let link = UdpLink::over(transport, ctl_rx, false)
-            .owned_by(Arc::clone(&self.book), NodeId::Client(id));
+            .owned_by(Arc::clone(&self.book), NodeId::Client(id))
+            .with_recorder(self.registry.handle());
         LiveClient::over_link(
             id,
             Box::new(link),
@@ -496,6 +562,7 @@ impl UdpRig {
             CLIENT_TIMEOUT,
             CLIENT_RETRIES,
         )
+        .with_recorder(self.registry.handle())
     }
 
     fn shutdown_in_place(&mut self) {
@@ -738,6 +805,38 @@ impl Cluster for UdpCluster {
 
     fn run_plans(&mut self, plans: Vec<Vec<OpSpec>>) -> Vec<Vec<RecordedOp>> {
         run_plans_threaded(|| self.rig.client(), plans)
+    }
+
+    fn obs_snapshot(&self) -> ObsSnapshot {
+        let rs = self.rig.registry.snapshot();
+        let mut snap = ObsSnapshot {
+            driver: "udp",
+            protocol: self.spec.protocol.name(),
+            groups: self.spec.groups as u32,
+            replicas: self.spec.replicas as u32,
+            taken_at_ns: self.rig.registry.clock().now().nanos(),
+            ..ObsSnapshot::default()
+        };
+        snap.apply_recorder(&rs);
+        if let Some(view) = self.rig.observe() {
+            let (switch, per_group) = spine_obs(&view, rs.counter(Counter::SwitchSwept));
+            snap.switch = switch;
+            snap.per_group = per_group;
+        }
+        // The socket-boundary adversary keeps its own tallies; they are the
+        // ground truth for what the fault model actually injected.
+        let (dropped, duplicated, reordered) = self.rig.fault_counters.snapshot();
+        snap.faults = FaultObs {
+            dropped,
+            duplicated,
+            reordered,
+            discarded: self.rig.fault_counters.discarded(),
+        };
+        snap
+    }
+
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        self.rig.registry.trace_events()
     }
 }
 

@@ -9,9 +9,9 @@
 //!
 //! | rule          | scope                                   | forbids |
 //! |---------------|-----------------------------------------|---------|
-//! | `determinism` | sim, switch, replication, types, verify, workload, kv | wall-clock reads, entropy-seeded RNGs/hashers, iteration over `HashMap`/`HashSet` |
+//! | `determinism` | sim, switch, replication, types, verify, workload, kv, obs | wall-clock reads, entropy-seeded RNGs/hashers, iteration over `HashMap`/`HashSet` |
 //! | `unsafe`      | whole workspace                         | `unsafe` outside vendor/mmsg, vendor/bytes, crates/net/src/pool.rs; unsafe without `SAFETY:`; missing `#![forbid(unsafe_code)]` headers |
-//! | `panic_path`  | net/udp.rs, net/coalesce.rs, core/live.rs, core/udp.rs, types/wire.rs | `unwrap`/`expect`, panicking macros, indexing without `get` |
+//! | `panic_path`  | net/udp.rs, net/coalesce.rs, core/live.rs, core/udp.rs, types/wire.rs, obs/recorder.rs, obs/hist.rs | `unwrap`/`expect`, panicking macros, indexing without `get` |
 //! | `layering`    | replication, switch                     | `std::net`, `harmonia-net`, socket types |
 //!
 //! Violations can be waived inline with `// lint:allow(<rule>): <reason>`
@@ -125,6 +125,7 @@ impl Policy {
                 "verify",
                 "workload",
                 "kv",
+                "obs",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -139,6 +140,8 @@ impl Policy {
                 "crates/core/src/live.rs",
                 "crates/core/src/udp.rs",
                 "crates/types/src/wire.rs",
+                "crates/obs/src/recorder.rs",
+                "crates/obs/src/hist.rs",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -185,6 +185,14 @@ where
         self.flush_held();
         self.inner.recv_timeout(timeout)
     }
+
+    fn wire_stats(&self) -> Option<crate::udp::TransportStats> {
+        self.inner.wire_stats()
+    }
+
+    fn wire_pool_stats(&self) -> Option<(crate::pool::PoolStats, crate::pool::PoolStats)> {
+        self.inner.wire_pool_stats()
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,15 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// Field-wise `self - earlier`, saturating at zero (snapshot deltas for
+    /// incremental observability sync).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+
     /// Fraction of checkouts served without allocating, in `0.0..=1.0`.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

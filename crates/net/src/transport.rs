@@ -4,6 +4,9 @@ use std::time::Duration;
 
 use harmonia_types::{NodeId, Packet};
 
+use crate::pool::PoolStats;
+use crate::udp::TransportStats;
+
 /// Why a receive returned no packet.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RecvError {
@@ -90,5 +93,20 @@ pub trait Transport<T>: Send {
             }
         }
         n
+    }
+
+    /// Frame/datagram counters, when this endpoint (or the one it wraps)
+    /// keeps them. `None` — the default — means there is no wire level to
+    /// count (e.g. the in-process channel substrate). Observability sinks
+    /// poll this through `dyn Transport`, so it must stay cheap: a copy of
+    /// already-maintained counters, never a syscall.
+    fn wire_stats(&self) -> Option<TransportStats> {
+        None
+    }
+
+    /// `(receive, send)` buffer-pool checkout counters, when this endpoint
+    /// recycles buffers. Same contract as [`wire_stats`](Self::wire_stats).
+    fn wire_pool_stats(&self) -> Option<(PoolStats, PoolStats)> {
+        None
     }
 }

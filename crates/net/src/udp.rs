@@ -62,6 +62,25 @@ pub struct TransportStats {
     pub config_errors: u64,
 }
 
+impl TransportStats {
+    /// Field-wise `self - earlier`, saturating at zero: the delta between
+    /// two snapshots of a monotonically counting link, used to sync link
+    /// counters into an observability recorder incrementally.
+    pub fn since(&self, earlier: &TransportStats) -> TransportStats {
+        TransportStats {
+            sent: self.sent.saturating_sub(earlier.sent),
+            datagrams_sent: self.datagrams_sent.saturating_sub(earlier.datagrams_sent),
+            received: self.received.saturating_sub(earlier.received),
+            unresolved: self.unresolved.saturating_sub(earlier.unresolved),
+            decode_errors: self.decode_errors.saturating_sub(earlier.decode_errors),
+            salvaged: self.salvaged.saturating_sub(earlier.salvaged),
+            oversized: self.oversized.saturating_sub(earlier.oversized),
+            send_errors: self.send_errors.saturating_sub(earlier.send_errors),
+            config_errors: self.config_errors.saturating_sub(earlier.config_errors),
+        }
+    }
+}
+
 /// One node's UDP endpoint: a loopback socket plus the deployment's
 /// [`AddrBook`].
 ///
@@ -531,6 +550,14 @@ impl<T: Wire + Send> Transport<T> for UdpTransport<T> {
         } else {
             1
         }
+    }
+
+    fn wire_stats(&self) -> Option<TransportStats> {
+        Some(self.stats)
+    }
+
+    fn wire_pool_stats(&self) -> Option<(PoolStats, PoolStats)> {
+        Some((self.pool.stats(), self.coalescer.pool_stats()))
     }
 }
 

@@ -1,0 +1,122 @@
+//! Time sources for instrumentation.
+//!
+//! The determinism rule (harmonia-lint, `clippy.toml`) bans wall-clock
+//! reads from deterministic crates; this module is where the one sanctioned
+//! real-time source lives. Simulated components never call a clock at all —
+//! they stamp events with the virtual instant they already hold — while the
+//! live/UDP drivers share a [`MonotonicClock`] anchored at rig start so
+//! every thread's timestamps are mutually comparable.
+
+// The monotonic clock is the drivers' one sanctioned wall-clock read; the
+// clippy disallowed-methods layer is waived for this module only.
+#![allow(clippy::disallowed_methods)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use harmonia_types::{Duration, Instant};
+
+// lint:allow(determinism): the monotonic clock below is the live drivers' single sanctioned real-time source; sim code never constructs it
+use std::time::Instant as StdInstant;
+
+/// A source of [`Instant`]s for instrumentation. Virtual in the sim,
+/// monotonic in the live/UDP drivers, manual in tests.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current instant on this clock's timeline.
+    fn now(&self) -> Instant;
+}
+
+/// Always returns [`Instant::ZERO`]. The registry default for contexts
+/// (the simulator) that stamp events explicitly and never ask the clock.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now(&self) -> Instant {
+        Instant::ZERO
+    }
+}
+
+/// A settable clock for tests and harnesses that drive time by hand.
+#[derive(Default, Debug)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at [`Instant::ZERO`].
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Jump to an absolute instant.
+    pub fn set(&self, at: Instant) {
+        self.nanos.store(at.nanos(), Ordering::Relaxed);
+    }
+
+    /// Advance by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.nanos(), Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Instant {
+        Instant::ZERO + Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// Real elapsed time since construction, as a virtual [`Instant`] timeline
+/// starting at zero. One instance is shared by every thread of a live rig
+/// so their trace timestamps interleave correctly.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    epoch: StdInstant,
+}
+
+impl MonotonicClock {
+    /// Anchor the timeline at the current wall instant.
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: StdInstant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Instant {
+        Instant::ZERO + Duration::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_is_zero() {
+        assert_eq!(NullClock.now(), Instant::ZERO);
+    }
+
+    #[test]
+    fn manual_clock_sets_and_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Instant::ZERO);
+        c.set(Instant::ZERO + Duration::from_micros(5));
+        c.advance(Duration::from_micros(2));
+        assert_eq!(c.now(), Instant::ZERO + Duration::from_micros(7));
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,571 @@
+//! Snapshot renderers: Prometheus text exposition and JSON.
+//!
+//! Both renderers are hand-rolled over the plain-data [`ObsSnapshot`] —
+//! field order is fixed in code, so the same snapshot always renders to the
+//! same bytes (the determinism suite diffs rendered snapshots across
+//! same-seed runs). All metric names carry a `harmonia_` prefix and
+//! `driver`/`protocol` labels so several drivers can be scraped into one
+//! store without collisions.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::ObsSnapshot;
+use crate::OBS_SCHEMA_VERSION;
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn prometheus_text(s: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    let labels = format!("driver=\"{}\",protocol=\"{}\"", s.driver, s.protocol);
+
+    let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+        let _ = writeln!(out, "# HELP harmonia_{name} {help}");
+        let _ = writeln!(out, "# TYPE harmonia_{name} counter");
+        let _ = writeln!(out, "harmonia_{name}{{{labels}}} {v}");
+    };
+    let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+        let _ = writeln!(out, "# HELP harmonia_{name} {help}");
+        let _ = writeln!(out, "# TYPE harmonia_{name} gauge");
+        let _ = writeln!(out, "harmonia_{name}{{{labels}}} {v}");
+    };
+
+    gauge(
+        &mut out,
+        "obs_schema_version",
+        "Snapshot schema version.",
+        u64::from(OBS_SCHEMA_VERSION),
+    );
+    gauge(
+        &mut out,
+        "groups",
+        "Replica-group count.",
+        u64::from(s.groups),
+    );
+    gauge(
+        &mut out,
+        "replicas",
+        "Replicas per deployment.",
+        u64::from(s.replicas),
+    );
+    gauge(
+        &mut out,
+        "taken_at_ns",
+        "Snapshot time on the driver clock.",
+        s.taken_at_ns,
+    );
+
+    let sw = &s.switch;
+    counter(
+        &mut out,
+        "switch_reads_fast_path",
+        "Reads served on the fast path.",
+        sw.reads_fast_path,
+    );
+    counter(
+        &mut out,
+        "switch_reads_normal",
+        "Reads routed through the normal protocol.",
+        sw.reads_normal,
+    );
+    counter(
+        &mut out,
+        "switch_writes_forwarded",
+        "Writes stamped and forwarded.",
+        sw.writes_forwarded,
+    );
+    counter(
+        &mut out,
+        "switch_writes_dropped",
+        "Writes dropped (dirty set full).",
+        sw.writes_dropped,
+    );
+    counter(
+        &mut out,
+        "switch_completions",
+        "WRITE-COMPLETIONs processed.",
+        sw.completions,
+    );
+    counter(
+        &mut out,
+        "switch_forwarded_other",
+        "Protocol packets forwarded by plain L2/L3.",
+        sw.forwarded_other,
+    );
+    counter(
+        &mut out,
+        "switch_swept",
+        "Dirty-set entries reclaimed by sweeps.",
+        sw.swept,
+    );
+    gauge(
+        &mut out,
+        "switch_fast_path_groups",
+        "Groups with the fast path enabled.",
+        sw.fast_path_groups,
+    );
+    gauge(
+        &mut out,
+        "switch_dirty_len",
+        "Total dirty-set occupancy.",
+        sw.dirty_len,
+    );
+    gauge(
+        &mut out,
+        "switch_memory_bytes",
+        "Dirty-set SRAM consumed, bytes.",
+        sw.memory_bytes,
+    );
+
+    let tr = &s.transport;
+    counter(
+        &mut out,
+        "net_frames_sent",
+        "Frames handed to the socket layer.",
+        tr.frames_sent,
+    );
+    counter(
+        &mut out,
+        "net_datagrams_sent",
+        "Datagrams actually sent.",
+        tr.datagrams_sent,
+    );
+    counter(
+        &mut out,
+        "net_frames_received",
+        "Frames received and decoded.",
+        tr.frames_received,
+    );
+    counter(
+        &mut out,
+        "net_unresolved",
+        "Frames for unresolved peers.",
+        tr.unresolved,
+    );
+    counter(
+        &mut out,
+        "net_decode_errors",
+        "Undecodable frames.",
+        tr.decode_errors,
+    );
+    counter(
+        &mut out,
+        "net_salvaged",
+        "Frames salvaged from corrupt datagrams.",
+        tr.salvaged,
+    );
+    counter(
+        &mut out,
+        "net_oversized",
+        "Frames too large to encode.",
+        tr.oversized,
+    );
+    counter(
+        &mut out,
+        "net_send_errors",
+        "Socket send errors.",
+        tr.send_errors,
+    );
+    counter(
+        &mut out,
+        "net_config_errors",
+        "Configuration errors.",
+        tr.config_errors,
+    );
+
+    counter(
+        &mut out,
+        "pool_recv_hits",
+        "Receive-pool reuse hits.",
+        s.pool.recv_hits,
+    );
+    counter(
+        &mut out,
+        "pool_recv_misses",
+        "Receive-pool fresh allocations.",
+        s.pool.recv_misses,
+    );
+    counter(
+        &mut out,
+        "pool_send_hits",
+        "Send-pool reuse hits.",
+        s.pool.send_hits,
+    );
+    counter(
+        &mut out,
+        "pool_send_misses",
+        "Send-pool fresh allocations.",
+        s.pool.send_misses,
+    );
+
+    counter(
+        &mut out,
+        "faults_dropped",
+        "Packets dropped in flight.",
+        s.faults.dropped,
+    );
+    counter(
+        &mut out,
+        "faults_duplicated",
+        "Packets duplicated in flight.",
+        s.faults.duplicated,
+    );
+    counter(
+        &mut out,
+        "faults_reordered",
+        "Packets delayed out of order.",
+        s.faults.reordered,
+    );
+    counter(
+        &mut out,
+        "faults_discarded",
+        "Packets discarded at dead destinations.",
+        s.faults.discarded,
+    );
+
+    let cl = &s.clients;
+    counter(
+        &mut out,
+        "client_reads_sent",
+        "Read operations issued.",
+        cl.reads_sent,
+    );
+    counter(
+        &mut out,
+        "client_writes_sent",
+        "Write operations issued.",
+        cl.writes_sent,
+    );
+    counter(
+        &mut out,
+        "client_reads_done",
+        "Reads completed.",
+        cl.reads_done,
+    );
+    counter(
+        &mut out,
+        "client_writes_done",
+        "Writes acknowledged.",
+        cl.writes_done,
+    );
+    counter(
+        &mut out,
+        "client_writes_rejected",
+        "Writes rejected at the spine.",
+        cl.writes_rejected,
+    );
+    counter(
+        &mut out,
+        "client_timeouts",
+        "Operations timed out.",
+        cl.timeouts,
+    );
+    counter(
+        &mut out,
+        "client_retries",
+        "Retransmissions sent.",
+        cl.retries,
+    );
+
+    let rp = &s.replica;
+    counter(
+        &mut out,
+        "replica_requests",
+        "Client requests executed.",
+        rp.requests,
+    );
+    counter(
+        &mut out,
+        "replica_protocol_msgs",
+        "Protocol messages handled.",
+        rp.protocol_msgs,
+    );
+    counter(
+        &mut out,
+        "replica_transfers",
+        "State-transfer messages handled.",
+        rp.transfers,
+    );
+    counter(
+        &mut out,
+        "replica_shed",
+        "Requests shed while recovering.",
+        rp.shed,
+    );
+    counter(
+        &mut out,
+        "replica_stray",
+        "Packets matching no handler.",
+        rp.stray,
+    );
+
+    counter(
+        &mut out,
+        "trace_events_recorded",
+        "Trace events ever pushed.",
+        s.trace.recorded,
+    );
+    counter(
+        &mut out,
+        "trace_events_dropped",
+        "Trace events lost to ring overflow.",
+        s.trace.dropped,
+    );
+
+    for (name, h) in [
+        ("read_latency_ns", &s.read_latency),
+        ("write_latency_ns", &s.write_latency),
+    ] {
+        let _ = writeln!(
+            out,
+            "# HELP harmonia_{name} Client-observed latency, nanoseconds."
+        );
+        let _ = writeln!(out, "# TYPE harmonia_{name} summary");
+        let _ = writeln!(
+            out,
+            "harmonia_{name}{{{labels},quantile=\"0.5\"}} {}",
+            h.p50_ns
+        );
+        let _ = writeln!(
+            out,
+            "harmonia_{name}{{{labels},quantile=\"0.99\"}} {}",
+            h.p99_ns
+        );
+        let _ = writeln!(
+            out,
+            "harmonia_{name}{{{labels},quantile=\"0.999\"}} {}",
+            h.p999_ns
+        );
+        let _ = writeln!(
+            out,
+            "harmonia_{name}_sum{{{labels}}} {}",
+            h.mean_ns.saturating_mul(h.count)
+        );
+        let _ = writeln!(out, "harmonia_{name}_count{{{labels}}} {}", h.count);
+        let _ = writeln!(out, "harmonia_{name}_max{{{labels}}} {}", h.max_ns);
+    }
+
+    for g in &s.per_group {
+        let gl = format!("{labels},group=\"{}\"", g.group);
+        let _ = writeln!(
+            out,
+            "harmonia_group_reads_fast_path{{{gl}}} {}",
+            g.reads_fast_path
+        );
+        let _ = writeln!(
+            out,
+            "harmonia_group_reads_normal{{{gl}}} {}",
+            g.reads_normal
+        );
+        let _ = writeln!(
+            out,
+            "harmonia_group_writes_forwarded{{{gl}}} {}",
+            g.writes_forwarded
+        );
+        let _ = writeln!(
+            out,
+            "harmonia_group_writes_dropped{{{gl}}} {}",
+            g.writes_dropped
+        );
+        let _ = writeln!(
+            out,
+            "harmonia_group_fast_path_enabled{{{gl}}} {}",
+            u64::from(g.fast_path_enabled)
+        );
+        let _ = writeln!(out, "harmonia_group_dirty_len{{{gl}}} {}", g.dirty_len);
+        let _ = writeln!(
+            out,
+            "harmonia_group_memory_bytes{{{gl}}} {}",
+            g.memory_bytes
+        );
+    }
+
+    out
+}
+
+/// Render a snapshot as a single JSON document with a fixed key order.
+pub fn json_text(s: &ObsSnapshot) -> String {
+    let mut o = String::new();
+    let _ = write!(o, "{{\n  \"schema_version\": {OBS_SCHEMA_VERSION},");
+    let _ = write!(o, "\n  \"driver\": \"{}\",", s.driver);
+    let _ = write!(o, "\n  \"protocol\": \"{}\",", s.protocol);
+    let _ = write!(o, "\n  \"groups\": {},", s.groups);
+    let _ = write!(o, "\n  \"replicas\": {},", s.replicas);
+    let _ = write!(o, "\n  \"taken_at_ns\": {},", s.taken_at_ns);
+
+    let sw = &s.switch;
+    let _ = write!(
+        o,
+        "\n  \"switch\": {{\"reads_fast_path\": {}, \"reads_normal\": {}, \"writes_forwarded\": {}, \
+         \"writes_dropped\": {}, \"completions\": {}, \"forwarded_other\": {}, \"swept\": {}, \
+         \"fast_path_groups\": {}, \"dirty_len\": {}, \"memory_bytes\": {}}},",
+        sw.reads_fast_path,
+        sw.reads_normal,
+        sw.writes_forwarded,
+        sw.writes_dropped,
+        sw.completions,
+        sw.forwarded_other,
+        sw.swept,
+        sw.fast_path_groups,
+        sw.dirty_len,
+        sw.memory_bytes
+    );
+
+    let _ = write!(o, "\n  \"per_group\": [");
+    for (i, g) in s.per_group.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            o,
+            "{sep}{{\"group\": {}, \"reads_fast_path\": {}, \"reads_normal\": {}, \
+             \"writes_forwarded\": {}, \"writes_dropped\": {}, \"fast_path_enabled\": {}, \
+             \"dirty_len\": {}, \"memory_bytes\": {}}}",
+            g.group,
+            g.reads_fast_path,
+            g.reads_normal,
+            g.writes_forwarded,
+            g.writes_dropped,
+            g.fast_path_enabled,
+            g.dirty_len,
+            g.memory_bytes
+        );
+    }
+    let _ = write!(o, "],");
+
+    let tr = &s.transport;
+    let _ = write!(
+        o,
+        "\n  \"transport\": {{\"frames_sent\": {}, \"datagrams_sent\": {}, \"frames_received\": {}, \
+         \"unresolved\": {}, \"decode_errors\": {}, \"salvaged\": {}, \"oversized\": {}, \
+         \"send_errors\": {}, \"config_errors\": {}}},",
+        tr.frames_sent,
+        tr.datagrams_sent,
+        tr.frames_received,
+        tr.unresolved,
+        tr.decode_errors,
+        tr.salvaged,
+        tr.oversized,
+        tr.send_errors,
+        tr.config_errors
+    );
+
+    let _ = write!(
+        o,
+        "\n  \"pool\": {{\"recv_hits\": {}, \"recv_misses\": {}, \"send_hits\": {}, \
+         \"send_misses\": {}, \"recv_hit_rate\": {:.6}, \"send_hit_rate\": {:.6}}},",
+        s.pool.recv_hits,
+        s.pool.recv_misses,
+        s.pool.send_hits,
+        s.pool.send_misses,
+        s.pool.recv_hit_rate(),
+        s.pool.send_hit_rate()
+    );
+
+    let _ = write!(
+        o,
+        "\n  \"faults\": {{\"dropped\": {}, \"duplicated\": {}, \"reordered\": {}, \"discarded\": {}}},",
+        s.faults.dropped, s.faults.duplicated, s.faults.reordered, s.faults.discarded
+    );
+
+    let cl = &s.clients;
+    let _ = write!(
+        o,
+        "\n  \"clients\": {{\"reads_sent\": {}, \"writes_sent\": {}, \"reads_done\": {}, \
+         \"writes_done\": {}, \"writes_rejected\": {}, \"timeouts\": {}, \"retries\": {}}},",
+        cl.reads_sent,
+        cl.writes_sent,
+        cl.reads_done,
+        cl.writes_done,
+        cl.writes_rejected,
+        cl.timeouts,
+        cl.retries
+    );
+
+    let rp = &s.replica;
+    let _ = write!(
+        o,
+        "\n  \"replica\": {{\"requests\": {}, \"protocol_msgs\": {}, \"transfers\": {}, \
+         \"shed\": {}, \"stray\": {}}},",
+        rp.requests, rp.protocol_msgs, rp.transfers, rp.shed, rp.stray
+    );
+
+    for (name, h) in [
+        ("read_latency", &s.read_latency),
+        ("write_latency", &s.write_latency),
+    ] {
+        let _ = write!(
+            o,
+            "\n  \"{name}\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}}},",
+            h.count, h.mean_ns, h.p50_ns, h.p99_ns, h.p999_ns, h.max_ns
+        );
+    }
+
+    let _ = write!(
+        o,
+        "\n  \"trace\": {{\"recorded\": {}, \"dropped\": {}}}\n}}\n",
+        s.trace.recorded, s.trace.dropped
+    );
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistSummary;
+    use crate::snapshot::GroupObs;
+
+    fn sample() -> ObsSnapshot {
+        let mut s = ObsSnapshot {
+            driver: "sim",
+            protocol: "craq",
+            groups: 2,
+            replicas: 3,
+            ..ObsSnapshot::default()
+        };
+        s.switch.reads_fast_path = 7;
+        s.per_group = vec![
+            GroupObs {
+                group: 0,
+                reads_fast_path: 4,
+                ..GroupObs::default()
+            },
+            GroupObs {
+                group: 1,
+                reads_fast_path: 3,
+                ..GroupObs::default()
+            },
+        ];
+        s.read_latency = HistSummary {
+            count: 10,
+            mean_ns: 1000,
+            p50_ns: 900,
+            p99_ns: 2000,
+            p999_ns: 2100,
+            max_ns: 2200,
+        };
+        s
+    }
+
+    #[test]
+    fn prometheus_has_types_labels_and_quantiles() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE harmonia_switch_reads_fast_path counter"));
+        assert!(
+            text.contains("harmonia_switch_reads_fast_path{driver=\"sim\",protocol=\"craq\"} 7")
+        );
+        assert!(text.contains("quantile=\"0.999\"} 2100"));
+        assert!(text.contains(
+            "harmonia_group_reads_fast_path{driver=\"sim\",protocol=\"craq\",group=\"1\"} 3"
+        ));
+    }
+
+    #[test]
+    fn json_is_stable_and_versioned() {
+        let s = sample();
+        let a = json_text(&s);
+        let b = json_text(&s);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(a.contains("\"p999_ns\": 2100"));
+        assert!(a.contains("\"per_group\": [{\"group\": 0,"));
+        assert!(a.trim_end().ends_with('}'));
+    }
+}

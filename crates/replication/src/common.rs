@@ -34,6 +34,18 @@ impl ProtocolKind {
         matches!(self, ProtocolKind::PrimaryBackup | ProtocolKind::Chain)
     }
 
+    /// Stable lowercase name, used as the `protocol` label in
+    /// observability exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::PrimaryBackup => "primary_backup",
+            ProtocolKind::Chain => "chain",
+            ProtocolKind::Craq => "craq",
+            ProtocolKind::Vr => "vr",
+            ProtocolKind::Nopaxos => "nopaxos",
+        }
+    }
+
     /// Writes entering a quorum protocol need a majority; primary-backup
     /// protocols need every replica.
     pub fn quorum(self, n: usize) -> usize {

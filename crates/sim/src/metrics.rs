@@ -1,104 +1,70 @@
 //! Counters and latency histograms.
 //!
 //! The benchmark harnesses read throughput from counters (completed ops in a
-//! measurement window) and latency from histograms. Histograms store raw
-//! nanosecond samples up to a cap and switch to reservoir sampling beyond it,
-//! which keeps percentile queries exact for the sizes our benches use while
-//! bounding memory for very long runs.
+//! measurement window) and latency from histograms. Histograms delegate to
+//! `harmonia-obs`'s log-bucketed [`LogHistogram`]: fixed memory no matter
+//! how long the run (the old implementation kept up to 2²⁰ raw samples and
+//! fell back to reservoir sampling beyond that), exact count/mean/min/max,
+//! and ≤ 3.2% relative error on interior percentiles.
 
 use std::collections::BTreeMap;
 
+use harmonia_obs::LogHistogram;
 use harmonia_types::Duration;
 
-/// A latency histogram: mean is exact; percentiles are exact up to the
-/// retention cap and sampled beyond it.
-#[derive(Clone, Debug)]
+/// A latency histogram: count, mean, and max are exact; interior
+/// percentiles are log-bucketed (≤ 3.2% relative error) in fixed memory.
+#[derive(Clone, Debug, Default)]
 pub struct Histogram {
-    samples: Vec<u64>,
-    count: u64,
-    sum: u64,
-    max: u64,
-    cap: usize,
-    /// Simple linear-congruential state for reservoir sampling; avoids
-    /// carrying an RNG handle here. Determinism is preserved because inserts
-    /// happen in simulation order.
-    lcg: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::with_capacity(1 << 20)
-    }
+    inner: LogHistogram,
 }
 
 impl Histogram {
-    /// Create a histogram retaining up to `cap` exact samples.
-    pub fn with_capacity(cap: usize) -> Self {
-        Histogram {
-            samples: Vec::new(),
-            count: 0,
-            sum: 0,
-            max: 0,
-            cap: cap.max(1),
-            lcg: 0x9e37_79b9_7f4a_7c15,
-        }
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
     }
 
     /// Record one duration.
     pub fn record(&mut self, d: Duration) {
-        let v = d.nanos();
-        self.count += 1;
-        self.sum += v;
-        self.max = self.max.max(v);
-        if self.samples.len() < self.cap {
-            self.samples.push(v);
-        } else {
-            // Vitter's algorithm R with an inline LCG.
-            self.lcg = self
-                .lcg
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let idx = (self.lcg >> 33) % self.count;
-            if (idx as usize) < self.samples.len() {
-                self.samples[idx as usize] = v;
-            }
-        }
+        self.inner.record(d);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
-    /// Arithmetic mean.
+    /// Exact arithmetic mean.
     pub fn mean(&self) -> Duration {
-        self.sum
-            .checked_div(self.count)
-            .map_or(Duration::ZERO, Duration::from_nanos)
+        self.inner.mean()
     }
 
-    /// Largest recorded sample.
+    /// Exact largest recorded sample.
     pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max)
+        self.inner.max()
     }
 
-    /// The `p`-th percentile (0.0 ..= 1.0) over retained samples.
+    /// The `p`-th percentile (0.0 ..= 1.0). `p <= 0.0` and `p >= 1.0`
+    /// return the exact min/max; interior ranks are bucket midpoints.
     pub fn percentile(&self, p: f64) -> Duration {
-        if self.samples.is_empty() {
-            return Duration::ZERO;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        Duration::from_nanos(sorted[rank])
+        self.inner.percentile(p)
     }
 
-    /// Discard all samples but keep the configuration.
+    /// The 99.9th percentile (tail latency shorthand).
+    pub fn p999(&self) -> Duration {
+        self.inner.percentile(0.999)
+    }
+
+    /// Discard all samples.
     pub fn reset(&mut self) {
-        self.samples.clear();
-        self.count = 0;
-        self.sum = 0;
-        self.max = 0;
+        self.inner.reset();
+    }
+
+    /// The underlying log-bucketed histogram (for merging into obs
+    /// snapshots).
+    pub fn log_histogram(&self) -> &LogHistogram {
+        &self.inner
     }
 }
 
@@ -185,19 +151,25 @@ mod tests {
         assert_eq!(h.percentile(0.0), Duration::from_micros(1));
         assert_eq!(h.percentile(1.0), Duration::from_micros(100));
         let p50 = h.percentile(0.5);
-        assert!(p50 >= Duration::from_micros(49) && p50 <= Duration::from_micros(52));
+        assert!(p50 >= Duration::from_micros(48) && p50 <= Duration::from_micros(52));
+        assert!(h.p999() <= h.max());
     }
 
     #[test]
-    fn histogram_reservoir_keeps_count_exact() {
-        let mut h = Histogram::with_capacity(10);
+    fn histogram_memory_stays_fixed_and_mean_exact() {
+        // The point of the log-bucketed rewrite: a long run records far
+        // beyond any sample cap and the exact statistics still hold.
+        let mut h = Histogram::new();
         for us in 0..1000u64 {
             h.record(Duration::from_micros(us));
         }
         assert_eq!(h.count(), 1000);
-        assert_eq!(h.samples.len(), 10);
-        // Mean is exact even though samples are subsampled.
         assert_eq!(h.mean(), Duration::from_nanos(499_500));
+        let p99 = h.percentile(0.99).nanos() as f64;
+        assert!(
+            (p99 - 990_000.0).abs() / 990_000.0 <= 1.0 / 32.0,
+            "p99={p99}"
+        );
     }
 
     #[test]

@@ -73,6 +73,8 @@ impl LinkConfig {
 pub(crate) struct Delivery {
     /// Delay for each delivered copy (empty = dropped).
     pub delays: Vec<Duration>,
+    /// Copies held back by the explicit reorder penalty.
+    pub reordered: u32,
 }
 
 /// The full network: a default link plus per-pair overrides and a partition
@@ -140,10 +142,14 @@ impl NetworkModel {
     /// Decide the fate of one packet on `from → to`.
     pub(crate) fn plan<R: Rng>(&self, from: NodeId, to: NodeId, rng: &mut R) -> Delivery {
         if self.is_partitioned(from, to) {
-            return Delivery { delays: vec![] };
+            return Delivery {
+                delays: vec![],
+                reordered: 0,
+            };
         }
         let link = self.link(from, to);
         let mut delays = Vec::with_capacity(1);
+        let mut reordered = 0u32;
         let one_delay = |rng: &mut R| {
             let jitter = if link.jitter.nanos() == 0 {
                 0
@@ -151,20 +157,25 @@ impl NetworkModel {
                 rng.gen_range(0..=link.jitter.nanos())
             };
             let mut d = link.base_latency + Duration::from_nanos(jitter);
-            if link.reorder_prob > 0.0 && rng.gen_bool(link.reorder_prob) {
+            let held_back = link.reorder_prob > 0.0 && rng.gen_bool(link.reorder_prob);
+            if held_back {
                 d += link.reorder_delay;
             }
-            d
+            (d, held_back)
         };
         if link.drop_prob > 0.0 && rng.gen_bool(link.drop_prob) {
             // dropped: no copies
         } else {
-            delays.push(one_delay(rng));
+            let (d, held) = one_delay(rng);
+            delays.push(d);
+            reordered += u32::from(held);
             if link.duplicate_prob > 0.0 && rng.gen_bool(link.duplicate_prob) {
-                delays.push(one_delay(rng));
+                let (d, held) = one_delay(rng);
+                delays.push(d);
+                reordered += u32::from(held);
             }
         }
-        Delivery { delays }
+        Delivery { delays, reordered }
     }
 }
 

@@ -364,6 +364,9 @@ impl<M: Clone + 'static> World<M> {
             self.metrics
                 .add("net.duplicated", plan.delays.len() as u64 - 1);
         }
+        if plan.reordered > 0 {
+            self.metrics.add("net.reordered", u64::from(plan.reordered));
+        }
         for d in plan.delays {
             self.queue.push(
                 self.now + d,

@@ -100,6 +100,20 @@ impl SpineView {
     pub fn memory_bytes(&self) -> usize {
         self.observations.iter().map(|o| o.memory_bytes).sum()
     }
+
+    /// Total dirty-set occupancy (in-flight-write entries) across every
+    /// observed group.
+    pub fn dirty_len(&self) -> usize {
+        self.observations.iter().map(|o| o.dirty_len).sum()
+    }
+
+    /// How many observed groups currently have their fast path enabled.
+    pub fn fast_path_groups(&self) -> usize {
+        self.observations
+            .iter()
+            .filter(|o| o.fast_path_enabled)
+            .count()
+    }
 }
 
 /// A switch hosting the Harmonia scheduler for many replica groups.

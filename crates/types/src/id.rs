@@ -66,6 +66,32 @@ pub struct ClientId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct RequestId(pub u64);
 
+/// The globally unique name of one client operation, used to correlate
+/// observability trace events across nodes: every hop a request takes —
+/// client send, spine verdict, replica execute, reply — is stamped with the
+/// same `TraceId`, so a request's lifecycle can be reassembled from the
+/// per-thread trace rings after the fact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TraceId {
+    /// The issuing client.
+    pub client: ClientId,
+    /// The client's per-request sequence number.
+    pub request: RequestId,
+}
+
+impl TraceId {
+    /// Pair a client with one of its request numbers.
+    pub fn new(client: ClientId, request: RequestId) -> Self {
+        TraceId { client, request }
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}#{}", self.client.0, self.request.0)
+    }
+}
+
 /// Address of any node in the deployment: clients, replicas, and the switch.
 ///
 /// The live runtime maps these to channel endpoints; the simulator maps them

@@ -26,7 +26,7 @@ pub mod seq;
 pub mod time;
 pub mod wire;
 
-pub use id::{ClientId, NodeId, ObjectId, ReplicaId, RequestId, SwitchId};
+pub use id::{ClientId, NodeId, ObjectId, ReplicaId, RequestId, SwitchId, TraceId};
 pub use packet::{
     ClientReply, ClientRequest, ControlMsg, OpKind, Packet, PacketBody, PacketFlags, ReadMode,
     WriteCompletion, WriteOutcome,

@@ -142,6 +142,7 @@
 pub use harmonia_core as core;
 pub use harmonia_kv as kv;
 pub use harmonia_net as net;
+pub use harmonia_obs as obs;
 pub use harmonia_replication as replication;
 pub use harmonia_sim as sim;
 pub use harmonia_switch as switch;
@@ -161,6 +162,7 @@ pub mod prelude {
     pub use harmonia_core::msg::{CostModel, Msg};
     pub use harmonia_core::udp::UdpCluster;
     pub use harmonia_core::{ClosedLoopClient, OpenLoopClient, RecordedOp, SwitchActor};
+    pub use harmonia_obs::{json_text, prometheus_text, ObsSnapshot, TraceEvent, TraceStage};
     pub use harmonia_replication::{GroupConfig, ProtocolKind};
     pub use harmonia_sim::{LinkConfig, NetworkModel, World, WorldConfig};
     pub use harmonia_switch::{

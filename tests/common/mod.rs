@@ -146,6 +146,19 @@ impl Scenario {
 /// Assert the collected history is linearizable, with context on failure
 /// (dumps the offending key's timeline for debugging).
 pub fn assert_linearizable(records: Vec<OpRecord>, context: &str) {
+    assert_linearizable_traced(records, &[], context);
+}
+
+/// [`assert_linearizable`], with the deployment's packet-path trace
+/// attached: when the Wing–Gong checker names a non-linearizable key, the
+/// failure report carries every recorded trace hop of every request that
+/// touched that key (from [`Cluster::trace_events`]) next to the op-level
+/// history — the exact packet schedule that produced the violation.
+pub fn assert_linearizable_traced(
+    records: Vec<OpRecord>,
+    traces: &[harmonia::obs::TraceEvent],
+    context: &str,
+) {
     assert!(
         !records.is_empty(),
         "{context}: empty history proves nothing"
@@ -160,6 +173,10 @@ pub fn assert_linearizable(records: Vec<OpRecord>, context: &str) {
                     "client {} [{} .. {}] {:?}",
                     op.client, op.invoke, op.complete, op.action
                 );
+            }
+            if !traces.is_empty() {
+                eprintln!("--- packet-path trace for {key:?} ---");
+                eprint!("{}", harmonia::obs::dump_for_key(traces, key));
             }
         }
         panic!("{context}: {v}");

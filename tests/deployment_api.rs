@@ -7,7 +7,7 @@
 
 mod common;
 
-use common::{assert_linearizable, collect_records, make_plans};
+use common::{assert_linearizable_traced, collect_records, make_plans};
 use harmonia::prelude::*;
 
 /// All three drivers, behind the same trait object.
@@ -31,7 +31,12 @@ fn same_scenario_is_linearizable_through_all_drivers() {
         assert_eq!(histories.len(), 3, "{name}: one history per plan");
         let (records, incomplete) = collect_records(&histories);
         assert_eq!(incomplete, 0, "{name}: ops gave up");
-        assert_linearizable(records, &format!("{name} driver via dyn Cluster"));
+        // A failed check attaches the packet-path trace for the bad key.
+        assert_linearizable_traced(
+            records,
+            &cluster.trace_events(),
+            &format!("{name} driver via dyn Cluster"),
+        );
         let stats = cluster.switch_stats().expect("switch is up");
         assert!(
             stats.reads_fast_path > 0,

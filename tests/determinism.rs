@@ -66,6 +66,38 @@ fn closed_loop_replay_is_identical() {
     );
 }
 
+/// Observability rides the same contract: two same-seed sim runs render
+/// bit-identical [`ObsSnapshot`]s (both exporters, byte for byte) and
+/// identical trace timelines. This is what makes a snapshot diff a valid
+/// bisection tool — any byte that differs is caused by the change under
+/// test, not by the telemetry.
+#[test]
+fn obs_snapshot_replay_is_identical() {
+    let run = |seed: u64| {
+        let mut sim = adversarial_spec(seed).build_sim();
+        let _ = sim.run_plans(common::make_plans(4, 50, 6, 0.3, seed));
+        let snap = sim.obs_snapshot();
+        (
+            harmonia::obs::json_text(&snap),
+            harmonia::obs::prometheus_text(&snap),
+            sim.trace_events(),
+        )
+    };
+    let (json_a, prom_a, traces_a) = run(42);
+    let (json_b, prom_b, traces_b) = run(42);
+    assert_eq!(json_a, json_b, "same seed must render identical JSON");
+    assert_eq!(prom_a, prom_b, "same seed must render identical Prometheus");
+    assert_eq!(traces_a, traces_b, "same seed must trace identically");
+    assert!(
+        !traces_a.is_empty(),
+        "the comparison actually traced something"
+    );
+    assert!(
+        json_a.contains("\"driver\": \"sim\""),
+        "snapshot came from the sim driver"
+    );
+}
+
 /// A different seed actually changes the run (guards against the replay test
 /// passing vacuously because the RNG is never consulted).
 #[test]

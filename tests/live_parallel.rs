@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use bytes::Bytes;
-use common::{assert_linearizable, collect_records, make_plans};
+use common::{assert_linearizable_traced, collect_records, make_plans};
 use harmonia::prelude::*;
 
 fn sharded_spec(groups: usize) -> DeploymentSpec {
@@ -37,7 +37,11 @@ fn parallel_pipelines_serve_all_groups_linearizably() {
     let histories = cluster.run_plans(plans);
     let (records, incomplete) = collect_records(&histories);
     assert_eq!(incomplete, 0, "healthy cluster must complete every op");
-    assert_linearizable(records, "live 4-group parallel pipelines");
+    assert_linearizable_traced(
+        records,
+        &cluster.trace_events(),
+        "live 4-group parallel pipelines",
+    );
 
     // Every pipeline actually carried traffic, and the per-group counters
     // are disjoint: each op shows up in exactly one group's stats.
@@ -153,7 +157,11 @@ fn kill_and_replace_mid_parallel_load_stays_linearizable() {
     // Wing–Gong over every per-key history that only completed ops touched.
     let (records, _incomplete) = collect_records(&histories);
     assert!(!records.is_empty(), "nothing survived to check");
-    assert_linearizable(records, "live 4-group load across switch replacement");
+    assert_linearizable_traced(
+        records,
+        &cluster.trace_events(),
+        "live 4-group load across switch replacement",
+    );
 
     // The replacement fleet is serving: one committed write per group
     // re-arms that group's fast path (first own-id WRITE-COMPLETION rule).

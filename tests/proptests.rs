@@ -444,7 +444,7 @@ proptest! {
             };
             let g = shards.shard_of(obj) as usize;
             out.clear();
-            mono.handle(me, Msg::new(client, me, body.clone()), &mut rng_mono, &mut out);
+            mono.handle(Instant::ZERO, me, Msg::new(client, me, body.clone()), &mut rng_mono, &mut out);
             // Capture the stamped seq of a forwarded write so a later op
             // can complete it. The split run sees the identical stamp:
             // per-group detector state evolves in lockstep with the
@@ -459,7 +459,7 @@ proptest! {
                 }
             }
             let mut split_out = Vec::new();
-            split[g].handle(me, Msg::new(client, me, body), &mut rngs[g], &mut split_out);
+            split[g].handle(Instant::ZERO, me, Msg::new(client, me, body), &mut rngs[g], &mut split_out);
             prop_assert_eq!(
                 out.len(), split_out.len(),
                 "forward fan-out must match (dropped writes drop in both)"

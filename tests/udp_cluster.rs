@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use bytes::Bytes;
-use common::{assert_linearizable, collect_records, make_plans, Op};
+use common::{assert_linearizable_traced, collect_records, make_plans, Op};
 use harmonia::prelude::*;
 
 fn adversarial_link(drop: f64, duplicate: f64, reorder: f64) -> LinkConfig {
@@ -53,7 +53,11 @@ fn udp_cluster_survives_loss_duplication_reordering() {
         "only {completed}/90 ops completed under 5% loss"
     );
     let (records, _incomplete) = collect_records(&histories);
-    assert_linearizable(records, "UDP cluster under loss+duplication+reorder");
+    assert_linearizable_traced(
+        records,
+        &cluster.trace_events(),
+        "UDP cluster under loss+duplication+reorder",
+    );
 
     let (dropped, duplicated, reordered) = cluster.fault_counts();
     assert!(
@@ -128,7 +132,11 @@ fn udp_nopaxos_quorum_counts_distinct_repliers_under_faults() {
     let completed: usize = histories.iter().flatten().filter(|r| r.ok).count();
     assert!(completed >= 70, "only {completed}/75 ops completed");
     let (records, _incomplete) = collect_records(&histories);
-    assert_linearizable(records, "UDP NOPaxos under duplication+loss");
+    assert_linearizable_traced(
+        records,
+        &cluster.trace_events(),
+        "UDP NOPaxos under duplication+loss",
+    );
     let (_, duplicated, _) = cluster.fault_counts();
     assert!(duplicated > 0, "duplication never fired");
     cluster.shutdown();
@@ -225,7 +233,11 @@ fn udp_kill_and_replace_mid_load_stays_linearizable() {
     assert!(completed > 40, "only {completed} ops completed");
     let (records, _incomplete) = collect_records(&histories);
     assert!(!records.is_empty(), "nothing survived to check");
-    assert_linearizable(records, "UDP load across switch replacement");
+    assert_linearizable_traced(
+        records,
+        &cluster.trace_events(),
+        "UDP load across switch replacement",
+    );
 
     // One committed write per group re-arms that group's fast path under
     // the new incarnation (first own-id WRITE-COMPLETION rule).
@@ -345,7 +357,11 @@ fn udp_replica_crash_recovery_storm_stays_linearizable() {
     assert!(completed >= 100, "only {completed}/120 ops completed");
     let (records, _incomplete) = collect_records(&histories);
     assert!(!records.is_empty(), "nothing survived to check");
-    assert_linearizable(records, "UDP kill/recover storm under 5% faults");
+    assert_linearizable_traced(
+        records,
+        &cluster.trace_events(),
+        "UDP kill/recover storm under 5% faults",
+    );
 
     let (dropped, duplicated, reordered) = cluster.fault_counts();
     assert!(
